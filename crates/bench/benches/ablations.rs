@@ -1,0 +1,201 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md.
+//!
+//! Each ablation prints its quality metric (miss counts / rates) once at
+//! setup — the interesting result — and then times the configuration so
+//! regressions in either dimension are visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harvest_core::config::SystemConfig;
+use harvest_core::system::simulate;
+use harvest_cpu::PowerLaw;
+use harvest_energy::predictor::OraclePredictor;
+use harvest_energy::storage::StorageSpec;
+use harvest_exp::scenario::{PaperScenario, PolicyKind, PredictorKind};
+use harvest_sim::time::SimDuration;
+use std::hint::black_box;
+
+/// §4.3 cap: full EA-DVFS vs. greedy stretching.
+fn ablation_s2_cap(c: &mut Criterion) {
+    let scenario = PaperScenario::new(0.6, 300.0);
+    for policy in [PolicyKind::EaDvfs, PolicyKind::GreedyStretch] {
+        let missed: usize = (0..10).map(|s| scenario.run(policy, s).missed()).sum();
+        eprintln!("[ablation_s2_cap] {}: {missed} misses over 10 seeds", policy.name());
+    }
+    let mut g = c.benchmark_group("ablation_s2_cap");
+    g.sample_size(10);
+    for policy in [PolicyKind::EaDvfs, PolicyKind::GreedyStretch] {
+        g.bench_with_input(BenchmarkId::from_parameter(policy.name()), &policy, |b, &p| {
+            b.iter(|| black_box(scenario.run(p, black_box(3))))
+        });
+    }
+    g.finish();
+}
+
+/// Oracle vs. online predictors driving EA-DVFS.
+fn ablation_predictor(c: &mut Criterion) {
+    let kinds = [
+        PredictorKind::Oracle,
+        PredictorKind::Ewma,
+        PredictorKind::MovingAverage { window: 200 },
+        PredictorKind::Persistence,
+    ];
+    for kind in kinds {
+        let scenario = PaperScenario::new(0.4, 80.0).with_predictor(kind);
+        let rate: f64 =
+            (0..10).map(|s| scenario.run(PolicyKind::EaDvfs, s).miss_rate()).sum::<f64>() / 10.0;
+        eprintln!("[ablation_predictor] {}: mean miss rate {rate:.4}", kind.name());
+    }
+    let mut g = c.benchmark_group("ablation_predictor");
+    g.sample_size(10);
+    for kind in kinds {
+        let scenario = PaperScenario::new(0.4, 80.0).with_predictor(kind);
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            b.iter(|| black_box(scenario.run(PolicyKind::EaDvfs, black_box(3))))
+        });
+    }
+    g.finish();
+}
+
+/// Ideal vs. lossy storage (charge efficiency / leakage).
+fn ablation_storage_efficiency(c: &mut Criterion) {
+    let variants: [(&str, StorageSpec); 3] = [
+        ("ideal", StorageSpec::ideal(80.0)),
+        ("eta90", StorageSpec::ideal(80.0).with_charge_efficiency(0.9)),
+        ("leaky", StorageSpec::ideal(80.0).with_leakage_power(0.05)),
+    ];
+    let base = PaperScenario::new(0.4, 80.0);
+    let run_with = |spec: StorageSpec, seed: u64| {
+        let profile = base.profile(seed);
+        let tasks = base.taskset(seed, &profile);
+        let config =
+            SystemConfig::new(base.cpu(), spec, SimDuration::from_whole_units(10_000));
+        simulate(
+            config,
+            &tasks,
+            profile.clone(),
+            PolicyKind::EaDvfs.build(),
+            Box::new(OraclePredictor::new(profile)),
+        )
+    };
+    for (name, spec) in variants {
+        let rate: f64 = (0..10).map(|s| run_with(spec, s).miss_rate()).sum::<f64>() / 10.0;
+        eprintln!("[ablation_storage] {name}: mean miss rate {rate:.4}");
+    }
+    let mut g = c.benchmark_group("ablation_storage_efficiency");
+    g.sample_size(10);
+    for (name, spec) in variants {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, &spec| {
+            b.iter(|| black_box(run_with(spec, black_box(3))))
+        });
+    }
+    g.finish();
+}
+
+/// Number of DVFS levels: 2 / 5 / 16 cubic-law levels vs. the XScale
+/// table.
+fn ablation_speed_levels(c: &mut Criterion) {
+    let base = PaperScenario::new(0.4, 80.0);
+    let run_with = |levels: usize, seed: u64| {
+        let profile = base.profile(seed);
+        let tasks = base.taskset(seed, &profile);
+        let cpu = PowerLaw::cubic(3.2).build_model(1000.0, levels).expect("valid law");
+        let config =
+            SystemConfig::new(cpu, StorageSpec::ideal(80.0), SimDuration::from_whole_units(10_000));
+        simulate(
+            config,
+            &tasks,
+            profile.clone(),
+            PolicyKind::EaDvfs.build(),
+            Box::new(OraclePredictor::new(profile)),
+        )
+    };
+    for levels in [2usize, 5, 16] {
+        let rate: f64 = (0..10).map(|s| run_with(levels, s).miss_rate()).sum::<f64>() / 10.0;
+        eprintln!("[ablation_levels] {levels} levels: mean miss rate {rate:.4}");
+    }
+    let mut g = c.benchmark_group("ablation_speed_levels");
+    g.sample_size(10);
+    for levels in [2usize, 5, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, &n| {
+            b.iter(|| black_box(run_with(n, black_box(3))))
+        });
+    }
+    g.finish();
+}
+
+/// Systematic prediction bias: how fast does EA-DVFS degrade when the
+/// energy forecast is optimistic or pessimistic?
+fn ablation_prediction_bias(c: &mut Criterion) {
+    let factors = [0.5, 0.8, 1.0, 1.25, 2.0];
+    for &factor in &factors {
+        let scenario =
+            PaperScenario::new(0.4, 80.0).with_predictor(PredictorKind::Biased { factor });
+        let rate: f64 =
+            (0..10).map(|s| scenario.run(PolicyKind::EaDvfs, s).miss_rate()).sum::<f64>() / 10.0;
+        eprintln!("[ablation_bias] x{factor}: mean miss rate {rate:.4}");
+    }
+    let mut g = c.benchmark_group("ablation_prediction_bias");
+    g.sample_size(10);
+    for &factor in &factors {
+        let scenario =
+            PaperScenario::new(0.4, 80.0).with_predictor(PredictorKind::Biased { factor });
+        g.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, _| {
+            b.iter(|| black_box(scenario.run(PolicyKind::EaDvfs, black_box(3))))
+        });
+    }
+    g.finish();
+}
+
+/// Early completions (actual < WCET): how much slack each policy turns
+/// into fewer misses.
+fn ablation_execution_time(c: &mut Criterion) {
+    use harvest_task::generator::WorkloadSpec;
+    let base = PaperScenario::new(0.6, 150.0);
+    let run_with = |bcet: f64, policy: PolicyKind, seed: u64| {
+        let profile = base.profile(seed);
+        let spec = WorkloadSpec::paper(5, 0.6, profile.domain_mean(), 3.2)
+            .with_bcet_ratio(bcet);
+        let tasks = spec.generate(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
+        let config = SystemConfig::new(
+            base.cpu(),
+            StorageSpec::ideal(150.0),
+            SimDuration::from_whole_units(10_000),
+        );
+        simulate(
+            config,
+            &tasks,
+            profile.clone(),
+            policy.build(),
+            Box::new(OraclePredictor::new(profile)),
+        )
+    };
+    for bcet in [1.0, 0.75, 0.5, 0.25] {
+        for policy in [PolicyKind::Lsa, PolicyKind::EaDvfs] {
+            let rate: f64 =
+                (0..10).map(|s| run_with(bcet, policy, s).miss_rate()).sum::<f64>() / 10.0;
+            eprintln!(
+                "[ablation_bcet] bcet {bcet} {}: mean miss rate {rate:.4}",
+                policy.name()
+            );
+        }
+    }
+    let mut g = c.benchmark_group("ablation_execution_time");
+    g.sample_size(10);
+    for bcet in [1.0, 0.5] {
+        g.bench_with_input(BenchmarkId::from_parameter(bcet), &bcet, |b, &bcet| {
+            b.iter(|| black_box(run_with(bcet, PolicyKind::EaDvfs, black_box(3))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_s2_cap,
+    ablation_predictor,
+    ablation_storage_efficiency,
+    ablation_speed_levels,
+    ablation_prediction_bias,
+    ablation_execution_time
+);
+criterion_main!(ablations);

@@ -1,0 +1,159 @@
+//! Simulation-kernel micro-benchmarks: the primitives every run leans
+//! on (event queue, piecewise integration, storage evolution, EDF
+//! queue, workload generation, source sampling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harvest_energy::source::sample_profile;
+use harvest_energy::sources::SolarModel;
+use harvest_energy::storage::StorageSpec;
+use harvest_sim::event::EventQueue;
+use harvest_sim::piecewise::{Extension, PiecewiseConstant};
+use harvest_sim::time::{SimDuration, SimTime};
+use harvest_task::generator::WorkloadSpec;
+use harvest_task::job::{Job, JobId};
+use harvest_task::queue::EdfQueue;
+use std::hint::black_box;
+
+fn event_queue_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for n in [1_000usize, 10_000] {
+        g.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    // Scatter times deterministically.
+                    let t = SimTime::from_ticks(((i * 2_654_435_761) % (n * 7)) as i64);
+                    q.schedule(t, i);
+                }
+                let mut sum = 0usize;
+                while let Some((_, v)) = q.pop() {
+                    sum += v;
+                }
+                black_box(sum)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn piecewise_ops(c: &mut Criterion) {
+    let profile = sample_profile(
+        &mut SolarModel::paper(),
+        SimTime::ZERO,
+        SimDuration::from_whole_units(10_000),
+        SimDuration::from_whole_units(1),
+        7,
+    )
+    .expect("valid grid");
+    let mut g = c.benchmark_group("piecewise");
+    g.bench_function("integrate_full_10k", |b| {
+        b.iter(|| {
+            black_box(profile.integrate(
+                black_box(SimTime::ZERO),
+                black_box(SimTime::from_whole_units(10_000)),
+            ))
+        })
+    });
+    g.bench_function("value_at", |b| {
+        b.iter(|| black_box(profile.value_at(black_box(SimTime::from_whole_units(4_321)))))
+    });
+    g.bench_function("integrate_window_100", |b| {
+        b.iter(|| {
+            black_box(profile.integrate(
+                black_box(SimTime::from_whole_units(5_000)),
+                black_box(SimTime::from_whole_units(5_100)),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn storage_advance(c: &mut Criterion) {
+    let profile = PiecewiseConstant::from_samples(
+        SimTime::ZERO,
+        SimDuration::from_whole_units(1),
+        (0..1_000).map(|i| (i % 5) as f64).collect(),
+        Extension::Hold,
+    )
+    .expect("valid grid");
+    let spec = StorageSpec::ideal(100.0);
+    c.bench_function("storage_advance_1k_segments", |b| {
+        b.iter(|| {
+            black_box(spec.advance(
+                black_box(50.0),
+                &profile,
+                SimTime::ZERO,
+                SimTime::from_whole_units(1_000),
+                black_box(1.5),
+            ))
+        })
+    });
+    c.bench_function("storage_first_crossing", |b| {
+        b.iter(|| {
+            black_box(spec.first_crossing(
+                black_box(50.0),
+                0.0,
+                &profile,
+                SimTime::ZERO,
+                SimTime::from_whole_units(1_000),
+                black_box(3.2),
+            ))
+        })
+    });
+}
+
+fn edf_queue_ops(c: &mut Criterion) {
+    c.bench_function("edf_queue_churn_100", |b| {
+        b.iter(|| {
+            let mut q = EdfQueue::new();
+            for i in 0..100u64 {
+                let d = SimTime::from_whole_units(((i * 37) % 100 + 1) as i64);
+                q.push(Job::new(JobId(i), 0, SimTime::ZERO, d, 1.0));
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn workload_generation(c: &mut Criterion) {
+    let spec = WorkloadSpec::paper(5, 0.4, 2.0, 3.2);
+    c.bench_function("workload_generate_5tasks", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(spec.generate(black_box(seed)))
+        })
+    });
+}
+
+fn source_sampling(c: &mut Criterion) {
+    c.bench_function("solar_sample_10k_units", |b| {
+        b.iter(|| {
+            black_box(
+                sample_profile(
+                    &mut SolarModel::paper(),
+                    SimTime::ZERO,
+                    SimDuration::from_whole_units(10_000),
+                    SimDuration::from_whole_units(1),
+                    black_box(9),
+                )
+                .expect("valid grid"),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    kernel,
+    event_queue_throughput,
+    piecewise_ops,
+    storage_advance,
+    edf_queue_ops,
+    workload_generation,
+    source_sampling
+);
+criterion_main!(kernel);

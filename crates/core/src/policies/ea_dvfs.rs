@@ -1,0 +1,183 @@
+//! EA-DVFS — the paper's contribution (§4).
+
+use crate::scheduler::{Decision, SchedContext, Scheduler};
+
+/// Energy-aware dynamic voltage and frequency selection.
+///
+/// For the earliest-deadline job with remaining work `w` and absolute
+/// deadline `D` at time `t` the policy computes (paper §4.2–4.3):
+///
+/// * `avail = EC(t) + ÊS(t, D)` — the energy available by the deadline,
+/// * `s2 = max(t, D − avail/P_max)` — latest full-speed start (eq. 8/9),
+/// * `f_n` — the slowest level with `w/S_n ≤ D − t` (eq. 6),
+/// * `s1 = max(t, D − avail/P_n)` — latest start at the slow level
+///   (eq. 5/7).
+///
+/// Then (Fig. 4 / §4.3 policy):
+///
+/// * `s1 == s2` (both equal `t`) — energy is sufficient: run at full
+///   speed immediately. The system behaves like LSA/EDF.
+/// * otherwise — energy is nearly depleted: idle until `s1`, run at
+///   `f_n` during `[s1, s2)`, and switch to full speed at `s2` so the
+///   stretched job cannot steal time from future jobs (§4.3, Fig. 3).
+///
+/// With infinite storage `avail = ∞`, both start times collapse to `t`,
+/// and the policy degenerates to plain EDF (§4.3).
+///
+/// # Examples
+///
+/// ```
+/// use harvest_core::policies::EaDvfsScheduler;
+/// use harvest_core::scheduler::Scheduler;
+///
+/// let s = EaDvfsScheduler::new();
+/// assert_eq!(s.name(), "ea-dvfs");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EaDvfsScheduler;
+
+impl EaDvfsScheduler {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        EaDvfsScheduler
+    }
+}
+
+impl Scheduler for EaDvfsScheduler {
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
+        let max = ctx.cpu.max_level();
+        let d = ctx.job.absolute_deadline();
+        let window = (d - ctx.now).as_units();
+
+        let sr_max = ctx.run_time_at_power(ctx.cpu.max_power());
+        let s2 = ctx.latest_start(sr_max);
+
+        // Sufficient energy (s1 = s2 = now): run at full speed.
+        if s2 <= ctx.now {
+            return Decision::run(max);
+        }
+
+        // Energy-scarce path: find the slowest deadline-feasible level.
+        let n = match ctx.cpu.min_feasible_level(ctx.job.remaining_work(), window) {
+            // Deadline unreachable even at f_max (or already past): run
+            // flat out as a best effort.
+            None => return Decision::run(max),
+            Some(n) => n,
+        };
+        if n == max {
+            // No slower level is feasible; behave like LSA for this job.
+            return if s2 > ctx.now {
+                Decision::IdleUntil(s2)
+            } else {
+                Decision::run(max)
+            };
+        }
+
+        let sr_n = ctx.run_time_at_power(ctx.cpu.power(n));
+        let s1 = ctx.latest_start(sr_n);
+        debug_assert!(s1 <= s2, "slower power must allow an earlier latest-start");
+
+        if ctx.now < s1 {
+            Decision::IdleUntil(s1)
+        } else {
+            // Within [s1, s2): run slowly, but re-evaluate at s2 to
+            // switch to full speed (the anti-starvation cap of §4.3).
+            Decision::Run { level: n, review: Some(s2) }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "ea-dvfs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::test_util::{job, CtxFixture};
+    use harvest_cpu::presets;
+    use harvest_energy::storage::{Storage, StorageSpec};
+    use harvest_sim::time::SimTime;
+
+    fn u(x: i64) -> SimTime {
+        SimTime::from_whole_units(x)
+    }
+
+    /// §2 example at t=0: avail 32, Pn = 8/3 → sr_n = 12, s1 = 4;
+    /// sr_max = 4 → s2 = 12. Scarce energy ⇒ idle until s1 = 4.
+    #[test]
+    fn section2_example_idles_until_s1() {
+        let f = CtxFixture::new(presets::two_speed_example(), 24.0, 1e6, 0.5, job(16, 4.0));
+        let mut s = EaDvfsScheduler::new();
+        assert_eq!(s.decide(&f.ctx()), Decision::IdleUntil(u(4)));
+    }
+
+    /// Same example at t=4 (level unchanged in the fixture): now inside
+    /// [s1, s2) ⇒ run at the slow level with a review at s2.
+    #[test]
+    fn section2_example_runs_slow_between_s1_s2() {
+        let f = CtxFixture::new(presets::two_speed_example(), 26.0, 1e6, 0.5, job(16, 4.0))
+            .at(u(4));
+        // avail = 26 + 12·0.5 = 32; sr_n = 12 ⇒ s1 = max(4, 4) = 4;
+        // sr_max = 4 ⇒ s2 = 12.
+        let mut s = EaDvfsScheduler::new();
+        assert_eq!(s.decide(&f.ctx()), Decision::Run { level: 0, review: Some(u(12)) });
+    }
+
+    #[test]
+    fn sufficient_energy_runs_full_speed() {
+        let f = CtxFixture::new(presets::two_speed_example(), 150.0, 1e6, 0.5, job(16, 4.0));
+        // sr_max = (150+8)/8 = 19.75 > 16 ⇒ s2 = now ⇒ full speed.
+        let mut s = EaDvfsScheduler::new();
+        assert_eq!(s.decide(&f.ctx()), Decision::run(1));
+    }
+
+    #[test]
+    fn infinite_storage_degenerates_to_edf() {
+        let mut f = CtxFixture::new(presets::xscale(), 0.0, 1.0, 0.0, job(16, 4.0));
+        f.storage = Storage::full(StorageSpec::infinite());
+        let mut s = EaDvfsScheduler::new();
+        assert_eq!(s.decide(&f.ctx()), Decision::run(4));
+    }
+
+    #[test]
+    fn tight_deadline_forces_full_speed() {
+        // w = 4, window = 4: only f_max is feasible; energy scarce ⇒
+        // LSA-like lazy start.
+        let f = CtxFixture::new(presets::two_speed_example(), 8.0, 1e6, 0.5, job(4, 4.0));
+        // avail = 8 + 2 = 10; sr_max = 1.25 ⇒ s2 = 2.75.
+        let mut s = EaDvfsScheduler::new();
+        assert_eq!(s.decide(&f.ctx()), Decision::IdleUntil(SimTime::from_units(2.75)));
+    }
+
+    #[test]
+    fn unreachable_deadline_is_best_effort_full_speed() {
+        let f = CtxFixture::new(presets::two_speed_example(), 0.0, 1e6, 0.0, job(2, 4.0));
+        let mut s = EaDvfsScheduler::new();
+        assert_eq!(s.decide(&f.ctx()), Decision::run(1));
+    }
+
+    /// §4.3 / Fig. 3: quarter-speed processor, avail 32, Pn = 1.
+    /// sr_n = 32 ⇒ s1 = max(0, 16−32) = 0; sr_max = 4 ⇒ s2 = 12.
+    /// EA-DVFS runs slow from 0 with a review at 12.
+    #[test]
+    fn fig3_example_runs_slow_with_s2_review() {
+        let f = CtxFixture::new(presets::quarter_speed_example(), 32.0, 1e6, 0.0, job(16, 4.0));
+        let mut s = EaDvfsScheduler::new();
+        assert_eq!(s.decide(&f.ctx()), Decision::Run { level: 0, review: Some(u(12)) });
+    }
+
+    #[test]
+    fn xscale_prefers_intermediate_level() {
+        // Window 10, remaining 4 ⇒ need S ≥ 0.4 ⇒ level 1 of XScale.
+        let f = CtxFixture::new(presets::xscale(), 1.0, 1e6, 0.1, job(10, 4.0));
+        let mut s = EaDvfsScheduler::new();
+        match s.decide(&f.ctx()) {
+            Decision::IdleUntil(t) => {
+                // avail = 1 + 1 = 2; sr_n(P=0.4) = 5 ⇒ s1 = 5.
+                assert_eq!(t, u(5));
+            }
+            other => panic!("expected idle-until-s1, got {other:?}"),
+        }
+    }
+}

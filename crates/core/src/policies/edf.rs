@@ -1,0 +1,52 @@
+//! Plain EDF at full speed.
+
+use crate::scheduler::{Decision, SchedContext, Scheduler};
+
+/// Energy-oblivious earliest-deadline-first: always run the head job
+/// immediately at the maximum frequency.
+///
+/// This is the classical baseline and the behaviour EA-DVFS provably
+/// degenerates to when the storage capacity is infinite (paper §4.3).
+///
+/// # Examples
+///
+/// ```
+/// use harvest_core::policies::EdfScheduler;
+/// use harvest_core::scheduler::Scheduler;
+///
+/// let s = EdfScheduler::new();
+/// assert_eq!(s.name(), "edf");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdfScheduler;
+
+impl EdfScheduler {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        EdfScheduler
+    }
+}
+
+impl Scheduler for EdfScheduler {
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
+        Decision::run(ctx.cpu.max_level())
+    }
+
+    fn name(&self) -> &str {
+        "edf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::test_util::{job, CtxFixture};
+    use harvest_cpu::presets;
+
+    #[test]
+    fn always_runs_at_max_immediately() {
+        let f = CtxFixture::new(presets::xscale(), 0.0, 100.0, 0.0, job(16, 4.0));
+        let mut s = EdfScheduler::new();
+        assert_eq!(s.decide(&f.ctx()), Decision::run(4));
+    }
+}

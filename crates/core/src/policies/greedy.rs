@@ -1,0 +1,87 @@
+//! Greedy stretching — the §4.3 strawman, kept as an ablation baseline.
+
+use crate::scheduler::{Decision, SchedContext, Scheduler};
+
+/// EA-DVFS *without* the `s2` full-speed cap: when energy is scarce the
+/// job is stretched to the slowest deadline-feasible level and stays
+/// there until it completes.
+///
+/// The paper's Fig. 3 shows why this is wrong: the stretched job steals
+/// time from future jobs, which then miss their deadlines even though
+/// the energy would have sufficed. The `ablation_s2_cap` benchmark
+/// quantifies the gap against full EA-DVFS.
+///
+/// # Examples
+///
+/// ```
+/// use harvest_core::policies::GreedyStretchScheduler;
+/// use harvest_core::scheduler::Scheduler;
+///
+/// let s = GreedyStretchScheduler::new();
+/// assert_eq!(s.name(), "greedy-stretch");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GreedyStretchScheduler;
+
+impl GreedyStretchScheduler {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        GreedyStretchScheduler
+    }
+}
+
+impl Scheduler for GreedyStretchScheduler {
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
+        let max = ctx.cpu.max_level();
+        let d = ctx.job.absolute_deadline();
+        let window = (d - ctx.now).as_units();
+
+        let sr_max = ctx.run_time_at_power(ctx.cpu.max_power());
+        let s2 = ctx.latest_start(sr_max);
+        if s2 <= ctx.now {
+            return Decision::run(max);
+        }
+        let n = match ctx.cpu.min_feasible_level(ctx.job.remaining_work(), window) {
+            None => return Decision::run(max),
+            Some(n) => n,
+        };
+        if n == max {
+            return if s2 > ctx.now { Decision::IdleUntil(s2) } else { Decision::run(max) };
+        }
+        let sr_n = ctx.run_time_at_power(ctx.cpu.power(n));
+        let s1 = ctx.latest_start(sr_n);
+        if ctx.now < s1 {
+            Decision::IdleUntil(s1)
+        } else {
+            // The difference from EA-DVFS: no review at s2 — the job
+            // crawls to completion.
+            Decision::run(n)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "greedy-stretch"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::test_util::{job, CtxFixture};
+    use harvest_cpu::presets;
+
+    #[test]
+    fn stretches_without_review() {
+        // Fig. 3 setting: avail 32, quarter speed feasible, s1 = 0.
+        let f = CtxFixture::new(presets::quarter_speed_example(), 32.0, 1e6, 0.0, job(16, 4.0));
+        let mut s = GreedyStretchScheduler::new();
+        assert_eq!(s.decide(&f.ctx()), Decision::run(0));
+    }
+
+    #[test]
+    fn full_speed_when_energy_plentiful() {
+        let f = CtxFixture::new(presets::quarter_speed_example(), 1e5, 1e6, 0.0, job(16, 4.0));
+        let mut s = GreedyStretchScheduler::new();
+        assert_eq!(s.decide(&f.ctx()), Decision::run(1));
+    }
+}

@@ -1,0 +1,91 @@
+//! The lazy scheduling algorithm (LSA).
+
+use crate::scheduler::{Decision, SchedContext, Scheduler};
+
+/// LSA (Moser, Brunelli, Thiele, Benini — paper refs \[7\], \[10\]), as
+/// described in the paper's introduction: the processor always executes
+/// at full power, and a task starts only when
+///
+/// 1. it is ready,
+/// 2. it has the earliest deadline among ready tasks (handled by the
+///    system's EDF queue), and
+/// 3. the system can keep running at maximum power until the task's
+///    deadline — i.e. no earlier than `s = max(t, D − sr_max)` with
+///    `sr_max = (EC(t) + ÊS(t, D)) / P_max` (eq. 8/9).
+///
+/// Starting at `s` means the store is exactly exhausted at the deadline,
+/// so no harvested energy is wasted by idling; but whatever slack the
+/// job had is burned at full power — the inefficiency EA-DVFS attacks.
+///
+/// # Examples
+///
+/// ```
+/// use harvest_core::policies::LazyScheduler;
+/// use harvest_core::scheduler::Scheduler;
+///
+/// let s = LazyScheduler::new();
+/// assert_eq!(s.name(), "lsa");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LazyScheduler;
+
+impl LazyScheduler {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        LazyScheduler
+    }
+}
+
+impl Scheduler for LazyScheduler {
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
+        let max = ctx.cpu.max_level();
+        let sr_max = ctx.run_time_at_power(ctx.cpu.max_power());
+        let s = ctx.latest_start(sr_max);
+        if s > ctx.now {
+            Decision::IdleUntil(s)
+        } else {
+            Decision::run(max)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "lsa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::test_util::{job, CtxFixture};
+    use harvest_cpu::presets;
+    use harvest_sim::time::SimTime;
+
+    #[test]
+    fn delays_start_until_energy_suffices() {
+        // §2: EC(0)=24, Ps=0.5, τ1=(0,16,4), Pmax=8 → avail 32, sr=4,
+        // s = 12: LSA idles until 12.
+        let f = CtxFixture::new(presets::two_speed_example(), 24.0, 1e6, 0.5, job(16, 4.0));
+        let mut s = LazyScheduler::new();
+        assert_eq!(
+            s.decide(&f.ctx()),
+            Decision::IdleUntil(SimTime::from_whole_units(12))
+        );
+    }
+
+    #[test]
+    fn runs_immediately_when_energy_plentiful() {
+        let f = CtxFixture::new(presets::two_speed_example(), 1000.0, 1e6, 0.5, job(16, 4.0));
+        let mut s = LazyScheduler::new();
+        assert_eq!(s.decide(&f.ctx()), Decision::run(1));
+    }
+
+    #[test]
+    fn runs_once_lazy_start_reached() {
+        // At t=12 the store has charged to 24 + 12·0.5 = 30, so
+        // avail = 30 + 4·0.5 = 32, sr = 4, s = max(12, 12) = 12 ⇒ run.
+        let f = CtxFixture::new(presets::two_speed_example(), 30.0, 1e6, 0.5, job(16, 4.0))
+            .at(SimTime::from_whole_units(12));
+        let mut s = LazyScheduler::new();
+        assert!(matches!(s.decide(&f.ctx()), Decision::Run { level: 1, .. }));
+    }
+}

@@ -1,0 +1,28 @@
+//! The scheduling policies under study.
+//!
+//! * [`EdfScheduler`] — plain earliest-deadline-first at full speed,
+//!   energy-oblivious. The §4.3 degeneration target: EA-DVFS with
+//!   infinite storage behaves exactly like this.
+//! * [`LazyScheduler`] — LSA (Moser et al., paper refs \[7\], \[10\]): full
+//!   speed, but start as late as the energy constraint allows.
+//! * [`EaDvfsScheduler`] — the paper's contribution (§4): stretch the
+//!   job to the slowest deadline-feasible level while energy is scarce,
+//!   switch to full speed at `s2`.
+//! * [`GreedyStretchScheduler`] — the §4.3 strawman: stretches without
+//!   the `s2` cap, stealing time from future jobs. Kept as the ablation
+//!   baseline for the cap.
+//! * [`StaticSlowdownScheduler`] — classic utilization-based static
+//!   DVFS (Pillai–Shin): pure slowdown with no harvesting awareness,
+//!   bracketing EA-DVFS from the other side.
+
+mod ea_dvfs;
+mod edf;
+mod greedy;
+mod lsa;
+mod static_slowdown;
+
+pub use ea_dvfs::EaDvfsScheduler;
+pub use edf::EdfScheduler;
+pub use greedy::GreedyStretchScheduler;
+pub use lsa::LazyScheduler;
+pub use static_slowdown::StaticSlowdownScheduler;

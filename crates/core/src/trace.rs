@@ -1,0 +1,65 @@
+//! Scheduling-trace vocabulary of the closed-loop simulator.
+
+use harvest_cpu::LevelIndex;
+use harvest_sim::time::SimTime;
+use harvest_task::job::JobId;
+use serde::{Deserialize, Serialize};
+
+/// One scheduling event, timestamped by its position in
+/// [`SimResult::trace`](crate::result::SimResult::trace).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A job was released into the ready queue.
+    Released {
+        /// The new job.
+        job: JobId,
+        /// Releasing task index.
+        task: usize,
+        /// The job's absolute deadline.
+        deadline: SimTime,
+    },
+    /// Execution (re)started at the given DVFS level.
+    Started {
+        /// The executing job.
+        job: JobId,
+        /// Chosen level.
+        level: LevelIndex,
+    },
+    /// A job finished all its work.
+    Completed {
+        /// The finished job.
+        job: JobId,
+    },
+    /// A job reached its deadline unfinished.
+    Missed {
+        /// The late job.
+        job: JobId,
+    },
+    /// The policy chose to keep the processor idle.
+    Idled {
+        /// Scheduled wake-up, if any.
+        until: Option<SimTime>,
+    },
+    /// The store was empty; execution stalled awaiting harvested energy.
+    Stalled {
+        /// Scheduled restart attempt, if the source ever recovers.
+        until: Option<SimTime>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_events_round_trip_serde() {
+        let events = vec![
+            TraceEvent::Released { job: JobId(1), task: 0, deadline: SimTime::from_whole_units(5) },
+            TraceEvent::Started { job: JobId(1), level: 2 },
+            TraceEvent::Completed { job: JobId(1) },
+        ];
+        let json = serde_json::to_string(&events).unwrap();
+        let back: Vec<TraceEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, events);
+    }
+}

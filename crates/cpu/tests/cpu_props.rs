@@ -1,0 +1,114 @@
+//! Property-based tests of the DVFS processor model.
+
+use harvest_cpu::{CpuModel, FrequencyLevel, PowerLaw};
+use proptest::prelude::*;
+
+/// Random valid CPU: strictly increasing frequencies and powers.
+fn cpu_strategy() -> impl Strategy<Value = CpuModel> {
+    proptest::collection::vec((1.0f64..100.0, 0.01f64..2.0), 1..8).prop_map(|steps| {
+        let mut f = 0.0;
+        let mut p = 0.0;
+        let levels = steps
+            .into_iter()
+            .map(|(df, dp)| {
+                f += df;
+                p += dp;
+                FrequencyLevel::new(f, p)
+            })
+            .collect();
+        CpuModel::new(levels).expect("construction is valid by strategy")
+    })
+}
+
+proptest! {
+    /// Speeds are normalized: increasing in level and exactly 1 at the
+    /// top.
+    #[test]
+    fn speeds_are_normalized(cpu in cpu_strategy()) {
+        let max = cpu.max_level();
+        prop_assert!((cpu.speed(max) - 1.0).abs() < 1e-12);
+        for n in 0..max {
+            prop_assert!(cpu.speed(n) < cpu.speed(n + 1));
+            prop_assert!(cpu.speed(n) > 0.0);
+        }
+    }
+
+    /// `min_feasible_level` returns the *slowest* feasible level: it is
+    /// feasible, and every slower level is not.
+    #[test]
+    fn min_feasible_level_is_minimal(
+        cpu in cpu_strategy(),
+        work in 0.01f64..50.0,
+        window in 0.0f64..100.0,
+    ) {
+        match cpu.min_feasible_level(work, window) {
+            Some(n) => {
+                prop_assert!(cpu.execution_time(work, n) <= window * (1.0 + 1e-9) + 1e-9);
+                if n > 0 {
+                    prop_assert!(cpu.execution_time(work, n - 1) > window,
+                        "level {} would also fit", n - 1);
+                }
+            }
+            None => {
+                prop_assert!(cpu.execution_time(work, cpu.max_level()) > window);
+            }
+        }
+    }
+
+    /// Feasibility is monotone in the window: enlarging the window never
+    /// forces a faster level.
+    #[test]
+    fn feasible_level_monotone_in_window(
+        cpu in cpu_strategy(),
+        work in 0.01f64..50.0,
+        w1 in 0.0f64..100.0,
+        extra in 0.0f64..100.0,
+    ) {
+        let small = cpu.min_feasible_level(work, w1);
+        let large = cpu.min_feasible_level(work, w1 + extra);
+        match (small, large) {
+            (Some(a), Some(b)) => prop_assert!(b <= a),
+            (Some(_), None) => prop_assert!(false, "larger window lost feasibility"),
+            _ => {}
+        }
+    }
+
+    /// Execution time × speed returns the work; energy = power × time.
+    #[test]
+    fn execution_identities(
+        cpu in cpu_strategy(),
+        work in 0.0f64..50.0,
+        n_seed in 0usize..8,
+    ) {
+        let n = n_seed % cpu.level_count();
+        let t = cpu.execution_time(work, n);
+        prop_assert!((t * cpu.speed(n) - work).abs() < 1e-9 * (1.0 + work));
+        let e = cpu.execution_energy(work, n);
+        prop_assert!((e - cpu.power(n) * t).abs() < 1e-9 * (1.0 + e));
+    }
+
+    /// Cubic power laws make slowing down always profitable: energy per
+    /// work decreases with the level.
+    #[test]
+    fn cubic_law_rewards_slowdown(levels in 2usize..12, peak in 0.5f64..10.0) {
+        let cpu = PowerLaw::cubic(peak).build_model(1000.0, levels).unwrap();
+        for n in 0..cpu.max_level() {
+            let slow = cpu.execution_energy(1.0, n);
+            let fast = cpu.execution_energy(1.0, n + 1);
+            prop_assert!(slow < fast + 1e-12,
+                "cubic law must reward slowdown ({slow} vs {fast})");
+        }
+    }
+
+    /// Stretch saving is non-negative for convex (cubic) tables.
+    #[test]
+    fn stretch_saving_non_negative_for_cubic(
+        levels in 2usize..10,
+        work in 0.0f64..20.0,
+        n_seed in 0usize..10,
+    ) {
+        let cpu = PowerLaw::cubic(3.2).build_model(1000.0, levels).unwrap();
+        let n = n_seed % cpu.level_count();
+        prop_assert!(cpu.stretch_saving(work, n) >= -1e-12);
+    }
+}

@@ -1,0 +1,70 @@
+//! Harvested-energy prediction `ÊS(t1, t2)`.
+//!
+//! The schedulers need the future harvested energy between "now" and a
+//! job's deadline (paper eq. 5/9). Real systems estimate it by tracing
+//! the source's power profile (paper §3.1, ref \[9\]); the simulator feeds
+//! every completed profile segment to the predictor via
+//! [`EnergyPredictor::observe`], and the scheduler queries
+//! [`EnergyPredictor::predict_energy`].
+
+mod biased;
+mod ewma;
+mod moving_average;
+mod oracle;
+mod persistence;
+
+pub use biased::BiasedPredictor;
+pub use ewma::EwmaSlotPredictor;
+pub use moving_average::MovingAveragePredictor;
+pub use oracle::OraclePredictor;
+pub use persistence::PersistencePredictor;
+
+use harvest_sim::piecewise::Segment;
+use harvest_sim::time::SimTime;
+
+/// Estimates the energy the source will deliver over a future window.
+pub trait EnergyPredictor {
+    /// Feeds one completed constant-power stretch of the realized
+    /// profile. Segments arrive in increasing time order and do not
+    /// overlap.
+    fn observe(&mut self, segment: Segment);
+
+    /// Predicted harvested energy `ÊS(from, until)`; must be finite and
+    /// non-negative for `until ≥ from`.
+    fn predict_energy(&self, from: SimTime, until: SimTime) -> f64;
+
+    /// Short name for reports.
+    fn name(&self) -> &str {
+        "predictor"
+    }
+}
+
+impl<P: EnergyPredictor + ?Sized> EnergyPredictor for Box<P> {
+    fn observe(&mut self, segment: Segment) {
+        (**self).observe(segment);
+    }
+
+    fn predict_energy(&self, from: SimTime, until: SimTime) -> f64 {
+        (**self).predict_energy(from, until)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use harvest_sim::piecewise::Segment;
+    use harvest_sim::time::SimTime;
+
+    /// Builds a segment `[a, b)` with value `v` (units of whole time
+    /// units).
+    pub fn seg(a: i64, b: i64, v: f64) -> Segment {
+        Segment {
+            start: SimTime::from_whole_units(a),
+            end: SimTime::from_whole_units(b),
+            value: v,
+        }
+    }
+}

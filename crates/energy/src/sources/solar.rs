@@ -1,0 +1,159 @@
+//! The paper's stochastic solar model (eq. 13).
+
+use harvest_sim::time::SimTime;
+use rand::rngs::StdRng;
+
+use crate::rand_util::standard_normal;
+use crate::source::HarvestSource;
+
+/// Stochastic solar source following the paper's generator (§5.1,
+/// eq. 13):
+///
+/// ```text
+/// PS(t) = A · N(t) · cos(t/τ) · cos(t/τ),   N(t) ~ N(0, 1)
+/// ```
+///
+/// with `A = 10` and `τ = 70π` in the paper. `N(t)` is redrawn per
+/// sample, capturing the fast stochastic component (clouds); the squared
+/// cosine is the slow deterministic envelope (diurnal sweep, period
+/// `π·τ ≈ 691` time units between nulls).
+///
+/// Figure 5 of the paper shows a strictly non-negative profile, so the
+/// normal factor is clamped at zero (`max(N, 0)`); the substitution is
+/// recorded in DESIGN.md. The resulting long-run mean power is
+/// `A/√(2π) · 1/2 ≈ 0.1995·A` (≈ 2.0 for the paper's `A = 10`).
+///
+/// # Examples
+///
+/// ```
+/// use harvest_energy::source::sample_profile;
+/// use harvest_energy::sources::SolarModel;
+/// use harvest_sim::time::{SimDuration, SimTime};
+///
+/// let mut solar = SolarModel::paper();
+/// let profile = sample_profile(
+///     &mut solar,
+///     SimTime::ZERO,
+///     SimDuration::from_whole_units(10_000),
+///     SimDuration::from_whole_units(1),
+///     1,
+/// )?;
+/// let mean = profile.domain_mean();
+/// assert!(mean > 1.5 && mean < 2.5, "mean {mean}");
+/// # Ok::<(), harvest_sim::piecewise::PiecewiseError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolarModel {
+    amplitude: f64,
+    time_scale: f64,
+}
+
+impl SolarModel {
+    /// Creates a solar model with envelope `amplitude · cos²(t /
+    /// time_scale)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is non-positive or not finite.
+    pub fn new(amplitude: f64, time_scale: f64) -> Self {
+        assert!(amplitude.is_finite() && amplitude > 0.0, "amplitude must be positive");
+        assert!(time_scale.is_finite() && time_scale > 0.0, "time scale must be positive");
+        SolarModel { amplitude, time_scale }
+    }
+
+    /// The paper's parameters: `A = 10`, `τ = 70π` (eq. 13).
+    pub fn paper() -> Self {
+        SolarModel::new(10.0, 70.0 * std::f64::consts::PI)
+    }
+
+    /// The stochastic amplitude `A`.
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+
+    /// The envelope time scale `τ`.
+    pub fn time_scale(&self) -> f64 {
+        self.time_scale
+    }
+
+    /// Expected long-run mean power,
+    /// `A · E[max(N,0)] · E[cos²] = A · (1/√(2π)) · (1/2)`.
+    pub fn expected_mean_power(&self) -> f64 {
+        self.amplitude * 0.5 / std::f64::consts::TAU.sqrt()
+    }
+
+    /// Deterministic envelope value at `t` (the cos² factor).
+    pub fn envelope(&self, t: SimTime) -> f64 {
+        let c = (t.as_units() / self.time_scale).cos();
+        c * c
+    }
+}
+
+impl HarvestSource for SolarModel {
+    fn draw(&mut self, t: SimTime, rng: &mut StdRng) -> f64 {
+        let n = standard_normal(rng).max(0.0);
+        self.amplitude * n * self.envelope(t)
+    }
+
+    fn name(&self) -> &str {
+        "solar-eq13"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::sample_profile;
+    use harvest_sim::time::SimDuration;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_is_non_negative_and_bounded_by_amplitude_tail() {
+        let mut s = SolarModel::paper();
+        let mut rng = StdRng::seed_from_u64(3);
+        for t in 0..2_000 {
+            let p = s.draw(SimTime::from_whole_units(t), &mut rng);
+            assert!(p >= 0.0);
+            assert!(p < 10.0 * 6.0, "6-sigma bound breached: {p}");
+        }
+    }
+
+    #[test]
+    fn envelope_nulls_at_quarter_period() {
+        let s = SolarModel::new(10.0, 100.0);
+        // cos(t/100) = 0 at t = 50π.
+        let t = SimTime::from_units(50.0 * std::f64::consts::PI);
+        assert!(s.envelope(t) < 1e-12);
+        assert!((s.envelope(SimTime::ZERO) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_run_mean_near_two_for_paper_params() {
+        let p = sample_profile(
+            &mut SolarModel::paper(),
+            SimTime::ZERO,
+            SimDuration::from_whole_units(50_000),
+            SimDuration::from_whole_units(1),
+            17,
+        )
+        .unwrap();
+        let mean = p.domain_mean();
+        // E = 10 · E[max(N,0)] · E[cos²] = 10 · 0.3989 · 0.5 ≈ 1.99
+        assert!((mean - 1.99).abs() < 0.15, "mean {mean}");
+        assert!((SolarModel::paper().expected_mean_power() - 1.994).abs() < 1e-2);
+    }
+
+    #[test]
+    fn paper_parameters() {
+        let s = SolarModel::paper();
+        assert_eq!(s.amplitude(), 10.0);
+        assert!((s.time_scale() - 219.911).abs() < 1e-2);
+        assert_eq!(s.name(), "solar-eq13");
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn rejects_zero_amplitude() {
+        let _ = SolarModel::new(0.0, 1.0);
+    }
+}

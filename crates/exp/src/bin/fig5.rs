@@ -1,0 +1,28 @@
+//! Figure 5 — energy source behaviour: one realization of the paper's
+//! eq. 13 solar generator over 10 000 time units.
+
+use harvest_exp::cli::CliArgs;
+use harvest_exp::figures::source_figure;
+use harvest_exp::report::{ascii_plot, fmt_num, Table};
+
+fn main() {
+    let args = CliArgs::parse(1);
+    let fig = source_figure(args.seed, 10_000);
+
+    println!("Figure 5: energy source behaviour (eq. 13, seed {})", args.seed);
+    println!();
+    // Plot a 200-point decimation so the terminal plot stays readable.
+    let stride = fig.power.len() / 200;
+    let decimated: Vec<f64> = fig.power.iter().step_by(stride.max(1)).copied().collect();
+    println!("{}", ascii_plot(&[("PS(t)", &decimated)], "t (x50 units)", 100, 16));
+    println!("mean power  : {}", fmt_num(fig.mean));
+    println!("peak power  : {}", fmt_num(fig.max));
+    println!("paper shape : spiky, cos^2 envelope, peaks near 20, mean ~2");
+
+    let mut csv = Table::new(vec!["t", "ps"]);
+    for (t, p) in fig.times.iter().zip(&fig.power) {
+        csv.row(vec![fmt_num(*t), fmt_num(*p)]);
+    }
+    args.maybe_write_csv(&csv.to_csv());
+    args.maybe_write_json("fig5", &fig);
+}

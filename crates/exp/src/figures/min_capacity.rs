@@ -1,0 +1,131 @@
+//! Table 1: minimum storage capacity for a zero deadline-miss rate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::parallel::parallel_map;
+use crate::scenario::{PaperScenario, PolicyKind};
+
+/// One utilization row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MinCapacityRow {
+    /// Workload utilization.
+    pub utilization: f64,
+    /// `C_min` for LSA.
+    pub cmin_lsa: f64,
+    /// `C_min` for EA-DVFS.
+    pub cmin_ea_dvfs: f64,
+    /// The paper's reported quantity `C_min,LSA / C_min,EA-DVFS`.
+    pub ratio: f64,
+}
+
+/// Data behind Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinCapacityTable {
+    /// One row per swept utilization.
+    pub rows: Vec<MinCapacityRow>,
+    /// Task sets every capacity must satisfy miss-free.
+    pub trials: usize,
+}
+
+/// Binary-searches the smallest capacity at which **every** seeded trial
+/// of the scenario runs without a deadline miss.
+///
+/// Returns `f64::INFINITY` if even `max_capacity` still misses.
+///
+/// # Panics
+///
+/// Panics if `trials` or `threads` is zero, or tolerances are
+/// non-positive.
+pub fn min_zero_miss_capacity(
+    policy: PolicyKind,
+    utilization: f64,
+    trials: usize,
+    threads: usize,
+    max_capacity: f64,
+    rel_tol: f64,
+) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    assert!(rel_tol > 0.0, "tolerance must be positive");
+    let miss_free = |capacity: f64| -> bool {
+        let rates = parallel_map(0..trials as u64, threads, |seed| {
+            PaperScenario::new(utilization, capacity).run(policy, seed).missed()
+        });
+        rates.into_iter().all(|missed| missed == 0)
+    };
+    // Exponential search for an upper bound.
+    let mut lo = 0.0_f64;
+    let mut hi = 100.0_f64;
+    while !miss_free(hi) {
+        lo = hi;
+        hi *= 2.0;
+        if hi > max_capacity {
+            return f64::INFINITY;
+        }
+    }
+    // Bisection down to the relative tolerance.
+    while hi - lo > rel_tol * hi {
+        let mid = 0.5 * (lo + hi);
+        if miss_free(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// Reproduces Table 1: `C_min,LSA / C_min,EA-DVFS` for each utilization.
+///
+/// # Panics
+///
+/// Panics if `utilizations` is empty or `trials`/`threads` is zero.
+pub fn min_capacity_table(
+    utilizations: &[f64],
+    trials: usize,
+    threads: usize,
+) -> MinCapacityTable {
+    assert!(!utilizations.is_empty(), "need at least one utilization");
+    let rows = utilizations
+        .iter()
+        .map(|&u| {
+            let cmin_lsa =
+                min_zero_miss_capacity(PolicyKind::Lsa, u, trials, threads, 1e7, 0.005);
+            let cmin_ea =
+                min_zero_miss_capacity(PolicyKind::EaDvfs, u, trials, threads, 1e7, 0.005);
+            MinCapacityRow {
+                utilization: u,
+                cmin_lsa,
+                cmin_ea_dvfs: cmin_ea,
+                ratio: cmin_lsa / cmin_ea,
+            }
+        })
+        .collect();
+    MinCapacityTable { rows, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_is_monotone_consistent() {
+        // With one seed the search must return a capacity at which the
+        // trial is indeed miss-free, and slightly below it must miss.
+        let c = min_zero_miss_capacity(PolicyKind::Lsa, 0.4, 1, 2, 1e7, 0.01);
+        assert!(c.is_finite() && c > 0.0, "cmin {c}");
+        let at = PaperScenario::new(0.4, c).run(PolicyKind::Lsa, 0);
+        assert!(at.is_miss_free(), "cmin must be miss-free");
+    }
+
+    /// Shrunk Table 1 headline: at low utilization EA-DVFS needs a
+    /// markedly smaller store than LSA.
+    #[test]
+    fn ea_dvfs_needs_less_storage_at_low_utilization() {
+        let lsa = min_zero_miss_capacity(PolicyKind::Lsa, 0.2, 2, 2, 1e7, 0.01);
+        let ea = min_zero_miss_capacity(PolicyKind::EaDvfs, 0.2, 2, 2, 1e7, 0.01);
+        assert!(
+            lsa > ea * 1.1,
+            "LSA should need notably more storage (lsa {lsa:.1} vs ea {ea:.1})"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Figures 8–9: deadline miss rate vs. normalized storage capacity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::parallel::parallel_map;
+use crate::scenario::{PaperScenario, PolicyKind};
+
+/// One capacity point of a miss-rate sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissRateRow {
+    /// Absolute capacity.
+    pub capacity: f64,
+    /// Capacity normalized by the sweep maximum (the paper's x axis).
+    pub normalized_capacity: f64,
+    /// Mean miss rate per policy, in `policies` order.
+    pub miss_rates: Vec<f64>,
+}
+
+/// Data behind Figures 8 (U = 0.4) and 9 (U = 0.8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissRateFigure {
+    /// Workload utilization.
+    pub utilization: f64,
+    /// Policies, in row order.
+    pub policies: Vec<PolicyKind>,
+    /// One row per swept capacity, ascending.
+    pub rows: Vec<MissRateRow>,
+    /// Task sets per capacity point.
+    pub trials: usize,
+}
+
+impl MissRateFigure {
+    /// Mean miss rate of `policy` across all capacities.
+    pub fn mean_miss_rate(&self, policy: PolicyKind) -> Option<f64> {
+        let idx = self.policies.iter().position(|&p| p == policy)?;
+        let sum: f64 = self.rows.iter().map(|r| r.miss_rates[idx]).sum();
+        Some(sum / self.rows.len() as f64)
+    }
+
+    /// The miss-rate curve of `policy` (aligned with `rows`).
+    pub fn curve(&self, policy: PolicyKind) -> Option<Vec<f64>> {
+        let idx = self.policies.iter().position(|&p| p == policy)?;
+        Some(self.rows.iter().map(|r| r.miss_rates[idx]).collect())
+    }
+}
+
+/// The capacity sweep used for Figs. 8–9 (denser at the small end where
+/// the curves move fastest; maximum matches the paper's 5 000).
+pub(crate) fn sweep_capacities() -> Vec<f64> {
+    vec![
+        50.0, 100.0, 200.0, 300.0, 500.0, 750.0, 1000.0, 1500.0, 2000.0, 3000.0, 4000.0,
+        5000.0,
+    ]
+}
+
+/// Reproduces Fig. 8/9 for the given utilization.
+///
+/// # Panics
+///
+/// Panics if `trials` or `threads` is zero.
+pub fn miss_rate_figure(
+    utilization: f64,
+    policies: &[PolicyKind],
+    trials: usize,
+    threads: usize,
+) -> MissRateFigure {
+    assert!(trials > 0, "need at least one trial");
+    let capacities = sweep_capacities();
+    let max_capacity = capacities.last().copied().expect("non-empty sweep");
+    let jobs: Vec<(usize, f64, PolicyKind, u64)> = capacities
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, &c)| {
+            policies.iter().flat_map(move |&p| (0..trials as u64).map(move |s| (ci, c, p, s)))
+        })
+        .collect();
+    let rates = parallel_map(jobs.clone(), threads, |(_, capacity, policy, seed)| {
+        PaperScenario::new(utilization, capacity).run(policy, seed).miss_rate()
+    });
+    let mut rows: Vec<MissRateRow> = capacities
+        .iter()
+        .map(|&c| MissRateRow {
+            capacity: c,
+            normalized_capacity: c / max_capacity,
+            miss_rates: vec![0.0; policies.len()],
+        })
+        .collect();
+    for ((ci, _, policy, _), rate) in jobs.into_iter().zip(rates) {
+        let pi = policies.iter().position(|&p| p == policy).expect("policy in list");
+        rows[ci].miss_rates[pi] += rate / trials as f64;
+    }
+    MissRateFigure { utilization, policies: policies.to_vec(), rows, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_ascending_and_normalized() {
+        let caps = sweep_capacities();
+        assert!(caps.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*caps.last().unwrap(), 5000.0);
+    }
+
+    /// Shrunk Fig. 8 headline: at U = 0.4, EA-DVFS misses markedly fewer
+    /// deadlines than LSA.
+    #[test]
+    fn ea_dvfs_beats_lsa_at_low_utilization() {
+        let fig = miss_rate_figure(0.4, &[PolicyKind::Lsa, PolicyKind::EaDvfs], 3, 2);
+        let lsa = fig.mean_miss_rate(PolicyKind::Lsa).unwrap();
+        let ea = fig.mean_miss_rate(PolicyKind::EaDvfs).unwrap();
+        assert!(
+            ea < lsa,
+            "EA-DVFS should miss less (ea {ea:.3} vs lsa {lsa:.3})"
+        );
+        // Monotone-ish: the largest capacity should not miss more than
+        // the smallest.
+        let curve = fig.curve(PolicyKind::EaDvfs).unwrap();
+        assert!(curve.last().unwrap() <= curve.first().unwrap());
+    }
+}

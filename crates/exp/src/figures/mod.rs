@@ -1,0 +1,26 @@
+//! Reproduction of every figure and table in the paper's evaluation
+//! (§5).
+//!
+//! | Paper artifact | Function | Binary |
+//! |----------------|----------|--------|
+//! | Fig. 5 (source behaviour)        | [`source_figure`] | `fig5` |
+//! | Fig. 6 (remaining energy, U=0.4) | [`remaining_energy_figure`] | `fig6` |
+//! | Fig. 7 (remaining energy, U=0.8) | [`remaining_energy_figure`] | `fig7` |
+//! | Fig. 8 (miss rate, U=0.4)        | [`miss_rate_figure`] | `fig8` |
+//! | Fig. 9 (miss rate, U=0.8)        | [`miss_rate_figure`] | `fig9` |
+//! | Table 1 (min storage ratio)      | [`min_capacity_table`] | `table1` |
+
+mod min_capacity;
+mod miss_rate;
+mod remaining_energy;
+mod source;
+
+pub use min_capacity::{min_capacity_table, min_zero_miss_capacity, MinCapacityRow,
+    MinCapacityTable};
+pub use miss_rate::{miss_rate_figure, MissRateFigure, MissRateRow};
+pub use remaining_energy::{remaining_energy_figure, RemainingEnergyFigure};
+pub use source::{source_figure, SourceFigure};
+
+/// The storage capacities the paper sweeps for the remaining-energy
+/// curves (§5.2).
+pub const PAPER_CAPACITIES: [f64; 7] = [200.0, 300.0, 500.0, 1000.0, 2000.0, 3000.0, 5000.0];

@@ -1,0 +1,149 @@
+//! Figures 6–7: normalized remaining energy over time.
+//!
+//! The paper's procedure (§5.2): run each task set against every
+//! capacity in [`super::PAPER_CAPACITIES`]; normalize each run's stored
+//! energy by its capacity; average all normalized curves with equal
+//! weight.
+
+use harvest_sim::stats::SampledSeries;
+use harvest_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::parallel::parallel_map;
+use crate::scenario::{PaperScenario, PolicyKind};
+
+/// Data behind Figures 6 (U = 0.4) and 7 (U = 0.8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RemainingEnergyFigure {
+    /// Workload utilization.
+    pub utilization: f64,
+    /// Sample instants (whole time units).
+    pub times: Vec<f64>,
+    /// Mean normalized remaining energy per policy, aligned with
+    /// `times`.
+    pub series: Vec<(PolicyKind, Vec<f64>)>,
+    /// Task sets per capacity point.
+    pub trials: usize,
+    /// Capacities averaged over.
+    pub capacities: Vec<f64>,
+    /// Time-averaged normalized level per capacity per policy,
+    /// `per_capacity[c][p]` aligned with `capacities` × `series` — the
+    /// gap between policies concentrates at the small capacities.
+    pub per_capacity: Vec<Vec<f64>>,
+}
+
+impl RemainingEnergyFigure {
+    /// The curve for one policy, if present.
+    pub fn curve(&self, policy: PolicyKind) -> Option<&[f64]> {
+        self.series.iter().find(|(p, _)| *p == policy).map(|(_, v)| v.as_slice())
+    }
+
+    /// Time-averaged normalized remaining energy for one policy.
+    pub fn mean_level(&self, policy: PolicyKind) -> Option<f64> {
+        self.curve(policy).map(|c| c.iter().sum::<f64>() / c.len() as f64)
+    }
+}
+
+/// Reproduces Fig. 6/7 for the given utilization.
+///
+/// `trials` task sets are run per capacity per policy;
+/// `sample_interval` sets the curve resolution (the paper plots ~100
+/// points over 10 000 units).
+///
+/// # Panics
+///
+/// Panics if `trials` or `threads` is zero.
+pub fn remaining_energy_figure(
+    utilization: f64,
+    policies: &[PolicyKind],
+    trials: usize,
+    threads: usize,
+    sample_interval_units: i64,
+) -> RemainingEnergyFigure {
+    assert!(trials > 0, "need at least one trial");
+    let capacities = super::PAPER_CAPACITIES.to_vec();
+    let horizon_units = 10_000;
+    let points = (horizon_units / sample_interval_units) as usize;
+    let grid_start = SimTime::ZERO;
+    let grid_step = SimDuration::from_whole_units(sample_interval_units);
+
+    let mut series = Vec::new();
+    let mut per_capacity = vec![vec![0.0; policies.len()]; capacities.len()];
+    for (pi, &policy) in policies.iter().enumerate() {
+        // One (capacity, seed) job per run; all runs independent.
+        let jobs: Vec<(usize, f64, u64)> = capacities
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, &c)| (0..trials as u64).map(move |s| (ci, c, s)))
+            .collect();
+        let runs = parallel_map(jobs, threads, |(ci, capacity, seed)| {
+            let scenario = PaperScenario::new(utilization, capacity)
+                .with_sampling(sample_interval_units);
+            let result = scenario.run(policy, seed);
+            let samples: Vec<f64> = result
+                .normalized_samples(capacity)
+                .into_iter()
+                .map(|(_, v)| v)
+                .collect();
+            (ci, samples)
+        });
+        let mut acc = SampledSeries::new(grid_start, grid_step, points);
+        for (ci, samples) in &runs {
+            acc.accumulate(samples);
+            let run_mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+            per_capacity[*ci][pi] += run_mean / trials as f64;
+        }
+        series.push((policy, acc.mean_values()));
+    }
+    RemainingEnergyFigure {
+        utilization,
+        times: (0..points).map(|k| (k as i64 * sample_interval_units) as f64).collect(),
+        series,
+        trials,
+        capacities,
+        per_capacity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small but real instance of the Fig. 6 headline: at U = 0.4 the
+    /// EA-DVFS system stores significantly more energy than LSA.
+    #[test]
+    fn ea_dvfs_stores_more_at_low_utilization() {
+        let fig = remaining_energy_figure(
+            0.4,
+            &[PolicyKind::Lsa, PolicyKind::EaDvfs],
+            3,
+            2,
+            500,
+        );
+        let lsa = fig.mean_level(PolicyKind::Lsa).unwrap();
+        let ea = fig.mean_level(PolicyKind::EaDvfs).unwrap();
+        assert!(
+            ea > lsa,
+            "EA-DVFS should retain more energy (ea {ea:.3} vs lsa {lsa:.3})"
+        );
+        assert_eq!(fig.times.len(), 20);
+        assert!(fig.curve(PolicyKind::Edf).is_none());
+        // Per-capacity breakdown is filled and bounded.
+        assert_eq!(fig.per_capacity.len(), fig.capacities.len());
+        for row in &fig.per_capacity {
+            assert_eq!(row.len(), 2);
+            for &v in row {
+                assert!((0.0..=1.0 + 1e-9).contains(&v), "mean level {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn curves_start_full() {
+        let fig = remaining_energy_figure(0.4, &[PolicyKind::EaDvfs], 2, 2, 1000);
+        let c = fig.curve(PolicyKind::EaDvfs).unwrap();
+        // Storage starts full in every run → the first sample is 1.0.
+        assert!((c[0] - 1.0).abs() < 1e-9, "first sample {}", c[0]);
+        assert!(c.iter().all(|&v| (0.0..=1.0 + 1e-9).contains(&v)));
+    }
+}

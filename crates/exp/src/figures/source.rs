@@ -1,0 +1,70 @@
+//! Figure 5: one realization of the eq. 13 solar source.
+
+use harvest_energy::sources::SolarModel;
+use harvest_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use harvest_energy::source::sample_profile;
+
+/// Data behind Figure 5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceFigure {
+    /// Sample instants (whole time units).
+    pub times: Vec<f64>,
+    /// Sampled power `PS(t)`.
+    pub power: Vec<f64>,
+    /// Mean power of the realization (the `P̄s` the workload generator
+    /// uses).
+    pub mean: f64,
+    /// Peak power of the realization.
+    pub max: f64,
+}
+
+/// Samples the paper's solar generator over `[0, horizon_units)` with a
+/// 1-unit step (the paper's Fig. 5 shows 10 000 units).
+///
+/// # Panics
+///
+/// Panics if `horizon_units` is not positive.
+pub fn source_figure(seed: u64, horizon_units: i64) -> SourceFigure {
+    assert!(horizon_units > 0, "horizon must be positive");
+    let profile = sample_profile(
+        &mut SolarModel::paper(),
+        SimTime::ZERO,
+        SimDuration::from_whole_units(horizon_units),
+        SimDuration::from_whole_units(1),
+        seed,
+    )
+    .expect("figure grid is valid");
+    let power: Vec<f64> = profile.values().to_vec();
+    let times: Vec<f64> = (0..horizon_units).map(|t| t as f64).collect();
+    SourceFigure {
+        mean: profile.domain_mean(),
+        max: profile.domain_max(),
+        times,
+        power,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_matches_paper_envelope() {
+        let f = source_figure(1, 10_000);
+        assert_eq!(f.times.len(), 10_000);
+        assert_eq!(f.power.len(), 10_000);
+        // Fig. 5 shows peaks near 20 and non-negative output.
+        assert!(f.max > 10.0 && f.max < 60.0, "max {}", f.max);
+        assert!(f.power.iter().all(|&p| p >= 0.0));
+        // Mean ≈ 2 (the analytic value for eq. 13 with clamping).
+        assert!((f.mean - 2.0).abs() < 0.3, "mean {}", f.mean);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(source_figure(4, 100), source_figure(4, 100));
+        assert_ne!(source_figure(4, 100), source_figure(5, 100));
+    }
+}

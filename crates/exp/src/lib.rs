@@ -1,0 +1,39 @@
+//! # harvest-exp — the paper's evaluation, regenerated
+//!
+//! Everything needed to reproduce §5 of the EA-DVFS paper:
+//!
+//! * [`scenario`] — the §5.1 setup (XScale CPU, eq. 13 solar source,
+//!   5-task workloads, 10 000-unit horizon) behind one seeded knob.
+//! * [`figures`] — one function per paper figure/table (Figs. 5–9,
+//!   Table 1).
+//! * [`parallel`] — deterministic multi-threaded trial fan-out.
+//! * [`report`] — aligned tables, ASCII plots, CSV.
+//! * [`cli`] — the uniform flags of the `fig5`…`table1` binaries.
+//!
+//! Binaries (in this crate): `fig5`, `fig6`, `fig7`, `fig8`, `fig9`,
+//! `table1`, and `repro-all` which runs the whole evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use harvest_exp::scenario::{PaperScenario, PolicyKind};
+//!
+//! // One seeded trial of the Fig. 8 setting (U = 0.4, C = 500).
+//! let result = PaperScenario::new(0.4, 500.0).run(PolicyKind::EaDvfs, 0);
+//! assert!(result.released() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cli;
+pub mod figures;
+pub mod parallel;
+pub mod record;
+pub mod report;
+pub mod scenario;
+
+pub use figures::{
+    min_capacity_table, miss_rate_figure, remaining_energy_figure, source_figure,
+};
+pub use scenario::{PaperScenario, PolicyKind, PredictorKind};

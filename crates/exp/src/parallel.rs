@@ -1,0 +1,109 @@
+//! Tiny deterministic parallel-map over trial seeds.
+
+/// Applies `f` to every item, fanning work out over `threads` OS threads
+/// while preserving input order in the output.
+///
+/// Results are deterministic: the mapping from item to result does not
+/// depend on scheduling, only the wall-clock does.
+///
+/// # Panics
+///
+/// Propagates panics from `f` and panics if `threads == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let squares = harvest_exp::parallel::parallel_map(0..8u64, 4, |x| x * x);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn parallel_map<I, T, R, F>(items: I, threads: usize, f: F) -> Vec<R>
+where
+    I: IntoIterator<Item = T>,
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    let items: Vec<T> = items.into_iter().collect();
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.min(items.len());
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let chunk = n.div_euclid(threads) + usize::from(n % threads != 0);
+    let mut chunks: Vec<&mut [Option<R>]> = Vec::new();
+    let mut rest: &mut [Option<R>] = &mut slots;
+    while !rest.is_empty() {
+        let take = chunk.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        chunks.push(head);
+        rest = tail;
+    }
+    let mut work_chunks: Vec<Vec<(usize, T)>> = Vec::new();
+    let mut it = work.into_iter();
+    loop {
+        let batch: Vec<(usize, T)> = it.by_ref().take(chunk).collect();
+        if batch.is_empty() {
+            break;
+        }
+        work_chunks.push(batch);
+    }
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        for (out, batch) in chunks.into_iter().zip(work_chunks) {
+            scope.spawn(move |_| {
+                for (slot, (_, item)) in out.iter_mut().zip(batch) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+}
+
+/// A sensible default worker count: the machine's parallelism, capped at
+/// 16 (the experiment runs are short; more threads only add overhead).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get()).min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map(0..100u32, 7, |x| x + 1);
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = parallel_map(vec!["a", "b"], 1, |s| s.to_uppercase());
+        assert_eq!(out, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u8> = parallel_map(Vec::<u8>::new(), 4, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(0..3u8, 16, |x| x * 2);
+        assert_eq!(out, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

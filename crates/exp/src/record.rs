@@ -1,0 +1,90 @@
+//! Machine-readable experiment records.
+//!
+//! Every figure/table struct in [`crate::figures`] derives `Serialize`;
+//! this module wraps one in a provenance envelope and writes it as
+//! pretty JSON so downstream tooling (plotting scripts, regression
+//! dashboards) can consume reproduction outputs without parsing text
+//! reports.
+
+use std::io;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// Provenance envelope around a serialized experiment artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct Record<T> {
+    /// Artifact identifier, e.g. `"fig8"`.
+    pub name: String,
+    /// Workspace version that produced the record.
+    pub produced_by: String,
+    /// Trials per experimental point.
+    pub trials: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// The artifact itself.
+    pub data: T,
+}
+
+impl<T: Serialize> Record<T> {
+    /// Wraps `data` with provenance.
+    pub fn new(name: &str, trials: usize, seed: u64, data: T) -> Self {
+        Record {
+            name: name.to_owned(),
+            produced_by: format!("harvest-rt {}", env!("CARGO_PKG_VERSION")),
+            trials,
+            seed,
+            data,
+        }
+    }
+
+    /// Serializes the record as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures (cannot occur for the figure
+    /// types in this crate, which contain only plain data).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Writes the record to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the filesystem.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        let json = self.to_json().map_err(io::Error::other)?;
+        std::fs::write(path, json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::source_figure;
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let fig = source_figure(3, 50);
+        let record = Record::new("fig5", 1, 3, fig.clone());
+        let json = record.to_json().unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["name"], "fig5");
+        assert_eq!(value["seed"], 3);
+        assert_eq!(value["data"]["power"].as_array().unwrap().len(), 50);
+        assert!(value["produced_by"].as_str().unwrap().starts_with("harvest-rt"));
+    }
+
+    #[test]
+    fn write_to_creates_file() {
+        let dir = std::env::temp_dir().join("harvest_rt_record_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig5.json");
+        let record = Record::new("fig5", 1, 0, source_figure(0, 10));
+        record.write_to(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert!(back.contains("\"fig5\""));
+        std::fs::remove_file(&path).ok();
+    }
+}

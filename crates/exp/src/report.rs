@@ -1,0 +1,204 @@
+//! Plain-text reporting: aligned tables, ASCII line plots, CSV.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use harvest_exp::report::Table;
+///
+/// let mut t = Table::new(vec!["U", "ratio"]);
+/// t.row(vec!["0.2".into(), "2.50".into()]);
+/// let s = t.render();
+/// assert!(s.contains("ratio"));
+/// assert!(s.contains("2.50"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for i in 0..cols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:>width$}", cells[i], width = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (comma-separated, no quoting — callers
+    /// keep cells comma-free).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders one or more named series as an ASCII line plot.
+///
+/// Each series must have the same length; x is the sample index mapped
+/// to `x_label` ticks. Distinct series use distinct glyphs; overlapping
+/// points show the later series' glyph.
+///
+/// # Panics
+///
+/// Panics if no series are given, lengths differ, or a series is empty.
+///
+/// # Examples
+///
+/// ```
+/// use harvest_exp::report::ascii_plot;
+///
+/// let plot = ascii_plot(
+///     &[("up", &[0.0, 0.5, 1.0][..]), ("down", &[1.0, 0.5, 0.0][..])],
+///     "t",
+///     20,
+///     8,
+/// );
+/// assert!(plot.contains("up"));
+/// ```
+pub fn ascii_plot(series: &[(&str, &[f64])], x_label: &str, width: usize, height: usize) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    let n = series[0].1.len();
+    assert!(n > 0, "series must be non-empty");
+    assert!(series.iter().all(|(_, s)| s.len() == n), "series length mismatch");
+    assert!(width >= 2 && height >= 2, "plot must be at least 2x2");
+
+    const GLYPHS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+    let lo = series
+        .iter()
+        .flat_map(|(_, s)| s.iter().copied())
+        .fold(f64::INFINITY, f64::min)
+        .min(0.0);
+    let hi = series
+        .iter()
+        .flat_map(|(_, s)| s.iter().copied())
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(lo + 1e-12);
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (i, &v) in s.iter().enumerate() {
+            let x = if n == 1 { 0 } else { i * (width - 1) / (n - 1) };
+            let frac = (v - lo) / (hi - lo);
+            let y = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            grid[y.min(height - 1)][x] = glyph;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{hi:>10.3} ┤");
+    for row in &grid {
+        out.push_str("           │");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    let _ = writeln!(out, "{lo:>10.3} ┤{}", "─".repeat(width));
+    let _ = writeln!(out, "            {x_label} →");
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "            {} {name}", GLYPHS[si % GLYPHS.len()]);
+    }
+    out
+}
+
+/// Formats a float with 4 significant decimals, trimming trailing zeros.
+pub fn fmt_num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e12 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(vec!["a", "bbbb"]);
+        t.row(vec!["123".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("bbbb"));
+        assert!(lines[2].ends_with("   1"));
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new(vec!["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new(vec!["only"]);
+        t.row(vec!["a".into(), "b".into()]);
+    }
+
+    #[test]
+    fn plot_contains_all_series_labels() {
+        let p = ascii_plot(&[("alpha", &[1.0, 2.0][..]), ("beta", &[2.0, 1.0][..])], "t", 10, 4);
+        assert!(p.contains("alpha") && p.contains("beta"));
+        assert!(p.contains('*') && p.contains('+'));
+    }
+
+    #[test]
+    fn plot_handles_flat_series() {
+        let p = ascii_plot(&[("flat", &[0.5, 0.5, 0.5][..])], "t", 12, 4);
+        assert!(p.contains('*'));
+    }
+
+    #[test]
+    fn fmt_num_trims() {
+        assert_eq!(fmt_num(3.0), "3");
+        assert_eq!(fmt_num(0.25), "0.2500");
+    }
+}

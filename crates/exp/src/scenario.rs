@@ -1,0 +1,285 @@
+//! The paper's §5.1 simulation scenario, packaged.
+//!
+//! One *trial* = one seed → one solar realization (eq. 13), one random
+//! task set (5 periodic tasks by default, scaled to the target
+//! utilization), one 10 000-unit closed-loop run per policy.
+
+use harvest_core::config::SystemConfig;
+use harvest_core::policies::{
+    EaDvfsScheduler, EdfScheduler, GreedyStretchScheduler, LazyScheduler,
+};
+use harvest_core::result::SimResult;
+use harvest_core::scheduler::Scheduler;
+use harvest_core::system::simulate;
+use harvest_cpu::{presets, CpuModel};
+use harvest_energy::predictor::{
+    EnergyPredictor, EwmaSlotPredictor, MovingAveragePredictor, OraclePredictor,
+    PersistencePredictor,
+};
+use harvest_energy::source::sample_profile;
+use harvest_energy::sources::SolarModel;
+use harvest_energy::storage::StorageSpec;
+use harvest_sim::piecewise::PiecewiseConstant;
+use harvest_sim::time::{SimDuration, SimTime};
+use harvest_task::generator::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// The scheduling policies the experiments compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Plain EDF at full speed.
+    Edf,
+    /// Lazy scheduling (LSA) — the paper's baseline.
+    Lsa,
+    /// The paper's EA-DVFS.
+    EaDvfs,
+    /// EA-DVFS without the `s2` cap (§4.3 strawman, ablation only).
+    GreedyStretch,
+}
+
+impl PolicyKind {
+    /// All policies, in report order.
+    pub const ALL: [PolicyKind; 4] =
+        [PolicyKind::Edf, PolicyKind::Lsa, PolicyKind::EaDvfs, PolicyKind::GreedyStretch];
+
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn Scheduler> {
+        match self {
+            PolicyKind::Edf => Box::new(EdfScheduler::new()),
+            PolicyKind::Lsa => Box::new(LazyScheduler::new()),
+            PolicyKind::EaDvfs => Box::new(EaDvfsScheduler::new()),
+            PolicyKind::GreedyStretch => Box::new(GreedyStretchScheduler::new()),
+        }
+    }
+
+    /// The policy's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Edf => "edf",
+            PolicyKind::Lsa => "lsa",
+            PolicyKind::EaDvfs => "ea-dvfs",
+            PolicyKind::GreedyStretch => "greedy-stretch",
+        }
+    }
+}
+
+/// The harvested-energy predictors available to the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum PredictorKind {
+    /// Clairvoyant profile tracing (the reproduction default; see
+    /// DESIGN.md).
+    #[default]
+    Oracle,
+    /// Kansal-style slotted EWMA over the solar quasi-period.
+    Ewma,
+    /// Trailing moving average (window in time units).
+    MovingAverage {
+        /// Window length in whole time units.
+        window: i64,
+    },
+    /// Last observed power persists.
+    Persistence,
+    /// The oracle scaled by a constant factor — systematic optimism
+    /// (`factor > 1`) or pessimism (`factor < 1`) for robustness
+    /// studies.
+    Biased {
+        /// Multiplicative prediction bias.
+        factor: f64,
+    },
+}
+
+impl PredictorKind {
+    /// Instantiates the predictor for a given realized profile.
+    pub fn build(self, profile: &PiecewiseConstant) -> Box<dyn EnergyPredictor> {
+        match self {
+            PredictorKind::Oracle => Box::new(OraclePredictor::new(profile.clone())),
+            PredictorKind::Ewma => {
+                // The eq. 13 envelope cos²(t/70π) has period π·70π ≈ 691;
+                // 48 slots of ~14.4 units resolve it well.
+                let period = SimDuration::from_units(
+                    std::f64::consts::PI * 70.0 * std::f64::consts::PI,
+                );
+                let slots = 48;
+                let period = SimDuration::from_ticks(
+                    period.as_ticks() / slots as i64 * slots as i64,
+                );
+                let mut p = EwmaSlotPredictor::new(period, slots, 0.3);
+                // Seed with the climatological mean so the first cycle is
+                // not flying blind.
+                let mean = profile.domain_mean();
+                p.seed_estimates(&vec![mean; slots]);
+                Box::new(p)
+            }
+            PredictorKind::MovingAverage { window } => {
+                Box::new(MovingAveragePredictor::new(SimDuration::from_whole_units(window)))
+            }
+            PredictorKind::Persistence => Box::new(PersistencePredictor::new()),
+            PredictorKind::Biased { factor } => Box::new(
+                harvest_energy::predictor::BiasedPredictor::new(
+                    OraclePredictor::new(profile.clone()),
+                    factor,
+                ),
+            ),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictorKind::Oracle => "oracle",
+            PredictorKind::Ewma => "ewma",
+            PredictorKind::MovingAverage { .. } => "moving-average",
+            PredictorKind::Persistence => "persistence",
+            PredictorKind::Biased { .. } => "biased-oracle",
+        }
+    }
+}
+
+/// A fully specified §5.1 scenario (everything but the seed and policy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PaperScenario {
+    /// Number of periodic tasks (paper figures use 5).
+    pub num_tasks: usize,
+    /// Target utilization `U`.
+    pub utilization: f64,
+    /// Storage capacity `C`.
+    pub capacity: f64,
+    /// Simulation horizon in whole time units (paper: 10 000).
+    pub horizon_units: i64,
+    /// Storage sampling interval in whole time units, if the run should
+    /// record the remaining-energy curve.
+    pub sample_interval_units: Option<i64>,
+    /// Solar sampling step in whole time units (paper: 1).
+    pub source_dt_units: i64,
+    /// Predictor to drive the policies with.
+    pub predictor: PredictorKind,
+}
+
+impl PaperScenario {
+    /// The paper's defaults for a given utilization and capacity:
+    /// 5 tasks, 10 000-unit horizon, 1-unit source sampling, oracle
+    /// predictor.
+    pub fn new(utilization: f64, capacity: f64) -> Self {
+        PaperScenario {
+            num_tasks: 5,
+            utilization,
+            capacity,
+            horizon_units: 10_000,
+            sample_interval_units: None,
+            source_dt_units: 1,
+            predictor: PredictorKind::default(),
+        }
+    }
+
+    /// Enables remaining-energy sampling on the given grid.
+    pub fn with_sampling(mut self, interval_units: i64) -> Self {
+        self.sample_interval_units = Some(interval_units);
+        self
+    }
+
+    /// Swaps the predictor.
+    pub fn with_predictor(mut self, predictor: PredictorKind) -> Self {
+        self.predictor = predictor;
+        self
+    }
+
+    /// The processor all scenarios use (the paper's XScale table).
+    pub fn cpu(&self) -> CpuModel {
+        presets::xscale()
+    }
+
+    /// Samples the trial's solar realization.
+    pub fn profile(&self, seed: u64) -> PiecewiseConstant {
+        sample_profile(
+            &mut SolarModel::paper(),
+            SimTime::ZERO,
+            SimDuration::from_whole_units(self.horizon_units),
+            SimDuration::from_whole_units(self.source_dt_units),
+            seed,
+        )
+        .expect("paper scenario grid is valid")
+    }
+
+    /// Generates the trial's task set, sized against the realized mean
+    /// harvest power (§5.1).
+    pub fn taskset(&self, seed: u64, profile: &PiecewiseConstant) -> harvest_task::TaskSet {
+        let cpu = self.cpu();
+        let spec = WorkloadSpec::paper(
+            self.num_tasks,
+            self.utilization,
+            profile.domain_mean(),
+            cpu.max_power(),
+        );
+        // Decorrelate the workload stream from the solar stream.
+        spec.generate(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    /// Runs one policy on one seeded trial.
+    pub fn run(&self, policy: PolicyKind, seed: u64) -> SimResult {
+        let profile = self.profile(seed);
+        let tasks = self.taskset(seed, &profile);
+        let mut config = SystemConfig::new(
+            self.cpu(),
+            StorageSpec::ideal(self.capacity),
+            SimDuration::from_whole_units(self.horizon_units),
+        );
+        if let Some(dt) = self.sample_interval_units {
+            config = config.with_sample_interval(SimDuration::from_whole_units(dt));
+        }
+        let predictor = self.predictor.build(&profile);
+        simulate(config, &tasks, profile, policy.build(), predictor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_build_with_matching_names() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.build().name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let s = PaperScenario::new(0.4, 500.0);
+        let a = s.run(PolicyKind::EaDvfs, 7);
+        let b = s.run(PolicyKind::EaDvfs, 7);
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.energy, b.energy);
+    }
+
+    #[test]
+    fn seeds_vary_workload() {
+        let s = PaperScenario::new(0.4, 500.0);
+        let a = s.run(PolicyKind::Lsa, 1);
+        let b = s.run(PolicyKind::Lsa, 2);
+        assert_ne!(a.jobs.len(), 0);
+        assert_ne!(a.jobs, b.jobs);
+    }
+
+    #[test]
+    fn sampling_produces_grid() {
+        let s = PaperScenario::new(0.4, 500.0).with_sampling(500);
+        let r = s.run(PolicyKind::EaDvfs, 3);
+        assert_eq!(r.samples.len(), 20);
+    }
+
+    #[test]
+    fn predictors_build() {
+        let s = PaperScenario::new(0.4, 500.0);
+        let profile = s.profile(0);
+        for kind in [
+            PredictorKind::Oracle,
+            PredictorKind::Ewma,
+            PredictorKind::MovingAverage { window: 100 },
+            PredictorKind::Persistence,
+        ] {
+            let p = kind.build(&profile);
+            let e = p.predict_energy(SimTime::ZERO, SimTime::from_whole_units(10));
+            assert!(e >= 0.0 && e.is_finite(), "{}: {e}", kind.name());
+        }
+    }
+}

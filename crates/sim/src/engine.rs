@@ -1,0 +1,263 @@
+//! A minimal generic discrete-event engine.
+//!
+//! [`Engine`] owns the clock and the event queue and repeatedly hands the
+//! earliest event to a user-supplied [`Model`]. The model reacts by
+//! scheduling further events through the [`Scheduler`] context. The
+//! closed-loop harvesting simulator in `harvest-core` is built on this.
+
+use crate::event::{EventId, EventQueue};
+use crate::time::SimTime;
+
+/// Scheduling context handed to [`Model::handle`].
+///
+/// Wraps the event queue so the model can schedule and cancel events but
+/// cannot pop them or rewind the clock.
+#[derive(Debug)]
+pub struct Scheduler<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    now: SimTime,
+    stop: &'a mut bool,
+}
+
+impl<E> Scheduler<'_, E> {
+    /// The current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        self.queue.schedule(at, payload)
+    }
+
+    /// Cancels a pending event; returns `true` if it was still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Requests the engine to stop after the current event is handled.
+    pub fn request_stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// A simulation model driven by an [`Engine`].
+pub trait Model {
+    /// Event payload type.
+    type Event;
+
+    /// Handles one event at time `now`, scheduling follow-ups via `ctx`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, ctx: &mut Scheduler<'_, Self::Event>);
+}
+
+/// Outcome of [`Engine::run_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained before the horizon.
+    Drained {
+        /// Time of the last handled event.
+        last_event: Option<SimTime>,
+    },
+    /// The horizon was reached with events still pending.
+    HorizonReached,
+    /// The model requested a stop.
+    Stopped {
+        /// Time at which the stop was requested.
+        at: SimTime,
+    },
+}
+
+/// Discrete-event engine binding a clock, an [`EventQueue`], and a
+/// [`Model`].
+///
+/// # Examples
+///
+/// ```
+/// use harvest_sim::engine::{Engine, Model, RunOutcome, Scheduler};
+/// use harvest_sim::time::{SimDuration, SimTime};
+///
+/// /// Counts down, rescheduling itself every time unit.
+/// struct Countdown(u32);
+///
+/// impl Model for Countdown {
+///     type Event = ();
+///     fn handle(&mut self, now: SimTime, _: (), ctx: &mut Scheduler<'_, ()>) {
+///         self.0 -= 1;
+///         if self.0 > 0 {
+///             ctx.schedule(now + SimDuration::from_whole_units(1), ());
+///         }
+///     }
+/// }
+///
+/// let mut engine = Engine::new(Countdown(3));
+/// engine.schedule(SimTime::ZERO, ());
+/// let outcome = engine.run_until(SimTime::from_whole_units(100));
+/// assert_eq!(outcome, RunOutcome::Drained { last_event: Some(SimTime::from_whole_units(2)) });
+/// assert_eq!(engine.model().0, 0);
+/// ```
+#[derive(Debug)]
+pub struct Engine<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    now: SimTime,
+    handled: u64,
+}
+
+impl<M: Model> Engine<M> {
+    /// Creates an engine at time zero with an empty queue.
+    pub fn new(model: M) -> Self {
+        Engine { model, queue: EventQueue::new(), now: SimTime::ZERO, handled: 0 }
+    }
+
+    /// Schedules an initial event (usable before and between runs).
+    pub fn schedule(&mut self, at: SimTime, payload: M::Event) -> EventId {
+        self.queue.schedule(at, payload)
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events handled so far.
+    pub fn events_handled(&self) -> u64 {
+        self.handled
+    }
+
+    /// Shared access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive access to the model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Runs until the queue drains, the model requests a stop, or the next
+    /// event would fire at or after `horizon`. Events exactly at the
+    /// horizon are *not* handled, so `[0, horizon)` is simulated.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        let mut stop = false;
+        loop {
+            match self.queue.peek_time() {
+                None => {
+                    let last = self.queue.current_time();
+                    return RunOutcome::Drained { last_event: last };
+                }
+                Some(t) if t >= horizon => {
+                    self.now = horizon;
+                    return RunOutcome::HorizonReached;
+                }
+                Some(_) => {}
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event present");
+            self.now = t;
+            self.handled += 1;
+            let mut ctx = Scheduler { queue: &mut self.queue, now: t, stop: &mut stop };
+            self.model.handle(t, ev, &mut ctx);
+            if stop {
+                return RunOutcome::Stopped { at: t };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+        stop_on: Option<u32>,
+    }
+
+    impl Model for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, ctx: &mut Scheduler<'_, u32>) {
+            self.seen.push((now, ev));
+            if self.stop_on == Some(ev) {
+                ctx.request_stop();
+            }
+        }
+    }
+
+    fn t(u: i64) -> SimTime {
+        SimTime::from_whole_units(u)
+    }
+
+    #[test]
+    fn drains_in_order() {
+        let mut e = Engine::new(Recorder { seen: vec![], stop_on: None });
+        e.schedule(t(2), 20);
+        e.schedule(t(1), 10);
+        let out = e.run_until(t(100));
+        assert_eq!(out, RunOutcome::Drained { last_event: Some(t(2)) });
+        assert_eq!(e.model().seen, vec![(t(1), 10), (t(2), 20)]);
+        assert_eq!(e.events_handled(), 2);
+    }
+
+    #[test]
+    fn horizon_excludes_boundary_event() {
+        let mut e = Engine::new(Recorder { seen: vec![], stop_on: None });
+        e.schedule(t(5), 1);
+        e.schedule(t(10), 2);
+        let out = e.run_until(t(10));
+        assert_eq!(out, RunOutcome::HorizonReached);
+        assert_eq!(e.model().seen, vec![(t(5), 1)]);
+        assert_eq!(e.now(), t(10));
+    }
+
+    #[test]
+    fn stop_request_halts_immediately() {
+        let mut e = Engine::new(Recorder { seen: vec![], stop_on: Some(1) });
+        e.schedule(t(1), 1);
+        e.schedule(t(2), 2);
+        let out = e.run_until(t(100));
+        assert_eq!(out, RunOutcome::Stopped { at: t(1) });
+        assert_eq!(e.model().seen.len(), 1);
+    }
+
+    #[test]
+    fn self_scheduling_model() {
+        struct Ticker {
+            remaining: u32,
+        }
+        impl Model for Ticker {
+            type Event = ();
+            fn handle(&mut self, now: SimTime, _: (), ctx: &mut Scheduler<'_, ()>) {
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    ctx.schedule(now + SimDuration::from_whole_units(1), ());
+                }
+            }
+        }
+        let mut e = Engine::new(Ticker { remaining: 5 });
+        e.schedule(SimTime::ZERO, ());
+        e.run_until(SimTime::from_whole_units(100));
+        assert_eq!(e.model().remaining, 0);
+        assert_eq!(e.events_handled(), 6);
+    }
+
+    #[test]
+    fn resume_after_horizon() {
+        let mut e = Engine::new(Recorder { seen: vec![], stop_on: None });
+        e.schedule(t(5), 1);
+        e.run_until(t(3));
+        assert!(e.model().seen.is_empty());
+        e.run_until(t(10));
+        assert_eq!(e.model().seen, vec![(t(5), 1)]);
+    }
+}

@@ -1,0 +1,261 @@
+//! A deterministic, cancellable event queue.
+//!
+//! Events fire in time order; ties are broken by insertion order, so a
+//! simulation run is a pure function of its inputs. Cancellation is lazy:
+//! a cancelled entry stays in the heap and is skipped on pop.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled event, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// Ordering is on (time, seq) only; payload does not participate.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events with stable tie-breaking and
+/// O(log n) scheduling.
+///
+/// # Examples
+///
+/// ```
+/// use harvest_sim::event::EventQueue;
+/// use harvest_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_whole_units(5), "later");
+/// q.schedule(SimTime::from_whole_units(1), "sooner");
+/// let (t, ev) = q.pop().unwrap();
+/// assert_eq!((t, ev), (SimTime::from_whole_units(1), "sooner"));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    last_popped: Option<SimTime>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            last_popped: None,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`, returning a cancellation
+    /// handle. Events scheduled for the same instant fire in scheduling
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` lies before the last popped event — the past is
+    /// immutable in a discrete-event simulation.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        if let Some(last) = self.last_popped {
+            assert!(
+                time >= last,
+                "cannot schedule an event at {time} before the current time {last}"
+            );
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, payload }));
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// had not yet fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.last_popped = Some(entry.time);
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// Time of the earliest pending event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Time of the most recently popped event, i.e. "now" from the
+    /// queue's perspective.
+    pub fn current_time(&self) -> Option<SimTime> {
+        self.last_popped
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(u: i64) -> SimTime {
+        SimTime::from_whole_units(u)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3), 'c');
+        q.schedule(t(1), 'a');
+        q.schedule(t(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), 1);
+        q.schedule(t(5), 2);
+        q.schedule(t(5), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(t(1), "dead");
+        q.schedule(t(2), "alive");
+        assert!(q.cancel(id));
+        assert!(!q.cancel(id), "double cancel reports false");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("alive"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn len_accounts_for_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), ());
+        q.schedule(t(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), ());
+        q.schedule(t(7), ());
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(7)));
+    }
+
+    #[test]
+    fn current_time_tracks_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(t(4), ());
+        assert_eq!(q.current_time(), None);
+        q.pop();
+        assert_eq!(q.current_time(), Some(t(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "before the current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), ());
+        q.pop();
+        q.schedule(t(5), ());
+    }
+
+    #[test]
+    fn same_instant_as_current_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 1);
+        q.pop();
+        q.schedule(t(10), 2);
+        assert_eq!(q.pop(), Some((t(10), 2)));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1), ());
+        q.schedule(t(2), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(99)));
+    }
+}

@@ -1,0 +1,686 @@
+//! Piecewise-constant functions of simulated time.
+//!
+//! Harvest-power profiles are represented as piecewise-constant functions
+//! so that every energy integral `∫ P(t) dt` and every linear crossing
+//! time can be evaluated in closed form — the whole simulation stack stays
+//! exact and deterministic.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// How a [`PiecewiseConstant`] behaves outside the interval covered by its
+/// breakpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Extension {
+    /// Hold the first value before the domain and the last value after it.
+    #[default]
+    Hold,
+    /// The function is zero outside its domain.
+    Zero,
+    /// The profile repeats with its domain length as period.
+    ///
+    /// The domain must have positive length for this to be meaningful;
+    /// construction enforces it.
+    Cycle,
+}
+
+/// Error constructing a [`PiecewiseConstant`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PiecewiseError {
+    /// The breakpoint list was empty or had fewer entries than values
+    /// require (`n + 1` breakpoints for `n` values).
+    LengthMismatch {
+        /// Number of breakpoints supplied.
+        breakpoints: usize,
+        /// Number of segment values supplied.
+        values: usize,
+    },
+    /// Breakpoints were not strictly increasing.
+    NotIncreasing {
+        /// Index of the first offending breakpoint.
+        index: usize,
+    },
+    /// A segment value was NaN or infinite.
+    NonFiniteValue {
+        /// Index of the offending value.
+        index: usize,
+    },
+    /// [`Extension::Cycle`] requires a domain of positive length.
+    EmptyCycle,
+}
+
+impl fmt::Display for PiecewiseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PiecewiseError::LengthMismatch { breakpoints, values } => write!(
+                f,
+                "piecewise function needs exactly one more breakpoint than values \
+                 (got {breakpoints} breakpoints for {values} values)"
+            ),
+            PiecewiseError::NotIncreasing { index } => {
+                write!(f, "breakpoints must be strictly increasing (violated at index {index})")
+            }
+            PiecewiseError::NonFiniteValue { index } => {
+                write!(f, "segment value at index {index} is not finite")
+            }
+            PiecewiseError::EmptyCycle => {
+                write!(f, "cyclic extension requires a domain of positive length")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PiecewiseError {}
+
+/// A piecewise-constant function `f: SimTime → f64`.
+///
+/// The function takes value `values[i]` on the half-open interval
+/// `[breakpoints[i], breakpoints[i+1])`; behaviour outside
+/// `[breakpoints[0], breakpoints[n])` is governed by the [`Extension`].
+///
+/// # Examples
+///
+/// ```
+/// use harvest_sim::piecewise::{Extension, PiecewiseConstant};
+/// use harvest_sim::time::SimTime;
+///
+/// // 2.0 on [0,10), 0.5 on [10,20), held constant outside.
+/// let f = PiecewiseConstant::new(
+///     vec![SimTime::ZERO, SimTime::from_whole_units(10), SimTime::from_whole_units(20)],
+///     vec![2.0, 0.5],
+///     Extension::Hold,
+/// )?;
+/// assert_eq!(f.value_at(SimTime::from_whole_units(3)), 2.0);
+/// assert_eq!(f.value_at(SimTime::from_whole_units(10)), 0.5);
+/// // ∫ over [5,15) = 5·2.0 + 5·0.5
+/// let e = f.integrate(SimTime::from_whole_units(5), SimTime::from_whole_units(15));
+/// assert!((e - 12.5).abs() < 1e-12);
+/// # Ok::<(), harvest_sim::piecewise::PiecewiseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseConstant {
+    breakpoints: Vec<SimTime>,
+    values: Vec<f64>,
+    extension: Extension,
+}
+
+/// One maximal constant stretch of a [`PiecewiseConstant`] restricted to a
+/// query window, as yielded by [`PiecewiseConstant::segments_between`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Segment start (inclusive).
+    pub start: SimTime,
+    /// Segment end (exclusive).
+    pub end: SimTime,
+    /// Function value over `[start, end)`.
+    pub value: f64,
+}
+
+impl Segment {
+    /// Length of the segment.
+    #[inline]
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Integral of the function over this segment.
+    #[inline]
+    pub fn integral(&self) -> f64 {
+        self.value * self.duration().as_units()
+    }
+}
+
+impl PiecewiseConstant {
+    /// Creates a piecewise-constant function.
+    ///
+    /// `breakpoints` must be strictly increasing and contain exactly one
+    /// more element than `values`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PiecewiseError`] on length mismatch, non-monotone
+    /// breakpoints, non-finite values, or an empty domain with
+    /// [`Extension::Cycle`].
+    pub fn new(
+        breakpoints: Vec<SimTime>,
+        values: Vec<f64>,
+        extension: Extension,
+    ) -> Result<Self, PiecewiseError> {
+        if breakpoints.len() != values.len() + 1 || values.is_empty() {
+            return Err(PiecewiseError::LengthMismatch {
+                breakpoints: breakpoints.len(),
+                values: values.len(),
+            });
+        }
+        for (i, w) in breakpoints.windows(2).enumerate() {
+            if w[0] >= w[1] {
+                return Err(PiecewiseError::NotIncreasing { index: i + 1 });
+            }
+        }
+        if let Some(index) = values.iter().position(|v| !v.is_finite()) {
+            return Err(PiecewiseError::NonFiniteValue { index });
+        }
+        if extension == Extension::Cycle && breakpoints.first() == breakpoints.last() {
+            return Err(PiecewiseError::EmptyCycle);
+        }
+        Ok(PiecewiseConstant { breakpoints, values, extension })
+    }
+
+    /// A function that is `value` everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn constant(value: f64) -> Self {
+        assert!(value.is_finite(), "constant value must be finite");
+        PiecewiseConstant {
+            breakpoints: vec![SimTime::ZERO, SimTime::from_whole_units(1)],
+            values: vec![value],
+            extension: Extension::Hold,
+        }
+    }
+
+    /// Builds a profile from equally spaced samples starting at `start`,
+    /// each sample holding for `dt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PiecewiseError`] if `samples` is empty, `dt` is not
+    /// positive, or a sample is not finite.
+    pub fn from_samples(
+        start: SimTime,
+        dt: SimDuration,
+        samples: Vec<f64>,
+        extension: Extension,
+    ) -> Result<Self, PiecewiseError> {
+        if samples.is_empty() || !dt.is_positive() {
+            return Err(PiecewiseError::LengthMismatch { breakpoints: 0, values: samples.len() });
+        }
+        let mut breakpoints = Vec::with_capacity(samples.len() + 1);
+        let mut t = start;
+        for _ in 0..=samples.len() {
+            breakpoints.push(t);
+            t += dt;
+        }
+        PiecewiseConstant::new(breakpoints, samples, extension)
+    }
+
+    /// Start of the explicitly defined domain.
+    #[inline]
+    pub fn domain_start(&self) -> SimTime {
+        self.breakpoints[0]
+    }
+
+    /// End of the explicitly defined domain (exclusive).
+    #[inline]
+    pub fn domain_end(&self) -> SimTime {
+        *self.breakpoints.last().expect("non-empty by construction")
+    }
+
+    /// The extension rule in force outside the domain.
+    #[inline]
+    pub fn extension(&self) -> Extension {
+        self.extension
+    }
+
+    /// Number of constant segments in the explicit domain.
+    #[inline]
+    pub fn segment_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The segment values in the explicit domain.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mean value of the function over its explicit domain.
+    pub fn domain_mean(&self) -> f64 {
+        let len = (self.domain_end() - self.domain_start()).as_units();
+        self.integrate(self.domain_start(), self.domain_end()) / len
+    }
+
+    /// Maximum value over the explicit domain.
+    pub fn domain_max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum value over the explicit domain.
+    pub fn domain_min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Value of the function at instant `t`.
+    pub fn value_at(&self, t: SimTime) -> f64 {
+        let (t, outside) = self.fold_into_domain(t);
+        match outside {
+            Outside::Before => match self.extension {
+                Extension::Hold => self.values[0],
+                Extension::Zero => 0.0,
+                Extension::Cycle => unreachable!("cycle folding maps into domain"),
+            },
+            Outside::After => match self.extension {
+                Extension::Hold => *self.values.last().expect("non-empty"),
+                Extension::Zero => 0.0,
+                Extension::Cycle => unreachable!("cycle folding maps into domain"),
+            },
+            Outside::Inside => {
+                // partition_point returns the count of breakpoints <= t;
+                // segment index is that count minus one.
+                let idx = self.breakpoints.partition_point(|&b| b <= t) - 1;
+                self.values[idx.min(self.values.len() - 1)]
+            }
+        }
+    }
+
+    /// Exact integral of the function over `[t1, t2)`.
+    ///
+    /// Returns a negated integral when `t2 < t1`.
+    pub fn integrate(&self, t1: SimTime, t2: SimTime) -> f64 {
+        if t2 < t1 {
+            return -self.integrate(t2, t1);
+        }
+        self.segments_between(t1, t2).map(|s| s.integral()).sum()
+    }
+
+    /// Iterates the maximal constant stretches of the function restricted
+    /// to the window `[t1, t2)`, in order, covering it exactly.
+    pub fn segments_between(&self, t1: SimTime, t2: SimTime) -> Segments<'_> {
+        Segments { f: self, cursor: t1, end: t2 }
+    }
+
+    /// Earliest `t ≥ from` at which the *accumulated* value
+    /// `acc(t) = initial + ∫_from^t (f(u) + offset) du`, clamped to
+    /// `[0, cap]` along the way, first reaches `target`.
+    ///
+    /// This is the primitive behind "when does the storage fill/empty"
+    /// queries: `offset` is the (negated) constant drain, `cap` the
+    /// storage capacity. Returns `None` if the level never reaches
+    /// `target` before `horizon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is negative, or `initial`/`target` fall outside
+    /// `[0, cap]`.
+    pub fn first_accumulation_crossing(
+        &self,
+        from: SimTime,
+        horizon: SimTime,
+        initial: f64,
+        offset: f64,
+        cap: f64,
+        target: f64,
+    ) -> Option<SimTime> {
+        assert!(cap >= 0.0, "capacity must be non-negative");
+        assert!((0.0..=cap).contains(&initial), "initial level outside [0, cap]");
+        assert!((0.0..=cap).contains(&target), "target level outside [0, cap]");
+        let mut level = initial;
+        if level == target {
+            return Some(from);
+        }
+        for seg in self.segments_between(from, horizon) {
+            let rate = seg.value + offset;
+            let span = seg.duration().as_units();
+            let unclamped_end = level + rate * span;
+            let crossed = if rate > 0.0 {
+                target > level && target <= unclamped_end.min(cap) + 1e-15
+            } else if rate < 0.0 {
+                target < level && target >= unclamped_end.max(0.0) - 1e-15
+            } else {
+                false
+            };
+            if crossed {
+                let dt = (target - level) / rate;
+                let t = SimTime::from_units_ceil(seg.start.as_units() + dt);
+                return Some(t.min(seg.end).max(seg.start));
+            }
+            level = unclamped_end.clamp(0.0, cap);
+        }
+        None
+    }
+
+    #[inline]
+    fn fold_into_domain(&self, t: SimTime) -> (SimTime, Outside) {
+        let start = self.domain_start();
+        let end = self.domain_end();
+        if t >= start && t < end {
+            return (t, Outside::Inside);
+        }
+        match self.extension {
+            Extension::Cycle => {
+                let period = (end - start).as_ticks();
+                let rel = (t - start).as_ticks().rem_euclid(period);
+                (start + SimDuration::from_ticks(rel), Outside::Inside)
+            }
+            _ if t < start => (t, Outside::Before),
+            _ => (t, Outside::After),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outside {
+    Inside,
+    Before,
+    After,
+}
+
+/// Iterator over [`Segment`]s, produced by
+/// [`PiecewiseConstant::segments_between`].
+#[derive(Debug)]
+pub struct Segments<'a> {
+    f: &'a PiecewiseConstant,
+    cursor: SimTime,
+    end: SimTime,
+}
+
+impl Iterator for Segments<'_> {
+    type Item = Segment;
+
+    fn next(&mut self) -> Option<Segment> {
+        if self.cursor >= self.end {
+            return None;
+        }
+        let start = self.cursor;
+        let value = self.f.value_at(start);
+        let next_change = self.f.next_breakpoint_after(start).unwrap_or(SimTime::MAX);
+        let end = next_change.min(self.end);
+        debug_assert!(end > start, "segment iterator must make progress");
+        self.cursor = end;
+        Some(Segment { start, end, value })
+    }
+}
+
+impl PiecewiseConstant {
+    /// Earliest breakpoint strictly after `t` at which the value may
+    /// change, taking the extension rule into account. `None` means the
+    /// function is constant for all time after `t`.
+    pub fn next_breakpoint_after(&self, t: SimTime) -> Option<SimTime> {
+        let start = self.domain_start();
+        let end = self.domain_end();
+        match self.extension {
+            Extension::Cycle => {
+                let period = (end - start).as_ticks();
+                let rel = (t - start).as_ticks().rem_euclid(period);
+                let base = t - SimDuration::from_ticks(rel);
+                // Find the first breakpoint within the current cycle image
+                // strictly after `rel`, else wrap to the next cycle start.
+                let folded = start + SimDuration::from_ticks(rel);
+                let idx = self.breakpoints.partition_point(|&b| b <= folded);
+                let next_rel = if idx < self.breakpoints.len() {
+                    (self.breakpoints[idx] - start).as_ticks()
+                } else {
+                    period
+                };
+                Some(base + SimDuration::from_ticks(next_rel))
+            }
+            _ => {
+                if t < start {
+                    return Some(start);
+                }
+                let idx = self.breakpoints.partition_point(|&b| b <= t);
+                if idx < self.breakpoints.len() {
+                    Some(self.breakpoints[idx])
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_fn() -> PiecewiseConstant {
+        PiecewiseConstant::new(
+            vec![
+                SimTime::ZERO,
+                SimTime::from_whole_units(10),
+                SimTime::from_whole_units(20),
+                SimTime::from_whole_units(30),
+            ],
+            vec![2.0, 0.5, 4.0],
+            Extension::Hold,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_lengths() {
+        let err = PiecewiseConstant::new(vec![SimTime::ZERO], vec![], Extension::Hold);
+        assert!(matches!(err, Err(PiecewiseError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn construction_validates_monotonicity() {
+        let err = PiecewiseConstant::new(
+            vec![SimTime::ZERO, SimTime::ZERO],
+            vec![1.0],
+            Extension::Hold,
+        );
+        assert!(matches!(err, Err(PiecewiseError::NotIncreasing { index: 1 })));
+    }
+
+    #[test]
+    fn construction_validates_values() {
+        let err = PiecewiseConstant::new(
+            vec![SimTime::ZERO, SimTime::from_whole_units(1)],
+            vec![f64::NAN],
+            Extension::Hold,
+        );
+        assert!(matches!(err, Err(PiecewiseError::NonFiniteValue { index: 0 })));
+    }
+
+    #[test]
+    fn value_lookup_half_open_intervals() {
+        let f = sample_fn();
+        assert_eq!(f.value_at(SimTime::ZERO), 2.0);
+        assert_eq!(f.value_at(SimTime::from_units(9.999_999)), 2.0);
+        assert_eq!(f.value_at(SimTime::from_whole_units(10)), 0.5);
+        assert_eq!(f.value_at(SimTime::from_whole_units(29)), 4.0);
+    }
+
+    #[test]
+    fn hold_extension_clamps_both_sides() {
+        let f = sample_fn();
+        assert_eq!(f.value_at(SimTime::from_whole_units(-5)), 2.0);
+        assert_eq!(f.value_at(SimTime::from_whole_units(99)), 4.0);
+    }
+
+    #[test]
+    fn zero_extension_vanishes_outside() {
+        let f = PiecewiseConstant::new(
+            vec![SimTime::ZERO, SimTime::from_whole_units(10)],
+            vec![3.0],
+            Extension::Zero,
+        )
+        .unwrap();
+        assert_eq!(f.value_at(SimTime::from_whole_units(-1)), 0.0);
+        assert_eq!(f.value_at(SimTime::from_whole_units(10)), 0.0);
+        assert_eq!(f.integrate(SimTime::from_whole_units(-5), SimTime::from_whole_units(15)), 30.0);
+    }
+
+    #[test]
+    fn cycle_extension_repeats() {
+        let f = PiecewiseConstant::new(
+            vec![SimTime::ZERO, SimTime::from_whole_units(1), SimTime::from_whole_units(2)],
+            vec![1.0, 5.0],
+            Extension::Cycle,
+        )
+        .unwrap();
+        assert_eq!(f.value_at(SimTime::from_whole_units(4)), 1.0);
+        assert_eq!(f.value_at(SimTime::from_whole_units(5)), 5.0);
+        assert_eq!(f.value_at(SimTime::from_whole_units(-1)), 5.0);
+        // One full period integrates to 6 regardless of phase.
+        let e = f.integrate(SimTime::from_units(3.5), SimTime::from_units(5.5));
+        assert!((e - 6.0).abs() < 1e-9, "got {e}");
+    }
+
+    #[test]
+    fn integral_matches_hand_computation() {
+        let f = sample_fn();
+        let e = f.integrate(SimTime::from_whole_units(5), SimTime::from_whole_units(25));
+        // 5·2.0 + 10·0.5 + 5·4.0 = 35
+        assert!((e - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reversed_integral_negates() {
+        let f = sample_fn();
+        let fwd = f.integrate(SimTime::ZERO, SimTime::from_whole_units(30));
+        let back = f.integrate(SimTime::from_whole_units(30), SimTime::ZERO);
+        assert_eq!(fwd, -back);
+    }
+
+    #[test]
+    fn segments_cover_window_exactly() {
+        let f = sample_fn();
+        let segs: Vec<_> = f
+            .segments_between(SimTime::from_whole_units(5), SimTime::from_whole_units(25))
+            .collect();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].start, SimTime::from_whole_units(5));
+        assert_eq!(segs[2].end, SimTime::from_whole_units(25));
+        for w in segs.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn segments_beyond_domain_use_extension() {
+        let f = sample_fn();
+        let segs: Vec<_> = f
+            .segments_between(SimTime::from_whole_units(25), SimTime::from_whole_units(45))
+            .collect();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[1].value, 4.0);
+        assert_eq!(segs[1].end, SimTime::from_whole_units(45));
+    }
+
+    #[test]
+    fn from_samples_builds_uniform_grid() {
+        let f = PiecewiseConstant::from_samples(
+            SimTime::ZERO,
+            SimDuration::from_whole_units(2),
+            vec![1.0, 2.0, 3.0],
+            Extension::Hold,
+        )
+        .unwrap();
+        assert_eq!(f.domain_end(), SimTime::from_whole_units(6));
+        assert_eq!(f.value_at(SimTime::from_whole_units(3)), 2.0);
+        assert!((f.domain_mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_fill_time() {
+        // Charge at net +2 from level 1 toward target 5: takes 2 units.
+        let f = PiecewiseConstant::constant(3.0);
+        let t = f
+            .first_accumulation_crossing(
+                SimTime::ZERO,
+                SimTime::from_whole_units(100),
+                1.0,
+                -1.0, // drain 1 → net +2
+                10.0,
+                5.0,
+            )
+            .unwrap();
+        assert_eq!(t, SimTime::from_whole_units(2));
+    }
+
+    #[test]
+    fn crossing_depletion_time_across_segments() {
+        // 0 harvest for 3 units, then 1.0; drain 2.0; start level 4.
+        // Level: 4 - 2t on [0,3) → 1 at t=3? No: 4-6 = -2 clamps at t=2.
+        let f = PiecewiseConstant::new(
+            vec![SimTime::ZERO, SimTime::from_whole_units(3), SimTime::from_whole_units(10)],
+            vec![0.0, 1.0],
+            Extension::Hold,
+        )
+        .unwrap();
+        let t = f
+            .first_accumulation_crossing(
+                SimTime::ZERO,
+                SimTime::from_whole_units(10),
+                4.0,
+                -2.0,
+                100.0,
+                0.0,
+            )
+            .unwrap();
+        assert_eq!(t, SimTime::from_whole_units(2));
+    }
+
+    #[test]
+    fn crossing_unreachable_returns_none() {
+        let f = PiecewiseConstant::constant(1.0);
+        // Net rate zero: never reaches the target.
+        let t = f.first_accumulation_crossing(
+            SimTime::ZERO,
+            SimTime::from_whole_units(50),
+            1.0,
+            -1.0,
+            10.0,
+            5.0,
+        );
+        assert_eq!(t, None);
+    }
+
+    #[test]
+    fn crossing_respects_clamping() {
+        // Strong drain empties the store in segment 1; recovery in
+        // segment 2 must start from 0, not from the unclamped negative.
+        let f = PiecewiseConstant::new(
+            vec![SimTime::ZERO, SimTime::from_whole_units(5), SimTime::from_whole_units(100)],
+            vec![0.0, 2.0],
+            Extension::Hold,
+        )
+        .unwrap();
+        let t = f
+            .first_accumulation_crossing(
+                SimTime::ZERO,
+                SimTime::from_whole_units(100),
+                3.0,
+                -1.0,
+                10.0,
+                4.0,
+            )
+            .unwrap();
+        // Level hits 0 at t=3, stays 0 until 5, then rises at +1/unit:
+        // reaches 4 at t=9.
+        assert_eq!(t, SimTime::from_whole_units(9));
+    }
+
+    #[test]
+    fn next_breakpoint_cycle_wraps() {
+        let f = PiecewiseConstant::new(
+            vec![SimTime::ZERO, SimTime::from_whole_units(2), SimTime::from_whole_units(3)],
+            vec![1.0, 2.0],
+            Extension::Cycle,
+        )
+        .unwrap();
+        assert_eq!(
+            f.next_breakpoint_after(SimTime::from_whole_units(4)),
+            Some(SimTime::from_whole_units(5))
+        );
+        assert_eq!(
+            f.next_breakpoint_after(SimTime::from_whole_units(5)),
+            Some(SimTime::from_whole_units(6))
+        );
+    }
+
+    #[test]
+    fn domain_stats() {
+        let f = sample_fn();
+        assert_eq!(f.domain_max(), 4.0);
+        assert_eq!(f.domain_min(), 0.5);
+        let mean = f.domain_mean();
+        assert!((mean - (20.0 + 5.0 + 40.0) / 30.0).abs() < 1e-12);
+    }
+}

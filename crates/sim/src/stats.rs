@@ -1,0 +1,416 @@
+//! Small statistics toolkit used by the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use harvest_sim::stats::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "observation must be finite, got {x}");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divides by `n`).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n − 1`; 0 when `n < 2`).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sample_std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of an approximate 95% confidence interval on the mean
+    /// (normal approximation, `1.96 · SE`).
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_error()
+    }
+
+    /// Smallest observation (∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = RunningStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// A value sampled on a fixed uniform time grid, supporting point-wise
+/// averaging across many runs.
+///
+/// Used for the paper's remaining-energy curves (Figs. 6–7): each trial
+/// produces one grid of samples; grids are averaged point-wise.
+///
+/// # Examples
+///
+/// ```
+/// use harvest_sim::stats::SampledSeries;
+/// use harvest_sim::time::{SimDuration, SimTime};
+///
+/// let mut acc = SampledSeries::new(SimTime::ZERO, SimDuration::from_whole_units(10), 3);
+/// acc.accumulate(&[1.0, 2.0, 3.0]);
+/// acc.accumulate(&[3.0, 4.0, 5.0]);
+/// assert_eq!(acc.mean_values(), vec![2.0, 3.0, 4.0]);
+/// assert_eq!(acc.times()[1], SimTime::from_whole_units(10));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampledSeries {
+    start: SimTime,
+    step: SimDuration,
+    points: Vec<RunningStats>,
+}
+
+impl SampledSeries {
+    /// Creates an accumulator for `len` samples starting at `start`,
+    /// spaced `step` apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive or `len` is zero.
+    pub fn new(start: SimTime, step: SimDuration, len: usize) -> Self {
+        assert!(step.is_positive(), "sample step must be positive");
+        assert!(len > 0, "series must have at least one point");
+        SampledSeries { start, step, points: vec![RunningStats::new(); len] }
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the grid has no points (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The sample instants of the grid.
+    pub fn times(&self) -> Vec<SimTime> {
+        (0..self.points.len()).map(|i| self.start + self.step * i as f64).collect()
+    }
+
+    /// Adds one run's samples (must match the grid length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len()` differs from the grid length.
+    pub fn accumulate(&mut self, samples: &[f64]) {
+        assert_eq!(samples.len(), self.points.len(), "sample grid length mismatch");
+        for (p, &x) in self.points.iter_mut().zip(samples) {
+            p.push(x);
+        }
+    }
+
+    /// Point-wise means.
+    pub fn mean_values(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.mean()).collect()
+    }
+
+    /// Point-wise 95% CI half-widths.
+    pub fn ci95_values(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.ci95_half_width()).collect()
+    }
+
+    /// Number of runs accumulated (taken from the first grid point).
+    pub fn runs(&self) -> u64 {
+        self.points.first().map_or(0, |p| p.count())
+    }
+
+    /// Merges another accumulator over the same grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grids differ.
+    pub fn merge(&mut self, other: &SampledSeries) {
+        assert_eq!(self.start, other.start, "grid start mismatch");
+        assert_eq!(self.step, other.step, "grid step mismatch");
+        assert_eq!(self.points.len(), other.points.len(), "grid length mismatch");
+        for (a, b) in self.points.iter_mut().zip(&other.points) {
+            a.merge(b);
+        }
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with out-of-range clamping.
+///
+/// # Examples
+///
+/// ```
+/// use harvest_sim::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.push(1.0);
+/// h.push(9.5);
+/// h.push(42.0); // clamped into the last bin
+/// assert_eq!(h.counts(), &[1, 0, 0, 0, 2]);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram { lo, hi, counts: vec![0; bins] }
+    }
+
+    /// Adds an observation, clamping out-of-range values into the edge
+    /// bins.
+    pub fn push(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = if x < self.lo {
+            0
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            ((frac * bins as f64) as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(low_edge, high_edge)` of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = RunningStats::new();
+        s.push(5.0);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data = [1.0, 2.5, -3.0, 7.5, 0.0, 12.25, 4.0];
+        let (a, b) = data.split_at(3);
+        let mut s1: RunningStats = a.iter().copied().collect();
+        let s2: RunningStats = b.iter().copied().collect();
+        s1.merge(&s2);
+        let all: RunningStats = data.iter().copied().collect();
+        assert_eq!(s1.count(), all.count());
+        assert!((s1.mean() - all.mean()).abs() < 1e-12);
+        assert!((s1.sample_variance() - all.sample_variance()).abs() < 1e-12);
+        assert_eq!(s1.min(), all.min());
+        assert_eq!(s1.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: RunningStats = [1.0, 2.0].iter().copied().collect();
+        let before = s;
+        s.merge(&RunningStats::new());
+        assert_eq!(s, before);
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_observation_panics() {
+        RunningStats::new().push(f64::INFINITY);
+    }
+
+    #[test]
+    fn series_accumulates_pointwise() {
+        let mut s = SampledSeries::new(SimTime::ZERO, SimDuration::from_whole_units(5), 2);
+        s.accumulate(&[0.0, 10.0]);
+        s.accumulate(&[2.0, 30.0]);
+        assert_eq!(s.mean_values(), vec![1.0, 20.0]);
+        assert_eq!(s.runs(), 2);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn series_merge_matches_accumulate() {
+        let grid = |vals: &[&[f64]]| {
+            let mut s = SampledSeries::new(SimTime::ZERO, SimDuration::from_whole_units(1), 3);
+            for v in vals {
+                s.accumulate(v);
+            }
+            s
+        };
+        let mut a = grid(&[&[1.0, 2.0, 3.0]]);
+        let b = grid(&[&[3.0, 2.0, 1.0], &[5.0, 5.0, 5.0]]);
+        a.merge(&b);
+        let c = grid(&[&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0], &[5.0, 5.0, 5.0]]);
+        assert_eq!(a.mean_values(), c.mean_values());
+        assert_eq!(a.runs(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn series_rejects_wrong_length() {
+        let mut s = SampledSeries::new(SimTime::ZERO, SimDuration::from_whole_units(1), 3);
+        s.accumulate(&[1.0]);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(-0.5);
+        h.push(0.1);
+        h.push(0.49);
+        h.push(0.99);
+        h.push(1.7);
+        assert_eq!(h.counts(), &[2, 1, 0, 2]);
+        let (lo, hi) = h.bin_edges(1);
+        assert!((lo - 0.25).abs() < 1e-12 && (hi - 0.5).abs() < 1e-12);
+    }
+}

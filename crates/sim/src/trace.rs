@@ -1,0 +1,188 @@
+//! Trace infrastructure: record what happened during a run.
+//!
+//! Simulators emit domain events (job started, frequency changed, storage
+//! depleted, …) into a [`TraceSink`]. Sinks are generic over the record
+//! type so each simulator defines its own vocabulary.
+
+use std::fmt::Debug;
+
+use crate::time::SimTime;
+
+/// A timestamped trace record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stamped<R> {
+    /// Instant at which the record was emitted.
+    pub time: SimTime,
+    /// The domain record.
+    pub record: R,
+}
+
+/// Receives trace records emitted by a simulator.
+///
+/// Implementations must be cheap when tracing is unwanted — use
+/// [`NullSink`] to discard everything.
+pub trait TraceSink<R> {
+    /// Records `record` as having occurred at `time`.
+    fn record(&mut self, time: SimTime, record: R);
+
+    /// `true` if records are actually retained. Simulators may skip
+    /// building expensive records when this is `false`.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+/// Discards every record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl<R> TraceSink<R> for NullSink {
+    #[inline]
+    fn record(&mut self, _time: SimTime, _record: R) {}
+
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Retains every record in memory, in emission order.
+///
+/// # Examples
+///
+/// ```
+/// use harvest_sim::trace::{TraceSink, VecSink};
+/// use harvest_sim::time::SimTime;
+///
+/// let mut sink = VecSink::new();
+/// sink.record(SimTime::from_whole_units(1), "boot");
+/// sink.record(SimTime::from_whole_units(2), "run");
+/// assert_eq!(sink.records().len(), 2);
+/// assert_eq!(sink.records()[1].record, "run");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VecSink<R> {
+    records: Vec<Stamped<R>>,
+}
+
+impl<R> VecSink<R> {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        VecSink { records: Vec::new() }
+    }
+
+    /// The records captured so far.
+    pub fn records(&self) -> &[Stamped<R>] {
+        &self.records
+    }
+
+    /// Consumes the sink, returning the captured records.
+    pub fn into_records(self) -> Vec<Stamped<R>> {
+        self.records
+    }
+
+    /// Number of captured records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl<R> TraceSink<R> for VecSink<R> {
+    fn record(&mut self, time: SimTime, record: R) {
+        self.records.push(Stamped { time, record });
+    }
+}
+
+/// Adapts a closure into a sink — handy for filtering or streaming.
+///
+/// # Examples
+///
+/// ```
+/// use harvest_sim::trace::{FnSink, TraceSink};
+/// use harvest_sim::time::SimTime;
+///
+/// let mut count = 0u32;
+/// {
+///     let mut sink = FnSink::new(|_, _: &str| count += 1);
+///     sink.record(SimTime::ZERO, "x");
+/// }
+/// assert_eq!(count, 1);
+/// ```
+pub struct FnSink<F>(F);
+
+impl<F> FnSink<F> {
+    /// Wraps `f` as a sink.
+    pub fn new(f: F) -> Self {
+        FnSink(f)
+    }
+}
+
+impl<F> Debug for FnSink<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnSink(..)")
+    }
+}
+
+impl<R, F: FnMut(SimTime, R)> TraceSink<R> for FnSink<F> {
+    fn record(&mut self, time: SimTime, record: R) {
+        (self.0)(time, record);
+    }
+}
+
+impl<R, S: TraceSink<R> + ?Sized> TraceSink<R> for &mut S {
+    fn record(&mut self, time: SimTime, record: R) {
+        (**self).record(time, record);
+    }
+
+    fn is_enabled(&self) -> bool {
+        (**self).is_enabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_reports_disabled() {
+        let sink = NullSink;
+        assert!(!TraceSink::<u8>::is_enabled(&sink));
+    }
+
+    #[test]
+    fn vec_sink_preserves_order_and_time() {
+        let mut sink = VecSink::new();
+        sink.record(SimTime::from_whole_units(3), 'a');
+        sink.record(SimTime::from_whole_units(1), 'b'); // sinks don't sort
+        let rs = sink.records();
+        assert_eq!(rs[0].record, 'a');
+        assert_eq!(rs[1].time, SimTime::from_whole_units(1));
+        assert_eq!(sink.len(), 2);
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn into_records_round_trips() {
+        let mut sink = VecSink::new();
+        sink.record(SimTime::ZERO, 7u32);
+        let v = sink.into_records();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].record, 7);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut sink = VecSink::new();
+        {
+            let fwd = &mut sink;
+            fwd.record(SimTime::ZERO, 1u8);
+            assert!(fwd.is_enabled());
+        }
+        assert_eq!(sink.len(), 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests of the simulation-kernel primitives.
+
+use harvest_sim::event::EventQueue;
+use harvest_sim::piecewise::{Extension, PiecewiseConstant};
+use harvest_sim::stats::RunningStats;
+use harvest_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn profile_strategy() -> impl Strategy<Value = PiecewiseConstant> {
+    (
+        proptest::collection::vec(0.0f64..10.0, 1..40),
+        1i64..5,
+        prop_oneof![Just(Extension::Hold), Just(Extension::Zero), Just(Extension::Cycle)],
+    )
+        .prop_map(|(values, dt, ext)| {
+            PiecewiseConstant::from_samples(
+                SimTime::ZERO,
+                SimDuration::from_whole_units(dt),
+                values,
+                ext,
+            )
+            .expect("valid grid")
+        })
+}
+
+proptest! {
+    /// ∫[a,c) = ∫[a,b) + ∫[b,c) for any a ≤ b ≤ c.
+    #[test]
+    fn integral_is_additive(
+        profile in profile_strategy(),
+        raw in proptest::collection::vec(-50.0f64..250.0, 3),
+    ) {
+        let mut ts: Vec<SimTime> = raw.iter().map(|&u| SimTime::from_units(u)).collect();
+        ts.sort();
+        let (a, b, c) = (ts[0], ts[1], ts[2]);
+        let whole = profile.integrate(a, c);
+        let split = profile.integrate(a, b) + profile.integrate(b, c);
+        prop_assert!((whole - split).abs() < 1e-9 * (1.0 + whole.abs()),
+            "{whole} vs {split}");
+    }
+
+    /// The integral over a window is bounded by min/max value times the
+    /// window length (non-negative profiles).
+    #[test]
+    fn integral_respects_bounds(
+        profile in profile_strategy(),
+        a in 0.0f64..100.0,
+        len in 0.0f64..100.0,
+    ) {
+        let t1 = SimTime::from_units(a);
+        let t2 = SimTime::from_units(a + len);
+        let e = profile.integrate(t1, t2);
+        let span = (t2 - t1).as_units();
+        // Extension::Zero can only push the effective min to 0.
+        let hi = profile.domain_max() * span;
+        prop_assert!(e >= -1e-9, "integral {e} of a non-negative profile");
+        prop_assert!(e <= hi + 1e-9, "integral {e} above max bound {hi}");
+    }
+
+    /// Segments returned over a window tile it exactly and agree with
+    /// point lookups.
+    #[test]
+    fn segments_tile_window(
+        profile in profile_strategy(),
+        a in -20.0f64..150.0,
+        len in 0.01f64..120.0,
+    ) {
+        let t1 = SimTime::from_units(a);
+        let t2 = SimTime::from_units(a + len);
+        let segs: Vec<_> = profile.segments_between(t1, t2).collect();
+        prop_assert!(!segs.is_empty());
+        prop_assert_eq!(segs.first().unwrap().start, t1);
+        prop_assert_eq!(segs.last().unwrap().end, t2);
+        for w in segs.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start, "gap in tiling");
+        }
+        for seg in &segs {
+            prop_assert_eq!(profile.value_at(seg.start), seg.value);
+        }
+    }
+
+    /// The event queue pops in (time, insertion) order regardless of
+    /// the push order.
+    #[test]
+    fn event_queue_is_stable_priority_queue(
+        times in proptest::collection::vec(0i64..1_000, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ticks(t), i);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(item) = q.pop() {
+            popped.push(item);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn event_queue_cancellation(
+        n in 1usize..100,
+        cancel_mask in proptest::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| q.schedule(SimTime::from_ticks(i as i64 % 17), i))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if cancel_mask[i] {
+                q.cancel(*id);
+            } else {
+                expected.push(i);
+            }
+        }
+        let mut popped: Vec<usize> = Vec::new();
+        while let Some((_, v)) = q.pop() {
+            popped.push(v);
+        }
+        popped.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Welford merge equals sequential accumulation on arbitrary splits.
+    #[test]
+    fn running_stats_merge_any_split(
+        data in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(data.len());
+        let (a, b) = data.split_at(split);
+        let mut left: RunningStats = a.iter().copied().collect();
+        let right: RunningStats = b.iter().copied().collect();
+        left.merge(&right);
+        let all: RunningStats = data.iter().copied().collect();
+        prop_assert_eq!(left.count(), all.count());
+        prop_assert!((left.mean() - all.mean()).abs() <= 1e-6 * (1.0 + all.mean().abs()));
+        let (v1, v2) = (left.population_variance(), all.population_variance());
+        prop_assert!((v1 - v2).abs() <= 1e-6 * (1.0 + v2.abs()), "{v1} vs {v2}");
+    }
+
+    /// Accumulation crossing returns an instant at which stepping the
+    /// level manually lands on the target (within tick rounding).
+    #[test]
+    fn accumulation_crossing_is_consistent(
+        profile in profile_strategy(),
+        initial_frac in 0.0f64..1.0,
+        offset in -5.0f64..2.0,
+        target_frac in 0.0f64..1.0,
+    ) {
+        let cap = 40.0;
+        let initial = initial_frac * cap;
+        let target = target_frac * cap;
+        let horizon = SimTime::from_whole_units(500);
+        if let Some(t) = profile.first_accumulation_crossing(
+            SimTime::ZERO, horizon, initial, offset, cap, target,
+        ) {
+            prop_assert!(t >= SimTime::ZERO && t <= horizon);
+            // Re-simulate the clamped accumulation up to t.
+            let mut level = initial;
+            for seg in profile.segments_between(SimTime::ZERO, t) {
+                let rate = seg.value + offset;
+                // Clamped linear evolution within the segment.
+                let mut remaining = seg.duration().as_units();
+                while remaining > 0.0 {
+                    if (level <= 0.0 && rate < 0.0) || (level >= cap && rate > 0.0) {
+                        break;
+                    }
+                    let until_clamp = if rate > 0.0 {
+                        (cap - level) / rate
+                    } else if rate < 0.0 {
+                        level / -rate
+                    } else {
+                        f64::INFINITY
+                    };
+                    let step = remaining.min(until_clamp);
+                    if step <= 0.0 { break; }
+                    level = (level + rate * step).clamp(0.0, cap);
+                    remaining -= step;
+                }
+            }
+            // Tick rounding can overshoot by at most one tick of rate.
+            let max_rate = profile.domain_max() + offset.abs() + 1.0;
+            prop_assert!((level - target).abs() <= 2.0 * max_rate / 1e6 + 1e-9,
+                "level {level} vs target {target} at {t}");
+        }
+    }
+}

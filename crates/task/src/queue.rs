@@ -1,0 +1,183 @@
+//! EDF-ordered ready queue.
+
+use std::collections::BTreeMap;
+
+use harvest_sim::time::SimTime;
+
+use crate::job::{Job, JobId};
+
+/// Priority key: earliest deadline first, ties broken by release order.
+type Key = (SimTime, JobId);
+
+/// The ready queue `Q` of the paper's scheduling loop (Fig. 4): all
+/// released but unfinished jobs, ordered earliest-deadline-first with
+/// FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use harvest_task::job::{Job, JobId};
+/// use harvest_task::queue::EdfQueue;
+/// use harvest_sim::time::SimTime;
+///
+/// let mut q = EdfQueue::new();
+/// q.push(Job::new(JobId(0), 0, SimTime::ZERO, SimTime::from_whole_units(16), 4.0));
+/// q.push(Job::new(JobId(1), 1, SimTime::ZERO, SimTime::from_whole_units(12), 1.0));
+/// // The deadline-12 job has priority.
+/// assert_eq!(q.peek().unwrap().id(), JobId(1));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdfQueue {
+    jobs: BTreeMap<Key, Job>,
+}
+
+impl EdfQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EdfQueue { jobs: BTreeMap::new() }
+    }
+
+    /// Number of ready jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` if no job is ready.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Inserts a job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job with the same deadline *and* id is already queued
+    /// (ids are unique by construction, so this indicates a caller bug).
+    pub fn push(&mut self, job: Job) {
+        let key = (job.absolute_deadline(), job.id());
+        let prev = self.jobs.insert(key, job);
+        assert!(prev.is_none(), "job re-queued while already present");
+    }
+
+    /// The highest-priority (earliest-deadline) job, if any.
+    pub fn peek(&self) -> Option<&Job> {
+        self.jobs.values().next()
+    }
+
+    /// Mutable access to the highest-priority job (its deadline and id —
+    /// the ordering key — are immutable, so mutation cannot corrupt the
+    /// queue).
+    pub fn peek_mut(&mut self) -> Option<&mut Job> {
+        self.jobs.values_mut().next()
+    }
+
+    /// `true` if a job with the given id is queued.
+    pub fn contains(&self, id: JobId) -> bool {
+        self.jobs.keys().any(|&(_, jid)| jid == id)
+    }
+
+    /// Removes and returns the highest-priority job.
+    pub fn pop(&mut self) -> Option<Job> {
+        let key = *self.jobs.keys().next()?;
+        self.jobs.remove(&key)
+    }
+
+    /// Removes a specific job by id (O(n) scan; queues are small).
+    pub fn remove(&mut self, id: JobId) -> Option<Job> {
+        let key = *self.jobs.keys().find(|&&(_, jid)| jid == id)?;
+        self.jobs.remove(&key)
+    }
+
+    /// Iterates jobs in priority order.
+    pub fn iter(&self) -> impl Iterator<Item = &Job> {
+        self.jobs.values()
+    }
+
+    /// Removes and returns every job whose absolute deadline is at or
+    /// before `now` (deadline misses under the abort policy).
+    pub fn drain_expired(&mut self, now: SimTime) -> Vec<Job> {
+        let expired: Vec<Key> =
+            self.jobs.range(..=(now, JobId(u64::MAX))).map(|(&k, _)| k).collect();
+        expired.into_iter().filter_map(|k| self.jobs.remove(&k)).collect()
+    }
+
+    /// Total remaining full-speed work across all ready jobs.
+    pub fn total_remaining_work(&self) -> f64 {
+        self.jobs.values().map(Job::remaining_work).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, deadline: i64, work: f64) -> Job {
+        Job::new(JobId(id), 0, SimTime::ZERO, SimTime::from_whole_units(deadline), work)
+    }
+
+    #[test]
+    fn edf_ordering() {
+        let mut q = EdfQueue::new();
+        q.push(job(0, 30, 1.0));
+        q.push(job(1, 10, 1.0));
+        q.push(job(2, 20, 1.0));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|j| j.id().0)).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ties_break_by_release_order() {
+        let mut q = EdfQueue::new();
+        q.push(job(5, 10, 1.0));
+        q.push(job(3, 10, 1.0));
+        assert_eq!(q.pop().unwrap().id(), JobId(3));
+        assert_eq!(q.pop().unwrap().id(), JobId(5));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EdfQueue::new();
+        q.push(job(0, 10, 1.0));
+        assert_eq!(q.peek().unwrap().id(), JobId(0));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn remove_by_id() {
+        let mut q = EdfQueue::new();
+        q.push(job(0, 10, 1.0));
+        q.push(job(1, 20, 1.0));
+        let removed = q.remove(JobId(0)).unwrap();
+        assert_eq!(removed.id(), JobId(0));
+        assert_eq!(q.len(), 1);
+        assert!(q.remove(JobId(99)).is_none());
+    }
+
+    #[test]
+    fn drain_expired_takes_due_jobs() {
+        let mut q = EdfQueue::new();
+        q.push(job(0, 10, 1.0));
+        q.push(job(1, 20, 1.0));
+        q.push(job(2, 30, 1.0));
+        let missed = q.drain_expired(SimTime::from_whole_units(20));
+        let ids: Vec<u64> = missed.iter().map(|j| j.id().0).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn total_remaining_work_sums() {
+        let mut q = EdfQueue::new();
+        q.push(job(0, 10, 1.5));
+        q.push(job(1, 20, 2.5));
+        assert_eq!(q.total_remaining_work(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-queued")]
+    fn double_push_panics() {
+        let mut q = EdfQueue::new();
+        q.push(job(0, 10, 1.0));
+        q.push(job(0, 10, 1.0));
+    }
+}

@@ -1,0 +1,103 @@
+//! Trace-driven run: replay a recorded harvest-power trace (here a
+//! synthetic stand-in for a Heliomote-style measurement log) and inspect
+//! the full scheduling trace of one EA-DVFS run.
+//!
+//! ```sh
+//! cargo run --example trace_driven
+//! ```
+
+use harvest_rt::core::trace::TraceEvent;
+use harvest_rt::prelude::*;
+
+fn main() {
+    // A "measured" 100-sample power log: morning ramp, noon plateau with
+    // a cloud dip, afternoon decay. Each sample holds for 2 time units;
+    // the trace repeats (cyclic replay).
+    let mut log = Vec::new();
+    for i in 0..30 {
+        log.push(4.0 * i as f64 / 30.0); // ramp up
+    }
+    for i in 0..40 {
+        let cloud = if (15..25).contains(&i) { 0.3 } else { 1.0 };
+        log.push(4.0 * cloud); // plateau with a cloud dip
+    }
+    for i in 0..30 {
+        log.push(4.0 * (30 - i) as f64 / 30.0); // ramp down
+    }
+    let source = TraceSource::from_samples(SimDuration::from_whole_units(2), log, true)
+        .expect("valid trace");
+    let horizon = SimDuration::from_whole_units(400); // two trace cycles
+    let profile = sample_profile(
+        &mut { source },
+        SimTime::ZERO,
+        horizon,
+        SimDuration::from_whole_units(1),
+        0,
+    )
+    .expect("valid grid");
+
+    let tasks = TaskSet::new(vec![
+        Task::periodic_implicit(SimDuration::from_whole_units(20), 4.0),
+        Task::periodic_implicit(SimDuration::from_whole_units(50), 8.0),
+    ]);
+    let config = SystemConfig::new(
+        presets::xscale(),
+        StorageSpec::ideal(150.0),
+        horizon,
+    )
+    .with_initial_level(40.0)
+    .with_trace();
+
+    let result = simulate(
+        config,
+        &tasks,
+        profile.clone(),
+        Box::new(EaDvfsScheduler::new()),
+        Box::new(OraclePredictor::new(profile)),
+    );
+
+    println!("trace-driven EA-DVFS run: {} events", result.trace.len());
+    println!();
+    let mut slow_starts = 0;
+    let mut full_starts = 0;
+    for (t, ev) in result.trace.iter().take(40) {
+        let line = match ev {
+            TraceEvent::Released { job, deadline, task } => {
+                format!("release job {} of task {task} (deadline {deadline})", job.0)
+            }
+            TraceEvent::Started { job, level } => format!("run job {} at level {level}", job.0),
+            TraceEvent::Completed { job } => format!("complete job {}", job.0),
+            TraceEvent::Missed { job } => format!("MISS job {}", job.0),
+            TraceEvent::Idled { until: Some(u) } => format!("idle until {u}"),
+            TraceEvent::Idled { until: None } => "idle".into(),
+            TraceEvent::Stalled { .. } => "stall: storage empty".into(),
+        };
+        println!("  {t:>12}  {line}");
+    }
+    println!("  ... ({} more events)", result.trace.len().saturating_sub(40));
+    for (_, ev) in &result.trace {
+        if let TraceEvent::Started { level, .. } = ev {
+            if *level == 4 {
+                full_starts += 1;
+            } else {
+                slow_starts += 1;
+            }
+        }
+    }
+    println!();
+    println!(
+        "summary: {} released, {} met, {} missed; {} slow starts vs {} full-speed starts",
+        result.released(),
+        result.completed_in_time(),
+        result.missed(),
+        slow_starts,
+        full_starts
+    );
+    println!(
+        "energy: harvested {:.0}, consumed {:.0}, overflowed {:.0}, final level {:.1}",
+        result.energy.harvested,
+        result.energy.consumed,
+        result.energy.overflow,
+        result.energy.final_level
+    );
+}

@@ -1,0 +1,126 @@
+//! Property-based invariants of the closed-loop simulator, checked on
+//! random paper-style scenarios across all four policies.
+
+use harvest_rt::prelude::*;
+use proptest::prelude::*;
+
+/// A random but valid §5.1-style scenario.
+fn scenario_strategy() -> impl Strategy<Value = (PolicyKind, f64, f64, u64)> {
+    (
+        prop_oneof![
+            Just(PolicyKind::Edf),
+            Just(PolicyKind::Lsa),
+            Just(PolicyKind::EaDvfs),
+            Just(PolicyKind::GreedyStretch),
+        ],
+        0.1f64..0.9,     // utilization
+        50.0f64..3000.0, // capacity
+        0u64..1_000,     // seed
+    )
+}
+
+fn short_scenario(utilization: f64, capacity: f64) -> PaperScenario {
+    let mut s = PaperScenario::new(utilization, capacity).with_sampling(100);
+    s.horizon_units = 2_000; // keep each proptest case fast
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Stored energy never leaves [0, capacity].
+    #[test]
+    fn storage_level_stays_bounded((policy, u, c, seed) in scenario_strategy()) {
+        let r = short_scenario(u, c).run(policy, seed);
+        for &(_, level) in &r.samples {
+            prop_assert!(level >= -1e-9 && level <= c + 1e-9,
+                "level {level} outside [0, {c}]");
+        }
+        prop_assert!(r.energy.final_level >= -1e-9 && r.energy.final_level <= c + 1e-9);
+    }
+
+    /// Energy conservation: initial + harvested = consumed + overflow +
+    /// final (ideal storage; `consumed` counts only energy actually
+    /// delivered, so the deficit does not enter the identity).
+    #[test]
+    fn energy_is_conserved((policy, u, c, seed) in scenario_strategy()) {
+        let r = short_scenario(u, c).run(policy, seed);
+        let input = r.energy.initial_level + r.energy.harvested;
+        let output = r.energy.consumed + r.energy.overflow + r.energy.final_level;
+        prop_assert!((input - output).abs() < 1e-5,
+            "in {input} vs out {output} ({:?})", r.energy);
+    }
+
+    /// Time accounting: busy + idle = horizon; stall ⊆ idle.
+    #[test]
+    fn time_is_conserved((policy, u, c, seed) in scenario_strategy()) {
+        let r = short_scenario(u, c).run(policy, seed);
+        let total = r.busy_time() + r.idle_time;
+        prop_assert!((total - 2_000.0).abs() < 1e-6, "total {total}");
+        prop_assert!(r.stall_time <= r.idle_time + 1e-9);
+    }
+
+    /// Completions never land after the deadline; records are
+    /// structurally sound.
+    #[test]
+    fn completions_respect_deadlines((policy, u, c, seed) in scenario_strategy()) {
+        let r = short_scenario(u, c).run(policy, seed);
+        for job in &r.jobs {
+            match job.outcome {
+                JobOutcome::Completed { at } => {
+                    prop_assert!(at <= job.deadline,
+                        "job {:?} completed at {at} after deadline {}", job.id, job.deadline);
+                    prop_assert!(at >= job.arrival);
+                }
+                JobOutcome::Missed { completed: Some(at) } => {
+                    prop_assert!(at > job.deadline);
+                }
+                _ => {}
+            }
+            prop_assert!(job.deadline > job.arrival);
+            prop_assert!(job.energy >= -1e-9);
+        }
+    }
+
+    /// Runs are bit-for-bit deterministic.
+    #[test]
+    fn runs_are_deterministic((policy, u, c, seed) in scenario_strategy()) {
+        let a = short_scenario(u, c).run(policy, seed);
+        let b = short_scenario(u, c).run(policy, seed);
+        prop_assert_eq!(a.jobs, b.jobs);
+        prop_assert_eq!(a.energy, b.energy);
+        prop_assert_eq!(a.samples, b.samples);
+    }
+
+    /// The consumed energy never exceeds what physics allows, and some
+    /// work gets done whenever jobs were released and energy existed.
+    #[test]
+    fn consumption_is_physical((policy, u, c, seed) in scenario_strategy()) {
+        let r = short_scenario(u, c).run(policy, seed);
+        prop_assert!(r.energy.consumed <= r.energy.initial_level + r.energy.harvested + 1e-6);
+        prop_assert!(r.energy.overflow >= -1e-9);
+        prop_assert!(r.energy.deficit <= 1.0,
+            "deficit {} should stay within event-rounding slop", r.energy.deficit);
+    }
+}
+
+/// Deadline-missing jobs under the abort policy never record completion.
+#[test]
+fn aborted_jobs_have_no_completion_time() {
+    let r = PaperScenario::new(0.8, 60.0).run(PolicyKind::Lsa, 3);
+    for job in &r.jobs {
+        if let JobOutcome::Missed { completed } = job.outcome {
+            assert_eq!(completed, None, "abort policy must drop late jobs");
+        }
+    }
+}
+
+/// The sampled series has the exact grid the config asked for.
+#[test]
+fn sample_grid_is_exact() {
+    let r = PaperScenario::new(0.4, 500.0).with_sampling(250).run(PolicyKind::EaDvfs, 0);
+    assert_eq!(r.samples.len(), 40);
+    for (k, &(t, _)) in r.samples.iter().enumerate() {
+        assert_eq!(t, SimTime::from_whole_units(250 * k as i64));
+    }
+}

@@ -1,0 +1,111 @@
+//! Structural invariants of the scheduling trace: the event log must
+//! tell the same story as the result records.
+
+use std::collections::{HashMap, HashSet};
+
+use harvest_rt::core::trace::TraceEvent;
+use harvest_rt::prelude::*;
+use harvest_rt::task::JobId;
+
+fn traced_run(policy: PolicyKind, seed: u64) -> SimResult {
+    let profile = sample_profile(
+        &mut SolarModel::paper(),
+        SimTime::ZERO,
+        SimDuration::from_whole_units(3_000),
+        SimDuration::from_whole_units(1),
+        seed,
+    )
+    .expect("valid grid");
+    let tasks = WorkloadSpec::paper(5, 0.5, profile.domain_mean(), 3.2).generate(seed + 1);
+    let config = SystemConfig::new(
+        presets::xscale(),
+        StorageSpec::ideal(150.0),
+        SimDuration::from_whole_units(3_000),
+    )
+    .with_trace();
+    simulate(
+        config,
+        &tasks,
+        profile.clone(),
+        policy.build(),
+        Box::new(OraclePredictor::new(profile)),
+    )
+}
+
+#[test]
+fn trace_agrees_with_records() {
+    for policy in [PolicyKind::Edf, PolicyKind::Lsa, PolicyKind::EaDvfs] {
+        for seed in 0..4u64 {
+            let r = traced_run(policy, seed);
+            let mut released: HashSet<JobId> = HashSet::new();
+            let mut completed: HashSet<JobId> = HashSet::new();
+            let mut missed: HashSet<JobId> = HashSet::new();
+            let mut last_time = SimTime::ZERO;
+            for &(t, ev) in &r.trace {
+                assert!(t >= last_time, "{policy:?}: trace must be time-ordered");
+                last_time = t;
+                match ev {
+                    TraceEvent::Released { job, deadline, .. } => {
+                        assert!(released.insert(job), "double release of {job:?}");
+                        assert!(deadline > t);
+                    }
+                    TraceEvent::Started { job, level } => {
+                        assert!(released.contains(&job), "started unreleased {job:?}");
+                        assert!(!completed.contains(&job), "started finished {job:?}");
+                        assert!(level < 5, "XScale has 5 levels");
+                    }
+                    TraceEvent::Completed { job } => {
+                        assert!(released.contains(&job));
+                        assert!(completed.insert(job), "double completion of {job:?}");
+                    }
+                    TraceEvent::Missed { job } => {
+                        assert!(released.contains(&job));
+                        assert!(missed.insert(job), "double miss of {job:?}");
+                        assert!(!completed.contains(&job), "missed after completing");
+                    }
+                    TraceEvent::Idled { .. } | TraceEvent::Stalled { .. } => {}
+                }
+            }
+            // Trace counts match the records.
+            assert_eq!(released.len(), r.released(), "{policy:?} released");
+            assert_eq!(missed.len(), r.missed(), "{policy:?} missed");
+            // Every record outcome has its trace counterpart.
+            let by_outcome: HashMap<JobId, &JobOutcome> =
+                r.jobs.iter().map(|j| (j.id, &j.outcome)).collect();
+            for (&job, outcome) in &by_outcome {
+                match outcome {
+                    JobOutcome::Completed { .. } => {
+                        assert!(completed.contains(&job), "{policy:?}: {job:?} completion untracked");
+                    }
+                    JobOutcome::Missed { .. } => {
+                        assert!(missed.contains(&job), "{policy:?}: {job:?} miss untracked");
+                    }
+                    JobOutcome::Pending => {
+                        assert!(
+                            !completed.contains(&job) && !missed.contains(&job),
+                            "{policy:?}: pending job {job:?} has terminal trace events"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn untraced_runs_keep_no_events() {
+    let r = PaperScenario::new(0.4, 500.0).run(PolicyKind::EaDvfs, 0);
+    assert!(r.trace.is_empty(), "tracing must be opt-in");
+}
+
+#[test]
+fn lsa_trace_contains_idle_waits() {
+    // LSA's defining behaviour: deliberate idling before starts.
+    let r = traced_run(PolicyKind::Lsa, 1);
+    let idles = r
+        .trace
+        .iter()
+        .filter(|(_, ev)| matches!(ev, TraceEvent::Idled { until: Some(_) }))
+        .count();
+    assert!(idles > 0, "LSA should idle-wait at least once");
+}
