@@ -19,14 +19,19 @@ fn ablation_s2_cap(c: &mut Criterion) {
     let scenario = PaperScenario::new(0.6, 300.0);
     for policy in [PolicyKind::EaDvfs, PolicyKind::GreedyStretch] {
         let missed: usize = (0..10).map(|s| scenario.run(policy, s).missed()).sum();
-        eprintln!("[ablation_s2_cap] {}: {missed} misses over 10 seeds", policy.name());
+        eprintln!(
+            "[ablation_s2_cap] {}: {missed} misses over 10 seeds",
+            policy.name()
+        );
     }
     let mut g = c.benchmark_group("ablation_s2_cap");
     g.sample_size(10);
     for policy in [PolicyKind::EaDvfs, PolicyKind::GreedyStretch] {
-        g.bench_with_input(BenchmarkId::from_parameter(policy.name()), &policy, |b, &p| {
-            b.iter(|| black_box(scenario.run(p, black_box(3))))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &p| b.iter(|| black_box(scenario.run(p, black_box(3)))),
+        );
     }
     g.finish();
 }
@@ -41,9 +46,14 @@ fn ablation_predictor(c: &mut Criterion) {
     ];
     for kind in kinds {
         let scenario = PaperScenario::new(0.4, 80.0).with_predictor(kind);
-        let rate: f64 =
-            (0..10).map(|s| scenario.run(PolicyKind::EaDvfs, s).miss_rate()).sum::<f64>() / 10.0;
-        eprintln!("[ablation_predictor] {}: mean miss rate {rate:.4}", kind.name());
+        let rate: f64 = (0..10)
+            .map(|s| scenario.run(PolicyKind::EaDvfs, s).miss_rate())
+            .sum::<f64>()
+            / 10.0;
+        eprintln!(
+            "[ablation_predictor] {}: mean miss rate {rate:.4}",
+            kind.name()
+        );
     }
     let mut g = c.benchmark_group("ablation_predictor");
     g.sample_size(10);
@@ -60,15 +70,17 @@ fn ablation_predictor(c: &mut Criterion) {
 fn ablation_storage_efficiency(c: &mut Criterion) {
     let variants: [(&str, StorageSpec); 3] = [
         ("ideal", StorageSpec::ideal(80.0)),
-        ("eta90", StorageSpec::ideal(80.0).with_charge_efficiency(0.9)),
+        (
+            "eta90",
+            StorageSpec::ideal(80.0).with_charge_efficiency(0.9),
+        ),
         ("leaky", StorageSpec::ideal(80.0).with_leakage_power(0.05)),
     ];
     let base = PaperScenario::new(0.4, 80.0);
     let run_with = |spec: StorageSpec, seed: u64| {
         let profile = base.profile(seed);
         let tasks = base.taskset(seed, &profile);
-        let config =
-            SystemConfig::new(base.cpu(), spec, SimDuration::from_whole_units(10_000));
+        let config = SystemConfig::new(base.cpu(), spec, SimDuration::from_whole_units(10_000));
         simulate(
             config,
             &tasks,
@@ -98,9 +110,14 @@ fn ablation_speed_levels(c: &mut Criterion) {
     let run_with = |levels: usize, seed: u64| {
         let profile = base.profile(seed);
         let tasks = base.taskset(seed, &profile);
-        let cpu = PowerLaw::cubic(3.2).build_model(1000.0, levels).expect("valid law");
-        let config =
-            SystemConfig::new(cpu, StorageSpec::ideal(80.0), SimDuration::from_whole_units(10_000));
+        let cpu = PowerLaw::cubic(3.2)
+            .build_model(1000.0, levels)
+            .expect("valid law");
+        let config = SystemConfig::new(
+            cpu,
+            StorageSpec::ideal(80.0),
+            SimDuration::from_whole_units(10_000),
+        );
         simulate(
             config,
             &tasks,
@@ -110,7 +127,10 @@ fn ablation_speed_levels(c: &mut Criterion) {
         )
     };
     for levels in [2usize, 5, 16] {
-        let rate: f64 = (0..10).map(|s| run_with(levels, s).miss_rate()).sum::<f64>() / 10.0;
+        let rate: f64 = (0..10)
+            .map(|s| run_with(levels, s).miss_rate())
+            .sum::<f64>()
+            / 10.0;
         eprintln!("[ablation_levels] {levels} levels: mean miss rate {rate:.4}");
     }
     let mut g = c.benchmark_group("ablation_speed_levels");
@@ -130,8 +150,10 @@ fn ablation_prediction_bias(c: &mut Criterion) {
     for &factor in &factors {
         let scenario =
             PaperScenario::new(0.4, 80.0).with_predictor(PredictorKind::Biased { factor });
-        let rate: f64 =
-            (0..10).map(|s| scenario.run(PolicyKind::EaDvfs, s).miss_rate()).sum::<f64>() / 10.0;
+        let rate: f64 = (0..10)
+            .map(|s| scenario.run(PolicyKind::EaDvfs, s).miss_rate())
+            .sum::<f64>()
+            / 10.0;
         eprintln!("[ablation_bias] x{factor}: mean miss rate {rate:.4}");
     }
     let mut g = c.benchmark_group("ablation_prediction_bias");
@@ -153,8 +175,7 @@ fn ablation_execution_time(c: &mut Criterion) {
     let base = PaperScenario::new(0.6, 150.0);
     let run_with = |bcet: f64, policy: PolicyKind, seed: u64| {
         let profile = base.profile(seed);
-        let spec = WorkloadSpec::paper(5, 0.6, profile.domain_mean(), 3.2)
-            .with_bcet_ratio(bcet);
+        let spec = WorkloadSpec::paper(5, 0.6, profile.domain_mean(), 3.2).with_bcet_ratio(bcet);
         let tasks = spec.generate(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
         let config = SystemConfig::new(
             base.cpu(),
@@ -171,8 +192,10 @@ fn ablation_execution_time(c: &mut Criterion) {
     };
     for bcet in [1.0, 0.75, 0.5, 0.25] {
         for policy in [PolicyKind::Lsa, PolicyKind::EaDvfs] {
-            let rate: f64 =
-                (0..10).map(|s| run_with(bcet, policy, s).miss_rate()).sum::<f64>() / 10.0;
+            let rate: f64 = (0..10)
+                .map(|s| run_with(bcet, policy, s).miss_rate())
+                .sum::<f64>()
+                / 10.0;
             eprintln!(
                 "[ablation_bcet] bcet {bcet} {}: mean miss rate {rate:.4}",
                 policy.name()

@@ -19,14 +19,20 @@ fn decision_latency(c: &mut Criterion) {
     let cpu = presets::xscale();
     let storage = Storage::new(StorageSpec::ideal(500.0), 120.0);
     let predictor = OraclePredictor::new(PiecewiseConstant::constant(2.0));
-    let job = Job::new(JobId(0), 0, SimTime::ZERO, SimTime::from_whole_units(40), 6.0);
-    let ctx = SchedContext {
-        now: SimTime::from_whole_units(3),
-        job: &job,
-        cpu: &cpu,
-        storage: &storage,
-        predictor: &predictor,
-    };
+    let job = Job::new(
+        JobId(0),
+        0,
+        SimTime::ZERO,
+        SimTime::from_whole_units(40),
+        6.0,
+    );
+    let ctx = SchedContext::new(
+        SimTime::from_whole_units(3),
+        &job,
+        &cpu,
+        &storage,
+        &predictor,
+    );
     let mut g = c.benchmark_group("decision_latency");
     let mut bench = |name: &str, mut s: Box<dyn Scheduler>| {
         g.bench_function(name, |b| b.iter(|| black_box(s.decide(black_box(&ctx)))));
@@ -47,10 +53,14 @@ fn full_run_10k(c: &mut Criterion) {
         PolicyKind::EaDvfs,
         PolicyKind::GreedyStretch,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(policy.name()), &policy, |b, &p| {
-            let scenario = PaperScenario::new(0.4, 500.0);
-            b.iter(|| black_box(scenario.run(p, black_box(1))))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &p| {
+                let scenario = PaperScenario::new(0.4, 500.0);
+                b.iter(|| black_box(scenario.run(p, black_box(1))))
+            },
+        );
     }
     g.finish();
 }
@@ -68,5 +78,10 @@ fn run_scaling_with_tasks(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(schedulers, decision_latency, full_run_10k, run_scaling_with_tasks);
+criterion_group!(
+    schedulers,
+    decision_latency,
+    full_run_10k,
+    run_scaling_with_tasks
+);
 criterion_main!(schedulers);

@@ -110,7 +110,10 @@ impl SystemConfig {
     ///
     /// Panics if `quantum` is not finite and positive.
     pub fn with_restart_quantum(mut self, quantum: f64) -> Self {
-        assert!(quantum.is_finite() && quantum > 0.0, "restart quantum must be positive");
+        assert!(
+            quantum.is_finite() && quantum > 0.0,
+            "restart quantum must be positive"
+        );
         self.restart_quantum = quantum;
         self
     }
@@ -178,6 +181,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "horizon")]
     fn zero_horizon_rejected() {
-        let _ = SystemConfig::new(presets::xscale(), StorageSpec::ideal(1.0), SimDuration::ZERO);
+        let _ = SystemConfig::new(
+            presets::xscale(),
+            StorageSpec::ideal(1.0),
+            SimDuration::ZERO,
+        );
     }
 }

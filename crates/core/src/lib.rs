@@ -73,8 +73,7 @@ pub mod trace;
 
 pub use config::{MissPolicy, SystemConfig};
 pub use policies::{
-    EaDvfsScheduler, EdfScheduler, GreedyStretchScheduler, LazyScheduler,
-    StaticSlowdownScheduler,
+    EaDvfsScheduler, EdfScheduler, GreedyStretchScheduler, LazyScheduler, StaticSlowdownScheduler,
 };
 pub use result::{EnergyAccounting, JobOutcome, JobRecord, SimResult};
 pub use scheduler::{Decision, SchedContext, Scheduler};

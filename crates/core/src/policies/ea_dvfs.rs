@@ -82,7 +82,10 @@ impl Scheduler for EaDvfsScheduler {
         } else {
             // Within [s1, s2): run slowly, but re-evaluate at s2 to
             // switch to full speed (the anti-starvation cap of §4.3).
-            Decision::Run { level: n, review: Some(s2) }
+            Decision::Run {
+                level: n,
+                review: Some(s2),
+            }
         }
     }
 
@@ -116,12 +119,18 @@ mod tests {
     /// [s1, s2) ⇒ run at the slow level with a review at s2.
     #[test]
     fn section2_example_runs_slow_between_s1_s2() {
-        let f = CtxFixture::new(presets::two_speed_example(), 26.0, 1e6, 0.5, job(16, 4.0))
-            .at(u(4));
+        let f =
+            CtxFixture::new(presets::two_speed_example(), 26.0, 1e6, 0.5, job(16, 4.0)).at(u(4));
         // avail = 26 + 12·0.5 = 32; sr_n = 12 ⇒ s1 = max(4, 4) = 4;
         // sr_max = 4 ⇒ s2 = 12.
         let mut s = EaDvfsScheduler::new();
-        assert_eq!(s.decide(&f.ctx()), Decision::Run { level: 0, review: Some(u(12)) });
+        assert_eq!(
+            s.decide(&f.ctx()),
+            Decision::Run {
+                level: 0,
+                review: Some(u(12))
+            }
+        );
     }
 
     #[test]
@@ -147,7 +156,10 @@ mod tests {
         let f = CtxFixture::new(presets::two_speed_example(), 8.0, 1e6, 0.5, job(4, 4.0));
         // avail = 8 + 2 = 10; sr_max = 1.25 ⇒ s2 = 2.75.
         let mut s = EaDvfsScheduler::new();
-        assert_eq!(s.decide(&f.ctx()), Decision::IdleUntil(SimTime::from_units(2.75)));
+        assert_eq!(
+            s.decide(&f.ctx()),
+            Decision::IdleUntil(SimTime::from_units(2.75))
+        );
     }
 
     #[test]
@@ -162,9 +174,21 @@ mod tests {
     /// EA-DVFS runs slow from 0 with a review at 12.
     #[test]
     fn fig3_example_runs_slow_with_s2_review() {
-        let f = CtxFixture::new(presets::quarter_speed_example(), 32.0, 1e6, 0.0, job(16, 4.0));
+        let f = CtxFixture::new(
+            presets::quarter_speed_example(),
+            32.0,
+            1e6,
+            0.0,
+            job(16, 4.0),
+        );
         let mut s = EaDvfsScheduler::new();
-        assert_eq!(s.decide(&f.ctx()), Decision::Run { level: 0, review: Some(u(12)) });
+        assert_eq!(
+            s.decide(&f.ctx()),
+            Decision::Run {
+                level: 0,
+                review: Some(u(12))
+            }
+        );
     }
 
     #[test]

@@ -46,7 +46,11 @@ impl Scheduler for GreedyStretchScheduler {
             Some(n) => n,
         };
         if n == max {
-            return if s2 > ctx.now { Decision::IdleUntil(s2) } else { Decision::run(max) };
+            return if s2 > ctx.now {
+                Decision::IdleUntil(s2)
+            } else {
+                Decision::run(max)
+            };
         }
         let sr_n = ctx.run_time_at_power(ctx.cpu.power(n));
         let s1 = ctx.latest_start(sr_n);
@@ -73,14 +77,26 @@ mod tests {
     #[test]
     fn stretches_without_review() {
         // Fig. 3 setting: avail 32, quarter speed feasible, s1 = 0.
-        let f = CtxFixture::new(presets::quarter_speed_example(), 32.0, 1e6, 0.0, job(16, 4.0));
+        let f = CtxFixture::new(
+            presets::quarter_speed_example(),
+            32.0,
+            1e6,
+            0.0,
+            job(16, 4.0),
+        );
         let mut s = GreedyStretchScheduler::new();
         assert_eq!(s.decide(&f.ctx()), Decision::run(0));
     }
 
     #[test]
     fn full_speed_when_energy_plentiful() {
-        let f = CtxFixture::new(presets::quarter_speed_example(), 1e5, 1e6, 0.0, job(16, 4.0));
+        let f = CtxFixture::new(
+            presets::quarter_speed_example(),
+            1e5,
+            1e6,
+            0.0,
+            job(16, 4.0),
+        );
         let mut s = GreedyStretchScheduler::new();
         assert_eq!(s.decide(&f.ctx()), Decision::run(1));
     }

@@ -155,7 +155,10 @@ impl SimResult {
     /// Panics if `capacity` is not positive.
     pub fn normalized_samples(&self, capacity: f64) -> Vec<(SimTime, f64)> {
         assert!(capacity > 0.0, "capacity must be positive");
-        self.samples.iter().map(|&(t, e)| (t, e / capacity)).collect()
+        self.samples
+            .iter()
+            .map(|&(t, e)| (t, e / capacity))
+            .collect()
     }
 }
 
@@ -193,7 +196,12 @@ mod tests {
     #[test]
     fn miss_rate_counts_decided_only() {
         let r = result(vec![
-            record(0, JobOutcome::Completed { at: SimTime::from_whole_units(5) }),
+            record(
+                0,
+                JobOutcome::Completed {
+                    at: SimTime::from_whole_units(5),
+                },
+            ),
             record(1, JobOutcome::Missed { completed: None }),
             record(2, JobOutcome::Pending),
         ]);

@@ -7,6 +7,8 @@
 //! wake-up, depletion, review point), mirroring the per-iteration
 //! recalculation of the paper's Fig. 4 loop.
 
+use std::cell::Cell;
+
 use harvest_cpu::{CpuModel, LevelIndex};
 use harvest_energy::predictor::EnergyPredictor;
 use harvest_energy::storage::Storage;
@@ -14,6 +16,11 @@ use harvest_sim::time::SimTime;
 use harvest_task::job::Job;
 
 /// Everything a policy may consult when deciding.
+///
+/// Build one per decision instant with [`SchedContext::new`]: the context
+/// memoizes the `ÊS(t, D)` profile lookup, so the several
+/// [`Self::run_time_at_power`] calls a policy makes while comparing DVFS
+/// levels share a single predictor query.
 pub struct SchedContext<'a> {
     /// Current simulation time.
     pub now: SimTime,
@@ -25,6 +32,30 @@ pub struct SchedContext<'a> {
     pub storage: &'a Storage,
     /// The harvested-energy predictor `ÊS`.
     pub predictor: &'a dyn EnergyPredictor,
+    /// Memoized `EC(t) + ÊS(t, D)` — valid for the lifetime of the
+    /// context because `now`, the job, and the storage level are fixed
+    /// at a decision instant.
+    es_cache: Cell<Option<f64>>,
+}
+
+impl<'a> SchedContext<'a> {
+    /// Builds the context for one decision instant.
+    pub fn new(
+        now: SimTime,
+        job: &'a Job,
+        cpu: &'a CpuModel,
+        storage: &'a Storage,
+        predictor: &'a dyn EnergyPredictor,
+    ) -> Self {
+        SchedContext {
+            now,
+            job,
+            cpu,
+            storage,
+            predictor,
+            es_cache: Cell::new(None),
+        }
+    }
 }
 
 impl std::fmt::Debug for SchedContext<'_> {
@@ -41,8 +72,15 @@ impl SchedContext<'_> {
     /// Predicted total energy available between now and the head job's
     /// deadline: `EC(t) + ÊS(t, D)` (the numerator of paper eq. 5/9).
     pub fn available_energy_to_deadline(&self) -> f64 {
-        self.storage.level()
-            + self.predictor.predict_energy(self.now, self.job.absolute_deadline())
+        if let Some(cached) = self.es_cache.get() {
+            return cached;
+        }
+        let e = self.storage.level()
+            + self
+                .predictor
+                .predict_energy(self.now, self.job.absolute_deadline());
+        self.es_cache.set(Some(e));
+        e
     }
 
     /// System running time `sr_n` at power `P_n` before the available
@@ -88,7 +126,10 @@ pub enum Decision {
 impl Decision {
     /// Convenience: run at the given level with no review point.
     pub fn run(level: LevelIndex) -> Self {
-        Decision::Run { level, review: None }
+        Decision::Run {
+            level,
+            review: None,
+        }
     }
 }
 
@@ -147,13 +188,13 @@ pub(crate) mod test_util {
         }
 
         pub fn ctx(&self) -> SchedContext<'_> {
-            SchedContext {
-                now: self.now,
-                job: &self.job,
-                cpu: &self.cpu,
-                storage: &self.storage,
-                predictor: &self.predictor,
-            }
+            SchedContext::new(
+                self.now,
+                &self.job,
+                &self.cpu,
+                &self.storage,
+                &self.predictor,
+            )
         }
     }
 

@@ -20,7 +20,7 @@
 use harvest_energy::predictor::EnergyPredictor;
 use harvest_energy::storage::Storage;
 use harvest_sim::engine::{Engine, Model, Scheduler as EngineCtx};
-use harvest_sim::piecewise::PiecewiseConstant;
+use harvest_sim::piecewise::{Cursor, PiecewiseConstant};
 use harvest_sim::time::{SimDuration, SimTime};
 use harvest_task::job::{Job, JobId};
 use harvest_task::queue::EdfQueue;
@@ -74,6 +74,18 @@ struct SystemModel {
     stall_time: f64,
     samples: Vec<(SimTime, f64)>,
     trace: Vec<(SimTime, TraceEvent)>,
+    /// Profile cursors, one per monotone query stream. Simulation time
+    /// only moves forward, so each stream resumes its breakpoint lookup
+    /// where it left off (amortized `O(1)` per query). They are pure
+    /// accelerators: results are identical with fresh cursors. Kept
+    /// separate because the streams sit at different positions — the
+    /// advance/accounting pair walks `[last_sync, now)` while the
+    /// decision-time lookups probe `now` and crossing windows ahead of
+    /// it; sharing one hint would thrash it.
+    adv_cursor: Cursor,
+    acct_cursor: Cursor,
+    point_cursor: Cursor,
+    cross_cursor: Cursor,
 }
 
 impl SystemModel {
@@ -90,14 +102,20 @@ impl SystemModel {
             RunState::Running { level, .. } => self.config.cpu.power(level),
             RunState::Idle | RunState::Stalled => self.config.cpu.idle_power(),
         };
-        let report = self.storage.advance(&self.profile, from, now, load);
+        let report =
+            self.storage
+                .advance_with(&mut self.adv_cursor, &self.profile, from, now, load);
         self.energy.consumed += report.delivered;
         self.energy.overflow += report.overflow;
         self.energy.deficit += report.deficit;
-        for seg in self.profile.segments_between(from, now) {
+        let mut segs = self
+            .profile
+            .segments_between_with(self.acct_cursor, from, now);
+        for seg in segs.by_ref() {
             self.energy.harvested += seg.integral();
             self.predictor.observe(seg);
         }
+        self.acct_cursor = segs.state();
         match self.state {
             RunState::Running { job, level } => {
                 self.level_time[level] += span;
@@ -134,7 +152,9 @@ impl SystemModel {
             // RunToCompletion: the miss was recorded at the deadline;
             // note the late completion.
             JobOutcome::Missed { completed: None } => {
-                rec.outcome = JobOutcome::Missed { completed: Some(now) };
+                rec.outcome = JobOutcome::Missed {
+                    completed: Some(now),
+                };
                 self.trace_event(now, TraceEvent::Completed { job: job.id() });
             }
             ref other => unreachable!("finishing a job in state {other:?}"),
@@ -163,7 +183,14 @@ impl SystemModel {
             outcome: JobOutcome::Pending,
             energy: 0.0,
         });
-        self.trace_event(now, TraceEvent::Released { job: id, task: task_index, deadline });
+        self.trace_event(
+            now,
+            TraceEvent::Released {
+                job: id,
+                task: task_index,
+                deadline,
+            },
+        );
         self.queue.push(job);
         ctx.schedule(deadline, SysEvent::DeadlineCheck { job: id });
         if let Some(period) = task.period() {
@@ -202,13 +229,13 @@ impl SystemModel {
         };
         let head_id = head.id();
         let decision = {
-            let sched_ctx = SchedContext {
+            let sched_ctx = SchedContext::new(
                 now,
-                job: head,
-                cpu: &self.config.cpu,
-                storage: &self.storage,
-                predictor: self.predictor.as_ref(),
-            };
+                head,
+                &self.config.cpu,
+                &self.storage,
+                self.predictor.as_ref(),
+            );
             self.policy.decide(&sched_ctx)
         };
         match decision {
@@ -219,9 +246,12 @@ impl SystemModel {
                 ctx.schedule(s, SysEvent::Reevaluate { epoch: self.epoch });
             }
             Decision::Run { level, review } => {
-                assert!(level < self.config.cpu.level_count(), "invalid level {level}");
+                assert!(
+                    level < self.config.cpu.level_count(),
+                    "invalid level {level}"
+                );
                 let power = self.config.cpu.power(level);
-                let harvest_now = self.profile.value_at(now);
+                let harvest_now = self.profile.value_at_with(&mut self.point_cursor, now);
                 let net = self.storage.spec().net_rate(harvest_now, power);
                 if self.storage.level() < ENERGY_EPS && net < 0.0 {
                     // Depleted and the source cannot carry the load:
@@ -250,8 +280,17 @@ impl SystemModel {
                     }
                     self.last_level = Some(level);
                 }
-                self.state = RunState::Running { job: head_id, level };
-                self.trace_event(now, TraceEvent::Started { job: head_id, level });
+                self.state = RunState::Running {
+                    job: head_id,
+                    level,
+                };
+                self.trace_event(
+                    now,
+                    TraceEvent::Started {
+                        job: head_id,
+                        level,
+                    },
+                );
                 ctx.schedule(completion, SysEvent::Reevaluate { epoch: self.epoch });
                 let mut window_end = completion;
                 if let Some(r) = review {
@@ -262,7 +301,8 @@ impl SystemModel {
                 }
                 // Exact storage-depletion crossing within the run window.
                 if self.storage.level() > ENERGY_EPS {
-                    if let Some(t) = self.storage.spec().first_crossing(
+                    if let Some(t) = self.storage.spec().first_crossing_with(
+                        &mut self.cross_cursor,
                         self.storage.level(),
                         0.0,
                         &self.profile,
@@ -278,7 +318,10 @@ impl SystemModel {
                     // Running hand-to-mouth on the direct harvest path:
                     // re-check at the next profile change, where the
                     // source may no longer carry the load.
-                    if let Some(t) = self.profile.next_breakpoint_after(now) {
+                    if let Some(t) = self
+                        .profile
+                        .next_breakpoint_after_with(&mut self.point_cursor, now)
+                    {
                         if t < window_end {
                             ctx.schedule(t, SysEvent::Reevaluate { epoch: self.epoch });
                         }
@@ -292,7 +335,8 @@ impl SystemModel {
         let spec = *self.storage.spec();
         let target = (self.config.restart_quantum * power).min(spec.capacity());
         let horizon_end = SimTime::ZERO + self.config.horizon;
-        let wake = spec.first_crossing(
+        let wake = spec.first_crossing_with(
+            &mut self.cross_cursor,
             self.storage.level(),
             target,
             &self.profile,
@@ -340,8 +384,7 @@ impl Model for SystemModel {
         self.sync_to(now);
         // A job finishing during the sync leaves the processor idle; a
         // fresh decision is due even if the event itself is inert.
-        let completed_in_sync =
-            was_running && !matches!(self.state, RunState::Running { .. });
+        let completed_in_sync = was_running && !matches!(self.state, RunState::Running { .. });
         let mut need_decide = completed_in_sync;
         match event {
             SysEvent::Arrival { task } => {
@@ -442,7 +485,10 @@ pub fn simulate(
     let scheduler_name = policy.name().to_owned();
     let horizon = config.horizon;
     let model = SystemModel {
-        energy: EnergyAccounting { initial_level: initial, ..EnergyAccounting::default() },
+        energy: EnergyAccounting {
+            initial_level: initial,
+            ..EnergyAccounting::default()
+        },
         config,
         tasks: tasks.clone(),
         profile,
@@ -462,6 +508,10 @@ pub fn simulate(
         stall_time: 0.0,
         samples: Vec::new(),
         trace: Vec::new(),
+        adv_cursor: Cursor::default(),
+        acct_cursor: Cursor::default(),
+        point_cursor: Cursor::default(),
+        cross_cursor: Cursor::default(),
     };
     let mut engine = Engine::new(model);
     // Seed first arrivals and the sampling grid.
@@ -528,31 +578,55 @@ mod tests {
     }
 
     fn section2_config() -> SystemConfig {
-        SystemConfig::new(presets::two_speed_example(), StorageSpec::ideal(1_000.0), d(30))
-            .with_initial_level(24.0)
-            .with_trace()
+        SystemConfig::new(
+            presets::two_speed_example(),
+            StorageSpec::ideal(1_000.0),
+            d(30),
+        )
+        .with_initial_level(24.0)
+        .with_trace()
     }
 
     #[test]
     fn section2_lsa_misses_tau2() {
-        let r = run(Box::new(LazyScheduler::new()), &section2_tasks(), section2_config());
+        let r = run(
+            Box::new(LazyScheduler::new()),
+            &section2_tasks(),
+            section2_config(),
+        );
         assert_eq!(r.released(), 2);
         // τ1 completes exactly at its deadline 16; τ2 starves.
-        assert!(r.jobs[0].met_deadline(), "τ1 outcome: {:?}", r.jobs[0].outcome);
-        assert!(r.jobs[1].missed_deadline(), "τ2 outcome: {:?}", r.jobs[1].outcome);
+        assert!(
+            r.jobs[0].met_deadline(),
+            "τ1 outcome: {:?}",
+            r.jobs[0].outcome
+        );
+        assert!(
+            r.jobs[1].missed_deadline(),
+            "τ2 outcome: {:?}",
+            r.jobs[1].outcome
+        );
         assert!((r.miss_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn section2_ea_dvfs_meets_both() {
-        let r = run(Box::new(EaDvfsScheduler::new()), &section2_tasks(), section2_config());
+        let r = run(
+            Box::new(EaDvfsScheduler::new()),
+            &section2_tasks(),
+            section2_config(),
+        );
         assert_eq!(r.missed(), 0, "jobs: {:?}", r.jobs);
         assert_eq!(r.completed_in_time(), 2);
     }
 
     #[test]
     fn section2_ea_dvfs_finishes_tau1_by_12() {
-        let r = run(Box::new(EaDvfsScheduler::new()), &section2_tasks(), section2_config());
+        let r = run(
+            Box::new(EaDvfsScheduler::new()),
+            &section2_tasks(),
+            section2_config(),
+        );
         match r.jobs[0].outcome {
             JobOutcome::Completed { at } => {
                 // Idle [0,4), slow [4,12): completes exactly at 12.
@@ -574,8 +648,12 @@ mod tests {
     fn fig3_config() -> SystemConfig {
         // Predicted available energy 32 over [0,16) with zero harvest:
         // stored 32 up front.
-        SystemConfig::new(presets::quarter_speed_example(), StorageSpec::ideal(1_000.0), d(30))
-            .with_initial_level(32.0)
+        SystemConfig::new(
+            presets::quarter_speed_example(),
+            StorageSpec::ideal(1_000.0),
+            d(30),
+        )
+        .with_initial_level(32.0)
     }
 
     fn run_fig3(policy: Box<dyn Scheduler>) -> SimResult {
@@ -592,7 +670,11 @@ mod tests {
     #[test]
     fn fig3_greedy_stretch_misses_tau2() {
         let r = run_fig3(Box::new(GreedyStretchScheduler::new()));
-        assert!(r.jobs[1].missed_deadline(), "τ2 outcome: {:?}", r.jobs[1].outcome);
+        assert!(
+            r.jobs[1].missed_deadline(),
+            "τ2 outcome: {:?}",
+            r.jobs[1].outcome
+        );
     }
 
     #[test]
@@ -707,8 +789,8 @@ mod tests {
             Task::once(u(5), d(7), 1.0),
         ]);
         let profile = PiecewiseConstant::constant(10.0);
-        let config = SystemConfig::new(presets::xscale(), StorageSpec::ideal(10_000.0), d(120))
-            .with_trace();
+        let config =
+            SystemConfig::new(presets::xscale(), StorageSpec::ideal(10_000.0), d(120)).with_trace();
         let r = simulate(
             config,
             &tasks,
@@ -743,7 +825,9 @@ mod tests {
         );
         assert_eq!(r.missed(), 1);
         match r.jobs[0].outcome {
-            JobOutcome::Missed { completed: Some(at) } => assert_eq!(at, u(4)),
+            JobOutcome::Missed {
+                completed: Some(at),
+            } => assert_eq!(at, u(4)),
             ref o => panic!("expected late completion, got {o:?}"),
         }
     }
@@ -761,7 +845,10 @@ mod tests {
             Box::new(OraclePredictor::new(profile)),
         );
         assert_eq!(r.missed(), 1);
-        assert!(matches!(r.jobs[0].outcome, JobOutcome::Missed { completed: None }));
+        assert!(matches!(
+            r.jobs[0].outcome,
+            JobOutcome::Missed { completed: None }
+        ));
         // Only ~2 units of work were executed before the abort.
         assert!(r.busy_time() < 2.0 + 1e-6);
     }
@@ -835,8 +922,7 @@ mod tests {
         );
         // Conservation still closes with switch drains.
         let lhs = costly.energy.initial_level + costly.energy.harvested;
-        let rhs =
-            costly.energy.consumed + costly.energy.overflow + costly.energy.final_level;
+        let rhs = costly.energy.consumed + costly.energy.overflow + costly.energy.final_level;
         assert!((lhs - rhs).abs() < 1e-6, "{:?}", costly.energy);
     }
 

@@ -54,8 +54,15 @@ mod tests {
     #[test]
     fn trace_events_round_trip_serde() {
         let events = vec![
-            TraceEvent::Released { job: JobId(1), task: 0, deadline: SimTime::from_whole_units(5) },
-            TraceEvent::Started { job: JobId(1), level: 2 },
+            TraceEvent::Released {
+                job: JobId(1),
+                task: 0,
+                deadline: SimTime::from_whole_units(5),
+            },
+            TraceEvent::Started {
+                job: JobId(1),
+                level: 2,
+            },
             TraceEvent::Completed { job: JobId(1) },
         ];
         let json = serde_json::to_string(&events).unwrap();

@@ -23,7 +23,10 @@ impl FrequencyLevel {
     ///
     /// Panics if either value is non-positive or not finite.
     pub fn new(frequency: f64, power: f64) -> Self {
-        assert!(frequency.is_finite() && frequency > 0.0, "frequency must be positive");
+        assert!(
+            frequency.is_finite() && frequency > 0.0,
+            "frequency must be positive"
+        );
         assert!(power.is_finite() && power > 0.0, "power must be positive");
         FrequencyLevel { frequency, power }
     }

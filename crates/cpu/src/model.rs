@@ -33,13 +33,22 @@ impl fmt::Display for CpuModelError {
         match self {
             CpuModelError::NoLevels => write!(f, "processor needs at least one frequency level"),
             CpuModelError::FrequenciesNotIncreasing { index } => {
-                write!(f, "frequencies must be strictly increasing (violated at level {index})")
+                write!(
+                    f,
+                    "frequencies must be strictly increasing (violated at level {index})"
+                )
             }
             CpuModelError::PowersNotIncreasing { index } => {
-                write!(f, "powers must be strictly increasing (violated at level {index})")
+                write!(
+                    f,
+                    "powers must be strictly increasing (violated at level {index})"
+                )
             }
             CpuModelError::InvalidIdlePower => {
-                write!(f, "idle power must be non-negative and below the lowest active power")
+                write!(
+                    f,
+                    "idle power must be non-negative and below the lowest active power"
+                )
             }
         }
     }
@@ -136,8 +145,14 @@ impl CpuModel {
     /// Panics if `energy` is negative or not finite, or `overhead` is
     /// negative.
     pub fn with_switch_overhead(mut self, overhead: SimDuration, energy: f64) -> Self {
-        assert!(energy.is_finite() && energy >= 0.0, "switch energy must be finite and >= 0");
-        assert!(overhead >= SimDuration::ZERO, "switch overhead must be non-negative");
+        assert!(
+            energy.is_finite() && energy >= 0.0,
+            "switch energy must be finite and >= 0"
+        );
+        assert!(
+            overhead >= SimDuration::ZERO,
+            "switch overhead must be non-negative"
+        );
         self.switch_overhead = overhead;
         self.switch_energy = energy;
         self
@@ -266,7 +281,10 @@ mod tests {
             FrequencyLevel::new(1000.0, 1.0),
             FrequencyLevel::new(500.0, 2.0),
         ]);
-        assert_eq!(err, Err(CpuModelError::FrequenciesNotIncreasing { index: 1 }));
+        assert_eq!(
+            err,
+            Err(CpuModelError::FrequenciesNotIncreasing { index: 1 })
+        );
     }
 
     #[test]

@@ -50,8 +50,15 @@ impl PowerLaw {
             dynamic_coeff.is_finite() && dynamic_coeff > 0.0,
             "dynamic coefficient must be positive"
         );
-        assert!(exponent.is_finite() && exponent >= 1.0, "exponent must be >= 1");
-        PowerLaw { static_power, dynamic_coeff, exponent }
+        assert!(
+            exponent.is_finite() && exponent >= 1.0,
+            "exponent must be >= 1"
+        );
+        PowerLaw {
+            static_power,
+            dynamic_coeff,
+            exponent,
+        }
     }
 
     /// The conventional cubic law with no static power, peaking at

@@ -105,6 +105,9 @@ mod tests {
         // Energy for 1 unit of work: P_n / S_n.
         let e_lo = cpu.execution_energy(1.0, 0);
         let e_hi = cpu.execution_energy(1.0, 4);
-        assert!(e_lo < e_hi, "slowing down must save energy ({e_lo} vs {e_hi})");
+        assert!(
+            e_lo < e_hi,
+            "slowing down must save energy ({e_lo} vs {e_hi})"
+        );
     }
 }

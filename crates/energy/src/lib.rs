@@ -45,8 +45,8 @@ pub mod sources;
 pub mod storage;
 
 pub use predictor::{
-    BiasedPredictor, EnergyPredictor, EwmaSlotPredictor, MovingAveragePredictor,
-    OraclePredictor, PersistencePredictor,
+    BiasedPredictor, EnergyPredictor, EwmaSlotPredictor, MovingAveragePredictor, OraclePredictor,
+    PersistencePredictor,
 };
 pub use source::{sample_profile, HarvestSource, Scaled, Sum};
 pub use sources::{ConstantSource, DayNightSource, MarkovWeatherSource, SolarModel, TraceSource};

@@ -39,9 +39,16 @@ impl<P: EnergyPredictor> BiasedPredictor<P> {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn new(inner: P, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor >= 0.0, "bias factor must be finite and >= 0");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "bias factor must be finite and >= 0"
+        );
         let name = format!("biased({}, x{factor})", inner.name());
-        BiasedPredictor { inner, factor, name }
+        BiasedPredictor {
+            inner,
+            factor,
+            name,
+        }
     }
 
     /// The bias factor.
@@ -77,16 +84,13 @@ impl<P: EnergyPredictor> EnergyPredictor for BiasedPredictor<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::predictor::{OraclePredictor, PersistencePredictor};
     use crate::predictor::test_util::seg;
+    use crate::predictor::{OraclePredictor, PersistencePredictor};
     use harvest_sim::piecewise::PiecewiseConstant;
 
     #[test]
     fn scales_predictions() {
-        let p = BiasedPredictor::new(
-            OraclePredictor::new(PiecewiseConstant::constant(1.0)),
-            0.5,
-        );
+        let p = BiasedPredictor::new(OraclePredictor::new(PiecewiseConstant::constant(1.0)), 0.5);
         assert_eq!(
             p.predict_energy(SimTime::ZERO, SimTime::from_whole_units(8)),
             4.0
@@ -107,11 +111,11 @@ mod tests {
 
     #[test]
     fn zero_factor_predicts_nothing() {
-        let p = BiasedPredictor::new(
-            OraclePredictor::new(PiecewiseConstant::constant(5.0)),
-            0.0,
+        let p = BiasedPredictor::new(OraclePredictor::new(PiecewiseConstant::constant(5.0)), 0.0);
+        assert_eq!(
+            p.predict_energy(SimTime::ZERO, SimTime::from_whole_units(1)),
+            0.0
         );
-        assert_eq!(p.predict_energy(SimTime::ZERO, SimTime::from_whole_units(1)), 0.0);
     }
 
     #[test]

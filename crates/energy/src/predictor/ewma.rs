@@ -99,7 +99,11 @@ impl EwmaSlotPredictor {
     ///
     /// Panics if the slice length differs from the slot count.
     pub fn seed_estimates(&mut self, estimates: &[f64]) {
-        assert_eq!(estimates.len(), self.estimates.len(), "estimate count mismatch");
+        assert_eq!(
+            estimates.len(),
+            self.estimates.len(),
+            "estimate count mismatch"
+        );
         self.estimates.copy_from_slice(estimates);
     }
 

@@ -49,7 +49,11 @@ impl MovingAveragePredictor {
     /// Panics if `window` is not positive.
     pub fn new(window: SimDuration) -> Self {
         assert!(window.is_positive(), "window must be positive");
-        MovingAveragePredictor { window, segments: VecDeque::new(), span: SimDuration::ZERO }
+        MovingAveragePredictor {
+            window,
+            segments: VecDeque::new(),
+            span: SimDuration::ZERO,
+        }
     }
 
     /// The configured window length.
@@ -79,7 +83,11 @@ impl EnergyPredictor for MovingAveragePredictor {
         // keeping a partial overshoot (≤ one segment) is fine and avoids
         // splitting records.
         while self.span > self.window {
-            let front = self.segments.front().copied().expect("span > 0 implies segments");
+            let front = self
+                .segments
+                .front()
+                .copied()
+                .expect("span > 0 implies segments");
             if self.span - front.duration() < self.window {
                 break;
             }
@@ -108,7 +116,10 @@ mod tests {
     #[test]
     fn empty_history_predicts_zero() {
         let p = MovingAveragePredictor::new(SimDuration::from_whole_units(10));
-        assert_eq!(p.predict_energy(SimTime::ZERO, SimTime::from_whole_units(5)), 0.0);
+        assert_eq!(
+            p.predict_energy(SimTime::ZERO, SimTime::from_whole_units(5)),
+            0.0
+        );
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Clairvoyant predictor over the realized profile.
 
-use harvest_sim::piecewise::{PiecewiseConstant, Segment};
+use std::cell::Cell;
+
+use harvest_sim::piecewise::{Cursor, PiecewiseConstant, Segment};
 use harvest_sim::time::SimTime;
 
 use super::EnergyPredictor;
@@ -23,15 +25,29 @@ use super::EnergyPredictor;
 /// let e = p.predict_energy(SimTime::ZERO, SimTime::from_whole_units(16));
 /// assert_eq!(e, 8.0);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct OraclePredictor {
     profile: PiecewiseConstant,
+    /// Breakpoint-position hint threaded across `predict_energy` calls.
+    /// Prediction windows advance monotonically with simulation time, so
+    /// the hint keeps each query amortized `O(1)`; it never changes a
+    /// returned value (the cursor is a pure accelerator).
+    cursor: Cell<Cursor>,
+}
+
+impl PartialEq for OraclePredictor {
+    fn eq(&self, other: &Self) -> bool {
+        // The cursor is a lookup hint, not state: equality is decided by
+        // the profile alone.
+        self.profile == other.profile
+    }
 }
 
 impl OraclePredictor {
     /// Creates an oracle over the given realized profile.
     pub fn new(profile: PiecewiseConstant) -> Self {
-        OraclePredictor { profile }
+        let cursor = Cell::new(profile.cursor());
+        OraclePredictor { profile, cursor }
     }
 
     /// The wrapped profile.
@@ -47,7 +63,10 @@ impl EnergyPredictor for OraclePredictor {
         if until <= from {
             return 0.0;
         }
-        self.profile.integrate(from, until)
+        let mut cur = self.cursor.get();
+        let e = self.profile.integrate_with(&mut cur, from, until);
+        self.cursor.set(cur);
+        e
     }
 
     fn name(&self) -> &str {
@@ -78,15 +97,24 @@ mod tests {
     #[test]
     fn empty_or_reversed_window_is_zero() {
         let p = OraclePredictor::new(PiecewiseConstant::constant(2.0));
-        assert_eq!(p.predict_energy(SimTime::from_whole_units(5), SimTime::from_whole_units(5)), 0.0);
-        assert_eq!(p.predict_energy(SimTime::from_whole_units(5), SimTime::ZERO), 0.0);
+        assert_eq!(
+            p.predict_energy(SimTime::from_whole_units(5), SimTime::from_whole_units(5)),
+            0.0
+        );
+        assert_eq!(
+            p.predict_energy(SimTime::from_whole_units(5), SimTime::ZERO),
+            0.0
+        );
     }
 
     #[test]
     fn observe_is_inert() {
         let mut p = OraclePredictor::new(PiecewiseConstant::constant(2.0));
         p.observe(crate::predictor::test_util::seg(0, 1, 99.0));
-        assert_eq!(p.predict_energy(SimTime::ZERO, SimTime::from_whole_units(1)), 2.0);
+        assert_eq!(
+            p.predict_energy(SimTime::ZERO, SimTime::from_whole_units(1)),
+            2.0
+        );
         assert_eq!(p.name(), "oracle");
     }
 }

@@ -68,7 +68,10 @@ mod tests {
     #[test]
     fn initial_prediction_is_zero() {
         let p = PersistencePredictor::new();
-        assert_eq!(p.predict_energy(SimTime::ZERO, SimTime::from_whole_units(10)), 0.0);
+        assert_eq!(
+            p.predict_energy(SimTime::ZERO, SimTime::from_whole_units(10)),
+            0.0
+        );
     }
 
     #[test]
@@ -77,13 +80,19 @@ mod tests {
         p.observe(seg(0, 1, 1.0));
         p.observe(seg(1, 2, 4.0));
         assert_eq!(p.last_power(), 4.0);
-        assert_eq!(p.predict_energy(SimTime::from_whole_units(2), SimTime::from_whole_units(4)), 8.0);
+        assert_eq!(
+            p.predict_energy(SimTime::from_whole_units(2), SimTime::from_whole_units(4)),
+            8.0
+        );
     }
 
     #[test]
     fn reversed_window_is_zero() {
         let mut p = PersistencePredictor::new();
         p.observe(seg(0, 1, 5.0));
-        assert_eq!(p.predict_energy(SimTime::from_whole_units(3), SimTime::ZERO), 0.0);
+        assert_eq!(
+            p.predict_energy(SimTime::from_whole_units(3), SimTime::ZERO),
+            0.0
+        );
     }
 }

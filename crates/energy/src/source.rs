@@ -72,7 +72,10 @@ pub fn sample_profile<S: HarvestSource + ?Sized>(
     seed: u64,
 ) -> Result<PiecewiseConstant, PiecewiseError> {
     if !dt.is_positive() || !horizon.is_positive() {
-        return Err(PiecewiseError::LengthMismatch { breakpoints: 0, values: 0 });
+        return Err(PiecewiseError::LengthMismatch {
+            breakpoints: 0,
+            values: 0,
+        });
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let n = ((horizon.as_ticks() + dt.as_ticks() - 1) / dt.as_ticks()) as usize;
@@ -119,9 +122,16 @@ impl<S: HarvestSource> Scaled<S> {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn new(inner: S, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be finite and >= 0");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and >= 0"
+        );
         let name = format!("scaled({}, {factor})", inner.name());
-        Scaled { inner, factor, name }
+        Scaled {
+            inner,
+            factor,
+            name,
+        }
     }
 
     /// The wrapped source.

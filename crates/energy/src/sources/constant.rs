@@ -35,7 +35,10 @@ impl ConstantSource {
     ///
     /// Panics if `power` is negative or not finite.
     pub fn new(power: f64) -> Self {
-        assert!(power.is_finite() && power >= 0.0, "power must be finite and >= 0");
+        assert!(
+            power.is_finite() && power >= 0.0,
+            "power must be finite and >= 0"
+        );
         ConstantSource { power }
     }
 

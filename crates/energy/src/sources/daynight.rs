@@ -53,7 +53,10 @@ impl DayNightSource {
         cycle: SimDuration,
         day_length: SimDuration,
     ) -> Self {
-        assert!(day_power.is_finite() && day_power >= 0.0, "day power must be finite and >= 0");
+        assert!(
+            day_power.is_finite() && day_power >= 0.0,
+            "day power must be finite and >= 0"
+        );
         assert!(
             night_power.is_finite() && night_power >= 0.0,
             "night power must be finite and >= 0"
@@ -63,7 +66,12 @@ impl DayNightSource {
             day_length.is_positive() && day_length <= cycle,
             "day length must lie within the cycle"
         );
-        DayNightSource { day_power, night_power, cycle, day_length }
+        DayNightSource {
+            day_power,
+            night_power,
+            cycle,
+            day_length,
+        }
     }
 
     /// `true` if `t` falls in the day phase.

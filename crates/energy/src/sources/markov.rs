@@ -18,8 +18,11 @@ pub enum WeatherState {
 }
 
 impl WeatherState {
-    const ALL: [WeatherState; 3] =
-        [WeatherState::Clear, WeatherState::Cloudy, WeatherState::Overcast];
+    const ALL: [WeatherState; 3] = [
+        WeatherState::Clear,
+        WeatherState::Cloudy,
+        WeatherState::Overcast,
+    ];
 
     fn index(self) -> usize {
         match self {
@@ -75,8 +78,14 @@ impl<S: HarvestSource> MarkovWeatherSource<S> {
     pub fn new(inner: S, transition: [[f64; 3]; 3], attenuation: [f64; 3]) -> Self {
         for row in &transition {
             let sum: f64 = row.iter().sum();
-            assert!((sum - 1.0).abs() < 1e-9, "transition rows must sum to 1, got {sum}");
-            assert!(row.iter().all(|&p| p >= 0.0), "transition probabilities must be >= 0");
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "transition rows must sum to 1, got {sum}"
+            );
+            assert!(
+                row.iter().all(|&p| p >= 0.0),
+                "transition probabilities must be >= 0"
+            );
         }
         assert!(
             attenuation.iter().all(|&a| (0.0..=1.0).contains(&a)),
@@ -100,14 +109,13 @@ impl<S: HarvestSource> MarkovWeatherSource<S> {
     ///
     /// Panics if `persistence` is outside `[0, 1]`.
     pub fn with_default_attenuation(inner: S, persistence: f64) -> Self {
-        assert!((0.0..=1.0).contains(&persistence), "persistence must lie in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&persistence),
+            "persistence must lie in [0, 1]"
+        );
         let q = (1.0 - persistence) / 2.0;
         let p = persistence;
-        MarkovWeatherSource::new(
-            inner,
-            [[p, q, q], [q, p, q], [q, q, p]],
-            [1.0, 0.4, 0.1],
-        )
+        MarkovWeatherSource::new(inner, [[p, q, q], [q, p, q], [q, q, p]], [1.0, 0.4, 0.1])
     }
 
     /// The current weather state.
@@ -172,7 +180,10 @@ mod tests {
                 prev = s.state();
             }
         }
-        assert!(changes < 40, "too many changes for persistence 0.99: {changes}");
+        assert!(
+            changes < 40,
+            "too many changes for persistence 0.99: {changes}"
+        );
     }
 
     #[test]

@@ -56,9 +56,18 @@ impl SolarModel {
     ///
     /// Panics if either parameter is non-positive or not finite.
     pub fn new(amplitude: f64, time_scale: f64) -> Self {
-        assert!(amplitude.is_finite() && amplitude > 0.0, "amplitude must be positive");
-        assert!(time_scale.is_finite() && time_scale > 0.0, "time scale must be positive");
-        SolarModel { amplitude, time_scale }
+        assert!(
+            amplitude.is_finite() && amplitude > 0.0,
+            "amplitude must be positive"
+        );
+        assert!(
+            time_scale.is_finite() && time_scale > 0.0,
+            "time scale must be positive"
+        );
+        SolarModel {
+            amplitude,
+            time_scale,
+        }
     }
 
     /// The paper's parameters: `A = 10`, `τ = 70π` (eq. 13).

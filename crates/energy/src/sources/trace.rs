@@ -51,7 +51,11 @@ impl TraceSource {
         if let Some(index) = samples.iter().position(|&v| v < 0.0) {
             return Err(PiecewiseError::NonFiniteValue { index });
         }
-        let ext = if cyclic { Extension::Cycle } else { Extension::Hold };
+        let ext = if cyclic {
+            Extension::Cycle
+        } else {
+            Extension::Hold
+        };
         let profile = PiecewiseConstant::from_samples(SimTime::ZERO, dt, samples, ext)?;
         Ok(TraceSource { profile })
     }
@@ -62,7 +66,10 @@ impl TraceSource {
     ///
     /// Panics if the profile takes negative values.
     pub fn from_profile(profile: PiecewiseConstant) -> Self {
-        assert!(profile.domain_min() >= 0.0, "trace power must be non-negative");
+        assert!(
+            profile.domain_min() >= 0.0,
+            "trace power must be non-negative"
+        );
         TraceSource { profile }
     }
 
@@ -113,13 +120,16 @@ mod tests {
     fn rejects_negative_samples() {
         let err =
             TraceSource::from_samples(SimDuration::from_whole_units(1), vec![1.0, -2.0], false);
-        assert!(matches!(err, Err(PiecewiseError::NonFiniteValue { index: 1 })));
+        assert!(matches!(
+            err,
+            Err(PiecewiseError::NonFiniteValue { index: 1 })
+        ));
     }
 
     #[test]
     fn profile_accessor_exposes_trace() {
-        let s = TraceSource::from_samples(SimDuration::from_whole_units(1), vec![4.0], false)
-            .unwrap();
+        let s =
+            TraceSource::from_samples(SimDuration::from_whole_units(1), vec![4.0], false).unwrap();
         assert_eq!(s.profile().domain_mean(), 4.0);
     }
 }

@@ -11,7 +11,7 @@
 //! so every full/empty crossing is solved in closed form by
 //! [`StorageSpec::advance`] and [`StorageSpec::first_crossing`].
 
-use harvest_sim::piecewise::PiecewiseConstant;
+use harvest_sim::piecewise::{Cursor, PiecewiseConstant};
 use harvest_sim::time::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -67,7 +67,10 @@ impl StorageSpec {
     /// Panics if `capacity` is negative or NaN (`f64::INFINITY` is
     /// allowed and models the §4.3 infinite-storage thought experiment).
     pub fn ideal(capacity: f64) -> Self {
-        assert!(!capacity.is_nan() && capacity >= 0.0, "capacity must be >= 0");
+        assert!(
+            !capacity.is_nan() && capacity >= 0.0,
+            "capacity must be >= 0"
+        );
         StorageSpec {
             capacity,
             charge_efficiency: 1.0,
@@ -89,7 +92,10 @@ impl StorageSpec {
     ///
     /// Panics if `eta` is outside `(0, 1]`.
     pub fn with_charge_efficiency(mut self, eta: f64) -> Self {
-        assert!(eta > 0.0 && eta <= 1.0, "charge efficiency must lie in (0, 1]");
+        assert!(
+            eta > 0.0 && eta <= 1.0,
+            "charge efficiency must lie in (0, 1]"
+        );
         self.charge_efficiency = eta;
         self
     }
@@ -101,7 +107,10 @@ impl StorageSpec {
     ///
     /// Panics if `eta` is outside `(0, 1]`.
     pub fn with_discharge_efficiency(mut self, eta: f64) -> Self {
-        assert!(eta > 0.0 && eta <= 1.0, "discharge efficiency must lie in (0, 1]");
+        assert!(
+            eta > 0.0 && eta <= 1.0,
+            "discharge efficiency must lie in (0, 1]"
+        );
         self.discharge_efficiency = eta;
         self
     }
@@ -113,7 +122,10 @@ impl StorageSpec {
     ///
     /// Panics if `power` is negative or not finite.
     pub fn with_leakage_power(mut self, power: f64) -> Self {
-        assert!(power.is_finite() && power >= 0.0, "leakage power must be finite and >= 0");
+        assert!(
+            power.is_finite() && power >= 0.0,
+            "leakage power must be finite and >= 0"
+        );
         self.leakage_power = power;
         self
     }
@@ -173,13 +185,42 @@ impl StorageSpec {
         to: SimTime,
         load: f64,
     ) -> AdvanceReport {
-        assert!(level >= 0.0 && level <= self.capacity, "level {level} outside [0, capacity]");
-        assert!(load >= 0.0 && load.is_finite(), "load must be finite and >= 0");
+        self.advance_with(&mut Cursor::default(), level, profile, from, to, load)
+    }
+
+    /// Like [`Self::advance`], threading a profile [`Cursor`] across
+    /// calls. A simulator advancing storage across consecutive windows
+    /// keeps each segment lookup amortized `O(1)` instead of paying a
+    /// binary search per call. The report is bitwise-identical to
+    /// [`Self::advance`] for any cursor state.
+    #[allow(clippy::too_many_arguments)] // one scalar per physical input; the call sites read clearly
+    pub fn advance_with(
+        &self,
+        cur: &mut Cursor,
+        level: f64,
+        profile: &PiecewiseConstant,
+        from: SimTime,
+        to: SimTime,
+        load: f64,
+    ) -> AdvanceReport {
+        assert!(
+            level >= 0.0 && level <= self.capacity,
+            "level {level} outside [0, capacity]"
+        );
+        assert!(
+            load >= 0.0 && load.is_finite(),
+            "load must be finite and >= 0"
+        );
         assert!(to >= from, "window must run forward");
-        let mut report = AdvanceReport { level, ..AdvanceReport::default() };
-        for seg in profile.segments_between(from, to) {
+        let mut report = AdvanceReport {
+            level,
+            ..AdvanceReport::default()
+        };
+        let mut segs = profile.segments_between_with(*cur, from, to);
+        for seg in segs.by_ref() {
             self.advance_constant(&mut report, seg.value, seg.duration().as_units(), load);
         }
+        *cur = segs.state();
         report
     }
 
@@ -238,8 +279,7 @@ impl StorageSpec {
                 continue;
             }
             let step = dt.min(until_clamp);
-            report.level =
-                snap(report.level + rate * step, self.capacity);
+            report.level = snap(report.level + rate * step, self.capacity);
             report.delivered += load * step;
             dt -= step;
         }
@@ -265,57 +305,110 @@ impl StorageSpec {
         horizon: SimTime,
         load: f64,
     ) -> Option<SimTime> {
-        assert!(level >= 0.0 && level <= self.capacity, "level outside [0, capacity]");
-        assert!(target >= 0.0 && target <= self.capacity, "target outside [0, capacity]");
+        self.first_crossing_with(
+            &mut Cursor::default(),
+            level,
+            target,
+            profile,
+            from,
+            horizon,
+            load,
+        )
+    }
+
+    /// Like [`Self::first_crossing`], threading a profile [`Cursor`]
+    /// across calls (see [`Self::advance_with`]). The answer is identical
+    /// for any cursor state.
+    #[allow(clippy::too_many_arguments)] // one scalar per physical input; the call sites read clearly
+    pub fn first_crossing_with(
+        &self,
+        pcur: &mut Cursor,
+        level: f64,
+        target: f64,
+        profile: &PiecewiseConstant,
+        from: SimTime,
+        horizon: SimTime,
+        load: f64,
+    ) -> Option<SimTime> {
+        assert!(
+            level >= 0.0 && level <= self.capacity,
+            "level outside [0, capacity]"
+        );
+        assert!(
+            target >= 0.0 && target <= self.capacity,
+            "target outside [0, capacity]"
+        );
         if level == target {
             return Some(from);
         }
-        let mut cur = level;
-        for seg in profile.segments_between(from, horizon) {
-            let input = self.charge_efficiency * seg.value;
-            let draw = load / self.discharge_efficiency;
-            let mut t = seg.start.as_units();
-            let end = seg.end.as_units();
-            // Mirror `advance_constant`: at most one moving phase and one
-            // pinned phase per segment.
-            while t < end {
-                let pinned_empty = cur <= 0.0
-                    && (input - draw <= 0.0 || input - draw - self.leakage_power <= 0.0);
-                let rate = input - draw - self.leakage_power;
-                let pinned_full = cur >= self.capacity && rate >= 0.0;
-                if pinned_empty || pinned_full || rate == 0.0 {
-                    break; // level holds for the rest of the segment
-                }
-                let until_clamp = if rate > 0.0 {
-                    (self.capacity - cur) / rate
-                } else {
-                    cur / -rate
-                };
-                if until_clamp <= BOUNDARY_SNAP / rate.abs() {
-                    // A few ulps from the boundary: snap; the pinned
-                    // check above ends the phase next iteration.
-                    cur = if rate > 0.0 { self.capacity } else { 0.0 };
-                    if cur == target {
-                        return Some(SimTime::from_units_ceil(t).max(seg.start).min(seg.end));
-                    }
-                    continue;
-                }
-                let step = (end - t).min(until_clamp);
-                let crosses = if rate > 0.0 {
-                    target > cur && target <= cur + rate * step + 1e-15
-                } else {
-                    target < cur && target >= cur + rate * step - 1e-15
-                };
-                if crosses {
-                    let dt = (target - cur) / rate;
-                    let hit = SimTime::from_units_ceil(t + dt);
-                    return Some(hit.max(seg.start).min(seg.end));
-                }
-                cur = snap(cur + rate * step, self.capacity);
-                t += step;
-            }
+        // Ideal storage: the level follows the clamped accumulation of
+        // `harvest − load` exactly, so the kernel's prefix-sum crossing
+        // solver applies directly (O(log) on monotone windows). Non-ideal
+        // specs fall through to the mirrored segment scan.
+        if self.is_ideal() && self.capacity.is_finite() {
+            return profile.first_accumulation_crossing_with(
+                pcur,
+                from,
+                horizon,
+                level,
+                -load,
+                self.capacity,
+                target,
+            );
         }
-        None
+        let mut cur = level;
+        let mut segs = profile.segments_between_with(*pcur, from, horizon);
+        let result = 'scan: {
+            for seg in segs.by_ref() {
+                let input = self.charge_efficiency * seg.value;
+                let draw = load / self.discharge_efficiency;
+                let mut t = seg.start.as_units();
+                let end = seg.end.as_units();
+                // Mirror `advance_constant`: at most one moving phase and
+                // one pinned phase per segment.
+                while t < end {
+                    let pinned_empty = cur <= 0.0
+                        && (input - draw <= 0.0 || input - draw - self.leakage_power <= 0.0);
+                    let rate = input - draw - self.leakage_power;
+                    let pinned_full = cur >= self.capacity && rate >= 0.0;
+                    if pinned_empty || pinned_full || rate == 0.0 {
+                        break; // level holds for the rest of the segment
+                    }
+                    let until_clamp = if rate > 0.0 {
+                        (self.capacity - cur) / rate
+                    } else {
+                        cur / -rate
+                    };
+                    if until_clamp <= BOUNDARY_SNAP / rate.abs() {
+                        // A few ulps from the boundary: snap; the pinned
+                        // check above ends the phase next iteration.
+                        cur = if rate > 0.0 { self.capacity } else { 0.0 };
+                        if cur == target {
+                            break 'scan Some(
+                                SimTime::from_units_ceil(t).max(seg.start).min(seg.end),
+                            );
+                        }
+                        continue;
+                    }
+                    let step = (end - t).min(until_clamp);
+                    let crosses = if rate > 0.0 {
+                        target > cur && target <= cur + rate * step + 1e-15
+                    } else {
+                        target < cur && target >= cur + rate * step - 1e-15
+                    };
+                    if crosses {
+                        let dt = (target - cur) / rate;
+                        let hit = SimTime::from_units_ceil(t + dt);
+                        break 'scan Some(hit.max(seg.start).min(seg.end));
+                    }
+                    cur = snap(cur + rate * step, self.capacity);
+                    t += step;
+                }
+            }
+            None
+        };
+        *pcur = segs.state();
+        result
     }
 }
 
@@ -357,7 +450,11 @@ impl Storage {
     /// start at level 0 — with unbounded storage the level never
     /// constrains anything, and 0 keeps the arithmetic finite.
     pub fn full(spec: StorageSpec) -> Self {
-        let level = if spec.is_infinite() { 0.0 } else { spec.capacity() };
+        let level = if spec.is_infinite() {
+            0.0
+        } else {
+            spec.capacity()
+        };
         Storage { spec, level }
     }
 
@@ -400,7 +497,22 @@ impl Storage {
         to: SimTime,
         load: f64,
     ) -> AdvanceReport {
-        let report = self.spec.advance(self.level, profile, from, to, load);
+        self.advance_with(&mut Cursor::default(), profile, from, to, load)
+    }
+
+    /// Cursor-threaded variant of [`Self::advance`] (see
+    /// [`StorageSpec::advance_with`]).
+    pub fn advance_with(
+        &mut self,
+        cur: &mut Cursor,
+        profile: &PiecewiseConstant,
+        from: SimTime,
+        to: SimTime,
+        load: f64,
+    ) -> AdvanceReport {
+        let report = self
+            .spec
+            .advance_with(cur, self.level, profile, from, to, load);
         self.level = report.level;
         report
     }

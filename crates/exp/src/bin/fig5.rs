@@ -9,12 +9,18 @@ fn main() {
     let args = CliArgs::parse(1);
     let fig = source_figure(args.seed, 10_000);
 
-    println!("Figure 5: energy source behaviour (eq. 13, seed {})", args.seed);
+    println!(
+        "Figure 5: energy source behaviour (eq. 13, seed {})",
+        args.seed
+    );
     println!();
     // Plot a 200-point decimation so the terminal plot stays readable.
     let stride = fig.power.len() / 200;
     let decimated: Vec<f64> = fig.power.iter().step_by(stride.max(1)).copied().collect();
-    println!("{}", ascii_plot(&[("PS(t)", &decimated)], "t (x50 units)", 100, 16));
+    println!(
+        "{}",
+        ascii_plot(&[("PS(t)", &decimated)], "t (x50 units)", 100, 16)
+    );
     println!("mean power  : {}", fmt_num(fig.mean));
     println!("peak power  : {}", fmt_num(fig.max));
     println!("paper shape : spiky, cos^2 envelope, peaks near 20, mean ~2");

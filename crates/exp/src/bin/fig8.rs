@@ -19,8 +19,11 @@ fn main() {
     let mut table = Table::new(vec!["C/Cmax", "LSA", "EA-DVFS", "reduction"]);
     for row in &fig.rows {
         let (lsa, ea) = (row.miss_rates[0], row.miss_rates[1]);
-        let reduction =
-            if lsa > 0.0 { format!("{:.0}%", 100.0 * (lsa - ea) / lsa) } else { "-".into() };
+        let reduction = if lsa > 0.0 {
+            format!("{:.0}%", 100.0 * (lsa - ea) / lsa)
+        } else {
+            "-".into()
+        };
         table.row(vec![
             format!("{:.2}", row.normalized_capacity),
             fmt_num(lsa),

@@ -135,8 +135,16 @@ mod tests {
     fn flags_parse() {
         let args = CliArgs::try_parse(
             [
-                "--trials", "7", "--threads", "3", "--seed", "99", "--csv", "/tmp/x.csv",
-                "--json", "/tmp/x.json",
+                "--trials",
+                "7",
+                "--threads",
+                "3",
+                "--seed",
+                "99",
+                "--csv",
+                "/tmp/x.csv",
+                "--json",
+                "/tmp/x.json",
             ],
             1,
         )

@@ -48,7 +48,9 @@ pub fn min_zero_miss_capacity(
     assert!(rel_tol > 0.0, "tolerance must be positive");
     let miss_free = |capacity: f64| -> bool {
         let rates = parallel_map(0..trials as u64, threads, |seed| {
-            PaperScenario::new(utilization, capacity).run(policy, seed).missed()
+            PaperScenario::new(utilization, capacity)
+                .run(policy, seed)
+                .missed()
         });
         rates.into_iter().all(|missed| missed == 0)
     };
@@ -79,17 +81,12 @@ pub fn min_zero_miss_capacity(
 /// # Panics
 ///
 /// Panics if `utilizations` is empty or `trials`/`threads` is zero.
-pub fn min_capacity_table(
-    utilizations: &[f64],
-    trials: usize,
-    threads: usize,
-) -> MinCapacityTable {
+pub fn min_capacity_table(utilizations: &[f64], trials: usize, threads: usize) -> MinCapacityTable {
     assert!(!utilizations.is_empty(), "need at least one utilization");
     let rows = utilizations
         .iter()
         .map(|&u| {
-            let cmin_lsa =
-                min_zero_miss_capacity(PolicyKind::Lsa, u, trials, threads, 1e7, 0.005);
+            let cmin_lsa = min_zero_miss_capacity(PolicyKind::Lsa, u, trials, threads, 1e7, 0.005);
             let cmin_ea =
                 min_zero_miss_capacity(PolicyKind::EaDvfs, u, trials, threads, 1e7, 0.005);
             MinCapacityRow {

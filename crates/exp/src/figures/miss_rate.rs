@@ -48,8 +48,7 @@ impl MissRateFigure {
 /// the curves move fastest; maximum matches the paper's 5 000).
 pub(crate) fn sweep_capacities() -> Vec<f64> {
     vec![
-        50.0, 100.0, 200.0, 300.0, 500.0, 750.0, 1000.0, 1500.0, 2000.0, 3000.0, 4000.0,
-        5000.0,
+        50.0, 100.0, 200.0, 300.0, 500.0, 750.0, 1000.0, 1500.0, 2000.0, 3000.0, 4000.0, 5000.0,
     ]
 }
 
@@ -71,11 +70,15 @@ pub fn miss_rate_figure(
         .iter()
         .enumerate()
         .flat_map(|(ci, &c)| {
-            policies.iter().flat_map(move |&p| (0..trials as u64).map(move |s| (ci, c, p, s)))
+            policies
+                .iter()
+                .flat_map(move |&p| (0..trials as u64).map(move |s| (ci, c, p, s)))
         })
         .collect();
     let rates = parallel_map(jobs.clone(), threads, |(_, capacity, policy, seed)| {
-        PaperScenario::new(utilization, capacity).run(policy, seed).miss_rate()
+        PaperScenario::new(utilization, capacity)
+            .run(policy, seed)
+            .miss_rate()
     });
     let mut rows: Vec<MissRateRow> = capacities
         .iter()
@@ -86,10 +89,18 @@ pub fn miss_rate_figure(
         })
         .collect();
     for ((ci, _, policy, _), rate) in jobs.into_iter().zip(rates) {
-        let pi = policies.iter().position(|&p| p == policy).expect("policy in list");
+        let pi = policies
+            .iter()
+            .position(|&p| p == policy)
+            .expect("policy in list");
         rows[ci].miss_rates[pi] += rate / trials as f64;
     }
-    MissRateFigure { utilization, policies: policies.to_vec(), rows, trials }
+    MissRateFigure {
+        utilization,
+        policies: policies.to_vec(),
+        rows,
+        trials,
+    }
 }
 
 #[cfg(test)]

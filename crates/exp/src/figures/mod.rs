@@ -15,8 +15,9 @@ mod miss_rate;
 mod remaining_energy;
 mod source;
 
-pub use min_capacity::{min_capacity_table, min_zero_miss_capacity, MinCapacityRow,
-    MinCapacityTable};
+pub use min_capacity::{
+    min_capacity_table, min_zero_miss_capacity, MinCapacityRow, MinCapacityTable,
+};
 pub use miss_rate::{miss_rate_figure, MissRateFigure, MissRateRow};
 pub use remaining_energy::{remaining_energy_figure, RemainingEnergyFigure};
 pub use source::{source_figure, SourceFigure};

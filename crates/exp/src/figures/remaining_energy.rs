@@ -35,12 +35,16 @@ pub struct RemainingEnergyFigure {
 impl RemainingEnergyFigure {
     /// The curve for one policy, if present.
     pub fn curve(&self, policy: PolicyKind) -> Option<&[f64]> {
-        self.series.iter().find(|(p, _)| *p == policy).map(|(_, v)| v.as_slice())
+        self.series
+            .iter()
+            .find(|(p, _)| *p == policy)
+            .map(|(_, v)| v.as_slice())
     }
 
     /// Time-averaged normalized remaining energy for one policy.
     pub fn mean_level(&self, policy: PolicyKind) -> Option<f64> {
-        self.curve(policy).map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        self.curve(policy)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
     }
 }
 
@@ -77,8 +81,8 @@ pub fn remaining_energy_figure(
             .flat_map(|(ci, &c)| (0..trials as u64).map(move |s| (ci, c, s)))
             .collect();
         let runs = parallel_map(jobs, threads, |(ci, capacity, seed)| {
-            let scenario = PaperScenario::new(utilization, capacity)
-                .with_sampling(sample_interval_units);
+            let scenario =
+                PaperScenario::new(utilization, capacity).with_sampling(sample_interval_units);
             let result = scenario.run(policy, seed);
             let samples: Vec<f64> = result
                 .normalized_samples(capacity)
@@ -97,7 +101,9 @@ pub fn remaining_energy_figure(
     }
     RemainingEnergyFigure {
         utilization,
-        times: (0..points).map(|k| (k as i64 * sample_interval_units) as f64).collect(),
+        times: (0..points)
+            .map(|k| (k as i64 * sample_interval_units) as f64)
+            .collect(),
         series,
         trials,
         capacities,
@@ -113,13 +119,7 @@ mod tests {
     /// EA-DVFS system stores significantly more energy than LSA.
     #[test]
     fn ea_dvfs_stores_more_at_low_utilization() {
-        let fig = remaining_energy_figure(
-            0.4,
-            &[PolicyKind::Lsa, PolicyKind::EaDvfs],
-            3,
-            2,
-            500,
-        );
+        let fig = remaining_energy_figure(0.4, &[PolicyKind::Lsa, PolicyKind::EaDvfs], 3, 2, 500);
         let lsa = fig.mean_level(PolicyKind::Lsa).unwrap();
         let ea = fig.mean_level(PolicyKind::EaDvfs).unwrap();
         assert!(

@@ -33,7 +33,5 @@ pub mod record;
 pub mod report;
 pub mod scenario;
 
-pub use figures::{
-    min_capacity_table, miss_rate_figure, remaining_energy_figure, source_figure,
-};
+pub use figures::{min_capacity_table, miss_rate_figure, remaining_energy_figure, source_figure};
 pub use scenario::{PaperScenario, PolicyKind, PredictorKind};

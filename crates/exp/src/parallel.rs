@@ -1,10 +1,22 @@
 //! Tiny deterministic parallel-map over trial seeds.
+//!
+//! Work distribution is an atomic-counter work-stealing loop rather than
+//! fixed equal chunks: trial runtimes are heavily skewed (scarce-energy
+//! trials simulate far more scheduler events), so static chunking leaves
+//! threads idle while one worker drains a slow chunk. Each worker claims
+//! the next unclaimed index with a `fetch_add`, so load balances itself
+//! at item granularity while results land in input order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Applies `f` to every item, fanning work out over `threads` OS threads
 /// while preserving input order in the output.
 ///
 /// Results are deterministic: the mapping from item to result does not
-/// depend on scheduling, only the wall-clock does.
+/// depend on scheduling, only the wall-clock does. Workers pull items
+/// one at a time from a shared atomic counter, so skewed per-item
+/// runtimes do not serialize behind a slow chunk.
 ///
 /// # Panics
 ///
@@ -32,51 +44,66 @@ where
     if threads == 1 {
         return items.into_iter().map(f).collect();
     }
-    let n = items.len();
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let chunk = n.div_euclid(threads) + usize::from(n % threads != 0);
-    let mut chunks: Vec<&mut [Option<R>]> = Vec::new();
-    let mut rest: &mut [Option<R>] = &mut slots;
-    while !rest.is_empty() {
-        let take = chunk.min(rest.len());
-        let (head, tail) = rest.split_at_mut(take);
-        chunks.push(head);
-        rest = tail;
-    }
-    let mut work_chunks: Vec<Vec<(usize, T)>> = Vec::new();
-    let mut it = work.into_iter();
-    loop {
-        let batch: Vec<(usize, T)> = it.by_ref().take(chunk).collect();
-        if batch.is_empty() {
-            break;
-        }
-        work_chunks.push(batch);
-    }
-    let f = &f;
-    crossbeam::thread::scope(|scope| {
-        for (out, batch) in chunks.into_iter().zip(work_chunks) {
-            scope.spawn(move |_| {
-                for (slot, (_, item)) in out.iter_mut().zip(batch) {
-                    *slot = Some(f(item));
+
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = work.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let (f, work_ref, slots_ref, next_ref) = (&f, &work, &slots, &next);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || loop {
+                let idx = next_ref.fetch_add(1, Ordering::Relaxed);
+                if idx >= work_ref.len() {
+                    break;
                 }
+                let item = work_ref[idx]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("work item claimed twice");
+                let result = f(item);
+                *slots_ref[idx].lock().expect("result slot poisoned") = Some(result);
             });
         }
-    })
-    .expect("worker thread panicked");
-    slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+    });
+
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("all slots filled")
+        })
+        .collect()
 }
 
-/// A sensible default worker count: the machine's parallelism, capped at
-/// 16 (the experiment runs are short; more threads only add overhead).
+/// A sensible default worker count.
+///
+/// Resolution order:
+/// 1. The `HARVEST_THREADS` environment variable, when set to a positive
+///    integer — an explicit override for benchmarking or oversubscribed
+///    machines.
+/// 2. Otherwise the machine's available parallelism, **capped at 16**:
+///    the experiment runs are short, and past 16 workers the spawn and
+///    synchronization overhead outweighs the extra cores.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(4, |n| n.get()).min(16)
+    if let Ok(raw) = std::env::var("HARVEST_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(16)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn preserves_order() {
@@ -103,7 +130,46 @@ mod tests {
     }
 
     #[test]
+    fn skewed_runtimes_keep_input_order() {
+        // Early items are slow, late items fast: under static chunking the
+        // first worker would finish last; work stealing must still place
+        // every result at its input index.
+        let out = parallel_map(0..40u64, 4, |x| {
+            if x < 4 {
+                std::thread::sleep(Duration::from_millis(20));
+            } else if x % 7 == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            x * 3
+        });
+        assert_eq!(out, (0..40u64).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nondeterministic_claim_order_still_deterministic_output() {
+        let a = parallel_map(0..500u64, 8, |x| x.wrapping_mul(0x9E37_79B9).rotate_left(7));
+        let b = parallel_map(0..500u64, 3, |x| x.wrapping_mul(0x9E37_79B9).rotate_left(7));
+        let serial: Vec<u64> = (0..500u64)
+            .map(|x| x.wrapping_mul(0x9E37_79B9).rotate_left(7))
+            .collect();
+        assert_eq!(a, serial);
+        assert_eq!(b, serial);
+    }
+
+    #[test]
     fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn harvest_threads_override() {
+        // Env mutation is process-global; run both checks in one test to
+        // avoid racing other tests on the variable.
+        std::env::set_var("HARVEST_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var("HARVEST_THREADS", "not a number");
+        assert!(default_threads() >= 1);
+        std::env::remove_var("HARVEST_THREADS");
         assert!(default_threads() >= 1);
     }
 }

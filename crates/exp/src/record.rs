@@ -73,7 +73,10 @@ mod tests {
         assert_eq!(value["name"], "fig5");
         assert_eq!(value["seed"], 3);
         assert_eq!(value["data"]["power"].as_array().unwrap().len(), 50);
-        assert!(value["produced_by"].as_str().unwrap().starts_with("harvest-rt"));
+        assert!(value["produced_by"]
+            .as_str()
+            .unwrap()
+            .starts_with("harvest-rt"));
     }
 
     #[test]

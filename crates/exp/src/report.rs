@@ -24,7 +24,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -106,7 +109,10 @@ pub fn ascii_plot(series: &[(&str, &[f64])], x_label: &str, width: usize, height
     assert!(!series.is_empty(), "need at least one series");
     let n = series[0].1.len();
     assert!(n > 0, "series must be non-empty");
-    assert!(series.iter().all(|(_, s)| s.len() == n), "series length mismatch");
+    assert!(
+        series.iter().all(|(_, s)| s.len() == n),
+        "series length mismatch"
+    );
     assert!(width >= 2 && height >= 2, "plot must be at least 2x2");
 
     const GLYPHS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
@@ -185,7 +191,12 @@ mod tests {
 
     #[test]
     fn plot_contains_all_series_labels() {
-        let p = ascii_plot(&[("alpha", &[1.0, 2.0][..]), ("beta", &[2.0, 1.0][..])], "t", 10, 4);
+        let p = ascii_plot(
+            &[("alpha", &[1.0, 2.0][..]), ("beta", &[2.0, 1.0][..])],
+            "t",
+            10,
+            4,
+        );
         assert!(p.contains("alpha") && p.contains("beta"));
         assert!(p.contains('*') && p.contains('+'));
     }

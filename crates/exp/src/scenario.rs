@@ -39,8 +39,12 @@ pub enum PolicyKind {
 
 impl PolicyKind {
     /// All policies, in report order.
-    pub const ALL: [PolicyKind; 4] =
-        [PolicyKind::Edf, PolicyKind::Lsa, PolicyKind::EaDvfs, PolicyKind::GreedyStretch];
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::Edf,
+        PolicyKind::Lsa,
+        PolicyKind::EaDvfs,
+        PolicyKind::GreedyStretch,
+    ];
 
     /// Instantiates the policy.
     pub fn build(self) -> Box<dyn Scheduler> {
@@ -96,13 +100,11 @@ impl PredictorKind {
             PredictorKind::Ewma => {
                 // The eq. 13 envelope cos²(t/70π) has period π·70π ≈ 691;
                 // 48 slots of ~14.4 units resolve it well.
-                let period = SimDuration::from_units(
-                    std::f64::consts::PI * 70.0 * std::f64::consts::PI,
-                );
+                let period =
+                    SimDuration::from_units(std::f64::consts::PI * 70.0 * std::f64::consts::PI);
                 let slots = 48;
-                let period = SimDuration::from_ticks(
-                    period.as_ticks() / slots as i64 * slots as i64,
-                );
+                let period =
+                    SimDuration::from_ticks(period.as_ticks() / slots as i64 * slots as i64);
                 let mut p = EwmaSlotPredictor::new(period, slots, 0.3);
                 // Seed with the climatological mean so the first cycle is
                 // not flying blind.
@@ -110,16 +112,16 @@ impl PredictorKind {
                 p.seed_estimates(&vec![mean; slots]);
                 Box::new(p)
             }
-            PredictorKind::MovingAverage { window } => {
-                Box::new(MovingAveragePredictor::new(SimDuration::from_whole_units(window)))
-            }
+            PredictorKind::MovingAverage { window } => Box::new(MovingAveragePredictor::new(
+                SimDuration::from_whole_units(window),
+            )),
             PredictorKind::Persistence => Box::new(PersistencePredictor::new()),
-            PredictorKind::Biased { factor } => Box::new(
-                harvest_energy::predictor::BiasedPredictor::new(
+            PredictorKind::Biased { factor } => {
+                Box::new(harvest_energy::predictor::BiasedPredictor::new(
                     OraclePredictor::new(profile.clone()),
                     factor,
-                ),
-            ),
+                ))
+            }
         }
     }
 

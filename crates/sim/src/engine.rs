@@ -32,7 +32,11 @@ impl<E> Scheduler<'_, E> {
     ///
     /// Panics if `at` is before the current time.
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
-        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
         self.queue.schedule(at, payload)
     }
 
@@ -112,7 +116,12 @@ pub struct Engine<M: Model> {
 impl<M: Model> Engine<M> {
     /// Creates an engine at time zero with an empty queue.
     pub fn new(model: M) -> Self {
-        Engine { model, queue: EventQueue::new(), now: SimTime::ZERO, handled: 0 }
+        Engine {
+            model,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            handled: 0,
+        }
     }
 
     /// Schedules an initial event (usable before and between runs).
@@ -165,7 +174,11 @@ impl<M: Model> Engine<M> {
             let (t, ev) = self.queue.pop().expect("peeked event present");
             self.now = t;
             self.handled += 1;
-            let mut ctx = Scheduler { queue: &mut self.queue, now: t, stop: &mut stop };
+            let mut ctx = Scheduler {
+                queue: &mut self.queue,
+                now: t,
+                stop: &mut stop,
+            };
             self.model.handle(t, ev, &mut ctx);
             if stop {
                 return RunOutcome::Stopped { at: t };
@@ -200,18 +213,29 @@ mod tests {
 
     #[test]
     fn drains_in_order() {
-        let mut e = Engine::new(Recorder { seen: vec![], stop_on: None });
+        let mut e = Engine::new(Recorder {
+            seen: vec![],
+            stop_on: None,
+        });
         e.schedule(t(2), 20);
         e.schedule(t(1), 10);
         let out = e.run_until(t(100));
-        assert_eq!(out, RunOutcome::Drained { last_event: Some(t(2)) });
+        assert_eq!(
+            out,
+            RunOutcome::Drained {
+                last_event: Some(t(2))
+            }
+        );
         assert_eq!(e.model().seen, vec![(t(1), 10), (t(2), 20)]);
         assert_eq!(e.events_handled(), 2);
     }
 
     #[test]
     fn horizon_excludes_boundary_event() {
-        let mut e = Engine::new(Recorder { seen: vec![], stop_on: None });
+        let mut e = Engine::new(Recorder {
+            seen: vec![],
+            stop_on: None,
+        });
         e.schedule(t(5), 1);
         e.schedule(t(10), 2);
         let out = e.run_until(t(10));
@@ -222,7 +246,10 @@ mod tests {
 
     #[test]
     fn stop_request_halts_immediately() {
-        let mut e = Engine::new(Recorder { seen: vec![], stop_on: Some(1) });
+        let mut e = Engine::new(Recorder {
+            seen: vec![],
+            stop_on: Some(1),
+        });
         e.schedule(t(1), 1);
         e.schedule(t(2), 2);
         let out = e.run_until(t(100));
@@ -253,7 +280,10 @@ mod tests {
 
     #[test]
     fn resume_after_horizon() {
-        let mut e = Engine::new(Recorder { seen: vec![], stop_on: None });
+        let mut e = Engine::new(Recorder {
+            seen: vec![],
+            stop_on: None,
+        });
         e.schedule(t(5), 1);
         e.run_until(t(3));
         assert!(e.model().seen.is_empty());

@@ -4,6 +4,22 @@
 //! so that every energy integral `∫ P(t) dt` and every linear crossing
 //! time can be evaluated in closed form — the whole simulation stack stays
 //! exact and deterministic.
+//!
+//! # Cost model
+//!
+//! Construction precomputes a cumulative-integral table at the
+//! breakpoints, so [`PiecewiseConstant::integrate`] is a difference of
+//! two closed-form antiderivative evaluations (`F(t2) − F(t1)`), each one
+//! binary search — `O(log n)` in the segment count, independent of how
+//! many segments the window spans. Extension tails are folded in closed
+//! form: a full [`Extension::Cycle`] period integrates to a constant, so
+//! cyclic integrals never unroll periods.
+//!
+//! Callers that sweep time monotonically (simulators, iterators) can hold
+//! a [`Cursor`]: it remembers the last segment touched and re-anchors
+//! with a short forward gallop, making `value_at` / `integrate` /
+//! breakpoint queries amortized `O(1)` while staying `O(log n)` worst
+//! case for arbitrary access.
 
 use std::fmt;
 
@@ -55,13 +71,19 @@ pub enum PiecewiseError {
 impl fmt::Display for PiecewiseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PiecewiseError::LengthMismatch { breakpoints, values } => write!(
+            PiecewiseError::LengthMismatch {
+                breakpoints,
+                values,
+            } => write!(
                 f,
                 "piecewise function needs exactly one more breakpoint than values \
                  (got {breakpoints} breakpoints for {values} values)"
             ),
             PiecewiseError::NotIncreasing { index } => {
-                write!(f, "breakpoints must be strictly increasing (violated at index {index})")
+                write!(
+                    f,
+                    "breakpoints must be strictly increasing (violated at index {index})"
+                )
             }
             PiecewiseError::NonFiniteValue { index } => {
                 write!(f, "segment value at index {index} is not finite")
@@ -100,11 +122,46 @@ impl std::error::Error for PiecewiseError {}
 /// assert!((e - 12.5).abs() < 1e-12);
 /// # Ok::<(), harvest_sim::piecewise::PiecewiseError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PiecewiseConstant {
     breakpoints: Vec<SimTime>,
     values: Vec<f64>,
     extension: Extension,
+    /// `prefix[i] = ∫ f over [breakpoints[0], breakpoints[i])`; one entry
+    /// per breakpoint, rebuilt on construction and deserialization.
+    prefix: Vec<f64>,
+    vmin: f64,
+    vmax: f64,
+}
+
+/// Equality is over the semantic fields only; the prefix table is a
+/// deterministic function of them.
+impl PartialEq for PiecewiseConstant {
+    fn eq(&self, other: &Self) -> bool {
+        self.breakpoints == other.breakpoints
+            && self.values == other.values
+            && self.extension == other.extension
+    }
+}
+
+impl Serialize for PiecewiseConstant {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("breakpoints".to_string(), self.breakpoints.to_value()),
+            ("values".to_string(), self.values.to_value()),
+            ("extension".to_string(), self.extension.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PiecewiseConstant {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let breakpoints = serde::de_field(v, "breakpoints")?;
+        let values = serde::de_field(v, "values")?;
+        let extension = serde::de_field(v, "extension")?;
+        PiecewiseConstant::new(breakpoints, values, extension)
+            .map_err(|e| serde::DeError::msg(format!("invalid piecewise function: {e}")))
+    }
 }
 
 /// One maximal constant stretch of a [`PiecewiseConstant`] restricted to a
@@ -131,6 +188,48 @@ impl Segment {
     pub fn integral(&self) -> f64 {
         self.value * self.duration().as_units()
     }
+}
+
+/// Lookup state for monotone time access.
+///
+/// A `Cursor` remembers the segment (and, under [`Extension::Cycle`], the
+/// period image) of the last query it served. When the next query lands
+/// in the same or a nearby later segment — the overwhelmingly common case
+/// for simulators that sweep time forward — the `*_with` methods re-anchor
+/// with a short forward gallop instead of a fresh binary search, making
+/// `value_at` / `integrate` / breakpoint lookups amortized `O(1)`.
+/// Queries that jump backwards or far ahead simply fall back to the
+/// `O(log n)` search, so a cursor is never *required* to be monotone —
+/// it is only fastest that way.
+///
+/// Cursors are plain data: cheap to copy, valid for the lifetime of the
+/// profile they were created against, and independent of each other.
+/// Using a cursor against a *different* profile is memory-safe but may
+/// cost an extra fallback search; create one cursor per profile.
+///
+/// # Examples
+///
+/// ```
+/// use harvest_sim::piecewise::PiecewiseConstant;
+/// use harvest_sim::time::SimTime;
+///
+/// let f = PiecewiseConstant::constant(2.0);
+/// let mut cur = f.cursor();
+/// let mut total = 0.0;
+/// for t in 0..100 {
+///     let (a, b) = (SimTime::from_whole_units(t), SimTime::from_whole_units(t + 1));
+///     total += f.integrate_with(&mut cur, a, b);
+/// }
+/// assert!((total - 200.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cursor {
+    /// Last segment index served.
+    idx: usize,
+    /// Period image the index belongs to (always 0 unless `Cycle`).
+    period: i64,
+    /// Whether the hint has been populated yet.
+    init: bool,
 }
 
 impl PiecewiseConstant {
@@ -166,7 +265,28 @@ impl PiecewiseConstant {
         if extension == Extension::Cycle && breakpoints.first() == breakpoints.last() {
             return Err(PiecewiseError::EmptyCycle);
         }
-        Ok(PiecewiseConstant { breakpoints, values, extension })
+        Ok(Self::build(breakpoints, values, extension))
+    }
+
+    /// Assembles the struct and its derived caches from validated parts.
+    fn build(breakpoints: Vec<SimTime>, values: Vec<f64>, extension: Extension) -> Self {
+        let mut prefix = Vec::with_capacity(breakpoints.len());
+        let mut acc = 0.0;
+        prefix.push(0.0);
+        for (i, &v) in values.iter().enumerate() {
+            acc += v * (breakpoints[i + 1] - breakpoints[i]).as_units();
+            prefix.push(acc);
+        }
+        let vmin = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let vmax = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        PiecewiseConstant {
+            breakpoints,
+            values,
+            extension,
+            prefix,
+            vmin,
+            vmax,
+        }
     }
 
     /// A function that is `value` everywhere.
@@ -176,11 +296,11 @@ impl PiecewiseConstant {
     /// Panics if `value` is not finite.
     pub fn constant(value: f64) -> Self {
         assert!(value.is_finite(), "constant value must be finite");
-        PiecewiseConstant {
-            breakpoints: vec![SimTime::ZERO, SimTime::from_whole_units(1)],
-            values: vec![value],
-            extension: Extension::Hold,
-        }
+        Self::build(
+            vec![SimTime::ZERO, SimTime::from_whole_units(1)],
+            vec![value],
+            Extension::Hold,
+        )
     }
 
     /// Builds a profile from equally spaced samples starting at `start`,
@@ -197,7 +317,10 @@ impl PiecewiseConstant {
         extension: Extension,
     ) -> Result<Self, PiecewiseError> {
         if samples.is_empty() || !dt.is_positive() {
-            return Err(PiecewiseError::LengthMismatch { breakpoints: 0, values: samples.len() });
+            return Err(PiecewiseError::LengthMismatch {
+                breakpoints: 0,
+                values: samples.len(),
+            });
         }
         let mut breakpoints = Vec::with_capacity(samples.len() + 1);
         let mut t = start;
@@ -238,25 +361,127 @@ impl PiecewiseConstant {
         &self.values
     }
 
+    /// Integral of one full domain span (one period under
+    /// [`Extension::Cycle`]).
+    #[inline]
+    fn total(&self) -> f64 {
+        *self.prefix.last().expect("non-empty by construction")
+    }
+
     /// Mean value of the function over its explicit domain.
     pub fn domain_mean(&self) -> f64 {
         let len = (self.domain_end() - self.domain_start()).as_units();
-        self.integrate(self.domain_start(), self.domain_end()) / len
+        self.total() / len
     }
 
     /// Maximum value over the explicit domain.
+    #[inline]
     pub fn domain_max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.vmax
     }
 
     /// Minimum value over the explicit domain.
+    #[inline]
     pub fn domain_min(&self) -> f64 {
-        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+        self.vmin
+    }
+
+    /// Creates a fresh [`Cursor`] for this profile.
+    #[inline]
+    pub fn cursor(&self) -> Cursor {
+        Cursor::default()
+    }
+
+    /// Maps `t` into the explicit domain, returning the folded instant,
+    /// the period image it fell in (non-zero only under `Cycle`), and
+    /// whether the original instant was outside a non-cyclic domain.
+    #[inline]
+    fn fold_with_period(&self, t: SimTime) -> (SimTime, i64, Outside) {
+        let start = self.domain_start();
+        let end = self.domain_end();
+        if t >= start && t < end {
+            return (t, 0, Outside::Inside);
+        }
+        match self.extension {
+            Extension::Cycle => {
+                let period = (end - start).as_ticks();
+                let rel = (t - start).as_ticks();
+                let k = rel.div_euclid(period);
+                let r = rel.rem_euclid(period);
+                (start + SimDuration::from_ticks(r), k, Outside::Inside)
+            }
+            _ if t < start => (t, 0, Outside::Before),
+            _ => (t, 0, Outside::After),
+        }
+    }
+
+    /// Segment index containing `t`, which must lie inside the explicit
+    /// domain. `hint` is the caller's last known index: the search
+    /// gallops forward from it with doubling strides and binary-searches
+    /// only the bracketed range, so a lookup `d` segments past the hint
+    /// costs `O(log d)` — `O(1)` for the repeat/adjacent hits that
+    /// dominate monotone sweeps — instead of `O(log n)` from scratch.
+    #[inline]
+    fn locate(&self, t: SimTime, hint: Option<usize>) -> usize {
+        let bps = &self.breakpoints;
+        let last = self.values.len() - 1;
+        if let Some(h) = hint {
+            let lo = h.min(last);
+            if bps[lo] <= t {
+                if lo == last || bps[lo + 1] > t {
+                    return lo;
+                }
+                // Gallop: find the first `lo + stride` past `t`, then
+                // binary-search inside the bracket.
+                let mut stride = 1usize;
+                let mut below = lo + 1; // invariant: bps[below] <= t
+                loop {
+                    let probe = below.saturating_add(stride).min(last);
+                    if bps[probe] <= t {
+                        if probe == last {
+                            return last;
+                        }
+                        below = probe;
+                        stride *= 2;
+                    } else {
+                        // bps[below] <= t < bps[probe]
+                        let range = &bps[below + 1..probe];
+                        return below + range.partition_point(|&b| b <= t);
+                    }
+                }
+            }
+        }
+        // partition_point returns the count of breakpoints <= t;
+        // segment index is that count minus one.
+        (bps.partition_point(|&b| b <= t) - 1).min(last)
+    }
+
+    /// [`locate`](Self::locate) driven by (and refreshing) a cursor. The
+    /// hint is only trusted within the same period image.
+    #[inline]
+    fn locate_with(&self, cur: &mut Cursor, folded: SimTime, period: i64) -> usize {
+        let hint = if cur.init && cur.period == period {
+            Some(cur.idx)
+        } else {
+            None
+        };
+        let idx = self.locate(folded, hint);
+        *cur = Cursor {
+            idx,
+            period,
+            init: true,
+        };
+        idx
     }
 
     /// Value of the function at instant `t`.
     pub fn value_at(&self, t: SimTime) -> f64 {
-        let (t, outside) = self.fold_into_domain(t);
+        self.value_at_with(&mut Cursor::default(), t)
+    }
+
+    /// [`value_at`](Self::value_at) with cursor acceleration.
+    pub fn value_at_with(&self, cur: &mut Cursor, t: SimTime) -> f64 {
+        let (folded, period, outside) = self.fold_with_period(t);
         match outside {
             Outside::Before => match self.extension {
                 Extension::Hold => self.values[0],
@@ -268,29 +493,107 @@ impl PiecewiseConstant {
                 Extension::Zero => 0.0,
                 Extension::Cycle => unreachable!("cycle folding maps into domain"),
             },
-            Outside::Inside => {
-                // partition_point returns the count of breakpoints <= t;
-                // segment index is that count minus one.
-                let idx = self.breakpoints.partition_point(|&b| b <= t) - 1;
-                self.values[idx.min(self.values.len() - 1)]
+            Outside::Inside => self.values[self.locate_with(cur, folded, period)],
+        }
+    }
+
+    /// Cumulative integral `F(t) = ∫ f over [domain_start, t)` (signed:
+    /// negative for `t` before the domain start), with all three
+    /// extensions folded in closed form. A full `Cycle` period is the
+    /// constant `total()`, so no periods are ever unrolled.
+    fn cum_with(&self, cur: &mut Cursor, t: SimTime) -> f64 {
+        let start = self.domain_start();
+        let end = self.domain_end();
+        if t >= start && t < end {
+            let idx = self.locate_with(cur, t, 0);
+            return self.prefix[idx] + self.values[idx] * (t - self.breakpoints[idx]).as_units();
+        }
+        match self.extension {
+            Extension::Hold => {
+                if t < start {
+                    self.values[0] * (t - start).as_units()
+                } else {
+                    self.total() + self.values[self.values.len() - 1] * (t - end).as_units()
+                }
+            }
+            Extension::Zero => {
+                if t < start {
+                    0.0
+                } else {
+                    self.total()
+                }
+            }
+            Extension::Cycle => {
+                let period = (end - start).as_ticks();
+                let rel = (t - start).as_ticks();
+                let k = rel.div_euclid(period);
+                let r = rel.rem_euclid(period);
+                let folded = start + SimDuration::from_ticks(r);
+                let idx = self.locate_with(cur, folded, k);
+                let inner = self.prefix[idx]
+                    + self.values[idx] * (folded - self.breakpoints[idx]).as_units();
+                k as f64 * self.total() + inner
             }
         }
     }
 
-    /// Exact integral of the function over `[t1, t2)`.
+    #[inline]
+    fn cum(&self, t: SimTime) -> f64 {
+        self.cum_with(&mut Cursor::default(), t)
+    }
+
+    /// Exact integral of the function over `[t1, t2)`, computed as the
+    /// antiderivative difference `F(t2) − F(t1)` — one binary search per
+    /// endpoint, independent of how many segments the window spans.
     ///
-    /// Returns a negated integral when `t2 < t1`.
+    /// Returns a negated integral when `t2 < t1` (exactly: IEEE
+    /// subtraction is antisymmetric).
     pub fn integrate(&self, t1: SimTime, t2: SimTime) -> f64 {
+        self.cum(t2) - self.cum(t1)
+    }
+
+    /// [`integrate`](Self::integrate) with cursor acceleration: both
+    /// endpoints resolve through `cur`, so windows that slide forward in
+    /// time cost amortized `O(1)`.
+    pub fn integrate_with(&self, cur: &mut Cursor, t1: SimTime, t2: SimTime) -> f64 {
+        let a = self.cum_with(cur, t1);
+        let b = self.cum_with(cur, t2);
+        b - a
+    }
+
+    /// Reference implementation of [`integrate`](Self::integrate) that
+    /// walks every segment in the window.
+    ///
+    /// Kept as the ground truth for property tests and as the baseline
+    /// for benchmarks; `O(segments in window)` instead of `O(log n)`.
+    pub fn integrate_naive(&self, t1: SimTime, t2: SimTime) -> f64 {
         if t2 < t1 {
-            return -self.integrate(t2, t1);
+            return -self.integrate_naive(t2, t1);
         }
         self.segments_between(t1, t2).map(|s| s.integral()).sum()
     }
 
     /// Iterates the maximal constant stretches of the function restricted
     /// to the window `[t1, t2)`, in order, covering it exactly.
+    ///
+    /// The iterator carries its own [`Cursor`], so each step is `O(1)`
+    /// after the first.
     pub fn segments_between(&self, t1: SimTime, t2: SimTime) -> Segments<'_> {
-        Segments { f: self, cursor: t1, end: t2 }
+        self.segments_between_with(Cursor::default(), t1, t2)
+    }
+
+    /// Like [`Self::segments_between`], but seeds the iterator's internal
+    /// [`Cursor`] with `cur` so callers that walk consecutive windows can
+    /// thread position across calls (retrieve the final state with
+    /// [`Segments::state`]). The yielded segments are identical for any
+    /// seed cursor; only the lookup cost changes.
+    pub fn segments_between_with(&self, cur: Cursor, t1: SimTime, t2: SimTime) -> Segments<'_> {
+        Segments {
+            f: self,
+            cursor: t1,
+            end: t2,
+            cur,
+        }
     }
 
     /// Earliest `t ≥ from` at which the *accumulated* value
@@ -301,6 +604,15 @@ impl PiecewiseConstant {
     /// queries: `offset` is the (negated) constant drain, `cap` the
     /// storage capacity. Returns `None` if the level never reaches
     /// `target` before `horizon`.
+    ///
+    /// When the net rate `f + offset` cannot change sign the level is
+    /// monotone, clamping cannot precede the crossing, and the answer is
+    /// found by bisecting the prefix-sum antiderivative — `O(log n)`
+    /// searches instead of a segment scan. Unreachable targets
+    /// (net rate bounded away from the required direction) return `None`
+    /// in `O(1)`. Only genuinely non-monotone queries fall back to a
+    /// clamped segment scan, which under [`Extension::Cycle`] skips
+    /// provably event-free periods in closed form.
     ///
     /// # Panics
     ///
@@ -315,50 +627,338 @@ impl PiecewiseConstant {
         cap: f64,
         target: f64,
     ) -> Option<SimTime> {
+        self.first_accumulation_crossing_with(
+            &mut Cursor::default(),
+            from,
+            horizon,
+            initial,
+            offset,
+            cap,
+            target,
+        )
+    }
+
+    /// [`first_accumulation_crossing`](Self::first_accumulation_crossing)
+    /// with cursor acceleration for the `from` endpoint — useful when
+    /// crossing queries are issued at monotonically increasing instants.
+    // One argument per scalar of the accumulation problem; bundling them
+    // would only obscure the call sites.
+    #[allow(clippy::too_many_arguments)]
+    pub fn first_accumulation_crossing_with(
+        &self,
+        cur: &mut Cursor,
+        from: SimTime,
+        horizon: SimTime,
+        initial: f64,
+        offset: f64,
+        cap: f64,
+        target: f64,
+    ) -> Option<SimTime> {
         assert!(cap >= 0.0, "capacity must be non-negative");
-        assert!((0.0..=cap).contains(&initial), "initial level outside [0, cap]");
-        assert!((0.0..=cap).contains(&target), "target level outside [0, cap]");
-        let mut level = initial;
-        if level == target {
+        assert!(
+            (0.0..=cap).contains(&initial),
+            "initial level outside [0, cap]"
+        );
+        assert!(
+            (0.0..=cap).contains(&target),
+            "target level outside [0, cap]"
+        );
+        if initial == target {
             return Some(from);
         }
-        for seg in self.segments_between(from, horizon) {
-            let rate = seg.value + offset;
+        if from >= horizon {
+            return None;
+        }
+        // Bounds on the net rate f + offset over all time. Under `Zero`
+        // the tails contribute rate `offset` alone, so fold 0 into the
+        // value bounds conservatively.
+        let (lo, hi) = match self.extension {
+            Extension::Zero => (self.vmin.min(0.0), self.vmax.max(0.0)),
+            _ => (self.vmin, self.vmax),
+        };
+        let (rate_min, rate_max) = (lo + offset, hi + offset);
+        // The old scanner only crossed upward in segments with rate > 0
+        // and downward with rate < 0; a rate bound pinned on the wrong
+        // side of zero decides the query in O(1).
+        if (target > initial && rate_max <= 0.0) || (target < initial && rate_min >= 0.0) {
+            return None;
+        }
+        let monotone =
+            (target > initial && rate_min >= 0.0) || (target < initial && rate_max <= 0.0);
+        if monotone {
+            return self.monotone_crossing(cur, from, horizon, initial, offset, target);
+        }
+        let mut scan = ClampedScan {
+            level: initial,
+            offset,
+            cap,
+            target,
+        };
+        match self.extension {
+            Extension::Cycle => self.scan_crossing_cyclic(&mut scan, from, horizon),
+            _ => scan.run(self, from, horizon, None),
+        }
+    }
+
+    /// Reference implementation of
+    /// [`first_accumulation_crossing`](Self::first_accumulation_crossing):
+    /// a linear scan over every segment in `[from, horizon)`.
+    ///
+    /// Kept as the ground truth for property tests and as the baseline
+    /// for benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as the fast path.
+    pub fn first_accumulation_crossing_naive(
+        &self,
+        from: SimTime,
+        horizon: SimTime,
+        initial: f64,
+        offset: f64,
+        cap: f64,
+        target: f64,
+    ) -> Option<SimTime> {
+        assert!(cap >= 0.0, "capacity must be non-negative");
+        assert!(
+            (0.0..=cap).contains(&initial),
+            "initial level outside [0, cap]"
+        );
+        assert!(
+            (0.0..=cap).contains(&target),
+            "target level outside [0, cap]"
+        );
+        if initial == target {
+            return Some(from);
+        }
+        let mut scan = ClampedScan {
+            level: initial,
+            offset,
+            cap,
+            target,
+        };
+        scan.run(self, from, horizon, None)
+    }
+
+    /// Crossing solve for a provably monotone level trajectory: clamping
+    /// cannot strike before the crossing, so the accumulated gain
+    /// `g(t) = F(t) − F(from) + offset·(t − from)` is monotone and the
+    /// earliest tick reaching the threshold is found by bisection. Each
+    /// probe is one prefix-table evaluation, so the whole solve is
+    /// `O(log T · log n)` for a horizon `T` ticks away — no segment is
+    /// ever walked.
+    fn monotone_crossing(
+        &self,
+        cur: &mut Cursor,
+        from: SimTime,
+        horizon: SimTime,
+        initial: f64,
+        offset: f64,
+        target: f64,
+    ) -> Option<SimTime> {
+        let needed = target - initial;
+        let cum_from = self.cum_with(cur, from);
+        let g_at = |t: SimTime| self.cum(t) - cum_from + offset * (t - from).as_units();
+        // Mirror the scanner's crossing tolerance of ±1e-15.
+        let reached = |g: f64| {
+            if needed > 0.0 {
+                g >= needed - 1e-15
+            } else {
+                g <= needed + 1e-15
+            }
+        };
+        if reached(0.0) {
+            // |needed| ≤ 1e-15: within tolerance immediately.
+            return Some(from);
+        }
+        if !reached(g_at(horizon)) {
+            return None;
+        }
+        let (mut lo, mut hi) = (from.as_ticks(), horizon.as_ticks());
+        // Invariant: not reached at lo, reached at hi.
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if reached(g_at(SimTime::from_ticks(mid))) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(SimTime::from_ticks(hi))
+    }
+
+    /// Clamped scan under [`Extension::Cycle`]: scans period by period,
+    /// but (a) stops as soon as one full period returns to its entry
+    /// level without crossing — the trajectory is then exactly periodic
+    /// and will never cross — and (b) after probing one clamp-free
+    /// period, skips every future period whose extrapolated excursion
+    /// envelope provably avoids the target, the floor, and the cap.
+    fn scan_crossing_cyclic(
+        &self,
+        scan: &mut ClampedScan,
+        from: SimTime,
+        horizon: SimTime,
+    ) -> Option<SimTime> {
+        let start = self.domain_start();
+        let period_ticks = (self.domain_end() - start).as_ticks();
+        let period = SimDuration::from_ticks(period_ticks);
+        let mut t = from;
+        // Align to the next period boundary so probes always cover one
+        // full period at a fixed phase.
+        let rel = (t - start).as_ticks().rem_euclid(period_ticks);
+        if rel != 0 {
+            let boundary = t + SimDuration::from_ticks(period_ticks - rel);
+            if let Some(hit) = scan.run(self, t, boundary.min(horizon), None) {
+                return Some(hit);
+            }
+            if boundary >= horizon {
+                return None;
+            }
+            t = boundary;
+        }
+        while t < horizon {
+            let pe = t + period;
+            if pe > horizon {
+                return scan.run(self, t, horizon, None);
+            }
+            let entry = scan.level;
+            let mut probe = Probe {
+                lo: entry,
+                hi: entry,
+                clamped: false,
+            };
+            if let Some(hit) = scan.run(self, t, pe, Some(&mut probe)) {
+                return Some(hit);
+            }
+            t = pe;
+            if scan.level == entry {
+                // Fixed point of the one-period level map: the trajectory
+                // repeats this (crossing-free) period forever.
+                return None;
+            }
+            if probe.clamped {
+                continue;
+            }
+            let delta = scan.level - entry;
+            let (e_lo, e_hi) = (probe.lo - entry, probe.hi - entry);
+            // Safety margin dominating both the scanner's ±1e-15 crossing
+            // tolerance and the extrapolation dust of `level + j·delta`
+            // versus the iterated sum.
+            let margin = 1e-9 * (1.0 + scan.cap.abs() + scan.target.abs());
+            let avail = (horizon - t).as_ticks() / period_ticks;
+            let k = avail
+                .min(periods_while_at_most(
+                    scan.level + e_hi,
+                    delta,
+                    scan.cap - margin,
+                ))
+                .min(periods_while_at_least(scan.level + e_lo, delta, margin))
+                .min(
+                    periods_while_at_most(scan.level + e_hi, delta, scan.target - margin).max(
+                        periods_while_at_least(scan.level + e_lo, delta, scan.target + margin),
+                    ),
+                );
+            if k > 0 {
+                scan.level += k as f64 * delta;
+                t += SimDuration::from_ticks(k * period_ticks);
+            }
+        }
+        None
+    }
+}
+
+/// Number of leading periods `j = 0, 1, …` for which `base + j·delta`
+/// stays `≤ bound`. Saturates when the drift never violates the bound.
+fn periods_while_at_most(base: f64, delta: f64, bound: f64) -> i64 {
+    if base > bound {
+        return 0;
+    }
+    if delta <= 0.0 {
+        return i64::MAX;
+    }
+    let j = ((bound - base) / delta).floor();
+    if j.is_nan() || j < 0.0 {
+        return 0;
+    }
+    if j >= i64::MAX as f64 {
+        return i64::MAX;
+    }
+    // j is the last index still within the bound, so j + 1 periods hold.
+    j as i64 + 1
+}
+
+/// Number of leading periods `j = 0, 1, …` for which `base + j·delta`
+/// stays `≥ bound`.
+fn periods_while_at_least(base: f64, delta: f64, bound: f64) -> i64 {
+    if base < bound {
+        return 0;
+    }
+    if delta >= 0.0 {
+        return i64::MAX;
+    }
+    let j = ((base - bound) / -delta).floor();
+    if j.is_nan() || j < 0.0 {
+        return 0;
+    }
+    if j >= i64::MAX as f64 {
+        return i64::MAX;
+    }
+    j as i64 + 1
+}
+
+/// Unclamped excursion envelope observed while scanning one full period.
+struct Probe {
+    lo: f64,
+    hi: f64,
+    clamped: bool,
+}
+
+/// The clamped accumulation scanner: the exact per-segment arithmetic of
+/// the original `first_accumulation_crossing`, preserved verbatim so the
+/// fast paths layered on top stay tick-identical with the historical
+/// behaviour.
+struct ClampedScan {
+    level: f64,
+    offset: f64,
+    cap: f64,
+    target: f64,
+}
+
+impl ClampedScan {
+    /// Scans `[lo, hi)`, returning the first crossing instant or updating
+    /// `self.level` to the clamped level at `hi`. When `probe` is given,
+    /// records the unclamped excursion envelope along the way.
+    fn run(
+        &mut self,
+        f: &PiecewiseConstant,
+        lo: SimTime,
+        hi: SimTime,
+        mut probe: Option<&mut Probe>,
+    ) -> Option<SimTime> {
+        for seg in f.segments_between(lo, hi) {
+            let rate = seg.value + self.offset;
             let span = seg.duration().as_units();
-            let unclamped_end = level + rate * span;
+            let unclamped_end = self.level + rate * span;
             let crossed = if rate > 0.0 {
-                target > level && target <= unclamped_end.min(cap) + 1e-15
+                self.target > self.level && self.target <= unclamped_end.min(self.cap) + 1e-15
             } else if rate < 0.0 {
-                target < level && target >= unclamped_end.max(0.0) - 1e-15
+                self.target < self.level && self.target >= unclamped_end.max(0.0) - 1e-15
             } else {
                 false
             };
             if crossed {
-                let dt = (target - level) / rate;
+                let dt = (self.target - self.level) / rate;
                 let t = SimTime::from_units_ceil(seg.start.as_units() + dt);
                 return Some(t.min(seg.end).max(seg.start));
             }
-            level = unclamped_end.clamp(0.0, cap);
+            if let Some(p) = probe.as_deref_mut() {
+                p.lo = p.lo.min(self.level.min(unclamped_end));
+                p.hi = p.hi.max(self.level.max(unclamped_end));
+                p.clamped |= unclamped_end < 0.0 || unclamped_end > self.cap;
+            }
+            self.level = unclamped_end.clamp(0.0, self.cap);
         }
         None
-    }
-
-    #[inline]
-    fn fold_into_domain(&self, t: SimTime) -> (SimTime, Outside) {
-        let start = self.domain_start();
-        let end = self.domain_end();
-        if t >= start && t < end {
-            return (t, Outside::Inside);
-        }
-        match self.extension {
-            Extension::Cycle => {
-                let period = (end - start).as_ticks();
-                let rel = (t - start).as_ticks().rem_euclid(period);
-                (start + SimDuration::from_ticks(rel), Outside::Inside)
-            }
-            _ if t < start => (t, Outside::Before),
-            _ => (t, Outside::After),
-        }
     }
 }
 
@@ -376,6 +976,16 @@ pub struct Segments<'a> {
     f: &'a PiecewiseConstant,
     cursor: SimTime,
     end: SimTime,
+    cur: Cursor,
+}
+
+impl Segments<'_> {
+    /// The iterator's current [`Cursor`], for threading into a later
+    /// [`PiecewiseConstant::segments_between_with`] call over a window
+    /// that resumes where this one stopped.
+    pub fn state(&self) -> Cursor {
+        self.cur
+    }
 }
 
 impl Iterator for Segments<'_> {
@@ -386,8 +996,11 @@ impl Iterator for Segments<'_> {
             return None;
         }
         let start = self.cursor;
-        let value = self.f.value_at(start);
-        let next_change = self.f.next_breakpoint_after(start).unwrap_or(SimTime::MAX);
+        let value = self.f.value_at_with(&mut self.cur, start);
+        let next_change = self
+            .f
+            .next_breakpoint_after_with(&mut self.cur, start)
+            .unwrap_or(SimTime::MAX);
         let end = next_change.min(self.end);
         debug_assert!(end > start, "segment iterator must make progress");
         self.cursor = end;
@@ -400,34 +1013,37 @@ impl PiecewiseConstant {
     /// change, taking the extension rule into account. `None` means the
     /// function is constant for all time after `t`.
     pub fn next_breakpoint_after(&self, t: SimTime) -> Option<SimTime> {
+        self.next_breakpoint_after_with(&mut Cursor::default(), t)
+    }
+
+    /// [`next_breakpoint_after`](Self::next_breakpoint_after) with cursor
+    /// acceleration.
+    pub fn next_breakpoint_after_with(&self, cur: &mut Cursor, t: SimTime) -> Option<SimTime> {
         let start = self.domain_start();
         let end = self.domain_end();
         match self.extension {
             Extension::Cycle => {
                 let period = (end - start).as_ticks();
-                let rel = (t - start).as_ticks().rem_euclid(period);
-                let base = t - SimDuration::from_ticks(rel);
-                // Find the first breakpoint within the current cycle image
-                // strictly after `rel`, else wrap to the next cycle start.
-                let folded = start + SimDuration::from_ticks(rel);
-                let idx = self.breakpoints.partition_point(|&b| b <= folded);
-                let next_rel = if idx < self.breakpoints.len() {
-                    (self.breakpoints[idx] - start).as_ticks()
-                } else {
-                    period
-                };
+                let rel = (t - start).as_ticks();
+                let k = rel.div_euclid(period);
+                let r = rel.rem_euclid(period);
+                let base = t - SimDuration::from_ticks(r);
+                let folded = start + SimDuration::from_ticks(r);
+                // The folded instant lies in some segment [b_i, b_{i+1});
+                // b_{i+1} is the first breakpoint strictly after it.
+                let idx = self.locate_with(cur, folded, k);
+                let next_rel = (self.breakpoints[idx + 1] - start).as_ticks();
                 Some(base + SimDuration::from_ticks(next_rel))
             }
             _ => {
                 if t < start {
                     return Some(start);
                 }
-                let idx = self.breakpoints.partition_point(|&b| b <= t);
-                if idx < self.breakpoints.len() {
-                    Some(self.breakpoints[idx])
-                } else {
-                    None
+                if t >= end {
+                    return None;
                 }
+                let idx = self.locate_with(cur, t, 0);
+                Some(self.breakpoints[idx + 1])
             }
         }
     }
@@ -464,7 +1080,10 @@ mod tests {
             vec![1.0],
             Extension::Hold,
         );
-        assert!(matches!(err, Err(PiecewiseError::NotIncreasing { index: 1 })));
+        assert!(matches!(
+            err,
+            Err(PiecewiseError::NotIncreasing { index: 1 })
+        ));
     }
 
     #[test]
@@ -474,7 +1093,10 @@ mod tests {
             vec![f64::NAN],
             Extension::Hold,
         );
-        assert!(matches!(err, Err(PiecewiseError::NonFiniteValue { index: 0 })));
+        assert!(matches!(
+            err,
+            Err(PiecewiseError::NonFiniteValue { index: 0 })
+        ));
     }
 
     #[test]
@@ -503,13 +1125,20 @@ mod tests {
         .unwrap();
         assert_eq!(f.value_at(SimTime::from_whole_units(-1)), 0.0);
         assert_eq!(f.value_at(SimTime::from_whole_units(10)), 0.0);
-        assert_eq!(f.integrate(SimTime::from_whole_units(-5), SimTime::from_whole_units(15)), 30.0);
+        assert_eq!(
+            f.integrate(SimTime::from_whole_units(-5), SimTime::from_whole_units(15)),
+            30.0
+        );
     }
 
     #[test]
     fn cycle_extension_repeats() {
         let f = PiecewiseConstant::new(
-            vec![SimTime::ZERO, SimTime::from_whole_units(1), SimTime::from_whole_units(2)],
+            vec![
+                SimTime::ZERO,
+                SimTime::from_whole_units(1),
+                SimTime::from_whole_units(2),
+            ],
             vec![1.0, 5.0],
             Extension::Cycle,
         )
@@ -599,7 +1228,11 @@ mod tests {
         // 0 harvest for 3 units, then 1.0; drain 2.0; start level 4.
         // Level: 4 - 2t on [0,3) → 1 at t=3? No: 4-6 = -2 clamps at t=2.
         let f = PiecewiseConstant::new(
-            vec![SimTime::ZERO, SimTime::from_whole_units(3), SimTime::from_whole_units(10)],
+            vec![
+                SimTime::ZERO,
+                SimTime::from_whole_units(3),
+                SimTime::from_whole_units(10),
+            ],
             vec![0.0, 1.0],
             Extension::Hold,
         )
@@ -637,7 +1270,11 @@ mod tests {
         // Strong drain empties the store in segment 1; recovery in
         // segment 2 must start from 0, not from the unclamped negative.
         let f = PiecewiseConstant::new(
-            vec![SimTime::ZERO, SimTime::from_whole_units(5), SimTime::from_whole_units(100)],
+            vec![
+                SimTime::ZERO,
+                SimTime::from_whole_units(5),
+                SimTime::from_whole_units(100),
+            ],
             vec![0.0, 2.0],
             Extension::Hold,
         )
@@ -660,7 +1297,11 @@ mod tests {
     #[test]
     fn next_breakpoint_cycle_wraps() {
         let f = PiecewiseConstant::new(
-            vec![SimTime::ZERO, SimTime::from_whole_units(2), SimTime::from_whole_units(3)],
+            vec![
+                SimTime::ZERO,
+                SimTime::from_whole_units(2),
+                SimTime::from_whole_units(3),
+            ],
             vec![1.0, 2.0],
             Extension::Cycle,
         )
@@ -682,5 +1323,186 @@ mod tests {
         assert_eq!(f.domain_min(), 0.5);
         let mean = f.domain_mean();
         assert!((mean - (20.0 + 5.0 + 40.0) / 30.0).abs() < 1e-12);
+    }
+
+    // ------------------------------------------------------------------
+    // Prefix-table / cursor fast-path coverage.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn prefix_integrate_matches_naive() {
+        for ext in [Extension::Hold, Extension::Zero, Extension::Cycle] {
+            let f = PiecewiseConstant::new(
+                vec![
+                    SimTime::from_whole_units(-3),
+                    SimTime::from_units(1.5),
+                    SimTime::from_whole_units(4),
+                    SimTime::from_units(7.25),
+                ],
+                vec![2.5, -1.0, 0.75],
+                ext,
+            )
+            .unwrap();
+            for (a, b) in [
+                (-10.0, 20.0),
+                (-5.5, -4.0),
+                (2.0, 2.0),
+                (13.0, 3.0),
+                (6.9, 7.3),
+            ] {
+                let (t1, t2) = (SimTime::from_units(a), SimTime::from_units(b));
+                let fast = f.integrate(t1, t2);
+                let slow = f.integrate_naive(t1, t2);
+                assert!(
+                    (fast - slow).abs() < 1e-9,
+                    "{ext:?} [{a},{b}): fast={fast} naive={slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_monotone_sweep_matches_cold_queries() {
+        let f = PiecewiseConstant::new(
+            vec![
+                SimTime::ZERO,
+                SimTime::from_whole_units(2),
+                SimTime::from_whole_units(3),
+                SimTime::from_whole_units(7),
+            ],
+            vec![1.0, -2.0, 0.5],
+            Extension::Cycle,
+        )
+        .unwrap();
+        let mut cur = f.cursor();
+        let mut t = SimTime::from_units(-4.25);
+        while t < SimTime::from_whole_units(30) {
+            assert_eq!(f.value_at_with(&mut cur, t), f.value_at(t), "value at {t}");
+            assert_eq!(
+                f.next_breakpoint_after_with(&mut cur, t),
+                f.next_breakpoint_after(t),
+                "next breakpoint after {t}"
+            );
+            let t2 = t + SimDuration::from_units(0.6);
+            let want = f.integrate(t, t2);
+            let got = f.integrate_with(&mut cur, t, t2);
+            assert!(
+                (got - want).abs() < 1e-9,
+                "integral at {t}: {got} vs {want}"
+            );
+            t += SimDuration::from_units(0.35);
+        }
+    }
+
+    #[test]
+    fn cursor_tolerates_backward_jumps() {
+        let f = sample_fn();
+        let mut cur = f.cursor();
+        let late = SimTime::from_whole_units(25);
+        let early = SimTime::from_whole_units(1);
+        assert_eq!(f.value_at_with(&mut cur, late), 4.0);
+        assert_eq!(f.value_at_with(&mut cur, early), 2.0);
+        assert_eq!(f.value_at_with(&mut cur, late), 4.0);
+    }
+
+    #[test]
+    fn crossing_fast_path_matches_naive_on_breakpoint_aligned_target() {
+        // Monotone upward crossing landing exactly on a breakpoint: the
+        // prefix-seek rewrite must return the same tick as the scan.
+        let f = sample_fn();
+        let args = (
+            SimTime::ZERO,
+            SimTime::from_whole_units(100),
+            0.0,
+            -0.5,
+            1000.0,
+            25.0,
+        );
+        let fast = f.first_accumulation_crossing(args.0, args.1, args.2, args.3, args.4, args.5);
+        let naive =
+            f.first_accumulation_crossing_naive(args.0, args.1, args.2, args.3, args.4, args.5);
+        // Net rates 1.5, 0.0, 3.5: level is 15 at t=10, flat to t=20,
+        // reaching 25 needs 10/3.5 more — but with target 15 it lands on
+        // the t=10 breakpoint exactly.
+        assert_eq!(fast, naive);
+        let aligned = f.first_accumulation_crossing(args.0, args.1, args.2, args.3, args.4, 15.0);
+        let aligned_naive =
+            f.first_accumulation_crossing_naive(args.0, args.1, args.2, args.3, args.4, 15.0);
+        assert_eq!(aligned, SimTime::from_whole_units(10).into());
+        assert_eq!(aligned, aligned_naive);
+    }
+
+    #[test]
+    fn cyclic_crossing_skips_periods() {
+        // Net +0.25 per 2-unit period (dyadic, so both paths are exact):
+        // the level first exceeds 50 inside the rising half of period 195,
+        // at t = 391. The period-skip path must agree with the naive scan.
+        let f = PiecewiseConstant::new(
+            vec![
+                SimTime::ZERO,
+                SimTime::from_whole_units(1),
+                SimTime::from_whole_units(2),
+            ],
+            vec![1.25, -1.0],
+            Extension::Cycle,
+        )
+        .unwrap();
+        let horizon = SimTime::from_whole_units(5000);
+        let fast = f.first_accumulation_crossing(SimTime::ZERO, horizon, 0.0, 0.0, 100.0, 50.0);
+        let naive =
+            f.first_accumulation_crossing_naive(SimTime::ZERO, horizon, 0.0, 0.0, 100.0, 50.0);
+        assert_eq!(fast, naive);
+        assert_eq!(fast, Some(SimTime::from_whole_units(391)));
+    }
+
+    #[test]
+    fn cyclic_crossing_detects_periodic_steady_state() {
+        // Zero net drift and a target outside the excursion: the fixed
+        // point of the period map proves unreachability after one period.
+        let f = PiecewiseConstant::new(
+            vec![
+                SimTime::ZERO,
+                SimTime::from_whole_units(1),
+                SimTime::from_whole_units(2),
+            ],
+            vec![1.0, -1.0],
+            Extension::Cycle,
+        )
+        .unwrap();
+        let horizon = SimTime::from_whole_units(1_000_000);
+        let fast = f.first_accumulation_crossing(SimTime::ZERO, horizon, 2.0, 0.0, 10.0, 8.0);
+        assert_eq!(fast, None);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_prefix_table() {
+        let f = PiecewiseConstant::new(
+            vec![
+                SimTime::ZERO,
+                SimTime::from_whole_units(4),
+                SimTime::from_whole_units(9),
+            ],
+            vec![1.25, -0.5],
+            Extension::Cycle,
+        )
+        .unwrap();
+        let back = PiecewiseConstant::from_value(&f.to_value()).unwrap();
+        assert_eq!(back, f);
+        let (a, b) = (SimTime::from_units(-3.5), SimTime::from_units(21.0));
+        assert_eq!(back.integrate(a, b), f.integrate(a, b));
+    }
+
+    #[test]
+    fn serde_rejects_invalid_profiles() {
+        let f = sample_fn();
+        let mut v = f.to_value();
+        if let serde::Value::Map(entries) = &mut v {
+            for (k, val) in entries.iter_mut() {
+                if k == "values" {
+                    *val = serde::Value::Seq(vec![]);
+                }
+            }
+        }
+        assert!(PiecewiseConstant::from_value(&v).is_err());
     }
 }

@@ -31,7 +31,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -184,7 +190,11 @@ impl SampledSeries {
     pub fn new(start: SimTime, step: SimDuration, len: usize) -> Self {
         assert!(step.is_positive(), "sample step must be positive");
         assert!(len > 0, "series must have at least one point");
-        SampledSeries { start, step, points: vec![RunningStats::new(); len] }
+        SampledSeries {
+            start,
+            step,
+            points: vec![RunningStats::new(); len],
+        }
     }
 
     /// Number of grid points.
@@ -199,7 +209,9 @@ impl SampledSeries {
 
     /// The sample instants of the grid.
     pub fn times(&self) -> Vec<SimTime> {
-        (0..self.points.len()).map(|i| self.start + self.step * i as f64).collect()
+        (0..self.points.len())
+            .map(|i| self.start + self.step * i as f64)
+            .collect()
     }
 
     /// Adds one run's samples (must match the grid length).
@@ -208,7 +220,11 @@ impl SampledSeries {
     ///
     /// Panics if `samples.len()` differs from the grid length.
     pub fn accumulate(&mut self, samples: &[f64]) {
-        assert_eq!(samples.len(), self.points.len(), "sample grid length mismatch");
+        assert_eq!(
+            samples.len(),
+            self.points.len(),
+            "sample grid length mismatch"
+        );
         for (p, &x) in self.points.iter_mut().zip(samples) {
             p.push(x);
         }
@@ -237,7 +253,11 @@ impl SampledSeries {
     pub fn merge(&mut self, other: &SampledSeries) {
         assert_eq!(self.start, other.start, "grid start mismatch");
         assert_eq!(self.step, other.step, "grid step mismatch");
-        assert_eq!(self.points.len(), other.points.len(), "grid length mismatch");
+        assert_eq!(
+            self.points.len(),
+            other.points.len(),
+            "grid length mismatch"
+        );
         for (a, b) in self.points.iter_mut().zip(&other.points) {
             a.merge(b);
         }
@@ -274,7 +294,11 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(hi > lo, "histogram range must be non-empty");
         assert!(bins > 0, "histogram needs at least one bin");
-        Histogram { lo, hi, counts: vec![0; bins] }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
     }
 
     /// Adds an observation, clamping out-of-range values into the edge

@@ -166,7 +166,11 @@ impl SimDuration {
     /// Panics on overflow.
     #[inline]
     pub fn from_whole_units(units: i64) -> Self {
-        SimDuration(units.checked_mul(TICKS_PER_UNIT).expect("SimDuration overflow"))
+        SimDuration(
+            units
+                .checked_mul(TICKS_PER_UNIT)
+                .expect("SimDuration overflow"),
+        )
     }
 
     /// Creates a duration from fractional time units, rounding to the

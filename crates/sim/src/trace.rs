@@ -68,7 +68,9 @@ pub struct VecSink<R> {
 impl<R> VecSink<R> {
     /// Creates an empty sink.
     pub fn new() -> Self {
-        VecSink { records: Vec::new() }
+        VecSink {
+            records: Vec::new(),
+        }
     }
 
     /// The records captured so far.

@@ -10,7 +10,35 @@ fn profile_strategy() -> impl Strategy<Value = PiecewiseConstant> {
     (
         proptest::collection::vec(0.0f64..10.0, 1..40),
         1i64..5,
-        prop_oneof![Just(Extension::Hold), Just(Extension::Zero), Just(Extension::Cycle)],
+        prop_oneof![
+            Just(Extension::Hold),
+            Just(Extension::Zero),
+            Just(Extension::Cycle)
+        ],
+    )
+        .prop_map(|(values, dt, ext)| {
+            PiecewiseConstant::from_samples(
+                SimTime::ZERO,
+                SimDuration::from_whole_units(dt),
+                values,
+                ext,
+            )
+            .expect("valid grid")
+        })
+}
+
+/// Like [`profile_strategy`], but with sign-changing values, so the
+/// prefix-vs-naive parity properties also exercise profiles whose
+/// integral is non-monotone.
+fn signed_profile_strategy() -> impl Strategy<Value = PiecewiseConstant> {
+    (
+        proptest::collection::vec(-6.0f64..10.0, 1..40),
+        1i64..5,
+        prop_oneof![
+            Just(Extension::Hold),
+            Just(Extension::Zero),
+            Just(Extension::Cycle)
+        ],
     )
         .prop_map(|(values, dt, ext)| {
             PiecewiseConstant::from_samples(
@@ -191,6 +219,114 @@ proptest! {
             let max_rate = profile.domain_max() + offset.abs() + 1.0;
             prop_assert!((level - target).abs() <= 2.0 * max_rate / 1e6 + 1e-9,
                 "level {level} vs target {target} at {t}");
+        }
+    }
+
+    /// The prefix-sum `integrate` agrees with the segment-walk baseline
+    /// on arbitrary windows, including reversed (`t2 < t1`) and
+    /// out-of-domain ones, under all three extension rules.
+    #[test]
+    fn prefix_integrate_matches_segment_walk(
+        profile in signed_profile_strategy(),
+        a in -80.0f64..300.0,
+        b in -80.0f64..300.0,
+    ) {
+        let t1 = SimTime::from_units(a);
+        let t2 = SimTime::from_units(b);
+        let fast = profile.integrate(t1, t2);
+        let naive = profile.integrate_naive(t1, t2);
+        let scale = 1.0 + naive.abs() + (b - a).abs();
+        prop_assert!((fast - naive).abs() < 1e-9 * scale,
+            "prefix {fast} vs naive {naive} over [{a}, {b})");
+    }
+
+    /// Cursor-threaded queries return exactly what cold queries return,
+    /// for any (not necessarily monotone) sequence of query times — the
+    /// cursor is a pure accelerator.
+    #[test]
+    fn cursor_queries_match_cold_queries(
+        profile in signed_profile_strategy(),
+        times in proptest::collection::vec(-60.0f64..250.0, 1..30),
+    ) {
+        let mut cur = profile.cursor();
+        for (i, &u) in times.iter().enumerate() {
+            let t = SimTime::from_units(u);
+            prop_assert_eq!(profile.value_at_with(&mut cur, t), profile.value_at(t),
+                "value_at diverged at query {i} (t = {u})");
+            let t2 = SimTime::from_units(u + 7.5);
+            let threaded = profile.integrate_with(&mut cur, t, t2);
+            let cold = profile.integrate(t, t2);
+            prop_assert_eq!(threaded, cold,
+                "integrate diverged at query {i} (t = {u})");
+        }
+    }
+
+    /// The tiered crossing solver (O(1) reject / monotone bisection /
+    /// clamped scan with period skipping) agrees with the plain
+    /// whole-window scan: same reachability verdict and, when reached,
+    /// the same instant up to one tick.
+    #[test]
+    fn crossing_fast_path_matches_naive(
+        profile in signed_profile_strategy(),
+        initial_frac in 0.0f64..1.0,
+        offset in -5.0f64..3.0,
+        target_frac in 0.0f64..1.0,
+        horizon_units in 1i64..400,
+    ) {
+        let cap = 30.0;
+        let initial = initial_frac * cap;
+        let target = target_frac * cap;
+        let horizon = SimTime::from_whole_units(horizon_units);
+        let fast = profile.first_accumulation_crossing(
+            SimTime::ZERO, horizon, initial, offset, cap, target,
+        );
+        let naive = profile.first_accumulation_crossing_naive(
+            SimTime::ZERO, horizon, initial, offset, cap, target,
+        );
+        match (fast, naive) {
+            (Some(f), Some(n)) => {
+                let diff = (f.as_ticks() - n.as_ticks()).abs();
+                prop_assert!(diff <= 1, "fast {f} vs naive {n}");
+            }
+            (None, None) => {}
+            // A crossing right at the horizon may round across it in one
+            // path and not the other; anything else is a real divergence.
+            (Some(f), None) => prop_assert!(
+                horizon.as_ticks() - f.as_ticks() <= 1,
+                "fast found {f}, naive found nothing before {horizon}"
+            ),
+            (None, Some(n)) => prop_assert!(
+                horizon.as_ticks() - n.as_ticks() <= 1,
+                "naive found {n}, fast found nothing before {horizon}"
+            ),
+        }
+    }
+
+    /// Threading a cursor through the crossing solver does not change
+    /// its answer.
+    #[test]
+    fn cursor_threaded_crossing_matches_cold(
+        profile in signed_profile_strategy(),
+        starts in proptest::collection::vec(0.0f64..120.0, 1..8),
+        offset in -5.0f64..3.0,
+        target_frac in 0.0f64..1.0,
+    ) {
+        let cap = 30.0;
+        let initial = 0.5 * cap;
+        let target = target_frac * cap;
+        let mut cur = profile.cursor();
+        let mut starts = starts;
+        starts.sort_by(f64::total_cmp);
+        for &s in &starts {
+            let from = SimTime::from_units(s);
+            let horizon = from + SimDuration::from_whole_units(150);
+            let threaded = profile.first_accumulation_crossing_with(
+                &mut cur, from, horizon, initial, offset, cap, target,
+            );
+            let cold = profile.first_accumulation_crossing(
+                from, horizon, initial, offset, cap, target,
+            );
+            prop_assert_eq!(threaded, cold, "diverged for window starting at {}", s);
         }
     }
 }

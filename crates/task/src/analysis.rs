@@ -98,10 +98,15 @@ pub fn edf_schedulable(set: &TaskSet) -> Schedulability {
     let max_slack = set
         .iter()
         .filter_map(|t| {
-            t.period().map(|p| (p - t.relative_deadline()).as_units().max(0.0))
+            t.period()
+                .map(|p| (p - t.relative_deadline()).as_units().max(0.0))
         })
         .fold(0.0, f64::max);
-    let baruah = if u < 1.0 { u / (1.0 - u) * max_slack } else { f64::INFINITY };
+    let baruah = if u < 1.0 {
+        u / (1.0 - u) * max_slack
+    } else {
+        f64::INFINITY
+    };
     let hyper = set.hyperperiod().map_or(f64::INFINITY, |h| h.as_units());
     let horizon = baruah.min(hyper).min(1e7);
     // Check every absolute deadline in (0, horizon].
@@ -124,7 +129,9 @@ pub fn edf_schedulable(set: &TaskSet) -> Schedulability {
     for t in deadlines {
         let window = SimDuration::from_ticks(t);
         if set_demand_bound(set, window) > window.as_units() + 1e-9 {
-            return Schedulability::Unschedulable { witness: Some(window) };
+            return Schedulability::Unschedulable {
+                witness: Some(window),
+            };
         }
     }
     Schedulability::Schedulable
@@ -142,7 +149,10 @@ pub fn edf_schedulable(set: &TaskSet) -> Schedulability {
 ///
 /// Panics if `demand` is negative or not finite.
 pub fn worst_case_deficit(profile: &PiecewiseConstant, demand: f64) -> f64 {
-    assert!(demand.is_finite() && demand >= 0.0, "demand must be finite and >= 0");
+    assert!(
+        demand.is_finite() && demand >= 0.0,
+        "demand must be finite and >= 0"
+    );
     // Maximum-subarray (Kadane) over the segment integrals of
     // (demand − PS).
     let mut best = 0.0_f64;
@@ -245,13 +255,9 @@ mod tests {
     #[test]
     fn deficit_of_day_night_profile() {
         // 4 power for 10 units, then 0 for 10 units; demand 1.
-        let profile = PiecewiseConstant::from_samples(
-            SimTime::ZERO,
-            d(10),
-            vec![4.0, 0.0],
-            Extension::Hold,
-        )
-        .unwrap();
+        let profile =
+            PiecewiseConstant::from_samples(SimTime::ZERO, d(10), vec![4.0, 0.0], Extension::Hold)
+                .unwrap();
         // Worst window is the whole night: 10 · (1 − 0) = 10.
         assert_eq!(worst_case_deficit(&profile, 1.0), 10.0);
         // Demand 0 never runs a deficit.

@@ -118,8 +118,7 @@ impl WorkloadSpec {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut tasks = Vec::with_capacity(self.num_tasks);
         for _ in 0..self.num_tasks {
-            let period_units =
-                self.period_choices[rng.gen_range(0..self.period_choices.len())];
+            let period_units = self.period_choices[rng.gen_range(0..self.period_choices.len())];
             let period = SimDuration::from_whole_units(period_units);
             // Worst-case energy e ~ U[0, P̄s·p]; floor at a sliver of the
             // range so no task degenerates to zero work.
@@ -128,8 +127,7 @@ impl WorkloadSpec {
             let wcet = e / self.max_cpu_power;
             let mut task = Task::periodic_implicit(period, wcet);
             if self.bcet_ratio < 1.0 {
-                let fraction =
-                    self.bcet_ratio + rng.gen::<f64>() * (1.0 - self.bcet_ratio);
+                let fraction = self.bcet_ratio + rng.gen::<f64>() * (1.0 - self.bcet_ratio);
                 task = task.with_actual_work(wcet * fraction);
             }
             tasks.push(task);

@@ -4,9 +4,7 @@ use harvest_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Unique identifier of a released job, ordered by release sequence.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct JobId(pub u64);
 
 /// One released instance of a task (paper §3.3: once released, arrival,
@@ -68,8 +66,19 @@ impl Job {
         wcet: f64,
     ) -> Self {
         assert!(absolute_deadline > arrival, "deadline must follow arrival");
-        assert!(wcet.is_finite() && wcet > 0.0, "wcet must be finite and positive");
-        Job { id, task_index, arrival, absolute_deadline, wcet, actual: wcet, executed: 0.0 }
+        assert!(
+            wcet.is_finite() && wcet > 0.0,
+            "wcet must be finite and positive"
+        );
+        Job {
+            id,
+            task_index,
+            arrival,
+            absolute_deadline,
+            wcet,
+            actual: wcet,
+            executed: 0.0,
+        }
     }
 
     /// Sets the actual work to a value below the budget (early
@@ -181,7 +190,13 @@ mod tests {
     use super::*;
 
     fn job() -> Job {
-        Job::new(JobId(1), 0, SimTime::ZERO, SimTime::from_whole_units(16), 4.0)
+        Job::new(
+            JobId(1),
+            0,
+            SimTime::ZERO,
+            SimTime::from_whole_units(16),
+            4.0,
+        )
     }
 
     #[test]
@@ -216,7 +231,11 @@ mod tests {
     fn tiny_residue_snaps_to_zero() {
         let mut j = job();
         j.execute(1.0, SimDuration::from_units(4.0 - 1e-13));
-        assert!(j.is_finished(), "residue {:e} should snap", j.remaining_actual_work());
+        assert!(
+            j.is_finished(),
+            "residue {:e} should snap",
+            j.remaining_actual_work()
+        );
     }
 
     #[test]
@@ -262,6 +281,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "deadline")]
     fn deadline_before_arrival_rejected() {
-        let _ = Job::new(JobId(0), 0, SimTime::from_whole_units(5), SimTime::ZERO, 1.0);
+        let _ = Job::new(
+            JobId(0),
+            0,
+            SimTime::from_whole_units(5),
+            SimTime::ZERO,
+            1.0,
+        );
     }
 }

@@ -34,7 +34,9 @@ pub struct EdfQueue {
 impl EdfQueue {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EdfQueue { jobs: BTreeMap::new() }
+        EdfQueue {
+            jobs: BTreeMap::new(),
+        }
     }
 
     /// Number of ready jobs.
@@ -96,9 +98,15 @@ impl EdfQueue {
     /// Removes and returns every job whose absolute deadline is at or
     /// before `now` (deadline misses under the abort policy).
     pub fn drain_expired(&mut self, now: SimTime) -> Vec<Job> {
-        let expired: Vec<Key> =
-            self.jobs.range(..=(now, JobId(u64::MAX))).map(|(&k, _)| k).collect();
-        expired.into_iter().filter_map(|k| self.jobs.remove(&k)).collect()
+        let expired: Vec<Key> = self
+            .jobs
+            .range(..=(now, JobId(u64::MAX)))
+            .map(|(&k, _)| k)
+            .collect();
+        expired
+            .into_iter()
+            .filter_map(|k| self.jobs.remove(&k))
+            .collect()
     }
 
     /// Total remaining full-speed work across all ready jobs.
@@ -112,7 +120,13 @@ mod tests {
     use super::*;
 
     fn job(id: u64, deadline: i64, work: f64) -> Job {
-        Job::new(JobId(id), 0, SimTime::ZERO, SimTime::from_whole_units(deadline), work)
+        Job::new(
+            JobId(id),
+            0,
+            SimTime::ZERO,
+            SimTime::from_whole_units(deadline),
+            work,
+        )
     }
 
     #[test]

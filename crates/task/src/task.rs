@@ -60,7 +60,12 @@ impl Task {
         wcet: f64,
     ) -> Self {
         assert!(period.is_positive(), "period must be positive");
-        Task::validated(phase, ReleasePattern::Periodic { period }, relative_deadline, wcet)
+        Task::validated(
+            phase,
+            ReleasePattern::Periodic { period },
+            relative_deadline,
+            wcet,
+        )
     }
 
     /// Periodic task with phase 0 and deadline equal to the period — the
@@ -90,9 +95,21 @@ impl Task {
         relative_deadline: SimDuration,
         wcet: f64,
     ) -> Self {
-        assert!(relative_deadline.is_positive(), "relative deadline must be positive");
-        assert!(wcet.is_finite() && wcet > 0.0, "wcet must be finite and positive");
-        Task { phase, pattern, relative_deadline, wcet, actual_work: wcet }
+        assert!(
+            relative_deadline.is_positive(),
+            "relative deadline must be positive"
+        );
+        assert!(
+            wcet.is_finite() && wcet > 0.0,
+            "wcet must be finite and positive"
+        );
+        Task {
+            phase,
+            pattern,
+            relative_deadline,
+            wcet,
+            actual_work: wcet,
+        }
     }
 
     /// Sets the true per-job work below the budget (jobs of this task
@@ -152,7 +169,10 @@ impl Task {
     ///
     /// Panics if `factor` is not finite and positive.
     pub fn scaled_wcet(&self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive"
+        );
         Task {
             wcet: self.wcet * factor,
             actual_work: self.actual_work * factor,

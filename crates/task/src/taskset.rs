@@ -75,11 +75,16 @@ impl TaskSet {
     /// Panics if `target` is not in `(0, 1]` or the set has zero
     /// utilization.
     pub fn scaled_to_utilization(&self, target: f64) -> TaskSet {
-        assert!(target > 0.0 && target <= 1.0, "target utilization must lie in (0, 1]");
+        assert!(
+            target > 0.0 && target <= 1.0,
+            "target utilization must lie in (0, 1]"
+        );
         let current = self.utilization();
         assert!(current > 0.0, "cannot scale a set with zero utilization");
         let factor = target / current;
-        TaskSet { tasks: self.tasks.iter().map(|t| t.scaled_wcet(factor)).collect() }
+        TaskSet {
+            tasks: self.tasks.iter().map(|t| t.scaled_wcet(factor)).collect(),
+        }
     }
 
     /// Hyperperiod (LCM of the periodic tasks' periods). `None` if the
@@ -105,7 +110,11 @@ impl TaskSet {
             .tasks
             .iter()
             .enumerate()
-            .flat_map(|(i, t)| t.arrivals_between(from, until).into_iter().map(move |a| (i, a)))
+            .flat_map(|(i, t)| {
+                t.arrivals_between(from, until)
+                    .into_iter()
+                    .map(move |a| (i, a))
+            })
             .collect();
         out.sort_by_key(|&(i, a)| (a, i));
         out
@@ -114,7 +123,9 @@ impl TaskSet {
 
 impl FromIterator<Task> for TaskSet {
     fn from_iter<I: IntoIterator<Item = Task>>(iter: I) -> Self {
-        TaskSet { tasks: iter.into_iter().collect() }
+        TaskSet {
+            tasks: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -213,7 +224,10 @@ mod tests {
             Task::periodic_implicit(d(15), 1.0),
         ]);
         let arrivals = s.arrivals_between(SimTime::ZERO, SimTime::from_whole_units(30));
-        let times: Vec<i64> = arrivals.iter().map(|&(_, t)| t.as_ticks() / 1_000_000).collect();
+        let times: Vec<i64> = arrivals
+            .iter()
+            .map(|&(_, t)| t.as_ticks() / 1_000_000)
+            .collect();
         assert_eq!(times, vec![0, 0, 10, 15, 20]);
         // Simultaneous arrivals ordered by task index.
         assert_eq!(arrivals[0].0, 0);
@@ -222,7 +236,9 @@ mod tests {
 
     #[test]
     fn collect_and_extend() {
-        let s: TaskSet = (1..=3).map(|i| Task::periodic_implicit(d(10 * i), 1.0)).collect();
+        let s: TaskSet = (1..=3)
+            .map(|i| Task::periodic_implicit(d(10 * i), 1.0))
+            .collect();
         assert_eq!(s.len(), 3);
         let mut s2 = TaskSet::default();
         s2.extend(s.clone());

@@ -30,7 +30,11 @@ fn show(label: &str, result: &SimResult) {
         };
         println!("    {t:>12}  {what}");
     }
-    println!("    => missed {} of {} jobs", result.missed(), result.released());
+    println!(
+        "    => missed {} of {} jobs",
+        result.missed(),
+        result.released()
+    );
     println!();
 }
 
@@ -39,7 +43,11 @@ fn main() {
     println!("Section 2 example: τ1=(0,16,4), τ2=(5,16,1.5), EC(0)=24, Ps=0.5, Pmax=8");
     let tasks = TaskSet::new(vec![
         Task::once(SimTime::ZERO, SimDuration::from_whole_units(16), 4.0),
-        Task::once(SimTime::from_whole_units(5), SimDuration::from_whole_units(16), 1.5),
+        Task::once(
+            SimTime::from_whole_units(5),
+            SimDuration::from_whole_units(16),
+            1.5,
+        ),
     ]);
     let profile = PiecewiseConstant::constant(0.5);
     let config = SystemConfig::new(
@@ -72,7 +80,11 @@ fn main() {
     println!("Section 4.3 example: τ2 deadline tightened to 12; quarter-speed level available");
     let tasks = TaskSet::new(vec![
         Task::once(SimTime::ZERO, SimDuration::from_whole_units(16), 4.0),
-        Task::once(SimTime::from_whole_units(5), SimDuration::from_whole_units(12), 1.5),
+        Task::once(
+            SimTime::from_whole_units(5),
+            SimDuration::from_whole_units(12),
+            1.5,
+        ),
     ]);
     let profile = PiecewiseConstant::constant(0.0);
     let config = SystemConfig::new(
@@ -99,5 +111,8 @@ fn main() {
         Box::new(EaDvfsScheduler::new()),
         Box::new(OraclePredictor::new(profile)),
     );
-    show("EA-DVFS (switches τ1 to full speed at s2=12: both met)", &ea);
+    show(
+        "EA-DVFS (switches τ1 to full speed at s2=12: both met)",
+        &ea,
+    );
 }

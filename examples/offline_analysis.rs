@@ -25,7 +25,11 @@ fn main() {
     ]);
     let cpu = presets::xscale();
 
-    println!("workload: {} tasks, U = {:.3}", tasks.len(), tasks.utilization());
+    println!(
+        "workload: {} tasks, U = {:.3}",
+        tasks.len(),
+        tasks.utilization()
+    );
 
     // 1. Timing: EDF processor-demand analysis.
     match edf_schedulable(&tasks) {

@@ -50,7 +50,11 @@ fn main() {
         Task::periodic_implicit(SimDuration::from_whole_units(50), 6.0), // aggregate
         Task::periodic_implicit(SimDuration::from_whole_units(200), 30.0), // transmit
     ]);
-    println!("workload: U = {:.2} across {} tasks", tasks.utilization(), tasks.len());
+    println!(
+        "workload: U = {:.2} across {} tasks",
+        tasks.utilization(),
+        tasks.len()
+    );
     println!();
 
     // A modest supercapacitor.

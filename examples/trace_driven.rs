@@ -40,13 +40,9 @@ fn main() {
         Task::periodic_implicit(SimDuration::from_whole_units(20), 4.0),
         Task::periodic_implicit(SimDuration::from_whole_units(50), 8.0),
     ]);
-    let config = SystemConfig::new(
-        presets::xscale(),
-        StorageSpec::ideal(150.0),
-        horizon,
-    )
-    .with_initial_level(40.0)
-    .with_trace();
+    let config = SystemConfig::new(presets::xscale(), StorageSpec::ideal(150.0), horizon)
+        .with_initial_level(40.0)
+        .with_trace();
 
     let result = simulate(
         config,
@@ -62,7 +58,11 @@ fn main() {
     let mut full_starts = 0;
     for (t, ev) in result.trace.iter().take(40) {
         let line = match ev {
-            TraceEvent::Released { job, deadline, task } => {
+            TraceEvent::Released {
+                job,
+                deadline,
+                task,
+            } => {
                 format!("release job {} of task {task} (deadline {deadline})", job.0)
             }
             TraceEvent::Started { job, level } => format!("run job {} at level {level}", job.0),
@@ -74,7 +74,10 @@ fn main() {
         };
         println!("  {t:>12}  {line}");
     }
-    println!("  ... ({} more events)", result.trace.len().saturating_sub(40));
+    println!(
+        "  ... ({} more events)",
+        result.trace.len().saturating_sub(40)
+    );
     for (_, ev) in &result.trace {
         if let TraceEvent::Started { level, .. } = ev {
             if *level == 4 {

@@ -46,7 +46,11 @@ fn fig3_is_the_minimal_separating_instance() {
     // motivational.rs; here we pin the *separation* itself.)
     let tasks = TaskSet::new(vec![
         Task::once(SimTime::ZERO, SimDuration::from_whole_units(16), 4.0),
-        Task::once(SimTime::from_whole_units(5), SimDuration::from_whole_units(12), 1.5),
+        Task::once(
+            SimTime::from_whole_units(5),
+            SimDuration::from_whole_units(12),
+            1.5,
+        ),
     ]);
     let profile = PiecewiseConstant::constant(0.0);
     let config = SystemConfig::new(

@@ -25,7 +25,13 @@ fn run_with(policy: Box<dyn Scheduler>, tasks: &TaskSet, harvest: f64) -> SimRes
         StorageSpec::infinite(),
         SimDuration::from_whole_units(500),
     );
-    simulate(config, tasks, profile.clone(), policy, Box::new(OraclePredictor::new(profile)))
+    simulate(
+        config,
+        tasks,
+        profile.clone(),
+        policy,
+        Box::new(OraclePredictor::new(profile)),
+    )
 }
 
 proptest! {

@@ -118,7 +118,9 @@ fn aborted_jobs_have_no_completion_time() {
 /// The sampled series has the exact grid the config asked for.
 #[test]
 fn sample_grid_is_exact() {
-    let r = PaperScenario::new(0.4, 500.0).with_sampling(250).run(PolicyKind::EaDvfs, 0);
+    let r = PaperScenario::new(0.4, 500.0)
+        .with_sampling(250)
+        .run(PolicyKind::EaDvfs, 0);
     assert_eq!(r.samples.len(), 40);
     for (k, &(t, _)) in r.samples.iter().enumerate() {
         assert_eq!(t, SimTime::from_whole_units(250 * k as i64));

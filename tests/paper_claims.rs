@@ -1,9 +1,7 @@
 //! Statistical integration tests of the paper's headline claims, at a
 //! scale small enough for CI but large enough to be stable.
 
-use harvest_rt::exp::figures::{
-    min_zero_miss_capacity, miss_rate_figure, source_figure,
-};
+use harvest_rt::exp::figures::{min_zero_miss_capacity, miss_rate_figure, source_figure};
 use harvest_rt::prelude::*;
 
 /// Fig. 5: the eq. 13 source realization has the paper's shape.
@@ -25,8 +23,7 @@ fn mean_remaining(policy: PolicyKind, utilization: f64, capacity: f64, trials: u
     for seed in 0..trials {
         let scenario = PaperScenario::new(utilization, capacity).with_sampling(200);
         let r = scenario.run(policy, seed);
-        let run_mean: f64 =
-            r.samples.iter().map(|&(_, v)| v).sum::<f64>() / r.samples.len() as f64;
+        let run_mean: f64 = r.samples.iter().map(|&(_, v)| v).sum::<f64>() / r.samples.len() as f64;
         total += run_mean / capacity / trials as f64;
     }
     total
@@ -50,8 +47,8 @@ fn fig6_ea_dvfs_retains_more_energy_at_low_utilization() {
 #[test]
 fn fig7_curves_close_at_high_utilization() {
     let gap = |u: f64| {
-        mean_remaining(PolicyKind::EaDvfs, u, 200.0, 6) -
-            mean_remaining(PolicyKind::Lsa, u, 200.0, 6)
+        mean_remaining(PolicyKind::EaDvfs, u, 200.0, 6)
+            - mean_remaining(PolicyKind::Lsa, u, 200.0, 6)
     };
     let gap_low_u = gap(0.4);
     let gap_high_u = gap(0.8);
@@ -59,7 +56,10 @@ fn fig7_curves_close_at_high_utilization() {
         gap_high_u.abs() < gap_low_u.abs(),
         "high-U gap {gap_high_u:.3} should shrink vs low-U gap {gap_low_u:.3}"
     );
-    assert!(gap_high_u.abs() < 0.05, "high-U gap should be small, got {gap_high_u:.3}");
+    assert!(
+        gap_high_u.abs() < 0.05,
+        "high-U gap should be small, got {gap_high_u:.3}"
+    );
 }
 
 /// Fig. 8: at U = 0.4 EA-DVFS cuts the average miss rate by a large
@@ -87,7 +87,10 @@ fn fig9_policies_comparable_at_high_utilization() {
     // EA-DVFS never does worse, and the relative gap collapses.
     assert!(ea <= lsa + 0.02, "ea {ea:.3} vs lsa {lsa:.3}");
     let rel_gap = (lsa - ea) / lsa.max(1e-9);
-    assert!(rel_gap < 0.45, "relative gap should shrink at U = 0.8, got {rel_gap:.2}");
+    assert!(
+        rel_gap < 0.45,
+        "relative gap should shrink at U = 0.8, got {rel_gap:.2}"
+    );
 }
 
 /// Miss rates fall (weakly) as capacity grows, for both policies.
@@ -115,12 +118,18 @@ fn table1_ratio_shrinks_with_utilization() {
     let ratio_at = |u: f64| {
         let lsa = min_zero_miss_capacity(PolicyKind::Lsa, u, trials, threads, 1e7, 0.01);
         let ea = min_zero_miss_capacity(PolicyKind::EaDvfs, u, trials, threads, 1e7, 0.01);
-        assert!(lsa.is_finite() && ea.is_finite(), "U={u}: search must converge");
+        assert!(
+            lsa.is_finite() && ea.is_finite(),
+            "U={u}: search must converge"
+        );
         lsa / ea
     };
     let low = ratio_at(0.2);
     let high = ratio_at(0.8);
-    assert!(low > 1.15, "U=0.2 ratio should be clearly above 1, got {low:.2}");
+    assert!(
+        low > 1.15,
+        "U=0.2 ratio should be clearly above 1, got {low:.2}"
+    );
     assert!(high < low, "ratio should shrink: {low:.2} → {high:.2}");
     assert!(high < 1.5, "U=0.8 ratio should be near 1, got {high:.2}");
 }

@@ -21,7 +21,11 @@ fn all_predictors_complete_runs() {
         let r = run_with_predictor(kind, 1);
         assert!(r.released() > 0, "{}: no jobs released", kind.name());
         assert!(
-            r.decided() + r.jobs.iter().filter(|j| matches!(j.outcome, JobOutcome::Pending)).count()
+            r.decided()
+                + r.jobs
+                    .iter()
+                    .filter(|j| matches!(j.outcome, JobOutcome::Pending))
+                    .count()
                 == r.released(),
             "{}: record bookkeeping broken",
             kind.name()
@@ -29,7 +33,11 @@ fn all_predictors_complete_runs() {
         // Energy accounting still closes.
         let input = r.energy.initial_level + r.energy.harvested;
         let output = r.energy.consumed + r.energy.overflow + r.energy.final_level;
-        assert!((input - output).abs() < 1e-5, "{}: conservation", kind.name());
+        assert!(
+            (input - output).abs() < 1e-5,
+            "{}: conservation",
+            kind.name()
+        );
     }
 }
 

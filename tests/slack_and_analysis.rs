@@ -3,10 +3,8 @@
 //! offline analysis module, and biased prediction.
 
 use harvest_rt::core::policies::StaticSlowdownScheduler;
-use harvest_rt::task::analysis::{
-    edf_schedulable, is_sustainable, worst_case_deficit,
-};
 use harvest_rt::prelude::*;
+use harvest_rt::task::analysis::{edf_schedulable, is_sustainable, worst_case_deficit};
 
 fn paper_profile(seed: u64, horizon: i64) -> PiecewiseConstant {
     sample_profile(
@@ -196,7 +194,7 @@ fn worst_case_deficit_sizes_storage() {
         SimDuration::from_whole_units(10),
         2.0,
     )]); // U = 0.2, demand at full speed bursts to 3.2
-    // Continuous-demand bound: deficit of running flat out at U·Pmax.
+         // Continuous-demand bound: deficit of running flat out at U·Pmax.
     let deficit = worst_case_deficit(&profile, 0.2 * 3.2);
     assert!(deficit > 0.0);
     let config = SystemConfig::new(
@@ -221,8 +219,8 @@ fn biased_prediction_degrades_gracefully() {
     let mean_rate = |factor: f64| {
         let mut total = 0.0;
         for seed in 0..6u64 {
-            let mut sc = PaperScenario::new(0.4, 150.0)
-                .with_predictor(PredictorKind::Biased { factor });
+            let mut sc =
+                PaperScenario::new(0.4, 150.0).with_predictor(PredictorKind::Biased { factor });
             sc.horizon_units = 4_000;
             total += sc.run(PolicyKind::EaDvfs, seed).miss_rate();
         }
@@ -233,6 +231,12 @@ fn biased_prediction_degrades_gracefully() {
     let optimistic = mean_rate(2.0);
     // Exact prediction should be no worse than either distortion, with
     // a little tolerance for seed noise.
-    assert!(exact <= pessimistic + 0.05, "exact {exact:.3} vs pessimistic {pessimistic:.3}");
-    assert!(exact <= optimistic + 0.05, "exact {exact:.3} vs optimistic {optimistic:.3}");
+    assert!(
+        exact <= pessimistic + 0.05,
+        "exact {exact:.3} vs pessimistic {pessimistic:.3}"
+    );
+    assert!(
+        exact <= optimistic + 0.05,
+        "exact {exact:.3} vs optimistic {optimistic:.3}"
+    );
 }

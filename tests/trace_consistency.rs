@@ -75,7 +75,10 @@ fn trace_agrees_with_records() {
             for (&job, outcome) in &by_outcome {
                 match outcome {
                     JobOutcome::Completed { .. } => {
-                        assert!(completed.contains(&job), "{policy:?}: {job:?} completion untracked");
+                        assert!(
+                            completed.contains(&job),
+                            "{policy:?}: {job:?} completion untracked"
+                        );
                     }
                     JobOutcome::Missed { .. } => {
                         assert!(missed.contains(&job), "{policy:?}: {job:?} miss untracked");

@@ -1,0 +1,278 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! A small wall-clock benchmark harness with the API surface this
+//! workspace's benches use: `Criterion`, `benchmark_group` /
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Differences from the real crate: no statistical analysis beyond a median
+//! over samples, and results are additionally collected in a process-global
+//! registry ([`all_results`]) so a custom `main` can emit a machine-readable
+//! report (used for `BENCH_PR1.json`).
+
+use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One measured benchmark: id and median nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function` or `group/function/param`).
+    pub id: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per sample used for the measurement.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Returns every result measured so far in this process (in run order).
+pub fn all_results() -> Vec<BenchResult> {
+    RESULTS.lock().unwrap().clone()
+}
+
+/// Identifies a benchmark within a group, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter (`name/param`).
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed_secs: f64,
+}
+
+impl Bencher {
+    /// Runs `routine` for the requested number of iterations and records
+    /// the elapsed wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_secs = start.elapsed().as_secs_f64();
+    }
+}
+
+/// Harness entry point; create via `Criterion::default()`.
+pub struct Criterion {
+    sample_size: usize,
+    /// Wall-clock budget per benchmark for the measurement phase (seconds).
+    measurement_secs: f64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_secs: 0.25,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(&id.name, self.sample_size, self.measurement_secs, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_secs: self.measurement_secs,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_secs: f64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        run_bench(&full, self.sample_size, self.measurement_secs, f);
+        self
+    }
+
+    /// Runs a benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        run_bench(&full, self.sample_size, self.measurement_secs, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    measurement_secs: f64,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        iters: 1,
+        elapsed_secs: 0.0,
+    };
+
+    // Warmup doubles as calibration: estimate the per-iteration cost.
+    f(&mut b);
+    let per_iter = (b.elapsed_secs / b.iters as f64).max(1e-9);
+
+    // Size each sample at ~1/sample_size of the measurement budget, and
+    // shed samples (down to 3) rather than blow the budget when a single
+    // iteration is already slow.
+    let target_sample_secs = measurement_secs / sample_size as f64;
+    let iters = ((target_sample_secs / per_iter).ceil() as u64).clamp(1, 1_000_000_000);
+    let mut samples = sample_size;
+    let projected = per_iter * iters as f64 * samples as f64;
+    if projected > 2.0 * measurement_secs {
+        let affordable = (2.0 * measurement_secs / (per_iter * iters as f64)) as usize;
+        samples = affordable.clamp(3, sample_size);
+    }
+
+    let mut measured: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        b.iters = iters;
+        f(&mut b);
+        measured.push(b.elapsed_secs / iters as f64 * 1e9);
+    }
+    measured.sort_by(|a, b| a.total_cmp(b));
+    let median = if measured.len() % 2 == 1 {
+        measured[measured.len() / 2]
+    } else {
+        0.5 * (measured[measured.len() / 2 - 1] + measured[measured.len() / 2])
+    };
+
+    println!("bench: {id:<55} {median:>14.1} ns/iter  (x{iters}, n={samples})");
+    RESULTS.lock().unwrap().push(BenchResult {
+        id: id.to_string(),
+        ns_per_iter: median,
+        iters_per_sample: iters,
+        samples,
+    });
+}
+
+/// Defines a benchmark group function that runs each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_registers() {
+        let mut c = Criterion {
+            sample_size: 5,
+            measurement_secs: 0.01,
+        };
+        c.bench_function("smoke", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        let results = all_results();
+        assert!(results
+            .iter()
+            .any(|r| r.id == "smoke" && r.ns_per_iter > 0.0));
+        assert!(results.iter().any(|r| r.id == "grp/with_input/7"));
+    }
+}

@@ -1,0 +1,469 @@
+//! Vendored minimal stand-in for `proptest`.
+//!
+//! Random property testing with the surface this workspace uses: the
+//! `proptest!` macro, range / tuple / `Just` / `prop_oneof!` / vec
+//! strategies, `prop_map`, `any::<bool>()`, and `prop_assert!` /
+//! `prop_assert_eq!`.
+//!
+//! Differences from the real crate: no shrinking (failures report the raw
+//! counterexample), and case seeds are derived deterministically from the
+//! test name, so runs are reproducible without a persistence file.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between alternatives (see `prop_oneof!`).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// Builds a union over the given alternatives (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            Union(options)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let idx = rng.gen_range(0..self.0.len());
+            self.0[idx].generate(rng)
+        }
+    }
+
+    /// Strategy backed by a plain generator function.
+    pub struct FnStrategy<T>(pub fn(&mut StdRng) -> T);
+
+    impl<T> Strategy for FnStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.start..self.end)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(*self.start()..=*self.end())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!(
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+    );
+}
+
+pub mod arbitrary {
+    use super::strategy::FnStrategy;
+    use rand::Rng;
+
+    /// Types with a canonical full-domain strategy, used by [`crate::any`].
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for `Self`.
+        fn arbitrary() -> FnStrategy<Self>;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary() -> FnStrategy<bool> {
+            FnStrategy(|rng| rng.gen::<bool>())
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary() -> FnStrategy<u8> {
+            FnStrategy(|rng| rng.gen::<u32>() as u8)
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary() -> FnStrategy<u64> {
+            FnStrategy(|rng| rng.gen::<u64>())
+        }
+    }
+
+    impl Arbitrary for i64 {
+        fn arbitrary() -> FnStrategy<i64> {
+            FnStrategy(|rng| rng.gen::<u64>() as i64)
+        }
+    }
+}
+
+/// The canonical strategy for `T` (e.g. `any::<bool>()`).
+pub fn any<T: arbitrary::Arbitrary>() -> strategy::FnStrategy<T> {
+    T::arbitrary()
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Length bounds for [`vec`]: an exact size or a (half-open /
+    /// inclusive) range of sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Runner configuration (`cases` = iterations per property).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` iterations.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drives one property: runs `body` for each case with a per-case rng seeded
+/// deterministically from the test name. Called by the `proptest!` macro.
+pub fn run_proptest<F>(name: &str, config: &ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    for case in 0..config.cases {
+        let case_seed = seed ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        if let Err(e) = body(&mut rng) {
+            panic!("proptest `{name}` failed on case {case} (seed {case_seed:#x}): {e}");
+        }
+    }
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body for many random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __config = $cfg;
+            $crate::run_proptest(stringify!($name), &__config, |__rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                // The IIFE gives `?` and early returns a scope; the
+                // "redundant" call is the point.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                __outcome
+            });
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (with the
+/// generated inputs reported) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{:?} == {:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(__l == __r, $($fmt)+);
+    }};
+}
+
+/// Uniform choice among strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{any, ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_runs() {
+        let strat = (0i64..100, 0.0f64..1.0);
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            crate::run_proptest("determinism", &ProptestConfig::with_cases(16), |rng| {
+                out.push(strat.generate(rng));
+                Ok(())
+            });
+        }
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 16);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        fn ranges_respect_bounds(n in 3i64..9, x in -2.0f64..2.0) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x), "x = {x}");
+        }
+
+        fn vec_and_oneof((items, flag) in (
+            crate::collection::vec(0u64..10, 2..5),
+            prop_oneof![Just(true), Just(false)],
+        )) {
+            prop_assert!(items.len() >= 2 && items.len() < 5);
+            prop_assert!(items.iter().all(|&v| v < 10));
+            let _ = flag;
+        }
+
+        fn mapped_strategy(v in (1i64..4).prop_map(|n| n * 10)) {
+            prop_assert_eq!(v % 10, 0);
+            prop_assert!((10..40).contains(&v));
+        }
+
+        fn any_bool_both_values(b in any::<bool>()) {
+            let _ = b;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest `failing` failed")]
+    fn failures_panic_with_context() {
+        crate::run_proptest("failing", &ProptestConfig::with_cases(4), |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

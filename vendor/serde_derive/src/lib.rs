@@ -1,0 +1,449 @@
+//! Vendored minimal stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! simplified `Value`-based traits in the vendored `serde` crate. The input
+//! item is parsed by scanning raw `proc_macro` token trees (no `syn`/`quote`
+//! available offline) and the impl is generated as source text.
+//!
+//! Supported shapes — the ones this workspace uses:
+//! - structs with named fields (maps), tuple structs (newtype = inner value,
+//!   longer tuples = sequences), unit structs;
+//! - enums with unit / tuple / struct variants, externally tagged;
+//! - `#[serde(transparent)]` on single-field structs;
+//! - a single list of plain type parameters (each bounded by the derived
+//!   trait), which covers `Record<T>`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::str::FromStr;
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    transparent: bool,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    payload: VariantPayload,
+}
+
+enum VariantPayload {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn is_ident(t: Option<&TokenTree>, s: &str) -> bool {
+    matches!(t, Some(TokenTree::Ident(id)) if id.to_string() == s)
+}
+
+/// Skips a `#[...]` attribute at `i`, returning whether one was present and
+/// whether it was `#[serde(transparent)]`.
+fn skip_attr(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
+    if is_punct(tokens.get(*i), '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            if g.delimiter() == Delimiter::Bracket {
+                let s = g.stream().to_string();
+                let transparent = s.starts_with("serde") && s.contains("transparent");
+                *i += 2;
+                return (true, transparent);
+            }
+        }
+    }
+    (false, false)
+}
+
+/// Skips a `pub` / `pub(...)` visibility at `i`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if is_ident(tokens.get(*i), "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Advances `i` past tokens until a comma at angle-bracket depth zero
+/// (consuming the comma) or the end of `tokens`.
+fn skip_to_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while skip_attr(&tokens, &mut i).0 {}
+        skip_visibility(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        skip_to_top_level_comma(&tokens, &mut i);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while skip_attr(&tokens, &mut i).0 {}
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let payload = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let p = VariantPayload::Named(parse_named_fields(g.stream()));
+                i += 1;
+                p
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let p = VariantPayload::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                p
+            }
+            _ => VariantPayload::Unit,
+        };
+        skip_to_top_level_comma(&tokens, &mut i);
+        variants.push(Variant { name, payload });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+    loop {
+        let (was_attr, was_transparent) = skip_attr(&tokens, &mut i);
+        if !was_attr {
+            break;
+        }
+        transparent = transparent || was_transparent;
+    }
+    skip_visibility(&tokens, &mut i);
+    let kind_kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    let mut generics = Vec::new();
+    if is_punct(tokens.get(i), '<') {
+        i += 1;
+        let mut depth = 1i32;
+        let mut expecting = true;
+        let mut after_lifetime = false;
+        while i < tokens.len() && depth > 0 {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    expecting = true;
+                    after_lifetime = false;
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 => after_lifetime = true,
+                TokenTree::Ident(id) if depth == 1 && expecting => {
+                    if !after_lifetime {
+                        generics.push(id.to_string());
+                    }
+                    after_lifetime = false;
+                    expecting = false;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    // Skip an optional `where` clause: advance to the body group (or the
+    // trailing `;` of a tuple/unit struct).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(_) => break,
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+
+    let kind = match kind_kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => ItemKind::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("derive: unsupported item kind `{other}`"),
+    };
+
+    Item {
+        name,
+        generics,
+        transparent,
+        kind,
+    }
+}
+
+/// Builds `(impl-generics, self-type)` strings, bounding every type
+/// parameter by the derived trait.
+fn impl_header(item: &Item, trait_name: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let params = item.generics.join(", ");
+        let bounds = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        (format!("<{bounds}>"), format!("{}<{}>", item.name, params))
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_generics, self_ty) = impl_header(item, "Serialize");
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) if item.transparent && fields.len() == 1 => {
+            format!("::serde::Serialize::to_value(&self.{})", fields[0])
+        }
+        ItemKind::NamedStruct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Map(vec![{entries}])")
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let elems = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Seq(vec![{elems}])")
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) if variants.is_empty() => "match *self {}".to_string(),
+        ItemKind::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let name = &v.name;
+                    match &v.payload {
+                        VariantPayload::Unit => {
+                            format!("Self::{name} => ::serde::Value::Str(\"{name}\".to_string()),")
+                        }
+                        VariantPayload::Tuple(1) => format!(
+                            "Self::{name}(f0) => ::serde::Value::Map(vec![(\"{name}\".to_string(), \
+                             ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantPayload::Tuple(n) => {
+                            let binds = (0..*n)
+                                .map(|i| format!("f{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let elems = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "Self::{name}({binds}) => ::serde::Value::Map(vec![(\"{name}\"\
+                                 .to_string(), ::serde::Value::Seq(vec![{elems}]))]),"
+                            )
+                        }
+                        VariantPayload::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "Self::{name} {{ {binds} }} => ::serde::Value::Map(vec![(\"{name}\"\
+                                 .to_string(), ::serde::Value::Map(vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!("match self {{\n            {arms}\n        }}")
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {self_ty} {{\n    fn to_value(&self) -> \
+         ::serde::Value {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (impl_generics, self_ty) = impl_header(item, "Deserialize");
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) if item.transparent && fields.len() == 1 => {
+            format!(
+                "Ok(Self {{ {}: ::serde::Deserialize::from_value(v)? }})",
+                fields[0]
+            )
+        }
+        ItemKind::NamedStruct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(v, \"{f}\")?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("Ok(Self {{ {inits} }})")
+        }
+        ItemKind::TupleStruct(1) => "Ok(Self(::serde::Deserialize::from_value(v)?))".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let inits = (0..*n)
+                .map(|i| format!("::serde::de_element(v, {i})?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("Ok(Self({inits}))")
+        }
+        ItemKind::UnitStruct => "{ let _ = v; Ok(Self) }".to_string(),
+        ItemKind::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|var| {
+                    let name = &var.name;
+                    match &var.payload {
+                        VariantPayload::Unit => format!("\"{name}\" => Ok(Self::{name}),"),
+                        VariantPayload::Tuple(1) => format!(
+                            "\"{name}\" => {{ let p = _payload.ok_or_else(|| \
+                             ::serde::DeError::msg(\"variant `{name}` expects a payload\"))?; \
+                             Ok(Self::{name}(::serde::Deserialize::from_value(p)?)) }}"
+                        ),
+                        VariantPayload::Tuple(n) => {
+                            let inits = (0..*n)
+                                .map(|i| format!("::serde::de_element(p, {i})?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "\"{name}\" => {{ let p = _payload.ok_or_else(|| \
+                                 ::serde::DeError::msg(\"variant `{name}` expects a payload\"))?; \
+                                 Ok(Self::{name}({inits})) }}"
+                            )
+                        }
+                        VariantPayload::Named(fields) => {
+                            let inits = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::de_field(p, \"{f}\")?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "\"{name}\" => {{ let p = _payload.ok_or_else(|| \
+                                 ::serde::DeError::msg(\"variant `{name}` expects a payload\"))?; \
+                                 Ok(Self::{name} {{ {inits} }}) }}"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!(
+                "let (tag, _payload) = ::serde::enum_variant(v)?;\n        match tag {{\n         \
+                 \u{20}  {arms}\n            other => Err(::serde::DeError::msg(format!(\"unknown \
+                 variant `{{other}}`\"))),\n        }}"
+            )
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {self_ty} {{\n    fn from_value(v: \
+         &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n        \
+         {body}\n    }}\n}}\n"
+    )
+}
+
+/// Derives `serde::Serialize` (the vendored `Value`-based trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_serialize(&item);
+    TokenStream::from_str(&code).expect("derive(Serialize): generated code failed to parse")
+}
+
+/// Derives `serde::Deserialize` (the vendored `Value`-based trait).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_deserialize(&item);
+    TokenStream::from_str(&code).expect("derive(Deserialize): generated code failed to parse")
+}
