@@ -91,6 +91,12 @@ pub struct SimResult {
     pub energy: EnergyAccounting,
     /// Number of DVFS frequency switches performed.
     pub switches: u64,
+    /// Scheduler events handled by the discrete-event engine over the
+    /// run — the denominator of end-to-end events/sec throughput.
+    pub events: u64,
+    /// Number of domain trace events emitted, counted even when full
+    /// trace collection is off (the sweep fast path).
+    pub trace_events: u64,
     /// Busy time per DVFS level (same order as the CPU's level table).
     pub level_time: Vec<f64>,
     /// Time with no job executing (includes stalls).
@@ -185,6 +191,8 @@ mod tests {
             jobs,
             energy: EnergyAccounting::default(),
             switches: 0,
+            events: 0,
+            trace_events: 0,
             level_time: vec![1.0, 2.0],
             idle_time: 97.0,
             stall_time: 0.0,

@@ -22,10 +22,13 @@ use harvest_energy::storage::Storage;
 use harvest_sim::engine::{Engine, Model, Scheduler as EngineCtx};
 use harvest_sim::piecewise::{Cursor, PiecewiseConstant};
 use harvest_sim::time::{SimDuration, SimTime};
+use harvest_sim::trace::CountingSink;
 use harvest_task::job::{Job, JobId};
 use harvest_task::queue::EdfQueue;
 use harvest_task::task::Task;
 use harvest_task::taskset::TaskSet;
+
+use std::sync::Arc;
 
 use crate::config::{MissPolicy, SystemConfig};
 use crate::result::{EnergyAccounting, JobOutcome, JobRecord, SimResult};
@@ -44,6 +47,17 @@ enum SysEvent {
     Sample,
 }
 
+/// Where domain trace events go. Sweeps only need statistics, so the
+/// default arm counts emissions through a [`CountingSink`] without ever
+/// constructing a record; figure runs keep the full log.
+#[derive(Debug)]
+enum TraceLog {
+    /// Count emissions only (the sweep fast path).
+    Count(CountingSink),
+    /// Retain every record (figure traces).
+    Keep(Vec<(SimTime, TraceEvent)>),
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum RunState {
     Idle,
@@ -53,8 +67,8 @@ enum RunState {
 
 struct SystemModel {
     config: SystemConfig,
-    tasks: TaskSet,
-    profile: PiecewiseConstant,
+    tasks: Arc<TaskSet>,
+    profile: Arc<PiecewiseConstant>,
     policy: Box<dyn Scheduler>,
     predictor: Box<dyn EnergyPredictor>,
     storage: Storage,
@@ -73,7 +87,7 @@ struct SystemModel {
     idle_time: f64,
     stall_time: f64,
     samples: Vec<(SimTime, f64)>,
-    trace: Vec<(SimTime, TraceEvent)>,
+    trace: TraceLog,
     /// Profile cursors, one per monotone query stream. Simulation time
     /// only moves forward, so each stream resumes its breakpoint lookup
     /// where it left off (amortized `O(1)` per query). They are pure
@@ -147,7 +161,7 @@ impl SystemModel {
         match rec.outcome {
             JobOutcome::Pending => {
                 rec.outcome = JobOutcome::Completed { at: now };
-                self.trace_event(now, TraceEvent::Completed { job: job.id() });
+                self.trace_event(now, || TraceEvent::Completed { job: job.id() });
             }
             // RunToCompletion: the miss was recorded at the deadline;
             // note the late completion.
@@ -155,15 +169,19 @@ impl SystemModel {
                 rec.outcome = JobOutcome::Missed {
                     completed: Some(now),
                 };
-                self.trace_event(now, TraceEvent::Completed { job: job.id() });
+                self.trace_event(now, || TraceEvent::Completed { job: job.id() });
             }
             ref other => unreachable!("finishing a job in state {other:?}"),
         }
     }
 
-    fn trace_event(&mut self, now: SimTime, event: TraceEvent) {
-        if self.config.collect_trace {
-            self.trace.push((now, event));
+    /// Accounts one domain trace event. The record itself is built
+    /// lazily: in counting mode only the emission is tallied and `event`
+    /// is never called.
+    fn trace_event(&mut self, now: SimTime, event: impl FnOnce() -> TraceEvent) {
+        match &mut self.trace {
+            TraceLog::Count(sink) => sink.bump(),
+            TraceLog::Keep(log) => log.push((now, event())),
         }
     }
 
@@ -183,14 +201,11 @@ impl SystemModel {
             outcome: JobOutcome::Pending,
             energy: 0.0,
         });
-        self.trace_event(
-            now,
-            TraceEvent::Released {
-                job: id,
-                task: task_index,
-                deadline,
-            },
-        );
+        self.trace_event(now, || TraceEvent::Released {
+            job: id,
+            task: task_index,
+            deadline,
+        });
         self.queue.push(job);
         ctx.schedule(deadline, SysEvent::DeadlineCheck { job: id });
         if let Some(period) = task.period() {
@@ -209,7 +224,7 @@ impl SystemModel {
             return;
         }
         rec.outcome = JobOutcome::Missed { completed: None };
-        self.trace_event(now, TraceEvent::Missed { job });
+        self.trace_event(now, || TraceEvent::Missed { job });
         if self.config.miss_policy == MissPolicy::AbortAtDeadline {
             let was_running = matches!(self.state, RunState::Running { job: j, .. } if j == job);
             self.queue.remove(job).expect("checked contains");
@@ -242,7 +257,7 @@ impl SystemModel {
             Decision::IdleUntil(s) => {
                 assert!(s > now, "policy idled until the past ({s} <= {now})");
                 self.state = RunState::Idle;
-                self.trace_event(now, TraceEvent::Idled { until: Some(s) });
+                self.trace_event(now, || TraceEvent::Idled { until: Some(s) });
                 ctx.schedule(s, SysEvent::Reevaluate { epoch: self.epoch });
             }
             Decision::Run { level, review } => {
@@ -284,13 +299,10 @@ impl SystemModel {
                     job: head_id,
                     level,
                 };
-                self.trace_event(
-                    now,
-                    TraceEvent::Started {
-                        job: head_id,
-                        level,
-                    },
-                );
+                self.trace_event(now, || TraceEvent::Started {
+                    job: head_id,
+                    level,
+                });
                 ctx.schedule(completion, SysEvent::Reevaluate { epoch: self.epoch });
                 let mut window_end = completion;
                 if let Some(r) = review {
@@ -347,19 +359,19 @@ impl SystemModel {
         self.state = RunState::Stalled;
         match wake {
             Some(t) if t > now => {
-                self.trace_event(now, TraceEvent::Stalled { until: Some(t) });
+                self.trace_event(now, || TraceEvent::Stalled { until: Some(t) });
                 ctx.schedule(t, SysEvent::Reevaluate { epoch: self.epoch });
             }
             // Restart level already met (boundary rounding) — retry on
             // the next tick rather than spinning at the same instant.
             Some(_) => {
                 let t = now + SimDuration::TICK;
-                self.trace_event(now, TraceEvent::Stalled { until: Some(t) });
+                self.trace_event(now, || TraceEvent::Stalled { until: Some(t) });
                 ctx.schedule(t, SysEvent::Reevaluate { epoch: self.epoch });
             }
             // The source never recovers within the horizon: sleep until
             // an arrival changes the picture.
-            None => self.trace_event(now, TraceEvent::Stalled { until: None }),
+            None => self.trace_event(now, || TraceEvent::Stalled { until: None }),
         }
     }
 
@@ -468,6 +480,26 @@ pub fn simulate(
     policy: Box<dyn Scheduler>,
     predictor: Box<dyn EnergyPredictor>,
 ) -> SimResult {
+    simulate_shared(
+        config,
+        Arc::new(tasks.clone()),
+        Arc::new(profile),
+        policy,
+        predictor,
+    )
+}
+
+/// [`simulate`] without the per-run deep copies: the task set and the
+/// realized profile are taken behind [`Arc`], so sweep drivers can build
+/// each prefab (profile + prefix sums + task set) once per seed and
+/// share it across every capacity and policy trial.
+pub fn simulate_shared(
+    config: SystemConfig,
+    tasks: Arc<TaskSet>,
+    profile: Arc<PiecewiseConstant>,
+    policy: Box<dyn Scheduler>,
+    predictor: Box<dyn EnergyPredictor>,
+) -> SimResult {
     assert!(
         config.cpu.switch_overhead().is_zero(),
         "the closed-loop simulator models DVFS switch *energy* only; \
@@ -484,13 +516,18 @@ pub fn simulate(
     let level_count = config.cpu.level_count();
     let scheduler_name = policy.name().to_owned();
     let horizon = config.horizon;
+    let trace = if config.collect_trace {
+        TraceLog::Keep(Vec::new())
+    } else {
+        TraceLog::Count(CountingSink::new())
+    };
     let model = SystemModel {
         energy: EnergyAccounting {
             initial_level: initial,
             ..EnergyAccounting::default()
         },
         config,
-        tasks: tasks.clone(),
+        tasks: Arc::clone(&tasks),
         profile,
         policy,
         predictor,
@@ -507,7 +544,7 @@ pub fn simulate(
         idle_time: 0.0,
         stall_time: 0.0,
         samples: Vec::new(),
-        trace: Vec::new(),
+        trace,
         adv_cursor: Cursor::default(),
         acct_cursor: Cursor::default(),
         point_cursor: Cursor::default(),
@@ -526,19 +563,29 @@ pub fn simulate(
     }
     let horizon_end = SimTime::ZERO + horizon;
     engine.run_until(horizon_end);
+    let events = engine.events_handled();
     let mut model = engine.into_model();
     model.finalize(horizon_end);
+    let (trace, trace_events) = match model.trace {
+        TraceLog::Count(sink) => (Vec::new(), sink.count()),
+        TraceLog::Keep(log) => {
+            let n = log.len() as u64;
+            (log, n)
+        }
+    };
     SimResult {
         scheduler: scheduler_name,
         horizon,
         jobs: model.records,
         energy: model.energy,
         switches: model.switches,
+        events,
+        trace_events,
         level_time: model.level_time,
         idle_time: model.idle_time,
         stall_time: model.stall_time,
         samples: model.samples,
-        trace: model.trace,
+        trace,
     }
 }
 

@@ -1,6 +1,7 @@
 //! Clairvoyant predictor over the realized profile.
 
 use std::cell::Cell;
+use std::sync::Arc;
 
 use harvest_sim::piecewise::{Cursor, PiecewiseConstant, Segment};
 use harvest_sim::time::SimTime;
@@ -27,7 +28,9 @@ use super::EnergyPredictor;
 /// ```
 #[derive(Debug, Clone)]
 pub struct OraclePredictor {
-    profile: PiecewiseConstant,
+    /// Shared so sweep prefabs can hand the same realized profile to
+    /// many concurrent trials without deep-copying breakpoint tables.
+    profile: Arc<PiecewiseConstant>,
     /// Breakpoint-position hint threaded across `predict_energy` calls.
     /// Prediction windows advance monotonically with simulation time, so
     /// the hint keeps each query amortized `O(1)`; it never changes a
@@ -46,6 +49,12 @@ impl PartialEq for OraclePredictor {
 impl OraclePredictor {
     /// Creates an oracle over the given realized profile.
     pub fn new(profile: PiecewiseConstant) -> Self {
+        Self::from_shared(Arc::new(profile))
+    }
+
+    /// Creates an oracle over an already-shared profile without copying
+    /// its breakpoint tables.
+    pub fn from_shared(profile: Arc<PiecewiseConstant>) -> Self {
         let cursor = Cell::new(profile.cursor());
         OraclePredictor { profile, cursor }
     }

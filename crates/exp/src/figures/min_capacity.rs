@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::parallel::parallel_map;
-use crate::scenario::{PaperScenario, PolicyKind};
+use crate::scenario::{PaperScenario, PolicyKind, TrialPrefab};
 
 /// One utilization row of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,10 +46,15 @@ pub fn min_zero_miss_capacity(
 ) -> f64 {
     assert!(trials > 0, "need at least one trial");
     assert!(rel_tol > 0.0, "tolerance must be positive");
+    // The search probes many capacities over the same seeds; the
+    // prefabs are capacity-independent, so build them once up front.
+    let prefabs: Vec<TrialPrefab> = parallel_map(0..trials as u64, threads, |seed| {
+        PaperScenario::new(utilization, 100.0).prefab(seed)
+    });
     let miss_free = |capacity: f64| -> bool {
-        let rates = parallel_map(0..trials as u64, threads, |seed| {
+        let rates = parallel_map(0..trials, threads, |seed| {
             PaperScenario::new(utilization, capacity)
-                .run(policy, seed)
+                .run_prefab(policy, &prefabs[seed])
                 .missed()
         });
         rates.into_iter().all(|missed| missed == 0)

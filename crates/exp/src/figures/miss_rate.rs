@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::parallel::parallel_map;
-use crate::scenario::{PaperScenario, PolicyKind};
+use crate::scenario::{PaperScenario, PolicyKind, TrialPrefab};
 
 /// One capacity point of a miss-rate sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -66,6 +66,12 @@ pub fn miss_rate_figure(
     assert!(trials > 0, "need at least one trial");
     let capacities = sweep_capacities();
     let max_capacity = capacities.last().copied().expect("non-empty sweep");
+    // A trial's solar realization and task set depend on the seed but
+    // not the capacity or policy, so each prefab is built once and
+    // shared across the whole capacities × policies grid.
+    let prefabs: Vec<TrialPrefab> = parallel_map(0..trials as u64, threads, |seed| {
+        PaperScenario::new(utilization, max_capacity).prefab(seed)
+    });
     let jobs: Vec<(usize, f64, PolicyKind, u64)> = capacities
         .iter()
         .enumerate()
@@ -77,7 +83,7 @@ pub fn miss_rate_figure(
         .collect();
     let rates = parallel_map(jobs.clone(), threads, |(_, capacity, policy, seed)| {
         PaperScenario::new(utilization, capacity)
-            .run(policy, seed)
+            .run_prefab(policy, &prefabs[seed as usize])
             .miss_rate()
     });
     let mut rows: Vec<MissRateRow> = capacities

@@ -10,7 +10,7 @@ use harvest_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::parallel::parallel_map;
-use crate::scenario::{PaperScenario, PolicyKind};
+use crate::scenario::{PaperScenario, PolicyKind, TrialPrefab};
 
 /// Data behind Figures 6 (U = 0.4) and 7 (U = 0.8).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -71,6 +71,11 @@ pub fn remaining_energy_figure(
     let grid_start = SimTime::ZERO;
     let grid_step = SimDuration::from_whole_units(sample_interval_units);
 
+    // Each seed's solar realization and task set are shared across the
+    // whole capacities × policies grid.
+    let prefabs: Vec<TrialPrefab> = parallel_map(0..trials as u64, threads, |seed| {
+        PaperScenario::new(utilization, capacities[0]).prefab(seed)
+    });
     let mut series = Vec::new();
     let mut per_capacity = vec![vec![0.0; policies.len()]; capacities.len()];
     for (pi, &policy) in policies.iter().enumerate() {
@@ -83,7 +88,7 @@ pub fn remaining_energy_figure(
         let runs = parallel_map(jobs, threads, |(ci, capacity, seed)| {
             let scenario =
                 PaperScenario::new(utilization, capacity).with_sampling(sample_interval_units);
-            let result = scenario.run(policy, seed);
+            let result = scenario.run_prefab(policy, &prefabs[seed as usize]);
             let samples: Vec<f64> = result
                 .normalized_samples(capacity)
                 .into_iter()

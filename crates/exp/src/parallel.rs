@@ -4,11 +4,12 @@
 //! fixed equal chunks: trial runtimes are heavily skewed (scarce-energy
 //! trials simulate far more scheduler events), so static chunking leaves
 //! threads idle while one worker drains a slow chunk. Each worker claims
-//! the next unclaimed index with a `fetch_add`, so load balances itself
-//! at item granularity while results land in input order.
+//! the next unclaimed index with a `fetch_add` and keeps its results in
+//! a private `(index, result)` buffer; the buffers are stitched back in
+//! input order after the scope joins. No locks anywhere on the work
+//! path — the single atomic counter is the only shared mutable state.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Applies `f` to every item, fanning work out over `threads` OS threads
 /// while preserving input order in the output.
@@ -16,7 +17,10 @@ use std::sync::Mutex;
 /// Results are deterministic: the mapping from item to result does not
 /// depend on scheduling, only the wall-clock does. Workers pull items
 /// one at a time from a shared atomic counter, so skewed per-item
-/// runtimes do not serialize behind a slow chunk.
+/// runtimes do not serialize behind a slow chunk. Items are read
+/// through a shared slice and cloned on claim (`T: Clone + Sync`) —
+/// sweep items are small `Copy` tuples, so the clone is free and no
+/// per-item lock is needed to transfer ownership.
 ///
 /// # Panics
 ///
@@ -31,7 +35,7 @@ use std::sync::Mutex;
 pub fn parallel_map<I, T, R, F>(items: I, threads: usize, f: F) -> Vec<R>
 where
     I: IntoIterator<Item = T>,
-    T: Send,
+    T: Clone + Send + Sync,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
@@ -45,36 +49,43 @@ where
         return items.into_iter().map(f).collect();
     }
 
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let slots: Vec<Mutex<Option<R>>> = work.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    let (f, work_ref, slots_ref, next_ref) = (&f, &work, &slots, &next);
+    let (f, items_ref, next_ref) = (&f, &items[..], &next);
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(move || loop {
-                let idx = next_ref.fetch_add(1, Ordering::Relaxed);
-                if idx >= work_ref.len() {
-                    break;
-                }
-                let item = work_ref[idx]
-                    .lock()
-                    .expect("work slot poisoned")
-                    .take()
-                    .expect("work item claimed twice");
-                let result = f(item);
-                *slots_ref[idx].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
+    let buffers: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    // Pre-size for the fair share; stealing may tilt it.
+                    let mut out = Vec::with_capacity(items_ref.len() / threads + 1);
+                    loop {
+                        let idx = next_ref.fetch_add(1, Ordering::Relaxed);
+                        if idx >= items_ref.len() {
+                            break;
+                        }
+                        out.push((idx, f(items_ref[idx].clone())));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
     });
 
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (idx, result) in buffers.into_iter().flatten() {
+        debug_assert!(slots[idx].is_none(), "index claimed twice");
+        slots[idx] = Some(result);
+    }
     slots
         .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("result slot poisoned")
-                .expect("all slots filled")
-        })
+        .map(|s| s.expect("every index claimed exactly once"))
         .collect()
 }
 
@@ -154,6 +165,27 @@ mod tests {
             .collect();
         assert_eq!(a, serial);
         assert_eq!(b, serial);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(0..64u64, 4, |x| {
+                if x == 13 {
+                    panic!("unlucky trial");
+                }
+                x
+            })
+        });
+        assert!(caught.is_err(), "a worker panic must reach the caller");
+    }
+
+    #[test]
+    fn borrowing_shared_state_works() {
+        // Closures may borrow prefab-style shared context.
+        let shared: Vec<u64> = (0..10).map(|i| i * 100).collect();
+        let out = parallel_map(0..10usize, 4, |i| shared[i] + 1);
+        assert_eq!(out, (0..10u64).map(|i| i * 100 + 1).collect::<Vec<_>>());
     }
 
     #[test]

@@ -4,13 +4,15 @@
 //! task set (5 periodic tasks by default, scaled to the target
 //! utilization), one 10 000-unit closed-loop run per policy.
 
+use std::sync::Arc;
+
 use harvest_core::config::SystemConfig;
 use harvest_core::policies::{
     EaDvfsScheduler, EdfScheduler, GreedyStretchScheduler, LazyScheduler,
 };
 use harvest_core::result::SimResult;
 use harvest_core::scheduler::Scheduler;
-use harvest_core::system::simulate;
+use harvest_core::system::simulate_shared;
 use harvest_cpu::{presets, CpuModel};
 use harvest_energy::predictor::{
     EnergyPredictor, EwmaSlotPredictor, MovingAveragePredictor, OraclePredictor,
@@ -95,8 +97,15 @@ pub enum PredictorKind {
 impl PredictorKind {
     /// Instantiates the predictor for a given realized profile.
     pub fn build(self, profile: &PiecewiseConstant) -> Box<dyn EnergyPredictor> {
+        self.build_shared(&Arc::new(profile.clone()))
+    }
+
+    /// Instantiates the predictor over an already-shared profile —
+    /// profile-tracing predictors reference it instead of copying its
+    /// breakpoint tables.
+    pub fn build_shared(self, profile: &Arc<PiecewiseConstant>) -> Box<dyn EnergyPredictor> {
         match self {
-            PredictorKind::Oracle => Box::new(OraclePredictor::new(profile.clone())),
+            PredictorKind::Oracle => Box::new(OraclePredictor::from_shared(Arc::clone(profile))),
             PredictorKind::Ewma => {
                 // The eq. 13 envelope cos²(t/70π) has period π·70π ≈ 691;
                 // 48 slots of ~14.4 units resolve it well.
@@ -118,7 +127,7 @@ impl PredictorKind {
             PredictorKind::Persistence => Box::new(PersistencePredictor::new()),
             PredictorKind::Biased { factor } => {
                 Box::new(harvest_energy::predictor::BiasedPredictor::new(
-                    OraclePredictor::new(profile.clone()),
+                    OraclePredictor::from_shared(Arc::clone(profile)),
                     factor,
                 ))
             }
@@ -135,6 +144,26 @@ impl PredictorKind {
             PredictorKind::Biased { .. } => "biased-oracle",
         }
     }
+}
+
+/// One seeded trial's shared inputs, built once and handed to every
+/// run that replays the trial: the solar realization (with its
+/// prefix-sum integral table) and the generated task set, both behind
+/// `Arc`.
+///
+/// Neither depends on the storage capacity or the policy, so a sweep
+/// over capacities × policies — the shape of every Fig. 5–9 experiment
+/// — builds each prefab once per seed instead of re-sampling the solar
+/// model and re-generating the workload inside every trial closure.
+#[derive(Debug, Clone)]
+pub struct TrialPrefab {
+    /// The seed the trial was derived from.
+    pub seed: u64,
+    /// The realized harvest profile `PS(t)` (eq. 13 sampling).
+    pub profile: Arc<PiecewiseConstant>,
+    /// The generated periodic task set, scaled to the target
+    /// utilization against this profile's mean power.
+    pub tasks: Arc<harvest_task::TaskSet>,
 }
 
 /// A fully specified §5.1 scenario (everything but the seed and policy).
@@ -216,10 +245,22 @@ impl PaperScenario {
         spec.generate(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
     }
 
-    /// Runs one policy on one seeded trial.
-    pub fn run(&self, policy: PolicyKind, seed: u64) -> SimResult {
-        let profile = self.profile(seed);
-        let tasks = self.taskset(seed, &profile);
+    /// Builds the trial's shared inputs once: the solar realization and
+    /// the task set, ready to be replayed under any capacity or policy
+    /// via [`run_prefab`](Self::run_prefab).
+    pub fn prefab(&self, seed: u64) -> TrialPrefab {
+        let profile = Arc::new(self.profile(seed));
+        let tasks = Arc::new(self.taskset(seed, &profile));
+        TrialPrefab {
+            seed,
+            profile,
+            tasks,
+        }
+    }
+
+    /// Runs one policy on a prebuilt trial, sharing its profile and
+    /// task set instead of regenerating them.
+    pub fn run_prefab(&self, policy: PolicyKind, prefab: &TrialPrefab) -> SimResult {
         let mut config = SystemConfig::new(
             self.cpu(),
             StorageSpec::ideal(self.capacity),
@@ -228,8 +269,19 @@ impl PaperScenario {
         if let Some(dt) = self.sample_interval_units {
             config = config.with_sample_interval(SimDuration::from_whole_units(dt));
         }
-        let predictor = self.predictor.build(&profile);
-        simulate(config, &tasks, profile, policy.build(), predictor)
+        let predictor = self.predictor.build_shared(&prefab.profile);
+        simulate_shared(
+            config,
+            Arc::clone(&prefab.tasks),
+            Arc::clone(&prefab.profile),
+            policy.build(),
+            predictor,
+        )
+    }
+
+    /// Runs one policy on one seeded trial.
+    pub fn run(&self, policy: PolicyKind, seed: u64) -> SimResult {
+        self.run_prefab(policy, &self.prefab(seed))
     }
 }
 
@@ -251,6 +303,25 @@ mod tests {
         let b = s.run(PolicyKind::EaDvfs, 7);
         assert_eq!(a.jobs, b.jobs);
         assert_eq!(a.energy, b.energy);
+        assert_eq!(a.events, b.events, "event counts must replay exactly");
+        assert_eq!(a.trace_events, b.trace_events);
+    }
+
+    #[test]
+    fn prefab_replays_identically_across_capacities() {
+        // One prefab serves every capacity sweep point; results must
+        // match runs that rebuild the trial from scratch.
+        let seed = 5;
+        let base = PaperScenario::new(0.6, 200.0);
+        let prefab = base.prefab(seed);
+        for capacity in [200.0, 1000.0] {
+            let s = PaperScenario::new(0.6, capacity);
+            let fresh = s.run(PolicyKind::EaDvfs, seed);
+            let shared = s.run_prefab(PolicyKind::EaDvfs, &prefab);
+            assert_eq!(fresh.jobs, shared.jobs, "capacity {capacity}");
+            assert_eq!(fresh.energy, shared.energy, "capacity {capacity}");
+            assert_eq!(fresh.events, shared.events, "capacity {capacity}");
+        }
     }
 
     #[test]

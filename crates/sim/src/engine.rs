@@ -19,7 +19,7 @@ pub struct Scheduler<'a, E> {
     stop: &'a mut bool,
 }
 
-impl<E> Scheduler<'_, E> {
+impl<E: Copy> Scheduler<'_, E> {
     /// The current simulation time.
     #[inline]
     pub fn now(&self) -> SimTime {
@@ -53,8 +53,9 @@ impl<E> Scheduler<'_, E> {
 
 /// A simulation model driven by an [`Engine`].
 pub trait Model {
-    /// Event payload type.
-    type Event;
+    /// Event payload type. `Copy` because the queue stores payloads in
+    /// its slab and copies them out as events fire.
+    type Event: Copy;
 
     /// Handles one event at time `now`, scheduling follow-ups via `ctx`.
     fn handle(&mut self, now: SimTime, event: Self::Event, ctx: &mut Scheduler<'_, Self::Event>);

@@ -100,6 +100,59 @@ impl<R> TraceSink<R> for VecSink<R> {
     }
 }
 
+/// Counts records without retaining (or even requiring) them — the
+/// sweep fast path: run statistics with no per-record allocation.
+///
+/// Reports `is_enabled() == false` so simulators that build expensive
+/// records conditionally can skip construction entirely and account the
+/// emission through [`CountingSink::bump`] instead.
+///
+/// # Examples
+///
+/// ```
+/// use harvest_sim::trace::{CountingSink, TraceSink};
+/// use harvest_sim::time::SimTime;
+///
+/// let mut sink = CountingSink::new();
+/// sink.record(SimTime::ZERO, "boot");
+/// sink.bump(); // an emission whose record was never built
+/// assert_eq!(sink.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    count: u64,
+}
+
+impl CountingSink {
+    /// Creates a sink with a zero count.
+    pub fn new() -> Self {
+        CountingSink { count: 0 }
+    }
+
+    /// Number of records seen so far (recorded or bumped).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Accounts one emission without constructing its record.
+    #[inline]
+    pub fn bump(&mut self) {
+        self.count += 1;
+    }
+}
+
+impl<R> TraceSink<R> for CountingSink {
+    #[inline]
+    fn record(&mut self, _time: SimTime, _record: R) {
+        self.count += 1;
+    }
+
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
 /// Adapts a closure into a sink — handy for filtering or streaming.
 ///
 /// # Examples
@@ -166,6 +219,16 @@ mod tests {
         assert_eq!(rs[1].time, SimTime::from_whole_units(1));
         assert_eq!(sink.len(), 2);
         assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn counting_sink_counts_without_retaining() {
+        let mut sink = CountingSink::new();
+        assert!(!TraceSink::<u8>::is_enabled(&sink));
+        sink.record(SimTime::ZERO, 1u8);
+        sink.record(SimTime::from_whole_units(2), 2u8);
+        sink.bump();
+        assert_eq!(sink.count(), 3);
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Model-based property tests of the indexed event queue.
+//!
+//! The reference model is a naive sorted-`Vec`: schedule appends,
+//! cancel retracts by sequence number, pop removes the `(time, seq)`
+//! minimum. Arbitrary interleavings of schedule/cancel/pop — including
+//! cancels aimed at events that already fired and bursts of
+//! same-instant ties — must produce identical `(time, seq, payload)`
+//! sequences from both implementations.
+
+use harvest_sim::event::{EventId, EventQueue};
+use harvest_sim::time::SimTime;
+use proptest::prelude::*;
+
+fn t(units: i64) -> SimTime {
+    SimTime::from_whole_units(units)
+}
+
+/// The sorted-`Vec` reference: entries are `(time_units, seq, payload)`
+/// and the pending minimum is recomputed from scratch on every query.
+#[derive(Default)]
+struct ModelQueue {
+    live: Vec<(i64, u64, u32)>,
+}
+
+impl ModelQueue {
+    fn schedule(&mut self, time: i64, seq: u64, payload: u32) {
+        self.live.push((time, seq, payload));
+    }
+
+    /// Retracts the entry with sequence `seq`; `false` if it is gone.
+    fn cancel(&mut self, seq: u64) -> bool {
+        match self.live.iter().position(|&(_, s, _)| s == seq) {
+            Some(i) => {
+                self.live.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn pop(&mut self) -> Option<(i64, u64, u32)> {
+        let i = self
+            .live
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &(time, seq, _))| (time, seq))
+            .map(|(i, _)| i)?;
+        Some(self.live.swap_remove(i))
+    }
+
+    fn peek_time(&self) -> Option<i64> {
+        self.live.iter().map(|&(time, _, _)| time).min()
+    }
+}
+
+proptest! {
+    /// Arbitrary schedule/cancel/pop interleavings agree with the
+    /// model, operation by operation.
+    #[test]
+    fn event_queue_matches_sorted_vec_model(
+        ops in proptest::collection::vec((0u8..8, 0i64..6, 0usize..512), 1..250),
+    ) {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut model = ModelQueue::default();
+        // Every handle ever issued, live or not — cancel targets draw
+        // from the full history, so cancel-after-pop, double-cancel,
+        // and cancel-after-cancel are all exercised.
+        let mut issued: Vec<(EventId, u64)> = Vec::new();
+        let mut now = 0i64;
+        let mut next_seq = 0u64;
+        let mut next_payload = 0u32;
+
+        for &(op, dt, target) in &ops {
+            match op {
+                // Weight scheduling heavily so queues actually grow;
+                // dt is small so same-instant ties are common.
+                0..=3 => {
+                    let time = now + dt;
+                    let payload = next_payload;
+                    next_payload += 1;
+                    let id = q.schedule(t(time), payload);
+                    model.schedule(time, next_seq, payload);
+                    issued.push((id, next_seq));
+                    next_seq += 1;
+                }
+                4 | 5 => {
+                    if issued.is_empty() {
+                        continue;
+                    }
+                    let (id, seq) = issued[target % issued.len()];
+                    let expected = model.cancel(seq);
+                    prop_assert_eq!(
+                        q.cancel(id),
+                        expected,
+                        "cancel of seq {} disagreed with model",
+                        seq
+                    );
+                }
+                6 => {
+                    let expected = model.pop();
+                    let got = q.pop();
+                    match (got, expected) {
+                        (None, None) => {}
+                        (Some((gt, gp)), Some((et, _, ep))) => {
+                            prop_assert_eq!(gt, t(et), "pop time diverged");
+                            prop_assert_eq!(gp, ep, "pop payload diverged");
+                            now = et;
+                        }
+                        (got, expected) => prop_assert!(
+                            false,
+                            "pop mismatch: queue {:?}, model {:?}",
+                            got,
+                            expected
+                        ),
+                    }
+                }
+                _ => {
+                    prop_assert_eq!(q.peek_time(), model.peek_time().map(t));
+                    prop_assert_eq!(q.len(), model.live.len());
+                    prop_assert_eq!(q.is_empty(), model.live.is_empty());
+                }
+            }
+        }
+
+        // Drain both to the end: the full remaining (time, payload)
+        // sequence must match, ties resolved identically.
+        loop {
+            match (q.pop(), model.pop()) {
+                (None, None) => break,
+                (Some((gt, gp)), Some((et, _, ep))) => {
+                    prop_assert_eq!(gt, t(et));
+                    prop_assert_eq!(gp, ep);
+                }
+                (got, expected) => prop_assert!(
+                    false,
+                    "drain mismatch: queue {:?}, model {:?}",
+                    got,
+                    expected
+                ),
+            }
+        }
+    }
+
+    /// Same-instant bursts fire strictly in scheduling order even when
+    /// interleaved with cancellations of earlier burst members.
+    #[test]
+    fn same_instant_ties_survive_cancellation(
+        n in 2usize..40,
+        cancel_mask in proptest::collection::vec(any::<bool>(), 40),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..n).map(|i| q.schedule(t(7), i)).collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if cancel_mask[i] {
+                prop_assert!(q.cancel(*id));
+            } else {
+                expected.push(i);
+            }
+        }
+        let order: Vec<usize> =
+            std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        prop_assert_eq!(order, expected, "FIFO tie order broken by cancels");
+    }
+
+    /// Handles never outlive their event: after a pop, every handle to
+    /// the popped event is dead, even if its slab slot was recycled by
+    /// later schedules.
+    #[test]
+    fn stale_handles_stay_dead(
+        times in proptest::collection::vec(0i64..5, 1..60),
+    ) {
+        let mut q = EventQueue::new();
+        let mut dead: Vec<EventId> = Vec::new();
+        for (i, &dt) in times.iter().enumerate() {
+            let now = q.current_time().map_or(0, |t| t.as_ticks());
+            let id = q.schedule(
+                SimTime::from_ticks(now) + harvest_sim::time::SimDuration::from_whole_units(dt),
+                i,
+            );
+            if i % 2 == 0 {
+                // Fire it immediately; the handle is now stale.
+                while let Some((_, v)) = q.pop() {
+                    if v == i {
+                        break;
+                    }
+                }
+                dead.push(id);
+            }
+            for d in &dead {
+                prop_assert!(!q.cancel(*d), "stale handle revived");
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case replays 20 000 operations against the O(n)-scan model,
+    // so a handful of seeds already dwarfs the scripted suites above;
+    // more would only slow the tier-1 run.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Long horizons exercise the radix structure across many bound
+    /// advances (bucket drains, re-files, free-list churn) that short
+    /// scripted runs rarely reach.
+    #[test]
+    fn long_runs_match_model(seed in any::<u64>()) {
+        let mut rng = seed | 1;
+        let mut step = move |m: u64| {
+            // xorshift64*: deterministic, cheap, decorrelated draws.
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            (rng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) % m
+        };
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut model = ModelQueue::default();
+        let mut issued: Vec<(EventId, u64)> = Vec::new();
+        let mut now = 0i64;
+        let mut next_seq = 0u64;
+
+        for n in 0..20_000u32 {
+            match step(10) {
+                // Schedule near the present; dt 0 keeps ties frequent,
+                // the occasional long jump spreads keys across radix
+                // levels.
+                0..=4 => {
+                    let dt = if step(16) == 0 { step(100_000) } else { step(8) };
+                    let time = now + dt as i64;
+                    let id = q.schedule(t(time), n);
+                    model.schedule(time, next_seq, n);
+                    issued.push((id, next_seq));
+                    next_seq += 1;
+                }
+                5 | 6 => {
+                    if let Some((id, seq)) = issued
+                        .get(step(issued.len().max(1) as u64) as usize)
+                        .copied()
+                    {
+                        prop_assert_eq!(q.cancel(id), model.cancel(seq));
+                    }
+                }
+                _ => {
+                    let expected = model.pop();
+                    let got = q.pop();
+                    prop_assert_eq!(
+                        got.map(|(gt, gp)| (gt.as_ticks(), gp)),
+                        expected.map(|(et, _, ep)| (t(et).as_ticks(), ep))
+                    );
+                    if let Some((et, _, _)) = expected {
+                        now = et;
+                    }
+                }
+            }
+            prop_assert_eq!(q.peek_time(), model.peek_time().map(t));
+            prop_assert_eq!(q.len(), model.live.len());
+        }
+        while let Some((gt, gp)) = q.pop() {
+            let (et, _, ep) = model.pop().expect("model drained early");
+            prop_assert_eq!((gt, gp), (t(et), ep));
+        }
+        prop_assert!(model.pop().is_none(), "queue drained early");
+    }
+}

@@ -157,4 +157,110 @@ proptest! {
             prev = Some(key);
         }
     }
+
+    /// EDF queue vs. a naive sorted-Vec model: arbitrary interleavings
+    /// of push/pop/remove/drain agree on contents, membership, and
+    /// priority order — including deadline ties and removal of ids
+    /// that are absent or already drained.
+    #[test]
+    fn edf_queue_matches_sorted_vec_model(
+        ops in proptest::collection::vec((0u8..8, 1i64..20, 0usize..256), 1..200),
+    ) {
+        let mut q = EdfQueue::new();
+        // The model: (deadline_units, id) keys of live jobs.
+        let mut model: Vec<(i64, u64)> = Vec::new();
+        let mut next_id = 0u64;
+        let mut now = 0i64;
+
+        for &(op, deadline, target) in &ops {
+            match op {
+                0..=3 => {
+                    let id = next_id;
+                    next_id += 1;
+                    q.push(Job::new(
+                        JobId(id),
+                        0,
+                        SimTime::ZERO,
+                        SimTime::from_whole_units(deadline),
+                        1.0,
+                    ));
+                    model.push((deadline, id));
+                }
+                4 => {
+                    model.sort_unstable();
+                    let expected = if model.is_empty() {
+                        None
+                    } else {
+                        Some(model.remove(0))
+                    };
+                    let got = q.pop().map(|j| {
+                        (j.absolute_deadline().as_ticks()
+                            / SimTime::from_whole_units(1).as_ticks(),
+                         j.id().0)
+                    });
+                    prop_assert_eq!(got, expected, "pop diverged");
+                }
+                5 => {
+                    if next_id == 0 {
+                        continue;
+                    }
+                    let id = (target as u64) % next_id;
+                    let expected = model.iter().position(|&(_, i)| i == id);
+                    let got = q.remove(JobId(id));
+                    prop_assert_eq!(
+                        got.is_some(),
+                        expected.is_some(),
+                        "remove({}) presence diverged",
+                        id
+                    );
+                    if let Some(pos) = expected {
+                        model.swap_remove(pos);
+                        prop_assert_eq!(got.unwrap().id(), JobId(id));
+                    }
+                }
+                6 => {
+                    now += deadline;
+                    let mut expected: Vec<(i64, u64)> = model
+                        .iter()
+                        .copied()
+                        .filter(|&(d, _)| d <= now)
+                        .collect();
+                    expected.sort_unstable();
+                    model.retain(|&(d, _)| d > now);
+                    let mut out = Vec::new();
+                    q.drain_expired_into(SimTime::from_whole_units(now), &mut out);
+                    let got: Vec<(i64, u64)> = out
+                        .iter()
+                        .map(|j| {
+                            (j.absolute_deadline().as_ticks()
+                                / SimTime::from_whole_units(1).as_ticks(),
+                             j.id().0)
+                        })
+                        .collect();
+                    prop_assert_eq!(got, expected, "drain diverged");
+                }
+                _ => {
+                    prop_assert_eq!(q.len(), model.len());
+                    if next_id > 0 {
+                        let id = (target as u64) % next_id;
+                        let expected = model.iter().any(|&(_, i)| i == id);
+                        prop_assert_eq!(q.contains(JobId(id)), expected);
+                    }
+                    let mut sorted = model.clone();
+                    sorted.sort_unstable();
+                    let head = q.peek().map(|j| j.id().0);
+                    prop_assert_eq!(head, sorted.first().map(|&(_, i)| i));
+                }
+            }
+        }
+
+        // Final drain in strict priority order.
+        model.sort_unstable();
+        for &(d, id) in &model {
+            let j = q.pop().expect("model job present");
+            prop_assert_eq!(j.id().0, id);
+            prop_assert_eq!(j.absolute_deadline(), SimTime::from_whole_units(d));
+        }
+        prop_assert!(q.is_empty());
+    }
 }

@@ -105,10 +105,18 @@ impl Default for Criterion {
 }
 
 impl Criterion {
-    /// Sets the default number of samples per benchmark.
+    /// Sets the default number of samples per benchmark. A single
+    /// sample is allowed for smoke runs that only check the bench
+    /// still executes.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        assert!(n >= 2, "sample_size must be at least 2");
+        assert!(n >= 1, "sample_size must be at least 1");
         self.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock measurement budget per benchmark.
+    pub fn measurement_time(&mut self, budget: std::time::Duration) -> &mut Self {
+        self.measurement_secs = budget.as_secs_f64().max(1e-6);
         self
     }
 
@@ -144,7 +152,7 @@ pub struct BenchmarkGroup<'a> {
 impl BenchmarkGroup<'_> {
     /// Sets the number of samples for benchmarks in this group.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        assert!(n >= 2, "sample_size must be at least 2");
+        assert!(n >= 1, "sample_size must be at least 1");
         self.sample_size = n;
         self
     }
@@ -206,7 +214,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     let projected = per_iter * iters as f64 * samples as f64;
     if projected > 2.0 * measurement_secs {
         let affordable = (2.0 * measurement_secs / (per_iter * iters as f64)) as usize;
-        samples = affordable.clamp(3, sample_size);
+        samples = affordable.clamp(sample_size.min(3), sample_size);
     }
 
     let mut measured: Vec<f64> = Vec::with_capacity(samples);
