@@ -6,19 +6,23 @@
 //! every hot path (event queue, EDF queue, storage evolution, policy
 //! decisions) rather than idling through an energy-rich schedule.
 //!
-//! Running this bench writes `BENCH_PR2.json` at the workspace root:
-//! raw medians, scheduler events/sec per policy, the prefab-sharing
-//! gain, and — when `BENCH_PR1.json` is present — speedups of the
-//! indexed queues over the PR 1 baselines for the shared ids.
+//! Running this bench writes `BENCH_PR3.json` at the workspace root:
+//! raw medians, scheduler events/sec per policy (observability off and
+//! on), the prefab-sharing gain, and — when `BENCH_PR2.json` is
+//! present — the metrics-off overhead of the instrumented simulator
+//! against the pre-observability medians for the shared `sim_*` ids
+//! (the tentpole's "<2% events/sec regression with null sinks" check).
 //!
 //! Pass `--smoke` for a 1-sample sanity run (CI): every benchmark
 //! executes once and no report is written.
 
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{BenchmarkId, Criterion};
-use harvest_exp::scenario::{PaperScenario, PolicyKind};
+use harvest_core::system::simulate_shared;
+use harvest_exp::scenario::{PaperScenario, PolicyKind, TrialPrefab};
 use harvest_sim::event::EventQueue;
 use harvest_sim::time::SimTime;
 use harvest_task::job::{Job, JobId};
@@ -128,6 +132,37 @@ fn whole_sim(c: &mut Criterion) {
     g.finish();
 }
 
+/// One run with metrics collection and phase profiling enabled (the
+/// always-on counters are frozen into a snapshot; the trace stays off,
+/// as in sweeps). The gap between this and `sim_10task_scarce`
+/// bounds what turning observability *on* costs.
+fn run_observed(s: &PaperScenario, policy: PolicyKind, prefab: &TrialPrefab) -> u64 {
+    let config = s.config().with_metrics().with_profiling();
+    let predictor = s.predictor.build_shared(&prefab.profile);
+    simulate_shared(
+        config,
+        Arc::clone(&prefab.tasks),
+        Arc::clone(&prefab.profile),
+        policy.build(),
+        predictor,
+    )
+    .events
+}
+
+/// Whole-simulation runs with the metrics snapshot + phase profiler
+/// enabled, one per policy.
+fn whole_sim_observed(c: &mut Criterion) {
+    let s = scenario();
+    let prefab = s.prefab(SEED);
+    let mut g = c.benchmark_group("sim_observed");
+    for policy in POLICIES {
+        g.bench_function(BenchmarkId::from_parameter(policy.name()), |b| {
+            b.iter(|| black_box(run_observed(&s, policy, &prefab)))
+        });
+    }
+    g.finish();
+}
+
 /// What prefab sharing saves: a full trial with per-run profile and
 /// task-set reconstruction vs the shared-prefab path.
 fn prefab_sharing(c: &mut Criterion) {
@@ -143,15 +178,7 @@ fn prefab_sharing(c: &mut Criterion) {
     g.finish();
 }
 
-/// Speedup pairs resolved against BENCH_PR1.json (old queues) for ids
-/// both benches measure.
-const PR1_PAIRS: [&str; 3] = [
-    "event_queue/push_pop/1000",
-    "event_queue/push_pop/10000",
-    "edf_queue_churn_100",
-];
-
-fn write_report(path: &std::path::Path, pr1: Option<&Value>) {
+fn write_report(path: &std::path::Path, pr2: Option<&Value>) {
     let results = criterion::all_results();
     let entries: Vec<Value> = results
         .iter()
@@ -190,8 +217,12 @@ fn write_report(path: &std::path::Path, pr1: Option<&Value>) {
         })
         .collect();
 
-    let pr1_find = |id: &str| -> Option<f64> {
-        let Value::Seq(rows) = pr1?.get("results")? else {
+    // Null-sink overhead: the same `sim_10task_scarce/*` ids measured
+    // before the observability layer landed (BENCH_PR2.json) vs now,
+    // with metrics off. Ratios near 1.0 mean the always-on counters are
+    // free; the acceptance bar is < 1.02 (2% events/sec regression).
+    let pr2_find = |id: &str| -> Option<f64> {
+        let Value::Seq(rows) = pr2?.get("results")? else {
             return None;
         };
         rows.iter()
@@ -199,15 +230,33 @@ fn write_report(path: &std::path::Path, pr1: Option<&Value>) {
             .and_then(|r| r.get("ns_per_iter"))
             .and_then(Value::as_f64)
     };
-    let speedups: Vec<Value> = PR1_PAIRS
+    let overhead_off: Vec<Value> = POLICIES
         .iter()
-        .filter_map(|&id| {
-            let (before, after) = (pr1_find(id)?, find(id)?);
+        .filter_map(|&policy| {
+            let id = format!("sim_10task_scarce/{}", policy.name());
+            let (before, after) = (pr2_find(&id)?, find(&id)?);
             Some(Value::Map(vec![
-                ("id".to_string(), Value::Str(id.to_string())),
-                ("pr1_ns_per_iter".to_string(), Value::F64(before)),
-                ("pr2_ns_per_iter".to_string(), Value::F64(after)),
-                ("speedup".to_string(), Value::F64(before / after)),
+                ("id".to_string(), Value::Str(id)),
+                ("pr2_ns_per_iter".to_string(), Value::F64(before)),
+                ("pr3_ns_per_iter".to_string(), Value::F64(after)),
+                ("overhead_ratio".to_string(), Value::F64(after / before)),
+            ]))
+        })
+        .collect();
+
+    // Cost of turning observability *on* (metrics snapshot + phase
+    // profiler), measured within this build: sim_observed vs
+    // sim_10task_scarce per policy.
+    let overhead_on: Vec<Value> = POLICIES
+        .iter()
+        .filter_map(|&policy| {
+            let off = find(&format!("sim_10task_scarce/{}", policy.name()))?;
+            let on = find(&format!("sim_observed/{}", policy.name()))?;
+            Some(Value::Map(vec![
+                ("policy".to_string(), Value::Str(policy.name().to_string())),
+                ("off_ns".to_string(), Value::F64(off)),
+                ("on_ns".to_string(), Value::F64(on)),
+                ("overhead_ratio".to_string(), Value::F64(on / off)),
             ]))
         })
         .collect();
@@ -241,7 +290,14 @@ fn write_report(path: &std::path::Path, pr1: Option<&Value>) {
         ),
         ("results".to_string(), Value::Seq(entries)),
         ("events_per_sec".to_string(), Value::Seq(events_per_sec)),
-        ("speedups_vs_pr1".to_string(), Value::Seq(speedups)),
+        (
+            "metrics_off_overhead_vs_pr2".to_string(),
+            Value::Seq(overhead_off),
+        ),
+        (
+            "observability_on_overhead".to_string(),
+            Value::Seq(overhead_on),
+        ),
         ("prefab_sharing".to_string(), Value::Seq(prefab_gain)),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("report serializes");
@@ -261,6 +317,7 @@ fn main() {
     event_queue_throughput(&mut c);
     edf_queue_ops(&mut c);
     whole_sim(&mut c);
+    whole_sim_observed(&mut c);
     prefab_sharing(&mut c);
 
     if smoke {
@@ -270,8 +327,8 @@ fn main() {
     // `cargo bench` runs with the package as cwd; anchor the report at
     // the workspace root so it lands in the same place from anywhere.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let pr1 = std::fs::read_to_string(root.join("BENCH_PR1.json"))
+    let pr2 = std::fs::read_to_string(root.join("BENCH_PR2.json"))
         .ok()
         .and_then(|raw| serde_json::from_str::<Value>(&raw).ok());
-    write_report(&root.join("BENCH_PR2.json"), pr1.as_ref());
+    write_report(&root.join("BENCH_PR3.json"), pr2.as_ref());
 }

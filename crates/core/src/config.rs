@@ -60,6 +60,16 @@ pub struct SystemConfig {
     pub horizon: SimDuration,
     /// Retain a full trace of scheduling events in the result.
     pub collect_trace: bool,
+    /// Publish a metrics snapshot (queue/cursor/policy counters) into
+    /// the result. The counters are maintained regardless — this only
+    /// controls whether they are frozen into
+    /// [`SimResult::metrics`](crate::result::SimResult::metrics).
+    pub collect_metrics: bool,
+    /// Wall-clock-time the engine's phases (event dispatch, policy
+    /// decision, energy update) into
+    /// [`SimResult::profile`](crate::result::SimResult::profile).
+    /// Perturbs nothing but costs two clock reads per phase.
+    pub profile: bool,
 }
 
 impl SystemConfig {
@@ -81,6 +91,8 @@ impl SystemConfig {
             sample_interval: None,
             horizon,
             collect_trace: false,
+            collect_metrics: false,
+            profile: false,
         }
     }
 
@@ -134,6 +146,18 @@ impl SystemConfig {
         self.collect_trace = true;
         self
     }
+
+    /// Enables the metrics snapshot in the result.
+    pub fn with_metrics(mut self) -> Self {
+        self.collect_metrics = true;
+        self
+    }
+
+    /// Enables wall-clock phase profiling in the result.
+    pub fn with_profiling(mut self) -> Self {
+        self.profile = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +180,8 @@ mod tests {
         assert_eq!(c.miss_policy, MissPolicy::AbortAtDeadline);
         assert_eq!(c.restart_quantum, 0.1);
         assert!(!c.collect_trace);
+        assert!(!c.collect_metrics, "observability is off by default");
+        assert!(!c.profile, "profiling is off by default");
     }
 
     #[test]
@@ -165,11 +191,15 @@ mod tests {
             .with_miss_policy(MissPolicy::RunToCompletion)
             .with_restart_quantum(0.5)
             .with_sample_interval(SimDuration::from_whole_units(10))
-            .with_trace();
+            .with_trace()
+            .with_metrics()
+            .with_profiling();
         assert_eq!(c.initial_level, Some(50.0));
         assert_eq!(c.miss_policy, MissPolicy::RunToCompletion);
         assert_eq!(c.restart_quantum, 0.5);
         assert!(c.collect_trace);
+        assert!(c.collect_metrics);
+        assert!(c.profile);
     }
 
     #[test]

@@ -34,12 +34,26 @@ use crate::scheduler::{Decision, SchedContext, Scheduler};
 /// assert_eq!(s.name(), "ea-dvfs");
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct EaDvfsScheduler;
+pub struct EaDvfsScheduler {
+    /// Decisions taken on the sufficient-energy shortcut (`s1 == s2 ==
+    /// now`, §4.3: the system behaves like plain EDF).
+    full_speed: u64,
+    /// Decisions where the deadline was unreachable even at `f_max` and
+    /// the job runs flat out as a best effort.
+    best_effort: u64,
+    /// Decisions where only `f_max` was feasible and the policy fell
+    /// back to LSA's lazy start.
+    lsa_fallback: u64,
+    /// Idle-until-`s1` decisions (energy scarce, start deferred).
+    idles: u64,
+    /// Stretch decisions: run below `f_max` with the `s2` review cap.
+    stretches: u64,
+}
 
 impl EaDvfsScheduler {
     /// Creates the policy.
     pub fn new() -> Self {
-        EaDvfsScheduler
+        EaDvfsScheduler::default()
     }
 }
 
@@ -54,6 +68,7 @@ impl Scheduler for EaDvfsScheduler {
 
         // Sufficient energy (s1 = s2 = now): run at full speed.
         if s2 <= ctx.now {
+            self.full_speed += 1;
             return Decision::run(max);
         }
 
@@ -61,11 +76,15 @@ impl Scheduler for EaDvfsScheduler {
         let n = match ctx.cpu.min_feasible_level(ctx.job.remaining_work(), window) {
             // Deadline unreachable even at f_max (or already past): run
             // flat out as a best effort.
-            None => return Decision::run(max),
+            None => {
+                self.best_effort += 1;
+                return Decision::run(max);
+            }
             Some(n) => n,
         };
         if n == max {
             // No slower level is feasible; behave like LSA for this job.
+            self.lsa_fallback += 1;
             return if s2 > ctx.now {
                 Decision::IdleUntil(s2)
             } else {
@@ -78,10 +97,12 @@ impl Scheduler for EaDvfsScheduler {
         debug_assert!(s1 <= s2, "slower power must allow an earlier latest-start");
 
         if ctx.now < s1 {
+            self.idles += 1;
             Decision::IdleUntil(s1)
         } else {
             // Within [s1, s2): run slowly, but re-evaluate at s2 to
             // switch to full speed (the anti-starvation cap of §4.3).
+            self.stretches += 1;
             Decision::Run {
                 level: n,
                 review: Some(s2),
@@ -91,6 +112,16 @@ impl Scheduler for EaDvfsScheduler {
 
     fn name(&self) -> &str {
         "ea-dvfs"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("full_speed", self.full_speed),
+            ("best_effort", self.best_effort),
+            ("lsa_fallback", self.lsa_fallback),
+            ("idles", self.idles),
+            ("stretches", self.stretches),
+        ]
     }
 }
 
@@ -188,6 +219,32 @@ mod tests {
                 level: 0,
                 review: Some(u(12))
             }
+        );
+    }
+
+    #[test]
+    fn metrics_classify_decisions() {
+        let mut s = EaDvfsScheduler::new();
+        assert!(s.metrics().iter().all(|&(_, c)| c == 0));
+        // Scarce §2 setup at t=0: idle until s1.
+        let scarce = CtxFixture::new(presets::two_speed_example(), 24.0, 1e6, 0.5, job(16, 4.0));
+        s.decide(&scarce.ctx());
+        // Plentiful energy: full-speed shortcut.
+        let rich = CtxFixture::new(presets::two_speed_example(), 150.0, 1e6, 0.5, job(16, 4.0));
+        s.decide(&rich.ctx());
+        // Inside [s1, s2): stretch with review.
+        let mid =
+            CtxFixture::new(presets::two_speed_example(), 26.0, 1e6, 0.5, job(16, 4.0)).at(u(4));
+        s.decide(&mid.ctx());
+        assert_eq!(
+            s.metrics(),
+            vec![
+                ("full_speed", 1),
+                ("best_effort", 0),
+                ("lsa_fallback", 0),
+                ("idles", 1),
+                ("stretches", 1),
+            ]
         );
     }
 

@@ -27,12 +27,17 @@ use crate::scheduler::{Decision, SchedContext, Scheduler};
 /// assert_eq!(s.name(), "lsa");
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct LazyScheduler;
+pub struct LazyScheduler {
+    /// Decisions that deferred the start to the lazy instant `s`.
+    lazy_waits: u64,
+    /// Decisions that started (or kept) the job running immediately.
+    immediate_runs: u64,
+}
 
 impl LazyScheduler {
     /// Creates the policy.
     pub fn new() -> Self {
-        LazyScheduler
+        LazyScheduler::default()
     }
 }
 
@@ -42,14 +47,23 @@ impl Scheduler for LazyScheduler {
         let sr_max = ctx.run_time_at_power(ctx.cpu.max_power());
         let s = ctx.latest_start(sr_max);
         if s > ctx.now {
+            self.lazy_waits += 1;
             Decision::IdleUntil(s)
         } else {
+            self.immediate_runs += 1;
             Decision::run(max)
         }
     }
 
     fn name(&self) -> &str {
         "lsa"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("lazy_waits", self.lazy_waits),
+            ("immediate_runs", self.immediate_runs),
+        ]
     }
 }
 
@@ -77,6 +91,16 @@ mod tests {
         let f = CtxFixture::new(presets::two_speed_example(), 1000.0, 1e6, 0.5, job(16, 4.0));
         let mut s = LazyScheduler::new();
         assert_eq!(s.decide(&f.ctx()), Decision::run(1));
+    }
+
+    #[test]
+    fn metrics_split_waits_and_runs() {
+        let mut s = LazyScheduler::new();
+        let scarce = CtxFixture::new(presets::two_speed_example(), 24.0, 1e6, 0.5, job(16, 4.0));
+        s.decide(&scarce.ctx());
+        let rich = CtxFixture::new(presets::two_speed_example(), 1000.0, 1e6, 0.5, job(16, 4.0));
+        s.decide(&rich.ctx());
+        assert_eq!(s.metrics(), vec![("lazy_waits", 1), ("immediate_runs", 1)]);
     }
 
     #[test]

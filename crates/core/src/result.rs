@@ -1,5 +1,6 @@
 //! Results of a closed-loop run.
 
+use harvest_obs::{MetricsSnapshot, PhaseProfile};
 use harvest_sim::time::{SimDuration, SimTime};
 use harvest_task::job::JobId;
 use serde::{Deserialize, Serialize};
@@ -97,6 +98,10 @@ pub struct SimResult {
     /// Number of domain trace events emitted, counted even when full
     /// trace collection is off (the sweep fast path).
     pub trace_events: u64,
+    /// Per-variant totals of the emitted trace events, indexed by
+    /// [`TraceEvent::kind_index`]; maintained even when the full trace
+    /// is not retained.
+    pub trace_kind_counts: Vec<u64>,
     /// Busy time per DVFS level (same order as the CPU's level table).
     pub level_time: Vec<f64>,
     /// Time with no job executing (includes stalls).
@@ -107,6 +112,12 @@ pub struct SimResult {
     pub samples: Vec<(SimTime, f64)>,
     /// Scheduling trace if collection was enabled.
     pub trace: Vec<(SimTime, TraceEvent)>,
+    /// Frozen metrics registry (queue, cursor, scheduler, storage, and
+    /// policy counters) if `collect_metrics` was set.
+    pub metrics: Option<MetricsSnapshot>,
+    /// Wall-clock phase timings (event dispatch, policy decision, energy
+    /// update) if profiling was enabled.
+    pub profile: Option<PhaseProfile>,
 }
 
 impl SimResult {
@@ -193,11 +204,14 @@ mod tests {
             switches: 0,
             events: 0,
             trace_events: 0,
+            trace_kind_counts: vec![0; TraceEvent::KIND_COUNT],
             level_time: vec![1.0, 2.0],
             idle_time: 97.0,
             stall_time: 0.0,
             samples: vec![(SimTime::ZERO, 50.0)],
             trace: vec![],
+            metrics: None,
+            profile: None,
         }
     }
 

@@ -36,6 +36,10 @@ pub struct SchedContext<'a> {
     /// context because `now`, the job, and the storage level are fixed
     /// at a decision instant.
     es_cache: Cell<Option<f64>>,
+    /// `available_energy_to_deadline` calls answered by the memo.
+    es_hits: Cell<u64>,
+    /// `available_energy_to_deadline` calls that queried the predictor.
+    es_misses: Cell<u64>,
 }
 
 impl<'a> SchedContext<'a> {
@@ -54,7 +58,16 @@ impl<'a> SchedContext<'a> {
             storage,
             predictor,
             es_cache: Cell::new(None),
+            es_hits: Cell::new(0),
+            es_misses: Cell::new(0),
         }
+    }
+
+    /// `(memo hits, predictor queries)` of the `ÊS(t, D)` cache over
+    /// this context's lifetime. Read by the simulator after the policy
+    /// decides, to aggregate memo effectiveness across a run.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        (self.es_hits.get(), self.es_misses.get())
     }
 }
 
@@ -73,6 +86,7 @@ impl SchedContext<'_> {
     /// deadline: `EC(t) + ÊS(t, D)` (the numerator of paper eq. 5/9).
     pub fn available_energy_to_deadline(&self) -> f64 {
         if let Some(cached) = self.es_cache.get() {
+            self.es_hits.set(self.es_hits.get() + 1);
             return cached;
         }
         let e = self.storage.level()
@@ -80,6 +94,7 @@ impl SchedContext<'_> {
                 .predictor
                 .predict_energy(self.now, self.job.absolute_deadline());
         self.es_cache.set(Some(e));
+        self.es_misses.set(self.es_misses.get() + 1);
         e
     }
 
@@ -141,6 +156,14 @@ pub trait Scheduler {
 
     /// Short policy name for reports.
     fn name(&self) -> &str;
+
+    /// Policy-internal observability counters, as `(name, count)` pairs
+    /// published into the run's metrics snapshot under a
+    /// `policy.<name>` prefix. The default is empty; stateless policies
+    /// need not implement it. Counting must never influence decisions.
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
@@ -150,6 +173,10 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        (**self).metrics()
     }
 }
 
@@ -220,6 +247,18 @@ mod tests {
         // §2 numbers: EC=24, Ps=0.5, deadline 16 → 24 + 8 = 32.
         let f = CtxFixture::new(presets::two_speed_example(), 24.0, 1e6, 0.5, job(16, 4.0));
         assert_eq!(f.ctx().available_energy_to_deadline(), 32.0);
+    }
+
+    #[test]
+    fn memo_stats_count_hits_and_misses() {
+        let f = CtxFixture::new(presets::two_speed_example(), 24.0, 1e6, 0.5, job(16, 4.0));
+        let ctx = f.ctx();
+        assert_eq!(ctx.memo_stats(), (0, 0));
+        ctx.available_energy_to_deadline();
+        assert_eq!(ctx.memo_stats(), (0, 1), "first call queries the predictor");
+        ctx.available_energy_to_deadline();
+        ctx.run_time_at_power(8.0);
+        assert_eq!(ctx.memo_stats(), (2, 1), "repeat calls hit the memo");
     }
 
     #[test]

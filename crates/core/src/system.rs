@@ -19,8 +19,11 @@
 
 use harvest_energy::predictor::EnergyPredictor;
 use harvest_energy::storage::Storage;
+use harvest_obs::profile::PhaseProfiler;
+use harvest_obs::{Log2Histogram, MetricsRegistry, MetricsSink};
 use harvest_sim::engine::{Engine, Model, Scheduler as EngineCtx};
-use harvest_sim::piecewise::{Cursor, PiecewiseConstant};
+use harvest_sim::event::QueueStats;
+use harvest_sim::piecewise::{Cursor, CursorStats, PiecewiseConstant};
 use harvest_sim::time::{SimDuration, SimTime};
 use harvest_sim::trace::CountingSink;
 use harvest_task::job::{Job, JobId};
@@ -38,6 +41,13 @@ use crate::trace::TraceEvent;
 /// Stored-energy amounts below this are treated as "empty" when deciding
 /// whether execution can proceed.
 const ENERGY_EPS: f64 = 1e-9;
+
+/// Phase name for the continuous-state advance ([`SystemModel::sync_to`]:
+/// storage integration, accounting, job progress) in a profiled run.
+pub const PHASE_ENERGY_SYNC: &str = "energy.sync";
+
+/// Phase name for the policy's `decide` call in a profiled run.
+pub const PHASE_POLICY_DECIDE: &str = "policy.decide";
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SysEvent {
@@ -63,6 +73,53 @@ enum RunState {
     Idle,
     Stalled,
     Running { job: JobId, level: usize },
+}
+
+/// Decision-shape counters of one run. Always maintained — each is a
+/// plain integer add (or one histogram insert per *decision*, far off
+/// the per-event hot path) — and frozen into the metrics snapshot only
+/// when `collect_metrics` is set. Counting never influences decisions.
+struct ObsCounters {
+    /// Policy consultations (queue non-empty at a scheduling event).
+    decide_calls: u64,
+    /// Decisions that idled the processor until a wake-up.
+    idle_decisions: u64,
+    /// Decisions that ran the head job.
+    run_decisions: u64,
+    /// Times the system entered the stalled state (empty store, §4.2).
+    stall_entries: u64,
+    /// Exact storage-depletion crossings scheduled inside run windows.
+    depletion_wakeups: u64,
+    /// Advance windows that pinned the store at empty (shortfall).
+    clamp_empty_windows: u64,
+    /// Advance windows that pinned the store at full (overflow).
+    clamp_full_windows: u64,
+    /// `ÊS(t, D)` lookups answered by the per-decision memo.
+    es_memo_hits: u64,
+    /// `ÊS(t, D)` lookups that queried the predictor.
+    es_memo_misses: u64,
+    /// Execution (re)starts per DVFS level.
+    level_starts: Vec<u64>,
+    /// Lengths of policy-chosen idle waits, in time units.
+    idle_wait: Log2Histogram,
+}
+
+impl ObsCounters {
+    fn new(level_count: usize) -> Self {
+        ObsCounters {
+            decide_calls: 0,
+            idle_decisions: 0,
+            run_decisions: 0,
+            stall_entries: 0,
+            depletion_wakeups: 0,
+            clamp_empty_windows: 0,
+            clamp_full_windows: 0,
+            es_memo_hits: 0,
+            es_memo_misses: 0,
+            level_starts: vec![0; level_count],
+            idle_wait: Log2Histogram::new(),
+        }
+    }
 }
 
 struct SystemModel {
@@ -100,6 +157,11 @@ struct SystemModel {
     acct_cursor: Cursor,
     point_cursor: Cursor,
     cross_cursor: Cursor,
+    obs: ObsCounters,
+    /// Scoped phase timers for `energy.sync` / `policy.decide`; `None`
+    /// unless the config enables profiling, so a plain run pays one
+    /// branch per phase boundary and zero clock reads.
+    profiler: Option<Box<PhaseProfiler>>,
 }
 
 impl SystemModel {
@@ -110,6 +172,7 @@ impl SystemModel {
         if now <= self.last_sync {
             return;
         }
+        let t0 = self.profiler.as_ref().map(|_| PhaseProfiler::start());
         let from = self.last_sync;
         let span = (now - from).as_units();
         let load = match self.state {
@@ -119,6 +182,12 @@ impl SystemModel {
         let report =
             self.storage
                 .advance_with(&mut self.adv_cursor, &self.profile, from, now, load);
+        if report.clamped_empty {
+            self.obs.clamp_empty_windows += 1;
+        }
+        if report.clamped_full {
+            self.obs.clamp_full_windows += 1;
+        }
         self.energy.consumed += report.delivered;
         self.energy.overflow += report.overflow;
         self.energy.deficit += report.deficit;
@@ -153,6 +222,11 @@ impl SystemModel {
                 self.stall_time += span;
             }
         }
+        if let Some(t0) = t0 {
+            if let Some(p) = self.profiler.as_mut() {
+                p.stop(PHASE_ENERGY_SYNC, t0);
+            }
+        }
         self.last_sync = now;
     }
 
@@ -175,12 +249,12 @@ impl SystemModel {
         }
     }
 
-    /// Accounts one domain trace event. The record itself is built
-    /// lazily: in counting mode only the emission is tallied and `event`
-    /// is never called.
+    /// Accounts one domain trace event. `event` builds the record — a
+    /// small `Copy` value — which counting mode tallies per variant and
+    /// immediately discards; only figure runs retain it.
     fn trace_event(&mut self, now: SimTime, event: impl FnOnce() -> TraceEvent) {
         match &mut self.trace {
-            TraceLog::Count(sink) => sink.bump(),
+            TraceLog::Count(sink) => sink.bump_kind(event().kind_index()),
             TraceLog::Keep(log) => log.push((now, event())),
         }
     }
@@ -243,7 +317,8 @@ impl SystemModel {
             return;
         };
         let head_id = head.id();
-        let decision = {
+        self.obs.decide_calls += 1;
+        let (decision, (memo_hits, memo_misses)) = {
             let sched_ctx = SchedContext::new(
                 now,
                 head,
@@ -251,12 +326,23 @@ impl SystemModel {
                 &self.storage,
                 self.predictor.as_ref(),
             );
-            self.policy.decide(&sched_ctx)
+            let t0 = self.profiler.as_ref().map(|_| PhaseProfiler::start());
+            let d = self.policy.decide(&sched_ctx);
+            if let Some(t0) = t0 {
+                if let Some(p) = self.profiler.as_mut() {
+                    p.stop(PHASE_POLICY_DECIDE, t0);
+                }
+            }
+            (d, sched_ctx.memo_stats())
         };
+        self.obs.es_memo_hits += memo_hits;
+        self.obs.es_memo_misses += memo_misses;
         match decision {
             Decision::IdleUntil(s) => {
                 assert!(s > now, "policy idled until the past ({s} <= {now})");
                 self.state = RunState::Idle;
+                self.obs.idle_decisions += 1;
+                self.obs.idle_wait.observe((s - now).as_units());
                 self.trace_event(now, || TraceEvent::Idled { until: Some(s) });
                 ctx.schedule(s, SysEvent::Reevaluate { epoch: self.epoch });
             }
@@ -299,6 +385,8 @@ impl SystemModel {
                     job: head_id,
                     level,
                 };
+                self.obs.run_decisions += 1;
+                self.obs.level_starts[level] += 1;
                 self.trace_event(now, || TraceEvent::Started {
                     job: head_id,
                     level,
@@ -323,6 +411,7 @@ impl SystemModel {
                         power,
                     ) {
                         if t > now {
+                            self.obs.depletion_wakeups += 1;
                             ctx.schedule(t, SysEvent::Reevaluate { epoch: self.epoch });
                         }
                     }
@@ -344,6 +433,7 @@ impl SystemModel {
     }
 
     fn stall(&mut self, now: SimTime, power: f64, ctx: &mut EngineCtx<'_, SysEvent>) {
+        self.obs.stall_entries += 1;
         let spec = *self.storage.spec();
         let target = (self.config.restart_quantum * power).min(spec.capacity());
         let horizon_end = SimTime::ZERO + self.config.horizon;
@@ -384,6 +474,88 @@ impl SystemModel {
             if matches!(rec.outcome, JobOutcome::Pending) && rec.deadline <= horizon {
                 rec.outcome = JobOutcome::Missed { completed: None };
             }
+        }
+    }
+
+    /// Per-variant totals of emitted trace events, indexed by
+    /// [`TraceEvent::kind_index`].
+    fn trace_kind_counts(&self) -> Vec<u64> {
+        match &self.trace {
+            TraceLog::Count(sink) => sink.kind_counts()[..TraceEvent::KIND_COUNT].to_vec(),
+            TraceLog::Keep(log) => {
+                let mut counts = vec![0u64; TraceEvent::KIND_COUNT];
+                for (_, ev) in log {
+                    counts[ev.kind_index()] += 1;
+                }
+                counts
+            }
+        }
+    }
+
+    /// Publishes every inline counter into the registry, once, at end of
+    /// run. This is the only place instrumentation touches metric names,
+    /// so the hot loops stay monomorphic integer adds.
+    fn publish_metrics(
+        &self,
+        reg: &mut MetricsRegistry,
+        events: u64,
+        queue: QueueStats,
+        kind_counts: &[u64],
+    ) {
+        if !reg.is_enabled() {
+            return;
+        }
+        reg.counter("engine.events", events);
+        reg.counter("queue.scheduled", queue.scheduled);
+        reg.counter("queue.popped", queue.popped);
+        reg.counter("queue.cancelled", queue.cancelled);
+        reg.counter("queue.cleared", queue.cleared);
+        reg.counter("queue.max_pending", queue.max_pending);
+        reg.counter("queue.drains.sorted", queue.sorted_drains);
+        reg.counter("queue.drains.scattered", queue.scattered_drains);
+
+        let mut cursor = CursorStats::default();
+        for c in [
+            &self.adv_cursor,
+            &self.acct_cursor,
+            &self.point_cursor,
+            &self.cross_cursor,
+        ] {
+            cursor.merge(&c.stats());
+        }
+        reg.counter("cursor.locates", cursor.locates as u64);
+        reg.counter("cursor.hint_hits", cursor.hint_hits as u64);
+        reg.counter("cursor.gallops", cursor.gallops as u64);
+        reg.counter("cursor.gallop_segments", cursor.gallop_segments as u64);
+        reg.counter("cursor.backward_jumps", cursor.backward_jumps as u64);
+        reg.counter("cursor.fresh_searches", cursor.fresh_searches as u64);
+        reg.counter("cursor.cross.reject", cursor.cross_reject as u64);
+        reg.counter("cursor.cross.bisect", cursor.cross_bisect as u64);
+        reg.counter("cursor.cross.scan", cursor.cross_scan as u64);
+        reg.counter("cursor.cross.cyclic", cursor.cross_cyclic as u64);
+
+        reg.counter("sched.decisions", self.obs.decide_calls);
+        reg.counter("sched.idle_decisions", self.obs.idle_decisions);
+        reg.counter("sched.run_decisions", self.obs.run_decisions);
+        reg.counter("sched.stalls", self.obs.stall_entries);
+        reg.counter("sched.depletion_wakeups", self.obs.depletion_wakeups);
+        reg.counter("sched.es_memo.hits", self.obs.es_memo_hits);
+        reg.counter("sched.es_memo.misses", self.obs.es_memo_misses);
+        for (level, &starts) in self.obs.level_starts.iter().enumerate() {
+            reg.counter(&format!("sched.level_starts.{level}"), starts);
+        }
+        reg.record_histogram("sched.idle_wait", &self.obs.idle_wait);
+
+        reg.counter("storage.clamp_empty_windows", self.obs.clamp_empty_windows);
+        reg.counter("storage.clamp_full_windows", self.obs.clamp_full_windows);
+        reg.gauge("energy.final_level", self.energy.final_level);
+        reg.gauge("energy.deficit", self.energy.deficit);
+
+        for (name, &count) in TraceEvent::KIND_NAMES.iter().zip(kind_counts.iter()) {
+            reg.counter(&format!("trace.{name}"), count);
+        }
+        for (name, count) in self.policy.metrics() {
+            reg.counter(&format!("policy.{}.{name}", self.policy.name()), count);
         }
     }
 }
@@ -549,8 +721,14 @@ pub fn simulate_shared(
         acct_cursor: Cursor::default(),
         point_cursor: Cursor::default(),
         cross_cursor: Cursor::default(),
+        obs: ObsCounters::new(level_count),
+        profiler: None,
     };
     let mut engine = Engine::new(model);
+    if engine.model().config.profile {
+        engine.enable_profiling();
+        engine.model_mut().profiler = Some(Box::default());
+    }
     // Seed first arrivals and the sampling grid.
     for (i, task) in tasks.iter().enumerate() {
         let phase = task.phase();
@@ -564,8 +742,23 @@ pub fn simulate_shared(
     let horizon_end = SimTime::ZERO + horizon;
     engine.run_until(horizon_end);
     let events = engine.events_handled();
+    let queue_stats = engine.queue_stats();
+    let engine_profiler = engine.profiler().cloned();
     let mut model = engine.into_model();
     model.finalize(horizon_end);
+    let trace_kind_counts = model.trace_kind_counts();
+    let metrics = model.config.collect_metrics.then(|| {
+        let mut reg = MetricsRegistry::new();
+        model.publish_metrics(&mut reg, events, queue_stats, &trace_kind_counts);
+        reg.snapshot()
+    });
+    let profile = model.config.profile.then(|| {
+        let mut p = model.profiler.take().map(|b| *b).unwrap_or_default();
+        if let Some(ep) = &engine_profiler {
+            p.merge(ep);
+        }
+        p.summary()
+    });
     let (trace, trace_events) = match model.trace {
         TraceLog::Count(sink) => (Vec::new(), sink.count()),
         TraceLog::Keep(log) => {
@@ -581,11 +774,14 @@ pub fn simulate_shared(
         switches: model.switches,
         events,
         trace_events,
+        trace_kind_counts,
         level_time: model.level_time,
         idle_time: model.idle_time,
         stall_time: model.stall_time,
         samples: model.samples,
         trace,
+        metrics,
+        profile,
     }
 }
 
@@ -981,6 +1177,70 @@ mod tests {
             .cpu
             .with_switch_overhead(SimDuration::from_units(0.01), 0.0);
         let _ = run(Box::new(EdfScheduler::new()), &section2_tasks(), config);
+    }
+
+    #[test]
+    fn metrics_snapshot_collects_counters() {
+        let config = section2_config().with_metrics().with_profiling();
+        let r = run(Box::new(EaDvfsScheduler::new()), &section2_tasks(), config);
+        let m = r.metrics.as_ref().expect("metrics collected");
+        assert_eq!(m.counter("engine.events"), r.events);
+        assert!(m.counter("sched.decisions") > 0);
+        assert!(m.counter("cursor.locates") > 0);
+        assert!(m.counter("policy.ea-dvfs.stretches") > 0);
+        // Every Started trace event is one run decision.
+        assert_eq!(m.counter("sched.run_decisions"), r.trace_kind_counts[1]);
+        let p = r.profile.as_ref().expect("profile collected");
+        assert_eq!(
+            p.get(harvest_sim::engine::PHASE_DISPATCH)
+                .expect("dispatch timed")
+                .calls,
+            r.events
+        );
+        assert!(p.get(PHASE_POLICY_DECIDE).expect("decide timed").calls > 0);
+        assert!(p.get(PHASE_ENERGY_SYNC).expect("sync timed").calls > 0);
+    }
+
+    #[test]
+    fn observability_off_leaves_result_lean_and_identical() {
+        let base = run(
+            Box::new(EaDvfsScheduler::new()),
+            &section2_tasks(),
+            section2_config(),
+        );
+        assert!(base.metrics.is_none());
+        assert!(base.profile.is_none());
+        assert_eq!(
+            base.trace_kind_counts.iter().sum::<u64>(),
+            base.trace_events
+        );
+        let observed = run(
+            Box::new(EaDvfsScheduler::new()),
+            &section2_tasks(),
+            section2_config().with_metrics().with_profiling(),
+        );
+        // Observability must not perturb the simulation.
+        assert_eq!(base.jobs, observed.jobs);
+        assert_eq!(base.energy, observed.energy);
+        assert_eq!(base.events, observed.events);
+        assert_eq!(base.trace, observed.trace);
+    }
+
+    #[test]
+    fn kind_counts_match_in_counting_mode() {
+        // Same run with and without trace retention: per-variant totals
+        // must agree (counting mode tallies without retaining).
+        let mut config = section2_config();
+        config.collect_trace = false;
+        let counted = run(Box::new(EaDvfsScheduler::new()), &section2_tasks(), config);
+        let kept = run(
+            Box::new(EaDvfsScheduler::new()),
+            &section2_tasks(),
+            section2_config(),
+        );
+        assert!(counted.trace.is_empty());
+        assert_eq!(counted.trace_kind_counts, kept.trace_kind_counts);
+        assert_eq!(counted.trace_events, kept.trace_events);
     }
 
     #[test]

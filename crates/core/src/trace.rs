@@ -2,6 +2,7 @@
 
 use harvest_cpu::LevelIndex;
 use harvest_sim::time::SimTime;
+use harvest_sim::trace::RecordKind;
 use harvest_task::job::JobId;
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +48,49 @@ pub enum TraceEvent {
     },
 }
 
+impl TraceEvent {
+    /// Number of variants; kind indices are below this.
+    pub const KIND_COUNT: usize = 6;
+
+    /// Variant names indexed by [`kind_index`](Self::kind_index), for
+    /// rendering per-variant counts.
+    pub const KIND_NAMES: [&'static str; Self::KIND_COUNT] = [
+        "released",
+        "started",
+        "completed",
+        "missed",
+        "idled",
+        "stalled",
+    ];
+
+    /// Dense variant index, in `0..KIND_COUNT`.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            TraceEvent::Released { .. } => 0,
+            TraceEvent::Started { .. } => 1,
+            TraceEvent::Completed { .. } => 2,
+            TraceEvent::Missed { .. } => 3,
+            TraceEvent::Idled { .. } => 4,
+            TraceEvent::Stalled { .. } => 5,
+        }
+    }
+
+    /// Variant name (see [`KIND_NAMES`](Self::KIND_NAMES)).
+    pub fn kind_name(&self) -> &'static str {
+        Self::KIND_NAMES[self.kind_index()]
+    }
+}
+
+/// Lets a `CountingSink` tally scheduling events per variant without
+/// retaining them.
+impl RecordKind for TraceEvent {
+    const KIND_COUNT: usize = TraceEvent::KIND_COUNT;
+
+    fn kind_index(&self) -> usize {
+        TraceEvent::kind_index(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +112,29 @@ mod tests {
         let json = serde_json::to_string(&events).unwrap();
         let back: Vec<TraceEvent> = serde_json::from_str(&json).unwrap();
         assert_eq!(back, events);
+    }
+
+    #[test]
+    fn kind_indices_are_dense_and_named() {
+        let samples = [
+            TraceEvent::Released {
+                job: JobId(1),
+                task: 0,
+                deadline: SimTime::ZERO,
+            },
+            TraceEvent::Started {
+                job: JobId(1),
+                level: 0,
+            },
+            TraceEvent::Completed { job: JobId(1) },
+            TraceEvent::Missed { job: JobId(1) },
+            TraceEvent::Idled { until: None },
+            TraceEvent::Stalled { until: None },
+        ];
+        assert_eq!(samples.len(), TraceEvent::KIND_COUNT);
+        for (i, ev) in samples.iter().enumerate() {
+            assert_eq!(ev.kind_index(), i);
+            assert_eq!(ev.kind_name(), TraceEvent::KIND_NAMES[i]);
+        }
     }
 }

@@ -56,6 +56,12 @@ pub struct AdvanceReport {
     pub deficit: f64,
     /// Energy actually delivered to the load over the window.
     pub delivered: f64,
+    /// The level spent part of the window pinned at zero (depleted, or
+    /// chattering there with the load still served). Observability only.
+    pub clamped_empty: bool,
+    /// The level spent part of the window pinned at capacity (surplus
+    /// harvest discarded). Observability only.
+    pub clamped_full: bool,
 }
 
 impl StorageSpec {
@@ -245,6 +251,7 @@ impl StorageSpec {
                 report.delivered += served * dt;
                 report.deficit += (load - served) * dt;
                 report.level = 0.0;
+                report.clamped_empty = true;
                 return;
             }
             let rate = input - draw - self.leakage_power;
@@ -254,12 +261,14 @@ impl StorageSpec {
                 // the load is fully served.
                 report.delivered += load * dt;
                 report.level = 0.0;
+                report.clamped_empty = true;
                 return;
             }
             if report.level >= self.capacity && rate >= 0.0 {
                 // Pinned full: the net surplus is discarded.
                 report.overflow += rate * dt;
                 report.delivered += load * dt;
+                report.clamped_full = true;
                 return;
             }
             if rate == 0.0 {
@@ -545,6 +554,22 @@ mod tests {
         assert_eq!(r.level, 30.0);
         assert_eq!(r.overflow, 0.0);
         assert_eq!(r.deficit, 0.0);
+        assert!(!r.clamped_empty && !r.clamped_full);
+    }
+
+    #[test]
+    fn clamp_flags_mark_boundary_windows() {
+        let spec = StorageSpec::ideal(10.0);
+        // Charges 2.0/unit from half full: pins at capacity mid-window.
+        let full = spec.advance(5.0, &profile(vec![2.0]), u(0), u(10), 0.0);
+        assert_eq!(full.level, 10.0);
+        assert!(full.clamped_full);
+        assert!(!full.clamped_empty);
+        // Drains under zero harvest: pins at empty mid-window.
+        let empty = spec.advance(5.0, &profile(vec![0.0]), u(0), u(10), 1.0);
+        assert_eq!(empty.level, 0.0);
+        assert!(empty.clamped_empty);
+        assert!(!empty.clamped_full);
     }
 
     #[test]

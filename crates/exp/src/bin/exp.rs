@@ -1,0 +1,279 @@
+//! `exp` — record, inspect, and diff observable runs.
+//!
+//! ```text
+//! exp record  [--policy NAME] [--util U] [--capacity C] [--seed N]
+//!             [--horizon UNITS] [--sample UNITS] [--out PATH]
+//! exp inspect PATH
+//! exp diff    PATH BASELINE
+//! ```
+//!
+//! `record` replays one §5.1 trial with full observability (trace,
+//! metrics, phase profiling) and writes the run as a JSONL artifact.
+//! `inspect` renders an artifact's metrics, phase profile, and
+//! energy/level timelines as tables and ASCII plots. `diff` compares two
+//! artifacts' metric snapshots line by line.
+
+use std::path::PathBuf;
+
+use harvest_exp::artifact::RunArtifact;
+use harvest_exp::scenario::{PaperScenario, PolicyKind};
+
+const USAGE: &str = "usage:
+  exp record  [--policy edf|lsa|ea-dvfs|greedy-stretch] [--util U] [--capacity C]
+              [--seed N] [--horizon UNITS] [--sample UNITS] [--out PATH]
+  exp inspect PATH
+  exp diff    PATH BASELINE";
+
+/// Parameters of one recorded run.
+#[derive(Debug, Clone, PartialEq)]
+struct RecordArgs {
+    policy: PolicyKind,
+    utilization: f64,
+    capacity: f64,
+    seed: u64,
+    horizon_units: i64,
+    sample_units: i64,
+    out: Option<PathBuf>,
+}
+
+impl Default for RecordArgs {
+    fn default() -> Self {
+        RecordArgs {
+            policy: PolicyKind::EaDvfs,
+            utilization: 0.4,
+            capacity: 500.0,
+            seed: 0,
+            horizon_units: 10_000,
+            sample_units: 100,
+            out: None,
+        }
+    }
+}
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    Record(RecordArgs),
+    Inspect(PathBuf),
+    Diff { run: PathBuf, baseline: PathBuf },
+}
+
+fn parse_policy(name: &str) -> Result<PolicyKind, String> {
+    PolicyKind::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| format!("unknown policy `{name}` (try ea-dvfs, lsa, edf, greedy-stretch)"))
+}
+
+fn parse_record<I, S>(args: I) -> Result<RecordArgs, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut out = RecordArgs::default();
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let flag = flag.as_ref().to_owned();
+        let mut value = || {
+            it.next()
+                .map(|v| v.as_ref().to_owned())
+                .ok_or_else(|| format!("{flag} expects a value"))
+        };
+        match flag.as_str() {
+            "--policy" => out.policy = parse_policy(&value()?)?,
+            "--util" => {
+                out.utilization = value()?
+                    .parse()
+                    .map_err(|_| "--util expects a number".to_owned())?;
+                if !(out.utilization > 0.0 && out.utilization.is_finite()) {
+                    return Err("--util must be positive".into());
+                }
+            }
+            "--capacity" => {
+                out.capacity = value()?
+                    .parse()
+                    .map_err(|_| "--capacity expects a number".to_owned())?;
+                if !(out.capacity > 0.0 && out.capacity.is_finite()) {
+                    return Err("--capacity must be positive".into());
+                }
+            }
+            "--seed" => {
+                out.seed = value()?
+                    .parse()
+                    .map_err(|_| "--seed expects an unsigned integer".to_owned())?;
+            }
+            "--horizon" => {
+                out.horizon_units = value()?
+                    .parse()
+                    .map_err(|_| "--horizon expects a positive integer".to_owned())?;
+                if out.horizon_units <= 0 {
+                    return Err("--horizon must be positive".into());
+                }
+            }
+            "--sample" => {
+                out.sample_units = value()?
+                    .parse()
+                    .map_err(|_| "--sample expects a positive integer".to_owned())?;
+                if out.sample_units <= 0 {
+                    return Err("--sample must be positive".into());
+                }
+            }
+            "--out" => out.out = Some(PathBuf::from(value()?)),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_command<I, S>(args: I) -> Result<Command, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut it = args.into_iter();
+    let sub = it
+        .next()
+        .map(|s| s.as_ref().to_owned())
+        .ok_or_else(|| "missing subcommand".to_owned())?;
+    match sub.as_str() {
+        "record" => Ok(Command::Record(parse_record(it)?)),
+        "inspect" => {
+            let path = it
+                .next()
+                .map(|s| PathBuf::from(s.as_ref()))
+                .ok_or_else(|| "inspect expects an artifact path".to_owned())?;
+            if let Some(extra) = it.next() {
+                return Err(format!("unexpected argument {}", extra.as_ref()));
+            }
+            Ok(Command::Inspect(path))
+        }
+        "diff" => {
+            let run = it
+                .next()
+                .map(|s| PathBuf::from(s.as_ref()))
+                .ok_or_else(|| "diff expects two artifact paths".to_owned())?;
+            let baseline = it
+                .next()
+                .map(|s| PathBuf::from(s.as_ref()))
+                .ok_or_else(|| "diff expects two artifact paths".to_owned())?;
+            if let Some(extra) = it.next() {
+                return Err(format!("unexpected argument {}", extra.as_ref()));
+            }
+            Ok(Command::Diff { run, baseline })
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn record(args: &RecordArgs) -> Result<RunArtifact, String> {
+    let mut scenario = PaperScenario::new(args.utilization, args.capacity);
+    scenario.horizon_units = args.horizon_units;
+    scenario = scenario.with_sampling(args.sample_units);
+    let prefab = scenario.prefab(args.seed);
+    let result = scenario.run_prefab_observed(args.policy, &prefab);
+    Ok(RunArtifact::from_result(&result))
+}
+
+fn load(path: &PathBuf) -> Result<RunArtifact, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    RunArtifact::from_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Record(args) => {
+            let artifact = record(&args)?;
+            match &args.out {
+                Some(path) => {
+                    let file = std::fs::File::create(path)
+                        .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+                    let lines = artifact
+                        .write_jsonl(std::io::BufWriter::new(file))
+                        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                    eprintln!("wrote {} ({lines} lines)", path.display());
+                }
+                None => print!("{}", artifact.to_jsonl()),
+            }
+            Ok(())
+        }
+        Command::Inspect(path) => {
+            print!("{}", load(&path)?.render());
+            Ok(())
+        }
+        Command::Diff { run, baseline } => {
+            let run = load(&run)?;
+            let base = load(&baseline)?;
+            print!("{}", run.render_diff(&base)?);
+            Ok(())
+        }
+    }
+}
+
+fn main() {
+    if let Err(msg) = parse_command(std::env::args().skip(1)).and_then(run) {
+        eprintln!("error: {msg}");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_flags_parse() {
+        let args = parse_record([
+            "--policy",
+            "lsa",
+            "--util",
+            "0.8",
+            "--capacity",
+            "200",
+            "--seed",
+            "9",
+            "--horizon",
+            "1000",
+            "--sample",
+            "50",
+            "--out",
+            "/tmp/run.jsonl",
+        ])
+        .unwrap();
+        assert_eq!(args.policy, PolicyKind::Lsa);
+        assert_eq!(args.utilization, 0.8);
+        assert_eq!(args.capacity, 200.0);
+        assert_eq!(args.seed, 9);
+        assert_eq!(args.horizon_units, 1000);
+        assert_eq!(args.sample_units, 50);
+        assert_eq!(args.out, Some(PathBuf::from("/tmp/run.jsonl")));
+    }
+
+    #[test]
+    fn bad_invocations_rejected() {
+        assert!(parse_command(Vec::<String>::new()).is_err());
+        assert!(parse_command(["bogus"]).is_err());
+        assert!(parse_command(["inspect"]).is_err());
+        assert!(parse_command(["diff", "one.jsonl"]).is_err());
+        assert!(parse_record(["--policy", "sjf"]).is_err());
+        assert!(parse_record(["--util", "-1"]).is_err());
+        assert!(parse_record(["--horizon", "0"]).is_err());
+    }
+
+    #[test]
+    fn record_produces_inspectable_artifact() {
+        let args = RecordArgs {
+            horizon_units: 1_000,
+            sample_units: 50,
+            ..RecordArgs::default()
+        };
+        let artifact = record(&args).unwrap();
+        assert!(artifact.metrics.is_some());
+        assert!(artifact.profile.is_some());
+        let text = artifact.render();
+        assert!(text.contains("metrics"));
+        let back = RunArtifact::from_jsonl(&artifact.to_jsonl()).unwrap();
+        assert_eq!(back, artifact);
+    }
+}

@@ -9,9 +9,12 @@
 //! * [`parallel`] — deterministic multi-threaded trial fan-out.
 //! * [`report`] — aligned tables, ASCII plots, CSV.
 //! * [`cli`] — the uniform flags of the `fig5`…`table1` binaries.
+//! * [`artifact`] — the JSONL run-artifact schema behind `exp record`
+//!   / `exp inspect` / `exp diff`.
 //!
 //! Binaries (in this crate): `fig5`, `fig6`, `fig7`, `fig8`, `fig9`,
-//! `table1`, and `repro-all` which runs the whole evaluation.
+//! `table1`, `repro-all` which runs the whole evaluation, and `exp`,
+//! the run recorder/inspector.
 //!
 //! # Examples
 //!
@@ -26,6 +29,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod artifact;
 pub mod cli;
 pub mod figures;
 pub mod parallel;

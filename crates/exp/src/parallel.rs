@@ -89,6 +89,118 @@ where
         .collect()
 }
 
+/// Per-worker accounting from [`parallel_map_observed`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Items this worker claimed from the shared counter.
+    pub items: u64,
+    /// Wall-clock nanoseconds spent inside the mapped function.
+    pub busy_ns: u64,
+    /// Wall-clock nanoseconds from worker start to worker exit.
+    pub wall_ns: u64,
+}
+
+impl WorkerStats {
+    /// Fraction of the worker's lifetime spent in the mapped function —
+    /// low utilization across workers means spawn/steal overhead or a
+    /// starved tail, not useful parallelism.
+    pub fn utilization(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / self.wall_ns as f64
+        }
+    }
+}
+
+/// [`parallel_map`] plus per-worker accounting: how many items each
+/// worker claimed and how its wall-clock split between mapped work and
+/// overhead. A separate entry point (rather than a flag on
+/// [`parallel_map`]) so the sweep hot path never pays the two clock
+/// reads per item.
+///
+/// # Panics
+///
+/// Propagates panics from `f` and panics if `threads == 0`.
+pub fn parallel_map_observed<I, T, R, F>(
+    items: I,
+    threads: usize,
+    f: F,
+) -> (Vec<R>, Vec<WorkerStats>)
+where
+    I: IntoIterator<Item = T>,
+    T: Clone + Send + Sync,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    let items: Vec<T> = items.into_iter().collect();
+    if items.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let threads = threads.min(items.len());
+    if threads == 1 {
+        let start = std::time::Instant::now();
+        let out: Vec<R> = items.into_iter().map(&f).collect();
+        let wall = start.elapsed().as_nanos() as u64;
+        let stats = WorkerStats {
+            items: out.len() as u64,
+            busy_ns: wall,
+            wall_ns: wall,
+        };
+        return (out, vec![stats]);
+    }
+
+    let next = AtomicUsize::new(0);
+    let (f, items_ref, next_ref) = (&f, &items[..], &next);
+
+    let buffers: Vec<(Vec<(usize, R)>, WorkerStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let worker_start = std::time::Instant::now();
+                    let mut stats = WorkerStats::default();
+                    let mut out = Vec::with_capacity(items_ref.len() / threads + 1);
+                    loop {
+                        let idx = next_ref.fetch_add(1, Ordering::Relaxed);
+                        if idx >= items_ref.len() {
+                            break;
+                        }
+                        let t0 = std::time::Instant::now();
+                        out.push((idx, f(items_ref[idx].clone())));
+                        stats.busy_ns += t0.elapsed().as_nanos() as u64;
+                        stats.items += 1;
+                    }
+                    stats.wall_ns = worker_start.elapsed().as_nanos() as u64;
+                    (out, stats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    });
+
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let mut stats = Vec::with_capacity(buffers.len());
+    for (buffer, worker) in buffers {
+        stats.push(worker);
+        for (idx, result) in buffer {
+            debug_assert!(slots[idx].is_none(), "index claimed twice");
+            slots[idx] = Some(result);
+        }
+    }
+    let results = slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect();
+    (results, stats)
+}
+
 /// A sensible default worker count.
 ///
 /// Resolution order:
@@ -186,6 +298,28 @@ mod tests {
         let shared: Vec<u64> = (0..10).map(|i| i * 100).collect();
         let out = parallel_map(0..10usize, 4, |i| shared[i] + 1);
         assert_eq!(out, (0..10u64).map(|i| i * 100 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn observed_map_matches_plain_and_accounts_every_item() {
+        let (out, stats) = parallel_map_observed(0..50u64, 4, |x| x * 2);
+        assert_eq!(out, (0..50u64).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats.iter().map(|s| s.items).sum::<u64>(), 50);
+        for s in &stats {
+            assert!(s.wall_ns >= s.busy_ns || s.items == 0);
+            assert!(s.utilization() >= 0.0 && s.utilization() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn observed_map_single_thread_and_empty() {
+        let (out, stats) = parallel_map_observed(vec![1u8, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].items, 3);
+        let (out, stats) = parallel_map_observed(Vec::<u8>::new(), 4, |x| x);
+        assert!(out.is_empty() && stats.is_empty());
     }
 
     #[test]

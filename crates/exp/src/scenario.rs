@@ -258,9 +258,9 @@ impl PaperScenario {
         }
     }
 
-    /// Runs one policy on a prebuilt trial, sharing its profile and
-    /// task set instead of regenerating them.
-    pub fn run_prefab(&self, policy: PolicyKind, prefab: &TrialPrefab) -> SimResult {
+    /// The scenario's system configuration, with sampling applied when
+    /// requested.
+    pub fn config(&self) -> SystemConfig {
         let mut config = SystemConfig::new(
             self.cpu(),
             StorageSpec::ideal(self.capacity),
@@ -269,6 +269,15 @@ impl PaperScenario {
         if let Some(dt) = self.sample_interval_units {
             config = config.with_sample_interval(SimDuration::from_whole_units(dt));
         }
+        config
+    }
+
+    fn run_prefab_config(
+        &self,
+        config: SystemConfig,
+        policy: PolicyKind,
+        prefab: &TrialPrefab,
+    ) -> SimResult {
         let predictor = self.predictor.build_shared(&prefab.profile);
         simulate_shared(
             config,
@@ -277,6 +286,21 @@ impl PaperScenario {
             policy.build(),
             predictor,
         )
+    }
+
+    /// Runs one policy on a prebuilt trial, sharing its profile and
+    /// task set instead of regenerating them.
+    pub fn run_prefab(&self, policy: PolicyKind, prefab: &TrialPrefab) -> SimResult {
+        self.run_prefab_config(self.config(), policy, prefab)
+    }
+
+    /// [`run_prefab`](Self::run_prefab) with full observability — trace,
+    /// metrics snapshot, and phase profiling all enabled. This is the
+    /// configuration `exp record` captures JSONL artifacts with; sweeps
+    /// keep using the lean [`run_prefab`](Self::run_prefab) path.
+    pub fn run_prefab_observed(&self, policy: PolicyKind, prefab: &TrialPrefab) -> SimResult {
+        let config = self.config().with_trace().with_metrics().with_profiling();
+        self.run_prefab_config(config, policy, prefab)
     }
 
     /// Runs one policy on one seeded trial.

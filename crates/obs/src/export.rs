@@ -1,0 +1,131 @@
+//! Streaming JSONL (one JSON value per line) export and import.
+//!
+//! Run artifacts are written as JSONL so a recorder can stream lines out as
+//! they are produced without holding the whole artifact in memory, and so
+//! downstream tooling can process artifacts line-by-line. Deserialization
+//! goes through the same vendored serde stack, which makes round-tripping a
+//! schema-drift check: `jsonl_to_vec::<T>(to_jsonl_string(&items))` failing
+//! means `T`'s shape changed incompatibly.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
+
+/// Streaming writer: one serialized value per `\n`-terminated line.
+#[derive(Debug)]
+pub struct JsonlWriter<W: Write> {
+    inner: W,
+    lines: u64,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    pub fn new(inner: W) -> Self {
+        Self { inner, lines: 0 }
+    }
+
+    /// Serialize `value` and append it as one line.
+    pub fn write<T: Serialize>(&mut self, value: &T) -> io::Result<()> {
+        let json = serde_json::to_string(value).map_err(io::Error::other)?;
+        debug_assert!(
+            !json.contains('\n'),
+            "serializer must emit single-line JSON"
+        );
+        self.inner.write_all(json.as_bytes())?;
+        self.inner.write_all(b"\n")?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Number of lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Serialize a slice into a JSONL string (convenience for in-memory use).
+pub fn to_jsonl_string<T: Serialize>(items: &[T]) -> Result<String, serde_json::Error> {
+    let mut out = String::new();
+    for item in items {
+        out.push_str(&serde_json::to_string(item)?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Parse a JSONL document into typed lines. Blank lines are skipped; any
+/// malformed line aborts with its 1-based line number in the error.
+pub fn jsonl_to_vec<T: Deserialize>(text: &str) -> Result<Vec<T>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value =
+            serde_json::from_str::<T>(line).map_err(|e| format!("jsonl line {}: {}", i + 1, e))?;
+        out.push(value);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Row {
+        t: f64,
+        label: String,
+    }
+
+    #[test]
+    fn writer_emits_one_line_per_value() {
+        let mut w = JsonlWriter::new(Vec::new());
+        w.write(&Row {
+            t: 1.5,
+            label: "a".into(),
+        })
+        .unwrap();
+        w.write(&Row {
+            t: 2.0,
+            label: "b".into(),
+        })
+        .unwrap();
+        assert_eq!(w.lines(), 2);
+        let buf = w.finish().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let back: Vec<Row> = jsonl_to_vec(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].label, "b");
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let items = vec![
+            Row {
+                t: 0.125,
+                label: "x".into(),
+            },
+            Row {
+                t: -3.0,
+                label: "".into(),
+            },
+        ];
+        let text = to_jsonl_string(&items).unwrap();
+        let back: Vec<Row> = jsonl_to_vec(&text).unwrap();
+        assert_eq!(back, items);
+    }
+
+    #[test]
+    fn blank_lines_skipped_and_errors_located() {
+        let back: Vec<Row> = jsonl_to_vec("\n{\"t\":1.0,\"label\":\"ok\"}\n\n").unwrap();
+        assert_eq!(back.len(), 1);
+        let err = jsonl_to_vec::<Row>("{\"t\":1.0,\"label\":\"ok\"}\nnot json\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+}

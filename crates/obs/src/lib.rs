@@ -1,0 +1,34 @@
+//! Observability layer for the harvest-rt simulator.
+//!
+//! This crate deliberately sits *below* the simulation crates in the
+//! dependency graph: it knows nothing about tasks, energy, or schedulers.
+//! It provides four small, orthogonal pieces:
+//!
+//! - [`metrics`] — a `MetricsSink` trait mirroring `sim::trace::TraceSink`,
+//!   with a [`NullMetrics`] sink that compiles to nothing and a
+//!   [`MetricsRegistry`] that accumulates counters / gauges / log2-bucket
+//!   histograms and freezes them into a serializable [`MetricsSnapshot`].
+//! - [`profile`] — scoped wall-clock phase timers ([`PhaseProfiler`]) that
+//!   aggregate into a serializable [`PhaseProfile`] (calls, total, mean, max
+//!   per phase).
+//! - [`export`] — a streaming JSONL writer/reader: one serde value per line,
+//!   lossless round-trip through the vendored `serde_json`.
+//! - [`timeline`] — piecewise step series (storage level and active DVFS
+//!   level vs. time) with uniform-grid resampling for ASCII plotting.
+//!
+//! Everything here is **off by default** in the simulator: the hot loops keep
+//! plain integer counters (no dynamic dispatch) and only publish into a
+//! registry once, at end of run, when explicitly asked to.
+
+pub mod export;
+pub mod metrics;
+pub mod profile;
+pub mod timeline;
+
+pub use export::{jsonl_to_vec, to_jsonl_string, JsonlWriter};
+pub use metrics::{
+    Log2Histogram, MetricDelta, MetricEntry, MetricValue, MetricsRegistry, MetricsSink,
+    MetricsSnapshot, NullMetrics,
+};
+pub use profile::{PhaseProfile, PhaseProfiler, PhaseStat};
+pub use timeline::{LevelPoint, TimePoint, Timeline};

@@ -5,8 +5,13 @@
 //! scheduling further events through the [`Scheduler`] context. The
 //! closed-loop harvesting simulator in `harvest-core` is built on this.
 
-use crate::event::{EventId, EventQueue};
+use crate::event::{EventId, EventQueue, QueueStats};
 use crate::time::SimTime;
+use harvest_obs::profile::PhaseProfiler;
+
+/// Phase name under which [`Engine::run_until`] accounts event
+/// dispatch (the full `Model::handle` call) when profiling is enabled.
+pub const PHASE_DISPATCH: &str = "engine.dispatch";
 
 /// Scheduling context handed to [`Model::handle`].
 ///
@@ -112,6 +117,9 @@ pub struct Engine<M: Model> {
     queue: EventQueue<M::Event>,
     now: SimTime,
     handled: u64,
+    /// Scoped phase timers; `None` (the default) keeps the run loop at
+    /// one branch per event and zero clock reads.
+    profiler: Option<Box<PhaseProfiler>>,
 }
 
 impl<M: Model> Engine<M> {
@@ -122,7 +130,26 @@ impl<M: Model> Engine<M> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             handled: 0,
+            profiler: None,
         }
+    }
+
+    /// Turns on per-event phase timing: every `Model::handle` call is
+    /// wall-clock timed under [`PHASE_DISPATCH`]. Off by default.
+    pub fn enable_profiling(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(Box::default());
+        }
+    }
+
+    /// The accumulated phase timings, if profiling was enabled.
+    pub fn profiler(&self) -> Option<&PhaseProfiler> {
+        self.profiler.as_deref()
+    }
+
+    /// Lifetime operation counts of the underlying event queue.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
     }
 
     /// Schedules an initial event (usable before and between runs).
@@ -180,7 +207,14 @@ impl<M: Model> Engine<M> {
                 now: t,
                 stop: &mut stop,
             };
-            self.model.handle(t, ev, &mut ctx);
+            match &mut self.profiler {
+                None => self.model.handle(t, ev, &mut ctx),
+                Some(p) => {
+                    let t0 = PhaseProfiler::start();
+                    self.model.handle(t, ev, &mut ctx);
+                    p.stop(PHASE_DISPATCH, t0);
+                }
+            }
             if stop {
                 return RunOutcome::Stopped { at: t };
             }
@@ -277,6 +311,23 @@ mod tests {
         e.run_until(SimTime::from_whole_units(100));
         assert_eq!(e.model().remaining, 0);
         assert_eq!(e.events_handled(), 6);
+    }
+
+    #[test]
+    fn profiling_times_every_dispatch() {
+        let mut e = Engine::new(Recorder {
+            seen: vec![],
+            stop_on: None,
+        });
+        assert!(e.profiler().is_none(), "profiling is off by default");
+        e.enable_profiling();
+        e.schedule(t(1), 1);
+        e.schedule(t(2), 2);
+        e.run_until(t(100));
+        let profile = e.profiler().expect("enabled").summary();
+        let dispatch = profile.get(PHASE_DISPATCH).expect("phase recorded");
+        assert_eq!(dispatch.calls, 2);
+        assert_eq!(e.queue_stats().popped, 2);
     }
 
     #[test]

@@ -260,6 +260,36 @@ const PASS_BITS: usize = 11;
 /// Digits per counting pass.
 const PASS_DIGITS: usize = 1 << PASS_BITS;
 
+/// Lifetime operation counts of an [`EventQueue`], for observability.
+///
+/// Gathering these costs the hot paths nothing: `scheduled` is the
+/// sequence counter the queue already maintains, `popped` is derived
+/// (`scheduled - cancelled - cleared - pending`), and the remaining
+/// counters live on cold paths (cancellation, multi-entry drains) —
+/// except `max_pending`, one predictable compare per schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events ever scheduled.
+    pub scheduled: u64,
+    /// Events removed by [`EventQueue::pop`].
+    pub popped: u64,
+    /// Events removed by [`EventQueue::cancel`].
+    pub cancelled: u64,
+    /// Events dropped by [`EventQueue::clear`].
+    pub cleared: u64,
+    /// Events pending right now.
+    pub pending: u64,
+    /// High-water mark of pending events (bucket occupancy peak).
+    pub max_pending: u64,
+    /// Multi-entry bucket drains (singleton refills are not counted —
+    /// they are the O(1) common case).
+    pub drains: u64,
+    /// Drains absorbed wholesale into a sorted side run.
+    pub sorted_drains: u64,
+    /// Drains re-filed entry-by-entry through the radix distribution.
+    pub scattered_drains: u64,
+}
+
 /// A time-ordered queue of simulation events with stable tie-breaking,
 /// O(1) scheduling, amortized O(1) popping, and O(1) true cancellation.
 ///
@@ -318,6 +348,16 @@ pub struct EventQueue<E> {
     /// large, and strictly larger for any bucketed entry.
     bound: u128,
     len: usize,
+    /// High-water mark of `len`.
+    max_len: usize,
+    /// Events removed by [`cancel`](Self::cancel).
+    cancelled: u64,
+    /// Events dropped by [`clear`](Self::clear).
+    cleared: u64,
+    /// Multi-entry drains, split by strategy (sorted run vs. radix
+    /// re-file). Both are bumped off the singleton fast path.
+    sorted_drains: u64,
+    scattered_drains: u64,
 }
 
 impl<E: Copy> Default for EventQueue<E> {
@@ -342,6 +382,11 @@ impl<E: Copy> EventQueue<E> {
             last_popped: None,
             bound: 0,
             len: 0,
+            max_len: 0,
+            cancelled: 0,
+            cleared: 0,
+            sorted_drains: 0,
+            scattered_drains: 0,
         }
     }
 
@@ -411,6 +456,9 @@ impl<E: Copy> EventQueue<E> {
             self.slots.push(s);
         }
         self.len += 1;
+        if self.len > self.max_len {
+            self.max_len = self.len;
+        }
         EventId { slot, seq }
     }
 
@@ -453,6 +501,7 @@ impl<E: Copy> EventQueue<E> {
             self.free_slot(id.slot);
         }
         self.len -= 1;
+        self.cancelled += 1;
         true
     }
 
@@ -511,8 +560,26 @@ impl<E: Copy> EventQueue<E> {
         self.last_popped
     }
 
+    /// Lifetime operation counts; see [`QueueStats`].
+    pub fn stats(&self) -> QueueStats {
+        let scheduled = self.next_seq as u64;
+        let pending = self.len as u64;
+        QueueStats {
+            scheduled,
+            popped: scheduled - self.cancelled - self.cleared - pending,
+            cancelled: self.cancelled,
+            cleared: self.cleared,
+            pending,
+            max_pending: self.max_len as u64,
+            drains: self.sorted_drains + self.scattered_drains,
+            sorted_drains: self.sorted_drains,
+            scattered_drains: self.scattered_drains,
+        }
+    }
+
     /// Drops every pending event. Outstanding handles become stale.
     pub fn clear(&mut self) {
+        self.cleared += self.len as u64;
         self.top = Entry::EMPTY;
         while let Some(b) = self.occupied.lowest() {
             self.buckets[b].first = Entry::EMPTY;
@@ -721,6 +788,7 @@ impl<E: Copy> EventQueue<E> {
         let bk = &mut self.buckets[b];
         debug_assert!(!bk.first.is_empty(), "occupied bucket without a first");
         if self.run.is_empty() && bk.rest.len() < SORT_MAX {
+            self.sorted_drains += 1;
             // Sort the drained bucket into the run: a few hot counting
             // passes now, and every later pop from it is a cursor bump.
             // The bucket empties entirely, so no stale filing survives.
@@ -737,6 +805,7 @@ impl<E: Copy> EventQueue<E> {
             return;
         }
 
+        self.scattered_drains += 1;
         let mut drained = std::mem::take(&mut self.scratch);
         debug_assert!(drained.is_empty());
         let bk = &mut self.buckets[b];
@@ -1101,6 +1170,44 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, n);
+    }
+
+    #[test]
+    fn stats_track_lifecycle() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), 1);
+        q.schedule(t(2), 2);
+        q.schedule(t(3), 3);
+        assert_eq!(q.stats().max_pending, 3);
+        q.cancel(a);
+        q.pop();
+        let s = q.stats();
+        assert_eq!(s.scheduled, 3);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.popped, 1);
+        assert_eq!(s.pending, 1);
+        assert_eq!(s.cleared, 0);
+        q.clear();
+        let s = q.stats();
+        assert_eq!(s.cleared, 1);
+        assert_eq!(s.pending, 0);
+        assert_eq!(s.popped, 1, "clear does not count as popping");
+    }
+
+    #[test]
+    fn stats_count_drain_strategies() {
+        let mut q = EventQueue::new();
+        // Many same-bucket events force a multi-entry drain on pop; with
+        // the run free and the bucket cache-sized it sorts into a run.
+        for i in 0..512 {
+            q.schedule(t(1000 + i), i);
+        }
+        while q.pop().is_some() {}
+        let s = q.stats();
+        assert!(s.drains >= 1);
+        assert_eq!(s.drains, s.sorted_drains + s.scattered_drains);
+        assert!(s.sorted_drains >= 1, "cache-sized buckets sort into runs");
+        assert_eq!(s.popped, 512);
     }
 
     #[test]

@@ -44,8 +44,8 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Engine, Model, RunOutcome, Scheduler};
-pub use event::{EventId, EventQueue};
-pub use piecewise::{Extension, PiecewiseConstant, PiecewiseError, Segment};
+pub use event::{EventId, EventQueue, QueueStats};
+pub use piecewise::{CursorStats, Extension, PiecewiseConstant, PiecewiseError, Segment};
 pub use stats::{Histogram, RunningStats, SampledSeries};
 pub use time::{SimDuration, SimTime, TICKS_PER_UNIT};
-pub use trace::{FnSink, NullSink, Stamped, TraceSink, VecSink};
+pub use trace::{CountingSink, FnSink, NullSink, RecordKind, Stamped, TraceSink, VecSink};

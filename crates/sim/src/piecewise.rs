@@ -230,6 +230,63 @@ pub struct Cursor {
     period: i64,
     /// Whether the hint has been populated yet.
     init: bool,
+    /// Lookup and crossing-solver observability counters.
+    stats: CursorStats,
+}
+
+impl Cursor {
+    /// Accumulated lookup/solver counters; see [`CursorStats`].
+    pub fn stats(&self) -> CursorStats {
+        self.stats
+    }
+}
+
+/// Observability counters accumulated by a [`Cursor`] as it serves
+/// lookups and crossing queries. All counters wrap on overflow (they
+/// are diagnostics, not accounting).
+///
+/// The lookup counters partition [`locates`](Self::locates): a call
+/// either hits the hinted segment exactly, gallops forward (adding the
+/// number of segments skipped to `gallop_segments`), jumps backwards,
+/// or runs without a usable hint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CursorStats {
+    /// Hinted segment lookups served.
+    pub locates: u32,
+    /// Lookups answered by the hinted segment itself (the O(1) path).
+    pub hint_hits: u32,
+    /// Total segments advanced past the hint by the gallop search.
+    pub gallop_segments: u32,
+    /// Lookups that galloped forward at least one segment.
+    pub gallops: u32,
+    /// Lookups that jumped backwards (hint discarded).
+    pub backward_jumps: u32,
+    /// Lookups with no usable hint (fresh cursor or period change).
+    pub fresh_searches: u32,
+    /// Crossing queries answered by the O(1) rate-bound reject.
+    pub cross_reject: u32,
+    /// Crossing queries answered by monotone tick bisection.
+    pub cross_bisect: u32,
+    /// Crossing queries answered by the clamped segment scan.
+    pub cross_scan: u32,
+    /// Crossing queries answered by the cyclic period-skip scan.
+    pub cross_cyclic: u32,
+}
+
+impl CursorStats {
+    /// Sums another cursor's counters into this one (wrapping).
+    pub fn merge(&mut self, other: &CursorStats) {
+        self.locates = self.locates.wrapping_add(other.locates);
+        self.hint_hits = self.hint_hits.wrapping_add(other.hint_hits);
+        self.gallop_segments = self.gallop_segments.wrapping_add(other.gallop_segments);
+        self.gallops = self.gallops.wrapping_add(other.gallops);
+        self.backward_jumps = self.backward_jumps.wrapping_add(other.backward_jumps);
+        self.fresh_searches = self.fresh_searches.wrapping_add(other.fresh_searches);
+        self.cross_reject = self.cross_reject.wrapping_add(other.cross_reject);
+        self.cross_bisect = self.cross_bisect.wrapping_add(other.cross_bisect);
+        self.cross_scan = self.cross_scan.wrapping_add(other.cross_scan);
+        self.cross_cyclic = self.cross_cyclic.wrapping_add(other.cross_cyclic);
+    }
 }
 
 impl PiecewiseConstant {
@@ -466,10 +523,27 @@ impl PiecewiseConstant {
             None
         };
         let idx = self.locate(folded, hint);
+        let mut stats = cur.stats;
+        stats.locates = stats.locates.wrapping_add(1);
+        match hint {
+            Some(h) => {
+                let lo = h.min(self.values.len() - 1);
+                if idx == lo {
+                    stats.hint_hits = stats.hint_hits.wrapping_add(1);
+                } else if idx > lo {
+                    stats.gallops = stats.gallops.wrapping_add(1);
+                    stats.gallop_segments = stats.gallop_segments.wrapping_add((idx - lo) as u32);
+                } else {
+                    stats.backward_jumps = stats.backward_jumps.wrapping_add(1);
+                }
+            }
+            None => stats.fresh_searches = stats.fresh_searches.wrapping_add(1),
+        }
         *cur = Cursor {
             idx,
             period,
             init: true,
+            stats,
         };
         idx
     }
@@ -681,11 +755,13 @@ impl PiecewiseConstant {
         // and downward with rate < 0; a rate bound pinned on the wrong
         // side of zero decides the query in O(1).
         if (target > initial && rate_max <= 0.0) || (target < initial && rate_min >= 0.0) {
+            cur.stats.cross_reject = cur.stats.cross_reject.wrapping_add(1);
             return None;
         }
         let monotone =
             (target > initial && rate_min >= 0.0) || (target < initial && rate_max <= 0.0);
         if monotone {
+            cur.stats.cross_bisect = cur.stats.cross_bisect.wrapping_add(1);
             return self.monotone_crossing(cur, from, horizon, initial, offset, target);
         }
         let mut scan = ClampedScan {
@@ -695,8 +771,14 @@ impl PiecewiseConstant {
             target,
         };
         match self.extension {
-            Extension::Cycle => self.scan_crossing_cyclic(&mut scan, from, horizon),
-            _ => scan.run(self, from, horizon, None),
+            Extension::Cycle => {
+                cur.stats.cross_cyclic = cur.stats.cross_cyclic.wrapping_add(1);
+                self.scan_crossing_cyclic(&mut scan, from, horizon)
+            }
+            _ => {
+                cur.stats.cross_scan = cur.stats.cross_scan.wrapping_add(1);
+                scan.run(self, from, horizon, None)
+            }
         }
     }
 
@@ -1065,6 +1147,79 @@ mod tests {
             Extension::Hold,
         )
         .unwrap()
+    }
+
+    #[test]
+    fn cursor_stats_track_lookup_modes() {
+        let f = sample_fn();
+        let mut cur = f.cursor();
+        let u = SimTime::from_whole_units;
+        f.value_at_with(&mut cur, u(1)); // no usable hint yet
+        f.value_at_with(&mut cur, u(2)); // same segment: hint hit
+        f.value_at_with(&mut cur, u(25)); // two segments forward: gallop
+        f.value_at_with(&mut cur, u(1)); // backward jump
+        let s = cur.stats();
+        assert_eq!(s.locates, 4);
+        assert_eq!(s.fresh_searches, 1);
+        assert_eq!(s.hint_hits, 1);
+        assert_eq!(s.gallops, 1);
+        assert_eq!(s.gallop_segments, 2);
+        assert_eq!(s.backward_jumps, 1);
+    }
+
+    #[test]
+    fn cursor_stats_track_crossing_tiers() {
+        let u = SimTime::from_whole_units;
+        // Strictly positive rates: upward crossings bisect, downward
+        // targets are rejected in O(1).
+        let f = sample_fn();
+        let mut cur = f.cursor();
+        assert!(f
+            .first_accumulation_crossing_with(&mut cur, u(0), u(30), 0.0, 0.0, 100.0, 50.0)
+            .is_some());
+        assert!(f
+            .first_accumulation_crossing_with(&mut cur, u(0), u(30), 50.0, 0.0, 100.0, 10.0)
+            .is_none());
+        let s = cur.stats();
+        assert_eq!(s.cross_bisect, 1);
+        assert_eq!(s.cross_reject, 1);
+        assert_eq!(s.cross_scan, 0);
+
+        // Mixed-sign rates force the clamped segment scan.
+        let g = PiecewiseConstant::new(
+            vec![SimTime::ZERO, u(10), u(20)],
+            vec![1.0, -1.0],
+            Extension::Hold,
+        )
+        .unwrap();
+        let mut gcur = g.cursor();
+        g.first_accumulation_crossing_with(&mut gcur, u(0), u(20), 0.0, 0.0, 100.0, 5.0);
+        assert_eq!(gcur.stats().cross_scan, 1);
+
+        // The same query under Cycle takes the period-skip scanner.
+        let c = PiecewiseConstant::new(
+            vec![SimTime::ZERO, u(10), u(20)],
+            vec![1.0, -1.0],
+            Extension::Cycle,
+        )
+        .unwrap();
+        let mut ccur = c.cursor();
+        c.first_accumulation_crossing_with(&mut ccur, u(0), u(20), 0.0, 0.0, 100.0, 5.0);
+        assert_eq!(ccur.stats().cross_cyclic, 1);
+    }
+
+    #[test]
+    fn cursor_stats_survive_segment_iteration() {
+        let f = sample_fn();
+        let mut total = 0u32;
+        let mut segs = f.segments_between_with(
+            f.cursor(),
+            SimTime::from_whole_units(0),
+            SimTime::from_whole_units(30),
+        );
+        for _ in segs.by_ref() {}
+        total = total.wrapping_add(segs.state().stats().locates);
+        assert!(total > 0, "segment iteration drives the cursor");
     }
 
     #[test]

@@ -19,13 +19,23 @@ use crate::time::{SimDuration, SimTime};
 /// assert!((s.mean() - 5.0).abs() < 1e-12);
 /// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RunningStats {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+/// Same as [`RunningStats::new`]. Hand-written because the derived
+/// `Default` would zero `min`/`max`, corrupting the extrema of any
+/// all-positive or all-negative sample stream pushed into a
+/// default-constructed accumulator.
+impl Default for RunningStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl RunningStats {
@@ -347,6 +357,32 @@ mod tests {
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.sample_variance(), 0.0);
         assert_eq!(s.std_error(), 0.0);
+    }
+
+    #[test]
+    fn default_matches_new() {
+        // Regression: the derived `Default` zeroed `min`/`max`, so a
+        // default-constructed accumulator reported min = 0 for an
+        // all-positive stream (and max = 0 for an all-negative one).
+        assert_eq!(RunningStats::default(), RunningStats::new());
+    }
+
+    #[test]
+    fn default_extrema_all_positive_stream() {
+        let mut s = RunningStats::default();
+        s.push(3.0);
+        s.push(7.0);
+        assert_eq!(s.min(), 3.0, "min must come from the data, not 0.0");
+        assert_eq!(s.max(), 7.0);
+    }
+
+    #[test]
+    fn default_extrema_all_negative_stream() {
+        let mut s = RunningStats::default();
+        s.push(-4.0);
+        s.push(-2.0);
+        assert_eq!(s.min(), -4.0);
+        assert_eq!(s.max(), -2.0, "max must come from the data, not 0.0");
     }
 
     #[test]

@@ -100,33 +100,62 @@ impl<R> TraceSink<R> for VecSink<R> {
     }
 }
 
-/// Counts records without retaining (or even requiring) them — the
-/// sweep fast path: run statistics with no per-record allocation.
+/// Record types that expose a small dense *kind* (variant) index, so
+/// counting sinks can tally per-variant totals without retaining the
+/// records themselves.
+pub trait RecordKind {
+    /// Number of distinct kinds. Every [`kind_index`](Self::kind_index)
+    /// is below this.
+    const KIND_COUNT: usize;
+
+    /// Dense index of this record's variant, in `0..KIND_COUNT`.
+    fn kind_index(&self) -> usize;
+}
+
+/// Per-variant slots a [`CountingSink`] can track; kinds at or above
+/// this index fold into the last slot.
+pub const MAX_KINDS: usize = 8;
+
+/// Counts records without retaining them — the sweep fast path: run
+/// statistics with no per-record allocation. Totals are kept overall
+/// *and* per record variant (see [`RecordKind`]), so miss-rate sanity
+/// checks no longer need a retaining [`VecSink`].
 ///
 /// Reports `is_enabled() == false` so simulators that build expensive
 /// records conditionally can skip construction entirely and account the
-/// emission through [`CountingSink::bump`] instead.
+/// emission through [`CountingSink::bump_kind`] instead.
 ///
 /// # Examples
 ///
 /// ```
-/// use harvest_sim::trace::{CountingSink, TraceSink};
+/// use harvest_sim::trace::{CountingSink, RecordKind, TraceSink};
 /// use harvest_sim::time::SimTime;
 ///
+/// enum Ev { Boot, Halt }
+/// impl RecordKind for Ev {
+///     const KIND_COUNT: usize = 2;
+///     fn kind_index(&self) -> usize {
+///         match self { Ev::Boot => 0, Ev::Halt => 1 }
+///     }
+/// }
+///
 /// let mut sink = CountingSink::new();
-/// sink.record(SimTime::ZERO, "boot");
-/// sink.bump(); // an emission whose record was never built
+/// sink.record(SimTime::ZERO, Ev::Boot);
+/// sink.bump_kind(1); // an emission whose record was never built
 /// assert_eq!(sink.count(), 2);
+/// assert_eq!(sink.kind_count(0), 1);
+/// assert_eq!(sink.kind_count(1), 1);
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CountingSink {
     count: u64,
+    kinds: [u64; MAX_KINDS],
 }
 
 impl CountingSink {
-    /// Creates a sink with a zero count.
+    /// Creates a sink with zero counts.
     pub fn new() -> Self {
-        CountingSink { count: 0 }
+        CountingSink::default()
     }
 
     /// Number of records seen so far (recorded or bumped).
@@ -134,17 +163,31 @@ impl CountingSink {
         self.count
     }
 
-    /// Accounts one emission without constructing its record.
+    /// Number of records of the given kind seen so far. Kinds at or
+    /// above [`MAX_KINDS`] share the last slot.
+    pub fn kind_count(&self, kind: usize) -> u64 {
+        self.kinds[kind.min(MAX_KINDS - 1)]
+    }
+
+    /// Per-kind totals (kinds at or above [`MAX_KINDS`] fold into the
+    /// last slot).
+    pub fn kind_counts(&self) -> &[u64; MAX_KINDS] {
+        &self.kinds
+    }
+
+    /// Accounts one emission of the given kind without constructing its
+    /// record.
     #[inline]
-    pub fn bump(&mut self) {
+    pub fn bump_kind(&mut self, kind: usize) {
         self.count += 1;
+        self.kinds[kind.min(MAX_KINDS - 1)] += 1;
     }
 }
 
-impl<R> TraceSink<R> for CountingSink {
+impl<R: RecordKind> TraceSink<R> for CountingSink {
     #[inline]
-    fn record(&mut self, _time: SimTime, _record: R) {
-        self.count += 1;
+    fn record(&mut self, _time: SimTime, record: R) {
+        self.bump_kind(record.kind_index());
     }
 
     #[inline]
@@ -221,14 +264,44 @@ mod tests {
         assert!(!sink.is_empty());
     }
 
+    #[derive(Debug, Clone, Copy)]
+    enum Kinded {
+        A,
+        B,
+    }
+
+    impl RecordKind for Kinded {
+        const KIND_COUNT: usize = 2;
+        fn kind_index(&self) -> usize {
+            match self {
+                Kinded::A => 0,
+                Kinded::B => 1,
+            }
+        }
+    }
+
     #[test]
     fn counting_sink_counts_without_retaining() {
         let mut sink = CountingSink::new();
-        assert!(!TraceSink::<u8>::is_enabled(&sink));
-        sink.record(SimTime::ZERO, 1u8);
-        sink.record(SimTime::from_whole_units(2), 2u8);
-        sink.bump();
+        assert!(!TraceSink::<Kinded>::is_enabled(&sink));
+        sink.record(SimTime::ZERO, Kinded::A);
+        sink.record(SimTime::from_whole_units(2), Kinded::B);
+        sink.bump_kind(1);
         assert_eq!(sink.count(), 3);
+    }
+
+    #[test]
+    fn counting_sink_tracks_per_variant_totals() {
+        let mut sink = CountingSink::new();
+        sink.record(SimTime::ZERO, Kinded::A);
+        sink.record(SimTime::ZERO, Kinded::B);
+        sink.record(SimTime::ZERO, Kinded::B);
+        assert_eq!(sink.kind_count(0), 1);
+        assert_eq!(sink.kind_count(1), 2);
+        assert_eq!(sink.kind_counts().iter().sum::<u64>(), sink.count());
+        // Out-of-range kinds fold into the last slot instead of panicking.
+        sink.bump_kind(MAX_KINDS + 5);
+        assert_eq!(sink.kind_count(MAX_KINDS - 1), 1);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | [`cpu`] | `harvest-cpu` | DVFS processor models and presets |
 //! | [`task`] | `harvest-task` | tasks, jobs, EDF queue, workload generator |
 //! | [`core`] | `harvest-core` | EA-DVFS + baselines, the closed-loop simulator |
+//! | [`obs`] | `harvest-obs` | metrics registry, phase profiling, JSONL export, timelines |
 //! | [`exp`] | `harvest-exp` | figure/table reproduction harness |
 //!
 //! # Quickstart
@@ -62,6 +63,12 @@ pub mod task {
 /// `harvest-core`).
 pub mod core {
     pub use harvest_core::*;
+}
+
+/// Observability: metrics registry, phase profiling, JSONL export, run
+/// timelines (re-export of `harvest-obs`).
+pub mod obs {
+    pub use harvest_obs::*;
 }
 
 /// Experiment harness reproducing the paper's evaluation (re-export of

@@ -5,7 +5,95 @@ use std::collections::{HashMap, HashSet};
 
 use harvest_rt::core::trace::TraceEvent;
 use harvest_rt::prelude::*;
+use harvest_rt::sim::trace::TraceSink;
 use harvest_rt::task::JobId;
+
+/// A streaming trace validator: checks ordering and lifecycle invariants
+/// online, as each event arrives, holding only per-job state — the shape
+/// a live monitor attached to the engine would take, as opposed to the
+/// post-hoc whole-trace scan in `trace_agrees_with_records`.
+#[derive(Debug, Default)]
+struct InvariantSink {
+    last_time: Option<SimTime>,
+    released: HashSet<JobId>,
+    completed: HashSet<JobId>,
+    missed: HashSet<JobId>,
+    records: u64,
+}
+
+impl TraceSink<TraceEvent> for InvariantSink {
+    fn record(&mut self, t: SimTime, ev: TraceEvent) {
+        if let Some(last) = self.last_time {
+            assert!(t >= last, "timestamps regress: {t:?} after {last:?}");
+        }
+        self.last_time = Some(t);
+        self.records += 1;
+        match ev {
+            TraceEvent::Released { job, deadline, .. } => {
+                assert!(deadline > t, "{job:?} released with past deadline");
+                assert!(self.released.insert(job), "{job:?} released twice");
+            }
+            TraceEvent::Started { job, .. } => {
+                assert!(self.released.contains(&job), "{job:?} started unreleased");
+                assert!(
+                    !self.completed.contains(&job),
+                    "{job:?} started after completing"
+                );
+                assert!(
+                    !self.missed.contains(&job),
+                    "{job:?} started after missing (abort semantics)"
+                );
+            }
+            TraceEvent::Completed { job } => {
+                assert!(self.released.contains(&job), "{job:?} completed unreleased");
+                assert!(!self.missed.contains(&job), "{job:?} completed after miss");
+                assert!(self.completed.insert(job), "{job:?} completed twice");
+            }
+            TraceEvent::Missed { job } => {
+                assert!(self.released.contains(&job), "{job:?} missed unreleased");
+                assert!(
+                    !self.completed.contains(&job),
+                    "{job:?} missed after completion"
+                );
+                assert!(self.missed.insert(job), "{job:?} missed twice");
+            }
+            TraceEvent::Idled { .. } | TraceEvent::Stalled { .. } => {}
+        }
+    }
+}
+
+impl InvariantSink {
+    /// End-of-run check: every released job is resolved as completed or
+    /// missed, except those the result legitimately carries as pending
+    /// (deadline beyond the horizon).
+    fn finish(&self, r: &SimResult) {
+        assert_eq!(self.released.len(), r.released(), "release count");
+        let pending: HashSet<JobId> = r
+            .jobs
+            .iter()
+            .filter(|j| matches!(j.outcome, JobOutcome::Pending))
+            .map(|j| j.id)
+            .collect();
+        for &job in &self.released {
+            let resolved = self.completed.contains(&job) || self.missed.contains(&job);
+            assert!(
+                resolved || pending.contains(&job),
+                "{job:?} released but never resolved (and not pending at horizon)"
+            );
+        }
+        for j in &r.jobs {
+            match j.outcome {
+                JobOutcome::Completed { .. } => assert!(self.completed.contains(&j.id)),
+                JobOutcome::Missed { .. } => assert!(self.missed.contains(&j.id)),
+                JobOutcome::Pending => assert!(
+                    !self.completed.contains(&j.id) && !self.missed.contains(&j.id),
+                    "pending {:?} has terminal trace events",
+                    j.id
+                ),
+            }
+        }
+    }
+}
 
 fn traced_run(policy: PolicyKind, seed: u64) -> SimResult {
     let profile = sample_profile(
@@ -91,6 +179,22 @@ fn trace_agrees_with_records() {
                     }
                 }
             }
+        }
+    }
+}
+
+#[test]
+fn streaming_invariant_sink_validates_all_policies() {
+    for policy in [PolicyKind::Edf, PolicyKind::Lsa, PolicyKind::EaDvfs] {
+        for seed in 0..3u64 {
+            let r = traced_run(policy, seed);
+            assert!(!r.trace.is_empty(), "{policy:?}: traced run must emit");
+            let mut sink = InvariantSink::default();
+            for &(t, ev) in &r.trace {
+                sink.record(t, ev);
+            }
+            assert_eq!(sink.records, r.trace.len() as u64);
+            sink.finish(&r);
         }
     }
 }
