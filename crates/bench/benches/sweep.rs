@@ -1,0 +1,280 @@
+//! Sweep-scale execution: what pooled run contexts and the result cache
+//! buy per trial.
+//!
+//! The profile is a **sweep-grain microcell**: the §5.1 scarce-energy
+//! setting (10 tasks, U = 0.8, C = 200) cut to a 50-unit horizon. That
+//! is the grain at which sweep overheads matter — a capacity-search or
+//! figure grid runs thousands of such cells, and at this size the
+//! per-run fixed cost (event-queue and ready-queue allocation, metrics
+//! registry, policy boxing) is a large fraction of the trial. Pooling
+//! removes exactly that fixed cost, so the pooled speedup shrinks as
+//! cells grow; the microcell isolates what is being measured instead of
+//! burying it under simulation work.
+//!
+//! Three modes are timed as `sweep/trials_*`:
+//!
+//! * `cold` — the pre-PR4 fast path: shared prefab, but fresh queues,
+//!   registry, and boxed policy every run.
+//! * `pooled` — `run_prefab_in` through one reused [`SimPool`].
+//! * `cached` — a warm [`SweepCache`] hit: deserialize the stored
+//!   summary instead of simulating.
+//!
+//! Running this bench writes `BENCH_PR4.json` at the workspace root:
+//! raw medians, trials/sec per mode with the pooled-vs-cold and
+//! cached-vs-cold speedups, heap-allocation counts per trial (cold vs
+//! pooled, via a counting global allocator), and the per-worker
+//! allocation/item counts of one sharded pooled mini-sweep — workers
+//! after the first few trials should allocate only what the results
+//! themselves need.
+//!
+//! Pass `--smoke` for a 1-sample sanity run (CI): every benchmark
+//! executes once and no report is written.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use criterion::Criterion;
+use harvest_exp::cache::{SweepCache, TrialSummary};
+use harvest_exp::parallel::parallel_map_with;
+use harvest_exp::scenario::{PaperScenario, PolicyKind, SimPool, TrialPrefab};
+use serde::Value;
+
+/// Counts every heap allocation, globally and per thread, then defers
+/// to the system allocator. The per-thread counter is `const`-initialized
+/// so reading it can never itself allocate.
+struct CountingAlloc;
+
+static GLOBAL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// This thread's allocation count so far.
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.try_with(Cell::get).unwrap_or(0)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        GLOBAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        GLOBAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const SEED: u64 = 0;
+const POLICY: PolicyKind = PolicyKind::EaDvfs;
+
+/// The sweep-grain microcell (see module docs).
+fn scenario() -> PaperScenario {
+    let mut s = PaperScenario::new(0.8, 200.0);
+    s.num_tasks = 10;
+    s.horizon_units = 50;
+    s
+}
+
+/// A throwaway cache directory, pre-warmed with the microcell's result.
+fn warm_cache(s: &PaperScenario, prefab: &TrialPrefab) -> (SweepCache, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("harvest-bench-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = SweepCache::new(&dir).expect("temp cache dir");
+    let summary = TrialSummary::of(&s.run_prefab(POLICY, prefab));
+    cache.put(&s.trial_key(POLICY, SEED), &summary);
+    (cache, dir)
+}
+
+/// `sweep/trials_{cold,pooled,cached}`: one microcell trial per
+/// iteration under each execution mode.
+fn trial_modes(c: &mut Criterion, s: &PaperScenario, prefab: &TrialPrefab, cache: &SweepCache) {
+    let mut g = c.benchmark_group("sweep");
+    g.bench_function("trials_cold", |b| {
+        b.iter(|| black_box(s.run_prefab(POLICY, prefab)))
+    });
+    let mut pool = SimPool::new();
+    g.bench_function("trials_pooled", |b| {
+        b.iter(|| black_box(s.run_prefab_in(&mut pool, POLICY, prefab)))
+    });
+    let mut pool = SimPool::new();
+    g.bench_function("trials_cached", |b| {
+        b.iter(|| black_box(s.run_summary(&mut pool, Some(cache), POLICY, prefab)))
+    });
+    g.finish();
+}
+
+/// Median heap allocations per trial for a run closure, measured on
+/// this thread outside any timed region.
+fn allocs_per_trial(mut run: impl FnMut()) -> u64 {
+    // Warm up so lazy pool state does not pollute the count.
+    for _ in 0..8 {
+        run();
+    }
+    let trials = 64u64;
+    let before = thread_allocs();
+    for _ in 0..trials {
+        run();
+    }
+    (thread_allocs() - before) / trials
+}
+
+/// One sharded pooled mini-sweep with per-worker accounting: each
+/// worker reports how many trials it executed and how many heap
+/// allocations its whole share cost (pool construction included).
+fn sharded_worker_allocs(s: &PaperScenario, prefab: &TrialPrefab) -> Vec<Value> {
+    struct WorkerState {
+        worker: usize,
+        pool: SimPool,
+        start_allocs: u64,
+        allocs: u64,
+        items: u64,
+    }
+    let threads = 4;
+    let (_, states) = parallel_map_with(
+        0..256u32,
+        threads,
+        |worker| WorkerState {
+            worker,
+            pool: SimPool::new(),
+            start_allocs: thread_allocs(),
+            allocs: 0,
+            items: 0,
+        },
+        |state, _| {
+            black_box(s.run_prefab_in(&mut state.pool, POLICY, prefab));
+            state.items += 1;
+            state.allocs = thread_allocs() - state.start_allocs;
+        },
+    );
+    states
+        .iter()
+        .map(|w| {
+            Value::Map(vec![
+                ("worker".to_string(), Value::U64(w.worker as u64)),
+                ("items".to_string(), Value::U64(w.items)),
+                ("allocs".to_string(), Value::U64(w.allocs)),
+                (
+                    "allocs_per_item".to_string(),
+                    Value::F64(w.allocs as f64 / w.items.max(1) as f64),
+                ),
+                ("pool_runs".to_string(), Value::U64(w.pool.stats().runs)),
+            ])
+        })
+        .collect()
+}
+
+fn write_report(path: &std::path::Path, s: &PaperScenario, prefab: &TrialPrefab) {
+    let results = criterion::all_results();
+    let entries: Vec<Value> = results
+        .iter()
+        .map(|r| {
+            Value::Map(vec![
+                ("id".to_string(), Value::Str(r.id.clone())),
+                ("ns_per_iter".to_string(), Value::F64(r.ns_per_iter)),
+                (
+                    "iters_per_sample".to_string(),
+                    Value::U64(r.iters_per_sample),
+                ),
+                ("samples".to_string(), Value::U64(r.samples as u64)),
+            ])
+        })
+        .collect();
+    let find = |id: &str| results.iter().find(|r| r.id == id).map(|r| r.ns_per_iter);
+
+    let trials_per_sec = match (
+        find("sweep/trials_cold"),
+        find("sweep/trials_pooled"),
+        find("sweep/trials_cached"),
+    ) {
+        (Some(cold), Some(pooled), Some(cached)) => vec![Value::Map(vec![
+            ("cold".to_string(), Value::F64(1e9 / cold)),
+            ("pooled".to_string(), Value::F64(1e9 / pooled)),
+            ("cached".to_string(), Value::F64(1e9 / cached)),
+            ("pooled_vs_cold".to_string(), Value::F64(cold / pooled)),
+            ("cached_vs_cold".to_string(), Value::F64(cold / cached)),
+        ])],
+        _ => Vec::new(),
+    };
+
+    // Allocation accounting runs untimed, after the measurements.
+    let cold_allocs = allocs_per_trial(|| {
+        black_box(s.run_prefab(POLICY, prefab));
+    });
+    let mut pool = SimPool::new();
+    let pooled_allocs = allocs_per_trial(|| {
+        black_box(s.run_prefab_in(&mut pool, POLICY, prefab));
+    });
+    let per_worker = sharded_worker_allocs(s, prefab);
+
+    let doc = Value::Map(vec![
+        ("bench".to_string(), Value::Str("sweep".to_string())),
+        (
+            "command".to_string(),
+            Value::Str("cargo bench -p harvest-bench --bench sweep".to_string()),
+        ),
+        (
+            "scenario".to_string(),
+            Value::Map(vec![
+                ("num_tasks".to_string(), Value::U64(10)),
+                ("utilization".to_string(), Value::F64(0.8)),
+                ("capacity".to_string(), Value::F64(200.0)),
+                (
+                    "horizon_units".to_string(),
+                    Value::U64(s.horizon_units as u64),
+                ),
+                ("policy".to_string(), Value::Str(POLICY.name().to_string())),
+                ("seed".to_string(), Value::U64(SEED)),
+            ]),
+        ),
+        ("results".to_string(), Value::Seq(entries)),
+        ("trials_per_sec".to_string(), Value::Seq(trials_per_sec)),
+        (
+            "allocations".to_string(),
+            Value::Map(vec![
+                ("cold_per_trial".to_string(), Value::U64(cold_allocs)),
+                ("pooled_per_trial".to_string(), Value::U64(pooled_allocs)),
+                ("sharded_per_worker".to_string(), Value::Seq(per_worker)),
+            ]),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("report serializes");
+    std::fs::write(path, json + "\n").expect("report written");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut c = Criterion::default();
+    if smoke {
+        c.sample_size(1);
+        c.measurement_time(Duration::from_millis(1));
+    }
+    let s = scenario();
+    let prefab = s.prefab(SEED);
+    let (cache, cache_dir) = warm_cache(&s, &prefab);
+    trial_modes(&mut c, &s, &prefab, &cache);
+
+    if smoke {
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        println!("smoke mode: all benches executed; no report written");
+        return;
+    }
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    write_report(&root.join("BENCH_PR4.json"), &s, &prefab);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

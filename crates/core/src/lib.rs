@@ -77,5 +77,5 @@ pub use policies::{
 };
 pub use result::{EnergyAccounting, JobOutcome, JobRecord, SimResult};
 pub use scheduler::{Decision, SchedContext, Scheduler};
-pub use system::simulate;
+pub use system::{simulate, simulate_in, simulate_shared, PoolStats, RunContext};
 pub use trace::TraceEvent;

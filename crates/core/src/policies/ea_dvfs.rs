@@ -123,6 +123,10 @@ impl Scheduler for EaDvfsScheduler {
             ("stretches", self.stretches),
         ]
     }
+
+    fn reset(&mut self) {
+        *self = EaDvfsScheduler::new();
+    }
 }
 
 #[cfg(test)]

@@ -65,6 +65,10 @@ impl Scheduler for LazyScheduler {
             ("immediate_runs", self.immediate_runs),
         ]
     }
+
+    fn reset(&mut self) {
+        *self = LazyScheduler::new();
+    }
 }
 
 #[cfg(test)]

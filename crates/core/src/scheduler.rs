@@ -149,7 +149,11 @@ impl Decision {
 }
 
 /// A DVFS-aware real-time scheduling policy.
-pub trait Scheduler {
+///
+/// `Send` is a supertrait so boxed policies can live inside per-worker
+/// simulation pools that sweep drivers move onto worker threads;
+/// policies are plain data, so this costs implementors nothing.
+pub trait Scheduler: Send {
     /// Decides how to treat the head job. Must be deterministic in the
     /// context.
     fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision;
@@ -164,6 +168,15 @@ pub trait Scheduler {
     fn metrics(&self) -> Vec<(&'static str, u64)> {
         Vec::new()
     }
+
+    /// Restores the policy to its just-constructed state so a pooled
+    /// run context can reuse one instance across trials. A reset policy
+    /// must behave bit-identically to a freshly built one — including
+    /// its [`Self::metrics`] counters, which the pinned pooled-parity
+    /// tests compare. Stateless policies keep the empty default;
+    /// configuration (e.g. a fixed slowdown level) is not run state and
+    /// must survive.
+    fn reset(&mut self) {}
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
@@ -177,6 +190,31 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
 
     fn metrics(&self) -> Vec<(&'static str, u64)> {
         (**self).metrics()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+}
+
+/// Lend a policy to a run without giving up ownership: the pooled entry
+/// points take `&mut dyn Scheduler` and drive it through this impl, so a
+/// `SimPool` can keep one boxed instance per policy alive across trials.
+impl<S: Scheduler + ?Sized> Scheduler for &mut S {
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
+        (**self).decide(ctx)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        (**self).metrics()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
     }
 }
 

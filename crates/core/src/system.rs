@@ -22,7 +22,7 @@ use harvest_energy::storage::Storage;
 use harvest_obs::profile::PhaseProfiler;
 use harvest_obs::{Log2Histogram, MetricsRegistry, MetricsSink};
 use harvest_sim::engine::{Engine, Model, Scheduler as EngineCtx};
-use harvest_sim::event::QueueStats;
+use harvest_sim::event::{EventQueue, QueueStats};
 use harvest_sim::piecewise::{Cursor, CursorStats, PiecewiseConstant};
 use harvest_sim::time::{SimDuration, SimTime};
 use harvest_sim::trace::CountingSink;
@@ -122,11 +122,11 @@ impl ObsCounters {
     }
 }
 
-struct SystemModel {
+struct SystemModel<P: Scheduler> {
     config: SystemConfig,
     tasks: Arc<TaskSet>,
     profile: Arc<PiecewiseConstant>,
-    policy: Box<dyn Scheduler>,
+    policy: P,
     predictor: Box<dyn EnergyPredictor>,
     storage: Storage,
     queue: EdfQueue,
@@ -164,7 +164,7 @@ struct SystemModel {
     profiler: Option<Box<PhaseProfiler>>,
 }
 
-impl SystemModel {
+impl<P: Scheduler> SystemModel<P> {
     /// Advances all continuous state from `last_sync` to `now`:
     /// storage level, energy accounting, predictor observations, job
     /// progress, and residency counters. Detects job completion.
@@ -560,7 +560,7 @@ impl SystemModel {
     }
 }
 
-impl Model for SystemModel {
+impl<P: Scheduler> Model for SystemModel<P> {
     type Event = SysEvent;
 
     fn handle(&mut self, now: SimTime, event: SysEvent, ctx: &mut EngineCtx<'_, SysEvent>) {
@@ -672,6 +672,128 @@ pub fn simulate_shared(
     policy: Box<dyn Scheduler>,
     predictor: Box<dyn EnergyPredictor>,
 ) -> SimResult {
+    let mut reg = MetricsRegistry::new();
+    let (result, _events, _ready) = run_closed_loop(
+        config,
+        tasks,
+        profile,
+        policy,
+        predictor,
+        EventQueue::new(),
+        EdfQueue::new(),
+        &mut reg,
+    );
+    result
+}
+
+/// Retention statistics of one [`RunContext`], for sweep drivers that
+/// report pool reuse (e.g. per-worker rows in `exp inspect`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Trials executed through this context.
+    pub runs: u64,
+    /// High-water event-slab capacity retained across runs (the
+    /// [`QueueStats::slab_capacity`] of the pooled event queue).
+    pub event_slab_high_water: u64,
+    /// High-water EDF-heap capacity retained across runs.
+    pub ready_high_water: u64,
+}
+
+/// A reusable simulation context: the allocations that dominate per-run
+/// setup — the radix event queue's bucket array and slab, the EDF ready
+/// heap, and the metrics registry — survive from one trial to the next.
+///
+/// One context per worker thread; runs through [`simulate_in`] are
+/// bit-identical to [`simulate_shared`] on fresh state (pinned by the
+/// pooled-parity tests), so pooling is purely an allocation optimization.
+#[derive(Debug, Default)]
+pub struct RunContext {
+    /// `None` only while a run through [`simulate_in`] is on the stack.
+    events: Option<EventQueue<SysEvent>>,
+    ready: Option<EdfQueue>,
+    metrics: MetricsRegistry,
+    stats: PoolStats,
+}
+
+impl RunContext {
+    /// Creates an empty context; the first run populates its pools.
+    pub fn new() -> Self {
+        RunContext::default()
+    }
+
+    /// Retention statistics accumulated over this context's lifetime.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Bounds the pooled queues' retained storage (see
+    /// [`EventQueue::shrink_to`] / [`EdfQueue::shrink_to`]). High-water
+    /// marks in [`Self::stats`] are unaffected: they record the peak.
+    pub fn shrink_to(&mut self, limit: usize) {
+        if let Some(q) = &mut self.events {
+            q.shrink_to(limit);
+        }
+        if let Some(q) = &mut self.ready {
+            q.shrink_to(limit);
+        }
+    }
+}
+
+/// [`simulate_shared`] executing inside a pooled [`RunContext`]: the
+/// event queue, ready queue, and metrics registry are borrowed from the
+/// context and returned to it reset, and the policy is reset and lent
+/// rather than consumed, so a sweep worker can run its whole shard of
+/// trials with zero steady-state queue allocations.
+pub fn simulate_in(
+    ctx: &mut RunContext,
+    config: SystemConfig,
+    tasks: Arc<TaskSet>,
+    profile: Arc<PiecewiseConstant>,
+    policy: &mut dyn Scheduler,
+    predictor: Box<dyn EnergyPredictor>,
+) -> SimResult {
+    policy.reset();
+    let events = ctx.events.take().unwrap_or_default();
+    let ready = ctx.ready.take().unwrap_or_default();
+    let (result, mut events, mut ready) = run_closed_loop(
+        config,
+        tasks,
+        profile,
+        policy,
+        predictor,
+        events,
+        ready,
+        &mut ctx.metrics,
+    );
+    events.reset();
+    ready.clear();
+    ctx.stats.runs += 1;
+    ctx.stats.event_slab_high_water = ctx
+        .stats
+        .event_slab_high_water
+        .max(events.capacity() as u64);
+    ctx.stats.ready_high_water = ctx.stats.ready_high_water.max(ready.capacity() as u64);
+    ctx.events = Some(events);
+    ctx.ready = Some(ready);
+    result
+}
+
+/// The shared closed-loop core: generic over the policy handle (owned
+/// box for the fresh path, `&mut dyn` for the pooled path) and explicit
+/// about the queue storage it runs on, which it hands back so a pool
+/// can reclaim the allocations.
+#[allow(clippy::too_many_arguments)]
+fn run_closed_loop<P: Scheduler>(
+    config: SystemConfig,
+    tasks: Arc<TaskSet>,
+    profile: Arc<PiecewiseConstant>,
+    policy: P,
+    predictor: Box<dyn EnergyPredictor>,
+    equeue: EventQueue<SysEvent>,
+    ready: EdfQueue,
+    reg: &mut MetricsRegistry,
+) -> (SimResult, EventQueue<SysEvent>, EdfQueue) {
+    debug_assert!(ready.is_empty(), "pooled ready queue must be cleared");
     assert!(
         config.cpu.switch_overhead().is_zero(),
         "the closed-loop simulator models DVFS switch *energy* only; \
@@ -704,7 +826,7 @@ pub fn simulate_shared(
         policy,
         predictor,
         storage,
-        queue: EdfQueue::new(),
+        queue: ready,
         state: RunState::Idle,
         last_sync: SimTime::ZERO,
         epoch: 0,
@@ -724,7 +846,7 @@ pub fn simulate_shared(
         obs: ObsCounters::new(level_count),
         profiler: None,
     };
-    let mut engine = Engine::new(model);
+    let mut engine = Engine::with_queue(model, equeue);
     if engine.model().config.profile {
         engine.enable_profiling();
         engine.model_mut().profiler = Some(Box::default());
@@ -744,12 +866,12 @@ pub fn simulate_shared(
     let events = engine.events_handled();
     let queue_stats = engine.queue_stats();
     let engine_profiler = engine.profiler().cloned();
-    let mut model = engine.into_model();
+    let (mut model, equeue) = engine.into_parts();
     model.finalize(horizon_end);
     let trace_kind_counts = model.trace_kind_counts();
     let metrics = model.config.collect_metrics.then(|| {
-        let mut reg = MetricsRegistry::new();
-        model.publish_metrics(&mut reg, events, queue_stats, &trace_kind_counts);
+        reg.reset();
+        model.publish_metrics(reg, events, queue_stats, &trace_kind_counts);
         reg.snapshot()
     });
     let profile = model.config.profile.then(|| {
@@ -766,7 +888,7 @@ pub fn simulate_shared(
             (log, n)
         }
     };
-    SimResult {
+    let result = SimResult {
         scheduler: scheduler_name,
         horizon,
         jobs: model.records,
@@ -782,7 +904,8 @@ pub fn simulate_shared(
         trace,
         metrics,
         profile,
-    }
+    };
+    (result, equeue, model.queue)
 }
 
 #[cfg(test)]
@@ -1241,6 +1364,68 @@ mod tests {
         assert!(counted.trace.is_empty());
         assert_eq!(counted.trace_kind_counts, kept.trace_kind_counts);
         assert_eq!(counted.trace_events, kept.trace_events);
+    }
+
+    #[test]
+    fn pooled_runs_are_bit_identical_to_fresh() {
+        // One context, three different trials back to back (full
+        // observability on, so metrics/trace/profile parity is covered
+        // too — modulo the wall-clock timings inside `profile`, which
+        // are not deterministic and therefore compared structurally).
+        let mut ctx = RunContext::new();
+        let config = section2_config().with_metrics();
+        let profile = PiecewiseConstant::constant(0.5);
+        let tasks = Arc::new(section2_tasks());
+        let factories: Vec<fn() -> Box<dyn Scheduler>> = vec![
+            || Box::new(EaDvfsScheduler::new()),
+            || Box::new(LazyScheduler::new()),
+            || Box::new(GreedyStretchScheduler::new()),
+        ];
+        for mk in &factories {
+            let fresh = run(mk(), &section2_tasks(), config.clone());
+            let mut policy = mk();
+            // Dirty the pooled policy's counters with an extra run;
+            // `simulate_in` must reset them before the compared trial.
+            let _ = simulate_in(
+                &mut ctx,
+                config.clone(),
+                Arc::clone(&tasks),
+                Arc::new(profile.clone()),
+                policy.as_mut(),
+                Box::new(OraclePredictor::new(profile.clone())),
+            );
+            let pooled = simulate_in(
+                &mut ctx,
+                config.clone(),
+                Arc::clone(&tasks),
+                Arc::new(profile.clone()),
+                policy.as_mut(),
+                Box::new(OraclePredictor::new(profile.clone())),
+            );
+            assert_eq!(fresh, pooled, "policy {}", pooled.scheduler);
+        }
+        let stats = ctx.stats();
+        assert_eq!(stats.runs, 6);
+        assert!(stats.event_slab_high_water > 0);
+        assert!(stats.ready_high_water > 0);
+    }
+
+    #[test]
+    fn run_context_shrink_bounds_retention() {
+        let mut ctx = RunContext::new();
+        let profile = PiecewiseConstant::constant(0.5);
+        let _ = simulate_in(
+            &mut ctx,
+            section2_config(),
+            Arc::new(section2_tasks()),
+            Arc::new(profile.clone()),
+            &mut EdfScheduler::new(),
+            Box::new(OraclePredictor::new(profile)),
+        );
+        assert!(ctx.stats().event_slab_high_water > 0);
+        ctx.shrink_to(0);
+        // High-water marks record the peak, not the current capacity.
+        assert!(ctx.stats().event_slab_high_water > 0);
     }
 
     #[test]

@@ -5,24 +5,33 @@
 //!             [--horizon UNITS] [--sample UNITS] [--out PATH]
 //! exp inspect PATH
 //! exp diff    PATH BASELINE
+//! exp sweep   [--util U] [--trials N] [--threads N] [--cache PATH]
+//!             [--expect-warm]
 //! ```
 //!
 //! `record` replays one §5.1 trial with full observability (trace,
 //! metrics, phase profiling) and writes the run as a JSONL artifact.
 //! `inspect` renders an artifact's metrics, phase profile, and
 //! energy/level timelines as tables and ASCII plots. `diff` compares two
-//! artifacts' metric snapshots line by line.
+//! artifacts' metric snapshots line by line. `sweep` runs a small
+//! cache-aware miss-rate sweep and reports how it executed (simulated
+//! vs. cached cells, pool reuse, and a digest of the figure data) — the
+//! CI smoke runs it twice against one cache directory and `--expect-warm`
+//! makes the second invocation fail unless every cell was a cache hit.
 
 use std::path::PathBuf;
 
 use harvest_exp::artifact::RunArtifact;
+use harvest_exp::cache::{fnv1a64, SweepCache};
+use harvest_exp::figures::miss_rate_figure_cached;
 use harvest_exp::scenario::{PaperScenario, PolicyKind};
 
 const USAGE: &str = "usage:
   exp record  [--policy edf|lsa|ea-dvfs|greedy-stretch] [--util U] [--capacity C]
               [--seed N] [--horizon UNITS] [--sample UNITS] [--out PATH]
   exp inspect PATH
-  exp diff    PATH BASELINE";
+  exp diff    PATH BASELINE
+  exp sweep   [--util U] [--trials N] [--threads N] [--cache PATH] [--expect-warm]";
 
 /// Parameters of one recorded run.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,12 +59,35 @@ impl Default for RecordArgs {
     }
 }
 
+/// Parameters of one smoke sweep.
+#[derive(Debug, Clone, PartialEq)]
+struct SweepArgs {
+    utilization: f64,
+    trials: usize,
+    threads: usize,
+    cache: Option<PathBuf>,
+    expect_warm: bool,
+}
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        SweepArgs {
+            utilization: 0.4,
+            trials: 2,
+            threads: 2,
+            cache: None,
+            expect_warm: false,
+        }
+    }
+}
+
 /// A parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
 enum Command {
     Record(RecordArgs),
     Inspect(PathBuf),
     Diff { run: PathBuf, baseline: PathBuf },
+    Sweep(SweepArgs),
 }
 
 fn parse_policy(name: &str) -> Result<PolicyKind, String> {
@@ -161,8 +193,106 @@ where
             }
             Ok(Command::Diff { run, baseline })
         }
+        "sweep" => Ok(Command::Sweep(parse_sweep(it)?)),
         other => Err(format!("unknown subcommand `{other}`")),
     }
+}
+
+fn parse_sweep<I, S>(args: I) -> Result<SweepArgs, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut out = SweepArgs::default();
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let flag = flag.as_ref().to_owned();
+        let mut value = || {
+            it.next()
+                .map(|v| v.as_ref().to_owned())
+                .ok_or_else(|| format!("{flag} expects a value"))
+        };
+        match flag.as_str() {
+            "--util" => {
+                out.utilization = value()?
+                    .parse()
+                    .map_err(|_| "--util expects a number".to_owned())?;
+                if !(out.utilization > 0.0 && out.utilization.is_finite()) {
+                    return Err("--util must be positive".into());
+                }
+            }
+            "--trials" => {
+                out.trials = value()?
+                    .parse()
+                    .map_err(|_| "--trials expects a positive integer".to_owned())?;
+                if out.trials == 0 {
+                    return Err("--trials must be positive".into());
+                }
+            }
+            "--threads" => {
+                out.threads = value()?
+                    .parse()
+                    .map_err(|_| "--threads expects a positive integer".to_owned())?;
+                if out.threads == 0 {
+                    return Err("--threads must be positive".into());
+                }
+            }
+            "--cache" => out.cache = Some(PathBuf::from(value()?)),
+            "--expect-warm" => out.expect_warm = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn sweep(args: &SweepArgs) -> Result<(), String> {
+    let cache = match &args.cache {
+        Some(dir) => Some(
+            SweepCache::new(dir)
+                .map_err(|e| format!("cannot open cache {}: {e}", dir.display()))?,
+        ),
+        None => SweepCache::from_env(),
+    };
+    let (figure, stats) = miss_rate_figure_cached(
+        cache.as_ref(),
+        args.utilization,
+        &[PolicyKind::Lsa, PolicyKind::EaDvfs],
+        args.trials,
+        args.threads,
+    );
+    let json = serde_json::to_string(&figure).map_err(|e| format!("serialize figure: {e}"))?;
+    println!(
+        "sweep util={} trials={} cells={} simulated={} cached={} \
+         pool_runs={} event_slab_high_water={} ready_high_water={} figure_fnv64={:016x}",
+        args.utilization,
+        args.trials,
+        stats.simulated + stats.cached,
+        stats.simulated,
+        stats.cached,
+        stats.pool.runs,
+        stats.pool.event_slab_high_water,
+        stats.pool.ready_high_water,
+        fnv1a64(json.as_bytes()),
+    );
+    if let Some(cache) = &cache {
+        let cs = cache.stats();
+        println!(
+            "cache dir={} hits={} misses={} rejects={} stores={}",
+            cache.dir().display(),
+            cs.hits,
+            cs.misses,
+            cs.rejects,
+            cs.stores
+        );
+    }
+    if args.expect_warm && stats.simulated != 0 {
+        return Err(format!(
+            "expected a warm cache but {} of {} cells were simulated",
+            stats.simulated,
+            stats.simulated + stats.cached
+        ));
+    }
+    Ok(())
 }
 
 fn record(args: &RecordArgs) -> Result<RunArtifact, String> {
@@ -207,6 +337,7 @@ fn run(cmd: Command) -> Result<(), String> {
             print!("{}", run.render_diff(&base)?);
             Ok(())
         }
+        Command::Sweep(args) => sweep(&args),
     }
 }
 
@@ -248,6 +379,29 @@ mod tests {
         assert_eq!(args.horizon_units, 1000);
         assert_eq!(args.sample_units, 50);
         assert_eq!(args.out, Some(PathBuf::from("/tmp/run.jsonl")));
+    }
+
+    #[test]
+    fn sweep_flags_parse() {
+        let args = parse_sweep([
+            "--util",
+            "0.8",
+            "--trials",
+            "3",
+            "--threads",
+            "2",
+            "--cache",
+            "/tmp/sweep-cache",
+            "--expect-warm",
+        ])
+        .unwrap();
+        assert_eq!(args.utilization, 0.8);
+        assert_eq!(args.trials, 3);
+        assert_eq!(args.threads, 2);
+        assert_eq!(args.cache, Some(PathBuf::from("/tmp/sweep-cache")));
+        assert!(args.expect_warm);
+        assert!(parse_sweep(["--trials", "0"]).is_err());
+        assert!(parse_sweep(["--bogus"]).is_err());
     }
 
     #[test]

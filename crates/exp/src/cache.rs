@@ -1,0 +1,424 @@
+//! Content-addressed on-disk cache of sweep trial results.
+//!
+//! The Fig. 5–9 evaluations are grids of thousands of independent
+//! trials, each fully determined by `(scenario, policy, seed)` — the
+//! simulator is deterministic. This module gives every such cell a
+//! stable fingerprint and persists its [`TrialSummary`] (the handful of
+//! numbers the figure drivers actually consume) under
+//! `target/sweep-cache/`, so re-running a figure after an interruption,
+//! or probing a capacity the `min_zero_miss_capacity` search already
+//! visited in an earlier run, skips the simulation entirely.
+//!
+//! Integrity rules:
+//!
+//! * The cache key is the **canonical key text** (schema version +
+//!   serialized scenario + policy name + seed), not just its hash: every
+//!   entry stores the text and a lookup re-verifies it, so a fingerprint
+//!   collision or a poisoned file can never substitute a foreign result.
+//! * Entries that fail to parse, carry the wrong key, or are truncated
+//!   are rejected and recomputed — a cache read never trusts the file.
+//! * [`CACHE_SCHEMA_VERSION`] participates in the key text; bump it on
+//!   any change to simulation semantics or to the summary layout, and
+//!   every stale entry misses naturally.
+//! * Sampled storage levels round-trip as `f64::to_bits` integers, so a
+//!   warm-cache figure is bit-identical to a cold one.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::{PaperScenario, PolicyKind};
+use harvest_core::result::SimResult;
+
+/// Version of the cached-trial contract. Participates in every key, so
+/// bumping it invalidates all prior entries. Bump whenever simulation
+/// semantics, scenario serialization, or the summary layout change.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// Environment variable gating the sweep cache (read by
+/// [`SweepCache::from_env`]): unset, empty, or `0` disables; `1`
+/// enables at the default `target/sweep-cache/`; any other value is
+/// used as the cache directory path.
+pub const SWEEP_CACHE_ENV: &str = "HARVEST_SWEEP_CACHE";
+
+/// FNV-1a 64-bit, the workspace's standing content-hash choice. Public
+/// so smoke tooling can digest figure outputs for equality checks.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+/// The stable identity of one sweep cell.
+///
+/// Holds the canonical key text — a versioned, serde-serialized record
+/// of everything that determines the trial's outcome — plus its
+/// fingerprint. Two keys are interchangeable exactly when their texts
+/// are byte-equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialKey {
+    text: String,
+    fingerprint: u64,
+}
+
+impl TrialKey {
+    /// Builds the key for `(scenario, policy, seed)` under the current
+    /// [`CACHE_SCHEMA_VERSION`].
+    pub fn new(scenario: &PaperScenario, policy: PolicyKind, seed: u64) -> Self {
+        let scenario_json =
+            serde_json::to_string(scenario).expect("scenario serialization is infallible");
+        let text = format!(
+            "v{CACHE_SCHEMA_VERSION}|{}|{}|{seed}",
+            scenario_json,
+            policy.name()
+        );
+        let fingerprint = fnv1a64(text.as_bytes());
+        TrialKey { text, fingerprint }
+    }
+
+    /// The canonical key text (stored inside every cache entry).
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// 64-bit content fingerprint of the key text; names the on-disk
+    /// entry. Collisions are harmless (the stored text disambiguates)
+    /// but cost a recompute.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// The figure-facing subset of a [`SimResult`], reduced to exactly what
+/// the Fig. 5–9 drivers consume. Counts are stored raw and rates are
+/// recomputed with the same integer-to-float arithmetic as
+/// [`SimResult`], and sample levels are stored as `f64::to_bits`
+/// integers, so a summary read back from disk reproduces the original
+/// figures bit for bit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrialSummary {
+    /// Jobs released within the horizon.
+    pub released: u64,
+    /// Jobs that completed by their deadline.
+    pub completed_in_time: u64,
+    /// Jobs that missed their deadline.
+    pub missed: u64,
+    /// Raw storage-level samples (`IEEE-754` bit patterns, in grid
+    /// order), empty unless the run sampled.
+    pub sample_level_bits: Vec<u64>,
+}
+
+impl TrialSummary {
+    /// Extracts the summary from a full result.
+    pub fn of(result: &SimResult) -> Self {
+        TrialSummary {
+            released: result.released() as u64,
+            completed_in_time: result.completed_in_time() as u64,
+            missed: result.missed() as u64,
+            sample_level_bits: result.samples.iter().map(|&(_, v)| v.to_bits()).collect(),
+        }
+    }
+
+    /// Deadline miss rate, mirroring [`SimResult::miss_rate`].
+    pub fn miss_rate(&self) -> f64 {
+        let decided = self.completed_in_time + self.missed;
+        if decided == 0 {
+            0.0
+        } else {
+            self.missed as f64 / decided as f64
+        }
+    }
+
+    /// `true` if every decided job met its deadline.
+    pub fn is_miss_free(&self) -> bool {
+        self.missed == 0
+    }
+
+    /// Sample levels normalized by `capacity`, mirroring
+    /// [`SimResult::normalized_samples`] (values only; the grid is
+    /// implied by the scenario's sampling interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive.
+    pub fn normalized_sample_values(&self, capacity: f64) -> Vec<f64> {
+        assert!(capacity > 0.0, "capacity must be positive");
+        self.sample_level_bits
+            .iter()
+            .map(|&bits| f64::from_bits(bits) / capacity)
+            .collect()
+    }
+}
+
+/// On-disk entry layout: the key text for verification plus the payload.
+#[derive(Debug, Serialize, Deserialize)]
+struct CacheEntry {
+    key: String,
+    summary: TrialSummary,
+}
+
+/// Hit/miss accounting of one [`SweepCache`] over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from disk.
+    pub hits: u64,
+    /// Lookups with no usable entry (absent or rejected).
+    pub misses: u64,
+    /// Entries rejected on integrity grounds (unparseable, truncated,
+    /// or carrying a foreign key). A subset of `misses`.
+    pub rejects: u64,
+    /// Entries written.
+    pub stores: u64,
+}
+
+/// A content-addressed store of [`TrialSummary`] values, one JSON file
+/// per key under a cache directory. Shared immutably across sweep
+/// workers — all counters are atomic and writes go through a
+/// temp-file-plus-rename so concurrent readers never observe a torn
+/// entry.
+#[derive(Debug)]
+pub struct SweepCache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejects: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl SweepCache {
+    /// Opens (and creates) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(SweepCache {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rejects: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        })
+    }
+
+    /// Builds the cache the environment asks for (see
+    /// [`SWEEP_CACHE_ENV`]): `None` when disabled, unset, or the
+    /// directory cannot be created (a sweep must not fail because its
+    /// cache is unavailable).
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var(SWEEP_CACHE_ENV).ok()?;
+        let raw = raw.trim();
+        if raw.is_empty() || raw == "0" {
+            return None;
+        }
+        let dir = if raw == "1" {
+            PathBuf::from("target/sweep-cache")
+        } else {
+            PathBuf::from(raw)
+        };
+        SweepCache::new(dir).ok()
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: &TrialKey) -> PathBuf {
+        self.dir.join(format!("{:016x}.json", key.fingerprint()))
+    }
+
+    /// Looks `key` up. Any unreadable, unparseable, or key-mismatched
+    /// entry counts as a miss (and a reject) — never as data.
+    pub fn get(&self, key: &TrialKey) -> Option<TrialSummary> {
+        let path = self.entry_path(key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match serde_json::from_str::<CacheEntry>(&text) {
+            Ok(entry) if entry.key == key.text() => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.summary)
+            }
+            _ => {
+                // Truncated write, foreign key behind a fingerprint
+                // collision, or deliberate poisoning: reject, recompute.
+                self.rejects.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persists `summary` under `key` (temp file + rename, so readers
+    /// see old-or-new, never torn). IO errors are swallowed: the run's
+    /// correctness never depends on the cache accepting a write.
+    pub fn put(&self, key: &TrialKey, summary: &TrialSummary) {
+        let entry = CacheEntry {
+            key: key.text().to_owned(),
+            summary: summary.clone(),
+        };
+        let Ok(json) = serde_json::to_string(&entry) else {
+            return;
+        };
+        let path = self.entry_path(key);
+        // Writer-unique temp name: concurrent workers computing the same
+        // cell must not clobber each other's half-written temp file.
+        let tmp = self.dir.join(format!(
+            "{:016x}.{:?}.tmp",
+            key.fingerprint(),
+            std::thread::current().id()
+        ));
+        if std::fs::write(&tmp, &json).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Lifetime hit/miss counts.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            rejects: self.rejects.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "harvest-sweep-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn summary() -> TrialSummary {
+        TrialSummary {
+            released: 40,
+            completed_in_time: 30,
+            missed: 10,
+            sample_level_bits: vec![1.0f64.to_bits(), 0.25f64.to_bits()],
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_distinguishes_cells() {
+        let s = PaperScenario::new(0.4, 500.0);
+        let a = TrialKey::new(&s, PolicyKind::EaDvfs, 7);
+        let b = TrialKey::new(&s, PolicyKind::EaDvfs, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let other_seed = TrialKey::new(&s, PolicyKind::EaDvfs, 8);
+        let other_policy = TrialKey::new(&s, PolicyKind::Lsa, 7);
+        let other_cap = TrialKey::new(&PaperScenario::new(0.4, 501.0), PolicyKind::EaDvfs, 7);
+        for other in [&other_seed, &other_policy, &other_cap] {
+            assert_ne!(a.text(), other.text());
+            assert_ne!(a.fingerprint(), other.fingerprint());
+        }
+        assert!(a.text().starts_with(&format!("v{CACHE_SCHEMA_VERSION}|")));
+    }
+
+    #[test]
+    fn round_trip_preserves_summary_bits() {
+        let dir = scratch_dir("roundtrip");
+        let cache = SweepCache::new(&dir).unwrap();
+        let key = TrialKey::new(&PaperScenario::new(0.8, 100.0), PolicyKind::Lsa, 3);
+        assert_eq!(cache.get(&key), None);
+        let s = summary();
+        cache.put(&key, &s);
+        assert_eq!(cache.get(&key), Some(s.clone()));
+        assert_eq!(
+            cache.get(&key).unwrap().normalized_sample_values(2.0),
+            vec![0.5, 0.125]
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stores), (2, 1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_rates_mirror_sim_result() {
+        let s = summary();
+        assert_eq!(s.miss_rate(), 10.0 / 40.0);
+        assert!(!s.is_miss_free());
+        let clean = TrialSummary {
+            missed: 0,
+            ..summary()
+        };
+        assert!(clean.is_miss_free());
+        let undecided = TrialSummary {
+            completed_in_time: 0,
+            missed: 0,
+            ..summary()
+        };
+        assert_eq!(undecided.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn poisoned_and_truncated_entries_are_rejected() {
+        let dir = scratch_dir("poison");
+        let cache = SweepCache::new(&dir).unwrap();
+        let key = TrialKey::new(&PaperScenario::new(0.4, 500.0), PolicyKind::EaDvfs, 0);
+        cache.put(&key, &summary());
+        let path = dir.join(format!("{:016x}.json", key.fingerprint()));
+
+        // Truncate: reject.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert_eq!(cache.get(&key), None, "truncated entry must be rejected");
+
+        // Valid JSON under a foreign key: reject.
+        let foreign = CacheEntry {
+            key: "v1|something-else|edf|9".to_owned(),
+            summary: summary(),
+        };
+        std::fs::write(&path, serde_json::to_string(&foreign).unwrap()).unwrap();
+        assert_eq!(cache.get(&key), None, "foreign key must be rejected");
+
+        // Not JSON at all: reject.
+        std::fs::write(&path, b"{ not json").unwrap();
+        assert_eq!(cache.get(&key), None);
+
+        assert_eq!(cache.stats().rejects, 3);
+
+        // Recompute-and-store heals the entry.
+        cache.put(&key, &summary());
+        assert_eq!(cache.get(&key), Some(summary()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn from_env_is_read_under_the_shared_lock() {
+        use crate::test_support::with_env;
+        let dir = scratch_dir("fromenv");
+        let dir_str = dir.to_str().unwrap().to_owned();
+        with_env(&[(SWEEP_CACHE_ENV, None)], || {
+            assert!(SweepCache::from_env().is_none());
+        });
+        with_env(&[(SWEEP_CACHE_ENV, Some("0"))], || {
+            assert!(SweepCache::from_env().is_none());
+        });
+        with_env(&[(SWEEP_CACHE_ENV, Some(""))], || {
+            assert!(SweepCache::from_env().is_none());
+        });
+        with_env(&[(SWEEP_CACHE_ENV, Some(dir_str.as_str()))], || {
+            let cache = SweepCache::from_env().expect("explicit dir enables the cache");
+            assert_eq!(cache.dir(), dir.as_path());
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,9 +1,13 @@
 //! Table 1: minimum storage capacity for a zero deadline-miss rate.
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
-use crate::parallel::parallel_map;
-use crate::scenario::{PaperScenario, PolicyKind, TrialPrefab};
+use super::SweepExecStats;
+use crate::cache::{SweepCache, TrialSummary};
+use crate::parallel::parallel_map_with;
+use crate::scenario::{PaperScenario, PolicyKind, SimPool, TrialPrefab};
 
 /// One utilization row of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -44,20 +48,83 @@ pub fn min_zero_miss_capacity(
     max_capacity: f64,
     rel_tol: f64,
 ) -> f64 {
+    let cache = SweepCache::from_env();
+    min_zero_miss_capacity_cached(
+        cache.as_ref(),
+        policy,
+        utilization,
+        trials,
+        threads,
+        max_capacity,
+        rel_tol,
+    )
+    .0
+}
+
+/// [`min_zero_miss_capacity`] with an explicit sweep cache and execution
+/// accounting.
+///
+/// The search replays the same seeds at many capacities, and — because
+/// both the exponential phase and the bisection phase are deterministic
+/// functions of earlier outcomes — a re-run probes exactly the same
+/// capacity sequence. With a warm cache every probe is answered from
+/// disk: no prefab is built (they materialize lazily, on the first seed
+/// that actually simulates) and no trial runs.
+///
+/// # Panics
+///
+/// Panics if `trials` or `threads` is zero, or tolerances are
+/// non-positive.
+pub fn min_zero_miss_capacity_cached(
+    cache: Option<&SweepCache>,
+    policy: PolicyKind,
+    utilization: f64,
+    trials: usize,
+    threads: usize,
+    max_capacity: f64,
+    rel_tol: f64,
+) -> (f64, SweepExecStats) {
     assert!(trials > 0, "need at least one trial");
     assert!(rel_tol > 0.0, "tolerance must be positive");
-    // The search probes many capacities over the same seeds; the
-    // prefabs are capacity-independent, so build them once up front.
-    let prefabs: Vec<TrialPrefab> = parallel_map(0..trials as u64, threads, |seed| {
-        PaperScenario::new(utilization, 100.0).prefab(seed)
-    });
-    let miss_free = |capacity: f64| -> bool {
-        let rates = parallel_map(0..trials, threads, |seed| {
-            PaperScenario::new(utilization, capacity)
-                .run_prefab(policy, &prefabs[seed])
-                .missed()
-        });
-        rates.into_iter().all(|missed| missed == 0)
+    // The prefabs are capacity-independent and shared across every
+    // probe, but built lazily so cache-answered seeds never pay for
+    // them. `OnceLock` makes the lazy init safe from worker threads.
+    let base = PaperScenario::new(utilization, 100.0);
+    let prefabs: Vec<OnceLock<TrialPrefab>> = (0..trials).map(|_| OnceLock::new()).collect();
+    let mut stats = SweepExecStats::default();
+    let mut miss_free = |capacity: f64| -> bool {
+        let scenario = PaperScenario::new(utilization, capacity);
+        let (outcomes, pools) = parallel_map_with(
+            0..trials as u64,
+            threads,
+            |_| SimPool::new(),
+            |pool, seed| {
+                if let Some(c) = cache {
+                    if let Some(summary) = c.get(&scenario.trial_key(policy, seed)) {
+                        return (summary.is_miss_free(), false);
+                    }
+                }
+                let prefab = prefabs[seed as usize].get_or_init(|| base.prefab(seed));
+                let summary = TrialSummary::of(&scenario.run_prefab_in(pool, policy, prefab));
+                if let Some(c) = cache {
+                    c.put(&scenario.trial_key(policy, seed), &summary);
+                }
+                (summary.is_miss_free(), true)
+            },
+        );
+        for pool in &pools {
+            stats.merge_pool(pool.stats());
+        }
+        let mut all_free = true;
+        for (free, simulated) in outcomes {
+            all_free &= free;
+            if simulated {
+                stats.simulated += 1;
+            } else {
+                stats.cached += 1;
+            }
+        }
+        all_free
     };
     // Exponential search for an upper bound.
     let mut lo = 0.0_f64;
@@ -66,7 +133,7 @@ pub fn min_zero_miss_capacity(
         lo = hi;
         hi *= 2.0;
         if hi > max_capacity {
-            return f64::INFINITY;
+            return (f64::INFINITY, stats);
         }
     }
     // Bisection down to the relative tolerance.
@@ -78,7 +145,7 @@ pub fn min_zero_miss_capacity(
             lo = mid;
         }
     }
-    hi
+    (hi, stats)
 }
 
 /// Reproduces Table 1: `C_min,LSA / C_min,EA-DVFS` for each utilization.

@@ -2,8 +2,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::parallel::parallel_map;
-use crate::scenario::{PaperScenario, PolicyKind, TrialPrefab};
+use super::SweepExecStats;
+use crate::cache::{SweepCache, TrialSummary};
+use crate::parallel::{parallel_map, parallel_map_with};
+use crate::scenario::{PaperScenario, PolicyKind, SimPool, TrialPrefab};
 
 /// One capacity point of a miss-rate sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -54,6 +56,10 @@ pub(crate) fn sweep_capacities() -> Vec<f64> {
 
 /// Reproduces Fig. 8/9 for the given utilization.
 ///
+/// Cache-gated by the `HARVEST_SWEEP_CACHE` environment variable (see
+/// [`crate::cache`]); use [`miss_rate_figure_cached`] to pass a cache
+/// explicitly.
+///
 /// # Panics
 ///
 /// Panics if `trials` or `threads` is zero.
@@ -63,15 +69,33 @@ pub fn miss_rate_figure(
     trials: usize,
     threads: usize,
 ) -> MissRateFigure {
+    let cache = SweepCache::from_env();
+    miss_rate_figure_cached(cache.as_ref(), utilization, policies, trials, threads).0
+}
+
+/// [`miss_rate_figure`] with an explicit sweep cache and execution
+/// accounting.
+///
+/// Runs in three phases: **probe** every grid cell against the cache
+/// (no prefab is built for a cell the cache answers, so a fully warm
+/// re-run does no simulation work at all), **build** trial prefabs only
+/// for the seeds that still need simulating, then **run** the pending
+/// cells through per-worker pooled contexts and write their summaries
+/// back to the cache.
+///
+/// # Panics
+///
+/// Panics if `trials` or `threads` is zero.
+pub fn miss_rate_figure_cached(
+    cache: Option<&SweepCache>,
+    utilization: f64,
+    policies: &[PolicyKind],
+    trials: usize,
+    threads: usize,
+) -> (MissRateFigure, SweepExecStats) {
     assert!(trials > 0, "need at least one trial");
     let capacities = sweep_capacities();
     let max_capacity = capacities.last().copied().expect("non-empty sweep");
-    // A trial's solar realization and task set depend on the seed but
-    // not the capacity or policy, so each prefab is built once and
-    // shared across the whole capacities × policies grid.
-    let prefabs: Vec<TrialPrefab> = parallel_map(0..trials as u64, threads, |seed| {
-        PaperScenario::new(utilization, max_capacity).prefab(seed)
-    });
     let jobs: Vec<(usize, f64, PolicyKind, u64)> = capacities
         .iter()
         .enumerate()
@@ -81,11 +105,68 @@ pub fn miss_rate_figure(
                 .flat_map(move |&p| (0..trials as u64).map(move |s| (ci, c, p, s)))
         })
         .collect();
-    let rates = parallel_map(jobs.clone(), threads, |(_, capacity, policy, seed)| {
-        PaperScenario::new(utilization, capacity)
-            .run_prefab(policy, &prefabs[seed as usize])
-            .miss_rate()
+
+    // Probe: resolve every cell the cache already holds.
+    let mut summaries: Vec<Option<TrialSummary>> = match cache {
+        Some(c) => jobs
+            .iter()
+            .map(|&(_, capacity, policy, seed)| {
+                c.get(&PaperScenario::new(utilization, capacity).trial_key(policy, seed))
+            })
+            .collect(),
+        None => vec![None; jobs.len()],
+    };
+    let pending: Vec<usize> = (0..jobs.len())
+        .filter(|&i| summaries[i].is_none())
+        .collect();
+    let mut stats = SweepExecStats {
+        simulated: pending.len() as u64,
+        cached: (jobs.len() - pending.len()) as u64,
+        ..SweepExecStats::default()
+    };
+
+    // Build: a trial's solar realization and task set depend on the
+    // seed but not the capacity or policy, so each needed prefab is
+    // built once and shared across the whole capacities × policies
+    // grid — and only for seeds with at least one uncached cell.
+    let mut needed: Vec<u64> = pending.iter().map(|&i| jobs[i].3).collect();
+    needed.sort_unstable();
+    needed.dedup();
+    let built: Vec<TrialPrefab> = parallel_map(needed.clone(), threads, |seed| {
+        PaperScenario::new(utilization, max_capacity).prefab(seed)
     });
+    let mut prefabs: Vec<Option<TrialPrefab>> = vec![None; trials];
+    for (seed, prefab) in needed.into_iter().zip(built) {
+        prefabs[seed as usize] = Some(prefab);
+    }
+
+    // Run: pending cells only, each worker replaying its share through
+    // one pooled context.
+    let pending_jobs: Vec<(usize, f64, PolicyKind, u64)> =
+        pending.iter().map(|&i| jobs[i]).collect();
+    let (computed, pools) = parallel_map_with(
+        pending_jobs,
+        threads,
+        |_| SimPool::new(),
+        |pool, (_, capacity, policy, seed)| {
+            let scenario = PaperScenario::new(utilization, capacity);
+            let prefab = prefabs[seed as usize]
+                .as_ref()
+                .expect("prefab built for every pending seed");
+            let summary = TrialSummary::of(&scenario.run_prefab_in(pool, policy, prefab));
+            if let Some(c) = cache {
+                c.put(&scenario.trial_key(policy, seed), &summary);
+            }
+            summary
+        },
+    );
+    for pool in &pools {
+        stats.merge_pool(pool.stats());
+    }
+    for (&i, summary) in pending.iter().zip(computed) {
+        summaries[i] = Some(summary);
+    }
+
     let mut rows: Vec<MissRateRow> = capacities
         .iter()
         .map(|&c| MissRateRow {
@@ -94,19 +175,21 @@ pub fn miss_rate_figure(
             miss_rates: vec![0.0; policies.len()],
         })
         .collect();
-    for ((ci, _, policy, _), rate) in jobs.into_iter().zip(rates) {
+    for ((ci, _, policy, _), summary) in jobs.into_iter().zip(summaries) {
         let pi = policies
             .iter()
             .position(|&p| p == policy)
             .expect("policy in list");
+        let rate = summary.expect("every cell resolved").miss_rate();
         rows[ci].miss_rates[pi] += rate / trials as f64;
     }
-    MissRateFigure {
+    let figure = MissRateFigure {
         utilization,
         policies: policies.to_vec(),
         rows,
         trials,
-    }
+    };
+    (figure, stats)
 }
 
 #[cfg(test)]

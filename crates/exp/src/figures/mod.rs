@@ -16,11 +16,51 @@ mod remaining_energy;
 mod source;
 
 pub use min_capacity::{
-    min_capacity_table, min_zero_miss_capacity, MinCapacityRow, MinCapacityTable,
+    min_capacity_table, min_zero_miss_capacity, min_zero_miss_capacity_cached, MinCapacityRow,
+    MinCapacityTable,
 };
-pub use miss_rate::{miss_rate_figure, MissRateFigure, MissRateRow};
-pub use remaining_energy::{remaining_energy_figure, RemainingEnergyFigure};
+pub use miss_rate::{miss_rate_figure, miss_rate_figure_cached, MissRateFigure, MissRateRow};
+pub use remaining_energy::{
+    remaining_energy_figure, remaining_energy_figure_cached, RemainingEnergyFigure,
+};
 pub use source::{source_figure, SourceFigure};
+
+use harvest_core::system::PoolStats;
+
+/// How a cache-aware sweep executed: which cells were actually
+/// simulated versus answered by a verified cache hit, and how well the
+/// per-worker pooled run contexts were reused. Returned by the
+/// `*_cached` figure variants so callers (the `exp sweep` smoke command,
+/// benchmarks, CI) can assert e.g. that a warm re-run simulated zero
+/// trials.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepExecStats {
+    /// Cells simulated this run.
+    pub simulated: u64,
+    /// Cells answered from the sweep cache.
+    pub cached: u64,
+    /// Pool reuse counters aggregated across all workers: total pooled
+    /// runs, and the maximum retained queue capacities.
+    pub pool: PoolStats,
+}
+
+impl SweepExecStats {
+    /// Folds one worker pool's counters into the aggregate.
+    pub fn merge_pool(&mut self, p: PoolStats) {
+        self.pool.runs += p.runs;
+        self.pool.event_slab_high_water =
+            self.pool.event_slab_high_water.max(p.event_slab_high_water);
+        self.pool.ready_high_water = self.pool.ready_high_water.max(p.ready_high_water);
+    }
+
+    /// Folds another sweep's stats into this one (pool high-water marks
+    /// take the max, counts add).
+    pub fn merge(&mut self, other: &SweepExecStats) {
+        self.simulated += other.simulated;
+        self.cached += other.cached;
+        self.merge_pool(other.pool);
+    }
+}
 
 /// The storage capacities the paper sweeps for the remaining-energy
 /// curves (§5.2).

@@ -5,12 +5,16 @@
 //! energy by its capacity; average all normalized curves with equal
 //! weight.
 
+use std::sync::OnceLock;
+
 use harvest_sim::stats::SampledSeries;
 use harvest_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-use crate::parallel::parallel_map;
-use crate::scenario::{PaperScenario, PolicyKind, TrialPrefab};
+use super::SweepExecStats;
+use crate::cache::{SweepCache, TrialSummary};
+use crate::parallel::parallel_map_with;
+use crate::scenario::{PaperScenario, PolicyKind, SimPool, TrialPrefab};
 
 /// Data behind Figures 6 (U = 0.4) and 7 (U = 0.8).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -64,6 +68,37 @@ pub fn remaining_energy_figure(
     threads: usize,
     sample_interval_units: i64,
 ) -> RemainingEnergyFigure {
+    let cache = SweepCache::from_env();
+    remaining_energy_figure_cached(
+        cache.as_ref(),
+        utilization,
+        policies,
+        trials,
+        threads,
+        sample_interval_units,
+    )
+    .0
+}
+
+/// [`remaining_energy_figure`] with an explicit sweep cache and
+/// execution accounting.
+///
+/// Cached summaries carry the raw sampled levels as IEEE-754 bit
+/// patterns, so a curve rebuilt from the cache is bit-identical to one
+/// rebuilt from fresh simulations. Prefabs materialize lazily — a fully
+/// warm re-run builds none.
+///
+/// # Panics
+///
+/// Panics if `trials` or `threads` is zero.
+pub fn remaining_energy_figure_cached(
+    cache: Option<&SweepCache>,
+    utilization: f64,
+    policies: &[PolicyKind],
+    trials: usize,
+    threads: usize,
+    sample_interval_units: i64,
+) -> (RemainingEnergyFigure, SweepExecStats) {
     assert!(trials > 0, "need at least one trial");
     let capacities = super::PAPER_CAPACITIES.to_vec();
     let horizon_units = 10_000;
@@ -72,10 +107,11 @@ pub fn remaining_energy_figure(
     let grid_step = SimDuration::from_whole_units(sample_interval_units);
 
     // Each seed's solar realization and task set are shared across the
-    // whole capacities × policies grid.
-    let prefabs: Vec<TrialPrefab> = parallel_map(0..trials as u64, threads, |seed| {
-        PaperScenario::new(utilization, capacities[0]).prefab(seed)
-    });
+    // whole capacities × policies grid, built lazily on the first cell
+    // the cache cannot answer.
+    let prefabs: Vec<OnceLock<TrialPrefab>> = (0..trials).map(|_| OnceLock::new()).collect();
+    let base = PaperScenario::new(utilization, capacities[0]);
+    let mut stats = SweepExecStats::default();
     let mut series = Vec::new();
     let mut per_capacity = vec![vec![0.0; policies.len()]; capacities.len()];
     for (pi, &policy) in policies.iter().enumerate() {
@@ -85,26 +121,43 @@ pub fn remaining_energy_figure(
             .enumerate()
             .flat_map(|(ci, &c)| (0..trials as u64).map(move |s| (ci, c, s)))
             .collect();
-        let runs = parallel_map(jobs, threads, |(ci, capacity, seed)| {
-            let scenario =
-                PaperScenario::new(utilization, capacity).with_sampling(sample_interval_units);
-            let result = scenario.run_prefab(policy, &prefabs[seed as usize]);
-            let samples: Vec<f64> = result
-                .normalized_samples(capacity)
-                .into_iter()
-                .map(|(_, v)| v)
-                .collect();
-            (ci, samples)
-        });
+        let (runs, pools) = parallel_map_with(
+            jobs,
+            threads,
+            |_| SimPool::new(),
+            |pool, (ci, capacity, seed)| {
+                let scenario =
+                    PaperScenario::new(utilization, capacity).with_sampling(sample_interval_units);
+                if let Some(c) = cache {
+                    if let Some(summary) = c.get(&scenario.trial_key(policy, seed)) {
+                        return (ci, summary.normalized_sample_values(capacity), false);
+                    }
+                }
+                let prefab = prefabs[seed as usize].get_or_init(|| base.prefab(seed));
+                let summary = TrialSummary::of(&scenario.run_prefab_in(pool, policy, prefab));
+                if let Some(c) = cache {
+                    c.put(&scenario.trial_key(policy, seed), &summary);
+                }
+                (ci, summary.normalized_sample_values(capacity), true)
+            },
+        );
+        for pool in &pools {
+            stats.merge_pool(pool.stats());
+        }
         let mut acc = SampledSeries::new(grid_start, grid_step, points);
-        for (ci, samples) in &runs {
+        for (ci, samples, simulated) in &runs {
+            if *simulated {
+                stats.simulated += 1;
+            } else {
+                stats.cached += 1;
+            }
             acc.accumulate(samples);
             let run_mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
             per_capacity[*ci][pi] += run_mean / trials as f64;
         }
         series.push((policy, acc.mean_values()));
     }
-    RemainingEnergyFigure {
+    let figure = RemainingEnergyFigure {
         utilization,
         times: (0..points)
             .map(|k| (k as i64 * sample_interval_units) as f64)
@@ -113,7 +166,8 @@ pub fn remaining_energy_figure(
         trials,
         capacities,
         per_capacity,
-    }
+    };
+    (figure, stats)
 }
 
 #[cfg(test)]

@@ -30,12 +30,73 @@
 #![warn(missing_debug_implementations)]
 
 pub mod artifact;
+pub mod cache;
 pub mod cli;
 pub mod figures;
 pub mod parallel;
 pub mod record;
 pub mod report;
 pub mod scenario;
+
+/// Shared helpers for tests that mutate process-global state (currently
+/// environment variables). Exposed (doc-hidden) rather than
+/// `#[cfg(test)]` so the crate's integration tests and unit tests share
+/// one lock.
+#[doc(hidden)]
+pub mod test_support {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    static ENV_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+
+    /// Serializes every test that reads or writes process-global
+    /// environment variables (`HARVEST_THREADS`, `HARVEST_SWEEP_CACHE`,
+    /// …). `std::env::set_var` is process-wide, so unsynchronized tests
+    /// race; take this lock around *both* mutation and the code under
+    /// test. Poisoning is ignored: a panicked test must not cascade.
+    pub fn env_lock() -> MutexGuard<'static, ()> {
+        ENV_LOCK
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Runs `f` with each `(key, value)` pair applied (`None` removes
+    /// the variable), holding [`env_lock`] throughout, and restores the
+    /// prior values afterwards — also on panic, via a drop guard.
+    pub fn with_env<R>(pairs: &[(&str, Option<&str>)], f: impl FnOnce() -> R) -> R {
+        struct Restore {
+            saved: HashMap<String, Option<String>>,
+            _guard: MutexGuard<'static, ()>,
+        }
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                for (key, value) in &self.saved {
+                    match value {
+                        Some(v) => std::env::set_var(key, v),
+                        None => std::env::remove_var(key),
+                    }
+                }
+            }
+        }
+        let restore = Restore {
+            saved: pairs
+                .iter()
+                .map(|(k, _)| (k.to_string(), std::env::var(k).ok()))
+                .collect(),
+            _guard: env_lock(),
+        };
+        for (key, value) in pairs {
+            match value {
+                Some(v) => std::env::set_var(key, v),
+                None => std::env::remove_var(key),
+            }
+        }
+        let out = f();
+        drop(restore);
+        out
+    }
+}
 
 pub use figures::{min_capacity_table, miss_rate_figure, remaining_energy_figure, source_figure};
 pub use scenario::{PaperScenario, PolicyKind, PredictorKind};

@@ -1,23 +1,187 @@
-//! Tiny deterministic parallel-map over trial seeds.
+//! Deterministic sharded parallel-map over trial seeds.
 //!
-//! Work distribution is an atomic-counter work-stealing loop rather than
-//! fixed equal chunks: trial runtimes are heavily skewed (scarce-energy
-//! trials simulate far more scheduler events), so static chunking leaves
-//! threads idle while one worker drains a slow chunk. Each worker claims
-//! the next unclaimed index with a `fetch_add` and keeps its results in
-//! a private `(index, result)` buffer; the buffers are stitched back in
-//! input order after the scope joins. No locks anywhere on the work
-//! path — the single atomic counter is the only shared mutable state.
+//! Work distribution is **per-worker shards with chunked work-stealing**:
+//! the input is split into `threads` contiguous shards, each with its own
+//! atomic cursor, and worker `w` drains shard `w` in chunks of several
+//! items before rotating round-robin onto the other shards to steal what
+//! remains. Compared to the previous one-`fetch_add`-per-item shared
+//! counter this keeps a worker on one contiguous region (cache-friendly
+//! for prefab-derived inputs), amortizes the atomic over a chunk — which
+//! matters when the cells are small-grain sweep trials — and still
+//! tolerates the heavily skewed per-trial runtimes of scarce-energy
+//! cells: a worker whose shard drains early steals chunks from the slow
+//! ones instead of idling. Results are kept in private `(index, result)`
+//! buffers and stitched back in input order after the scope joins, so
+//! output order never depends on scheduling.
+//!
+//! The `*_with` variants additionally thread a per-worker state value
+//! (typically a pooled `harvest_core::RunContext`) through every call,
+//! so a worker executes its whole share of trials against one reusable
+//! simulation context.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Per-worker accounting from the `*_observed` map variants.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Items this worker executed.
+    pub items: u64,
+    /// Chunk claims this worker made (its own shard and stolen ones).
+    pub claims: u64,
+    /// Chunk claims satisfied from another worker's shard.
+    pub steals: u64,
+    /// Wall-clock nanoseconds spent inside the mapped function
+    /// (measured per claimed chunk, so a few items share one clock pair).
+    pub busy_ns: u64,
+    /// Wall-clock nanoseconds from worker start to worker exit.
+    pub wall_ns: u64,
+}
+
+impl WorkerStats {
+    /// Fraction of the worker's lifetime spent in the mapped function —
+    /// low utilization across workers means spawn/steal overhead or a
+    /// starved tail, not useful parallelism.
+    pub fn utilization(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / self.wall_ns as f64
+        }
+    }
+}
+
+/// What one worker thread hands back: its (index, result) buffer, its
+/// accounting, and its per-worker state.
+type WorkerBuffer<R, W> = (Vec<(usize, R)>, WorkerStats, W);
+
+/// Shard `s` of `n` items over `t` workers: the half-open index range
+/// `[s*n/t, (s+1)*n/t)` (balanced to within one item).
+fn shard_bounds(s: usize, n: usize, t: usize) -> (usize, usize) {
+    (s * n / t, (s + 1) * n / t)
+}
+
+/// Chunk size for cursor claims: large enough to amortize the atomic on
+/// small-grain cells, small enough that stealing can still rebalance a
+/// skewed tail.
+fn chunk_size(n: usize, t: usize) -> usize {
+    (n / (t * 32)).clamp(1, 64)
+}
+
+/// The sharded core all public variants compile down to. `observe`
+/// gates the per-chunk clock reads so the plain sweep path pays none.
+fn run_sharded<T, R, W, N, F>(
+    items: Vec<T>,
+    threads: usize,
+    init: N,
+    f: F,
+    observe: bool,
+) -> (Vec<R>, Vec<WorkerStats>, Vec<W>)
+where
+    T: Clone + Send + Sync,
+    R: Send,
+    W: Send,
+    N: Fn(usize) -> W + Sync,
+    F: Fn(&mut W, T) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    if items.is_empty() {
+        return (Vec::new(), Vec::new(), Vec::new());
+    }
+    let n = items.len();
+    let threads = threads.min(n);
+    if threads == 1 {
+        let start = observe.then(Instant::now);
+        let mut state = init(0);
+        let out: Vec<R> = items.into_iter().map(|x| f(&mut state, x)).collect();
+        let mut stats = WorkerStats {
+            items: out.len() as u64,
+            claims: 1,
+            ..WorkerStats::default()
+        };
+        if let Some(start) = start {
+            let wall = start.elapsed().as_nanos() as u64;
+            stats.busy_ns = wall;
+            stats.wall_ns = wall;
+        }
+        return (out, vec![stats], vec![state]);
+    }
+
+    let chunk = chunk_size(n, threads);
+    let cursors: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
+    let (f, init, items_ref, cursors_ref) = (&f, &init, &items[..], &cursors[..]);
+
+    let buffers: Vec<WorkerBuffer<R, W>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move || {
+                    let worker_start = observe.then(Instant::now);
+                    let mut state = init(w);
+                    let mut stats = WorkerStats::default();
+                    let mut out = Vec::with_capacity(n / threads + 1);
+                    for step in 0..threads {
+                        let shard = (w + step) % threads;
+                        let (lo, hi) = shard_bounds(shard, n, threads);
+                        loop {
+                            let off = cursors_ref[shard].fetch_add(chunk, Ordering::Relaxed);
+                            let begin = lo.saturating_add(off);
+                            if begin >= hi {
+                                break;
+                            }
+                            let end = (begin + chunk).min(hi);
+                            stats.claims += 1;
+                            if step > 0 {
+                                stats.steals += 1;
+                            }
+                            let t0 = observe.then(Instant::now);
+                            for (off, item) in items_ref[begin..end].iter().enumerate() {
+                                out.push((begin + off, f(&mut state, item.clone())));
+                            }
+                            stats.items += (end - begin) as u64;
+                            if let Some(t0) = t0 {
+                                stats.busy_ns += t0.elapsed().as_nanos() as u64;
+                            }
+                        }
+                    }
+                    if let Some(start) = worker_start {
+                        stats.wall_ns = start.elapsed().as_nanos() as u64;
+                    }
+                    (out, stats, state)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    });
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut stats = Vec::with_capacity(buffers.len());
+    let mut states = Vec::with_capacity(buffers.len());
+    for (buffer, worker, state) in buffers {
+        stats.push(worker);
+        states.push(state);
+        for (idx, result) in buffer {
+            debug_assert!(slots[idx].is_none(), "index claimed twice");
+            slots[idx] = Some(result);
+        }
+    }
+    let results = slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect();
+    (results, stats, states)
+}
 
 /// Applies `f` to every item, fanning work out over `threads` OS threads
 /// while preserving input order in the output.
 ///
 /// Results are deterministic: the mapping from item to result does not
-/// depend on scheduling, only the wall-clock does. Workers pull items
-/// one at a time from a shared atomic counter, so skewed per-item
-/// runtimes do not serialize behind a slow chunk. Items are read
+/// depend on scheduling, only the wall-clock does. Items are read
 /// through a shared slice and cloned on claim (`T: Clone + Sync`) —
 /// sweep items are small `Copy` tuples, so the clone is free and no
 /// per-item lock is needed to transfer ownership.
@@ -39,85 +203,53 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    assert!(threads > 0, "need at least one worker thread");
     let items: Vec<T> = items.into_iter().collect();
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let threads = threads.min(items.len());
-    if threads == 1 {
-        return items.into_iter().map(f).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let (f, items_ref, next_ref) = (&f, &items[..], &next);
-
-    let buffers: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(move || {
-                    // Pre-size for the fair share; stealing may tilt it.
-                    let mut out = Vec::with_capacity(items_ref.len() / threads + 1);
-                    loop {
-                        let idx = next_ref.fetch_add(1, Ordering::Relaxed);
-                        if idx >= items_ref.len() {
-                            break;
-                        }
-                        out.push((idx, f(items_ref[idx].clone())));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
-            })
-            .collect()
-    });
-
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    for (idx, result) in buffers.into_iter().flatten() {
-        debug_assert!(slots[idx].is_none(), "index claimed twice");
-        slots[idx] = Some(result);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index claimed exactly once"))
-        .collect()
+    let (out, _, _) = run_sharded(items, threads, |_| (), |(), x| f(x), false);
+    out
 }
 
-/// Per-worker accounting from [`parallel_map_observed`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct WorkerStats {
-    /// Items this worker claimed from the shared counter.
-    pub items: u64,
-    /// Wall-clock nanoseconds spent inside the mapped function.
-    pub busy_ns: u64,
-    /// Wall-clock nanoseconds from worker start to worker exit.
-    pub wall_ns: u64,
-}
-
-impl WorkerStats {
-    /// Fraction of the worker's lifetime spent in the mapped function —
-    /// low utilization across workers means spawn/steal overhead or a
-    /// starved tail, not useful parallelism.
-    pub fn utilization(&self) -> f64 {
-        if self.wall_ns == 0 {
-            0.0
-        } else {
-            self.busy_ns as f64 / self.wall_ns as f64
-        }
-    }
+/// [`parallel_map`] with a per-worker state value threaded through every
+/// call: `init(w)` builds worker `w`'s state once, and each mapped item
+/// gets `&mut` access to the state of whichever worker executes it.
+///
+/// This is the pooled-sweep entry point: `init` builds one
+/// `harvest_core::RunContext` per worker, and every trial in that
+/// worker's share reuses its queue and registry allocations. The mapping
+/// from item to result must not depend on the worker state for the
+/// output to stay deterministic (pooled contexts satisfy this: runs in
+/// a pooled context are bit-identical to fresh runs).
+///
+/// Returns the results in input order plus the final worker states (one
+/// per spawned worker), so callers can aggregate e.g. pool high-water
+/// marks. `init` is not called when `items` is empty.
+///
+/// # Panics
+///
+/// Propagates panics from `f` and panics if `threads == 0`.
+pub fn parallel_map_with<I, T, R, W, N, F>(
+    items: I,
+    threads: usize,
+    init: N,
+    f: F,
+) -> (Vec<R>, Vec<W>)
+where
+    I: IntoIterator<Item = T>,
+    T: Clone + Send + Sync,
+    R: Send,
+    W: Send,
+    N: Fn(usize) -> W + Sync,
+    F: Fn(&mut W, T) -> R + Sync,
+{
+    let items: Vec<T> = items.into_iter().collect();
+    let (out, _, states) = run_sharded(items, threads, init, f, false);
+    (out, states)
 }
 
 /// [`parallel_map`] plus per-worker accounting: how many items each
-/// worker claimed and how its wall-clock split between mapped work and
-/// overhead. A separate entry point (rather than a flag on
-/// [`parallel_map`]) so the sweep hot path never pays the two clock
-/// reads per item.
+/// worker executed, how many chunks it claimed and stole, and how its
+/// wall-clock split between mapped work and overhead. A separate entry
+/// point (rather than a flag on [`parallel_map`]) so the sweep hot path
+/// never pays the chunk clock reads.
 ///
 /// # Panics
 ///
@@ -133,72 +265,34 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    assert!(threads > 0, "need at least one worker thread");
     let items: Vec<T> = items.into_iter().collect();
-    if items.is_empty() {
-        return (Vec::new(), Vec::new());
-    }
-    let threads = threads.min(items.len());
-    if threads == 1 {
-        let start = std::time::Instant::now();
-        let out: Vec<R> = items.into_iter().map(&f).collect();
-        let wall = start.elapsed().as_nanos() as u64;
-        let stats = WorkerStats {
-            items: out.len() as u64,
-            busy_ns: wall,
-            wall_ns: wall,
-        };
-        return (out, vec![stats]);
-    }
+    let (out, stats, _) = run_sharded(items, threads, |_| (), |(), x| f(x), true);
+    (out, stats)
+}
 
-    let next = AtomicUsize::new(0);
-    let (f, items_ref, next_ref) = (&f, &items[..], &next);
-
-    let buffers: Vec<(Vec<(usize, R)>, WorkerStats)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(move || {
-                    let worker_start = std::time::Instant::now();
-                    let mut stats = WorkerStats::default();
-                    let mut out = Vec::with_capacity(items_ref.len() / threads + 1);
-                    loop {
-                        let idx = next_ref.fetch_add(1, Ordering::Relaxed);
-                        if idx >= items_ref.len() {
-                            break;
-                        }
-                        let t0 = std::time::Instant::now();
-                        out.push((idx, f(items_ref[idx].clone())));
-                        stats.busy_ns += t0.elapsed().as_nanos() as u64;
-                        stats.items += 1;
-                    }
-                    stats.wall_ns = worker_start.elapsed().as_nanos() as u64;
-                    (out, stats)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
-            })
-            .collect()
-    });
-
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let mut stats = Vec::with_capacity(buffers.len());
-    for (buffer, worker) in buffers {
-        stats.push(worker);
-        for (idx, result) in buffer {
-            debug_assert!(slots[idx].is_none(), "index claimed twice");
-            slots[idx] = Some(result);
-        }
-    }
-    let results = slots
-        .into_iter()
-        .map(|s| s.expect("every index claimed exactly once"))
-        .collect();
-    (results, stats)
+/// [`parallel_map_with`] plus the [`WorkerStats`] of
+/// [`parallel_map_observed`] — the figure drivers' pooled entry point
+/// when a run artifact is being recorded.
+///
+/// # Panics
+///
+/// Propagates panics from `f` and panics if `threads == 0`.
+pub fn parallel_map_with_observed<I, T, R, W, N, F>(
+    items: I,
+    threads: usize,
+    init: N,
+    f: F,
+) -> (Vec<R>, Vec<WorkerStats>, Vec<W>)
+where
+    I: IntoIterator<Item = T>,
+    T: Clone + Send + Sync,
+    R: Send,
+    W: Send,
+    N: Fn(usize) -> W + Sync,
+    F: Fn(&mut W, T) -> R + Sync,
+{
+    let items: Vec<T> = items.into_iter().collect();
+    run_sharded(items, threads, init, f, true)
 }
 
 /// A sensible default worker count.
@@ -206,15 +300,27 @@ where
 /// Resolution order:
 /// 1. The `HARVEST_THREADS` environment variable, when set to a positive
 ///    integer — an explicit override for benchmarking or oversubscribed
-///    machines.
-/// 2. Otherwise the machine's available parallelism, **capped at 16**:
-///    the experiment runs are short, and past 16 workers the spawn and
-///    synchronization overhead outweighs the extra cores.
+///    machines. The override is taken verbatim (no cap). A value that
+///    is zero or fails to parse is **ignored with a one-line warning on
+///    stderr** (printed once per process) rather than silently falling
+///    through.
+/// 2. Otherwise the machine's available parallelism — or 4 when it
+///    cannot be determined — **capped at 16**: the experiment runs are
+///    short, and past 16 workers the spawn and synchronization overhead
+///    outweighs the extra cores. The cap applies only to this fallback,
+///    never to an explicit override.
 pub fn default_threads() -> usize {
     if let Ok(raw) = std::env::var("HARVEST_THREADS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring HARVEST_THREADS={raw:?} \
+                         (expected a positive integer); using available parallelism"
+                    );
+                });
             }
         }
     }
@@ -226,6 +332,7 @@ pub fn default_threads() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_support::with_env;
     use std::time::Duration;
 
     #[test]
@@ -255,7 +362,7 @@ mod tests {
     #[test]
     fn skewed_runtimes_keep_input_order() {
         // Early items are slow, late items fast: under static chunking the
-        // first worker would finish last; work stealing must still place
+        // first worker would finish last; chunk stealing must still place
         // every result at its input index.
         let out = parallel_map(0..40u64, 4, |x| {
             if x < 4 {
@@ -309,6 +416,7 @@ mod tests {
         for s in &stats {
             assert!(s.wall_ns >= s.busy_ns || s.items == 0);
             assert!(s.utilization() >= 0.0 && s.utilization() <= 1.0);
+            assert!(s.claims >= s.steals);
         }
     }
 
@@ -323,19 +431,103 @@ mod tests {
     }
 
     #[test]
+    fn with_state_threads_one_state_per_worker() {
+        // Each worker counts the items it executed into its own state;
+        // the final states must account for every item exactly once and
+        // the output must stay in input order.
+        let (out, states) = parallel_map_with(
+            0..200u64,
+            4,
+            |w| (w, 0u64),
+            |state, x| {
+                state.1 += 1;
+                x + 1
+            },
+        );
+        assert_eq!(out, (1..=200).collect::<Vec<_>>());
+        assert_eq!(states.len(), 4);
+        assert_eq!(
+            states.iter().map(|s| s.0).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(states.iter().map(|s| s.1).sum::<u64>(), 200);
+    }
+
+    #[test]
+    fn with_state_single_thread_and_empty() {
+        let (out, states) = parallel_map_with(
+            0..5u32,
+            1,
+            |_| 0u32,
+            |acc, x| {
+                *acc += x;
+                x
+            },
+        );
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(states, vec![10]);
+        let (out, states): (Vec<u32>, Vec<u32>) =
+            parallel_map_with(Vec::<u32>::new(), 4, |_| 0u32, |_, x| x);
+        assert!(
+            out.is_empty() && states.is_empty(),
+            "init must not run on empty input"
+        );
+    }
+
+    #[test]
+    fn with_observed_returns_stats_and_states() {
+        let (out, stats, states) = parallel_map_with_observed(
+            0..64u64,
+            4,
+            |_| 0u64,
+            |acc, x| {
+                *acc += 1;
+                x
+            },
+        );
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        assert_eq!(stats.iter().map(|s| s.items).sum::<u64>(), 64);
+        assert_eq!(states.iter().sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn shard_bounds_partition_exactly() {
+        for n in [1usize, 2, 7, 64, 1000] {
+            for t in [1usize, 2, 3, 8, 16] {
+                let mut covered = 0;
+                for s in 0..t {
+                    let (lo, hi) = shard_bounds(s, n, t);
+                    assert_eq!(lo, covered, "shards must tile [0, n)");
+                    assert!(hi >= lo);
+                    covered = hi;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
     }
 
     #[test]
     fn harvest_threads_override() {
-        // Env mutation is process-global; run both checks in one test to
-        // avoid racing other tests on the variable.
-        std::env::set_var("HARVEST_THREADS", "3");
-        assert_eq!(default_threads(), 3);
-        std::env::set_var("HARVEST_THREADS", "not a number");
-        assert!(default_threads() >= 1);
-        std::env::remove_var("HARVEST_THREADS");
-        assert!(default_threads() >= 1);
+        // Env mutation is process-global: serialize through the shared
+        // env lock so no concurrent test observes a half-set variable.
+        with_env(&[("HARVEST_THREADS", Some("3"))], || {
+            assert_eq!(default_threads(), 3);
+        });
+        with_env(&[("HARVEST_THREADS", Some("not a number"))], || {
+            let n = default_threads();
+            assert!((1..=16).contains(&n), "garbage must fall back, got {n}");
+        });
+        with_env(&[("HARVEST_THREADS", Some("0"))], || {
+            let n = default_threads();
+            assert!((1..=16).contains(&n), "zero must fall back, got {n}");
+        });
+        with_env(&[("HARVEST_THREADS", None)], || {
+            assert!(default_threads() >= 1);
+        });
     }
 }

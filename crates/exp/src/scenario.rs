@@ -12,7 +12,7 @@ use harvest_core::policies::{
 };
 use harvest_core::result::SimResult;
 use harvest_core::scheduler::Scheduler;
-use harvest_core::system::simulate_shared;
+use harvest_core::system::{simulate_in, simulate_shared, PoolStats, RunContext};
 use harvest_cpu::{presets, CpuModel};
 use harvest_energy::predictor::{
     EnergyPredictor, EwmaSlotPredictor, MovingAveragePredictor, OraclePredictor,
@@ -66,6 +66,87 @@ impl PolicyKind {
             PolicyKind::EaDvfs => "ea-dvfs",
             PolicyKind::GreedyStretch => "greedy-stretch",
         }
+    }
+
+    /// Position in [`PolicyKind::ALL`]; indexes per-policy slots.
+    const fn index(self) -> usize {
+        match self {
+            PolicyKind::Edf => 0,
+            PolicyKind::Lsa => 1,
+            PolicyKind::EaDvfs => 2,
+            PolicyKind::GreedyStretch => 3,
+        }
+    }
+}
+
+/// A worker's reusable simulation state: one [`RunContext`] (event
+/// queue, ready queue, metrics registry) plus one lazily-built scheduler
+/// instance per policy kind.
+///
+/// A sweep worker owns one `SimPool` for its whole shard, so the
+/// steady-state cost of a trial is the simulation itself — no queue
+/// reallocation, no policy boxing. Pooled runs are bit-identical to
+/// fresh ones (schedulers are [`Scheduler::reset`] before every run;
+/// see the `pooled_parity` integration test).
+#[derive(Default)]
+pub struct SimPool {
+    ctx: RunContext,
+    policies: [Option<Box<dyn Scheduler>>; 4],
+}
+
+impl SimPool {
+    /// An empty pool; queues and schedulers materialize on first use.
+    pub fn new() -> Self {
+        SimPool::default()
+    }
+
+    /// Reuse counters of the underlying run context.
+    pub fn stats(&self) -> PoolStats {
+        self.ctx.stats()
+    }
+
+    /// Caps retained queue storage (useful between sweeps of very
+    /// different sizes; see [`RunContext::shrink_to`]).
+    pub fn shrink_to(&mut self, limit: usize) {
+        self.ctx.shrink_to(limit);
+    }
+
+    fn run(
+        &mut self,
+        scenario: &PaperScenario,
+        config: SystemConfig,
+        policy: PolicyKind,
+        prefab: &TrialPrefab,
+    ) -> SimResult {
+        let predictor = scenario.predictor.build_shared(&prefab.profile);
+        let sched = self.policies[policy.index()]
+            .get_or_insert_with(|| policy.build())
+            .as_mut();
+        simulate_in(
+            &mut self.ctx,
+            config,
+            Arc::clone(&prefab.tasks),
+            Arc::clone(&prefab.profile),
+            sched,
+            predictor,
+        )
+    }
+}
+
+impl std::fmt::Debug for SimPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimPool")
+            .field("stats", &self.ctx.stats())
+            .field(
+                "policies",
+                &self
+                    .policies
+                    .iter()
+                    .flatten()
+                    .map(|p| p.name().to_owned())
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
     }
 }
 
@@ -292,6 +373,48 @@ impl PaperScenario {
     /// task set instead of regenerating them.
     pub fn run_prefab(&self, policy: PolicyKind, prefab: &TrialPrefab) -> SimResult {
         self.run_prefab_config(self.config(), policy, prefab)
+    }
+
+    /// [`run_prefab`](Self::run_prefab) through a worker's [`SimPool`]:
+    /// reuses the pool's queues, metrics registry, and scheduler
+    /// instance instead of allocating per run. Bit-identical to
+    /// [`run_prefab`](Self::run_prefab).
+    pub fn run_prefab_in(
+        &self,
+        pool: &mut SimPool,
+        policy: PolicyKind,
+        prefab: &TrialPrefab,
+    ) -> SimResult {
+        pool.run(self, self.config(), policy, prefab)
+    }
+
+    /// The content-address of one of this scenario's trials (see
+    /// [`crate::cache`]).
+    pub fn trial_key(&self, policy: PolicyKind, seed: u64) -> crate::cache::TrialKey {
+        crate::cache::TrialKey::new(self, policy, seed)
+    }
+
+    /// Runs one trial through a worker's pool, consulting `cache`
+    /// first: a verified cache hit skips the simulation entirely, and a
+    /// miss is simulated pooled and written back.
+    pub fn run_summary(
+        &self,
+        pool: &mut SimPool,
+        cache: Option<&crate::cache::SweepCache>,
+        policy: PolicyKind,
+        prefab: &TrialPrefab,
+    ) -> crate::cache::TrialSummary {
+        let key = cache.map(|c| (c, self.trial_key(policy, prefab.seed)));
+        if let Some((c, key)) = &key {
+            if let Some(summary) = c.get(key) {
+                return summary;
+            }
+        }
+        let summary = crate::cache::TrialSummary::of(&self.run_prefab_in(pool, policy, prefab));
+        if let Some((c, key)) = &key {
+            c.put(key, &summary);
+        }
+        summary
     }
 
     /// [`run_prefab`](Self::run_prefab) with full observability — trace,

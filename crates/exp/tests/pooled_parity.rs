@@ -1,0 +1,84 @@
+//! Pooled-execution parity: trials replayed through a worker's
+//! [`SimPool`] must be bit-identical to fresh [`run_prefab`] runs, for
+//! every policy and **regardless of the order** trials pass through the
+//! pool — a pooled context must carry nothing from one run into the
+//! next.
+//!
+//! [`SimPool`]: harvest_exp::scenario::SimPool
+//! [`run_prefab`]: harvest_exp::scenario::PaperScenario::run_prefab
+
+use harvest_exp::scenario::{PaperScenario, PolicyKind, SimPool};
+use proptest::prelude::*;
+
+/// splitmix64: one `u64` of proptest entropy drives the whole shuffle.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A Fisher–Yates permutation of `0..n` seeded by `seed`.
+fn shuffled(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (splitmix64(&mut seed) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+fn scenario_at(capacity: f64) -> PaperScenario {
+    // A shortened horizon keeps each case fast without changing what is
+    // exercised: queue reuse, scheduler reset, metrics reset.
+    let mut s = PaperScenario::new(0.4, capacity);
+    s.horizon_units = 1_500;
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Every (policy × capacity) cell, replayed through one shared pool
+    /// in a random order, equals its fresh run — full `SimResult`
+    /// equality, which covers job records, energy accounting, event
+    /// counts, and sampled levels bit for bit.
+    #[test]
+    fn pooled_runs_match_fresh_in_any_order(
+        perm_seed in any::<u64>(),
+        trial_seed in any::<u64>(),
+    ) {
+        let trial_seed = trial_seed % 4;
+        let policies = [PolicyKind::Lsa, PolicyKind::EaDvfs, PolicyKind::GreedyStretch];
+        let capacities = [150.0, 600.0];
+        let prefab = scenario_at(capacities[0]).prefab(trial_seed);
+
+        let mut cells = Vec::new();
+        for &policy in &policies {
+            for &capacity in &capacities {
+                cells.push((policy, capacity));
+            }
+        }
+        let fresh: Vec<_> = cells
+            .iter()
+            .map(|&(policy, capacity)| scenario_at(capacity).run_prefab(policy, &prefab))
+            .collect();
+
+        let order = shuffled(cells.len(), perm_seed);
+        let mut pool = SimPool::new();
+        for &i in &order {
+            let (policy, capacity) = cells[i];
+            let pooled = scenario_at(capacity).run_prefab_in(&mut pool, policy, &prefab);
+            prop_assert!(
+                pooled == fresh[i],
+                "pooled run differs from fresh for {:?} at capacity {} (position {} of shuffle)",
+                policy,
+                capacity,
+                i
+            );
+        }
+        prop_assert_eq!(pool.stats().runs, cells.len() as u64);
+        prop_assert!(pool.stats().event_slab_high_water > 0);
+    }
+}

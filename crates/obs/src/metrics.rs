@@ -275,6 +275,16 @@ impl MetricsRegistry {
         self.entries.is_empty()
     }
 
+    /// Drops every registered metric while keeping the registry's
+    /// backing storage, so a pooled run context can publish a fresh
+    /// run's metrics into a reused registry. A snapshot taken after
+    /// `reset` + republication is identical to one from a brand-new
+    /// registry (entries are removed, not zeroed, so no stale names
+    /// from a previous policy's run linger).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+    }
+
     /// Merge a pre-accumulated histogram under `name`. Hot loops keep a
     /// [`Log2Histogram`] inline and hand it over once at publication
     /// time instead of paying a name lookup per observation.
@@ -501,6 +511,22 @@ mod tests {
             Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 2),
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn reset_republication_matches_fresh_registry() {
+        let mut pooled = MetricsRegistry::new();
+        pooled.counter("stale.policy_metric", 9);
+        pooled.observe("stale.hist", 4.0);
+        pooled.reset();
+        assert!(pooled.is_empty());
+        pooled.counter("a", 1);
+        pooled.gauge("b", 2.0);
+
+        let mut fresh = MetricsRegistry::new();
+        fresh.counter("a", 1);
+        fresh.gauge("b", 2.0);
+        assert_eq!(pooled.snapshot(), fresh.snapshot());
     }
 
     #[test]

@@ -125,9 +125,26 @@ pub struct Engine<M: Model> {
 impl<M: Model> Engine<M> {
     /// Creates an engine at time zero with an empty queue.
     pub fn new(model: M) -> Self {
+        Engine::with_queue(model, EventQueue::new())
+    }
+
+    /// Creates an engine at time zero around a caller-supplied queue —
+    /// the pooling entry point: a [`reset`](EventQueue::reset) queue
+    /// keeps its slab and bucket allocations from previous runs, and a
+    /// run on it is bit-identical to one on a fresh queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue still holds pending events or has already
+    /// advanced its clock; pass a fresh or freshly-reset queue.
+    pub fn with_queue(model: M, queue: EventQueue<M::Event>) -> Self {
+        assert!(
+            queue.is_empty() && queue.current_time().is_none(),
+            "engine requires a fresh or reset event queue"
+        );
         Engine {
             model,
-            queue: EventQueue::new(),
+            queue,
             now: SimTime::ZERO,
             handled: 0,
             profiler: None,
@@ -180,6 +197,12 @@ impl<M: Model> Engine<M> {
     /// Consumes the engine, returning the model.
     pub fn into_model(self) -> M {
         self.model
+    }
+
+    /// Consumes the engine, returning the model and the event queue so
+    /// a pool can reclaim the queue's allocations for the next run.
+    pub fn into_parts(self) -> (M, EventQueue<M::Event>) {
+        (self.model, self.queue)
     }
 
     /// Runs until the queue drains, the model requests a stop, or the next
@@ -328,6 +351,48 @@ mod tests {
         let dispatch = profile.get(PHASE_DISPATCH).expect("phase recorded");
         assert_eq!(dispatch.calls, 2);
         assert_eq!(e.queue_stats().popped, 2);
+    }
+
+    #[test]
+    fn with_queue_reuses_reset_queue_identically() {
+        let run = |queue| {
+            let mut e = Engine::with_queue(
+                Recorder {
+                    seen: vec![],
+                    stop_on: None,
+                },
+                queue,
+            );
+            e.schedule(t(2), 20);
+            e.schedule(t(1), 10);
+            e.schedule(t(1), 11);
+            e.run_until(t(100));
+            let stats = e.queue_stats();
+            let (model, mut queue) = e.into_parts();
+            queue.reset();
+            (model.seen, stats, queue)
+        };
+        let (fresh_seen, fresh_stats, queue) = run(EventQueue::new());
+        let (pooled_seen, pooled_stats, _) = run(queue);
+        assert_eq!(fresh_seen, pooled_seen);
+        let mut pooled_stats = pooled_stats;
+        pooled_stats.slab_capacity = fresh_stats.slab_capacity;
+        assert_eq!(fresh_stats, pooled_stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh or reset")]
+    fn with_queue_rejects_advanced_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1), 1u32);
+        q.pop();
+        let _ = Engine::with_queue(
+            Recorder {
+                seen: vec![],
+                stop_on: None,
+            },
+            q,
+        );
     }
 
     #[test]

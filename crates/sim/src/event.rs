@@ -279,6 +279,11 @@ pub struct QueueStats {
     pub cleared: u64,
     /// Events pending right now.
     pub pending: u64,
+    /// Current slab capacity in slots — how much pending-event storage
+    /// the queue retains across [`EventQueue::clear`] /
+    /// [`EventQueue::reset`]. Pooled sweeps read this as the pool's
+    /// high-water mark; [`EventQueue::shrink_to`] bounds it.
+    pub slab_capacity: u64,
     /// High-water mark of pending events (bucket occupancy peak).
     pub max_pending: u64,
     /// Multi-entry bucket drains (singleton refills are not counted —
@@ -570,11 +575,67 @@ impl<E: Copy> EventQueue<E> {
             cancelled: self.cancelled,
             cleared: self.cleared,
             pending,
+            slab_capacity: self.slots.capacity() as u64,
             max_pending: self.max_len as u64,
             drains: self.sorted_drains + self.scattered_drains,
             sorted_drains: self.sorted_drains,
             scattered_drains: self.scattered_drains,
         }
+    }
+
+    /// Number of slab slots the queue can hold without reallocating.
+    /// Capacity survives [`clear`](Self::clear) and
+    /// [`reset`](Self::reset), which is what makes pooled reuse
+    /// allocation-free; bound it with [`shrink_to`](Self::shrink_to).
+    pub fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+
+    /// Shrinks the retained storage toward `limit` slots: the slab, the
+    /// drain scratch, and the sorted side run all drop excess capacity
+    /// (never below their current lengths). A pool that absorbed one
+    /// pathologically large run calls this to stop that run's footprint
+    /// from being carried forever.
+    pub fn shrink_to(&mut self, limit: usize) {
+        self.slots.shrink_to(limit);
+        self.scratch.shrink_to(limit);
+        self.run.shrink_to(limit);
+        for b in &mut self.buckets {
+            b.rest.shrink_to(limit);
+        }
+    }
+
+    /// Restores the queue to its as-new logical state — empty, sequence
+    /// counter at zero, no time bound, statistics zeroed — while
+    /// keeping every allocation (slab, buckets, scratch, run). A run
+    /// executed on a reset queue is bit-identical to one executed on a
+    /// fresh queue: scheduling order, sequence tie-breaking, and
+    /// [`stats`](Self::stats) all replay exactly.
+    ///
+    /// This is the pooling primitive: [`clear`](Self::clear) only drops
+    /// pending events (the time bound keeps advancing, so a cleared
+    /// queue still rejects scheduling before the last popped instant),
+    /// while `reset` rewinds the clock for the next independent run.
+    pub fn reset(&mut self) {
+        self.top = Entry::EMPTY;
+        while let Some(b) = self.occupied.lowest() {
+            self.buckets[b].first = Entry::EMPTY;
+            self.buckets[b].rest.clear();
+            self.occupied.clear(b);
+        }
+        self.run.clear();
+        self.run_head = 0;
+        self.slots.clear();
+        self.free_head = NIL;
+        self.next_seq = 0;
+        self.last_popped = None;
+        self.bound = 0;
+        self.len = 0;
+        self.max_len = 0;
+        self.cancelled = 0;
+        self.cleared = 0;
+        self.sorted_drains = 0;
+        self.scattered_drains = 0;
     }
 
     /// Drops every pending event. Outstanding handles become stale.
@@ -1208,6 +1269,81 @@ mod tests {
         assert_eq!(s.drains, s.sorted_drains + s.scattered_drains);
         assert!(s.sorted_drains >= 1, "cache-sized buckets sort into runs");
         assert_eq!(s.popped, 512);
+    }
+
+    /// Drives a queue through a deterministic schedule/cancel/pop
+    /// workload and returns the full pop order.
+    fn exercise(q: &mut EventQueue<u64>) -> Vec<(SimTime, u64)> {
+        let mut out = Vec::new();
+        let ids: Vec<_> = (0..200u64)
+            .map(|i| q.schedule(t(((i * 2_654_435_761) % 977) as i64), i))
+            .collect();
+        for id in ids.iter().step_by(3) {
+            q.cancel(*id);
+        }
+        for _ in 0..50 {
+            out.extend(q.pop());
+        }
+        for i in 0..64u64 {
+            q.schedule(t(2000 + ((i * 37) % 61) as i64), 1000 + i);
+        }
+        while let Some(ev) = q.pop() {
+            out.push(ev);
+        }
+        out
+    }
+
+    #[test]
+    fn reset_replays_bit_identically_to_fresh() {
+        let mut fresh = EventQueue::new();
+        let baseline = exercise(&mut fresh);
+        let baseline_stats = fresh.stats();
+
+        let mut pooled = EventQueue::new();
+        let _ = exercise(&mut pooled);
+        let warm_capacity = pooled.capacity();
+        pooled.reset();
+        assert!(pooled.is_empty());
+        assert_eq!(pooled.current_time(), None, "reset rewinds the clock");
+        assert_eq!(
+            pooled.capacity(),
+            warm_capacity,
+            "reset must keep the slab allocation"
+        );
+        // Scheduling at t=0 after a reset must work (clear alone keeps
+        // the advanced time bound and would panic here).
+        pooled.schedule(t(0), 7);
+        assert_eq!(pooled.pop(), Some((t(0), 7)));
+        pooled.reset();
+        let replay = exercise(&mut pooled);
+        assert_eq!(replay, baseline, "pop order must replay exactly");
+        let mut replay_stats = pooled.stats();
+        // Capacity is the one stat allowed to differ (the pool keeps it).
+        replay_stats.slab_capacity = baseline_stats.slab_capacity;
+        assert_eq!(replay_stats, baseline_stats, "stats must replay exactly");
+    }
+
+    #[test]
+    fn capacity_and_shrink_to_bound_the_slab() {
+        let mut q = EventQueue::new();
+        for i in 0..1024u64 {
+            q.schedule(t(i as i64), i);
+        }
+        while q.pop().is_some() {}
+        assert!(q.capacity() >= 1024);
+        assert_eq!(q.stats().slab_capacity, q.capacity() as u64);
+        q.reset();
+        q.shrink_to(16);
+        assert!(q.capacity() <= 1024, "shrink_to must not grow");
+        // Shrinking never drops live entries.
+        let mut q = EventQueue::new();
+        for i in 0..32u64 {
+            q.schedule(t(i as i64), i);
+        }
+        q.shrink_to(0);
+        assert_eq!(q.len(), 32);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, (0..32).collect::<Vec<_>>());
     }
 
     #[test]

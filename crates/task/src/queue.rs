@@ -71,6 +71,29 @@ impl EdfQueue {
         self.heap.is_empty()
     }
 
+    /// Removes every job while keeping the heap and position-table
+    /// allocations, so a pooled simulation context can replay its next
+    /// run without reallocating. A cleared queue behaves exactly like a
+    /// fresh one (job ids restart densely from zero each run).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.pos.clear();
+    }
+
+    /// Number of jobs the heap can hold without reallocating. Retained
+    /// across [`clear`](Self::clear); bound it with
+    /// [`shrink_to`](Self::shrink_to).
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
+    /// Shrinks the retained heap and position-table storage toward
+    /// `limit` entries (never below their current lengths).
+    pub fn shrink_to(&mut self, limit: usize) {
+        self.heap.shrink_to(limit);
+        self.pos.shrink_to(limit);
+    }
+
     /// Inserts a job.
     ///
     /// # Panics
@@ -406,6 +429,27 @@ mod tests {
         q.push(job(0, 10, 1.5));
         q.push(job(1, 20, 2.5));
         assert_eq!(q.total_remaining_work(), 4.0);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_replays_like_fresh() {
+        let mut q = EdfQueue::new();
+        for i in 0..64u64 {
+            q.push(job(i, (64 - i) as i64, 1.0));
+        }
+        let warm = q.capacity();
+        assert!(warm >= 64);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), warm, "clear keeps the heap allocation");
+        assert!(!q.contains(JobId(3)), "cleared ids are absent");
+        // Ids restart from zero, exactly like a fresh queue.
+        q.push(job(0, 10, 1.0));
+        q.push(job(1, 5, 1.0));
+        assert_eq!(q.pop().unwrap().id(), JobId(1));
+        assert_eq!(q.pop().unwrap().id(), JobId(0));
+        q.shrink_to(4);
+        assert!(q.capacity() < warm || warm <= 4);
     }
 
     #[test]
