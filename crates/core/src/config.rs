@@ -2,8 +2,11 @@
 
 use harvest_cpu::CpuModel;
 use harvest_energy::storage::StorageSpec;
+use harvest_sim::engine::Watchdog;
 use harvest_sim::time::SimDuration;
 use serde::{Deserialize, Serialize};
+
+use crate::fault::FaultPlan;
 
 /// What happens to a job that reaches its deadline unfinished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -70,6 +73,14 @@ pub struct SystemConfig {
     /// [`SimResult::profile`](crate::result::SimResult::profile).
     /// Perturbs nothing but costs two clock reads per phase.
     pub profile: bool,
+    /// Deterministic fault injection for this run. `None` (or an empty
+    /// plan) takes the exact fault-free code path.
+    pub fault_plan: Option<FaultPlan>,
+    /// Abort budgets for stuck or runaway runs. `None` keeps the
+    /// infallible `simulate*` entry points panic-free; a set watchdog
+    /// requires the `try_simulate*` paths to surface the typed
+    /// [`SimError`](crate::result::SimError).
+    pub watchdog: Option<Watchdog>,
 }
 
 impl SystemConfig {
@@ -93,6 +104,8 @@ impl SystemConfig {
             collect_trace: false,
             collect_metrics: false,
             profile: false,
+            fault_plan: None,
+            watchdog: None,
         }
     }
 
@@ -158,6 +171,20 @@ impl SystemConfig {
         self.profile = true;
         self
     }
+
+    /// Attaches a deterministic fault plan. An empty plan is normalized
+    /// to `None` so fault-free runs stay on the exact fault-free path.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = (!plan.is_empty()).then_some(plan);
+        self
+    }
+
+    /// Arms the engine watchdog. An empty watchdog is normalized to
+    /// `None`.
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = (!watchdog.is_empty()).then_some(watchdog);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +227,18 @@ mod tests {
         assert!(c.collect_trace);
         assert!(c.collect_metrics);
         assert!(c.profile);
+    }
+
+    #[test]
+    fn empty_fault_plan_and_watchdog_normalize_to_none() {
+        let c = cfg()
+            .with_fault_plan(FaultPlan::default())
+            .with_watchdog(Watchdog::default());
+        assert_eq!(c.fault_plan, None);
+        assert_eq!(c.watchdog, None);
+
+        let armed = cfg().with_watchdog(Watchdog::with_max_events(5));
+        assert_eq!(armed.watchdog, Some(Watchdog::with_max_events(5)));
     }
 
     #[test]

@@ -65,6 +65,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod fault;
 pub mod policies;
 pub mod result;
 pub mod scheduler;
@@ -72,10 +73,14 @@ pub mod system;
 pub mod trace;
 
 pub use config::{MissPolicy, SystemConfig};
+pub use fault::{FaultPlan, LevelLockoutWindow};
 pub use policies::{
     EaDvfsScheduler, EdfScheduler, GreedyStretchScheduler, LazyScheduler, StaticSlowdownScheduler,
 };
-pub use result::{EnergyAccounting, JobOutcome, JobRecord, SimResult};
+pub use result::{EnergyAccounting, JobOutcome, JobRecord, SimError, SimResult};
 pub use scheduler::{Decision, SchedContext, Scheduler};
-pub use system::{simulate, simulate_in, simulate_shared, PoolStats, RunContext};
+pub use system::{
+    simulate, simulate_in, simulate_shared, try_simulate_in, try_simulate_shared, PoolStats,
+    RunContext,
+};
 pub use trace::TraceEvent;

@@ -7,6 +7,50 @@ use serde::{Deserialize, Serialize};
 
 use crate::trace::TraceEvent;
 
+/// Typed abort reasons for a simulation run.
+///
+/// Produced by the fallible entry points
+/// ([`try_simulate_shared`](crate::system::try_simulate_shared),
+/// [`try_simulate_in`](crate::system::try_simulate_in)) when the
+/// engine's [`Watchdog`](harvest_sim::engine::Watchdog) trips. The
+/// infallible `simulate*` paths never see these: a run without a
+/// watchdog cannot abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimError {
+    /// The trial exhausted its total event budget.
+    WatchdogEventBudget {
+        /// Simulation time at which the budget ran out.
+        at: SimTime,
+        /// Events handled when the watchdog fired.
+        events: u64,
+    },
+    /// The trial fired too many events at one instant without the clock
+    /// advancing (a livelocked model).
+    WatchdogNoProgress {
+        /// The stuck instant.
+        at: SimTime,
+        /// Events handled when the watchdog fired.
+        events: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::WatchdogEventBudget { at, events } => write!(
+                f,
+                "watchdog: event budget exhausted after {events} events at t={at}"
+            ),
+            SimError::WatchdogNoProgress { at, events } => write!(
+                f,
+                "watchdog: no progress (clock stuck at t={at} after {events} events)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// Final status of a released job.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum JobOutcome {

@@ -17,11 +17,12 @@
 //!   depletion; stale ones are filtered by a decision epoch;
 //! * `Sample` — storage-level sampling for the Fig. 6/7 curves.
 
-use harvest_energy::predictor::EnergyPredictor;
+use harvest_energy::fault::{apply_harvest_faults, harvest_factor_at};
+use harvest_energy::predictor::{EnergyPredictor, FaultyPredictor};
 use harvest_energy::storage::Storage;
 use harvest_obs::profile::PhaseProfiler;
 use harvest_obs::{Log2Histogram, MetricsRegistry, MetricsSink};
-use harvest_sim::engine::{Engine, Model, Scheduler as EngineCtx};
+use harvest_sim::engine::{Engine, Model, RunOutcome, Scheduler as EngineCtx, WatchdogKind};
 use harvest_sim::event::{EventQueue, QueueStats};
 use harvest_sim::piecewise::{Cursor, CursorStats, PiecewiseConstant};
 use harvest_sim::time::{SimDuration, SimTime};
@@ -30,11 +31,13 @@ use harvest_task::job::{Job, JobId};
 use harvest_task::queue::EdfQueue;
 use harvest_task::task::Task;
 use harvest_task::taskset::TaskSet;
+use serde::{Deserialize, Serialize};
 
 use std::sync::Arc;
 
 use crate::config::{MissPolicy, SystemConfig};
-use crate::result::{EnergyAccounting, JobOutcome, JobRecord, SimResult};
+use crate::fault::FaultPlan;
+use crate::result::{EnergyAccounting, JobOutcome, JobRecord, SimError, SimResult};
 use crate::scheduler::{Decision, SchedContext, Scheduler};
 use crate::trace::TraceEvent;
 
@@ -51,10 +54,19 @@ pub const PHASE_POLICY_DECIDE: &str = "policy.decide";
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SysEvent {
-    Arrival { task: usize },
-    DeadlineCheck { job: JobId },
-    Reevaluate { epoch: u64 },
+    Arrival {
+        task: usize,
+    },
+    DeadlineCheck {
+        job: JobId,
+    },
+    Reevaluate {
+        epoch: u64,
+    },
     Sample,
+    /// An injected fault window opens or closes; the model re-derives
+    /// the attenuation/lockout state and re-decides.
+    FaultEdge,
 }
 
 /// Where domain trace events go. Sweeps only need statistics, so the
@@ -100,6 +112,10 @@ struct ObsCounters {
     es_memo_misses: u64,
     /// Execution (re)starts per DVFS level.
     level_starts: Vec<u64>,
+    /// Injected harvest attenuation changes that fired.
+    fault_harvest_edges: u64,
+    /// Injected DVFS lockout toggles (per level transition).
+    fault_lockout_changes: u64,
     /// Lengths of policy-chosen idle waits, in time units.
     idle_wait: Log2Histogram,
 }
@@ -117,9 +133,20 @@ impl ObsCounters {
             es_memo_hits: 0,
             es_memo_misses: 0,
             level_starts: vec![0; level_count],
+            fault_harvest_edges: 0,
+            fault_lockout_changes: 0,
             idle_wait: Log2Histogram::new(),
         }
     }
+}
+
+/// Live fault-injection state carried by the model: the plan plus the
+/// attenuation factor in effect after the last handled edge (for
+/// change detection and trace emission).
+#[derive(Debug)]
+struct FaultRuntime {
+    plan: FaultPlan,
+    harvest_factor: f64,
 }
 
 struct SystemModel<P: Scheduler> {
@@ -158,6 +185,9 @@ struct SystemModel<P: Scheduler> {
     point_cursor: Cursor,
     cross_cursor: Cursor,
     obs: ObsCounters,
+    /// Injected-fault state; `None` on the fault-free path, which then
+    /// pays exactly one branch per event.
+    fault: Option<FaultRuntime>,
     /// Scoped phase timers for `energy.sync` / `policy.decide`; `None`
     /// unless the config enables profiling, so a plain run pays one
     /// branch per phase boundary and zero clock reads.
@@ -432,6 +462,47 @@ impl<P: Scheduler> SystemModel<P> {
         }
     }
 
+    /// Re-derives the injected state (harvest attenuation, lockout
+    /// mask) for instant `now`, traces every change, and reports
+    /// whether anything changed (the caller then re-decides).
+    fn apply_fault_state(&mut self, now: SimTime) -> bool {
+        let (new_factor, active, new_mask, old_factor) = match &self.fault {
+            Some(fr) => (
+                harvest_factor_at(&fr.plan.harvest, now),
+                fr.plan.harvest.iter().any(|w| w.contains(now)),
+                fr.plan.lockout_mask_at(now),
+                fr.harvest_factor,
+            ),
+            None => return false,
+        };
+        let mut changed = false;
+        if new_factor != old_factor {
+            self.obs.fault_harvest_edges += 1;
+            self.trace_event(now, || TraceEvent::HarvestFault {
+                factor: new_factor,
+                active,
+            });
+            if let Some(fr) = &mut self.fault {
+                fr.harvest_factor = new_factor;
+            }
+            changed = true;
+        }
+        let old_mask = self.config.cpu.locked_mask();
+        if new_mask != old_mask {
+            let diff = new_mask ^ old_mask;
+            for level in 0..self.config.cpu.level_count().min(64) {
+                if diff & (1 << level) != 0 {
+                    self.obs.fault_lockout_changes += 1;
+                    let locked = new_mask & (1 << level) != 0;
+                    self.trace_event(now, || TraceEvent::LevelLockout { level, locked });
+                }
+            }
+            self.config.cpu.set_locked_mask(new_mask);
+            changed = true;
+        }
+        changed
+    }
+
     fn stall(&mut self, now: SimTime, power: f64, ctx: &mut EngineCtx<'_, SysEvent>) {
         self.obs.stall_entries += 1;
         let spec = *self.storage.spec();
@@ -548,6 +619,8 @@ impl<P: Scheduler> SystemModel<P> {
 
         reg.counter("storage.clamp_empty_windows", self.obs.clamp_empty_windows);
         reg.counter("storage.clamp_full_windows", self.obs.clamp_full_windows);
+        reg.counter("fault.harvest_edges", self.obs.fault_harvest_edges);
+        reg.counter("fault.lockout_changes", self.obs.fault_lockout_changes);
         reg.gauge("energy.final_level", self.energy.final_level);
         reg.gauge("energy.deficit", self.energy.deficit);
 
@@ -591,6 +664,11 @@ impl<P: Scheduler> Model for SystemModel<P> {
                 self.samples.push((now, self.storage.level()));
                 if let Some(dt) = self.config.sample_interval {
                     ctx.schedule(now + dt, SysEvent::Sample);
+                }
+            }
+            SysEvent::FaultEdge => {
+                if self.apply_fault_state(now) {
+                    need_decide = true;
                 }
             }
         }
@@ -672,6 +750,21 @@ pub fn simulate_shared(
     policy: Box<dyn Scheduler>,
     predictor: Box<dyn EnergyPredictor>,
 ) -> SimResult {
+    try_simulate_shared(config, tasks, profile, policy, predictor)
+        .unwrap_or_else(|e| panic!("simulation aborted: {e} (use try_simulate_shared)"))
+}
+
+/// [`simulate_shared`] with typed aborts: a run whose
+/// [`Watchdog`](harvest_sim::engine::Watchdog) fires returns the
+/// corresponding [`SimError`] instead of panicking. Without a watchdog
+/// this never returns `Err`.
+pub fn try_simulate_shared(
+    config: SystemConfig,
+    tasks: Arc<TaskSet>,
+    profile: Arc<PiecewiseConstant>,
+    policy: Box<dyn Scheduler>,
+    predictor: Box<dyn EnergyPredictor>,
+) -> Result<SimResult, SimError> {
     let mut reg = MetricsRegistry::new();
     let (result, _events, _ready) = run_closed_loop(
         config,
@@ -688,7 +781,7 @@ pub fn simulate_shared(
 
 /// Retention statistics of one [`RunContext`], for sweep drivers that
 /// report pool reuse (e.g. per-worker rows in `exp inspect`).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PoolStats {
     /// Trials executed through this context.
     pub runs: u64,
@@ -726,6 +819,13 @@ impl RunContext {
         self.stats
     }
 
+    /// Cumulative event-queue statistics of the pooled queue, or `None`
+    /// while a run is on the stack or after a run panicked out of
+    /// [`simulate_in`] (the next run self-heals with a fresh queue).
+    pub fn queue_stats(&self) -> Option<QueueStats> {
+        self.events.as_ref().map(|q| q.stats())
+    }
+
     /// Bounds the pooled queues' retained storage (see
     /// [`EventQueue::shrink_to`] / [`EdfQueue::shrink_to`]). High-water
     /// marks in [`Self::stats`] are unaffected: they record the peak.
@@ -752,6 +852,21 @@ pub fn simulate_in(
     policy: &mut dyn Scheduler,
     predictor: Box<dyn EnergyPredictor>,
 ) -> SimResult {
+    try_simulate_in(ctx, config, tasks, profile, policy, predictor)
+        .unwrap_or_else(|e| panic!("simulation aborted: {e} (use try_simulate_in)"))
+}
+
+/// [`simulate_in`] with typed aborts: a watchdog-fired run returns its
+/// [`SimError`] — with the pooled queues already reclaimed and reset,
+/// so the context stays healthy for the worker's next trial.
+pub fn try_simulate_in(
+    ctx: &mut RunContext,
+    config: SystemConfig,
+    tasks: Arc<TaskSet>,
+    profile: Arc<PiecewiseConstant>,
+    policy: &mut dyn Scheduler,
+    predictor: Box<dyn EnergyPredictor>,
+) -> Result<SimResult, SimError> {
     policy.reset();
     let events = ctx.events.take().unwrap_or_default();
     let ready = ctx.ready.take().unwrap_or_default();
@@ -784,7 +899,7 @@ pub fn simulate_in(
 /// can reclaim the allocations.
 #[allow(clippy::too_many_arguments)]
 fn run_closed_loop<P: Scheduler>(
-    config: SystemConfig,
+    mut config: SystemConfig,
     tasks: Arc<TaskSet>,
     profile: Arc<PiecewiseConstant>,
     policy: P,
@@ -792,13 +907,34 @@ fn run_closed_loop<P: Scheduler>(
     equeue: EventQueue<SysEvent>,
     ready: EdfQueue,
     reg: &mut MetricsRegistry,
-) -> (SimResult, EventQueue<SysEvent>, EdfQueue) {
+) -> (Result<SimResult, SimError>, EventQueue<SysEvent>, EdfQueue) {
     debug_assert!(ready.is_empty(), "pooled ready queue must be cleared");
     assert!(
         config.cpu.switch_overhead().is_zero(),
         "the closed-loop simulator models DVFS switch *energy* only; \
          time overhead must be zero (the paper's §5.1 assumption)"
     );
+    // Fault injection. Each arm is a no-op on the fault-free path, so a
+    // run with `fault_plan: None` is bit-identical to the pre-fault
+    // simulator (pinned by the Fig. 5–9 suites).
+    let fault_plan = config.fault_plan.take().filter(|p| !p.is_empty());
+    let (profile, predictor) = if let Some(plan) = &fault_plan {
+        if let Some(sf) = plan.storage.filter(|s| !s.is_empty()) {
+            config.storage = sf.apply(config.storage);
+        }
+        let profile = if plan.harvest.is_empty() {
+            profile
+        } else {
+            Arc::new(apply_harvest_faults(&profile, &plan.harvest))
+        };
+        let predictor: Box<dyn EnergyPredictor> = match plan.predictor.filter(|pf| !pf.is_empty()) {
+            Some(pf) => Box::new(FaultyPredictor::new(predictor, pf)),
+            None => predictor,
+        };
+        (profile, predictor)
+    } else {
+        (profile, predictor)
+    };
     let initial = config.initial_level.unwrap_or_else(|| {
         if config.storage.is_infinite() {
             0.0
@@ -806,6 +942,13 @@ fn run_closed_loop<P: Scheduler>(
             config.storage.capacity()
         }
     });
+    // Capacity fade can undercut a configured initial level; clamp so
+    // the faulted battery starts full rather than over-full.
+    let initial = if fault_plan.is_some() {
+        initial.min(config.storage.capacity())
+    } else {
+        initial
+    };
     let storage = Storage::new(config.storage, initial);
     let level_count = config.cpu.level_count();
     let scheduler_name = policy.name().to_owned();
@@ -844,12 +987,32 @@ fn run_closed_loop<P: Scheduler>(
         point_cursor: Cursor::default(),
         cross_cursor: Cursor::default(),
         obs: ObsCounters::new(level_count),
+        fault: fault_plan.map(|plan| FaultRuntime {
+            plan,
+            harvest_factor: 1.0,
+        }),
         profiler: None,
     };
     let mut engine = Engine::with_queue(model, equeue);
     if engine.model().config.profile {
         engine.enable_profiling();
         engine.model_mut().profiler = Some(Box::default());
+    }
+    let watchdog = engine.model().config.watchdog;
+    engine.set_watchdog(watchdog);
+    let horizon_end = SimTime::ZERO + horizon;
+    // Seed the injected state at t = 0 and the edges where it changes.
+    if engine.model().fault.is_some() {
+        let edges = engine
+            .model()
+            .fault
+            .as_ref()
+            .map(|fr| fr.plan.edge_times(SimTime::ZERO, horizon_end))
+            .unwrap_or_default();
+        for t in edges {
+            engine.schedule(t, SysEvent::FaultEdge);
+        }
+        engine.model_mut().apply_fault_state(SimTime::ZERO);
     }
     // Seed first arrivals and the sampling grid.
     for (i, task) in tasks.iter().enumerate() {
@@ -861,12 +1024,18 @@ fn run_closed_loop<P: Scheduler>(
     if engine.model().config.sample_interval.is_some() {
         engine.schedule(SimTime::ZERO, SysEvent::Sample);
     }
-    let horizon_end = SimTime::ZERO + horizon;
-    engine.run_until(horizon_end);
+    let outcome = engine.run_until(horizon_end);
     let events = engine.events_handled();
     let queue_stats = engine.queue_stats();
     let engine_profiler = engine.profiler().cloned();
     let (mut model, equeue) = engine.into_parts();
+    if let RunOutcome::WatchdogFired { at, events, kind } = outcome {
+        let err = match kind {
+            WatchdogKind::EventBudget => SimError::WatchdogEventBudget { at, events },
+            WatchdogKind::NoProgress => SimError::WatchdogNoProgress { at, events },
+        };
+        return (Err(err), equeue, model.queue);
+    }
     model.finalize(horizon_end);
     let trace_kind_counts = model.trace_kind_counts();
     let metrics = model.config.collect_metrics.then(|| {
@@ -905,12 +1074,13 @@ fn run_closed_loop<P: Scheduler>(
         metrics,
         profile,
     };
-    (result, equeue, model.queue)
+    (Ok(result), equeue, model.queue)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::LevelLockoutWindow;
     use crate::policies::{EaDvfsScheduler, EdfScheduler, GreedyStretchScheduler, LazyScheduler};
     use harvest_cpu::presets;
     use harvest_energy::predictor::OraclePredictor;
@@ -1442,5 +1612,187 @@ mod tests {
         );
         let total = r.busy_time() + r.idle_time;
         assert!((total - 300.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_none() {
+        let tasks = TaskSet::new(vec![Task::periodic_implicit(d(10), 2.0)]);
+        let profile = PiecewiseConstant::constant(1.0);
+        let base = SystemConfig::new(presets::xscale(), StorageSpec::ideal(200.0), d(300))
+            .with_trace()
+            .with_metrics()
+            .with_sample_interval(d(25));
+        let faulted = base.clone().with_fault_plan(FaultPlan::default());
+        let run_with = |config: SystemConfig| {
+            simulate(
+                config,
+                &tasks,
+                profile.clone(),
+                Box::new(EaDvfsScheduler::new()),
+                Box::new(OraclePredictor::new(profile.clone())),
+            )
+        };
+        assert_eq!(run_with(base), run_with(faulted));
+    }
+
+    #[test]
+    fn blackout_window_degrades_the_run() {
+        use harvest_energy::fault::HarvestFaultWindow;
+        // A tight harvest budget with a long blackout mid-run: the
+        // faulted trial must harvest strictly less and trace the edges.
+        let tasks = TaskSet::new(vec![Task::periodic_implicit(d(10), 4.0)]);
+        let profile = PiecewiseConstant::constant(1.2);
+        let config = SystemConfig::new(presets::xscale(), StorageSpec::ideal(50.0), d(400))
+            .with_initial_level(10.0)
+            .with_trace();
+        let plan = FaultPlan {
+            harvest: vec![HarvestFaultWindow {
+                start: u(100),
+                end: u(300),
+                factor: 0.0,
+            }],
+            ..FaultPlan::default()
+        };
+        let run_with = |config: SystemConfig| {
+            simulate(
+                config,
+                &tasks,
+                profile.clone(),
+                Box::new(EaDvfsScheduler::new()),
+                Box::new(OraclePredictor::new(profile.clone())),
+            )
+        };
+        let clean = run_with(config.clone());
+        let faulted = run_with(config.with_fault_plan(plan));
+        assert!(
+            faulted.energy.harvested < clean.energy.harvested - 1.0,
+            "blackout must cut harvested energy ({} vs {})",
+            faulted.energy.harvested,
+            clean.energy.harvested
+        );
+        let fault_edges = faulted
+            .trace
+            .iter()
+            .filter(|(_, ev)| matches!(ev, TraceEvent::HarvestFault { .. }))
+            .count();
+        assert_eq!(fault_edges, 2, "one edge per window boundary");
+        assert_eq!(
+            faulted.trace_kind_counts[TraceEvent::KIND_NAMES
+                .iter()
+                .position(|&n| n == "harvest-fault")
+                .unwrap()],
+            2
+        );
+    }
+
+    #[test]
+    fn level_lockout_forces_faster_selection() {
+        // EA-DVFS stretches the §2 τ1 job onto the slow level; locking
+        // that level for the whole run forces eq. 6 to re-select the
+        // fast one.
+        let plan = FaultPlan {
+            lockouts: vec![LevelLockoutWindow {
+                level: 0,
+                start: u(0),
+                end: u(30),
+            }],
+            ..FaultPlan::default()
+        };
+        let clean = run(
+            Box::new(EaDvfsScheduler::new()),
+            &section2_tasks(),
+            section2_config(),
+        );
+        let locked = run(
+            Box::new(EaDvfsScheduler::new()),
+            &section2_tasks(),
+            section2_config().with_fault_plan(plan),
+        );
+        let started_levels = |r: &SimResult| -> Vec<usize> {
+            r.trace
+                .iter()
+                .filter_map(|(_, ev)| match ev {
+                    TraceEvent::Started { level, .. } => Some(*level),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert!(
+            started_levels(&clean).contains(&0),
+            "baseline must use the slow level"
+        );
+        assert!(
+            started_levels(&locked).iter().all(|&l| l != 0),
+            "locked level must never start"
+        );
+        assert!(
+            locked.trace.iter().any(|(_, ev)| matches!(
+                ev,
+                TraceEvent::LevelLockout {
+                    level: 0,
+                    locked: true
+                }
+            )),
+            "lockout must be traced"
+        );
+    }
+
+    #[test]
+    fn watchdog_event_budget_yields_typed_error() {
+        let tasks = TaskSet::new(vec![Task::periodic_implicit(d(10), 2.0)]);
+        let profile = PiecewiseConstant::constant(2.0);
+        let config = SystemConfig::new(presets::xscale(), StorageSpec::ideal(200.0), d(300))
+            .with_watchdog(harvest_sim::engine::Watchdog::with_max_events(5));
+        let err = try_simulate_shared(
+            config,
+            Arc::new(tasks),
+            Arc::new(profile.clone()),
+            Box::new(EdfScheduler::new()),
+            Box::new(OraclePredictor::new(profile)),
+        )
+        .expect_err("a 5-event budget cannot cover a 300-unit run");
+        assert!(matches!(
+            err,
+            SimError::WatchdogEventBudget { events: 6, .. }
+        ));
+    }
+
+    #[test]
+    fn watchdog_abort_leaves_pool_reusable() {
+        let tasks = Arc::new(TaskSet::new(vec![Task::periodic_implicit(d(10), 2.0)]));
+        let profile = Arc::new(PiecewiseConstant::constant(2.0));
+        let base = SystemConfig::new(presets::xscale(), StorageSpec::ideal(200.0), d(300));
+        let mut ctx = RunContext::new();
+        let mut policy = EdfScheduler::new();
+        let err = try_simulate_in(
+            &mut ctx,
+            base.clone()
+                .with_watchdog(harvest_sim::engine::Watchdog::with_max_events(5)),
+            Arc::clone(&tasks),
+            Arc::clone(&profile),
+            &mut policy,
+            Box::new(OraclePredictor::new((*profile).clone())),
+        );
+        assert!(err.is_err());
+        assert!(ctx.queue_stats().is_some(), "queues reclaimed after abort");
+        // The same context then runs a clean trial bit-identical to a
+        // fresh one.
+        let pooled = simulate_in(
+            &mut ctx,
+            base.clone(),
+            Arc::clone(&tasks),
+            Arc::clone(&profile),
+            &mut policy,
+            Box::new(OraclePredictor::new((*profile).clone())),
+        );
+        let fresh = simulate_shared(
+            base,
+            tasks,
+            Arc::clone(&profile),
+            Box::new(EdfScheduler::new()),
+            Box::new(OraclePredictor::new((*profile).clone())),
+        );
+        assert_eq!(pooled, fresh);
+        assert_eq!(ctx.stats().runs, 2, "aborted runs still count");
     }
 }

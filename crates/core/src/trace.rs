@@ -46,11 +46,26 @@ pub enum TraceEvent {
         /// Scheduled restart attempt, if the source ever recovers.
         until: Option<SimTime>,
     },
+    /// The injected harvest attenuation changed (a blackout/brownout
+    /// window opened or closed).
+    HarvestFault {
+        /// Combined attenuation factor now in effect (1.0 = nominal).
+        factor: f64,
+        /// `true` while at least one window is active.
+        active: bool,
+    },
+    /// An injected DVFS level lockout toggled.
+    LevelLockout {
+        /// The affected level.
+        level: LevelIndex,
+        /// `true` when the level just became unavailable.
+        locked: bool,
+    },
 }
 
 impl TraceEvent {
     /// Number of variants; kind indices are below this.
-    pub const KIND_COUNT: usize = 6;
+    pub const KIND_COUNT: usize = 8;
 
     /// Variant names indexed by [`kind_index`](Self::kind_index), for
     /// rendering per-variant counts.
@@ -61,6 +76,8 @@ impl TraceEvent {
         "missed",
         "idled",
         "stalled",
+        "harvest-fault",
+        "level-lockout",
     ];
 
     /// Dense variant index, in `0..KIND_COUNT`.
@@ -72,6 +89,8 @@ impl TraceEvent {
             TraceEvent::Missed { .. } => 3,
             TraceEvent::Idled { .. } => 4,
             TraceEvent::Stalled { .. } => 5,
+            TraceEvent::HarvestFault { .. } => 6,
+            TraceEvent::LevelLockout { .. } => 7,
         }
     }
 
@@ -130,6 +149,14 @@ mod tests {
             TraceEvent::Missed { job: JobId(1) },
             TraceEvent::Idled { until: None },
             TraceEvent::Stalled { until: None },
+            TraceEvent::HarvestFault {
+                factor: 0.0,
+                active: true,
+            },
+            TraceEvent::LevelLockout {
+                level: 1,
+                locked: true,
+            },
         ];
         assert_eq!(samples.len(), TraceEvent::KIND_COUNT);
         for (i, ev) in samples.iter().enumerate() {

@@ -91,6 +91,11 @@ pub struct CpuModel {
     idle_power: f64,
     switch_overhead: SimDuration,
     switch_energy: f64,
+    /// Bitmask of levels currently unavailable to the min-frequency
+    /// search (fault injection); bit `n` set locks level `n`. The
+    /// fastest level can never be locked, so full-speed fallback paths
+    /// stay valid.
+    locked_mask: u64,
 }
 
 impl CpuModel {
@@ -121,6 +126,7 @@ impl CpuModel {
             idle_power: 0.0,
             switch_overhead: SimDuration::ZERO,
             switch_energy: 0.0,
+            locked_mask: 0,
         })
     }
 
@@ -211,6 +217,32 @@ impl CpuModel {
         self.switch_energy
     }
 
+    /// Bitmask of locked (fault-unavailable) levels.
+    pub fn locked_mask(&self) -> u64 {
+        self.locked_mask
+    }
+
+    /// `true` if level `n` is currently locked out by fault injection.
+    pub fn is_level_locked(&self, n: LevelIndex) -> bool {
+        n < 64 && self.locked_mask & (1 << n) != 0
+    }
+
+    /// Replaces the lockout mask (fault injection toggles this at
+    /// window edges). Bits above the level range are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask would lock the fastest level — that would
+    /// leave full-speed fallback paths with no valid operating point.
+    pub fn set_locked_mask(&mut self, mask: u64) {
+        let max = self.max_level();
+        assert!(
+            max >= 64 || mask & (1 << max) == 0,
+            "the fastest level cannot be locked out"
+        );
+        self.locked_mask = mask;
+    }
+
     /// Wall-clock time to execute `work` full-speed units at level `n`.
     ///
     /// # Panics
@@ -234,6 +266,12 @@ impl CpuModel {
     /// within a window of `window` time units — the minimization of
     /// paper eq. 6 (`w/S_n ≤ d − a`). `None` if even full speed cannot.
     ///
+    /// Levels locked out by fault injection (see [`set_locked_mask`])
+    /// are skipped, so a lockout forces the search onto the next faster
+    /// available point.
+    ///
+    /// [`set_locked_mask`]: CpuModel::set_locked_mask
+    ///
     /// # Panics
     ///
     /// Panics if `work` is negative.
@@ -248,7 +286,7 @@ impl CpuModel {
             let need = self.execution_time(work, n);
             need <= window || (need - window).abs() <= 1e-12 * need.max(1.0)
         };
-        (0..self.levels.len()).find(|&n| feasible(n))
+        (0..self.levels.len()).find(|&n| !self.is_level_locked(n) && feasible(n))
     }
 
     /// Energy saved by running `work` at level `n` instead of full speed
@@ -325,6 +363,26 @@ mod tests {
         assert_eq!(cpu.min_feasible_level(4.0, 4.0), Some(1));
         assert_eq!(cpu.min_feasible_level(4.0, 3.9), None);
         assert_eq!(cpu.min_feasible_level(4.0, -1.0), None);
+    }
+
+    #[test]
+    fn locked_levels_are_skipped() {
+        let mut cpu = two_speed();
+        assert_eq!(cpu.locked_mask(), 0);
+        cpu.set_locked_mask(1);
+        assert!(cpu.is_level_locked(0));
+        assert!(!cpu.is_level_locked(1));
+        // A window the slow level could serve is forced to full speed.
+        assert_eq!(cpu.min_feasible_level(4.0, 16.0), Some(1));
+        assert_eq!(cpu.min_feasible_level(4.0, 3.9), None);
+        cpu.set_locked_mask(0);
+        assert_eq!(cpu.min_feasible_level(4.0, 16.0), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "fastest level")]
+    fn locking_the_fastest_level_is_rejected() {
+        two_speed().set_locked_mask(0b10);
     }
 
     #[test]

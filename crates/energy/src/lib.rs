@@ -38,15 +38,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fault;
 pub mod predictor;
 pub mod rand_util;
 pub mod source;
 pub mod sources;
 pub mod storage;
 
+pub use fault::{apply_harvest_faults, FaultySource, HarvestFaultWindow, StorageFault};
 pub use predictor::{
-    BiasedPredictor, EnergyPredictor, EwmaSlotPredictor, MovingAveragePredictor, OraclePredictor,
-    PersistencePredictor,
+    BiasedPredictor, EnergyPredictor, EwmaSlotPredictor, FaultyPredictor, MovingAveragePredictor,
+    OraclePredictor, PersistencePredictor, PredictorFault,
 };
 pub use source::{sample_profile, HarvestSource, Scaled, Sum};
 pub use sources::{ConstantSource, DayNightSource, MarkovWeatherSource, SolarModel, TraceSource};

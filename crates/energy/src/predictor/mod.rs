@@ -9,12 +9,14 @@
 
 mod biased;
 mod ewma;
+mod faulty;
 mod moving_average;
 mod oracle;
 mod persistence;
 
 pub use biased::BiasedPredictor;
 pub use ewma::EwmaSlotPredictor;
+pub use faulty::{FaultyPredictor, PredictorFault};
 pub use moving_average::MovingAveragePredictor;
 pub use oracle::OraclePredictor;
 pub use persistence::PersistencePredictor;

@@ -136,6 +136,24 @@ impl StorageSpec {
         self
     }
 
+    /// Derates the capacity by a fade fraction (`0.1` → 10% of the
+    /// nameplate capacity is gone). A no-op for infinite storage and for
+    /// `fade == 0`, so fault-free specs are preserved bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fade` is outside `[0, 1)`.
+    pub fn with_capacity_fade(mut self, fade: f64) -> Self {
+        assert!(
+            fade.is_finite() && (0.0..1.0).contains(&fade),
+            "capacity fade must lie in [0, 1)"
+        );
+        if fade > 0.0 && !self.is_infinite() {
+            self.capacity *= 1.0 - fade;
+        }
+        self
+    }
+
     /// Storage capacity `C`.
     pub fn capacity(&self) -> f64 {
         self.capacity

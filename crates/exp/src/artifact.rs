@@ -96,7 +96,10 @@ fn level_of(event: &TraceEvent) -> Option<i64> {
         TraceEvent::Started { level, .. } => Some(*level as i64),
         TraceEvent::Idled { .. } | TraceEvent::Completed { .. } => Some(LevelPoint::IDLE),
         TraceEvent::Stalled { .. } => Some(LevelPoint::STALLED),
-        TraceEvent::Released { .. } | TraceEvent::Missed { .. } => None,
+        TraceEvent::Released { .. }
+        | TraceEvent::Missed { .. }
+        | TraceEvent::HarvestFault { .. }
+        | TraceEvent::LevelLockout { .. } => None,
     }
 }
 

@@ -1,12 +1,16 @@
 //! `exp` — record, inspect, and diff observable runs.
 //!
 //! ```text
-//! exp record  [--policy NAME] [--util U] [--capacity C] [--seed N]
-//!             [--horizon UNITS] [--sample UNITS] [--out PATH]
-//! exp inspect PATH
-//! exp diff    PATH BASELINE
-//! exp sweep   [--util U] [--trials N] [--threads N] [--cache PATH]
-//!             [--expect-warm]
+//! exp record      [--policy NAME] [--util U] [--capacity C] [--seed N]
+//!                 [--horizon UNITS] [--sample UNITS] [--out PATH]
+//! exp inspect     PATH
+//! exp diff        PATH BASELINE
+//! exp sweep       [--util U] [--trials N] [--threads N] [--cache PATH]
+//!                 [--expect-warm]
+//! exp fault-sweep [--util U] [--capacity C] [--trials N] [--threads N]
+//!                 [--horizon UNITS] [--intensities A,B,..] [--manifest PATH]
+//!                 [--cache PATH] [--inject-panic POLICY:SEED:INTENSITY]
+//!                 [--inject-starve POLICY:SEED:INTENSITY] [--expect-resumed]
 //! ```
 //!
 //! `record` replays one §5.1 trial with full observability (trace,
@@ -18,20 +22,56 @@
 //! vs. cached cells, pool reuse, and a digest of the figure data) — the
 //! CI smoke runs it twice against one cache directory and `--expect-warm`
 //! makes the second invocation fail unless every cell was a cache hit.
+//! `fault-sweep` runs the robustness campaign (miss rate vs. fault
+//! intensity for EDF/LSA/EA-DVFS) through the quarantining harness:
+//! panicking or watchdog-aborted cells are reported as `quarantine`
+//! lines and the sweep still exits 0; `--manifest` checkpoints every
+//! decided cell so a killed campaign resumes without re-simulating, and
+//! `--expect-resumed` makes a resumed invocation fail unless zero cells
+//! were re-simulated. The `--inject-*` flags deterministically sabotage
+//! single cells — the CI smoke's failure-injection hooks.
+//!
+//! Exit codes: 0 on success (including sweeps with quarantined cells),
+//! 1 on a runtime failure, 2 on a usage error.
 
 use std::path::PathBuf;
 
 use harvest_exp::artifact::RunArtifact;
 use harvest_exp::cache::{fnv1a64, SweepCache};
-use harvest_exp::figures::miss_rate_figure_cached;
-use harvest_exp::scenario::{PaperScenario, PolicyKind};
+use harvest_exp::figures::{
+    miss_rate_figure_cached, robustness_campaign, RobustnessConfig, Sabotage,
+};
+use harvest_exp::manifest::SweepManifest;
+use harvest_exp::scenario::{PaperScenario, PolicyKind, PredictorKind};
 
 const USAGE: &str = "usage:
-  exp record  [--policy edf|lsa|ea-dvfs|greedy-stretch] [--util U] [--capacity C]
-              [--seed N] [--horizon UNITS] [--sample UNITS] [--out PATH]
-  exp inspect PATH
-  exp diff    PATH BASELINE
-  exp sweep   [--util U] [--trials N] [--threads N] [--cache PATH] [--expect-warm]";
+  exp record      [--policy edf|lsa|ea-dvfs|greedy-stretch] [--util U] [--capacity C]
+                  [--seed N] [--horizon UNITS] [--sample UNITS] [--out PATH]
+  exp inspect     PATH
+  exp diff        PATH BASELINE
+  exp sweep       [--util U] [--trials N] [--threads N] [--cache PATH] [--expect-warm]
+  exp fault-sweep [--util U] [--capacity C] [--trials N] [--threads N]
+                  [--horizon UNITS] [--intensities A,B,..] [--manifest PATH]
+                  [--cache PATH] [--inject-panic POLICY:SEED:INTENSITY]
+                  [--inject-starve POLICY:SEED:INTENSITY] [--expect-resumed]";
+
+/// A failed invocation, split by whose fault it is: `Usage` exits 2 and
+/// reprints the usage text, `Runtime` exits 1 with a one-line message.
+#[derive(Debug)]
+enum ExpError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl std::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExpError::Usage(msg) | ExpError::Runtime(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExpError {}
 
 /// Parameters of one recorded run.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +121,43 @@ impl Default for SweepArgs {
     }
 }
 
+/// One sabotage target: the (policy, seed, intensity) cell to fail.
+type InjectSpec = (PolicyKind, u64, f64);
+
+/// Parameters of one robustness campaign.
+#[derive(Debug, Clone, PartialEq)]
+struct FaultSweepArgs {
+    utilization: f64,
+    capacity: f64,
+    trials: usize,
+    threads: usize,
+    horizon_units: i64,
+    intensities: Vec<f64>,
+    manifest: Option<PathBuf>,
+    cache: Option<PathBuf>,
+    inject_panic: Vec<InjectSpec>,
+    inject_starve: Vec<InjectSpec>,
+    expect_resumed: bool,
+}
+
+impl Default for FaultSweepArgs {
+    fn default() -> Self {
+        FaultSweepArgs {
+            utilization: 0.4,
+            capacity: 300.0,
+            trials: 2,
+            threads: 2,
+            horizon_units: 2_000,
+            intensities: vec![0.0, 0.5, 1.0],
+            manifest: None,
+            cache: None,
+            inject_panic: Vec::new(),
+            inject_starve: Vec::new(),
+            expect_resumed: false,
+        }
+    }
+}
+
 /// A parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
 enum Command {
@@ -88,6 +165,7 @@ enum Command {
     Inspect(PathBuf),
     Diff { run: PathBuf, baseline: PathBuf },
     Sweep(SweepArgs),
+    FaultSweep(FaultSweepArgs),
 }
 
 fn parse_policy(name: &str) -> Result<PolicyKind, String> {
@@ -194,8 +272,205 @@ where
             Ok(Command::Diff { run, baseline })
         }
         "sweep" => Ok(Command::Sweep(parse_sweep(it)?)),
+        "fault-sweep" => Ok(Command::FaultSweep(parse_fault_sweep(it)?)),
         other => Err(format!("unknown subcommand `{other}`")),
     }
+}
+
+/// Parses `POLICY:SEED:INTENSITY`, e.g. `lsa:0:0.5`.
+fn parse_inject(spec: &str) -> Result<InjectSpec, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [policy, seed, intensity] = parts.as_slice() else {
+        return Err(format!(
+            "injection spec `{spec}` must be POLICY:SEED:INTENSITY"
+        ));
+    };
+    let policy = parse_policy(policy)?;
+    let seed = seed
+        .parse()
+        .map_err(|_| format!("injection seed `{seed}` must be an unsigned integer"))?;
+    let intensity: f64 = intensity
+        .parse()
+        .map_err(|_| format!("injection intensity `{intensity}` must be a number"))?;
+    if !(intensity.is_finite() && (0.0..=1.0).contains(&intensity)) {
+        return Err("injection intensity must lie in [0, 1]".into());
+    }
+    Ok((policy, seed, intensity))
+}
+
+fn parse_fault_sweep<I, S>(args: I) -> Result<FaultSweepArgs, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut out = FaultSweepArgs::default();
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let flag = flag.as_ref().to_owned();
+        let mut value = || {
+            it.next()
+                .map(|v| v.as_ref().to_owned())
+                .ok_or_else(|| format!("{flag} expects a value"))
+        };
+        match flag.as_str() {
+            "--util" => {
+                out.utilization = value()?
+                    .parse()
+                    .map_err(|_| "--util expects a number".to_owned())?;
+                if !(out.utilization > 0.0 && out.utilization.is_finite()) {
+                    return Err("--util must be positive".into());
+                }
+            }
+            "--capacity" => {
+                out.capacity = value()?
+                    .parse()
+                    .map_err(|_| "--capacity expects a number".to_owned())?;
+                if !(out.capacity > 0.0 && out.capacity.is_finite()) {
+                    return Err("--capacity must be positive".into());
+                }
+            }
+            "--trials" => {
+                out.trials = value()?
+                    .parse()
+                    .map_err(|_| "--trials expects a positive integer".to_owned())?;
+                if out.trials == 0 {
+                    return Err("--trials must be positive".into());
+                }
+            }
+            "--threads" => {
+                out.threads = value()?
+                    .parse()
+                    .map_err(|_| "--threads expects a positive integer".to_owned())?;
+                if out.threads == 0 {
+                    return Err("--threads must be positive".into());
+                }
+            }
+            "--horizon" => {
+                out.horizon_units = value()?
+                    .parse()
+                    .map_err(|_| "--horizon expects a positive integer".to_owned())?;
+                if out.horizon_units <= 0 {
+                    return Err("--horizon must be positive".into());
+                }
+            }
+            "--intensities" => {
+                let raw = value()?;
+                let parsed: Result<Vec<f64>, _> =
+                    raw.split(',').map(|s| s.trim().parse::<f64>()).collect();
+                out.intensities = parsed
+                    .map_err(|_| "--intensities expects comma-separated numbers".to_owned())?;
+                if out.intensities.is_empty()
+                    || out
+                        .intensities
+                        .iter()
+                        .any(|i| !(i.is_finite() && (0.0..=1.0).contains(i)))
+                {
+                    return Err("--intensities values must lie in [0, 1]".into());
+                }
+            }
+            "--manifest" => out.manifest = Some(PathBuf::from(value()?)),
+            "--cache" => out.cache = Some(PathBuf::from(value()?)),
+            "--inject-panic" => out.inject_panic.push(parse_inject(&value()?)?),
+            "--inject-starve" => out.inject_starve.push(parse_inject(&value()?)?),
+            "--expect-resumed" => out.expect_resumed = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn fault_sweep(args: &FaultSweepArgs) -> Result<(), String> {
+    let cache = match &args.cache {
+        Some(dir) => Some(
+            SweepCache::new(dir)
+                .map_err(|e| format!("cannot open cache {}: {e}", dir.display()))?,
+        ),
+        None => SweepCache::from_env(),
+    };
+    let manifest = match &args.manifest {
+        Some(path) => Some(
+            SweepManifest::open(path)
+                .map_err(|e| format!("cannot open manifest {}: {e}", path.display()))?,
+        ),
+        None => None,
+    };
+    let config = RobustnessConfig {
+        utilization: args.utilization,
+        capacity: args.capacity,
+        horizon_units: args.horizon_units,
+        intensities: args.intensities.clone(),
+        policies: vec![PolicyKind::Edf, PolicyKind::Lsa, PolicyKind::EaDvfs],
+        predictors: vec![PredictorKind::Oracle],
+        trials: args.trials,
+        threads: args.threads,
+        ..RobustnessConfig::default()
+    };
+    let matches = |list: &[InjectSpec], cell: &harvest_exp::figures::Cell| {
+        list.iter()
+            .any(|&(p, s, i)| p == cell.policy && s == cell.seed && i == cell.intensity)
+    };
+    let report = robustness_campaign(&config, cache.as_ref(), manifest.as_ref(), |cell| {
+        if matches(&args.inject_panic, cell) {
+            Sabotage::Panic
+        } else if matches(&args.inject_starve, cell) {
+            Sabotage::Starve
+        } else {
+            Sabotage::None
+        }
+    });
+    let cells = config.intensities.len() * config.policies.len() * config.trials;
+    println!(
+        "fault-sweep util={} capacity={} trials={} cells={cells} simulated={} cached={} \
+         resumed={} quarantined={} pool_runs={} event_slab_high_water={} ready_high_water={} \
+         figure_fnv64={:016x}",
+        args.utilization,
+        args.capacity,
+        args.trials,
+        report.exec.simulated,
+        report.exec.cached,
+        report.resumed,
+        report.quarantined.len(),
+        report.exec.pool.runs,
+        report.exec.pool.event_slab_high_water,
+        report.exec.pool.ready_high_water,
+        report.figure.digest(),
+    );
+    for q in &report.quarantined {
+        println!(
+            "quarantine key={} policy={} seed={} intensity={} panicked={} worker={} message={}",
+            q.key,
+            q.policy.name(),
+            q.seed,
+            q.intensity,
+            q.failure.panicked,
+            q.failure.worker,
+            q.failure.message,
+        );
+    }
+    // Pooled queues reset their run counters between trials (bit-exact
+    // replay requires it); what survives per worker is the retained
+    // slab footprint.
+    for (i, qs) in report.queues.iter().enumerate() {
+        println!("queue worker={i} slab_capacity={}", qs.slab_capacity);
+    }
+    if let Some(cache) = &cache {
+        let cs = cache.stats();
+        println!(
+            "cache dir={} hits={} misses={} rejects={} stores={}",
+            cache.dir().display(),
+            cs.hits,
+            cs.misses,
+            cs.rejects,
+            cs.stores
+        );
+    }
+    if args.expect_resumed && report.exec.simulated != 0 {
+        return Err(format!(
+            "expected a resumed campaign but {} of {cells} cells were simulated",
+            report.exec.simulated
+        ));
+    }
+    Ok(())
 }
 
 fn parse_sweep<I, S>(args: I) -> Result<SweepArgs, String>
@@ -310,43 +585,54 @@ fn load(path: &PathBuf) -> Result<RunArtifact, String> {
     RunArtifact::from_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
-fn run(cmd: Command) -> Result<(), String> {
-    match cmd {
-        Command::Record(args) => {
-            let artifact = record(&args)?;
-            match &args.out {
-                Some(path) => {
-                    let file = std::fs::File::create(path)
-                        .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
-                    let lines = artifact
-                        .write_jsonl(std::io::BufWriter::new(file))
-                        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
-                    eprintln!("wrote {} ({lines} lines)", path.display());
-                }
-                None => print!("{}", artifact.to_jsonl()),
+fn run(cmd: Command) -> Result<(), ExpError> {
+    let result = match cmd {
+        Command::Record(args) => record(&args).and_then(|artifact| match &args.out {
+            Some(path) => {
+                let file = std::fs::File::create(path)
+                    .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+                let lines = artifact
+                    .write_jsonl(std::io::BufWriter::new(file))
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                eprintln!("wrote {} ({lines} lines)", path.display());
+                Ok(())
             }
-            Ok(())
-        }
-        Command::Inspect(path) => {
-            print!("{}", load(&path)?.render());
-            Ok(())
-        }
-        Command::Diff { run, baseline } => {
-            let run = load(&run)?;
+            None => {
+                print!("{}", artifact.to_jsonl());
+                Ok(())
+            }
+        }),
+        Command::Inspect(path) => load(&path).map(|artifact| print!("{}", artifact.render())),
+        Command::Diff { run, baseline } => load(&run).and_then(|run| {
             let base = load(&baseline)?;
-            print!("{}", run.render_diff(&base)?);
+            let diff = run.render_diff(&base)?;
+            print!("{diff}");
             Ok(())
-        }
+        }),
         Command::Sweep(args) => sweep(&args),
-    }
+        Command::FaultSweep(args) => fault_sweep(&args),
+    };
+    // Everything past parsing is the machine's fault, not the user's.
+    result.map_err(ExpError::Runtime)
 }
 
 fn main() {
-    if let Err(msg) = parse_command(std::env::args().skip(1)).and_then(run) {
-        eprintln!("error: {msg}");
-        eprintln!("{USAGE}");
-        std::process::exit(2);
-    }
+    let code = match parse_command(std::env::args().skip(1))
+        .map_err(ExpError::Usage)
+        .and_then(run)
+    {
+        Ok(()) => 0,
+        Err(ExpError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            2
+        }
+        Err(ExpError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            1
+        }
+    };
+    std::process::exit(code);
 }
 
 #[cfg(test)]
@@ -402,6 +688,46 @@ mod tests {
         assert!(args.expect_warm);
         assert!(parse_sweep(["--trials", "0"]).is_err());
         assert!(parse_sweep(["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn fault_sweep_flags_parse() {
+        let args = parse_fault_sweep([
+            "--util",
+            "0.8",
+            "--capacity",
+            "200",
+            "--trials",
+            "3",
+            "--threads",
+            "2",
+            "--horizon",
+            "1500",
+            "--intensities",
+            "0.0, 0.5, 1.0",
+            "--manifest",
+            "/tmp/m.jsonl",
+            "--cache",
+            "/tmp/c",
+            "--inject-panic",
+            "lsa:0:0.5",
+            "--inject-starve",
+            "ea-dvfs:1:1.0",
+            "--expect-resumed",
+        ])
+        .unwrap();
+        assert_eq!(args.utilization, 0.8);
+        assert_eq!(args.capacity, 200.0);
+        assert_eq!(args.trials, 3);
+        assert_eq!(args.horizon_units, 1500);
+        assert_eq!(args.intensities, vec![0.0, 0.5, 1.0]);
+        assert_eq!(args.manifest, Some(PathBuf::from("/tmp/m.jsonl")));
+        assert_eq!(args.inject_panic, vec![(PolicyKind::Lsa, 0, 0.5)]);
+        assert_eq!(args.inject_starve, vec![(PolicyKind::EaDvfs, 1, 1.0)]);
+        assert!(args.expect_resumed);
+        assert!(parse_fault_sweep(["--intensities", "2.0"]).is_err());
+        assert!(parse_fault_sweep(["--inject-panic", "lsa:0"]).is_err());
+        assert!(parse_fault_sweep(["--inject-panic", "sjf:0:0.5"]).is_err());
     }
 
     #[test]

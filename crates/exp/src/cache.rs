@@ -24,7 +24,7 @@
 //!   warm-cache figure is bit-identical to a cold one.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
@@ -187,6 +187,7 @@ pub struct SweepCache {
     misses: AtomicU64,
     rejects: AtomicU64,
     stores: AtomicU64,
+    write_degraded: AtomicBool,
 }
 
 impl SweepCache {
@@ -200,13 +201,15 @@ impl SweepCache {
             misses: AtomicU64::new(0),
             rejects: AtomicU64::new(0),
             stores: AtomicU64::new(0),
+            write_degraded: AtomicBool::new(false),
         })
     }
 
     /// Builds the cache the environment asks for (see
-    /// [`SWEEP_CACHE_ENV`]): `None` when disabled, unset, or the
-    /// directory cannot be created (a sweep must not fail because its
-    /// cache is unavailable).
+    /// [`SWEEP_CACHE_ENV`]): `None` when disabled or unset. A directory
+    /// that cannot be created degrades gracefully — one warning on
+    /// stderr (per process), then the sweep runs uncached; a sweep must
+    /// not fail because its cache is unavailable.
     pub fn from_env() -> Option<Self> {
         let raw = std::env::var(SWEEP_CACHE_ENV).ok()?;
         let raw = raw.trim();
@@ -218,7 +221,19 @@ impl SweepCache {
         } else {
             PathBuf::from(raw)
         };
-        SweepCache::new(dir).ok()
+        match SweepCache::new(&dir) {
+            Ok(cache) => Some(cache),
+            Err(e) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: cannot open sweep cache at {} ({e}); running uncached",
+                        dir.display()
+                    );
+                });
+                None
+            }
+        }
     }
 
     /// The cache's root directory.
@@ -257,9 +272,14 @@ impl SweepCache {
     }
 
     /// Persists `summary` under `key` (temp file + rename, so readers
-    /// see old-or-new, never torn). IO errors are swallowed: the run's
-    /// correctness never depends on the cache accepting a write.
+    /// see old-or-new, never torn). An IO failure never fails the run:
+    /// the first one warns on stderr and flips the cache into
+    /// write-degraded mode — reads keep working (a read-only cache
+    /// directory still answers hits), further writes are skipped.
     pub fn put(&self, key: &TrialKey, summary: &TrialSummary) {
+        if self.write_degraded.load(Ordering::Relaxed) {
+            return;
+        }
         let entry = CacheEntry {
             key: key.text().to_owned(),
             summary: summary.clone(),
@@ -275,10 +295,20 @@ impl SweepCache {
             key.fingerprint(),
             std::thread::current().id()
         ));
-        if std::fs::write(&tmp, &json).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
-            self.stores.fetch_add(1, Ordering::Relaxed);
-        } else {
-            let _ = std::fs::remove_file(&tmp);
+        match std::fs::write(&tmp, &json).and_then(|()| std::fs::rename(&tmp, &path)) {
+            Ok(()) => {
+                self.stores.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                if !self.write_degraded.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "warning: sweep cache at {} rejected a write ({e}); \
+                         continuing without caching new results",
+                        self.dir.display()
+                    );
+                }
+            }
         }
     }
 
@@ -399,6 +429,39 @@ mod tests {
         cache.put(&key, &summary());
         assert_eq!(cache.get(&key), Some(summary()));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unopenable_cache_dir_degrades_to_uncached() {
+        use crate::test_support::with_env;
+        // Root ignores permission bits, so "unwritable" is staged as a
+        // plain file standing where a directory must go: create_dir_all
+        // on `<file>/sub` fails for any uid.
+        let blocker = scratch_dir("blocker");
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let dir = blocker.join("sub");
+        let dir_str = dir.to_str().unwrap().to_owned();
+        with_env(&[(SWEEP_CACHE_ENV, Some(dir_str.as_str()))], || {
+            assert!(
+                SweepCache::from_env().is_none(),
+                "an unopenable cache dir must disable caching, not fail"
+            );
+        });
+        let _ = std::fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn failed_writes_degrade_without_failing_the_run() {
+        let dir = scratch_dir("write-degraded");
+        let cache = SweepCache::new(&dir).unwrap();
+        // Yank the directory out from under the cache: every write
+        // now fails, which must degrade (once) instead of erroring.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let key = TrialKey::new(&PaperScenario::new(0.4, 500.0), PolicyKind::Edf, 1);
+        cache.put(&key, &summary());
+        cache.put(&key, &summary());
+        assert_eq!(cache.stats().stores, 0, "no write can have landed");
+        assert_eq!(cache.get(&key), None, "reads degrade to misses");
     }
 
     #[test]

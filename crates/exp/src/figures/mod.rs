@@ -13,6 +13,7 @@
 mod min_capacity;
 mod miss_rate;
 mod remaining_energy;
+mod robustness;
 mod source;
 
 pub use min_capacity::{
@@ -22,6 +23,10 @@ pub use min_capacity::{
 pub use miss_rate::{miss_rate_figure, miss_rate_figure_cached, MissRateFigure, MissRateRow};
 pub use remaining_energy::{
     remaining_energy_figure, remaining_energy_figure_cached, RemainingEnergyFigure,
+};
+pub use robustness::{
+    robustness_campaign, robustness_figure, CampaignReport, Cell, QuarantineRecord,
+    RobustnessConfig, RobustnessFigure, RobustnessRow, Sabotage,
 };
 pub use source::{source_figure, SourceFigure};
 

@@ -1,0 +1,510 @@
+//! Robustness figure: deadline miss rate vs. fault intensity.
+//!
+//! Not a figure from the paper — a robustness extension: the §5.1
+//! scenario is re-run under deterministic fault injection
+//! ([`crate::scenario::FaultScenario`]) with the intensity knob swept
+//! from 0 (fault-free, reproducing the paper's operating point) to 1
+//! (heavy blackouts, storage fade, DVFS level lockouts), for each
+//! policy × predictor pair.
+//!
+//! The driver doubles as the harness-resilience integration point: it
+//! runs cells through the quarantining parallel map (a panicking cell
+//! is reported, not fatal), honors an engine watchdog (a stuck cell
+//! aborts with a typed error and is quarantined), consults the sweep
+//! cache, and checkpoints every decided cell into an optional
+//! [`SweepManifest`] so a killed campaign resumes without re-simulating
+//! finished cells.
+
+use serde::{Deserialize, Serialize};
+
+use harvest_sim::engine::Watchdog;
+use harvest_sim::event::QueueStats;
+
+use super::SweepExecStats;
+use crate::cache::{fnv1a64, SweepCache};
+use crate::manifest::{CellOutcome, SweepManifest};
+use crate::parallel::{default_threads, parallel_map, parallel_map_quarantined, CellFailure};
+use crate::scenario::{PaperScenario, PolicyKind, PredictorKind, SimPool, TrialPrefab};
+
+/// One intensity point of a robustness sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessRow {
+    /// Fault intensity in `[0, 1]`.
+    pub intensity: f64,
+    /// Mean miss rate per (predictor, policy) pair, predictor-major —
+    /// index `pi * policies.len() + pj`.
+    pub miss_rates: Vec<f64>,
+    /// Decided trials behind each mean (quarantined cells are excluded
+    /// from the mean and from this count).
+    pub decided: Vec<u64>,
+}
+
+/// Data behind the robustness figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessFigure {
+    /// Workload utilization.
+    pub utilization: f64,
+    /// Storage capacity.
+    pub capacity: f64,
+    /// Policies, in column order.
+    pub policies: Vec<PolicyKind>,
+    /// Predictors, in (major) column order.
+    pub predictors: Vec<PredictorKind>,
+    /// One row per swept intensity, ascending.
+    pub rows: Vec<RobustnessRow>,
+    /// Task sets per grid cell.
+    pub trials: usize,
+}
+
+impl RobustnessFigure {
+    /// The miss-rate curve of one (predictor, policy) pair, aligned
+    /// with `rows`.
+    pub fn curve(&self, predictor: PredictorKind, policy: PolicyKind) -> Option<Vec<f64>> {
+        let pi = self.predictors.iter().position(|&p| p == predictor)?;
+        let pj = self.policies.iter().position(|&p| p == policy)?;
+        let idx = pi * self.policies.len() + pj;
+        Some(self.rows.iter().map(|r| r.miss_rates[idx]).collect())
+    }
+
+    /// Content digest of the figure data (FNV-1a over its canonical
+    /// JSON) — what the resume smoke compares across campaign runs.
+    pub fn digest(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("figure is plain data");
+        fnv1a64(json.as_bytes())
+    }
+}
+
+/// One cell of the robustness grid, as shown to the sabotage hook.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// The row's fault intensity.
+    pub intensity: f64,
+    /// The cell's policy.
+    pub policy: PolicyKind,
+    /// The cell's predictor.
+    pub predictor: PredictorKind,
+    /// The cell's trial seed.
+    pub seed: u64,
+}
+
+/// Deterministic failure injection for harness smoke tests: what the
+/// sabotage hook may do to one cell. The production path passes a hook
+/// that always returns [`Sabotage::None`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sabotage {
+    /// Run the cell normally.
+    #[default]
+    None,
+    /// Panic inside the cell (exercises panic quarantine).
+    Panic,
+    /// Run the cell under a tiny watchdog budget, forcing a typed
+    /// watchdog abort (exercises error quarantine).
+    Starve,
+}
+
+/// Grid and execution parameters of one robustness campaign.
+#[derive(Debug, Clone)]
+pub struct RobustnessConfig {
+    /// Workload utilization.
+    pub utilization: f64,
+    /// Storage capacity (scarce by default, so faults visibly move the
+    /// miss rate).
+    pub capacity: f64,
+    /// Horizon in whole time units.
+    pub horizon_units: i64,
+    /// Fault intensities to sweep, ascending, each in `[0, 1]`.
+    pub intensities: Vec<f64>,
+    /// Policies to compare.
+    pub policies: Vec<PolicyKind>,
+    /// Predictors to cross with the policies.
+    pub predictors: Vec<PredictorKind>,
+    /// Task sets per grid cell.
+    pub trials: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Watchdog armed on every cell — the campaign-level stuck-trial
+    /// guard. The default budget is far above any legitimate §5.1 run.
+    pub watchdog: Option<Watchdog>,
+}
+
+impl Default for RobustnessConfig {
+    fn default() -> Self {
+        RobustnessConfig {
+            utilization: 0.4,
+            capacity: 300.0,
+            horizon_units: 10_000,
+            intensities: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            policies: vec![PolicyKind::Edf, PolicyKind::Lsa, PolicyKind::EaDvfs],
+            predictors: vec![PredictorKind::Oracle],
+            trials: 5,
+            threads: default_threads(),
+            watchdog: Some(Watchdog::with_max_events(5_000_000)),
+        }
+    }
+}
+
+/// One quarantined cell: its identity (the canonical trial key plus
+/// the human-relevant coordinates) and what went wrong.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineRecord {
+    /// Canonical trial key text (scenario + policy + seed).
+    pub key: String,
+    /// The cell's policy.
+    pub policy: PolicyKind,
+    /// The cell's trial seed.
+    pub seed: u64,
+    /// The row's fault intensity.
+    pub intensity: f64,
+    /// The caught panic or typed simulation error.
+    pub failure: CellFailure,
+}
+
+/// Everything one campaign run produced: the figure, the quarantine
+/// report, and execution accounting.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// The aggregated figure (quarantined cells excluded from means).
+    pub figure: RobustnessFigure,
+    /// Cells that panicked or aborted, in grid order.
+    pub quarantined: Vec<QuarantineRecord>,
+    /// Simulated/cached cell counts and pooled-context reuse.
+    pub exec: SweepExecStats,
+    /// Cells resolved from the manifest (a resumed campaign's skipped
+    /// work).
+    pub resumed: u64,
+    /// Per-worker event-queue statistics, for post-mortem inspection of
+    /// quarantining runs (one entry per worker whose pool ever ran).
+    /// Pooled queues reset their per-run counters between trials, so
+    /// the durable signal here is the retained footprint
+    /// (`slab_capacity`); the cumulative counters live in
+    /// [`SweepExecStats::pool`](super::SweepExecStats).
+    pub queues: Vec<QueueStats>,
+}
+
+/// Runs a robustness campaign over `config`'s grid.
+///
+/// Resolution order per cell: the `manifest` (previous campaign run),
+/// then the `cache` (any previous sweep), then simulation. Every
+/// freshly decided cell — clean or quarantined — is checkpointed into
+/// the manifest as soon as it is known, so killing the process loses at
+/// most the in-flight cells.
+///
+/// `sabotage` deterministically injects failures for smoke testing;
+/// pass `|_| Sabotage::None` in production.
+///
+/// # Panics
+///
+/// Panics if the grid is empty or `trials`/`threads` is zero. Panics
+/// *inside cells* (including sabotaged ones) are quarantined, never
+/// propagated.
+pub fn robustness_campaign<S>(
+    config: &RobustnessConfig,
+    cache: Option<&SweepCache>,
+    manifest: Option<&SweepManifest>,
+    sabotage: S,
+) -> CampaignReport
+where
+    S: Fn(&Cell) -> Sabotage + Sync,
+{
+    assert!(config.trials > 0, "need at least one trial");
+    assert!(
+        !config.intensities.is_empty(),
+        "need at least one intensity"
+    );
+    assert!(!config.policies.is_empty(), "need at least one policy");
+    assert!(!config.predictors.is_empty(), "need at least one predictor");
+
+    let scenario_of = |intensity: f64, predictor: PredictorKind| {
+        let mut s = PaperScenario::new(config.utilization, config.capacity)
+            .with_predictor(predictor)
+            .with_fault_intensity(intensity);
+        s.horizon_units = config.horizon_units;
+        s
+    };
+
+    // The grid, row-major: (row, predictor idx, policy idx, seed).
+    let jobs: Vec<(usize, usize, usize, u64)> = (0..config.intensities.len())
+        .flat_map(|row| {
+            (0..config.predictors.len()).flat_map(move |pi| {
+                (0..config.policies.len())
+                    .flat_map(move |pj| (0..config.trials as u64).map(move |s| (row, pi, pj, s)))
+            })
+        })
+        .collect();
+    let key_of = |&(row, pi, pj, seed): &(usize, usize, usize, u64)| {
+        scenario_of(config.intensities[row], config.predictors[pi])
+            .trial_key(config.policies[pj], seed)
+    };
+
+    // Resolve: manifest (previous campaign run) first, then cache.
+    let mut outcomes: Vec<Option<CellOutcome>> = vec![None; jobs.len()];
+    let mut resumed = 0u64;
+    let mut cached = 0u64;
+    for (i, job) in jobs.iter().enumerate() {
+        let key = key_of(job);
+        if let Some(outcome) = manifest.and_then(|m| m.get(key.text())) {
+            outcomes[i] = Some(outcome);
+            resumed += 1;
+        } else if let Some(summary) = cache.and_then(|c| c.get(&key)) {
+            if let Some(m) = manifest {
+                // Best-effort: a later resume then works without the cache.
+                let _ = m.record_done(key.text(), &summary);
+            }
+            outcomes[i] = Some(CellOutcome::Done(summary));
+            cached += 1;
+        }
+    }
+    let pending: Vec<usize> = (0..jobs.len()).filter(|&i| outcomes[i].is_none()).collect();
+
+    // Build: one prefab per seed still needing simulation (the solar
+    // realization and task set depend on the seed, never on the fault
+    // intensity, predictor, or policy).
+    let base = scenario_of(0.0, config.predictors[0]);
+    let mut needed: Vec<u64> = pending.iter().map(|&i| jobs[i].3).collect();
+    needed.sort_unstable();
+    needed.dedup();
+    let built: Vec<TrialPrefab> =
+        parallel_map(needed.clone(), config.threads, |seed| base.prefab(seed));
+    let mut prefabs: Vec<Option<TrialPrefab>> = vec![None; config.trials];
+    for (seed, prefab) in needed.into_iter().zip(built) {
+        prefabs[seed as usize] = Some(prefab);
+    }
+
+    // Run: pending cells through quarantining pooled workers. Each
+    // decided cell checkpoints into the manifest immediately.
+    let pending_jobs: Vec<(usize, usize, usize, u64)> = pending.iter().map(|&i| jobs[i]).collect();
+    let (computed, pools) = parallel_map_quarantined(
+        pending_jobs,
+        config.threads,
+        |_| SimPool::new(),
+        |pool, job @ (row, pi, pj, seed)| {
+            let cell = Cell {
+                intensity: config.intensities[row],
+                policy: config.policies[pj],
+                predictor: config.predictors[pi],
+                seed,
+            };
+            let key = key_of(&job);
+            let watchdog = match sabotage(&cell) {
+                Sabotage::Panic => panic!("injected sabotage: panic in cell {}", key.text()),
+                Sabotage::Starve => Some(Watchdog::with_max_events(4)),
+                Sabotage::None => config.watchdog,
+            };
+            let scenario = scenario_of(cell.intensity, cell.predictor);
+            let prefab = prefabs[seed as usize]
+                .as_ref()
+                .expect("prefab built for every pending seed");
+            let summary = scenario.try_run_summary(pool, cache, cell.policy, prefab, watchdog)?;
+            if let Some(m) = manifest {
+                let _ = m.record_done(key.text(), &summary);
+            }
+            Ok::<_, harvest_core::result::SimError>(summary)
+        },
+    );
+
+    let mut exec = SweepExecStats {
+        simulated: pending.len() as u64,
+        cached,
+        ..SweepExecStats::default()
+    };
+    let mut queues = Vec::new();
+    for pool in &pools {
+        exec.merge_pool(pool.stats());
+        if let Some(qs) = pool.queue_stats() {
+            queues.push(qs);
+        }
+    }
+
+    let mut quarantined = Vec::new();
+    for (&i, result) in pending.iter().zip(computed) {
+        let job = jobs[i];
+        let outcome = match result {
+            Ok(summary) => CellOutcome::Done(summary),
+            Err(failure) => {
+                let key = key_of(&job);
+                if let Some(m) = manifest {
+                    let _ = m.record_quarantined(key.text(), &failure);
+                }
+                quarantined.push(QuarantineRecord {
+                    key: key.text().to_owned(),
+                    policy: config.policies[job.2],
+                    seed: job.3,
+                    intensity: config.intensities[job.0],
+                    failure: failure.clone(),
+                });
+                CellOutcome::Quarantined(failure)
+            }
+        };
+        outcomes[i] = Some(outcome);
+    }
+
+    // Aggregate: means over decided cells only.
+    let pairs = config.predictors.len() * config.policies.len();
+    let mut sums = vec![vec![0.0f64; pairs]; config.intensities.len()];
+    let mut counts = vec![vec![0u64; pairs]; config.intensities.len()];
+    for ((row, pi, pj, _), outcome) in jobs.into_iter().zip(outcomes) {
+        let idx = pi * config.policies.len() + pj;
+        if let Some(CellOutcome::Done(summary)) = outcome {
+            sums[row][idx] += summary.miss_rate();
+            counts[row][idx] += 1;
+        }
+    }
+    let rows: Vec<RobustnessRow> = config
+        .intensities
+        .iter()
+        .zip(sums.into_iter().zip(counts))
+        .map(|(&intensity, (sum, decided))| RobustnessRow {
+            intensity,
+            miss_rates: sum
+                .iter()
+                .zip(&decided)
+                .map(|(&s, &n)| if n == 0 { 0.0 } else { s / n as f64 })
+                .collect(),
+            decided,
+        })
+        .collect();
+
+    CampaignReport {
+        figure: RobustnessFigure {
+            utilization: config.utilization,
+            capacity: config.capacity,
+            policies: config.policies.clone(),
+            predictors: config.predictors.clone(),
+            rows,
+            trials: config.trials,
+        },
+        quarantined,
+        exec,
+        resumed,
+        queues,
+    }
+}
+
+/// The robustness figure on the default grid (no manifest, cache from
+/// the environment, no sabotage).
+///
+/// # Panics
+///
+/// Panics if `trials` or `threads` is zero.
+pub fn robustness_figure(trials: usize, threads: usize) -> RobustnessFigure {
+    let config = RobustnessConfig {
+        trials,
+        threads,
+        ..RobustnessConfig::default()
+    };
+    let cache = SweepCache::from_env();
+    robustness_campaign(&config, cache.as_ref(), None, |_| Sabotage::None).figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> RobustnessConfig {
+        RobustnessConfig {
+            horizon_units: 2_000,
+            intensities: vec![0.0, 1.0],
+            policies: vec![PolicyKind::Lsa, PolicyKind::EaDvfs],
+            predictors: vec![PredictorKind::Oracle],
+            trials: 2,
+            threads: 2,
+            ..RobustnessConfig::default()
+        }
+    }
+
+    #[test]
+    fn faults_move_the_miss_rate() {
+        let report = robustness_campaign(&small_config(), None, None, |_| Sabotage::None);
+        let fig = &report.figure;
+        assert_eq!(fig.rows.len(), 2);
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.exec.simulated, 2 * 2 * 2);
+        for row in &fig.rows {
+            for (&rate, &n) in row.miss_rates.iter().zip(&row.decided) {
+                assert!((0.0..=1.0).contains(&rate));
+                assert_eq!(n, 2, "every cell decided");
+            }
+        }
+        let clean: f64 = fig.rows[0].miss_rates.iter().sum();
+        let faulted: f64 = fig.rows[1].miss_rates.iter().sum();
+        assert!(
+            faulted >= clean,
+            "full-intensity faults cannot reduce misses (clean {clean:.3}, faulted {faulted:.3})"
+        );
+        assert!(
+            faulted > 0.0,
+            "blackouts and lockouts at intensity 1 must cause misses"
+        );
+        // The figure digest is a pure function of the data.
+        assert_eq!(fig.digest(), report.figure.digest());
+    }
+
+    #[test]
+    fn sabotaged_cells_are_quarantined_not_fatal() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = robustness_campaign(&small_config(), None, None, |cell| {
+            if (cell.policy, cell.seed, cell.intensity) == (PolicyKind::Lsa, 0, 0.0) {
+                Sabotage::Panic
+            } else if (cell.policy, cell.seed, cell.intensity) == (PolicyKind::EaDvfs, 1, 1.0) {
+                Sabotage::Starve
+            } else {
+                Sabotage::None
+            }
+        });
+        std::panic::set_hook(hook);
+        assert_eq!(report.quarantined.len(), 2, "exactly the sabotaged cells");
+        let panicked = &report.quarantined[0];
+        assert_eq!(panicked.policy, PolicyKind::Lsa);
+        assert_eq!(panicked.seed, 0);
+        assert!(panicked.failure.panicked);
+        assert!(panicked.key.contains("|lsa|0"), "{}", panicked.key);
+        let starved = &report.quarantined[1];
+        assert_eq!(starved.policy, PolicyKind::EaDvfs);
+        assert_eq!(starved.seed, 1);
+        assert!(!starved.failure.panicked);
+        assert!(
+            starved.failure.message.contains("watchdog"),
+            "{}",
+            starved.failure.message
+        );
+        // Quarantined cells are excluded from the means, the rest decide.
+        let fig = &report.figure;
+        assert_eq!(fig.rows[0].decided[0], 1, "LSA row 0 lost one trial");
+        assert_eq!(fig.rows[1].decided[1], 1, "EA-DVFS row 1 lost one trial");
+        assert_eq!(fig.rows[0].decided[1], 2);
+        // Queue stats from the surviving pools are reported.
+        assert!(!report.queues.is_empty());
+        assert!(report.exec.pool.runs > 0);
+    }
+
+    #[test]
+    fn manifest_resume_skips_every_decided_cell() {
+        let dir = std::env::temp_dir().join(format!(
+            "harvest-robustness-manifest-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.manifest.jsonl");
+        let config = small_config();
+
+        let manifest = SweepManifest::open(&path).unwrap();
+        let first = robustness_campaign(&config, None, Some(&manifest), |_| Sabotage::None);
+        assert_eq!(first.resumed, 0);
+        assert_eq!(first.exec.simulated, 8);
+        drop(manifest);
+
+        let manifest = SweepManifest::open(&path).unwrap();
+        assert_eq!(manifest.resumed(), 8);
+        let second = robustness_campaign(&config, None, Some(&manifest), |_| Sabotage::None);
+        assert_eq!(second.exec.simulated, 0, "nothing re-simulates");
+        assert_eq!(second.resumed, 8);
+        assert_eq!(
+            second.figure.digest(),
+            first.figure.digest(),
+            "resumed figure is bit-identical"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -6,7 +6,10 @@
 //!   5-task workloads, 10 000-unit horizon) behind one seeded knob.
 //! * [`figures`] — one function per paper figure/table (Figs. 5–9,
 //!   Table 1).
-//! * [`parallel`] — deterministic multi-threaded trial fan-out.
+//! * [`parallel`] — deterministic multi-threaded trial fan-out, with a
+//!   quarantining mode that contains per-cell panics.
+//! * [`manifest`] — the incremental checkpoint file behind
+//!   kill-and-resume campaigns.
 //! * [`report`] — aligned tables, ASCII plots, CSV.
 //! * [`cli`] — the uniform flags of the `fig5`…`table1` binaries.
 //! * [`artifact`] — the JSONL run-artifact schema behind `exp record`
@@ -33,6 +36,7 @@ pub mod artifact;
 pub mod cache;
 pub mod cli;
 pub mod figures;
+pub mod manifest;
 pub mod parallel;
 pub mod record;
 pub mod report;
@@ -98,5 +102,7 @@ pub mod test_support {
     }
 }
 
-pub use figures::{min_capacity_table, miss_rate_figure, remaining_energy_figure, source_figure};
-pub use scenario::{PaperScenario, PolicyKind, PredictorKind};
+pub use figures::{
+    min_capacity_table, miss_rate_figure, remaining_energy_figure, robustness_figure, source_figure,
+};
+pub use scenario::{FaultScenario, PaperScenario, PolicyKind, PredictorKind};

@@ -1,0 +1,324 @@
+//! Incrementally-written sweep manifest: checkpoint/resume for long
+//! campaigns.
+//!
+//! A campaign writes one JSONL line per *decided* cell — `done` with
+//! its [`TrialSummary`], or `quarantined` with its [`CellFailure`] —
+//! flushing after every line. A killed campaign therefore leaves a
+//! manifest naming every cell it finished; re-running with the same
+//! manifest resolves those cells without re-simulating and only the
+//! pending remainder executes.
+//!
+//! Integrity rules mirror [`crate::cache`]:
+//!
+//! * Cells are keyed by the canonical [`TrialKey`](crate::cache::TrialKey)
+//!   **text** (schema version + serialized scenario + policy + seed),
+//!   so a manifest can never resolve a cell from a different grid, and
+//!   renaming/reordering the grid misses naturally.
+//! * A kill mid-write can leave a torn final line. [`SweepManifest::open`]
+//!   tolerates that: the damaged tail is truncated away and its cells
+//!   recompute. A corrupt line *inside* the file conservatively drops
+//!   everything from the corruption onward.
+//! * Quarantined cells count as decided: the simulator is
+//!   deterministic, so a cell that panicked or tripped the watchdog
+//!   will do so again — resuming re-reports it instead of re-failing.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::TrialSummary;
+use crate::parallel::CellFailure;
+
+/// How a manifest remembers one decided cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// The cell simulated (or cache-resolved) cleanly.
+    Done(TrialSummary),
+    /// The cell was quarantined: it panicked or returned a typed
+    /// simulation error.
+    Quarantined(CellFailure),
+}
+
+/// On-disk line layout. `status` discriminates; exactly one of
+/// `summary`/`failure` is populated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ManifestLine {
+    key: String,
+    status: String,
+    summary: Option<TrialSummary>,
+    failure: Option<CellFailure>,
+}
+
+impl ManifestLine {
+    fn into_entry(self) -> Option<(String, CellOutcome)> {
+        let outcome = match self.status.as_str() {
+            "done" => CellOutcome::Done(self.summary?),
+            "quarantined" => CellOutcome::Quarantined(self.failure?),
+            _ => return None,
+        };
+        Some((self.key, outcome))
+    }
+}
+
+#[derive(Debug)]
+struct ManifestState {
+    file: std::fs::File,
+    entries: HashMap<String, CellOutcome>,
+}
+
+/// A checkpoint file for one sweep campaign (see the module docs).
+///
+/// Shared immutably across workers: records serialize through an
+/// internal mutex and flush line-by-line, so the on-disk state always
+/// trails the in-flight campaign by at most the line being written.
+#[derive(Debug)]
+pub struct SweepManifest {
+    path: PathBuf,
+    resumed: usize,
+    state: Mutex<ManifestState>,
+}
+
+impl SweepManifest {
+    /// Opens `path`, creating it when absent and loading every decided
+    /// cell when present. A torn or corrupt tail is truncated away (its
+    /// cells simply recompute); the good prefix is kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying IO error when the file cannot be read,
+    /// truncated, or opened for append.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let mut entries = HashMap::new();
+        let mut good = 0usize;
+        for chunk in text.split_inclusive('\n') {
+            if !chunk.ends_with('\n') {
+                break; // torn tail from a kill mid-write
+            }
+            let line = chunk.trim();
+            if line.is_empty() {
+                good += chunk.len();
+                continue;
+            }
+            match serde_json::from_str::<ManifestLine>(line)
+                .ok()
+                .and_then(ManifestLine::into_entry)
+            {
+                Some((key, outcome)) => {
+                    entries.insert(key, outcome);
+                    good += chunk.len();
+                }
+                None => break, // corruption: drop it and everything after
+            }
+        }
+        if good < text.len() {
+            let f = std::fs::OpenOptions::new().write(true).open(&path)?;
+            f.set_len(good as u64)?;
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok(SweepManifest {
+            path,
+            resumed: entries.len(),
+            state: Mutex::new(ManifestState { file, entries }),
+        })
+    }
+
+    /// Where the manifest lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// How many decided cells [`open`](Self::open) loaded — the cells a
+    /// resumed campaign will not re-simulate.
+    pub fn resumed(&self) -> usize {
+        self.resumed
+    }
+
+    /// Decided cells right now (resumed plus recorded).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("manifest lock").entries.len()
+    }
+
+    /// `true` when no cell has been decided.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The outcome recorded for a cell key, if any.
+    pub fn get(&self, key_text: &str) -> Option<CellOutcome> {
+        self.state
+            .lock()
+            .expect("manifest lock")
+            .entries
+            .get(key_text)
+            .cloned()
+    }
+
+    fn record(&self, key_text: &str, outcome: CellOutcome) -> std::io::Result<()> {
+        let line = match &outcome {
+            CellOutcome::Done(summary) => ManifestLine {
+                key: key_text.to_owned(),
+                status: "done".to_owned(),
+                summary: Some(summary.clone()),
+                failure: None,
+            },
+            CellOutcome::Quarantined(failure) => ManifestLine {
+                key: key_text.to_owned(),
+                status: "quarantined".to_owned(),
+                summary: None,
+                failure: Some(failure.clone()),
+            },
+        };
+        let json = serde_json::to_string(&line).map_err(std::io::Error::other)?;
+        let mut state = self.state.lock().expect("manifest lock");
+        writeln!(state.file, "{json}")?;
+        state.file.flush()?;
+        state.entries.insert(key_text.to_owned(), outcome);
+        Ok(())
+    }
+
+    /// Checkpoints a cleanly decided cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns the IO error when the line cannot be appended; the
+    /// in-memory map is only updated on success, so a failed checkpoint
+    /// never claims durability it does not have.
+    pub fn record_done(&self, key_text: &str, summary: &TrialSummary) -> std::io::Result<()> {
+        self.record(key_text, CellOutcome::Done(summary.clone()))
+    }
+
+    /// Checkpoints a quarantined cell.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`record_done`](Self::record_done).
+    pub fn record_quarantined(&self, key_text: &str, failure: &CellFailure) -> std::io::Result<()> {
+        self.record(key_text, CellOutcome::Quarantined(failure.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "harvest-manifest-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("sweep.manifest.jsonl")
+    }
+
+    fn summary(missed: u64) -> TrialSummary {
+        TrialSummary {
+            released: 10,
+            completed_in_time: 10 - missed,
+            missed,
+            sample_level_bits: Vec::new(),
+        }
+    }
+
+    fn failure() -> CellFailure {
+        CellFailure {
+            message: "injected panic".to_owned(),
+            panicked: true,
+            worker: 2,
+        }
+    }
+
+    #[test]
+    fn records_resume_across_reopen() {
+        let path = scratch("resume");
+        let m = SweepManifest::open(&path).unwrap();
+        assert_eq!(m.resumed(), 0);
+        assert!(m.is_empty());
+        m.record_done("cell-a", &summary(1)).unwrap();
+        m.record_quarantined("cell-b", &failure()).unwrap();
+        assert_eq!(m.len(), 2);
+        drop(m);
+
+        let m = SweepManifest::open(&path).unwrap();
+        assert_eq!(m.resumed(), 2);
+        assert_eq!(m.get("cell-a"), Some(CellOutcome::Done(summary(1))));
+        assert_eq!(
+            m.get("cell-b"),
+            Some(CellOutcome::Quarantined(failure())),
+            "quarantined cells stay decided on resume"
+        );
+        assert_eq!(m.get("cell-c"), None);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_recomputes() {
+        let path = scratch("torn");
+        let m = SweepManifest::open(&path).unwrap();
+        m.record_done("cell-a", &summary(0)).unwrap();
+        m.record_done("cell-b", &summary(2)).unwrap();
+        drop(m);
+        // Simulate a kill mid-write: append half a line, no newline.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"key\":\"cell-c\",\"status\":\"do");
+        std::fs::write(&path, &text).unwrap();
+
+        let m = SweepManifest::open(&path).unwrap();
+        assert_eq!(m.resumed(), 2, "good prefix survives");
+        assert_eq!(m.get("cell-c"), None, "torn cell recomputes");
+        // The torn bytes are gone: a new record appends cleanly.
+        m.record_done("cell-c", &summary(3)).unwrap();
+        drop(m);
+        let m = SweepManifest::open(&path).unwrap();
+        assert_eq!(m.resumed(), 3);
+        assert_eq!(m.get("cell-c"), Some(CellOutcome::Done(summary(3))));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn interior_corruption_drops_the_tail() {
+        let path = scratch("interior");
+        let m = SweepManifest::open(&path).unwrap();
+        m.record_done("cell-a", &summary(0)).unwrap();
+        m.record_done("cell-b", &summary(1)).unwrap();
+        m.record_done("cell-c", &summary(2)).unwrap();
+        drop(m);
+        // Corrupt the middle line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let mangled = format!("{}\ngarbage not json\n{}\n", lines[0], lines[2]);
+        std::fs::write(&path, mangled).unwrap();
+
+        let m = SweepManifest::open(&path).unwrap();
+        assert_eq!(m.resumed(), 1, "only the prefix before corruption");
+        assert!(m.get("cell-a").is_some());
+        assert_eq!(m.get("cell-c"), None, "post-corruption cells recompute");
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn last_write_wins_on_duplicate_keys() {
+        let path = scratch("dup");
+        let m = SweepManifest::open(&path).unwrap();
+        m.record_quarantined("cell-a", &failure()).unwrap();
+        m.record_done("cell-a", &summary(4)).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("cell-a"), Some(CellOutcome::Done(summary(4))));
+        drop(m);
+        let m = SweepManifest::open(&path).unwrap();
+        assert_eq!(m.get("cell-a"), Some(CellOutcome::Done(summary(4))));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

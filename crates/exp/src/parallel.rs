@@ -22,6 +22,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+use serde::{Deserialize, Serialize};
+
 /// Per-worker accounting from the `*_observed` map variants.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorkerStats {
@@ -295,6 +297,86 @@ where
     run_sharded(items, threads, init, f, true)
 }
 
+/// Why one quarantined cell failed (see [`parallel_map_quarantined`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellFailure {
+    /// The panic payload or error rendering.
+    pub message: String,
+    /// `true` when the mapped function panicked; `false` when it
+    /// returned an error.
+    pub panicked: bool,
+    /// Index of the worker that executed the cell.
+    pub worker: usize,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// [`parallel_map_with`] in quarantining mode: the mapped function is
+/// fallible, and both its errors **and its panics** are caught per
+/// item and returned as [`CellFailure`]s in place of results, so one
+/// poisoned sweep cell cannot take down a whole campaign. Input order
+/// is preserved; every other cell still executes.
+///
+/// The worker state must tolerate a mid-item panic — pooled
+/// [`crate::scenario::SimPool`] contexts do (a panicked run's queues
+/// are rebuilt on the next use), which is why they are the intended
+/// state here. Panic payloads still go through the process panic hook
+/// (so backtraces remain available under `RUST_BACKTRACE`); only the
+/// unwind is contained.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`. Panics from `f` are quarantined, not
+/// propagated.
+pub fn parallel_map_quarantined<I, T, R, E, W, N, F>(
+    items: I,
+    threads: usize,
+    init: N,
+    f: F,
+) -> (Vec<Result<R, CellFailure>>, Vec<W>)
+where
+    I: IntoIterator<Item = T>,
+    T: Clone + Send + Sync,
+    R: Send,
+    E: std::fmt::Display,
+    W: Send,
+    N: Fn(usize) -> W + Sync,
+    F: Fn(&mut W, T) -> Result<R, E> + Sync,
+{
+    let items: Vec<T> = items.into_iter().collect();
+    let (out, _, states) = run_sharded(
+        items,
+        threads,
+        |w| (w, init(w)),
+        |(w, state), x| {
+            let worker = *w;
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(state, x))) {
+                Ok(Ok(r)) => Ok(r),
+                Ok(Err(e)) => Err(CellFailure {
+                    message: e.to_string(),
+                    panicked: false,
+                    worker,
+                }),
+                Err(payload) => Err(CellFailure {
+                    message: panic_message(payload.as_ref()),
+                    panicked: true,
+                    worker,
+                }),
+            }
+        },
+        false,
+    );
+    (out, states.into_iter().map(|(_, s)| s).collect())
+}
+
 /// A sensible default worker count.
 ///
 /// Resolution order:
@@ -488,6 +570,56 @@ mod tests {
         assert_eq!(out, (0..64).collect::<Vec<_>>());
         assert_eq!(stats.iter().map(|s| s.items).sum::<u64>(), 64);
         assert_eq!(states.iter().sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn quarantine_catches_panics_and_errors_in_place() {
+        // Suppress the default hook's backtrace spam for the expected
+        // panics; the hook is process-global, so restore it after.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let (out, states) = parallel_map_quarantined(
+            0..32u64,
+            4,
+            |_| 0u64,
+            |count, x| {
+                *count += 1;
+                if x == 5 {
+                    panic!("poisoned cell {x}");
+                }
+                if x == 9 {
+                    return Err(format!("typed failure at {x}"));
+                }
+                Ok(x * 2)
+            },
+        );
+        std::panic::set_hook(hook);
+        assert_eq!(out.len(), 32);
+        for (i, r) in out.iter().enumerate() {
+            match i as u64 {
+                5 => {
+                    let f = r.as_ref().unwrap_err();
+                    assert!(f.panicked);
+                    assert_eq!(f.message, "poisoned cell 5");
+                    assert!(f.worker < 4);
+                }
+                9 => {
+                    let f = r.as_ref().unwrap_err();
+                    assert!(!f.panicked);
+                    assert_eq!(f.message, "typed failure at 9");
+                }
+                x => assert_eq!(*r.as_ref().unwrap(), x * 2),
+            }
+        }
+        // Every cell — including the poisoned ones — was executed once.
+        assert_eq!(states.iter().sum::<u64>(), 32);
+    }
+
+    #[test]
+    fn quarantine_empty_input() {
+        let (out, states) =
+            parallel_map_quarantined(Vec::<u32>::new(), 4, |_| (), |(), x| Ok::<_, String>(x));
+        assert!(out.is_empty() && states.is_empty());
     }
 
     #[test]

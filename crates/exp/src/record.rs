@@ -7,9 +7,45 @@
 //! reports.
 
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use serde::Serialize;
+
+/// Why a record failed to reach disk — serialization and filesystem
+/// failures stay distinguishable instead of both collapsing into a
+/// generic `io::Error`.
+#[derive(Debug)]
+pub enum RecordError {
+    /// The artifact failed to serialize.
+    Serialize(serde_json::Error),
+    /// The filesystem rejected the write.
+    Io {
+        /// Destination that could not be written.
+        path: PathBuf,
+        /// The underlying IO error.
+        source: io::Error,
+    },
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Serialize(e) => write!(f, "cannot serialize record: {e}"),
+            RecordError::Io { path, source } => {
+                write!(f, "cannot write {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecordError::Serialize(_) => None,
+            RecordError::Io { source, .. } => Some(source),
+        }
+    }
+}
 
 /// Provenance envelope around a serialized experiment artifact.
 #[derive(Debug, Clone, Serialize)]
@@ -52,10 +88,14 @@ impl<T: Serialize> Record<T> {
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from the filesystem.
-    pub fn write_to(&self, path: &Path) -> io::Result<()> {
-        let json = self.to_json().map_err(io::Error::other)?;
-        std::fs::write(path, json)
+    /// Returns a typed [`RecordError`] naming whether serialization or
+    /// the filesystem failed (and where).
+    pub fn write_to(&self, path: &Path) -> Result<(), RecordError> {
+        let json = self.to_json().map_err(RecordError::Serialize)?;
+        std::fs::write(path, json).map_err(|source| RecordError::Io {
+            path: path.to_owned(),
+            source,
+        })
     }
 }
 
@@ -77,6 +117,24 @@ mod tests {
             .as_str()
             .unwrap()
             .starts_with("harvest-rt"));
+    }
+
+    #[test]
+    fn write_errors_are_typed_and_name_the_path() {
+        let record = Record::new("fig5", 1, 0, source_figure(0, 5));
+        let bad = std::env::temp_dir()
+            .join("harvest-rt-no-such-dir")
+            .join("x.json");
+        let err = record.write_to(&bad).unwrap_err();
+        match &err {
+            RecordError::Io { path, .. } => assert_eq!(path, &bad),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(
+            msg.contains("cannot write") && msg.contains("x.json"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -7,12 +7,13 @@
 use std::sync::Arc;
 
 use harvest_core::config::SystemConfig;
+use harvest_core::fault::FaultPlan;
 use harvest_core::policies::{
     EaDvfsScheduler, EdfScheduler, GreedyStretchScheduler, LazyScheduler,
 };
-use harvest_core::result::SimResult;
+use harvest_core::result::{SimError, SimResult};
 use harvest_core::scheduler::Scheduler;
-use harvest_core::system::{simulate_in, simulate_shared, PoolStats, RunContext};
+use harvest_core::system::{simulate_in, simulate_shared, try_simulate_in, PoolStats, RunContext};
 use harvest_cpu::{presets, CpuModel};
 use harvest_energy::predictor::{
     EnergyPredictor, EwmaSlotPredictor, MovingAveragePredictor, OraclePredictor,
@@ -21,6 +22,8 @@ use harvest_energy::predictor::{
 use harvest_energy::source::sample_profile;
 use harvest_energy::sources::SolarModel;
 use harvest_energy::storage::StorageSpec;
+use harvest_sim::engine::Watchdog;
+use harvest_sim::event::QueueStats;
 use harvest_sim::piecewise::PiecewiseConstant;
 use harvest_sim::time::{SimDuration, SimTime};
 use harvest_task::generator::WorkloadSpec;
@@ -109,6 +112,34 @@ impl SimPool {
     /// different sizes; see [`RunContext::shrink_to`]).
     pub fn shrink_to(&mut self, limit: usize) {
         self.ctx.shrink_to(limit);
+    }
+
+    /// Event-queue counters of the pooled context (`None` until a run
+    /// has materialized the queue). Quarantine reports attach these so
+    /// a failing worker's state is inspectable post-mortem.
+    pub fn queue_stats(&self) -> Option<QueueStats> {
+        self.ctx.queue_stats()
+    }
+
+    fn try_run(
+        &mut self,
+        scenario: &PaperScenario,
+        config: SystemConfig,
+        policy: PolicyKind,
+        prefab: &TrialPrefab,
+    ) -> Result<SimResult, SimError> {
+        let predictor = scenario.predictor.build_shared(&prefab.profile);
+        let sched = self.policies[policy.index()]
+            .get_or_insert_with(|| policy.build())
+            .as_mut();
+        try_simulate_in(
+            &mut self.ctx,
+            config,
+            Arc::clone(&prefab.tasks),
+            Arc::clone(&prefab.profile),
+            sched,
+            predictor,
+        )
     }
 
     fn run(
@@ -247,8 +278,18 @@ pub struct TrialPrefab {
     pub tasks: Arc<harvest_task::TaskSet>,
 }
 
+/// Deterministic fault injection for robustness sweeps: one intensity
+/// knob in `[0, 1]`, expanded per trial seed into a concrete
+/// [`FaultPlan`] (blackouts/brownouts, storage degradation, DVFS level
+/// lockouts, predictor corruption — see [`FaultPlan::generate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultScenario {
+    /// Fault intensity in `[0, 1]`; `0` injects nothing.
+    pub intensity: f64,
+}
+
 /// A fully specified §5.1 scenario (everything but the seed and policy).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct PaperScenario {
     /// Number of periodic tasks (paper figures use 5).
     pub num_tasks: usize,
@@ -265,6 +306,37 @@ pub struct PaperScenario {
     pub source_dt_units: i64,
     /// Predictor to drive the policies with.
     pub predictor: PredictorKind,
+    /// Deterministic fault injection, if this is a robustness-sweep
+    /// cell. `None` (the default) runs fault-free.
+    pub fault: Option<FaultScenario>,
+}
+
+// Hand-written so a fault-free scenario serializes exactly as it did
+// before the `fault` field existed: trial cache keys embed this
+// serialization (see `crate::cache`), so omitting the `None` entry
+// keeps every previously-cached fault-free cell addressable.
+impl Serialize for PaperScenario {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("num_tasks".to_string(), self.num_tasks.to_value()),
+            ("utilization".to_string(), self.utilization.to_value()),
+            ("capacity".to_string(), self.capacity.to_value()),
+            ("horizon_units".to_string(), self.horizon_units.to_value()),
+            (
+                "sample_interval_units".to_string(),
+                self.sample_interval_units.to_value(),
+            ),
+            (
+                "source_dt_units".to_string(),
+                self.source_dt_units.to_value(),
+            ),
+            ("predictor".to_string(), self.predictor.to_value()),
+        ];
+        if let Some(fault) = &self.fault {
+            fields.push(("fault".to_string(), fault.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
 }
 
 impl PaperScenario {
@@ -280,6 +352,7 @@ impl PaperScenario {
             sample_interval_units: None,
             source_dt_units: 1,
             predictor: PredictorKind::default(),
+            fault: None,
         }
     }
 
@@ -293,6 +366,36 @@ impl PaperScenario {
     pub fn with_predictor(mut self, predictor: PredictorKind) -> Self {
         self.predictor = predictor;
         self
+    }
+
+    /// Arms deterministic fault injection at the given intensity. Zero
+    /// disarms it, keeping the scenario — and its trial cache keys —
+    /// identical to a fault-free one.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `intensity` lies in `[0, 1]`.
+    pub fn with_fault_intensity(mut self, intensity: f64) -> Self {
+        assert!(
+            intensity.is_finite() && (0.0..=1.0).contains(&intensity),
+            "fault intensity must lie in [0, 1]"
+        );
+        self.fault = (intensity > 0.0).then_some(FaultScenario { intensity });
+        self
+    }
+
+    /// Expands the scenario's fault knob into one trial's concrete
+    /// [`FaultPlan`]. `None` when the scenario is fault-free or the
+    /// seed draws an empty plan.
+    pub fn fault_plan(&self, seed: u64) -> Option<FaultPlan> {
+        let fault = self.fault?;
+        let plan = FaultPlan::generate(
+            seed,
+            fault.intensity,
+            SimDuration::from_whole_units(self.horizon_units),
+            &self.cpu(),
+        );
+        (!plan.is_empty()).then_some(plan)
     }
 
     /// The processor all scenarios use (the paper's XScale table).
@@ -353,6 +456,16 @@ impl PaperScenario {
         config
     }
 
+    /// [`config`](Self::config) specialized to one trial: the fault
+    /// knob, if armed, becomes the seed's concrete fault plan.
+    pub fn config_for(&self, seed: u64) -> SystemConfig {
+        let mut config = self.config();
+        if let Some(plan) = self.fault_plan(seed) {
+            config = config.with_fault_plan(plan);
+        }
+        config
+    }
+
     fn run_prefab_config(
         &self,
         config: SystemConfig,
@@ -372,7 +485,7 @@ impl PaperScenario {
     /// Runs one policy on a prebuilt trial, sharing its profile and
     /// task set instead of regenerating them.
     pub fn run_prefab(&self, policy: PolicyKind, prefab: &TrialPrefab) -> SimResult {
-        self.run_prefab_config(self.config(), policy, prefab)
+        self.run_prefab_config(self.config_for(prefab.seed), policy, prefab)
     }
 
     /// [`run_prefab`](Self::run_prefab) through a worker's [`SimPool`]:
@@ -385,7 +498,25 @@ impl PaperScenario {
         policy: PolicyKind,
         prefab: &TrialPrefab,
     ) -> SimResult {
-        pool.run(self, self.config(), policy, prefab)
+        pool.run(self, self.config_for(prefab.seed), policy, prefab)
+    }
+
+    /// [`run_prefab_in`](Self::run_prefab_in) with an optional engine
+    /// watchdog: a run that exhausts its event budget returns a typed
+    /// [`SimError`] instead of spinning forever, and the pool stays
+    /// reusable afterwards.
+    pub fn try_run_prefab_in(
+        &self,
+        pool: &mut SimPool,
+        policy: PolicyKind,
+        prefab: &TrialPrefab,
+        watchdog: Option<Watchdog>,
+    ) -> Result<SimResult, SimError> {
+        let mut config = self.config_for(prefab.seed);
+        if let Some(w) = watchdog {
+            config = config.with_watchdog(w);
+        }
+        pool.try_run(self, config, policy, prefab)
     }
 
     /// The content-address of one of this scenario's trials (see
@@ -417,12 +548,43 @@ impl PaperScenario {
         summary
     }
 
+    /// [`run_summary`](Self::run_summary) through the fallible path:
+    /// cache hits short-circuit as before, a clean run is summarized
+    /// and written back, and a watchdog abort propagates *uncached* —
+    /// the watchdog budget is deliberately not part of the trial key,
+    /// so an aborted cell must never poison the cache.
+    pub fn try_run_summary(
+        &self,
+        pool: &mut SimPool,
+        cache: Option<&crate::cache::SweepCache>,
+        policy: PolicyKind,
+        prefab: &TrialPrefab,
+        watchdog: Option<Watchdog>,
+    ) -> Result<crate::cache::TrialSummary, SimError> {
+        let key = cache.map(|c| (c, self.trial_key(policy, prefab.seed)));
+        if let Some((c, key)) = &key {
+            if let Some(summary) = c.get(key) {
+                return Ok(summary);
+            }
+        }
+        let result = self.try_run_prefab_in(pool, policy, prefab, watchdog)?;
+        let summary = crate::cache::TrialSummary::of(&result);
+        if let Some((c, key)) = &key {
+            c.put(key, &summary);
+        }
+        Ok(summary)
+    }
+
     /// [`run_prefab`](Self::run_prefab) with full observability — trace,
     /// metrics snapshot, and phase profiling all enabled. This is the
     /// configuration `exp record` captures JSONL artifacts with; sweeps
     /// keep using the lean [`run_prefab`](Self::run_prefab) path.
     pub fn run_prefab_observed(&self, policy: PolicyKind, prefab: &TrialPrefab) -> SimResult {
-        let config = self.config().with_trace().with_metrics().with_profiling();
+        let config = self
+            .config_for(prefab.seed)
+            .with_trace()
+            .with_metrics()
+            .with_profiling();
         self.run_prefab_config(config, policy, prefab)
     }
 
@@ -485,6 +647,90 @@ mod tests {
         let s = PaperScenario::new(0.4, 500.0).with_sampling(500);
         let r = s.run(PolicyKind::EaDvfs, 3);
         assert_eq!(r.samples.len(), 20);
+    }
+
+    #[test]
+    fn fault_free_serialization_is_unchanged() {
+        // Cache keys embed this serialization: a fault-free scenario
+        // must not mention the `fault` field at all, or every
+        // pre-existing cache entry would orphan.
+        let s = PaperScenario::new(0.4, 500.0);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(!json.contains("fault"), "fault leaked into the key: {json}");
+        let armed = s.clone().with_fault_intensity(0.5);
+        let armed_json = serde_json::to_string(&armed).unwrap();
+        assert!(armed_json.contains("\"fault\""), "{armed_json}");
+        assert_ne!(json, armed_json, "faulted cells need distinct keys");
+        // Zero intensity disarms and round-trips back to the same key.
+        let disarmed = armed.with_fault_intensity(0.0);
+        assert_eq!(serde_json::to_string(&disarmed).unwrap(), json);
+        // And the serialization round-trips through the derived
+        // Deserialize (missing `fault` key reads as `None`).
+        let back: PaperScenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        let back: PaperScenario = serde_json::from_str(&armed_json).unwrap();
+        assert_eq!(back.fault, Some(FaultScenario { intensity: 0.5 }));
+    }
+
+    #[test]
+    fn fault_plans_are_per_seed_and_deterministic() {
+        let s = PaperScenario::new(0.4, 500.0).with_fault_intensity(0.6);
+        assert!(s.fault_plan(3).is_some());
+        assert_eq!(s.fault_plan(3), s.fault_plan(3));
+        assert_ne!(s.fault_plan(3), s.fault_plan(4), "plans vary by seed");
+        assert_eq!(PaperScenario::new(0.4, 500.0).fault_plan(3), None);
+    }
+
+    #[test]
+    fn faulted_runs_replay_identically_and_differ_from_clean() {
+        let clean = PaperScenario::new(0.4, 300.0);
+        let faulted = clean.clone().with_fault_intensity(0.8);
+        let a = faulted.run(PolicyKind::EaDvfs, 2);
+        let b = faulted.run(PolicyKind::EaDvfs, 2);
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.energy, b.energy);
+        assert_eq!(a.events, b.events);
+        let base = clean.run(PolicyKind::EaDvfs, 2);
+        assert_ne!(
+            a.energy, base.energy,
+            "intensity 0.8 must perturb the trial"
+        );
+    }
+
+    #[test]
+    fn try_paths_match_infallible_ones() {
+        let s = PaperScenario::new(0.4, 500.0).with_fault_intensity(0.3);
+        let prefab = s.prefab(1);
+        let mut pool = SimPool::new();
+        let plain = s.run_prefab_in(&mut pool, PolicyKind::Lsa, &prefab);
+        let tried = s
+            .try_run_prefab_in(&mut pool, PolicyKind::Lsa, &prefab, None)
+            .expect("no watchdog, no abort");
+        assert_eq!(plain.jobs, tried.jobs);
+        assert_eq!(plain.energy, tried.energy);
+        assert!(pool.queue_stats().is_some(), "runs materialize the queue");
+    }
+
+    #[test]
+    fn try_run_summary_surfaces_watchdog_aborts() {
+        let s = PaperScenario::new(0.4, 500.0);
+        let prefab = s.prefab(0);
+        let mut pool = SimPool::new();
+        let err = s
+            .try_run_summary(
+                &mut pool,
+                None,
+                PolicyKind::EaDvfs,
+                &prefab,
+                Some(Watchdog::with_max_events(3)),
+            )
+            .expect_err("3 events cannot finish a 10k-unit run");
+        assert!(matches!(err, SimError::WatchdogEventBudget { .. }));
+        // The pool heals: the same cell succeeds without the watchdog.
+        let summary = s
+            .try_run_summary(&mut pool, None, PolicyKind::EaDvfs, &prefab, None)
+            .unwrap();
+        assert!(summary.released > 0);
     }
 
     #[test]

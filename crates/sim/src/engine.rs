@@ -8,6 +8,7 @@
 use crate::event::{EventId, EventQueue, QueueStats};
 use crate::time::SimTime;
 use harvest_obs::profile::PhaseProfiler;
+use serde::{Deserialize, Serialize};
 
 /// Phase name under which [`Engine::run_until`] accounts event
 /// dispatch (the full `Model::handle` call) when profiling is enabled.
@@ -81,6 +82,57 @@ pub enum RunOutcome {
         /// Time at which the stop was requested.
         at: SimTime,
     },
+    /// A [`Watchdog`] budget was exhausted and the run was aborted.
+    WatchdogFired {
+        /// Time of the event that tripped the budget.
+        at: SimTime,
+        /// Total events handled when the watchdog fired.
+        events: u64,
+        /// Which budget tripped.
+        kind: WatchdogKind,
+    },
+}
+
+/// Which [`Watchdog`] budget aborted a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WatchdogKind {
+    /// The lifetime event budget ([`Watchdog::max_events`]) ran out.
+    EventBudget,
+    /// Too many consecutive events fired at one instant without the
+    /// clock advancing ([`Watchdog::max_events_at_instant`]).
+    NoProgress,
+}
+
+/// Abort budgets for [`Engine::run_until`] — the harness's defense
+/// against runaway or livelocked models.
+///
+/// Both budgets are optional; an unset watchdog (the default) keeps the
+/// run loop exactly as cheap as before. `max_events` bounds the total
+/// events a trial may handle; `max_events_at_instant` bounds how many
+/// events may fire back-to-back at a single timestamp, catching models
+/// that reschedule themselves at `now` forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Watchdog {
+    /// Abort once this many events have been handled in total.
+    pub max_events: Option<u64>,
+    /// Abort once this many consecutive events fire without the clock
+    /// advancing.
+    pub max_events_at_instant: Option<u64>,
+}
+
+impl Watchdog {
+    /// A watchdog with only a lifetime event budget.
+    pub fn with_max_events(max_events: u64) -> Self {
+        Watchdog {
+            max_events: Some(max_events),
+            max_events_at_instant: None,
+        }
+    }
+
+    /// `true` when no budget is configured.
+    pub fn is_empty(&self) -> bool {
+        self.max_events.is_none() && self.max_events_at_instant.is_none()
+    }
 }
 
 /// Discrete-event engine binding a clock, an [`EventQueue`], and a
@@ -120,6 +172,7 @@ pub struct Engine<M: Model> {
     /// Scoped phase timers; `None` (the default) keeps the run loop at
     /// one branch per event and zero clock reads.
     profiler: Option<Box<PhaseProfiler>>,
+    watchdog: Option<Watchdog>,
 }
 
 impl<M: Model> Engine<M> {
@@ -148,7 +201,13 @@ impl<M: Model> Engine<M> {
             now: SimTime::ZERO,
             handled: 0,
             profiler: None,
+            watchdog: None,
         }
+    }
+
+    /// Arms (or with `None`, disarms) the run-loop watchdog.
+    pub fn set_watchdog(&mut self, watchdog: Option<Watchdog>) {
+        self.watchdog = watchdog.filter(|w| !w.is_empty());
     }
 
     /// Turns on per-event phase timing: every `Model::handle` call is
@@ -210,6 +269,10 @@ impl<M: Model> Engine<M> {
     /// horizon are *not* handled, so `[0, horizon)` is simulated.
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
         let mut stop = false;
+        // Watchdog bookkeeping lives in locals so the disarmed loop
+        // stays branch-light; the same-instant streak is per-call.
+        let mut at_instant: u64 = 0;
+        let mut last_t: Option<SimTime> = None;
         loop {
             match self.queue.peek_time() {
                 None => {
@@ -225,6 +288,28 @@ impl<M: Model> Engine<M> {
             let (t, ev) = self.queue.pop().expect("peeked event present");
             self.now = t;
             self.handled += 1;
+            if let Some(wd) = self.watchdog {
+                if wd.max_events.is_some_and(|max| self.handled > max) {
+                    return RunOutcome::WatchdogFired {
+                        at: t,
+                        events: self.handled,
+                        kind: WatchdogKind::EventBudget,
+                    };
+                }
+                if last_t == Some(t) {
+                    at_instant += 1;
+                } else {
+                    at_instant = 1;
+                    last_t = Some(t);
+                }
+                if wd.max_events_at_instant.is_some_and(|max| at_instant > max) {
+                    return RunOutcome::WatchdogFired {
+                        at: t,
+                        events: self.handled,
+                        kind: WatchdogKind::NoProgress,
+                    };
+                }
+            }
             let mut ctx = Scheduler {
                 queue: &mut self.queue,
                 now: t,
@@ -392,6 +477,97 @@ mod tests {
                 stop_on: None,
             },
             q,
+        );
+    }
+
+    #[test]
+    fn watchdog_event_budget_aborts_runaway_model() {
+        struct Forever;
+        impl Model for Forever {
+            type Event = ();
+            fn handle(&mut self, now: SimTime, _: (), ctx: &mut Scheduler<'_, ()>) {
+                ctx.schedule(now + SimDuration::from_whole_units(1), ());
+            }
+        }
+        let mut e = Engine::new(Forever);
+        e.set_watchdog(Some(Watchdog::with_max_events(10)));
+        e.schedule(SimTime::ZERO, ());
+        let out = e.run_until(t(1_000_000));
+        assert_eq!(
+            out,
+            RunOutcome::WatchdogFired {
+                at: t(10),
+                events: 11,
+                kind: WatchdogKind::EventBudget,
+            }
+        );
+    }
+
+    #[test]
+    fn watchdog_no_progress_catches_same_instant_spin() {
+        struct Spinner;
+        impl Model for Spinner {
+            type Event = ();
+            fn handle(&mut self, now: SimTime, _: (), ctx: &mut Scheduler<'_, ()>) {
+                // Reschedules at `now` forever: time never advances.
+                ctx.schedule(now, ());
+            }
+        }
+        let mut e = Engine::new(Spinner);
+        e.set_watchdog(Some(Watchdog {
+            max_events: None,
+            max_events_at_instant: Some(5),
+        }));
+        e.schedule(t(3), ());
+        let out = e.run_until(t(100));
+        assert_eq!(
+            out,
+            RunOutcome::WatchdogFired {
+                at: t(3),
+                events: 6,
+                kind: WatchdogKind::NoProgress,
+            }
+        );
+    }
+
+    #[test]
+    fn watchdog_spares_models_within_budget() {
+        let mut e = Engine::new(Recorder {
+            seen: vec![],
+            stop_on: None,
+        });
+        e.set_watchdog(Some(Watchdog {
+            max_events: Some(10),
+            max_events_at_instant: Some(3),
+        }));
+        e.schedule(t(1), 1);
+        e.schedule(t(1), 2);
+        e.schedule(t(1), 3);
+        e.schedule(t(2), 4);
+        let out = e.run_until(t(100));
+        assert_eq!(
+            out,
+            RunOutcome::Drained {
+                last_event: Some(t(2))
+            }
+        );
+        assert_eq!(e.model().seen.len(), 4);
+    }
+
+    #[test]
+    fn empty_watchdog_is_disarmed() {
+        let mut e = Engine::new(Recorder {
+            seen: vec![],
+            stop_on: None,
+        });
+        e.set_watchdog(Some(Watchdog::default()));
+        e.schedule(t(1), 1);
+        let out = e.run_until(t(100));
+        assert_eq!(
+            out,
+            RunOutcome::Drained {
+                last_event: Some(t(1))
+            }
         );
     }
 

@@ -54,6 +54,7 @@
 //! recycled are rejected in O(1).
 
 use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
 
 /// Handle to a scheduled event, usable to cancel it.
 ///
@@ -267,7 +268,7 @@ const PASS_DIGITS: usize = 1 << PASS_BITS;
 /// (`scheduled - cancelled - cleared - pending`), and the remaining
 /// counters live on cold paths (cancellation, multi-entry drains) —
 /// except `max_pending`, one predictable compare per schedule.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QueueStats {
     /// Events ever scheduled.
     pub scheduled: u64,

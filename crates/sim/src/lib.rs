@@ -43,7 +43,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Engine, Model, RunOutcome, Scheduler};
+pub use engine::{Engine, Model, RunOutcome, Scheduler, Watchdog, WatchdogKind};
 pub use event::{EventId, EventQueue, QueueStats};
 pub use piecewise::{CursorStats, Extension, PiecewiseConstant, PiecewiseError, Segment};
 pub use stats::{Histogram, RunningStats, SampledSeries};

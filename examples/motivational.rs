@@ -27,6 +27,10 @@ fn show(label: &str, result: &SimResult) {
             TraceEvent::Idled { until: Some(u) } => format!("idle until {u}"),
             TraceEvent::Idled { until: None } => "idle".into(),
             TraceEvent::Stalled { .. } => "stall (storage empty)".into(),
+            TraceEvent::HarvestFault { factor, .. } => format!("harvest fault (factor {factor})"),
+            TraceEvent::LevelLockout { level, locked } => {
+                format!("level {level} lockout: {locked}")
+            }
         };
         println!("    {t:>12}  {what}");
     }

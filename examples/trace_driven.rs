@@ -71,6 +71,12 @@ fn main() {
             TraceEvent::Idled { until: Some(u) } => format!("idle until {u}"),
             TraceEvent::Idled { until: None } => "idle".into(),
             TraceEvent::Stalled { .. } => "stall: storage empty".into(),
+            TraceEvent::HarvestFault { factor, active } => {
+                format!("harvest fault: factor {factor} (active: {active})")
+            }
+            TraceEvent::LevelLockout { level, locked } => {
+                format!("level {level} lockout: {locked}")
+            }
         };
         println!("  {t:>12}  {line}");
     }

@@ -1,0 +1,83 @@
+//! Property-based determinism guarantees for the fault-injection
+//! subsystem (ISSUE 5, satellite c): the same `(scenario, seed,
+//! FaultPlan)` triple must replay bit-identically, and a zero-intensity
+//! plan must be indistinguishable from running with no plan at all.
+
+use harvest_rt::core::fault::FaultPlan;
+use harvest_rt::prelude::*;
+use proptest::prelude::*;
+
+/// A random faulted §5.1-style cell.
+fn faulted_cell_strategy() -> impl Strategy<Value = (PolicyKind, f64, f64, f64, u64)> {
+    (
+        prop_oneof![
+            Just(PolicyKind::Edf),
+            Just(PolicyKind::Lsa),
+            Just(PolicyKind::EaDvfs),
+        ],
+        0.1f64..0.9,     // utilization
+        50.0f64..3000.0, // capacity
+        0.05f64..1.0,    // fault intensity (strictly positive: armed)
+        0u64..1_000,     // seed
+    )
+}
+
+fn short_scenario(utilization: f64, capacity: f64) -> PaperScenario {
+    let mut s = PaperScenario::new(utilization, capacity).with_sampling(100);
+    s.horizon_units = 2_000; // keep each proptest case fast
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same (scenario, seed, FaultPlan) => bit-identical `SimResult`s.
+    #[test]
+    fn faulted_runs_replay_bit_identically(
+        (policy, u, c, intensity, seed) in faulted_cell_strategy()
+    ) {
+        let s = short_scenario(u, c).with_fault_intensity(intensity);
+        let a = s.run(policy, seed);
+        let b = s.run(policy, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The plan itself is a pure function of the trial seed.
+    #[test]
+    fn fault_plans_are_pure_functions_of_the_seed(
+        (_, u, c, intensity, seed) in faulted_cell_strategy()
+    ) {
+        let s = short_scenario(u, c).with_fault_intensity(intensity);
+        prop_assert_eq!(s.fault_plan(seed), s.fault_plan(seed));
+    }
+
+    /// A zero-intensity FaultPlan produces results bit-identical to a
+    /// fault-free run: injection must be a strict no-op when disarmed.
+    #[test]
+    fn zero_intensity_matches_fault_free(
+        (policy, u, c, _, seed) in faulted_cell_strategy()
+    ) {
+        let clean = short_scenario(u, c);
+        let disarmed = short_scenario(u, c).with_fault_intensity(0.0);
+        prop_assert_eq!(disarmed.fault_plan(seed), None,
+            "zero intensity must not arm a plan");
+        let a = clean.run(policy, seed);
+        let b = disarmed.run(policy, seed);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// An explicitly empty `FaultPlan` attached to the config is also a
+/// strict no-op (the `SystemConfig` normalizes it away), so callers can
+/// thread a plan unconditionally.
+#[test]
+fn empty_plan_is_normalized_away() {
+    let s = PaperScenario::new(0.4, 500.0);
+    let cpu = harvest_rt::cpu::presets::xscale();
+    let empty = FaultPlan::generate(9, 0.0, SimDuration::from_whole_units(10_000), &cpu);
+    assert!(empty.is_empty());
+    let plain = s.config(); // fault-free config
+    let threaded = s.config().with_fault_plan(empty);
+    assert_eq!(plain.fault_plan, threaded.fault_plan);
+    assert_eq!(threaded.fault_plan, None);
+}

@@ -39,6 +39,8 @@ fn trace_hash(trace: &[(SimTime, TraceEvent)]) -> u64 {
             TraceEvent::Stalled { until } => {
                 (6, until.map_or(u64::MAX, |t| t.as_ticks() as u64), 0, 0)
             }
+            TraceEvent::HarvestFault { factor, active } => (7, factor.to_bits(), active as u64, 0),
+            TraceEvent::LevelLockout { level, locked } => (8, level as u64, locked as u64, 0),
         };
         h = fnv(h, tag);
         h = fnv(h, a);

@@ -57,7 +57,10 @@ impl TraceSink<TraceEvent> for InvariantSink {
                 );
                 assert!(self.missed.insert(job), "{job:?} missed twice");
             }
-            TraceEvent::Idled { .. } | TraceEvent::Stalled { .. } => {}
+            TraceEvent::Idled { .. }
+            | TraceEvent::Stalled { .. }
+            | TraceEvent::HarvestFault { .. }
+            | TraceEvent::LevelLockout { .. } => {}
         }
     }
 }
@@ -151,7 +154,10 @@ fn trace_agrees_with_records() {
                         assert!(missed.insert(job), "double miss of {job:?}");
                         assert!(!completed.contains(&job), "missed after completing");
                     }
-                    TraceEvent::Idled { .. } | TraceEvent::Stalled { .. } => {}
+                    TraceEvent::Idled { .. }
+                    | TraceEvent::Stalled { .. }
+                    | TraceEvent::HarvestFault { .. }
+                    | TraceEvent::LevelLockout { .. } => {}
                 }
             }
             // Trace counts match the records.
