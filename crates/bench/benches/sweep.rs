@@ -11,21 +11,25 @@
 //! cells grow; the microcell isolates what is being measured instead of
 //! burying it under simulation work.
 //!
-//! Three modes are timed as `sweep/trials_*`:
+//! Four modes are timed as `sweep/trials_*`:
 //!
 //! * `cold` — the pre-PR4 fast path: shared prefab, but fresh queues,
 //!   registry, and boxed policy every run.
 //! * `pooled` — `run_prefab_in` through one reused [`SimPool`].
 //! * `cached` — a warm [`SweepCache`] hit: deserialize the stored
 //!   summary instead of simulating.
+//! * `batched_b{4,8,16}` — B sibling trials (seeds 0..B) per iteration
+//!   through the structure-of-arrays engine
+//!   (`run_prefabs_batched_in`); per-trial time is the iteration time
+//!   divided by B.
 //!
-//! Running this bench writes `BENCH_PR4.json` at the workspace root:
-//! raw medians, trials/sec per mode with the pooled-vs-cold and
-//! cached-vs-cold speedups, heap-allocation counts per trial (cold vs
-//! pooled, via a counting global allocator), and the per-worker
-//! allocation/item counts of one sharded pooled mini-sweep — workers
-//! after the first few trials should allocate only what the results
-//! themselves need.
+//! Running this bench writes `BENCH_PR6.json` at the workspace root:
+//! raw medians, trials/sec per mode with the pooled-vs-cold,
+//! cached-vs-cold, and batched-vs-pooled (at B = 8) speedups,
+//! heap-allocation counts per trial (cold vs pooled vs batched, via a
+//! counting global allocator), and the per-worker allocation/item
+//! counts of one sharded pooled mini-sweep — workers after the first
+//! few trials should allocate only what the results themselves need.
 //!
 //! Pass `--smoke` for a 1-sample sanity run (CI): every benchmark
 //! executes once and no report is written.
@@ -118,6 +122,23 @@ fn trial_modes(c: &mut Criterion, s: &PaperScenario, prefab: &TrialPrefab, cache
     g.finish();
 }
 
+/// The batch widths timed and reported.
+const BATCH_WIDTHS: [usize; 3] = [4, 8, 16];
+
+/// `sweep/trials_batched_b{4,8,16}`: one SoA pass over B sibling
+/// microcell trials per iteration, all through one reused pool (the
+/// batch context's slabs persist across iterations).
+fn batched_modes(c: &mut Criterion, s: &PaperScenario, refs: &[&TrialPrefab]) {
+    let mut g = c.benchmark_group("sweep");
+    for width in BATCH_WIDTHS {
+        let mut pool = SimPool::new();
+        g.bench_function(format!("trials_batched_b{width}"), |b| {
+            b.iter(|| black_box(s.run_prefabs_batched_in(&mut pool, POLICY, &refs[..width])))
+        });
+    }
+    g.finish();
+}
+
 /// Median heap allocations per trial for a run closure, measured on
 /// this thread outside any timed region.
 fn allocs_per_trial(mut run: impl FnMut()) -> u64 {
@@ -178,7 +199,12 @@ fn sharded_worker_allocs(s: &PaperScenario, prefab: &TrialPrefab) -> Vec<Value> 
         .collect()
 }
 
-fn write_report(path: &std::path::Path, s: &PaperScenario, prefab: &TrialPrefab) {
+fn write_report(
+    path: &std::path::Path,
+    s: &PaperScenario,
+    prefab: &TrialPrefab,
+    refs: &[&TrialPrefab],
+) {
     let results = criterion::all_results();
     let entries: Vec<Value> = results
         .iter()
@@ -201,13 +227,32 @@ fn write_report(path: &std::path::Path, s: &PaperScenario, prefab: &TrialPrefab)
         find("sweep/trials_pooled"),
         find("sweep/trials_cached"),
     ) {
-        (Some(cold), Some(pooled), Some(cached)) => vec![Value::Map(vec![
-            ("cold".to_string(), Value::F64(1e9 / cold)),
-            ("pooled".to_string(), Value::F64(1e9 / pooled)),
-            ("cached".to_string(), Value::F64(1e9 / cached)),
-            ("pooled_vs_cold".to_string(), Value::F64(cold / pooled)),
-            ("cached_vs_cold".to_string(), Value::F64(cold / cached)),
-        ])],
+        (Some(cold), Some(pooled), Some(cached)) => {
+            let mut modes = vec![
+                ("cold".to_string(), Value::F64(1e9 / cold)),
+                ("pooled".to_string(), Value::F64(1e9 / pooled)),
+                ("cached".to_string(), Value::F64(1e9 / cached)),
+            ];
+            // One batched iteration simulates `width` trials, so the
+            // per-trial rate is width / iteration time.
+            for width in BATCH_WIDTHS {
+                if let Some(ns) = find(&format!("sweep/trials_batched_b{width}")) {
+                    modes.push((
+                        format!("batched_b{width}"),
+                        Value::F64(width as f64 * 1e9 / ns),
+                    ));
+                }
+            }
+            modes.push(("pooled_vs_cold".to_string(), Value::F64(cold / pooled)));
+            modes.push(("cached_vs_cold".to_string(), Value::F64(cold / cached)));
+            if let Some(b8) = find("sweep/trials_batched_b8") {
+                modes.push((
+                    "batched_vs_pooled".to_string(),
+                    Value::F64(pooled / (b8 / 8.0)),
+                ));
+            }
+            vec![Value::Map(modes)]
+        }
         _ => Vec::new(),
     };
 
@@ -219,6 +264,14 @@ fn write_report(path: &std::path::Path, s: &PaperScenario, prefab: &TrialPrefab)
     let pooled_allocs = allocs_per_trial(|| {
         black_box(s.run_prefab_in(&mut pool, POLICY, prefab));
     });
+    // Per-trial allocations of one B = 8 batch: the batch context keeps
+    // its SoA slabs across passes, so after warmup this should be O(1)
+    // slab work per pass plus only what the eight results themselves
+    // need — not eight times the pooled count.
+    let mut pool = SimPool::new();
+    let batched_allocs = allocs_per_trial(|| {
+        black_box(s.run_prefabs_batched_in(&mut pool, POLICY, &refs[..8]));
+    }) / 8;
     let per_worker = sharded_worker_allocs(s, prefab);
 
     let doc = Value::Map(vec![
@@ -248,6 +301,10 @@ fn write_report(path: &std::path::Path, s: &PaperScenario, prefab: &TrialPrefab)
             Value::Map(vec![
                 ("cold_per_trial".to_string(), Value::U64(cold_allocs)),
                 ("pooled_per_trial".to_string(), Value::U64(pooled_allocs)),
+                (
+                    "batched_b8_per_trial".to_string(),
+                    Value::U64(batched_allocs),
+                ),
                 ("sharded_per_worker".to_string(), Value::Seq(per_worker)),
             ]),
         ),
@@ -266,8 +323,11 @@ fn main() {
     }
     let s = scenario();
     let prefab = s.prefab(SEED);
+    let siblings: Vec<TrialPrefab> = (0..16).map(|seed| s.prefab(seed)).collect();
+    let refs: Vec<&TrialPrefab> = siblings.iter().collect();
     let (cache, cache_dir) = warm_cache(&s, &prefab);
     trial_modes(&mut c, &s, &prefab, &cache);
+    batched_modes(&mut c, &s, &refs);
 
     if smoke {
         let _ = std::fs::remove_dir_all(&cache_dir);
@@ -275,6 +335,6 @@ fn main() {
         return;
     }
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    write_report(&root.join("BENCH_PR4.json"), &s, &prefab);
+    write_report(&root.join("BENCH_PR6.json"), &s, &prefab, &refs);
     let _ = std::fs::remove_dir_all(&cache_dir);
 }

@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod config;
 pub mod fault;
 pub mod policies;
@@ -72,6 +73,7 @@ pub mod scheduler;
 pub mod system;
 pub mod trace;
 
+pub use batch::{simulate_batch_in, BatchContext, BatchLane};
 pub use config::{MissPolicy, SystemConfig};
 pub use fault::{FaultPlan, LevelLockoutWindow};
 pub use policies::{

@@ -43,7 +43,7 @@ use crate::trace::TraceEvent;
 
 /// Stored-energy amounts below this are treated as "empty" when deciding
 /// whether execution can proceed.
-const ENERGY_EPS: f64 = 1e-9;
+pub(crate) const ENERGY_EPS: f64 = 1e-9;
 
 /// Phase name for the continuous-state advance ([`SystemModel::sync_to`]:
 /// storage integration, accounting, job progress) in a profiled run.
@@ -790,6 +790,12 @@ pub struct PoolStats {
     pub event_slab_high_water: u64,
     /// High-water EDF-heap capacity retained across runs.
     pub ready_high_water: u64,
+    /// Trials executed through the lean lanes of
+    /// [`simulate_batch_in`](crate::batch::simulate_batch_in) (also
+    /// counted in [`runs`](Self::runs)).
+    pub batched_runs: u64,
+    /// High-water lean-lane occupancy of a single batch.
+    pub batch_lane_high_water: u64,
 }
 
 /// A reusable simulation context: the allocations that dominate per-run
@@ -817,6 +823,10 @@ impl RunContext {
     /// Retention statistics accumulated over this context's lifetime.
     pub fn stats(&self) -> PoolStats {
         self.stats
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut PoolStats {
+        &mut self.stats
     }
 
     /// Cumulative event-queue statistics of the pooled queue, or `None`

@@ -39,7 +39,7 @@ use std::path::PathBuf;
 use harvest_exp::artifact::RunArtifact;
 use harvest_exp::cache::{fnv1a64, SweepCache};
 use harvest_exp::figures::{
-    miss_rate_figure_cached, robustness_campaign, RobustnessConfig, Sabotage,
+    miss_rate_figure_cached_batched, robustness_campaign, RobustnessConfig, Sabotage,
 };
 use harvest_exp::manifest::SweepManifest;
 use harvest_exp::scenario::{PaperScenario, PolicyKind, PredictorKind};
@@ -49,8 +49,9 @@ const USAGE: &str = "usage:
                   [--seed N] [--horizon UNITS] [--sample UNITS] [--out PATH]
   exp inspect     PATH
   exp diff        PATH BASELINE
-  exp sweep       [--util U] [--trials N] [--threads N] [--cache PATH] [--expect-warm]
-  exp fault-sweep [--util U] [--capacity C] [--trials N] [--threads N]
+  exp sweep       [--util U] [--trials N] [--threads N] [--batch B] [--cache PATH]
+                  [--expect-warm]
+  exp fault-sweep [--util U] [--capacity C] [--trials N] [--threads N] [--batch B]
                   [--horizon UNITS] [--intensities A,B,..] [--manifest PATH]
                   [--cache PATH] [--inject-panic POLICY:SEED:INTENSITY]
                   [--inject-starve POLICY:SEED:INTENSITY] [--expect-resumed]";
@@ -105,6 +106,7 @@ struct SweepArgs {
     utilization: f64,
     trials: usize,
     threads: usize,
+    batch: usize,
     cache: Option<PathBuf>,
     expect_warm: bool,
 }
@@ -115,6 +117,7 @@ impl Default for SweepArgs {
             utilization: 0.4,
             trials: 2,
             threads: 2,
+            batch: 1,
             cache: None,
             expect_warm: false,
         }
@@ -131,6 +134,7 @@ struct FaultSweepArgs {
     capacity: f64,
     trials: usize,
     threads: usize,
+    batch: usize,
     horizon_units: i64,
     intensities: Vec<f64>,
     manifest: Option<PathBuf>,
@@ -147,6 +151,7 @@ impl Default for FaultSweepArgs {
             capacity: 300.0,
             trials: 2,
             threads: 2,
+            batch: 1,
             horizon_units: 2_000,
             intensities: vec![0.0, 0.5, 1.0],
             manifest: None,
@@ -368,6 +373,14 @@ where
                     return Err("--intensities values must lie in [0, 1]".into());
                 }
             }
+            "--batch" => {
+                out.batch = value()?
+                    .parse()
+                    .map_err(|_| "--batch expects a positive integer".to_owned())?;
+                if out.batch == 0 {
+                    return Err("--batch must be positive".into());
+                }
+            }
             "--manifest" => out.manifest = Some(PathBuf::from(value()?)),
             "--cache" => out.cache = Some(PathBuf::from(value()?)),
             "--inject-panic" => out.inject_panic.push(parse_inject(&value()?)?),
@@ -403,6 +416,7 @@ fn fault_sweep(args: &FaultSweepArgs) -> Result<(), String> {
         predictors: vec![PredictorKind::Oracle],
         trials: args.trials,
         threads: args.threads,
+        batch: args.batch,
         ..RobustnessConfig::default()
     };
     let matches = |list: &[InjectSpec], cell: &harvest_exp::figures::Cell| {
@@ -420,19 +434,22 @@ fn fault_sweep(args: &FaultSweepArgs) -> Result<(), String> {
     });
     let cells = config.intensities.len() * config.policies.len() * config.trials;
     println!(
-        "fault-sweep util={} capacity={} trials={} cells={cells} simulated={} cached={} \
-         resumed={} quarantined={} pool_runs={} event_slab_high_water={} ready_high_water={} \
-         figure_fnv64={:016x}",
+        "fault-sweep util={} capacity={} trials={} batch={} cells={cells} simulated={} cached={} \
+         resumed={} quarantined={} pool_runs={} batched_runs={} event_slab_high_water={} \
+         ready_high_water={} batch_lane_high_water={} figure_fnv64={:016x}",
         args.utilization,
         args.capacity,
         args.trials,
+        args.batch,
         report.exec.simulated,
         report.exec.cached,
         report.resumed,
         report.quarantined.len(),
         report.exec.pool.runs,
+        report.exec.pool.batched_runs,
         report.exec.pool.event_slab_high_water,
         report.exec.pool.ready_high_water,
+        report.exec.pool.batch_lane_high_water,
         report.figure.digest(),
     );
     for q in &report.quarantined {
@@ -512,6 +529,14 @@ where
                     return Err("--threads must be positive".into());
                 }
             }
+            "--batch" => {
+                out.batch = value()?
+                    .parse()
+                    .map_err(|_| "--batch expects a positive integer".to_owned())?;
+                if out.batch == 0 {
+                    return Err("--batch must be positive".into());
+                }
+            }
             "--cache" => out.cache = Some(PathBuf::from(value()?)),
             "--expect-warm" => out.expect_warm = true,
             other => return Err(format!("unknown flag {other}")),
@@ -528,25 +553,30 @@ fn sweep(args: &SweepArgs) -> Result<(), String> {
         ),
         None => SweepCache::from_env(),
     };
-    let (figure, stats) = miss_rate_figure_cached(
+    let (figure, stats) = miss_rate_figure_cached_batched(
         cache.as_ref(),
         args.utilization,
         &[PolicyKind::Lsa, PolicyKind::EaDvfs],
         args.trials,
         args.threads,
+        args.batch,
     );
     let json = serde_json::to_string(&figure).map_err(|e| format!("serialize figure: {e}"))?;
     println!(
-        "sweep util={} trials={} cells={} simulated={} cached={} \
-         pool_runs={} event_slab_high_water={} ready_high_water={} figure_fnv64={:016x}",
+        "sweep util={} trials={} batch={} cells={} simulated={} cached={} \
+         pool_runs={} batched_runs={} event_slab_high_water={} ready_high_water={} \
+         batch_lane_high_water={} figure_fnv64={:016x}",
         args.utilization,
         args.trials,
+        args.batch,
         stats.simulated + stats.cached,
         stats.simulated,
         stats.cached,
         stats.pool.runs,
+        stats.pool.batched_runs,
         stats.pool.event_slab_high_water,
         stats.pool.ready_high_water,
+        stats.pool.batch_lane_high_water,
         fnv1a64(json.as_bytes()),
     );
     if let Some(cache) = &cache {
@@ -676,6 +706,8 @@ mod tests {
             "3",
             "--threads",
             "2",
+            "--batch",
+            "8",
             "--cache",
             "/tmp/sweep-cache",
             "--expect-warm",
@@ -684,9 +716,12 @@ mod tests {
         assert_eq!(args.utilization, 0.8);
         assert_eq!(args.trials, 3);
         assert_eq!(args.threads, 2);
+        assert_eq!(args.batch, 8);
         assert_eq!(args.cache, Some(PathBuf::from("/tmp/sweep-cache")));
         assert!(args.expect_warm);
+        assert_eq!(parse_sweep(Vec::<String>::new()).unwrap().batch, 1);
         assert!(parse_sweep(["--trials", "0"]).is_err());
+        assert!(parse_sweep(["--batch", "0"]).is_err());
         assert!(parse_sweep(["--bogus"]).is_err());
     }
 
@@ -701,6 +736,8 @@ mod tests {
             "3",
             "--threads",
             "2",
+            "--batch",
+            "4",
             "--horizon",
             "1500",
             "--intensities",
@@ -719,12 +756,14 @@ mod tests {
         assert_eq!(args.utilization, 0.8);
         assert_eq!(args.capacity, 200.0);
         assert_eq!(args.trials, 3);
+        assert_eq!(args.batch, 4);
         assert_eq!(args.horizon_units, 1500);
         assert_eq!(args.intensities, vec![0.0, 0.5, 1.0]);
         assert_eq!(args.manifest, Some(PathBuf::from("/tmp/m.jsonl")));
         assert_eq!(args.inject_panic, vec![(PolicyKind::Lsa, 0, 0.5)]);
         assert_eq!(args.inject_starve, vec![(PolicyKind::EaDvfs, 1, 1.0)]);
         assert!(args.expect_resumed);
+        assert!(parse_fault_sweep(["--batch", "0"]).is_err());
         assert!(parse_fault_sweep(["--intensities", "2.0"]).is_err());
         assert!(parse_fault_sweep(["--inject-panic", "lsa:0"]).is_err());
         assert!(parse_fault_sweep(["--inject-panic", "sjf:0:0.5"]).is_err());

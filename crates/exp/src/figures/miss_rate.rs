@@ -93,7 +93,29 @@ pub fn miss_rate_figure_cached(
     trials: usize,
     threads: usize,
 ) -> (MissRateFigure, SweepExecStats) {
+    miss_rate_figure_cached_batched(cache, utilization, policies, trials, threads, 1)
+}
+
+/// [`miss_rate_figure_cached`] with an explicit batch width: pending
+/// cells that share a `(capacity, policy)` grid point are sibling trials
+/// of the same scenario, so up to `batch` of them are simulated per pass
+/// through the structure-of-arrays engine
+/// ([`harvest_core::simulate_batch_in`]). Results and cache contents are
+/// bit-identical to `batch == 1`; only throughput changes.
+///
+/// # Panics
+///
+/// Panics if `trials`, `threads`, or `batch` is zero.
+pub fn miss_rate_figure_cached_batched(
+    cache: Option<&SweepCache>,
+    utilization: f64,
+    policies: &[PolicyKind],
+    trials: usize,
+    threads: usize,
+    batch: usize,
+) -> (MissRateFigure, SweepExecStats) {
     assert!(trials > 0, "need at least one trial");
+    assert!(batch > 0, "batch width must be at least 1");
     let capacities = sweep_capacities();
     let max_capacity = capacities.last().copied().expect("non-empty sweep");
     let jobs: Vec<(usize, f64, PolicyKind, u64)> = capacities
@@ -141,29 +163,58 @@ pub fn miss_rate_figure_cached(
     }
 
     // Run: pending cells only, each worker replaying its share through
-    // one pooled context.
-    let pending_jobs: Vec<(usize, f64, PolicyKind, u64)> =
-        pending.iter().map(|&i| jobs[i]).collect();
+    // one pooled context. The grid is capacity-major then policy then
+    // seed, so consecutive pending cells of one `(capacity, policy)`
+    // point are sibling seeds: chunk them into batches of at most
+    // `batch` lanes and simulate each batch in one SoA pass. A batch
+    // width of 1 degenerates to the scalar per-cell path.
+    type SiblingGroup = (f64, PolicyKind, Vec<(usize, u64)>);
+    let mut groups: Vec<SiblingGroup> = Vec::new();
+    for &i in &pending {
+        let (_, capacity, policy, seed) = jobs[i];
+        match groups.last_mut() {
+            Some((c, p, lanes)) if *c == capacity && *p == policy && lanes.len() < batch => {
+                lanes.push((i, seed));
+            }
+            _ => groups.push((capacity, policy, vec![(i, seed)])),
+        }
+    }
     let (computed, pools) = parallel_map_with(
-        pending_jobs,
+        groups,
         threads,
         |_| SimPool::new(),
-        |pool, (_, capacity, policy, seed)| {
+        |pool, (capacity, policy, lanes)| {
             let scenario = PaperScenario::new(utilization, capacity);
-            let prefab = prefabs[seed as usize]
-                .as_ref()
-                .expect("prefab built for every pending seed");
-            let summary = TrialSummary::of(&scenario.run_prefab_in(pool, policy, prefab));
-            if let Some(c) = cache {
-                c.put(&scenario.trial_key(policy, seed), &summary);
-            }
-            summary
+            let lane_prefabs: Vec<&TrialPrefab> = lanes
+                .iter()
+                .map(|&(_, seed)| {
+                    prefabs[seed as usize]
+                        .as_ref()
+                        .expect("prefab built for every pending seed")
+                })
+                .collect();
+            let results = if let [prefab] = lane_prefabs[..] {
+                vec![scenario.run_prefab_in(pool, policy, prefab)]
+            } else {
+                scenario.run_prefabs_batched_in(pool, policy, &lane_prefabs)
+            };
+            lanes
+                .iter()
+                .zip(&results)
+                .map(|(&(i, seed), result)| {
+                    let summary = TrialSummary::of(result);
+                    if let Some(c) = cache {
+                        c.put(&scenario.trial_key(policy, seed), &summary);
+                    }
+                    (i, summary)
+                })
+                .collect::<Vec<_>>()
         },
     );
     for pool in &pools {
         stats.merge_pool(pool.stats());
     }
-    for (&i, summary) in pending.iter().zip(computed) {
+    for (i, summary) in computed.into_iter().flatten() {
         summaries[i] = Some(summary);
     }
 
@@ -201,6 +252,18 @@ mod tests {
         let caps = sweep_capacities();
         assert!(caps.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(*caps.last().unwrap(), 5000.0);
+    }
+
+    /// A batched sweep must reproduce the scalar figure exactly, and the
+    /// batched-run counters must show the lanes actually fused.
+    #[test]
+    fn batched_sweep_matches_scalar() {
+        let policies = [PolicyKind::Lsa, PolicyKind::EaDvfs];
+        let (scalar, _) = miss_rate_figure_cached_batched(None, 0.8, &policies, 4, 2, 1);
+        let (batched, stats) = miss_rate_figure_cached_batched(None, 0.8, &policies, 4, 2, 4);
+        assert_eq!(scalar, batched);
+        assert!(stats.pool.batched_runs > 0, "batches should run lean lanes");
+        assert_eq!(stats.pool.batch_lane_high_water, 4);
     }
 
     /// Shrunk Fig. 8 headline: at U = 0.4, EA-DVFS misses markedly fewer

@@ -20,7 +20,10 @@ pub use min_capacity::{
     min_capacity_table, min_zero_miss_capacity, min_zero_miss_capacity_cached, MinCapacityRow,
     MinCapacityTable,
 };
-pub use miss_rate::{miss_rate_figure, miss_rate_figure_cached, MissRateFigure, MissRateRow};
+pub use miss_rate::{
+    miss_rate_figure, miss_rate_figure_cached, miss_rate_figure_cached_batched, MissRateFigure,
+    MissRateRow,
+};
 pub use remaining_energy::{
     remaining_energy_figure, remaining_energy_figure_cached, RemainingEnergyFigure,
 };
@@ -53,9 +56,12 @@ impl SweepExecStats {
     /// Folds one worker pool's counters into the aggregate.
     pub fn merge_pool(&mut self, p: PoolStats) {
         self.pool.runs += p.runs;
+        self.pool.batched_runs += p.batched_runs;
         self.pool.event_slab_high_water =
             self.pool.event_slab_high_water.max(p.event_slab_high_water);
         self.pool.ready_high_water = self.pool.ready_high_water.max(p.ready_high_water);
+        self.pool.batch_lane_high_water =
+            self.pool.batch_lane_high_water.max(p.batch_lane_high_water);
     }
 
     /// Folds another sweep's stats into this one (pool high-water marks

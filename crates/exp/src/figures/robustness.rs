@@ -21,7 +21,7 @@ use harvest_sim::engine::Watchdog;
 use harvest_sim::event::QueueStats;
 
 use super::SweepExecStats;
-use crate::cache::{fnv1a64, SweepCache};
+use crate::cache::{fnv1a64, SweepCache, TrialSummary};
 use crate::manifest::{CellOutcome, SweepManifest};
 use crate::parallel::{default_threads, parallel_map, parallel_map_quarantined, CellFailure};
 use crate::scenario::{PaperScenario, PolicyKind, PredictorKind, SimPool, TrialPrefab};
@@ -122,6 +122,15 @@ pub struct RobustnessConfig {
     pub trials: usize,
     /// Worker threads.
     pub threads: usize,
+    /// Sibling trials dispatched per engine pass: pending cells that
+    /// share a grid point are grouped into batches of at most this many
+    /// lanes. Quarantine granularity follows the batch — a panic inside
+    /// a batched pass quarantines every lane of that batch. Note the
+    /// default [`watchdog`](Self::watchdog) makes every lane
+    /// scalar-drain inside [`harvest_core::simulate_batch_in`] (a
+    /// watchdogged lane is ineligible for the fused loop), so batching
+    /// here changes dispatch granularity, not the inner simulation path.
+    pub batch: usize,
     /// Watchdog armed on every cell — the campaign-level stuck-trial
     /// guard. The default budget is far above any legitimate §5.1 run.
     pub watchdog: Option<Watchdog>,
@@ -138,6 +147,7 @@ impl Default for RobustnessConfig {
             predictors: vec![PredictorKind::Oracle],
             trials: 5,
             threads: default_threads(),
+            batch: 1,
             watchdog: Some(Watchdog::with_max_events(5_000_000)),
         }
     }
@@ -191,6 +201,11 @@ pub struct CampaignReport {
 ///
 /// `sabotage` deterministically injects failures for smoke testing;
 /// pass `|_| Sabotage::None` in production.
+///
+/// With [`RobustnessConfig::batch`] above 1, pending sibling cells are
+/// dispatched through one engine pass per batch; results stay
+/// bit-identical, but a panic inside a batch quarantines every lane of
+/// that batch rather than a single cell.
 ///
 /// # Panics
 ///
@@ -270,35 +285,87 @@ where
         prefabs[seed as usize] = Some(prefab);
     }
 
-    // Run: pending cells through quarantining pooled workers. Each
-    // decided cell checkpoints into the manifest immediately.
-    let pending_jobs: Vec<(usize, usize, usize, u64)> = pending.iter().map(|&i| jobs[i]).collect();
-    let (computed, pools) = parallel_map_quarantined(
-        pending_jobs,
-        config.threads,
-        |_| SimPool::new(),
-        |pool, job @ (row, pi, pj, seed)| {
-            let cell = Cell {
-                intensity: config.intensities[row],
-                policy: config.policies[pj],
-                predictor: config.predictors[pi],
-                seed,
-            };
-            let key = key_of(&job);
-            let watchdog = match sabotage(&cell) {
-                Sabotage::Panic => panic!("injected sabotage: panic in cell {}", key.text()),
-                Sabotage::Starve => Some(Watchdog::with_max_events(4)),
-                Sabotage::None => config.watchdog,
-            };
-            let scenario = scenario_of(cell.intensity, cell.predictor);
-            let prefab = prefabs[seed as usize]
-                .as_ref()
-                .expect("prefab built for every pending seed");
-            let summary = scenario.try_run_summary(pool, cache, cell.policy, prefab, watchdog)?;
-            if let Some(m) = manifest {
-                let _ = m.record_done(key.text(), &summary);
+    // Run: pending cells through quarantining pooled workers, grouped
+    // into sibling batches. The grid is row-major then predictor then
+    // policy then seed, so consecutive pending cells of one
+    // `(row, predictor, policy)` point are sibling seeds of the same
+    // scenario; up to `config.batch` of them go through one engine
+    // dispatch. Each decided cell checkpoints into the manifest
+    // immediately; a panic mid-batch quarantines the whole batch.
+    type SiblingGroup = (usize, usize, usize, Vec<(usize, u64)>);
+    let mut groups: Vec<SiblingGroup> = Vec::new();
+    for &i in &pending {
+        let (row, pi, pj, seed) = jobs[i];
+        match groups.last_mut() {
+            Some((r, a, b, lanes))
+                if (*r, *a, *b) == (row, pi, pj) && lanes.len() < config.batch =>
+            {
+                lanes.push((i, seed));
             }
-            Ok::<_, harvest_core::result::SimError>(summary)
+            _ => groups.push((row, pi, pj, vec![(i, seed)])),
+        }
+    }
+    let (computed, pools) = parallel_map_quarantined(
+        groups.clone(),
+        config.threads,
+        |w| (w, SimPool::new()),
+        |(worker, pool), (row, pi, pj, lanes)| {
+            let intensity = config.intensities[row];
+            let predictor = config.predictors[pi];
+            let policy = config.policies[pj];
+            let scenario = scenario_of(intensity, predictor);
+            let mut watchdogs = Vec::with_capacity(lanes.len());
+            for &(_, seed) in &lanes {
+                let cell = Cell {
+                    intensity,
+                    policy,
+                    predictor,
+                    seed,
+                };
+                watchdogs.push(match sabotage(&cell) {
+                    Sabotage::Panic => panic!(
+                        "injected sabotage: panic in cell {}",
+                        scenario.trial_key(policy, seed).text()
+                    ),
+                    Sabotage::Starve => Some(Watchdog::with_max_events(4)),
+                    Sabotage::None => config.watchdog,
+                });
+            }
+            let lane_prefabs: Vec<&TrialPrefab> = lanes
+                .iter()
+                .map(|&(_, seed)| {
+                    prefabs[seed as usize]
+                        .as_ref()
+                        .expect("prefab built for every pending seed")
+                })
+                .collect();
+            let results = pool.run_batch(&scenario, policy, &lane_prefabs, &watchdogs);
+            let lane_outcomes: Vec<(usize, Result<TrialSummary, CellFailure>)> = lanes
+                .iter()
+                .zip(results)
+                .map(|(&(i, seed), result)| {
+                    let outcome = match result {
+                        Ok(res) => {
+                            let summary = TrialSummary::of(&res);
+                            let key = scenario.trial_key(policy, seed);
+                            if let Some(c) = cache {
+                                c.put(&key, &summary);
+                            }
+                            if let Some(m) = manifest {
+                                let _ = m.record_done(key.text(), &summary);
+                            }
+                            Ok(summary)
+                        }
+                        Err(e) => Err(CellFailure {
+                            message: e.to_string(),
+                            panicked: false,
+                            worker: *worker,
+                        }),
+                    };
+                    (i, outcome)
+                })
+                .collect();
+            Ok::<_, harvest_core::result::SimError>(lane_outcomes)
         },
     );
 
@@ -308,7 +375,7 @@ where
         ..SweepExecStats::default()
     };
     let mut queues = Vec::new();
-    for pool in &pools {
+    for (_, pool) in &pools {
         exec.merge_pool(pool.stats());
         if let Some(qs) = pool.queue_stats() {
             queues.push(qs);
@@ -316,26 +383,39 @@ where
     }
 
     let mut quarantined = Vec::new();
-    for (&i, result) in pending.iter().zip(computed) {
+    let quarantine = |i: usize, failure: CellFailure, quarantined: &mut Vec<QuarantineRecord>| {
         let job = jobs[i];
-        let outcome = match result {
-            Ok(summary) => CellOutcome::Done(summary),
-            Err(failure) => {
-                let key = key_of(&job);
-                if let Some(m) = manifest {
-                    let _ = m.record_quarantined(key.text(), &failure);
+        let key = key_of(&job);
+        if let Some(m) = manifest {
+            let _ = m.record_quarantined(key.text(), &failure);
+        }
+        quarantined.push(QuarantineRecord {
+            key: key.text().to_owned(),
+            policy: config.policies[job.2],
+            seed: job.3,
+            intensity: config.intensities[job.0],
+            failure: failure.clone(),
+        });
+        CellOutcome::Quarantined(failure)
+    };
+    for ((_, _, _, lanes), result) in groups.into_iter().zip(computed) {
+        match result {
+            Ok(lane_outcomes) => {
+                for (i, outcome) in lane_outcomes {
+                    outcomes[i] = Some(match outcome {
+                        Ok(summary) => CellOutcome::Done(summary),
+                        Err(failure) => quarantine(i, failure, &mut quarantined),
+                    });
                 }
-                quarantined.push(QuarantineRecord {
-                    key: key.text().to_owned(),
-                    policy: config.policies[job.2],
-                    seed: job.3,
-                    intensity: config.intensities[job.0],
-                    failure: failure.clone(),
-                });
-                CellOutcome::Quarantined(failure)
             }
-        };
-        outcomes[i] = Some(outcome);
+            // The whole batch failed before any lane resolved (a panic
+            // mid-dispatch): every lane of the batch is quarantined.
+            Err(failure) => {
+                for (i, _) in lanes {
+                    outcomes[i] = Some(quarantine(i, failure.clone(), &mut quarantined));
+                }
+            }
+        }
     }
 
     // Aggregate: means over decided cells only.
@@ -437,6 +517,24 @@ mod tests {
         );
         // The figure digest is a pure function of the data.
         assert_eq!(fig.digest(), report.figure.digest());
+    }
+
+    /// A batched campaign reproduces the scalar figure digest exactly.
+    #[test]
+    fn batched_campaign_matches_scalar() {
+        let scalar = robustness_campaign(&small_config(), None, None, |_| Sabotage::None);
+        let config = RobustnessConfig {
+            batch: 4,
+            ..small_config()
+        };
+        let batched = robustness_campaign(&config, None, None, |_| Sabotage::None);
+        assert_eq!(batched.figure.digest(), scalar.figure.digest());
+        assert!(batched.quarantined.is_empty());
+        assert_eq!(batched.exec.simulated, scalar.exec.simulated);
+        // The default watchdog forces every lane down the scalar drain,
+        // so batching changes dispatch granularity only: no lane may
+        // take the fused loop.
+        assert_eq!(batched.exec.pool.batched_runs, 0);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use std::sync::Arc;
 
+use harvest_core::batch::{simulate_batch_in, BatchContext, BatchLane};
 use harvest_core::config::SystemConfig;
 use harvest_core::fault::FaultPlan;
 use harvest_core::policies::{
@@ -95,6 +96,12 @@ impl PolicyKind {
 pub struct SimPool {
     ctx: RunContext,
     policies: [Option<Box<dyn Scheduler>>; 4],
+    /// Reusable slabs of the batched SoA engine (heap, SoA storage
+    /// state, gather scratch) — materialized on the first batched run.
+    batch: BatchContext,
+    /// Per-lane scheduler instances for batched runs, one vector per
+    /// policy kind, grown to the largest batch width seen.
+    lane_policies: [Vec<Box<dyn Scheduler>>; 4],
 }
 
 impl SimPool {
@@ -160,6 +167,58 @@ impl SimPool {
             Arc::clone(&prefab.profile),
             sched,
             predictor,
+        )
+    }
+
+    /// Runs a batch of sibling trials — same scenario and policy,
+    /// per-prefab seeds — through the batched SoA engine
+    /// ([`simulate_batch_in`]), reusing this pool's slabs and per-lane
+    /// scheduler instances. `watchdogs` arms each lane individually
+    /// (length must match `prefabs`); a watchdog-armed lane drains
+    /// through the scalar fallback, which is where the per-lane
+    /// [`SimError`]s can come from. Every lane is bit-identical to the
+    /// corresponding scalar [`PaperScenario::try_run_prefab_in`] call
+    /// (pinned by the `batched_parity` suite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watchdogs` and `prefabs` lengths differ.
+    pub fn run_batch(
+        &mut self,
+        scenario: &PaperScenario,
+        policy: PolicyKind,
+        prefabs: &[&TrialPrefab],
+        watchdogs: &[Option<Watchdog>],
+    ) -> Vec<Result<SimResult, SimError>> {
+        assert_eq!(prefabs.len(), watchdogs.len(), "one watchdog slot per lane");
+        let lanes: Vec<BatchLane> = prefabs
+            .iter()
+            .zip(watchdogs)
+            .map(|(prefab, watchdog)| {
+                let mut config = scenario.config_for(prefab.seed);
+                if let Some(w) = *watchdog {
+                    config = config.with_watchdog(w);
+                }
+                BatchLane {
+                    config,
+                    tasks: Arc::clone(&prefab.tasks),
+                    profile: Arc::clone(&prefab.profile),
+                    predictor: scenario.predictor.build_shared(&prefab.profile),
+                }
+            })
+            .collect();
+        let slot = &mut self.lane_policies[policy.index()];
+        while slot.len() < lanes.len() {
+            slot.push(policy.build());
+        }
+        let oracle = scenario.predictor == PredictorKind::Oracle;
+        let width = lanes.len();
+        simulate_batch_in(
+            &mut self.batch,
+            &mut self.ctx,
+            lanes,
+            &mut slot[..width],
+            oracle,
         )
     }
 }
@@ -573,6 +632,59 @@ impl PaperScenario {
             c.put(key, &summary);
         }
         Ok(summary)
+    }
+
+    /// Runs one policy over a batch of sibling prefabs through the
+    /// batched SoA engine, one [`SimResult`] per prefab in order.
+    /// Bit-identical to calling [`run_prefab_in`](Self::run_prefab_in)
+    /// per prefab; with no watchdog armed the engine cannot fail, so
+    /// the results are unwrapped.
+    pub fn run_prefabs_batched_in(
+        &self,
+        pool: &mut SimPool,
+        policy: PolicyKind,
+        prefabs: &[&TrialPrefab],
+    ) -> Vec<SimResult> {
+        let watchdogs = vec![None; prefabs.len()];
+        pool.run_batch(self, policy, prefabs, &watchdogs)
+            .into_iter()
+            .map(|r| r.expect("no watchdog armed, the engine cannot abort"))
+            .collect()
+    }
+
+    /// [`run_summary`](Self::run_summary) over a batch of sibling
+    /// prefabs: cache hits short-circuit per cell, the remaining cells
+    /// run as one batch through the SoA engine, and fresh summaries are
+    /// written back. Returns one summary per prefab in order.
+    pub fn run_summaries_batched(
+        &self,
+        pool: &mut SimPool,
+        cache: Option<&crate::cache::SweepCache>,
+        policy: PolicyKind,
+        prefabs: &[&TrialPrefab],
+    ) -> Vec<crate::cache::TrialSummary> {
+        let mut summaries: Vec<Option<crate::cache::TrialSummary>> = prefabs
+            .iter()
+            .map(|p| cache.and_then(|c| c.get(&self.trial_key(policy, p.seed))))
+            .collect();
+        let pending: Vec<usize> = (0..prefabs.len())
+            .filter(|&i| summaries[i].is_none())
+            .collect();
+        if !pending.is_empty() {
+            let lanes: Vec<&TrialPrefab> = pending.iter().map(|&i| prefabs[i]).collect();
+            let results = self.run_prefabs_batched_in(pool, policy, &lanes);
+            for (&i, result) in pending.iter().zip(&results) {
+                let summary = crate::cache::TrialSummary::of(result);
+                if let Some(c) = cache {
+                    c.put(&self.trial_key(policy, prefabs[i].seed), &summary);
+                }
+                summaries[i] = Some(summary);
+            }
+        }
+        summaries
+            .into_iter()
+            .map(|s| s.expect("every cell resolved"))
+            .collect()
     }
 
     /// [`run_prefab`](Self::run_prefab) with full observability — trace,

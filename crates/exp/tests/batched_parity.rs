@@ -1,0 +1,196 @@
+//! Bit-identity of the batched SoA engine against the scalar simulator.
+//!
+//! Every lane of `simulate_batch_in` must reproduce the scalar
+//! `simulate_in` run of the same `(scenario, policy, seed)` cell — not
+//! approximately, but bit for bit: the whole `SimResult` (job records,
+//! energy accounting, event and trace counts, level residency, sampled
+//! levels) and the `TrialSummary` byte encoding that sweep caches
+//! persist. The grid deliberately mixes scenarios that take the lean
+//! fused path (oracle predictor, fault-free) with ones that must
+//! scalar-drain (fault plans, non-oracle predictors, watchdogs), so
+//! both sides of the eligibility screen are pinned.
+
+use harvest_exp::scenario::{PaperScenario, PolicyKind, PredictorKind, SimPool, TrialPrefab};
+use harvest_sim::engine::Watchdog;
+
+/// Runs one scenario's seeds both ways and asserts per-lane equality of
+/// the full results and of the persisted summary bytes.
+fn assert_batch_parity(scenario: &PaperScenario, policy: PolicyKind, seeds: std::ops::Range<u64>) {
+    let prefabs: Vec<TrialPrefab> = seeds.clone().map(|s| scenario.prefab(s)).collect();
+    let refs: Vec<&TrialPrefab> = prefabs.iter().collect();
+
+    let mut scalar_pool = SimPool::new();
+    let scalar: Vec<_> = refs
+        .iter()
+        .map(|p| scenario.run_prefab_in(&mut scalar_pool, policy, p))
+        .collect();
+
+    let mut batch_pool = SimPool::new();
+    let batched = scenario.run_prefabs_batched_in(&mut batch_pool, policy, &refs);
+
+    assert_eq!(batched.len(), scalar.len());
+    for ((seed, b), s) in seeds.clone().zip(&batched).zip(&scalar) {
+        assert_eq!(
+            b, s,
+            "lane for seed {seed} diverged ({} / {policy:?})",
+            scenario.capacity
+        );
+        // The persisted form must match byte for byte, too: this is what
+        // warm-cache figure rebuilds read back.
+        let bs = harvest_exp::cache::TrialSummary::of(b);
+        let ss = harvest_exp::cache::TrialSummary::of(s);
+        assert_eq!(
+            serde_json::to_string(&bs).unwrap(),
+            serde_json::to_string(&ss).unwrap(),
+            "summary bytes for seed {seed} diverged"
+        );
+    }
+
+    let stats = batch_pool.stats();
+    assert_eq!(
+        stats.runs,
+        prefabs.len() as u64,
+        "every lane must be counted as a run"
+    );
+}
+
+#[test]
+fn lean_lanes_match_scalar_across_policies() {
+    let mut scenario = PaperScenario::new(0.8, 200.0);
+    scenario.num_tasks = 6;
+    scenario.horizon_units = 400;
+    for policy in PolicyKind::ALL {
+        assert_batch_parity(&scenario, policy, 0..6);
+    }
+}
+
+#[test]
+fn random_scenario_grid_matches_scalar() {
+    // A small pseudo-random scenario grid (splitmix-style derivation so
+    // the grid is deterministic): utilization, capacity, task count, and
+    // sampling all vary per cell.
+    let mut x = 0x243F_6A88_85A3_08D3u64;
+    let mut next = move || {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for case in 0..4 {
+        let r = next();
+        let utilization = 0.3 + 0.1 * (r % 6) as f64;
+        let capacity = [150.0, 300.0, 700.0, 2000.0][(r >> 8) as usize % 4];
+        let mut scenario = PaperScenario::new(utilization, capacity);
+        scenario.num_tasks = 3 + (r >> 16) as usize % 5;
+        scenario.horizon_units = 300 + 100 * ((r >> 24) % 3) as i64;
+        if r >> 32 & 1 == 1 {
+            scenario = scenario.with_sampling(50);
+        }
+        let policy = PolicyKind::ALL[(r >> 40) as usize % 4];
+        let base = next() % 1000;
+        assert_batch_parity(&scenario, policy, base..base + 4);
+        let _ = case;
+    }
+}
+
+#[test]
+fn faulted_lanes_scalar_drain_and_match() {
+    // Fault plans make lanes ineligible for the fused loop; they must
+    // scalar-drain through the fallback and still match exactly.
+    for intensity in [0.3, 0.8] {
+        let mut scenario = PaperScenario::new(0.5, 250.0).with_fault_intensity(intensity);
+        scenario.num_tasks = 5;
+        scenario.horizon_units = 500;
+        assert_batch_parity(&scenario, PolicyKind::EaDvfs, 0..4);
+    }
+}
+
+#[test]
+fn mixed_eligibility_batches_match() {
+    // Intensity is per scenario, but an armed scenario can still draw an
+    // *empty* plan for some seeds — those lanes stay lean while their
+    // siblings scalar-drain, exercising a genuinely mixed batch. Either
+    // way every lane must match its scalar run.
+    let mut scenario = PaperScenario::new(0.6, 200.0).with_fault_intensity(0.05);
+    scenario.num_tasks = 4;
+    scenario.horizon_units = 400;
+    assert_batch_parity(&scenario, PolicyKind::EaDvfs, 0..8);
+}
+
+#[test]
+fn non_oracle_predictors_scalar_drain_and_match() {
+    for predictor in [
+        PredictorKind::Ewma,
+        PredictorKind::Persistence,
+        PredictorKind::MovingAverage { window: 50 },
+    ] {
+        let mut scenario = PaperScenario::new(0.5, 300.0).with_predictor(predictor);
+        scenario.num_tasks = 4;
+        scenario.horizon_units = 300;
+        assert_batch_parity(&scenario, PolicyKind::EaDvfs, 0..3);
+    }
+}
+
+#[test]
+fn watchdog_lanes_abort_identically() {
+    let mut scenario = PaperScenario::new(0.5, 300.0);
+    scenario.num_tasks = 4;
+    scenario.horizon_units = 500;
+    let prefabs: Vec<TrialPrefab> = (0..3).map(|s| scenario.prefab(s)).collect();
+    let refs: Vec<&TrialPrefab> = prefabs.iter().collect();
+    // Lane 1 is starved by a tiny watchdog; its siblings run clean.
+    let watchdogs = vec![None, Some(Watchdog::with_max_events(4)), None];
+    let mut pool = SimPool::new();
+    let batched = pool.run_batch(&scenario, PolicyKind::Lsa, &refs, &watchdogs);
+    let mut scalar_pool = SimPool::new();
+    for ((prefab, watchdog), b) in refs.iter().zip(&watchdogs).zip(&batched) {
+        let s = scenario.try_run_prefab_in(&mut scalar_pool, PolicyKind::Lsa, prefab, *watchdog);
+        assert_eq!(b, &s);
+    }
+    assert!(batched[1].is_err(), "starved lane must abort");
+}
+
+#[test]
+fn batched_runs_reuse_slabs_and_count_occupancy() {
+    let mut scenario = PaperScenario::new(0.8, 200.0);
+    scenario.num_tasks = 5;
+    scenario.horizon_units = 200;
+    let prefabs: Vec<TrialPrefab> = (0..8).map(|s| scenario.prefab(s)).collect();
+    let refs: Vec<&TrialPrefab> = prefabs.iter().collect();
+    let mut pool = SimPool::new();
+    for _ in 0..3 {
+        let results = scenario.run_prefabs_batched_in(&mut pool, PolicyKind::EaDvfs, &refs);
+        assert_eq!(results.len(), 8);
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.runs, 24);
+    assert_eq!(stats.batched_runs, 24, "oracle fault-free lanes run lean");
+    assert_eq!(stats.batch_lane_high_water, 8);
+}
+
+#[test]
+fn cached_batched_summaries_round_trip() {
+    let dir = std::env::temp_dir().join(format!(
+        "harvest-batched-parity-cache-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = harvest_exp::cache::SweepCache::new(&dir).unwrap();
+    let mut scenario = PaperScenario::new(0.6, 300.0).with_sampling(50);
+    scenario.num_tasks = 5;
+    scenario.horizon_units = 300;
+    let prefabs: Vec<TrialPrefab> = (0..5).map(|s| scenario.prefab(s)).collect();
+    let refs: Vec<&TrialPrefab> = prefabs.iter().collect();
+    let mut pool = SimPool::new();
+    let cold = scenario.run_summaries_batched(&mut pool, Some(&cache), PolicyKind::EaDvfs, &refs);
+    assert_eq!(cache.stats().stores, 5, "every cell written per seed");
+    // Warm pass: every cell answered from disk, bit-identically.
+    let warm = scenario.run_summaries_batched(&mut pool, Some(&cache), PolicyKind::EaDvfs, &refs);
+    assert_eq!(cold, warm);
+    assert_eq!(cache.stats().hits, 5);
+    // And the per-seed keys interoperate with the scalar path.
+    let scalar = scenario.run_summary(&mut pool, Some(&cache), PolicyKind::EaDvfs, &prefabs[2]);
+    assert_eq!(scalar, cold[2]);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -132,6 +132,10 @@ pub struct PiecewiseConstant {
     prefix: Vec<f64>,
     vmin: f64,
     vmax: f64,
+    /// Common breakpoint spacing in ticks when the grid is uniform, else
+    /// 0. Detected once at construction so [`Self::uniform_grid`] is
+    /// `O(1)`.
+    uniform_dt: i64,
 }
 
 /// Equality is over the semantic fields only; the prefix table is a
@@ -336,6 +340,15 @@ impl PiecewiseConstant {
         }
         let vmin = values.iter().copied().fold(f64::INFINITY, f64::min);
         let vmax = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let dt = (breakpoints[1] - breakpoints[0]).as_ticks();
+        let uniform_dt = if breakpoints
+            .windows(2)
+            .all(|w| (w[1] - w[0]).as_ticks() == dt)
+        {
+            dt
+        } else {
+            0
+        };
         PiecewiseConstant {
             breakpoints,
             values,
@@ -343,6 +356,7 @@ impl PiecewiseConstant {
             prefix,
             vmin,
             vmax,
+            uniform_dt,
         }
     }
 
@@ -447,6 +461,30 @@ impl PiecewiseConstant {
     #[inline]
     pub fn cursor(&self) -> Cursor {
         Cursor::default()
+    }
+
+    /// The `O(1)` direct-index view over this profile, available when the
+    /// breakpoints are equally spaced (as built by
+    /// [`Self::from_samples`]) and the extension is [`Extension::Hold`].
+    ///
+    /// Every view method computes the same IEEE expressions as its
+    /// cursor-driven counterpart — only the breakpoint *search* is
+    /// replaced by one integer division — so results are bit-identical
+    /// (pinned by the `grid_view_*` tests). Batched sweep lanes use one
+    /// view per lane over the shared prefix table instead of threading
+    /// per-lane [`Cursor`]s.
+    #[inline]
+    pub fn uniform_grid(&self) -> Option<UniformGridView<'_>> {
+        if self.uniform_dt == 0 || self.extension != Extension::Hold {
+            return None;
+        }
+        Some(UniformGridView {
+            f: self,
+            start_ticks: self.domain_start().as_ticks(),
+            end_ticks: self.domain_end().as_ticks(),
+            dt_ticks: self.uniform_dt,
+            inv_dt: 1.0 / self.uniform_dt as f64,
+        })
     }
 
     /// Maps `t` into the explicit domain, returning the folded instant,
@@ -1015,9 +1053,20 @@ impl ClampedScan {
         f: &PiecewiseConstant,
         lo: SimTime,
         hi: SimTime,
+        probe: Option<&mut Probe>,
+    ) -> Option<SimTime> {
+        self.scan(f.segments_between(lo, hi), probe)
+    }
+
+    /// The per-segment arithmetic of [`Self::run`] over any segment
+    /// stream; the grid view feeds it [`GridSegments`], which yields the
+    /// same segments as [`Segments`] over a uniform-grid window.
+    fn scan(
+        &mut self,
+        segs: impl Iterator<Item = Segment>,
         mut probe: Option<&mut Probe>,
     ) -> Option<SimTime> {
-        for seg in f.segments_between(lo, hi) {
+        for seg in segs {
             let rate = seg.value + self.offset;
             let span = seg.duration().as_units();
             let unclamped_end = self.level + rate * span;
@@ -1128,6 +1177,302 @@ impl PiecewiseConstant {
                 Some(self.breakpoints[idx + 1])
             }
         }
+    }
+}
+
+/// `O(1)` direct-index access to a uniform-grid, [`Extension::Hold`]
+/// profile, obtained from [`PiecewiseConstant::uniform_grid`].
+///
+/// On a uniform grid `breakpoints[k] = start + k·dt` holds exactly (the
+/// breakpoints are built — and verified — by whole-tick stepping), so the
+/// segment containing an in-domain instant is one integer division away
+/// and no cursor state is needed. Each method mirrors its cursor-driven
+/// counterpart expression for expression: the division replaces only the
+/// `partition_point` search, whose result it equals, so every returned
+/// value is bit-identical to the scalar path.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformGridView<'a> {
+    f: &'a PiecewiseConstant,
+    start_ticks: i64,
+    end_ticks: i64,
+    dt_ticks: i64,
+    /// `1.0 / dt_ticks`, for the strength-reduced [`Self::idx`].
+    inv_dt: f64,
+}
+
+impl<'a> UniformGridView<'a> {
+    /// The profile this view indexes into.
+    #[inline]
+    pub fn profile(&self) -> &'a PiecewiseConstant {
+        self.f
+    }
+
+    /// Segment index of an in-domain instant (`start <= t < end`).
+    ///
+    /// The division is strength-reduced to a reciprocal multiply with an
+    /// exactness check: in-domain offsets are far below 2^52, so the
+    /// estimate is off by at most one step, and a wrong estimate (or a
+    /// pathologically large offset) falls back to the exact division.
+    /// Every caller sits on the batched hot path — crossing-bisection
+    /// probes alone take ~20 of these per call.
+    #[inline]
+    fn idx(&self, t: SimTime) -> usize {
+        let n = t.as_ticks() - self.start_ticks;
+        let mut k = (n as f64 * self.inv_dt) as i64;
+        let lo = k.wrapping_mul(self.dt_ticks);
+        if !(lo <= n && n.wrapping_sub(lo) < self.dt_ticks) {
+            k = n / self.dt_ticks;
+        }
+        debug_assert_eq!(k, n / self.dt_ticks);
+        debug_assert!(
+            (0..self.f.values.len() as i64).contains(&k),
+            "instant {t} outside the grid domain"
+        );
+        k as usize
+    }
+
+    /// [`PiecewiseConstant::value_at`] without the search.
+    #[inline]
+    pub fn value_at(&self, t: SimTime) -> f64 {
+        let tk = t.as_ticks();
+        if tk < self.start_ticks {
+            return self.f.values[0];
+        }
+        if tk >= self.end_ticks {
+            return self.f.values[self.f.values.len() - 1];
+        }
+        self.f.values[self.idx(t)]
+    }
+
+    /// Cumulative integral `F(t)` — the Hold arm of the cursor path's
+    /// `cum_with`, with the located index substituted.
+    #[inline]
+    fn cum(&self, t: SimTime) -> f64 {
+        let f = self.f;
+        let tk = t.as_ticks();
+        if tk >= self.start_ticks && tk < self.end_ticks {
+            let idx = self.idx(t);
+            return f.prefix[idx] + f.values[idx] * (t - f.breakpoints[idx]).as_units();
+        }
+        if tk < self.start_ticks {
+            f.values[0] * (t - f.domain_start()).as_units()
+        } else {
+            f.total() + f.values[f.values.len() - 1] * (t - f.domain_end()).as_units()
+        }
+    }
+
+    /// [`PiecewiseConstant::integrate`] without the searches: the same
+    /// antiderivative difference `F(t2) − F(t1)`.
+    #[inline]
+    pub fn integrate(&self, t1: SimTime, t2: SimTime) -> f64 {
+        let a = self.cum(t1);
+        let b = self.cum(t2);
+        b - a
+    }
+
+    /// [`PiecewiseConstant::next_breakpoint_after`] without the search.
+    #[inline]
+    pub fn next_breakpoint_after(&self, t: SimTime) -> Option<SimTime> {
+        if t.as_ticks() < self.start_ticks {
+            return Some(self.f.domain_start());
+        }
+        if t.as_ticks() >= self.end_ticks {
+            return None;
+        }
+        Some(self.f.breakpoints[self.idx(t) + 1])
+    }
+
+    /// [`PiecewiseConstant::segments_between`] without per-step searches;
+    /// yields the identical segment sequence.
+    pub fn segments_between(&self, t1: SimTime, t2: SimTime) -> GridSegments<'a> {
+        GridSegments {
+            g: *self,
+            cursor: t1,
+            end: t2,
+            i: -1,
+        }
+    }
+
+    /// Visits the same clipped segments as [`Self::segments_between`],
+    /// but by direct index stepping: the segment index is resolved once
+    /// and incremented, instead of re-derived (twice — value and
+    /// breakpoint) per step. Emitted `[start, end, value)` triples are
+    /// identical to the iterator's, so any arithmetic the caller folds
+    /// over them is bit-identical.
+    #[inline]
+    pub fn for_each_segment(&self, t1: SimTime, t2: SimTime, mut emit: impl FnMut(Segment)) {
+        if t1 >= t2 {
+            return;
+        }
+        let f = self.f;
+        let mut cursor = t1;
+        if cursor.as_ticks() < self.start_ticks {
+            let end = f.domain_start().min(t2);
+            emit(Segment {
+                start: cursor,
+                end,
+                value: f.values[0],
+            });
+            cursor = end;
+        }
+        if cursor < t2 && cursor.as_ticks() < self.end_ticks {
+            let mut i = self.idx(cursor);
+            loop {
+                let end = f.breakpoints[i + 1].min(t2);
+                emit(Segment {
+                    start: cursor,
+                    end,
+                    value: f.values[i],
+                });
+                cursor = end;
+                i += 1;
+                if cursor >= t2 || i == f.values.len() {
+                    break;
+                }
+            }
+        }
+        if cursor < t2 {
+            emit(Segment {
+                start: cursor,
+                end: t2,
+                value: f.values[f.values.len() - 1],
+            });
+        }
+    }
+
+    /// [`PiecewiseConstant::first_accumulation_crossing`] specialized to
+    /// the Hold extension: the same `O(1)` reject, the same monotone tick
+    /// bisection (each probe now `O(1)` instead of `O(log n)`), and the
+    /// same clamped segment scan on genuinely non-monotone windows.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as the cursor path.
+    pub fn first_accumulation_crossing(
+        &self,
+        from: SimTime,
+        horizon: SimTime,
+        initial: f64,
+        offset: f64,
+        cap: f64,
+        target: f64,
+    ) -> Option<SimTime> {
+        assert!(cap >= 0.0, "capacity must be non-negative");
+        assert!(
+            (0.0..=cap).contains(&initial),
+            "initial level outside [0, cap]"
+        );
+        assert!(
+            (0.0..=cap).contains(&target),
+            "target level outside [0, cap]"
+        );
+        if initial == target {
+            return Some(from);
+        }
+        if from >= horizon {
+            return None;
+        }
+        let (rate_min, rate_max) = (self.f.vmin + offset, self.f.vmax + offset);
+        if (target > initial && rate_max <= 0.0) || (target < initial && rate_min >= 0.0) {
+            return None;
+        }
+        let monotone =
+            (target > initial && rate_min >= 0.0) || (target < initial && rate_max <= 0.0);
+        if monotone {
+            return self.monotone_crossing(from, horizon, initial, offset, target);
+        }
+        let mut scan = ClampedScan {
+            level: initial,
+            offset,
+            cap,
+            target,
+        };
+        scan.scan(self.segments_between(from, horizon), None)
+    }
+
+    /// The monotone tick bisection of the cursor path, probing through
+    /// the `O(1)` [`Self::cum`] (the scalar path's probes already use
+    /// fresh cursors, so the substitution is exact).
+    fn monotone_crossing(
+        &self,
+        from: SimTime,
+        horizon: SimTime,
+        initial: f64,
+        offset: f64,
+        target: f64,
+    ) -> Option<SimTime> {
+        let needed = target - initial;
+        let cum_from = self.cum(from);
+        let g_at = |t: SimTime| self.cum(t) - cum_from + offset * (t - from).as_units();
+        let reached = |g: f64| {
+            if needed > 0.0 {
+                g >= needed - 1e-15
+            } else {
+                g <= needed + 1e-15
+            }
+        };
+        if reached(0.0) {
+            return Some(from);
+        }
+        if !reached(g_at(horizon)) {
+            return None;
+        }
+        let (mut lo, mut hi) = (from.as_ticks(), horizon.as_ticks());
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if reached(g_at(SimTime::from_ticks(mid))) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(SimTime::from_ticks(hi))
+    }
+}
+
+/// Segment iterator of a [`UniformGridView`]; yields exactly what
+/// [`Segments`] yields over the same window. In-domain steps carry the
+/// segment index forward instead of re-deriving it (twice — value and
+/// breakpoint) per step.
+#[derive(Debug)]
+pub struct GridSegments<'a> {
+    g: UniformGridView<'a>,
+    cursor: SimTime,
+    end: SimTime,
+    /// Index of the segment containing `cursor` when known, else -1.
+    /// Only consulted while `cursor` is in-domain.
+    i: i64,
+}
+
+impl Iterator for GridSegments<'_> {
+    type Item = Segment;
+
+    fn next(&mut self) -> Option<Segment> {
+        if self.cursor >= self.end {
+            return None;
+        }
+        let start = self.cursor;
+        let f = self.g.f;
+        let tk = start.as_ticks();
+        let (value, next_change) = if tk < self.g.start_ticks {
+            self.i = 0;
+            (f.values[0], f.domain_start())
+        } else if tk >= self.g.end_ticks {
+            (f.values[f.values.len() - 1], SimTime::MAX)
+        } else {
+            let i = if self.i >= 0 {
+                self.i as usize
+            } else {
+                self.g.idx(start)
+            };
+            debug_assert_eq!(i, self.g.idx(start), "stale carried segment index");
+            self.i = i as i64 + 1;
+            (f.values[i], f.breakpoints[i + 1])
+        };
+        let end = next_change.min(self.end);
+        debug_assert!(end > start, "segment iterator must make progress");
+        self.cursor = end;
+        Some(Segment { start, end, value })
     }
 }
 
@@ -1627,6 +1972,118 @@ mod tests {
         let horizon = SimTime::from_whole_units(1_000_000);
         let fast = f.first_accumulation_crossing(SimTime::ZERO, horizon, 2.0, 0.0, 10.0, 8.0);
         assert_eq!(fast, None);
+    }
+
+    /// Deterministic xorshift so grid-parity probes need no external RNG.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    fn grid_profile(seed: u64, n: usize) -> PiecewiseConstant {
+        let mut s = seed.max(1);
+        let samples: Vec<f64> = (0..n)
+            .map(|_| (xorshift(&mut s) % 1000) as f64 / 137.0 - 1.5)
+            .collect();
+        PiecewiseConstant::from_samples(
+            SimTime::from_whole_units(-3),
+            SimDuration::from_units(0.75),
+            samples,
+            Extension::Hold,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn uniform_grid_detection() {
+        assert!(grid_profile(7, 40).uniform_grid().is_some());
+        // Non-uniform spacing: no view.
+        let f = sample_fn(); // gaps 10, 10, 10 — uniform, so this HAS one
+        assert!(f.uniform_grid().is_some());
+        let g = PiecewiseConstant::new(
+            vec![
+                SimTime::ZERO,
+                SimTime::from_whole_units(1),
+                SimTime::from_whole_units(3),
+            ],
+            vec![1.0, 2.0],
+            Extension::Hold,
+        )
+        .unwrap();
+        assert!(g.uniform_grid().is_none());
+        // Uniform but cyclic: the view only models Hold tails.
+        let c = PiecewiseConstant::new(
+            vec![
+                SimTime::ZERO,
+                SimTime::from_whole_units(1),
+                SimTime::from_whole_units(2),
+            ],
+            vec![1.0, 2.0],
+            Extension::Cycle,
+        )
+        .unwrap();
+        assert!(c.uniform_grid().is_none());
+    }
+
+    #[test]
+    fn grid_view_lookups_bit_identical() {
+        for seed in 1..6u64 {
+            let f = grid_profile(seed, 64);
+            let g = f.uniform_grid().unwrap();
+            let mut s = seed.wrapping_mul(0x9E37_79B9).max(1);
+            for _ in 0..400 {
+                let t = SimTime::from_ticks((xorshift(&mut s) % 80_000_000) as i64 - 10_000_000);
+                assert_eq!(
+                    g.value_at(t).to_bits(),
+                    f.value_at(t).to_bits(),
+                    "value at {t}"
+                );
+                assert_eq!(
+                    g.next_breakpoint_after(t),
+                    f.next_breakpoint_after(t),
+                    "breakpoint after {t}"
+                );
+                let t2 = t + SimDuration::from_ticks((xorshift(&mut s) % 20_000_000) as i64);
+                assert_eq!(
+                    g.integrate(t, t2).to_bits(),
+                    f.integrate_with(&mut f.cursor(), t, t2).to_bits(),
+                    "integral over [{t}, {t2})"
+                );
+                let segs_grid: Vec<_> = g.segments_between(t, t2).collect();
+                let segs_scalar: Vec<_> = f.segments_between(t, t2).collect();
+                assert_eq!(segs_grid, segs_scalar, "segments over [{t}, {t2})");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_view_crossings_bit_identical() {
+        for seed in 1..6u64 {
+            let f = grid_profile(seed, 48);
+            let g = f.uniform_grid().unwrap();
+            let mut s = seed.wrapping_mul(0xA076_1D64).max(1);
+            let cap = 25.0;
+            for _ in 0..200 {
+                let from = SimTime::from_ticks((xorshift(&mut s) % 40_000_000) as i64 - 5_000_000);
+                let horizon =
+                    from + SimDuration::from_ticks((xorshift(&mut s) % 60_000_000) as i64);
+                let initial = (xorshift(&mut s) % 1000) as f64 / 999.0 * cap;
+                let target = (xorshift(&mut s) % 1000) as f64 / 999.0 * cap;
+                let offset = (xorshift(&mut s) % 1000) as f64 / 137.0 - 3.5;
+                let want =
+                    f.first_accumulation_crossing(from, horizon, initial, offset, cap, target);
+                let got =
+                    g.first_accumulation_crossing(from, horizon, initial, offset, cap, target);
+                assert_eq!(
+                    got, want,
+                    "crossing from {from} to {horizon}, {initial}->{target} offset {offset}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -252,7 +252,15 @@ fn units_to_ticks(units: f64) -> i64 {
         ticks >= i64::MIN as f64 && ticks <= i64::MAX as f64,
         "time value {units} overflows tick range"
     );
-    ticks.round() as i64
+    // `ticks.round() as i64`, without the libm call: the cast truncates
+    // toward zero, and the fractional remainder decides the half-away
+    // adjustment. Exact for every in-range value — |ticks| >= 2^52 has
+    // no fractional part, so the remainder is 0 there.
+    let t = ticks as i64;
+    let frac = ticks - t as f64;
+    let t = t + (frac >= 0.5) as i64 - (frac <= -0.5) as i64;
+    debug_assert_eq!(t, ticks.round() as i64);
+    t
 }
 
 fn units_to_ticks_ceil(units: f64) -> i64 {
@@ -262,7 +270,12 @@ fn units_to_ticks_ceil(units: f64) -> i64 {
         ticks >= i64::MIN as f64 && ticks <= i64::MAX as f64,
         "time value {units} overflows tick range"
     );
-    ticks.ceil() as i64
+    // `ticks.ceil() as i64` via truncation: bump when truncation went
+    // down (positive non-integer values).
+    let t = ticks as i64;
+    let t = t + (ticks > t as f64) as i64;
+    debug_assert_eq!(t, ticks.ceil() as i64);
+    t
 }
 
 impl Add<SimDuration> for SimTime {
