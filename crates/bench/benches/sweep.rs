@@ -11,25 +11,31 @@
 //! cells grow; the microcell isolates what is being measured instead of
 //! burying it under simulation work.
 //!
-//! Four modes are timed as `sweep/trials_*`:
+//! Five modes are timed as `sweep/trials_*`:
 //!
 //! * `cold` — the pre-PR4 fast path: shared prefab, but fresh queues,
 //!   registry, and boxed policy every run.
 //! * `pooled` — `run_prefab_in` through one reused [`SimPool`].
-//! * `cached` — a warm [`SweepCache`] hit: deserialize the stored
-//!   summary instead of simulating.
+//! * `cached` — a warm [`SweepCache`] hit: open, read, and parse one
+//!   JSON file per probe.
+//! * `store_warm` — a warm [`PackStore`] hit: one fingerprint map
+//!   lookup plus an in-memory record decode, zero syscalls.
 //! * `batched_b{4,8,16}` — B sibling trials (seeds 0..B) per iteration
 //!   through the structure-of-arrays engine
 //!   (`run_prefabs_batched_in`); per-trial time is the iteration time
 //!   divided by B.
 //!
-//! Running this bench writes `BENCH_PR6.json` at the workspace root:
+//! Running this bench writes `BENCH_PR7.json` at the workspace root:
 //! raw medians, trials/sec per mode with the pooled-vs-cold,
-//! cached-vs-cold, and batched-vs-pooled (at B = 8) speedups,
-//! heap-allocation counts per trial (cold vs pooled vs batched, via a
-//! counting global allocator), and the per-worker allocation/item
-//! counts of one sharded pooled mini-sweep — workers after the first
-//! few trials should allocate only what the results themselves need.
+//! cached-vs-cold, store-warm-vs-cached, and batched-vs-pooled (at
+//! B = 8) speedups, heap-allocation counts per trial (cold vs pooled vs
+//! batched, via a counting global allocator), and the per-worker
+//! allocation/item counts of one sharded pooled mini-sweep — workers
+//! after the first few trials should allocate only what the results
+//! themselves need, and (with the start-line barrier in
+//! `parallel_map_with`) **every** worker must execute a non-zero share;
+//! the report asserts both that spread and the warm-store ≥ 5× rate
+//! over the per-file cache.
 //!
 //! Pass `--smoke` for a 1-sample sanity run (CI): every benchmark
 //! executes once and no report is written.
@@ -44,6 +50,7 @@ use criterion::Criterion;
 use harvest_exp::cache::{SweepCache, TrialSummary};
 use harvest_exp::parallel::parallel_map_with;
 use harvest_exp::scenario::{PaperScenario, PolicyKind, SimPool, TrialPrefab};
+use harvest_exp::store::PackStore;
 use serde::Value;
 
 /// Counts every heap allocation, globally and per thread, then defers
@@ -104,9 +111,25 @@ fn warm_cache(s: &PaperScenario, prefab: &TrialPrefab) -> (SweepCache, std::path
     (cache, dir)
 }
 
-/// `sweep/trials_{cold,pooled,cached}`: one microcell trial per
-/// iteration under each execution mode.
-fn trial_modes(c: &mut Criterion, s: &PaperScenario, prefab: &TrialPrefab, cache: &SweepCache) {
+/// A throwaway pack store, pre-warmed with the microcell's result.
+fn warm_store(s: &PaperScenario, prefab: &TrialPrefab) -> (PackStore, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("harvest-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = PackStore::open(&dir).expect("temp store dir");
+    let summary = TrialSummary::of(&s.run_prefab(POLICY, prefab));
+    harvest_exp::store::TrialStore::store(&store, &s.trial_key(POLICY, SEED), &summary);
+    (store, dir)
+}
+
+/// `sweep/trials_{cold,pooled,cached,store_warm}`: one microcell trial
+/// per iteration under each execution mode.
+fn trial_modes(
+    c: &mut Criterion,
+    s: &PaperScenario,
+    prefab: &TrialPrefab,
+    cache: &SweepCache,
+    store: &PackStore,
+) {
     let mut g = c.benchmark_group("sweep");
     g.bench_function("trials_cold", |b| {
         b.iter(|| black_box(s.run_prefab(POLICY, prefab)))
@@ -118,6 +141,10 @@ fn trial_modes(c: &mut Criterion, s: &PaperScenario, prefab: &TrialPrefab, cache
     let mut pool = SimPool::new();
     g.bench_function("trials_cached", |b| {
         b.iter(|| black_box(s.run_summary(&mut pool, Some(cache), POLICY, prefab)))
+    });
+    let mut pool = SimPool::new();
+    g.bench_function("trials_store_warm", |b| {
+        b.iter(|| black_box(s.run_summary(&mut pool, Some(store), POLICY, prefab)))
     });
     g.finish();
 }
@@ -182,6 +209,25 @@ fn sharded_worker_allocs(s: &PaperScenario, prefab: &TrialPrefab) -> Vec<Value> 
             state.allocs = thread_allocs() - state.start_allocs;
         },
     );
+    // The start-line barrier in `run_sharded` is what guarantees this:
+    // without it worker 0 historically drained all 256 items while the
+    // later workers spun up into exhausted cursors. The guarantee only
+    // holds when every worker can actually run concurrently — on a
+    // machine with fewer cores than workers, a CPU-bound shard can
+    // legitimately drain inside another worker's first scheduling
+    // quantum — so the assertion is gated on core count (the
+    // `parallel` unit tests pin the barrier semantics independently,
+    // with blocking items that spread on any core count).
+    let can_run_all_workers = std::thread::available_parallelism()
+        .map(|p| p.get() >= threads)
+        .unwrap_or(false);
+    for w in &states {
+        assert!(
+            !can_run_all_workers || w.items > 0,
+            "worker {} executed no items — sharded spread regressed",
+            w.worker
+        );
+    }
     states
         .iter()
         .map(|w| {
@@ -226,12 +272,14 @@ fn write_report(
         find("sweep/trials_cold"),
         find("sweep/trials_pooled"),
         find("sweep/trials_cached"),
+        find("sweep/trials_store_warm"),
     ) {
-        (Some(cold), Some(pooled), Some(cached)) => {
+        (Some(cold), Some(pooled), Some(cached), Some(store_warm)) => {
             let mut modes = vec![
                 ("cold".to_string(), Value::F64(1e9 / cold)),
                 ("pooled".to_string(), Value::F64(1e9 / pooled)),
                 ("cached".to_string(), Value::F64(1e9 / cached)),
+                ("store_warm".to_string(), Value::F64(1e9 / store_warm)),
             ];
             // One batched iteration simulates `width` trials, so the
             // per-trial rate is width / iteration time.
@@ -245,12 +293,24 @@ fn write_report(
             }
             modes.push(("pooled_vs_cold".to_string(), Value::F64(cold / pooled)));
             modes.push(("cached_vs_cold".to_string(), Value::F64(cold / cached)));
+            modes.push((
+                "store_warm_vs_cached".to_string(),
+                Value::F64(cached / store_warm),
+            ));
             if let Some(b8) = find("sweep/trials_batched_b8") {
                 modes.push((
                     "batched_vs_pooled".to_string(),
                     Value::F64(pooled / (b8 / 8.0)),
                 ));
             }
+            // The pack store's whole point: a warm probe is a map lookup
+            // and an in-memory decode, not a file open/read/parse. Fail
+            // the report if that edge ever collapses.
+            assert!(
+                cached / store_warm >= 5.0,
+                "warm store must be at least 5x the per-file cache \
+                 (store {store_warm:.0} ns vs cached {cached:.0} ns per trial)"
+            );
             vec![Value::Map(modes)]
         }
         _ => Vec::new(),
@@ -326,15 +386,18 @@ fn main() {
     let siblings: Vec<TrialPrefab> = (0..16).map(|seed| s.prefab(seed)).collect();
     let refs: Vec<&TrialPrefab> = siblings.iter().collect();
     let (cache, cache_dir) = warm_cache(&s, &prefab);
-    trial_modes(&mut c, &s, &prefab, &cache);
+    let (store, store_dir) = warm_store(&s, &prefab);
+    trial_modes(&mut c, &s, &prefab, &cache, &store);
     batched_modes(&mut c, &s, &refs);
 
     if smoke {
         let _ = std::fs::remove_dir_all(&cache_dir);
+        let _ = std::fs::remove_dir_all(&store_dir);
         println!("smoke mode: all benches executed; no report written");
         return;
     }
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    write_report(&root.join("BENCH_PR6.json"), &s, &prefab, &refs);
+    write_report(&root.join("BENCH_PR7.json"), &s, &prefab, &refs);
     let _ = std::fs::remove_dir_all(&cache_dir);
+    let _ = std::fs::remove_dir_all(&store_dir);
 }

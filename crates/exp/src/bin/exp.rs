@@ -5,12 +5,15 @@
 //!                 [--horizon UNITS] [--sample UNITS] [--out PATH]
 //! exp inspect     PATH
 //! exp diff        PATH BASELINE
-//! exp sweep       [--util U] [--trials N] [--threads N] [--cache PATH]
-//!                 [--expect-warm]
+//! exp sweep       [--util U] [--trials N] [--threads N] [--store DIR]
+//!                 [--cache PATH] [--expect-warm]
 //! exp fault-sweep [--util U] [--capacity C] [--trials N] [--threads N]
 //!                 [--horizon UNITS] [--intensities A,B,..] [--manifest PATH]
-//!                 [--cache PATH] [--inject-panic POLICY:SEED:INTENSITY]
+//!                 [--store DIR] [--cache PATH]
+//!                 [--inject-panic POLICY:SEED:INTENSITY]
 //!                 [--inject-starve POLICY:SEED:INTENSITY] [--expect-resumed]
+//! exp store stat    DIR
+//! exp store compact DIR
 //! ```
 //!
 //! `record` replays one §5.1 trial with full observability (trace,
@@ -31,6 +34,17 @@
 //! were re-simulated. The `--inject-*` flags deterministically sabotage
 //! single cells — the CI smoke's failure-injection hooks.
 //!
+//! Both sweeps resolve results through a trial store: `--store DIR`
+//! opens a segment-packed [`PackStore`] (one-time migrating any legacy
+//! per-file cache), `--cache PATH` the legacy per-file JSON cache; the
+//! two are mutually exclusive, and with neither flag the
+//! `HARVEST_SWEEP_STORE` / `HARVEST_SWEEP_CACHE` environment variables
+//! decide. Under `--store`, `fault-sweep` also checkpoints decided
+//! cells into the pack as decided records, so resume and cache are one
+//! read path and `--manifest` is unnecessary. `store stat` summarizes a
+//! store directory; `store compact` merges its packs, dropping
+//! superseded records.
+//!
 //! Exit codes: 0 on success (including sweeps with quarantined cells),
 //! 1 on a runtime failure, 2 on a usage error.
 
@@ -40,21 +54,29 @@ use harvest_exp::artifact::RunArtifact;
 use harvest_exp::cache::{fnv1a64, SweepCache};
 use harvest_exp::figures::{
     miss_rate_figure_cached_batched, robustness_campaign, RobustnessConfig, Sabotage,
+    SweepExecStats,
 };
 use harvest_exp::manifest::SweepManifest;
 use harvest_exp::scenario::{PaperScenario, PolicyKind, PredictorKind};
+use harvest_exp::store::{
+    store_from_env, DecidedStore, PackStore, TrialStore, DEFAULT_LEGACY_CACHE_DIR,
+};
+use harvest_obs::{MetricsRegistry, MetricsSink};
 
 const USAGE: &str = "usage:
   exp record      [--policy edf|lsa|ea-dvfs|greedy-stretch] [--util U] [--capacity C]
                   [--seed N] [--horizon UNITS] [--sample UNITS] [--out PATH]
   exp inspect     PATH
   exp diff        PATH BASELINE
-  exp sweep       [--util U] [--trials N] [--threads N] [--batch B] [--cache PATH]
-                  [--expect-warm]
+  exp sweep       [--util U] [--trials N] [--threads N] [--batch B] [--store DIR]
+                  [--cache PATH] [--expect-warm]
   exp fault-sweep [--util U] [--capacity C] [--trials N] [--threads N] [--batch B]
                   [--horizon UNITS] [--intensities A,B,..] [--manifest PATH]
-                  [--cache PATH] [--inject-panic POLICY:SEED:INTENSITY]
-                  [--inject-starve POLICY:SEED:INTENSITY] [--expect-resumed]";
+                  [--store DIR] [--cache PATH]
+                  [--inject-panic POLICY:SEED:INTENSITY]
+                  [--inject-starve POLICY:SEED:INTENSITY] [--expect-resumed]
+  exp store stat    DIR
+  exp store compact DIR";
 
 /// A failed invocation, split by whose fault it is: `Usage` exits 2 and
 /// reprints the usage text, `Runtime` exits 1 with a one-line message.
@@ -107,6 +129,7 @@ struct SweepArgs {
     trials: usize,
     threads: usize,
     batch: usize,
+    store: Option<PathBuf>,
     cache: Option<PathBuf>,
     expect_warm: bool,
 }
@@ -118,6 +141,7 @@ impl Default for SweepArgs {
             trials: 2,
             threads: 2,
             batch: 1,
+            store: None,
             cache: None,
             expect_warm: false,
         }
@@ -138,6 +162,7 @@ struct FaultSweepArgs {
     horizon_units: i64,
     intensities: Vec<f64>,
     manifest: Option<PathBuf>,
+    store: Option<PathBuf>,
     cache: Option<PathBuf>,
     inject_panic: Vec<InjectSpec>,
     inject_starve: Vec<InjectSpec>,
@@ -155,6 +180,7 @@ impl Default for FaultSweepArgs {
             horizon_units: 2_000,
             intensities: vec![0.0, 0.5, 1.0],
             manifest: None,
+            store: None,
             cache: None,
             inject_panic: Vec::new(),
             inject_starve: Vec::new(),
@@ -171,6 +197,8 @@ enum Command {
     Diff { run: PathBuf, baseline: PathBuf },
     Sweep(SweepArgs),
     FaultSweep(FaultSweepArgs),
+    StoreStat(PathBuf),
+    StoreCompact(PathBuf),
 }
 
 fn parse_policy(name: &str) -> Result<PolicyKind, String> {
@@ -278,6 +306,24 @@ where
         }
         "sweep" => Ok(Command::Sweep(parse_sweep(it)?)),
         "fault-sweep" => Ok(Command::FaultSweep(parse_fault_sweep(it)?)),
+        "store" => {
+            let verb = it
+                .next()
+                .map(|s| s.as_ref().to_owned())
+                .ok_or_else(|| "store expects `stat` or `compact`".to_owned())?;
+            let dir = it
+                .next()
+                .map(|s| PathBuf::from(s.as_ref()))
+                .ok_or_else(|| format!("store {verb} expects a store directory"))?;
+            if let Some(extra) = it.next() {
+                return Err(format!("unexpected argument {}", extra.as_ref()));
+            }
+            match verb.as_str() {
+                "stat" => Ok(Command::StoreStat(dir)),
+                "compact" => Ok(Command::StoreCompact(dir)),
+                other => Err(format!("unknown store verb `{other}` (try stat, compact)")),
+            }
+        }
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -382,6 +428,7 @@ where
                 }
             }
             "--manifest" => out.manifest = Some(PathBuf::from(value()?)),
+            "--store" => out.store = Some(PathBuf::from(value()?)),
             "--cache" => out.cache = Some(PathBuf::from(value()?)),
             "--inject-panic" => out.inject_panic.push(parse_inject(&value()?)?),
             "--inject-starve" => out.inject_starve.push(parse_inject(&value()?)?),
@@ -389,16 +436,126 @@ where
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    if out.store.is_some() && out.cache.is_some() {
+        return Err("--store and --cache are mutually exclusive".into());
+    }
     Ok(out)
 }
 
+/// Opens the pack store at `dir`, one-time migrating any legacy
+/// per-file cache entries sitting in the default cache directory.
+fn open_pack_store(dir: &std::path::Path) -> Result<PackStore, String> {
+    let store =
+        PackStore::open(dir).map_err(|e| format!("cannot open store {}: {e}", dir.display()))?;
+    match store.migrate_legacy(DEFAULT_LEGACY_CACHE_DIR) {
+        Ok(0) => {}
+        Ok(n) => eprintln!("migrated {n} legacy cache entries from {DEFAULT_LEGACY_CACHE_DIR}"),
+        Err(e) => eprintln!("warning: legacy cache migration failed: {e}"),
+    }
+    Ok(store)
+}
+
+/// Resolves the sweep's trial store: `--store` wins, then `--cache`,
+/// then the environment (`HARVEST_SWEEP_STORE` / `HARVEST_SWEEP_CACHE`).
+fn open_trial_store(
+    store: &Option<PathBuf>,
+    cache: &Option<PathBuf>,
+) -> Result<Option<Box<dyn TrialStore>>, String> {
+    match (store, cache) {
+        (Some(dir), _) => Ok(Some(Box::new(open_pack_store(dir)?))),
+        (None, Some(dir)) => {
+            Ok(Some(Box::new(SweepCache::new(dir).map_err(|e| {
+                format!("cannot open cache {}: {e}", dir.display())
+            })?)))
+        }
+        (None, None) => Ok(store_from_env()),
+    }
+}
+
+/// Publishes the sweep's execution accounting and the store's hit/miss
+/// counters into one [`MetricsRegistry`] and renders its snapshot as
+/// `metric name=value` lines — the same registry pipeline run artifacts
+/// use, so store hit rates sit alongside the pool gauges.
+fn print_metrics(stats: &SweepExecStats, store: Option<&dyn TrialStore>) {
+    let mut reg = MetricsRegistry::new();
+    reg.counter("sweep.simulated", stats.simulated);
+    reg.counter("sweep.cached", stats.cached);
+    reg.counter("pool.runs", stats.pool.runs);
+    reg.counter("pool.batched_runs", stats.pool.batched_runs);
+    reg.gauge(
+        "pool.event_slab_high_water",
+        stats.pool.event_slab_high_water as f64,
+    );
+    reg.gauge("pool.ready_high_water", stats.pool.ready_high_water as f64);
+    reg.gauge(
+        "pool.batch_lane_high_water",
+        stats.pool.batch_lane_high_water as f64,
+    );
+    if let Some(s) = store {
+        s.stats().publish("store", &mut reg);
+    }
+    for e in reg.snapshot().entries {
+        println!("metric {}={}", e.name, e.value.scalar());
+    }
+}
+
+/// Prints the store's own accounting line, mirroring the legacy
+/// `cache dir=...` line for per-file caches.
+fn print_store_line(store: &dyn TrialStore) {
+    let cs = store.stats();
+    println!(
+        "store dir={} hits={} misses={} rejects={} stores={}",
+        store.location().display(),
+        cs.hits,
+        cs.misses,
+        cs.rejects,
+        cs.stores
+    );
+}
+
+fn store_stat(dir: &std::path::Path) -> Result<(), String> {
+    let s = PackStore::stat(dir).map_err(|e| format!("cannot stat {}: {e}", dir.display()))?;
+    println!(
+        "store dir={} packs={} records={} done={} quarantined={} bytes={}",
+        dir.display(),
+        s.packs,
+        s.records,
+        s.done,
+        s.quarantined,
+        s.bytes
+    );
+    Ok(())
+}
+
+fn store_compact(dir: &std::path::Path) -> Result<(), String> {
+    let c =
+        PackStore::compact(dir).map_err(|e| format!("cannot compact {}: {e}", dir.display()))?;
+    println!(
+        "compact dir={} packs_before={} records_before={} records_after={} bytes_before={} \
+         bytes_after={}",
+        dir.display(),
+        c.packs_before,
+        c.records_before,
+        c.records_after,
+        c.bytes_before,
+        c.bytes_after
+    );
+    Ok(())
+}
+
 fn fault_sweep(args: &FaultSweepArgs) -> Result<(), String> {
-    let cache = match &args.cache {
-        Some(dir) => Some(
-            SweepCache::new(dir)
-                .map_err(|e| format!("cannot open cache {}: {e}", dir.display()))?,
-        ),
-        None => SweepCache::from_env(),
+    // `--store` plays both roles: trial cache and decided-cell manifest
+    // (one read path). An explicit `--manifest` still takes the
+    // manifest role so a JSONL checkpoint can ride alongside the pack.
+    let pack = args
+        .store
+        .as_ref()
+        .map(|d| open_pack_store(d))
+        .transpose()?;
+    let cache: Option<Box<dyn TrialStore>> = if pack.is_some() {
+        None
+    } else {
+        open_trial_store(&None, &args.cache)?
     };
     let manifest = match &args.manifest {
         Some(path) => Some(
@@ -407,6 +564,27 @@ fn fault_sweep(args: &FaultSweepArgs) -> Result<(), String> {
         ),
         None => None,
     };
+    let manifest_ref: Option<&dyn DecidedStore> = manifest
+        .as_ref()
+        .map(|m| m as &dyn DecidedStore)
+        .or_else(|| pack.as_ref().map(|p| p as &dyn DecidedStore));
+    // When the pack *is* the manifest, its decided records already
+    // answer everything a trial-store probe could, and wiring it into
+    // both roles would append every decided cell twice (`store` plus
+    // `record_done`). The pack acts as a plain trial cache only while
+    // an explicit JSONL manifest holds the manifest role.
+    let store_ref: Option<&dyn TrialStore> = if manifest.is_some() {
+        pack.as_ref().map(|p| p as &dyn TrialStore)
+    } else {
+        None
+    }
+    .or(cache.as_deref());
+    // Accounting still reports the pack even when it only serves
+    // through the manifest role.
+    let stats_ref: Option<&dyn TrialStore> = pack
+        .as_ref()
+        .map(|p| p as &dyn TrialStore)
+        .or(cache.as_deref());
     let config = RobustnessConfig {
         utilization: args.utilization,
         capacity: args.capacity,
@@ -423,7 +601,7 @@ fn fault_sweep(args: &FaultSweepArgs) -> Result<(), String> {
         list.iter()
             .any(|&(p, s, i)| p == cell.policy && s == cell.seed && i == cell.intensity)
     };
-    let report = robustness_campaign(&config, cache.as_ref(), manifest.as_ref(), |cell| {
+    let report = robustness_campaign(&config, store_ref, manifest_ref, |cell| {
         if matches(&args.inject_panic, cell) {
             Sabotage::Panic
         } else if matches(&args.inject_starve, cell) {
@@ -470,17 +648,10 @@ fn fault_sweep(args: &FaultSweepArgs) -> Result<(), String> {
     for (i, qs) in report.queues.iter().enumerate() {
         println!("queue worker={i} slab_capacity={}", qs.slab_capacity);
     }
-    if let Some(cache) = &cache {
-        let cs = cache.stats();
-        println!(
-            "cache dir={} hits={} misses={} rejects={} stores={}",
-            cache.dir().display(),
-            cs.hits,
-            cs.misses,
-            cs.rejects,
-            cs.stores
-        );
+    if let Some(s) = stats_ref {
+        print_store_line(s);
     }
+    print_metrics(&report.exec, stats_ref);
     if args.expect_resumed && report.exec.simulated != 0 {
         return Err(format!(
             "expected a resumed campaign but {} of {cells} cells were simulated",
@@ -537,24 +708,23 @@ where
                     return Err("--batch must be positive".into());
                 }
             }
+            "--store" => out.store = Some(PathBuf::from(value()?)),
             "--cache" => out.cache = Some(PathBuf::from(value()?)),
             "--expect-warm" => out.expect_warm = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    if out.store.is_some() && out.cache.is_some() {
+        return Err("--store and --cache are mutually exclusive".into());
+    }
     Ok(out)
 }
 
 fn sweep(args: &SweepArgs) -> Result<(), String> {
-    let cache = match &args.cache {
-        Some(dir) => Some(
-            SweepCache::new(dir)
-                .map_err(|e| format!("cannot open cache {}: {e}", dir.display()))?,
-        ),
-        None => SweepCache::from_env(),
-    };
+    let store = open_trial_store(&args.store, &args.cache)?;
+    let store_ref = store.as_deref();
     let (figure, stats) = miss_rate_figure_cached_batched(
-        cache.as_ref(),
+        store_ref,
         args.utilization,
         &[PolicyKind::Lsa, PolicyKind::EaDvfs],
         args.trials,
@@ -579,17 +749,10 @@ fn sweep(args: &SweepArgs) -> Result<(), String> {
         stats.pool.batch_lane_high_water,
         fnv1a64(json.as_bytes()),
     );
-    if let Some(cache) = &cache {
-        let cs = cache.stats();
-        println!(
-            "cache dir={} hits={} misses={} rejects={} stores={}",
-            cache.dir().display(),
-            cs.hits,
-            cs.misses,
-            cs.rejects,
-            cs.stores
-        );
+    if let Some(s) = store_ref {
+        print_store_line(s);
     }
+    print_metrics(&stats, store_ref);
     if args.expect_warm && stats.simulated != 0 {
         return Err(format!(
             "expected a warm cache but {} of {} cells were simulated",
@@ -641,6 +804,8 @@ fn run(cmd: Command) -> Result<(), ExpError> {
         }),
         Command::Sweep(args) => sweep(&args),
         Command::FaultSweep(args) => fault_sweep(&args),
+        Command::StoreStat(dir) => store_stat(&dir),
+        Command::StoreCompact(dir) => store_compact(&dir),
     };
     // Everything past parsing is the machine's fault, not the user's.
     result.map_err(ExpError::Runtime)
@@ -723,6 +888,13 @@ mod tests {
         assert!(parse_sweep(["--trials", "0"]).is_err());
         assert!(parse_sweep(["--batch", "0"]).is_err());
         assert!(parse_sweep(["--bogus"]).is_err());
+
+        let stored = parse_sweep(["--store", "/tmp/sweep-store"]).unwrap();
+        assert_eq!(stored.store, Some(PathBuf::from("/tmp/sweep-store")));
+        assert_eq!(stored.cache, None);
+        assert!(parse_sweep(["--store", "/tmp/a", "--cache", "/tmp/b"])
+            .unwrap_err()
+            .contains("mutually exclusive"));
     }
 
     #[test]
@@ -767,6 +939,30 @@ mod tests {
         assert!(parse_fault_sweep(["--intensities", "2.0"]).is_err());
         assert!(parse_fault_sweep(["--inject-panic", "lsa:0"]).is_err());
         assert!(parse_fault_sweep(["--inject-panic", "sjf:0:0.5"]).is_err());
+
+        let stored = parse_fault_sweep(["--store", "/tmp/campaign"]).unwrap();
+        assert_eq!(stored.store, Some(PathBuf::from("/tmp/campaign")));
+        assert!(
+            parse_fault_sweep(["--store", "/tmp/a", "--cache", "/tmp/b"])
+                .unwrap_err()
+                .contains("mutually exclusive")
+        );
+    }
+
+    #[test]
+    fn store_subcommand_parses() {
+        match parse_command(["store", "stat", "/tmp/s"]).unwrap() {
+            Command::StoreStat(dir) => assert_eq!(dir, PathBuf::from("/tmp/s")),
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse_command(["store", "compact", "/tmp/s"]).unwrap() {
+            Command::StoreCompact(dir) => assert_eq!(dir, PathBuf::from("/tmp/s")),
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse_command(["store"]).is_err());
+        assert!(parse_command(["store", "stat"]).is_err());
+        assert!(parse_command(["store", "prune", "/tmp/s"]).is_err());
+        assert!(parse_command(["store", "stat", "/tmp/s", "extra"]).is_err());
     }
 
     #[test]

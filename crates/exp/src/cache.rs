@@ -65,15 +65,41 @@ pub struct TrialKey {
     fingerprint: u64,
 }
 
+thread_local! {
+    /// Last scenario serialized on this thread, with its JSON. Key
+    /// construction is on the warm probe path, and one figure grid
+    /// builds thousands of keys over a handful of scenarios in runs of
+    /// identical ones (the seed/policy axes vary faster), so a
+    /// last-value memo turns the dominant cost — the serde `Value`-tree
+    /// serialization — into an equality check plus a `String` clone.
+    static SCENARIO_JSON_MEMO: std::cell::RefCell<Option<(PaperScenario, String)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The canonical JSON of `scenario`, memoized per thread. The text is
+/// byte-identical to a fresh `serde_json::to_string`, so fingerprints
+/// and stored key texts are unaffected.
+fn scenario_json(scenario: &PaperScenario) -> String {
+    SCENARIO_JSON_MEMO.with(|memo| {
+        let mut memo = memo.borrow_mut();
+        if let Some((cached, json)) = memo.as_ref() {
+            if cached == scenario {
+                return json.clone();
+            }
+        }
+        let json = serde_json::to_string(scenario).expect("scenario serialization is infallible");
+        *memo = Some((scenario.clone(), json.clone()));
+        json
+    })
+}
+
 impl TrialKey {
     /// Builds the key for `(scenario, policy, seed)` under the current
     /// [`CACHE_SCHEMA_VERSION`].
     pub fn new(scenario: &PaperScenario, policy: PolicyKind, seed: u64) -> Self {
-        let scenario_json =
-            serde_json::to_string(scenario).expect("scenario serialization is infallible");
         let text = format!(
             "v{CACHE_SCHEMA_VERSION}|{}|{}|{seed}",
-            scenario_json,
+            scenario_json(scenario),
             policy.name()
         );
         let fingerprint = fnv1a64(text.as_bytes());
@@ -173,6 +199,27 @@ pub struct CacheStats {
     pub rejects: u64,
     /// Entries written.
     pub stores: u64,
+}
+
+impl CacheStats {
+    /// Publishes the counters into a metrics sink under `prefix` (so
+    /// `publish("store", ..)` yields `store.hits`, `store.misses`, ...),
+    /// plus a `{prefix}.hit_rate` gauge when any lookup happened. Store
+    /// accounting then renders alongside the engine's queue and pool
+    /// metrics in one [`harvest_obs::MetricsRegistry`] snapshot.
+    pub fn publish<S: harvest_obs::MetricsSink>(&self, prefix: &str, sink: &mut S) {
+        sink.counter(&format!("{prefix}.hits"), self.hits);
+        sink.counter(&format!("{prefix}.misses"), self.misses);
+        sink.counter(&format!("{prefix}.rejects"), self.rejects);
+        sink.counter(&format!("{prefix}.stores"), self.stores);
+        let lookups = self.hits + self.misses;
+        if lookups > 0 {
+            sink.gauge(
+                &format!("{prefix}.hit_rate"),
+                self.hits as f64 / lookups as f64,
+            );
+        }
+    }
 }
 
 /// A content-addressed store of [`TrialSummary`] values, one JSON file
@@ -342,6 +389,22 @@ mod tests {
             completed_in_time: 30,
             missed: 10,
             sample_level_bits: vec![1.0f64.to_bits(), 0.25f64.to_bits()],
+        }
+    }
+
+    #[test]
+    fn scenario_json_memo_matches_fresh_serialization() {
+        // Alternate between two scenarios so every call after the first
+        // exercises both the memo hit and the memo replacement path;
+        // the memoized text must stay byte-identical to a direct
+        // serialization (stored keys depend on it).
+        let a = PaperScenario::new(0.4, 500.0);
+        let b = PaperScenario::new(0.8, 200.0);
+        for scenario in [&a, &b, &a, &a, &b] {
+            assert_eq!(
+                scenario_json(scenario),
+                serde_json::to_string(scenario).unwrap()
+            );
         }
     }
 

@@ -5,9 +5,10 @@ use std::sync::OnceLock;
 use serde::{Deserialize, Serialize};
 
 use super::SweepExecStats;
-use crate::cache::{SweepCache, TrialSummary};
+use crate::cache::{TrialKey, TrialSummary};
 use crate::parallel::parallel_map_with;
 use crate::scenario::{PaperScenario, PolicyKind, SimPool, TrialPrefab};
+use crate::store::{store_from_env, TrialStore};
 
 /// One utilization row of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -48,9 +49,9 @@ pub fn min_zero_miss_capacity(
     max_capacity: f64,
     rel_tol: f64,
 ) -> f64 {
-    let cache = SweepCache::from_env();
+    let store = store_from_env();
     min_zero_miss_capacity_cached(
-        cache.as_ref(),
+        store.as_deref(),
         policy,
         utilization,
         trials,
@@ -61,14 +62,15 @@ pub fn min_zero_miss_capacity(
     .0
 }
 
-/// [`min_zero_miss_capacity`] with an explicit sweep cache and execution
+/// [`min_zero_miss_capacity`] with an explicit trial store and execution
 /// accounting.
 ///
 /// The search replays the same seeds at many capacities, and — because
 /// both the exponential phase and the bisection phase are deterministic
 /// functions of earlier outcomes — a re-run probes exactly the same
-/// capacity sequence. With a warm cache every probe is answered from
-/// disk: no prefab is built (they materialize lazily, on the first seed
+/// capacity sequence. Each probed capacity resolves its whole seed grid
+/// through one batch probe ([`TrialStore::probe_many`]); with a warm
+/// store no prefab is built (they materialize lazily, on the first seed
 /// that actually simulates) and no trial runs.
 ///
 /// # Panics
@@ -76,7 +78,7 @@ pub fn min_zero_miss_capacity(
 /// Panics if `trials` or `threads` is zero, or tolerances are
 /// non-positive.
 pub fn min_zero_miss_capacity_cached(
-    cache: Option<&SweepCache>,
+    store: Option<&dyn TrialStore>,
     policy: PolicyKind,
     utilization: f64,
     trials: usize,
@@ -87,42 +89,47 @@ pub fn min_zero_miss_capacity_cached(
     assert!(trials > 0, "need at least one trial");
     assert!(rel_tol > 0.0, "tolerance must be positive");
     // The prefabs are capacity-independent and shared across every
-    // probe, but built lazily so cache-answered seeds never pay for
+    // probe, but built lazily so store-answered seeds never pay for
     // them. `OnceLock` makes the lazy init safe from worker threads.
     let base = PaperScenario::new(utilization, 100.0);
     let prefabs: Vec<OnceLock<TrialPrefab>> = (0..trials).map(|_| OnceLock::new()).collect();
     let mut stats = SweepExecStats::default();
     let mut miss_free = |capacity: f64| -> bool {
         let scenario = PaperScenario::new(utilization, capacity);
-        let (outcomes, pools) = parallel_map_with(
-            0..trials as u64,
+        // Probe the whole seed grid for this capacity in one pass.
+        let probed: Vec<Option<TrialSummary>> = match store {
+            Some(c) => {
+                let keys: Vec<TrialKey> = (0..trials as u64)
+                    .map(|seed| scenario.trial_key(policy, seed))
+                    .collect();
+                c.probe_many(&keys)
+            }
+            None => vec![None; trials],
+        };
+        let pending: Vec<u64> = (0..trials as u64)
+            .filter(|&seed| probed[seed as usize].is_none())
+            .collect();
+        stats.cached += (trials - pending.len()) as u64;
+        stats.simulated += pending.len() as u64;
+        let (fresh, pools) = parallel_map_with(
+            pending,
             threads,
             |_| SimPool::new(),
             |pool, seed| {
-                if let Some(c) = cache {
-                    if let Some(summary) = c.get(&scenario.trial_key(policy, seed)) {
-                        return (summary.is_miss_free(), false);
-                    }
-                }
                 let prefab = prefabs[seed as usize].get_or_init(|| base.prefab(seed));
                 let summary = TrialSummary::of(&scenario.run_prefab_in(pool, policy, prefab));
-                if let Some(c) = cache {
-                    c.put(&scenario.trial_key(policy, seed), &summary);
+                if let Some(c) = store {
+                    c.store(&scenario.trial_key(policy, seed), &summary);
                 }
-                (summary.is_miss_free(), true)
+                summary.is_miss_free()
             },
         );
         for pool in &pools {
             stats.merge_pool(pool.stats());
         }
-        let mut all_free = true;
-        for (free, simulated) in outcomes {
+        let mut all_free = probed.iter().flatten().all(TrialSummary::is_miss_free);
+        for free in fresh {
             all_free &= free;
-            if simulated {
-                stats.simulated += 1;
-            } else {
-                stats.cached += 1;
-            }
         }
         all_free
     };

@@ -3,9 +3,10 @@
 use serde::{Deserialize, Serialize};
 
 use super::SweepExecStats;
-use crate::cache::{SweepCache, TrialSummary};
+use crate::cache::{TrialKey, TrialSummary};
 use crate::parallel::{parallel_map, parallel_map_with};
 use crate::scenario::{PaperScenario, PolicyKind, SimPool, TrialPrefab};
+use crate::store::{store_from_env, TrialStore};
 
 /// One capacity point of a miss-rate sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -56,9 +57,9 @@ pub(crate) fn sweep_capacities() -> Vec<f64> {
 
 /// Reproduces Fig. 8/9 for the given utilization.
 ///
-/// Cache-gated by the `HARVEST_SWEEP_CACHE` environment variable (see
-/// [`crate::cache`]); use [`miss_rate_figure_cached`] to pass a cache
-/// explicitly.
+/// Store-gated by the `HARVEST_SWEEP_STORE` / `HARVEST_SWEEP_CACHE`
+/// environment variables (see [`crate::store`]); use
+/// [`miss_rate_figure_cached`] to pass a store explicitly.
 ///
 /// # Panics
 ///
@@ -69,45 +70,45 @@ pub fn miss_rate_figure(
     trials: usize,
     threads: usize,
 ) -> MissRateFigure {
-    let cache = SweepCache::from_env();
-    miss_rate_figure_cached(cache.as_ref(), utilization, policies, trials, threads).0
+    let store = store_from_env();
+    miss_rate_figure_cached(store.as_deref(), utilization, policies, trials, threads).0
 }
 
-/// [`miss_rate_figure`] with an explicit sweep cache and execution
+/// [`miss_rate_figure`] with an explicit trial store and execution
 /// accounting.
 ///
-/// Runs in three phases: **probe** every grid cell against the cache
-/// (no prefab is built for a cell the cache answers, so a fully warm
-/// re-run does no simulation work at all), **build** trial prefabs only
-/// for the seeds that still need simulating, then **run** the pending
-/// cells through per-worker pooled contexts and write their summaries
-/// back to the cache.
+/// Runs in three phases: **probe** every grid cell against the store in
+/// one batch (no prefab is built for a cell the store answers, so a
+/// fully warm re-run does no simulation work at all), **build** trial
+/// prefabs only for the seeds that still need simulating, then **run**
+/// the pending cells through per-worker pooled contexts and write their
+/// summaries back to the store.
 ///
 /// # Panics
 ///
 /// Panics if `trials` or `threads` is zero.
 pub fn miss_rate_figure_cached(
-    cache: Option<&SweepCache>,
+    store: Option<&dyn TrialStore>,
     utilization: f64,
     policies: &[PolicyKind],
     trials: usize,
     threads: usize,
 ) -> (MissRateFigure, SweepExecStats) {
-    miss_rate_figure_cached_batched(cache, utilization, policies, trials, threads, 1)
+    miss_rate_figure_cached_batched(store, utilization, policies, trials, threads, 1)
 }
 
 /// [`miss_rate_figure_cached`] with an explicit batch width: pending
 /// cells that share a `(capacity, policy)` grid point are sibling trials
 /// of the same scenario, so up to `batch` of them are simulated per pass
 /// through the structure-of-arrays engine
-/// ([`harvest_core::simulate_batch_in`]). Results and cache contents are
+/// ([`harvest_core::simulate_batch_in`]). Results and store contents are
 /// bit-identical to `batch == 1`; only throughput changes.
 ///
 /// # Panics
 ///
 /// Panics if `trials`, `threads`, or `batch` is zero.
 pub fn miss_rate_figure_cached_batched(
-    cache: Option<&SweepCache>,
+    store: Option<&dyn TrialStore>,
     utilization: f64,
     policies: &[PolicyKind],
     trials: usize,
@@ -128,14 +129,19 @@ pub fn miss_rate_figure_cached_batched(
         })
         .collect();
 
-    // Probe: resolve every cell the cache already holds.
-    let mut summaries: Vec<Option<TrialSummary>> = match cache {
-        Some(c) => jobs
-            .iter()
-            .map(|&(_, capacity, policy, seed)| {
-                c.get(&PaperScenario::new(utilization, capacity).trial_key(policy, seed))
-            })
-            .collect(),
+    // Probe: resolve every cell the store already holds, in one batch
+    // (a pack store answers the whole grid under a single map lock with
+    // zero per-cell syscalls).
+    let mut summaries: Vec<Option<TrialSummary>> = match store {
+        Some(c) => {
+            let keys: Vec<TrialKey> = jobs
+                .iter()
+                .map(|&(_, capacity, policy, seed)| {
+                    PaperScenario::new(utilization, capacity).trial_key(policy, seed)
+                })
+                .collect();
+            c.probe_many(&keys)
+        }
         None => vec![None; jobs.len()],
     };
     let pending: Vec<usize> = (0..jobs.len())
@@ -203,8 +209,8 @@ pub fn miss_rate_figure_cached_batched(
                 .zip(&results)
                 .map(|(&(i, seed), result)| {
                     let summary = TrialSummary::of(result);
-                    if let Some(c) = cache {
-                        c.put(&scenario.trial_key(policy, seed), &summary);
+                    if let Some(c) = store {
+                        c.store(&scenario.trial_key(policy, seed), &summary);
                     }
                     (i, summary)
                 })

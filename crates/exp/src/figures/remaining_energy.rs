@@ -12,9 +12,10 @@ use harvest_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use super::SweepExecStats;
-use crate::cache::{SweepCache, TrialSummary};
+use crate::cache::{TrialKey, TrialSummary};
 use crate::parallel::parallel_map_with;
 use crate::scenario::{PaperScenario, PolicyKind, SimPool, TrialPrefab};
+use crate::store::{store_from_env, TrialStore};
 
 /// Data behind Figures 6 (U = 0.4) and 7 (U = 0.8).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -68,9 +69,9 @@ pub fn remaining_energy_figure(
     threads: usize,
     sample_interval_units: i64,
 ) -> RemainingEnergyFigure {
-    let cache = SweepCache::from_env();
+    let store = store_from_env();
     remaining_energy_figure_cached(
-        cache.as_ref(),
+        store.as_deref(),
         utilization,
         policies,
         trials,
@@ -80,19 +81,20 @@ pub fn remaining_energy_figure(
     .0
 }
 
-/// [`remaining_energy_figure`] with an explicit sweep cache and
+/// [`remaining_energy_figure`] with an explicit trial store and
 /// execution accounting.
 ///
-/// Cached summaries carry the raw sampled levels as IEEE-754 bit
-/// patterns, so a curve rebuilt from the cache is bit-identical to one
-/// rebuilt from fresh simulations. Prefabs materialize lazily — a fully
-/// warm re-run builds none.
+/// Stored summaries carry the raw sampled levels as IEEE-754 bit
+/// patterns, so a curve rebuilt from the store is bit-identical to one
+/// rebuilt from fresh simulations. Each policy's whole grid resolves
+/// through one batch probe; prefabs materialize lazily — a fully warm
+/// re-run builds none.
 ///
 /// # Panics
 ///
 /// Panics if `trials` or `threads` is zero.
 pub fn remaining_energy_figure_cached(
-    cache: Option<&SweepCache>,
+    store: Option<&dyn TrialStore>,
     utilization: f64,
     policies: &[PolicyKind],
     trials: usize,
@@ -108,7 +110,7 @@ pub fn remaining_energy_figure_cached(
 
     // Each seed's solar realization and task set are shared across the
     // whole capacities × policies grid, built lazily on the first cell
-    // the cache cannot answer.
+    // the store cannot answer.
     let prefabs: Vec<OnceLock<TrialPrefab>> = (0..trials).map(|_| OnceLock::new()).collect();
     let base = PaperScenario::new(utilization, capacities[0]);
     let mut stats = SweepExecStats::default();
@@ -121,39 +123,60 @@ pub fn remaining_energy_figure_cached(
             .enumerate()
             .flat_map(|(ci, &c)| (0..trials as u64).map(move |s| (ci, c, s)))
             .collect();
-        let (runs, pools) = parallel_map_with(
-            jobs,
+        // Probe the policy's whole grid in one batch, then simulate
+        // only the cells the store could not answer.
+        let mut summaries: Vec<Option<TrialSummary>> = match store {
+            Some(c) => {
+                let keys: Vec<TrialKey> = jobs
+                    .iter()
+                    .map(|&(_, capacity, seed)| {
+                        PaperScenario::new(utilization, capacity)
+                            .with_sampling(sample_interval_units)
+                            .trial_key(policy, seed)
+                    })
+                    .collect();
+                c.probe_many(&keys)
+            }
+            None => vec![None; jobs.len()],
+        };
+        let pending: Vec<(usize, f64, u64)> = jobs
+            .iter()
+            .enumerate()
+            .filter(|&(ji, _)| summaries[ji].is_none())
+            .map(|(ji, &(_, capacity, seed))| (ji, capacity, seed))
+            .collect();
+        stats.cached += (jobs.len() - pending.len()) as u64;
+        stats.simulated += pending.len() as u64;
+        let (fresh, pools) = parallel_map_with(
+            pending,
             threads,
             |_| SimPool::new(),
-            |pool, (ci, capacity, seed)| {
+            |pool, (ji, capacity, seed)| {
                 let scenario =
                     PaperScenario::new(utilization, capacity).with_sampling(sample_interval_units);
-                if let Some(c) = cache {
-                    if let Some(summary) = c.get(&scenario.trial_key(policy, seed)) {
-                        return (ci, summary.normalized_sample_values(capacity), false);
-                    }
-                }
                 let prefab = prefabs[seed as usize].get_or_init(|| base.prefab(seed));
                 let summary = TrialSummary::of(&scenario.run_prefab_in(pool, policy, prefab));
-                if let Some(c) = cache {
-                    c.put(&scenario.trial_key(policy, seed), &summary);
+                if let Some(c) = store {
+                    c.store(&scenario.trial_key(policy, seed), &summary);
                 }
-                (ci, summary.normalized_sample_values(capacity), true)
+                (ji, summary)
             },
         );
         for pool in &pools {
             stats.merge_pool(pool.stats());
         }
+        for (ji, summary) in fresh {
+            summaries[ji] = Some(summary);
+        }
         let mut acc = SampledSeries::new(grid_start, grid_step, points);
-        for (ci, samples, simulated) in &runs {
-            if *simulated {
-                stats.simulated += 1;
-            } else {
-                stats.cached += 1;
-            }
-            acc.accumulate(samples);
+        for (&(ci, capacity, _), summary) in jobs.iter().zip(&summaries) {
+            let samples = summary
+                .as_ref()
+                .expect("every cell resolved")
+                .normalized_sample_values(capacity);
+            acc.accumulate(&samples);
             let run_mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
-            per_capacity[*ci][pi] += run_mean / trials as f64;
+            per_capacity[ci][pi] += run_mean / trials as f64;
         }
         series.push((policy, acc.mean_values()));
     }

@@ -10,10 +10,13 @@
 //! The driver doubles as the harness-resilience integration point: it
 //! runs cells through the quarantining parallel map (a panicking cell
 //! is reported, not fatal), honors an engine watchdog (a stuck cell
-//! aborts with a typed error and is quarantined), consults the sweep
-//! cache, and checkpoints every decided cell into an optional
-//! [`SweepManifest`] so a killed campaign resumes without re-simulating
-//! finished cells.
+//! aborts with a typed error and is quarantined), consults the trial
+//! store, and checkpoints every decided cell into an optional
+//! [`DecidedStore`] — the JSONL
+//! [`SweepManifest`](crate::manifest::SweepManifest) or the pack-file
+//! [`PackStore`](crate::store::PackStore), whose decided records make
+//! resume and cache one read path — so a killed campaign resumes
+//! without re-simulating finished cells.
 
 use serde::{Deserialize, Serialize};
 
@@ -21,10 +24,11 @@ use harvest_sim::engine::Watchdog;
 use harvest_sim::event::QueueStats;
 
 use super::SweepExecStats;
-use crate::cache::{fnv1a64, SweepCache, TrialSummary};
-use crate::manifest::{CellOutcome, SweepManifest};
+use crate::cache::{fnv1a64, TrialKey, TrialSummary};
+use crate::manifest::CellOutcome;
 use crate::parallel::{default_threads, parallel_map, parallel_map_quarantined, CellFailure};
 use crate::scenario::{PaperScenario, PolicyKind, PredictorKind, SimPool, TrialPrefab};
+use crate::store::{store_from_env, DecidedStore, TrialStore};
 
 /// One intensity point of a robustness sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -194,10 +198,15 @@ pub struct CampaignReport {
 /// Runs a robustness campaign over `config`'s grid.
 ///
 /// Resolution order per cell: the `manifest` (previous campaign run),
-/// then the `cache` (any previous sweep), then simulation. Every
-/// freshly decided cell — clean or quarantined — is checkpointed into
-/// the manifest as soon as it is known, so killing the process loses at
-/// most the in-flight cells.
+/// then the `store` (any previous sweep, resolved in one batch probe),
+/// then simulation. Every freshly decided cell — clean or quarantined —
+/// is checkpointed into the manifest as soon as it is known, so killing
+/// the process loses at most the in-flight cells. To resume through a
+/// [`PackStore`](crate::store::PackStore) alone, pass it as `manifest`
+/// only: its decided records already answer everything a trial-store
+/// probe could, and passing the same pack as *both* roles would append
+/// every decided cell twice (one `store` plus one `record_done`
+/// record).
 ///
 /// `sabotage` deterministically injects failures for smoke testing;
 /// pass `|_| Sabotage::None` in production.
@@ -214,8 +223,8 @@ pub struct CampaignReport {
 /// propagated.
 pub fn robustness_campaign<S>(
     config: &RobustnessConfig,
-    cache: Option<&SweepCache>,
-    manifest: Option<&SweepManifest>,
+    store: Option<&dyn TrialStore>,
+    manifest: Option<&dyn DecidedStore>,
     sabotage: S,
 ) -> CampaignReport
 where
@@ -246,27 +255,39 @@ where
             })
         })
         .collect();
-    let key_of = |&(row, pi, pj, seed): &(usize, usize, usize, u64)| {
-        scenario_of(config.intensities[row], config.predictors[pi])
-            .trial_key(config.policies[pj], seed)
-    };
+    let keys: Vec<TrialKey> = jobs
+        .iter()
+        .map(|&(row, pi, pj, seed)| {
+            scenario_of(config.intensities[row], config.predictors[pi])
+                .trial_key(config.policies[pj], seed)
+        })
+        .collect();
 
-    // Resolve: manifest (previous campaign run) first, then cache.
+    // Resolve: manifest (previous campaign run) first, then the store —
+    // the latter as one batch probe over every manifest-unresolved cell.
     let mut outcomes: Vec<Option<CellOutcome>> = vec![None; jobs.len()];
     let mut resumed = 0u64;
     let mut cached = 0u64;
-    for (i, job) in jobs.iter().enumerate() {
-        let key = key_of(job);
-        if let Some(outcome) = manifest.and_then(|m| m.get(key.text())) {
-            outcomes[i] = Some(outcome);
-            resumed += 1;
-        } else if let Some(summary) = cache.and_then(|c| c.get(&key)) {
-            if let Some(m) = manifest {
-                // Best-effort: a later resume then works without the cache.
-                let _ = m.record_done(key.text(), &summary);
+    if let Some(m) = manifest {
+        for (i, key) in keys.iter().enumerate() {
+            if let Some(outcome) = m.decided(key) {
+                outcomes[i] = Some(outcome);
+                resumed += 1;
             }
-            outcomes[i] = Some(CellOutcome::Done(summary));
-            cached += 1;
+        }
+    }
+    if let Some(c) = store {
+        let unresolved: Vec<usize> = (0..jobs.len()).filter(|&i| outcomes[i].is_none()).collect();
+        let probe_keys: Vec<TrialKey> = unresolved.iter().map(|&i| keys[i].clone()).collect();
+        for (&i, hit) in unresolved.iter().zip(c.probe_many(&probe_keys)) {
+            if let Some(summary) = hit {
+                if let Some(m) = manifest {
+                    // Best-effort: a later resume then works without the store.
+                    let _ = m.record_done(&keys[i], &summary);
+                }
+                outcomes[i] = Some(CellOutcome::Done(summary));
+                cached += 1;
+            }
         }
     }
     let pending: Vec<usize> = (0..jobs.len()).filter(|&i| outcomes[i].is_none()).collect();
@@ -348,11 +369,11 @@ where
                         Ok(res) => {
                             let summary = TrialSummary::of(&res);
                             let key = scenario.trial_key(policy, seed);
-                            if let Some(c) = cache {
-                                c.put(&key, &summary);
+                            if let Some(c) = store {
+                                c.store(&key, &summary);
                             }
                             if let Some(m) = manifest {
-                                let _ = m.record_done(key.text(), &summary);
+                                let _ = m.record_done(&key, &summary);
                             }
                             Ok(summary)
                         }
@@ -385,9 +406,9 @@ where
     let mut quarantined = Vec::new();
     let quarantine = |i: usize, failure: CellFailure, quarantined: &mut Vec<QuarantineRecord>| {
         let job = jobs[i];
-        let key = key_of(&job);
+        let key = &keys[i];
         if let Some(m) = manifest {
-            let _ = m.record_quarantined(key.text(), &failure);
+            let _ = m.record_quarantined(key, &failure);
         }
         quarantined.push(QuarantineRecord {
             key: key.text().to_owned(),
@@ -460,8 +481,8 @@ where
     }
 }
 
-/// The robustness figure on the default grid (no manifest, cache from
-/// the environment, no sabotage).
+/// The robustness figure on the default grid (no manifest, trial store
+/// from the environment, no sabotage).
 ///
 /// # Panics
 ///
@@ -472,8 +493,8 @@ pub fn robustness_figure(trials: usize, threads: usize) -> RobustnessFigure {
         threads,
         ..RobustnessConfig::default()
     };
-    let cache = SweepCache::from_env();
-    robustness_campaign(&config, cache.as_ref(), None, |_| Sabotage::None).figure
+    let store = store_from_env();
+    robustness_campaign(&config, store.as_deref(), None, |_| Sabotage::None).figure
 }
 
 #[cfg(test)]
@@ -587,13 +608,13 @@ mod tests {
         let path = dir.join("campaign.manifest.jsonl");
         let config = small_config();
 
-        let manifest = SweepManifest::open(&path).unwrap();
+        let manifest = crate::manifest::SweepManifest::open(&path).unwrap();
         let first = robustness_campaign(&config, None, Some(&manifest), |_| Sabotage::None);
         assert_eq!(first.resumed, 0);
         assert_eq!(first.exec.simulated, 8);
         drop(manifest);
 
-        let manifest = SweepManifest::open(&path).unwrap();
+        let manifest = crate::manifest::SweepManifest::open(&path).unwrap();
         assert_eq!(manifest.resumed(), 8);
         let second = robustness_campaign(&config, None, Some(&manifest), |_| Sabotage::None);
         assert_eq!(second.exec.simulated, 0, "nothing re-simulates");

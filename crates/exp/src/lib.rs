@@ -10,6 +10,8 @@
 //!   quarantining mode that contains per-cell panics.
 //! * [`manifest`] — the incremental checkpoint file behind
 //!   kill-and-resume campaigns.
+//! * [`store`] — the pack-file result store: segment-packed trial
+//!   summaries, batch probes, unified cache + resume records.
 //! * [`report`] — aligned tables, ASCII plots, CSV.
 //! * [`cli`] — the uniform flags of the `fig5`…`table1` binaries.
 //! * [`artifact`] — the JSONL run-artifact schema behind `exp record`
@@ -41,6 +43,7 @@ pub mod parallel;
 pub mod record;
 pub mod report;
 pub mod scenario;
+pub mod store;
 
 /// Shared helpers for tests that mutate process-global state (currently
 /// environment variables). Exposed (doc-hidden) rather than

@@ -14,12 +14,22 @@
 //! buffers and stitched back in input order after the scope joins, so
 //! output order never depends on scheduling.
 //!
+//! Workers rendezvous at a [`Barrier`] between building their state and
+//! claiming their first chunk. Without it the spawn order is a head
+//! start: worker 0 begins stealing the later workers' shards before
+//! those threads exist, and on small-grain sweeps one worker ends up
+//! executing nearly every item while the rest spin up into exhausted
+//! cursors (the PR 6 bench recorded 244 of 244 items on worker 0). The
+//! barrier costs one wait per worker per map and restores the intended
+//! near-even spread.
+//!
 //! The `*_with` variants additionally thread a per-worker state value
 //! (typically a pooled `harvest_core::RunContext`) through every call,
 //! so a worker executes its whole share of trials against one reusable
 //! simulation context.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
@@ -111,14 +121,28 @@ where
 
     let chunk = chunk_size(n, threads);
     let cursors: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
-    let (f, init, items_ref, cursors_ref) = (&f, &init, &items[..], &cursors[..]);
+    let start_line = Barrier::new(threads);
+    let (f, init, items_ref, cursors_ref, start_line) =
+        (&f, &init, &items[..], &cursors[..], &start_line);
 
     let buffers: Vec<WorkerBuffer<R, W>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 scope.spawn(move || {
                     let worker_start = observe.then(Instant::now);
-                    let mut state = init(w);
+                    let mut state = {
+                        // A panicking `init` must still release the
+                        // rendezvous, or the sibling workers deadlock in
+                        // `wait` while this thread unwinds.
+                        struct WaitOnDrop<'a>(&'a Barrier);
+                        impl Drop for WaitOnDrop<'_> {
+                            fn drop(&mut self) {
+                                self.0.wait();
+                            }
+                        }
+                        let _release = WaitOnDrop(start_line);
+                        init(w)
+                    };
                     let mut stats = WorkerStats::default();
                     let mut out = Vec::with_capacity(n / threads + 1);
                     for step in 0..threads {
@@ -620,6 +644,46 @@ mod tests {
         let (out, states) =
             parallel_map_quarantined(Vec::<u32>::new(), 4, |_| (), |(), x| Ok::<_, String>(x));
         assert!(out.is_empty() && states.is_empty());
+    }
+
+    #[test]
+    fn every_worker_gets_items_on_uniform_grain() {
+        // Uniform per-item cost, items ≫ threads: with the start-line
+        // barrier no worker can drain the others' shards before they
+        // begin, so every worker must execute at least one item (the
+        // pre-barrier behaviour put all 64 on worker 0).
+        let (out, stats) = parallel_map_observed(0..64u64, 4, |x| {
+            std::thread::sleep(Duration::from_millis(2));
+            x
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        assert_eq!(stats.iter().map(|s| s.items).sum::<u64>(), 64);
+        for (w, s) in stats.iter().enumerate() {
+            assert!(s.items > 0, "worker {w} executed nothing: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn init_panic_releases_the_start_line() {
+        // A worker whose init panics must not strand the others at the
+        // barrier: the map has to unwind promptly, not hang.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map_with(
+                0..64u64,
+                4,
+                |w| {
+                    if w == 2 {
+                        panic!("poisoned init");
+                    }
+                    0u64
+                },
+                |_, x| x,
+            )
+        });
+        std::panic::set_hook(hook);
+        assert!(caught.is_err(), "the init panic must reach the caller");
     }
 
     #[test]

@@ -584,52 +584,55 @@ impl PaperScenario {
         crate::cache::TrialKey::new(self, policy, seed)
     }
 
-    /// Runs one trial through a worker's pool, consulting `cache`
-    /// first: a verified cache hit skips the simulation entirely, and a
-    /// miss is simulated pooled and written back.
+    /// Runs one trial through a worker's pool, consulting `store`
+    /// first: a verified store hit skips the simulation entirely, and a
+    /// miss is simulated pooled and written back. Accepts any
+    /// [`TrialStore`](crate::store::TrialStore) backend — the per-file
+    /// [`SweepCache`](crate::cache::SweepCache) or the pack-file
+    /// [`PackStore`](crate::store::PackStore).
     pub fn run_summary(
         &self,
         pool: &mut SimPool,
-        cache: Option<&crate::cache::SweepCache>,
+        store: Option<&dyn crate::store::TrialStore>,
         policy: PolicyKind,
         prefab: &TrialPrefab,
     ) -> crate::cache::TrialSummary {
-        let key = cache.map(|c| (c, self.trial_key(policy, prefab.seed)));
+        let key = store.map(|c| (c, self.trial_key(policy, prefab.seed)));
         if let Some((c, key)) = &key {
-            if let Some(summary) = c.get(key) {
+            if let Some(summary) = c.probe(key) {
                 return summary;
             }
         }
         let summary = crate::cache::TrialSummary::of(&self.run_prefab_in(pool, policy, prefab));
         if let Some((c, key)) = &key {
-            c.put(key, &summary);
+            c.store(key, &summary);
         }
         summary
     }
 
     /// [`run_summary`](Self::run_summary) through the fallible path:
-    /// cache hits short-circuit as before, a clean run is summarized
-    /// and written back, and a watchdog abort propagates *uncached* —
+    /// store hits short-circuit as before, a clean run is summarized
+    /// and written back, and a watchdog abort propagates *unstored* —
     /// the watchdog budget is deliberately not part of the trial key,
-    /// so an aborted cell must never poison the cache.
+    /// so an aborted cell must never poison the store.
     pub fn try_run_summary(
         &self,
         pool: &mut SimPool,
-        cache: Option<&crate::cache::SweepCache>,
+        store: Option<&dyn crate::store::TrialStore>,
         policy: PolicyKind,
         prefab: &TrialPrefab,
         watchdog: Option<Watchdog>,
     ) -> Result<crate::cache::TrialSummary, SimError> {
-        let key = cache.map(|c| (c, self.trial_key(policy, prefab.seed)));
+        let key = store.map(|c| (c, self.trial_key(policy, prefab.seed)));
         if let Some((c, key)) = &key {
-            if let Some(summary) = c.get(key) {
+            if let Some(summary) = c.probe(key) {
                 return Ok(summary);
             }
         }
         let result = self.try_run_prefab_in(pool, policy, prefab, watchdog)?;
         let summary = crate::cache::TrialSummary::of(&result);
         if let Some((c, key)) = &key {
-            c.put(key, &summary);
+            c.store(key, &summary);
         }
         Ok(summary)
     }
@@ -653,20 +656,27 @@ impl PaperScenario {
     }
 
     /// [`run_summary`](Self::run_summary) over a batch of sibling
-    /// prefabs: cache hits short-circuit per cell, the remaining cells
-    /// run as one batch through the SoA engine, and fresh summaries are
-    /// written back. Returns one summary per prefab in order.
+    /// prefabs: store hits resolve through one batch probe, the
+    /// remaining cells run as one batch through the SoA engine, and
+    /// fresh summaries are written back. Returns one summary per prefab
+    /// in order.
     pub fn run_summaries_batched(
         &self,
         pool: &mut SimPool,
-        cache: Option<&crate::cache::SweepCache>,
+        store: Option<&dyn crate::store::TrialStore>,
         policy: PolicyKind,
         prefabs: &[&TrialPrefab],
     ) -> Vec<crate::cache::TrialSummary> {
-        let mut summaries: Vec<Option<crate::cache::TrialSummary>> = prefabs
-            .iter()
-            .map(|p| cache.and_then(|c| c.get(&self.trial_key(policy, p.seed))))
-            .collect();
+        let mut summaries: Vec<Option<crate::cache::TrialSummary>> = match store {
+            Some(c) => {
+                let keys: Vec<crate::cache::TrialKey> = prefabs
+                    .iter()
+                    .map(|p| self.trial_key(policy, p.seed))
+                    .collect();
+                c.probe_many(&keys)
+            }
+            None => vec![None; prefabs.len()],
+        };
         let pending: Vec<usize> = (0..prefabs.len())
             .filter(|&i| summaries[i].is_none())
             .collect();
@@ -675,8 +685,8 @@ impl PaperScenario {
             let results = self.run_prefabs_batched_in(pool, policy, &lanes);
             for (&i, result) in pending.iter().zip(&results) {
                 let summary = crate::cache::TrialSummary::of(result);
-                if let Some(c) = cache {
-                    c.put(&self.trial_key(policy, prefabs[i].seed), &summary);
+                if let Some(c) = store {
+                    c.store(&self.trial_key(policy, prefabs[i].seed), &summary);
                 }
                 summaries[i] = Some(summary);
             }

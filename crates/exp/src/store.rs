@@ -1,0 +1,1476 @@
+//! Pack-file sweep store: segment-packed trial results with batch probes.
+//!
+//! The per-file cache ([`crate::cache::SweepCache`]) spends one `open(2)`
+//! plus a full JSON parse per warm cell — ~7.9 µs, which BENCH_PR6 showed
+//! is slower than *simulating* a cell through the batched engine. This
+//! module replaces the per-cell files with append-only **segment packs**:
+//! each writer owns an exclusive pack file of length-prefixed,
+//! FNV-checksummed records (canonical key text + compact binary
+//! [`TrialSummary`]). On open every pack is read into memory once and the
+//! file descriptor is closed again, so probes are pure hash-map lookups —
+//! zero per-cell syscalls, O(1) retained descriptors regardless of grid
+//! size — and the batch probe API ([`TrialStore::probe_many`]) resolves a
+//! whole figure grid in one pass.
+//!
+//! Integrity rules carry over from [`crate::cache`] and
+//! [`crate::manifest`]:
+//!
+//! * Every record stores the **canonical key text**, and every hit
+//!   re-verifies it, so a fingerprint collision or poisoned pack can
+//!   never substitute a foreign result.
+//! * A kill mid-append leaves a torn final record. [`PackStore::open`]
+//!   tolerates that with the [`SweepManifest`](crate::manifest::SweepManifest)
+//!   discipline: the pack is scanned record-by-record, the damaged tail
+//!   is truncated away, and its cells recompute.
+//! * A sidecar index (`*.idx`) caches `(fingerprint, offset, kind)`
+//!   entries for a checksummed prefix of its pack; open trusts a valid
+//!   sidecar for that prefix and scans only the tail appended after it.
+//!   A missing, truncated, or corrupt sidecar merely forces a full pack
+//!   scan — it can never lose or corrupt decided cells.
+//! * Records come in two kinds — `done` ([`TrialSummary`]) and
+//!   `quarantined` ([`CellFailure`]) — so one store serves both as sweep
+//!   cache and as the fault-campaign resume manifest (the unified
+//!   *decided-record* path; see [`DecidedStore`]).
+//!
+//! Writes append to one of a fixed set of writer slots (pack files named
+//! `pack-<pid>-<slot>-<n>.hpk`), created lazily with `O_EXCL`, so
+//! concurrent processes and threads never interleave bytes in one file.
+//! An IO failure never fails the run: the store warns once, flips into
+//! write-degraded mode, and keeps answering probes.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+use crate::cache::{fnv1a64, CacheStats, SweepCache, TrialKey, TrialSummary};
+use crate::manifest::{CellOutcome, SweepManifest};
+use crate::parallel::CellFailure;
+
+/// Environment variable gating the pack store (read by
+/// [`store_from_env`]): unset, empty, or `0` disables; `1` enables at
+/// the default `target/sweep-store/`; any other value is used as the
+/// store directory path. Takes precedence over
+/// [`SWEEP_CACHE_ENV`](crate::cache::SWEEP_CACHE_ENV).
+pub const SWEEP_STORE_ENV: &str = "HARVEST_SWEEP_STORE";
+
+/// Default store root used when [`SWEEP_STORE_ENV`] is `1`.
+pub const DEFAULT_STORE_DIR: &str = "target/sweep-store";
+
+/// Default legacy per-file cache root ingested by the one-time
+/// migration (see [`PackStore::migrate_legacy`]).
+pub const DEFAULT_LEGACY_CACHE_DIR: &str = "target/sweep-cache";
+
+/// Pack file magic + format version ("harvest pack, v1").
+const PACK_MAGIC: [u8; 8] = *b"HPK1\x01\0\0\0";
+/// Sidecar index magic + format version.
+const IDX_MAGIC: [u8; 8] = *b"HPX1\x01\0\0\0";
+/// Record kind: a cleanly decided cell carrying a [`TrialSummary`].
+const KIND_DONE: u8 = 1;
+/// Record kind: a quarantined cell carrying a [`CellFailure`].
+const KIND_QUARANTINED: u8 = 2;
+/// Number of writer slots a store multiplexes its threads over. Bounds
+/// the retained file descriptors: a store holds at most this many fds
+/// open, no matter how many cells it writes.
+pub const WRITER_SLOTS: usize = 8;
+/// Marker file recording that the legacy per-file cache was already
+/// ingested, making migration one-time.
+const LEGACY_MARKER: &str = "legacy-ingested";
+
+// ---------------------------------------------------------------------------
+// Store traits
+// ---------------------------------------------------------------------------
+
+/// The cache-facing read/write surface shared by the per-file
+/// [`SweepCache`] and the pack-file [`PackStore`], so figure drivers run
+/// unchanged against either backend.
+pub trait TrialStore: Sync {
+    /// Looks one key up; integrity-rejected entries answer `None`.
+    fn probe(&self, key: &TrialKey) -> Option<TrialSummary>;
+
+    /// Resolves a whole grid of keys in one pass. The default forwards
+    /// to [`probe`](Self::probe) per key; [`PackStore`] answers the
+    /// batch under a single map lock with zero per-cell syscalls.
+    fn probe_many(&self, keys: &[TrialKey]) -> Vec<Option<TrialSummary>> {
+        keys.iter().map(|k| self.probe(k)).collect()
+    }
+
+    /// Persists one decided cell. Never fails the run: IO errors degrade
+    /// the store to read-only with one warning.
+    fn store(&self, key: &TrialKey, summary: &TrialSummary);
+
+    /// Lifetime hit/miss accounting.
+    fn stats(&self) -> CacheStats;
+
+    /// Where the store lives (for reporting).
+    fn location(&self) -> &Path;
+}
+
+impl TrialStore for SweepCache {
+    fn probe(&self, key: &TrialKey) -> Option<TrialSummary> {
+        self.get(key)
+    }
+
+    fn store(&self, key: &TrialKey, summary: &TrialSummary) {
+        self.put(key, summary);
+    }
+
+    fn stats(&self) -> CacheStats {
+        SweepCache::stats(self)
+    }
+
+    fn location(&self) -> &Path {
+        self.dir()
+    }
+}
+
+/// The manifest-facing surface of a decided-cell store: what a
+/// fault-sweep campaign needs to checkpoint and resume. Implemented by
+/// the JSONL [`SweepManifest`] and by [`PackStore`] (whose `decided`
+/// records unify resume and cache into one read path).
+pub trait DecidedStore: Sync {
+    /// The outcome already decided for `key`, if any.
+    fn decided(&self, key: &TrialKey) -> Option<CellOutcome>;
+
+    /// Checkpoints a cleanly decided cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns the IO error when the record cannot be appended; durable
+    /// state is only claimed on success.
+    fn record_done(&self, key: &TrialKey, summary: &TrialSummary) -> std::io::Result<()>;
+
+    /// Checkpoints a quarantined cell.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`record_done`](Self::record_done).
+    fn record_quarantined(&self, key: &TrialKey, failure: &CellFailure) -> std::io::Result<()>;
+
+    /// How many decided cells were loaded at open — the cells a resumed
+    /// campaign will not re-simulate.
+    fn resumed(&self) -> usize;
+}
+
+impl DecidedStore for SweepManifest {
+    fn decided(&self, key: &TrialKey) -> Option<CellOutcome> {
+        self.get(key.text())
+    }
+
+    fn record_done(&self, key: &TrialKey, summary: &TrialSummary) -> std::io::Result<()> {
+        SweepManifest::record_done(self, key.text(), summary)
+    }
+
+    fn record_quarantined(&self, key: &TrialKey, failure: &CellFailure) -> std::io::Result<()> {
+        SweepManifest::record_quarantined(self, key.text(), failure)
+    }
+
+    fn resumed(&self) -> usize {
+        SweepManifest::resumed(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Record codec
+// ---------------------------------------------------------------------------
+//
+// Pack layout:   magic(8) · record*
+// Record layout: body_len:u32 · body · fnv1a64(body):u64
+// Body layout:   kind:u8 · key_len:u32 · key(utf8) · payload
+//
+// All integers little-endian. `body_len` covers `body` only, so the full
+// record occupies `4 + body_len + 8` bytes. Payloads are fixed-layout
+// binary (no serde): a summary is three u64 counters, a u32 sample
+// count, then that many u64 sample bit patterns; a failure is a
+// length-prefixed message, a bool byte, and a u32 worker index.
+
+fn encode_summary(summary: &TrialSummary) -> Vec<u8> {
+    let mut out = Vec::with_capacity(28 + 8 * summary.sample_level_bits.len());
+    out.extend_from_slice(&summary.released.to_le_bytes());
+    out.extend_from_slice(&summary.completed_in_time.to_le_bytes());
+    out.extend_from_slice(&summary.missed.to_le_bytes());
+    out.extend_from_slice(&(summary.sample_level_bits.len() as u32).to_le_bytes());
+    for &bits in &summary.sample_level_bits {
+        out.extend_from_slice(&bits.to_le_bytes());
+    }
+    out
+}
+
+fn decode_summary(payload: &[u8]) -> Option<TrialSummary> {
+    if payload.len() < 28 {
+        return None;
+    }
+    let u64_at = |o: usize| u64::from_le_bytes(payload[o..o + 8].try_into().unwrap());
+    let n = u32::from_le_bytes(payload[24..28].try_into().unwrap()) as usize;
+    if payload.len() != 28 + 8 * n {
+        return None;
+    }
+    let sample_level_bits = (0..n).map(|i| u64_at(28 + 8 * i)).collect();
+    Some(TrialSummary {
+        released: u64_at(0),
+        completed_in_time: u64_at(8),
+        missed: u64_at(16),
+        sample_level_bits,
+    })
+}
+
+fn encode_failure(failure: &CellFailure) -> Vec<u8> {
+    let msg = failure.message.as_bytes();
+    let mut out = Vec::with_capacity(9 + msg.len());
+    out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+    out.extend_from_slice(msg);
+    out.push(failure.panicked as u8);
+    out.extend_from_slice(&(failure.worker as u32).to_le_bytes());
+    out
+}
+
+fn decode_failure(payload: &[u8]) -> Option<CellFailure> {
+    if payload.len() < 9 {
+        return None;
+    }
+    let msg_len = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+    if payload.len() != 9 + msg_len {
+        return None;
+    }
+    let message = String::from_utf8(payload[4..4 + msg_len].to_vec()).ok()?;
+    let panicked = match payload[4 + msg_len] {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let worker = u32::from_le_bytes(payload[5 + msg_len..].try_into().unwrap()) as usize;
+    Some(CellFailure {
+        message,
+        panicked,
+        worker,
+    })
+}
+
+fn encode_record(kind: u8, key_text: &str, payload: &[u8]) -> Vec<u8> {
+    let body_len = 1 + 4 + key_text.len() + payload.len();
+    let mut out = Vec::with_capacity(4 + body_len + 8);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(&(key_text.len() as u32).to_le_bytes());
+    out.extend_from_slice(key_text.as_bytes());
+    out.extend_from_slice(payload);
+    let sum = fnv1a64(&out[4..]);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// One record decoded in place from a pack buffer.
+struct RawRecord<'a> {
+    kind: u8,
+    key_text: &'a str,
+    payload: &'a [u8],
+    /// Offset one past the record's trailing checksum.
+    next: usize,
+}
+
+/// Decodes the record starting at `offset`. `None` means the bytes from
+/// `offset` on are torn, truncated, or checksum-corrupt — by the
+/// manifest discipline everything from `offset` is dropped.
+fn decode_record(data: &[u8], offset: usize) -> Option<RawRecord<'_>> {
+    let len_end = offset.checked_add(4)?;
+    if len_end > data.len() {
+        return None;
+    }
+    let body_len = u32::from_le_bytes(data[offset..len_end].try_into().unwrap()) as usize;
+    if body_len < 5 {
+        return None;
+    }
+    let body_end = len_end.checked_add(body_len)?;
+    let next = body_end.checked_add(8)?;
+    if next > data.len() {
+        return None;
+    }
+    let body = &data[len_end..body_end];
+    let stored = u64::from_le_bytes(data[body_end..next].try_into().unwrap());
+    if fnv1a64(body) != stored {
+        return None;
+    }
+    let kind = body[0];
+    if kind != KIND_DONE && kind != KIND_QUARANTINED {
+        return None;
+    }
+    let key_len = u32::from_le_bytes(body[1..5].try_into().unwrap()) as usize;
+    if 5 + key_len > body.len() {
+        return None;
+    }
+    let key_text = std::str::from_utf8(&body[5..5 + key_len]).ok()?;
+    Some(RawRecord {
+        kind,
+        key_text,
+        payload: &body[5 + key_len..],
+        next,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Sidecar index
+// ---------------------------------------------------------------------------
+//
+// Sidecar layout: magic(8) · covered:u64 · count:u64 · entry* ·
+// fnv1a64(everything after magic, before this field):u64, with
+// entry = fingerprint:u64 · offset:u64 · kind:u8. `covered` is the pack
+// prefix (in bytes) the entries describe; records appended after a
+// sidecar was written are recovered by scanning the tail from `covered`.
+
+struct IdxEntry {
+    fingerprint: u64,
+    offset: usize,
+    kind: u8,
+}
+
+fn encode_index(covered: usize, entries: &[IdxEntry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + 17 * entries.len());
+    out.extend_from_slice(&IDX_MAGIC);
+    out.extend_from_slice(&(covered as u64).to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for e in entries {
+        out.extend_from_slice(&e.fingerprint.to_le_bytes());
+        out.extend_from_slice(&(e.offset as u64).to_le_bytes());
+        out.push(e.kind);
+    }
+    let sum = fnv1a64(&out[8..]);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Decodes a sidecar. `None` (missing, truncated, corrupt, or covering
+/// more bytes than the pack holds) forces a full pack scan.
+fn decode_index(data: &[u8], pack_len: usize) -> Option<(usize, Vec<IdxEntry>)> {
+    if data.len() < 32 || data[..8] != IDX_MAGIC {
+        return None;
+    }
+    let body = &data[8..data.len() - 8];
+    let stored = u64::from_le_bytes(data[data.len() - 8..].try_into().unwrap());
+    if fnv1a64(body) != stored {
+        return None;
+    }
+    let covered = u64::from_le_bytes(body[..8].try_into().unwrap()) as usize;
+    let count = u64::from_le_bytes(body[8..16].try_into().unwrap()) as usize;
+    if covered > pack_len || body.len() != 16 + 17 * count {
+        return None;
+    }
+    let mut entries = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = 16 + 17 * i;
+        let offset = u64::from_le_bytes(body[at + 8..at + 16].try_into().unwrap()) as usize;
+        if offset < PACK_MAGIC.len() || offset >= covered {
+            return None;
+        }
+        entries.push(IdxEntry {
+            fingerprint: u64::from_le_bytes(body[at..at + 8].try_into().unwrap()),
+            offset,
+            kind: body[at + 16],
+        });
+    }
+    Some((covered, entries))
+}
+
+fn idx_path_for(pack: &Path) -> PathBuf {
+    pack.with_extension("idx")
+}
+
+// ---------------------------------------------------------------------------
+// PackStore
+// ---------------------------------------------------------------------------
+
+/// Where one decided record lives: pack buffer index, byte offset of
+/// its `body_len` field, and its kind (so `decided` lookups skip a
+/// decode to discriminate).
+#[derive(Clone, Copy)]
+struct Loc {
+    pack: usize,
+    offset: usize,
+    kind: u8,
+}
+
+/// One pack held in memory. `path` is retained so compaction and
+/// sidecar rewrites know which file the bytes mirror.
+struct PackBuf {
+    path: PathBuf,
+    data: Vec<u8>,
+}
+
+struct Inner {
+    packs: Vec<PackBuf>,
+    index: HashMap<u64, Loc>,
+}
+
+struct Writer {
+    file: std::fs::File,
+    pack: usize,
+    /// Current file length — the offset the next record lands at. The
+    /// slot mutex makes this exact: only this writer appends here.
+    len: usize,
+}
+
+/// The pack-file trial store (see the module docs).
+///
+/// Shared immutably across sweep workers: probes take a read lock on
+/// the in-memory map, appends serialize per writer slot, and all
+/// counters are atomic.
+pub struct PackStore {
+    dir: PathBuf,
+    inner: RwLock<Inner>,
+    writers: [Mutex<Option<Writer>>; WRITER_SLOTS],
+    loaded: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejects: AtomicU64,
+    stores: AtomicU64,
+    write_degraded: AtomicBool,
+}
+
+impl std::fmt::Debug for PackStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackStore")
+            .field("dir", &self.dir)
+            .field("loaded", &self.loaded)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What [`PackStore::stat`] reports about a store directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStat {
+    /// Pack files loaded.
+    pub packs: usize,
+    /// Live (latest-per-key) records.
+    pub records: usize,
+    /// Live records that are `done` cells.
+    pub done: usize,
+    /// Live records that are `quarantined` cells.
+    pub quarantined: usize,
+    /// Total pack bytes on disk (after any torn-tail truncation).
+    pub bytes: u64,
+}
+
+/// What [`PackStore::compact`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Pack files merged away.
+    pub packs_before: usize,
+    /// Records across all input packs, superseded duplicates included.
+    pub records_before: usize,
+    /// Live records written to the merged pack.
+    pub records_after: usize,
+    /// Pack bytes before compaction.
+    pub bytes_before: u64,
+    /// Pack bytes after compaction.
+    pub bytes_after: u64,
+}
+
+impl PackStore {
+    /// Opens (and creates) a store rooted at `dir`, loading every pack
+    /// into memory. Torn or corrupt pack tails are truncated away (their
+    /// cells recompute); valid sidecar indexes skip re-scanning the
+    /// prefix they cover. Packs whose header is unrecognized are
+    /// ignored wholesale.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying IO error when the directory cannot be
+    /// created or listed. Per-pack read errors skip that pack only.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut pack_paths: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "hpk"))
+            .collect();
+        // Deterministic load order makes cross-pack last-wins stable.
+        pack_paths.sort();
+
+        let mut packs = Vec::with_capacity(pack_paths.len());
+        let mut index: HashMap<u64, Loc> = HashMap::new();
+        for path in pack_paths {
+            let Ok(mut data) = std::fs::read(&path) else {
+                continue;
+            };
+            if data.len() < PACK_MAGIC.len() || data[..PACK_MAGIC.len()] != PACK_MAGIC {
+                continue;
+            }
+            let pack_idx = packs.len();
+            let mut scan_from = PACK_MAGIC.len();
+            if let Some((covered, entries)) = std::fs::read(idx_path_for(&path))
+                .ok()
+                .and_then(|idx| decode_index(&idx, data.len()))
+            {
+                for e in entries {
+                    index.insert(
+                        e.fingerprint,
+                        Loc {
+                            pack: pack_idx,
+                            offset: e.offset,
+                            kind: e.kind,
+                        },
+                    );
+                }
+                scan_from = covered;
+            }
+            // Scan the tail (the whole pack when no sidecar applied),
+            // truncating at the first torn or corrupt record.
+            let mut at = scan_from;
+            while at < data.len() {
+                let Some(rec) = decode_record(&data, at) else {
+                    break;
+                };
+                index.insert(
+                    fnv1a64(rec.key_text.as_bytes()),
+                    Loc {
+                        pack: pack_idx,
+                        offset: at,
+                        kind: rec.kind,
+                    },
+                );
+                at = rec.next;
+            }
+            if at < data.len() {
+                // Torn tail: drop it on disk too (best effort — a
+                // read-only store still serves the good prefix).
+                if let Ok(f) = std::fs::OpenOptions::new().write(true).open(&path) {
+                    let _ = f.set_len(at as u64);
+                }
+                data.truncate(at);
+            }
+            packs.push(PackBuf { path, data });
+        }
+        let loaded = index.len();
+        Ok(PackStore {
+            dir,
+            inner: RwLock::new(Inner { packs, index }),
+            writers: std::array::from_fn(|_| Mutex::new(None)),
+            loaded,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rejects: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            write_degraded: AtomicBool::new(false),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Decided records loaded at open.
+    pub fn loaded(&self) -> usize {
+        self.loaded
+    }
+
+    /// Live decided records right now (loaded plus appended).
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("store lock").index.len()
+    }
+
+    /// `true` when the store holds no decided record.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks a fingerprint up and decodes its record, verifying the key
+    /// text. `Ok(None)` = absent; `Err(())` = present but rejected on
+    /// integrity grounds.
+    #[allow(clippy::result_unit_err)]
+    fn lookup(&self, key: &TrialKey) -> Result<Option<CellOutcome>, ()> {
+        let inner = self.inner.read().expect("store lock");
+        let Some(loc) = inner.index.get(&key.fingerprint()) else {
+            return Ok(None);
+        };
+        let data = &inner.packs[loc.pack].data;
+        let Some(rec) = decode_record(data, loc.offset) else {
+            return Err(());
+        };
+        if rec.key_text != key.text() {
+            // Fingerprint collision or poisoned pack: never serve it.
+            return Err(());
+        }
+        match rec.kind {
+            KIND_DONE => match decode_summary(rec.payload) {
+                Some(s) => Ok(Some(CellOutcome::Done(s))),
+                None => Err(()),
+            },
+            _ => match decode_failure(rec.payload) {
+                Some(f) => Ok(Some(CellOutcome::Quarantined(f))),
+                None => Err(()),
+            },
+        }
+    }
+
+    fn probe_one(&self, key: &TrialKey) -> Option<TrialSummary> {
+        match self.lookup(key) {
+            Ok(Some(CellOutcome::Done(s))) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(s)
+            }
+            Ok(_) => {
+                // Absent, or decided-but-quarantined (not a summary).
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(()) => {
+                self.rejects.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Picks this thread's writer slot. Thread-to-slot assignment is
+    /// sticky (hash of the thread id), so a worker keeps appending to
+    /// the same pack and records stay clustered per worker.
+    fn slot(&self) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::thread::current().id().hash(&mut h);
+        (h.finish() as usize) % WRITER_SLOTS
+    }
+
+    /// Appends one record through this thread's writer slot, mirroring
+    /// the bytes into the in-memory pack so probes see the new cell
+    /// immediately. On IO failure flips into write-degraded mode (one
+    /// warning) and reports the error.
+    fn append(&self, kind: u8, key: &TrialKey, payload: &[u8]) -> std::io::Result<()> {
+        self.append_raw(kind, key.text(), key.fingerprint(), payload)
+    }
+
+    fn append_raw(
+        &self,
+        kind: u8,
+        key_text: &str,
+        fingerprint: u64,
+        payload: &[u8],
+    ) -> std::io::Result<()> {
+        if self.write_degraded.load(Ordering::Relaxed) {
+            return Err(std::io::Error::other("store is write-degraded"));
+        }
+        let record = encode_record(kind, key_text, payload);
+        let slot = self.slot();
+        let mut guard = self.writers[slot].lock().expect("writer lock");
+        let result = (|| -> std::io::Result<()> {
+            if guard.is_none() {
+                *guard = Some(self.open_writer(slot)?);
+            }
+            let writer = guard.as_mut().expect("writer just ensured");
+            writer.file.write_all(&record)?;
+            writer.file.flush()?;
+            let offset = writer.len;
+            writer.len += record.len();
+            let mut inner = self.inner.write().expect("store lock");
+            let pack = writer.pack;
+            inner.packs[pack].data.extend_from_slice(&record);
+            inner.index.insert(fingerprint, Loc { pack, offset, kind });
+            Ok(())
+        })();
+        match &result {
+            Ok(()) => {
+                self.stores.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                if !self.write_degraded.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "warning: sweep store at {} rejected a write ({e}); \
+                         continuing without storing new results",
+                        self.dir.display()
+                    );
+                }
+            }
+        }
+        result
+    }
+
+    /// Creates this slot's pack file (`O_EXCL`, bumping a counter until
+    /// the name is free) and registers its in-memory mirror.
+    fn open_writer(&self, slot: usize) -> std::io::Result<Writer> {
+        let pid = std::process::id();
+        let mut n = 0usize;
+        let (path, file) = loop {
+            let path = self.dir.join(format!("pack-{pid}-{slot}-{n}.hpk"));
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(f) => break (path, f),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => n += 1,
+                Err(e) => return Err(e),
+            }
+        };
+        let mut file = file;
+        file.write_all(&PACK_MAGIC)?;
+        let mut inner = self.inner.write().expect("store lock");
+        let pack = inner.packs.len();
+        inner.packs.push(PackBuf {
+            path,
+            data: PACK_MAGIC.to_vec(),
+        });
+        Ok(Writer {
+            file,
+            pack,
+            len: PACK_MAGIC.len(),
+        })
+    }
+
+    /// Writes (or refreshes) every pack's sidecar index so the next
+    /// open skips the full scan. Best-effort: sidecars are pure
+    /// acceleration, so failures are ignored.
+    pub fn write_indexes(&self) {
+        let inner = self.inner.read().expect("store lock");
+        for (pi, pack) in inner.packs.iter().enumerate() {
+            let entries: Vec<IdxEntry> = inner
+                .index
+                .iter()
+                .filter(|(_, loc)| loc.pack == pi)
+                .map(|(&fingerprint, loc)| IdxEntry {
+                    fingerprint,
+                    offset: loc.offset,
+                    kind: loc.kind,
+                })
+                .collect();
+            let bytes = encode_index(pack.data.len(), &entries);
+            let tmp = pack.path.with_extension("idx.tmp");
+            if std::fs::write(&tmp, &bytes)
+                .and_then(|()| std::fs::rename(&tmp, idx_path_for(&pack.path)))
+                .is_err()
+            {
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+    }
+
+    /// One-time ingest of a legacy per-file cache directory
+    /// (`*.json` [`SweepCache`] entries) into this store. Each entry is
+    /// verified (parseable, fingerprint matches its stored key text)
+    /// before it is appended; already-present keys are skipped. A marker
+    /// file makes the migration one-time; a missing legacy directory is
+    /// a no-op.
+    ///
+    /// Returns how many cells were ingested.
+    ///
+    /// # Errors
+    ///
+    /// Returns the IO error when an ingest append fails (the marker is
+    /// then not written, so a later run retries).
+    pub fn migrate_legacy(&self, legacy_dir: impl AsRef<Path>) -> std::io::Result<usize> {
+        let legacy_dir = legacy_dir.as_ref();
+        let marker = self.dir.join(LEGACY_MARKER);
+        if marker.exists() || !legacy_dir.is_dir() {
+            return Ok(0);
+        }
+        #[derive(serde::Deserialize)]
+        struct LegacyEntry {
+            key: String,
+            summary: TrialSummary,
+        }
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(legacy_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        paths.sort();
+        let mut ingested = 0usize;
+        for path in paths {
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let Ok(entry) = serde_json::from_str::<LegacyEntry>(&text) else {
+                continue;
+            };
+            let fingerprint = fnv1a64(entry.key.as_bytes());
+            let named: Option<u64> = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| u64::from_str_radix(s, 16).ok());
+            if named != Some(fingerprint) {
+                continue; // poisoned or foreign entry: never ingest
+            }
+            let already = {
+                let inner = self.inner.read().expect("store lock");
+                inner.index.contains_key(&fingerprint)
+            };
+            if already {
+                continue;
+            }
+            self.append_done_text(&entry.key, &entry.summary)?;
+            ingested += 1;
+        }
+        std::fs::write(&marker, b"migrated\n")?;
+        Ok(ingested)
+    }
+
+    /// Appends a done record for a key known only by text (migration
+    /// path — the key predates this process).
+    fn append_done_text(&self, key_text: &str, summary: &TrialSummary) -> std::io::Result<()> {
+        self.append_raw(
+            KIND_DONE,
+            key_text,
+            fnv1a64(key_text.as_bytes()),
+            &encode_summary(summary),
+        )
+    }
+
+    /// Summarizes the store rooted at `dir` without holding it open.
+    ///
+    /// # Errors
+    ///
+    /// Returns the IO error when the directory cannot be opened.
+    pub fn stat(dir: impl Into<PathBuf>) -> std::io::Result<StoreStat> {
+        let store = PackStore::open(dir)?;
+        let inner = store.inner.read().expect("store lock");
+        let done = inner
+            .index
+            .values()
+            .filter(|loc| loc.kind == KIND_DONE)
+            .count();
+        Ok(StoreStat {
+            packs: inner.packs.len(),
+            records: inner.index.len(),
+            done,
+            quarantined: inner.index.len() - done,
+            bytes: inner.packs.iter().map(|p| p.data.len() as u64).sum(),
+        })
+    }
+
+    /// Offline compaction: merges every pack into one, keeping only the
+    /// latest record per key, writes a fresh sidecar, and removes the
+    /// superseded packs. Run it between campaigns — concurrent writers
+    /// to the same directory would race the removal.
+    ///
+    /// # Errors
+    ///
+    /// Returns the IO error when the merged pack cannot be written; the
+    /// original packs are only removed after the merge landed.
+    pub fn compact(dir: impl Into<PathBuf>) -> std::io::Result<CompactStats> {
+        let dir = dir.into();
+        let store = PackStore::open(&dir)?;
+        let inner = store.inner.read().expect("store lock");
+        let bytes_before: u64 = inner.packs.iter().map(|p| p.data.len() as u64).sum();
+        let mut records_before = 0usize;
+        for pack in &inner.packs {
+            let mut at = PACK_MAGIC.len();
+            while let Some(rec) = decode_record(&pack.data, at) {
+                records_before += 1;
+                at = rec.next;
+            }
+        }
+        // Deterministic output order: by (pack, offset) of the live
+        // record, i.e. survivor records keep their relative order.
+        let mut live: Vec<&Loc> = inner.index.values().collect();
+        live.sort_by_key(|loc| (loc.pack, loc.offset));
+
+        let mut merged = PACK_MAGIC.to_vec();
+        let mut entries = Vec::with_capacity(live.len());
+        for loc in &live {
+            let data = &inner.packs[loc.pack].data;
+            let rec = decode_record(data, loc.offset).expect("indexed record decodes");
+            let offset = merged.len();
+            merged.extend_from_slice(&data[loc.offset..rec.next]);
+            entries.push(IdxEntry {
+                fingerprint: fnv1a64(rec.key_text.as_bytes()),
+                offset,
+                kind: rec.kind,
+            });
+        }
+        let merged_path = dir.join(format!("pack-{}-merged-0.hpk", std::process::id()));
+        let tmp = merged_path.with_extension("hpk.tmp");
+        std::fs::write(&tmp, &merged)?;
+        std::fs::rename(&tmp, &merged_path)?;
+        let idx = encode_index(merged.len(), &entries);
+        std::fs::write(idx_path_for(&merged_path), idx)?;
+        for pack in &inner.packs {
+            if pack.path != merged_path {
+                let _ = std::fs::remove_file(&pack.path);
+                let _ = std::fs::remove_file(idx_path_for(&pack.path));
+            }
+        }
+        Ok(CompactStats {
+            packs_before: inner.packs.len(),
+            records_before,
+            records_after: entries.len(),
+            bytes_before,
+            bytes_after: merged.len() as u64,
+        })
+    }
+}
+
+impl TrialStore for PackStore {
+    fn probe(&self, key: &TrialKey) -> Option<TrialSummary> {
+        self.probe_one(key)
+    }
+
+    fn probe_many(&self, keys: &[TrialKey]) -> Vec<Option<TrialSummary>> {
+        // One read-lock acquisition for the whole grid; counters are
+        // batched so the atomics are touched once per grid, not per
+        // cell.
+        let mut out = Vec::with_capacity(keys.len());
+        let (mut hits, mut misses, mut rejects) = (0u64, 0u64, 0u64);
+        {
+            let inner = self.inner.read().expect("store lock");
+            for key in keys {
+                let mut resolved = None;
+                match inner.index.get(&key.fingerprint()) {
+                    None => misses += 1,
+                    Some(loc) => {
+                        let servable = decode_record(&inner.packs[loc.pack].data, loc.offset)
+                            .filter(|rec| rec.key_text == key.text());
+                        match servable {
+                            Some(rec) if rec.kind == KIND_DONE => match decode_summary(rec.payload)
+                            {
+                                Some(s) => {
+                                    hits += 1;
+                                    resolved = Some(s);
+                                }
+                                None => {
+                                    rejects += 1;
+                                    misses += 1;
+                                }
+                            },
+                            Some(_) => {
+                                // Quarantined: decided, but not a
+                                // summary — a plain miss for the cache
+                                // surface.
+                                misses += 1;
+                            }
+                            None => {
+                                // Undecodable record or foreign key
+                                // behind a collision: integrity reject.
+                                rejects += 1;
+                                misses += 1;
+                            }
+                        }
+                    }
+                }
+                out.push(resolved);
+            }
+        }
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        self.rejects.fetch_add(rejects, Ordering::Relaxed);
+        out
+    }
+
+    fn store(&self, key: &TrialKey, summary: &TrialSummary) {
+        let _ = self.append(KIND_DONE, key, &encode_summary(summary));
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            rejects: self.rejects.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+        }
+    }
+
+    fn location(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl DecidedStore for PackStore {
+    fn decided(&self, key: &TrialKey) -> Option<CellOutcome> {
+        match self.lookup(key) {
+            Ok(Some(outcome)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(outcome)
+            }
+            Ok(None) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(()) => {
+                self.rejects.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn record_done(&self, key: &TrialKey, summary: &TrialSummary) -> std::io::Result<()> {
+        self.append(KIND_DONE, key, &encode_summary(summary))
+    }
+
+    fn record_quarantined(&self, key: &TrialKey, failure: &CellFailure) -> std::io::Result<()> {
+        self.append(KIND_QUARANTINED, key, &encode_failure(failure))
+    }
+
+    fn resumed(&self) -> usize {
+        self.loaded
+    }
+}
+
+impl Drop for PackStore {
+    fn drop(&mut self) {
+        // A clean close leaves fresh sidecars so the next open skips
+        // the full scan. Best-effort by design.
+        if self.stores.load(Ordering::Relaxed) > 0 && !self.write_degraded.load(Ordering::Relaxed) {
+            self.write_indexes();
+        }
+    }
+}
+
+/// Builds whatever trial store the environment asks for:
+/// [`SWEEP_STORE_ENV`] (pack store, with one-time legacy-cache
+/// migration from [`DEFAULT_LEGACY_CACHE_DIR`]) takes precedence over
+/// [`SWEEP_CACHE_ENV`](crate::cache::SWEEP_CACHE_ENV) (per-file cache).
+/// `None` when both are unset or
+/// disabled. An unopenable store directory degrades exactly like the
+/// cache: one warning on stderr, then the sweep runs unstored.
+pub fn store_from_env() -> Option<Box<dyn TrialStore>> {
+    if let Ok(raw) = std::env::var(SWEEP_STORE_ENV) {
+        let raw = raw.trim();
+        if !raw.is_empty() && raw != "0" {
+            let dir = if raw == "1" {
+                PathBuf::from(DEFAULT_STORE_DIR)
+            } else {
+                PathBuf::from(raw)
+            };
+            return match PackStore::open(&dir) {
+                Ok(store) => {
+                    let _ = store.migrate_legacy(DEFAULT_LEGACY_CACHE_DIR);
+                    Some(Box::new(store))
+                }
+                Err(e) => {
+                    static WARNED: std::sync::Once = std::sync::Once::new();
+                    WARNED.call_once(|| {
+                        eprintln!(
+                            "warning: cannot open sweep store at {} ({e}); running uncached",
+                            dir.display()
+                        );
+                    });
+                    None
+                }
+            };
+        }
+        return None;
+    }
+    SweepCache::from_env().map(|c| Box::new(c) as Box<dyn TrialStore>)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::SWEEP_CACHE_ENV;
+    use crate::scenario::{PaperScenario, PolicyKind};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "harvest-pack-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(seed: u64) -> TrialKey {
+        TrialKey::new(&PaperScenario::new(0.4, 500.0), PolicyKind::EaDvfs, seed)
+    }
+
+    fn summary(missed: u64) -> TrialSummary {
+        TrialSummary {
+            released: 40,
+            completed_in_time: 40 - missed,
+            missed,
+            sample_level_bits: vec![1.0f64.to_bits(), 0.25f64.to_bits()],
+        }
+    }
+
+    fn failure() -> CellFailure {
+        CellFailure {
+            message: "injected panic".to_owned(),
+            panicked: true,
+            worker: 3,
+        }
+    }
+
+    #[test]
+    fn payload_codecs_round_trip() {
+        let s = summary(7);
+        assert_eq!(decode_summary(&encode_summary(&s)), Some(s));
+        let empty = TrialSummary {
+            sample_level_bits: Vec::new(),
+            ..summary(0)
+        };
+        assert_eq!(decode_summary(&encode_summary(&empty)), Some(empty));
+        let f = failure();
+        assert_eq!(decode_failure(&encode_failure(&f)), Some(f));
+        assert_eq!(decode_summary(b"short"), None);
+        assert_eq!(decode_failure(b"short"), None);
+    }
+
+    #[test]
+    fn round_trip_and_reopen_preserve_bits() {
+        let dir = scratch_dir("roundtrip");
+        let store = PackStore::open(&dir).unwrap();
+        assert_eq!(store.probe(&key(1)), None);
+        store.store(&key(1), &summary(1));
+        assert_eq!(store.probe(&key(1)), Some(summary(1)));
+        let stats = TrialStore::stats(&store);
+        assert_eq!((stats.hits, stats.misses, stats.stores), (1, 1, 1));
+        drop(store);
+
+        let store = PackStore::open(&dir).unwrap();
+        assert_eq!(store.loaded(), 1);
+        assert_eq!(store.probe(&key(1)), Some(summary(1)));
+        assert_eq!(
+            store.probe(&key(1)).unwrap().normalized_sample_values(2.0),
+            vec![0.5, 0.125]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn probe_many_matches_per_key_probes() {
+        let dir = scratch_dir("batch");
+        let store = PackStore::open(&dir).unwrap();
+        for seed in 0..16u64 {
+            if seed % 3 != 0 {
+                store.store(&key(seed), &summary(seed));
+            }
+        }
+        let keys: Vec<TrialKey> = (0..16).map(key).collect();
+        let batch = store.probe_many(&keys);
+        for (seed, got) in batch.iter().enumerate() {
+            let expect = (seed % 3 != 0).then(|| summary(seed as u64));
+            assert_eq!(*got, expect, "seed {seed}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn decided_records_unify_cache_and_manifest_roles() {
+        let dir = scratch_dir("decided");
+        let store = PackStore::open(&dir).unwrap();
+        store.record_done(&key(1), &summary(0)).unwrap();
+        store.record_quarantined(&key(2), &failure()).unwrap();
+        assert_eq!(store.decided(&key(1)), Some(CellOutcome::Done(summary(0))));
+        assert_eq!(
+            store.decided(&key(2)),
+            Some(CellOutcome::Quarantined(failure()))
+        );
+        assert_eq!(store.decided(&key(3)), None);
+        // The cache surface must not serve a quarantined cell as data.
+        assert_eq!(store.probe(&key(2)), None);
+        drop(store);
+
+        let store = PackStore::open(&dir).unwrap();
+        assert_eq!(DecidedStore::resumed(&store), 2);
+        assert_eq!(
+            store.decided(&key(2)),
+            Some(CellOutcome::Quarantined(failure())),
+            "quarantined cells stay decided on resume"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn last_write_wins_on_duplicate_keys() {
+        let dir = scratch_dir("dup");
+        let store = PackStore::open(&dir).unwrap();
+        store.record_quarantined(&key(1), &failure()).unwrap();
+        store.record_done(&key(1), &summary(4)).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.decided(&key(1)), Some(CellOutcome::Done(summary(4))));
+        drop(store);
+        let store = PackStore::open(&dir).unwrap();
+        assert_eq!(store.decided(&key(1)), Some(CellOutcome::Done(summary(4))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_pack_tail_is_truncated_and_recomputes() {
+        let dir = scratch_dir("torn");
+        let store = PackStore::open(&dir).unwrap();
+        store.store(&key(1), &summary(1));
+        store.store(&key(2), &summary(2));
+        drop(store);
+        // Exactly one pack (one writer thread); tear its tail and also
+        // remove the sidecar so open must re-derive by scanning.
+        let pack = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "hpk"))
+            .unwrap();
+        let _ = std::fs::remove_file(idx_path_for(&pack));
+        let full = std::fs::read(&pack).unwrap();
+        std::fs::write(&pack, &full[..full.len() - 11]).unwrap();
+
+        let store = PackStore::open(&dir).unwrap();
+        assert_eq!(store.probe(&key(1)), Some(summary(1)), "good prefix kept");
+        assert_eq!(store.probe(&key(2)), None, "torn cell recomputes");
+        // Both records encode the same-length key and payload, so the
+        // surviving prefix is the header plus exactly one record.
+        let record_len = (full.len() - PACK_MAGIC.len()) / 2;
+        assert_eq!(
+            std::fs::metadata(&pack).unwrap().len() as usize,
+            PACK_MAGIC.len() + record_len,
+            "the torn tail is truncated away on disk"
+        );
+        // The torn bytes are gone on disk: a new record appends cleanly.
+        store.store(&key(2), &summary(2));
+        drop(store);
+        let store = PackStore::open(&dir).unwrap();
+        assert_eq!(store.probe(&key(2)), Some(summary(2)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_record_is_rejected_not_served() {
+        let dir = scratch_dir("poison");
+        let store = PackStore::open(&dir).unwrap();
+        // A record whose checksum is valid but whose key text differs
+        // (fingerprint collision / deliberate poisoning) must never be
+        // served for our key. Stage it by writing a foreign record and
+        // pointing the index at it through a crafted sidecar.
+        let foreign = key(99);
+        store.store(&foreign, &summary(9));
+        drop(store);
+        let pack = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "hpk"))
+            .unwrap();
+        let entries = [
+            IdxEntry {
+                fingerprint: foreign.fingerprint(),
+                offset: PACK_MAGIC.len(),
+                kind: KIND_DONE,
+            },
+            IdxEntry {
+                fingerprint: key(1).fingerprint(),
+                offset: PACK_MAGIC.len(),
+                kind: KIND_DONE,
+            },
+        ];
+        let covered = std::fs::metadata(&pack).unwrap().len() as usize;
+        std::fs::write(idx_path_for(&pack), encode_index(covered, &entries)).unwrap();
+
+        let store = PackStore::open(&dir).unwrap();
+        assert_eq!(store.probe(&key(1)), None, "foreign key must be rejected");
+        assert!(TrialStore::stats(&store).rejects >= 1);
+        assert_eq!(store.probe(&foreign), Some(summary(9)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_stale_sidecar_falls_back_to_full_scan() {
+        let dir = scratch_dir("sidecar");
+        let store = PackStore::open(&dir).unwrap();
+        for seed in 0..8 {
+            store.store(&key(seed), &summary(seed));
+        }
+        drop(store); // writes sidecars
+        let pack = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "hpk"))
+            .unwrap();
+        let idx = idx_path_for(&pack);
+        let good = std::fs::read(&idx).unwrap();
+
+        // Truncated sidecar: ignored, full scan still finds all cells.
+        std::fs::write(&idx, &good[..good.len() / 2]).unwrap();
+        let store = PackStore::open(&dir).unwrap();
+        assert_eq!(store.loaded(), 8);
+        drop(store);
+
+        // Bit-flipped sidecar: checksum rejects it, full scan recovers.
+        let mut bad = good.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xff;
+        std::fs::write(&idx, &bad).unwrap();
+        let store = PackStore::open(&dir).unwrap();
+        assert_eq!(store.loaded(), 8);
+        for seed in 0..8 {
+            assert_eq!(store.probe(&key(seed)), Some(summary(seed)));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_writes_degrade_without_failing_the_run() {
+        let dir = scratch_dir("write-degraded");
+        let store = PackStore::open(&dir).unwrap();
+        store.store(&key(1), &summary(1));
+        // Yank the directory: new writer slots cannot be created. Use a
+        // fresh store so no writer fd is already open.
+        drop(store);
+        let store = PackStore::open(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        store.store(&key(2), &summary(2));
+        store.store(&key(3), &summary(3));
+        assert!(
+            store.record_done(&key(4), &summary(4)).is_err(),
+            "manifest-surface records report the failure"
+        );
+        // Previously loaded cells still serve.
+        assert_eq!(store.probe(&key(1)), Some(summary(1)));
+    }
+
+    #[test]
+    fn compact_merges_packs_and_drops_superseded_records() {
+        let dir = scratch_dir("compact");
+        let store = PackStore::open(&dir).unwrap();
+        for seed in 0..6 {
+            store.store(&key(seed), &summary(seed));
+        }
+        // Supersede two cells.
+        store.store(&key(0), &summary(5));
+        store.record_quarantined(&key(1), &failure()).unwrap();
+        drop(store);
+
+        let stats = PackStore::compact(&dir).unwrap();
+        assert_eq!(stats.records_before, 8);
+        assert_eq!(stats.records_after, 6);
+        assert!(stats.bytes_after < stats.bytes_before);
+
+        let stat = PackStore::stat(&dir).unwrap();
+        assert_eq!(stat.packs, 1);
+        assert_eq!(stat.records, 6);
+        assert_eq!(stat.done, 5);
+        assert_eq!(stat.quarantined, 1);
+
+        let store = PackStore::open(&dir).unwrap();
+        assert_eq!(store.probe(&key(0)), Some(summary(5)), "latest survives");
+        assert_eq!(
+            store.decided(&key(1)),
+            Some(CellOutcome::Quarantined(failure()))
+        );
+        for seed in 2..6 {
+            assert_eq!(store.probe(&key(seed)), Some(summary(seed)));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_cache_migrates_once_bit_identically() {
+        let legacy = scratch_dir("legacy-src");
+        let dir = scratch_dir("legacy-dst");
+        let cache = SweepCache::new(&legacy).unwrap();
+        for seed in 0..4 {
+            cache.put(&key(seed), &summary(seed));
+        }
+        // Poisoned legacy entry: wrong name for its key text.
+        #[derive(serde::Serialize)]
+        struct Entry {
+            key: String,
+            summary: TrialSummary,
+        }
+        std::fs::write(
+            legacy.join("00000000deadbeef.json"),
+            serde_json::to_string(&Entry {
+                key: key(7).text().to_owned(),
+                summary: summary(0),
+            })
+            .unwrap(),
+        )
+        .unwrap();
+
+        let store = PackStore::open(&dir).unwrap();
+        assert_eq!(store.migrate_legacy(&legacy).unwrap(), 4);
+        for seed in 0..4 {
+            assert_eq!(
+                store.probe(&key(seed)),
+                Some(summary(seed)),
+                "migrated cell is byte-identical"
+            );
+        }
+        assert_eq!(store.probe(&key(7)), None, "poisoned entry not ingested");
+        // One-time: a second call is a no-op even with new legacy cells.
+        cache.put(&key(9), &summary(9));
+        assert_eq!(store.migrate_legacy(&legacy).unwrap(), 0);
+        assert_eq!(store.probe(&key(9)), None);
+        let _ = std::fs::remove_dir_all(&legacy);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_from_env_precedence_and_degradation() {
+        use crate::test_support::with_env;
+        let dir = scratch_dir("env");
+        let dir_str = dir.to_str().unwrap().to_owned();
+        with_env(&[(SWEEP_STORE_ENV, None), (SWEEP_CACHE_ENV, None)], || {
+            assert!(store_from_env().is_none())
+        });
+        with_env(
+            &[(SWEEP_STORE_ENV, Some("0")), (SWEEP_CACHE_ENV, None)],
+            || assert!(store_from_env().is_none()),
+        );
+        with_env(
+            &[
+                (SWEEP_STORE_ENV, Some(dir_str.as_str())),
+                (SWEEP_CACHE_ENV, None),
+            ],
+            || {
+                let store = store_from_env().expect("explicit dir enables the store");
+                assert_eq!(store.location(), dir.as_path());
+            },
+        );
+        // Store env wins over cache env.
+        with_env(
+            &[
+                (SWEEP_STORE_ENV, Some(dir_str.as_str())),
+                (SWEEP_CACHE_ENV, Some("1")),
+            ],
+            || {
+                let store = store_from_env().expect("store env wins");
+                assert_eq!(store.location(), dir.as_path());
+            },
+        );
+        // Unopenable store dir (file standing where the dir must go, as
+        // in the cache test — root ignores permission bits): degrade.
+        let blocker = scratch_dir("env-blocker");
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let blocked = blocker.join("sub");
+        let blocked_str = blocked.to_str().unwrap().to_owned();
+        with_env(
+            &[
+                (SWEEP_STORE_ENV, Some(blocked_str.as_str())),
+                (SWEEP_CACHE_ENV, None),
+            ],
+            || {
+                assert!(
+                    store_from_env().is_none(),
+                    "an unopenable store dir must disable storing, not fail"
+                );
+            },
+        );
+        let _ = std::fs::remove_file(&blocker);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn fd_budget_is_constant_in_grid_size() {
+        let open_fds = || std::fs::read_dir("/proc/self/fd").unwrap().count();
+        let dir = scratch_dir("fds");
+        let store = PackStore::open(&dir).unwrap();
+        store.store(&key(0), &summary(0));
+        let baseline = open_fds();
+        for seed in 1..512 {
+            store.store(&key(seed), &summary(seed % 8));
+        }
+        let keys: Vec<TrialKey> = (0..512).map(key).collect();
+        let hits = store.probe_many(&keys);
+        assert!(hits.iter().all(|h| h.is_some()));
+        // 511 more cells and 512 probes cost zero additional fds: the
+        // store keeps at most one writer fd per slot, nothing per cell.
+        assert!(
+            open_fds() <= baseline + WRITER_SLOTS,
+            "fd count grew with grid size: {} -> {}",
+            baseline,
+            open_fds()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,232 @@
+//! End-to-end `exp` CLI behaviour of the pack store: a cold sweep
+//! followed by a warm `--expect-warm` re-run reproduces the figure
+//! digest with zero simulated cells, an unopenable `HARVEST_SWEEP_STORE`
+//! degrades to an uncached run with one warning (exit 0), a fault-sweep
+//! resumed through `--store` re-simulates nothing (the pack's decided
+//! records serve both the cache and manifest roles), and the
+//! `store stat` / `store compact` subcommands round-trip a store
+//! directory without disturbing its contents.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn exp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_exp"))
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("harvest-store-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// The `key=value` field of the first stdout line containing it.
+fn field(out: &Output, key: &str) -> String {
+    let text = stdout(out);
+    let needle = format!("{key}=");
+    text.lines()
+        .find_map(|l| {
+            l.split_whitespace()
+                .find_map(|tok| tok.strip_prefix(&needle))
+        })
+        .unwrap_or_else(|| panic!("no `{key}=` in output:\n{text}"))
+        .to_owned()
+}
+
+fn run(cmd: &mut Command) -> Output {
+    cmd.output().expect("spawn exp")
+}
+
+#[test]
+fn cold_then_warm_store_sweep_is_digest_identical() {
+    let dir = scratch_dir("warm");
+    let args = |extra: &[&str]| {
+        let mut v = vec![
+            "sweep".to_owned(),
+            "--util".to_owned(),
+            "0.4".to_owned(),
+            "--trials".to_owned(),
+            "1".to_owned(),
+            "--threads".to_owned(),
+            "2".to_owned(),
+            "--store".to_owned(),
+            dir.to_str().unwrap().to_owned(),
+        ];
+        v.extend(extra.iter().map(|s| (*s).to_owned()));
+        v
+    };
+    let cold = run(exp().args(args(&[])));
+    assert!(
+        cold.status.success(),
+        "cold sweep failed: {}",
+        stderr(&cold)
+    );
+    assert_ne!(field(&cold, "simulated"), "0", "cold run must simulate");
+    let cold_digest = field(&cold, "figure_fnv64");
+
+    let warm = run(exp().args(args(&["--expect-warm"])));
+    assert!(
+        warm.status.success(),
+        "warm sweep failed: {}",
+        stderr(&warm)
+    );
+    assert_eq!(field(&warm, "simulated"), "0");
+    assert_eq!(field(&warm, "figure_fnv64"), cold_digest);
+    // The store's accounting surfaces both as a summary line and as
+    // registry-rendered metric lines next to the pool gauges.
+    assert!(stdout(&warm).contains("store dir="), "{}", stdout(&warm));
+    assert!(
+        stdout(&warm).contains("metric store.hit_rate=1"),
+        "warm run must be all hits:\n{}",
+        stdout(&warm)
+    );
+
+    // A warm run against a compacted store still reproduces the digest.
+    let compact = run(exp().args(["store", "compact", dir.to_str().unwrap()]));
+    assert!(compact.status.success(), "{}", stderr(&compact));
+    let rewarm = run(exp().args(args(&["--expect-warm"])));
+    assert!(rewarm.status.success(), "{}", stderr(&rewarm));
+    assert_eq!(field(&rewarm, "figure_fnv64"), cold_digest);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unopenable_store_env_degrades_with_one_warning() {
+    let blocker = scratch_dir("degrade");
+    // A plain file where the path expects a directory: `create_dir_all`
+    // on `<blocker>/store` fails with ENOTDIR even for root.
+    std::fs::write(&blocker, b"not a directory").unwrap();
+    let bad = blocker.join("store");
+    let out = run(exp()
+        .args(["sweep", "--util", "0.4", "--trials", "1", "--threads", "2"])
+        .env("HARVEST_SWEEP_STORE", &bad));
+    assert!(
+        out.status.success(),
+        "degraded sweep must still exit 0: {}",
+        stderr(&out)
+    );
+    assert!(
+        stderr(&out).contains("cannot open sweep store"),
+        "expected a degradation warning, got:\n{}",
+        stderr(&out)
+    );
+    assert_ne!(field(&out, "simulated"), "0", "uncached run simulates");
+    assert!(
+        !stdout(&out).contains("store dir="),
+        "a degraded run reports no store"
+    );
+    let _ = std::fs::remove_file(&blocker);
+}
+
+#[test]
+fn fault_sweep_resumes_through_the_store_alone() {
+    let dir = scratch_dir("resume");
+    let args = |extra: &[&str]| {
+        let mut v = vec![
+            "fault-sweep".to_owned(),
+            "--util".to_owned(),
+            "0.4".to_owned(),
+            "--capacity".to_owned(),
+            "300".to_owned(),
+            "--trials".to_owned(),
+            "1".to_owned(),
+            "--threads".to_owned(),
+            "2".to_owned(),
+            "--horizon".to_owned(),
+            "1000".to_owned(),
+            "--intensities".to_owned(),
+            "0.0,1.0".to_owned(),
+            "--store".to_owned(),
+            dir.to_str().unwrap().to_owned(),
+        ];
+        v.extend(extra.iter().map(|s| (*s).to_owned()));
+        v
+    };
+    let cold = run(exp().args(args(&[])));
+    assert!(cold.status.success(), "{}", stderr(&cold));
+    let simulated: u64 = field(&cold, "simulated").parse().unwrap();
+    assert!(simulated > 0);
+    assert_eq!(field(&cold, "resumed"), "0");
+    let digest = field(&cold, "figure_fnv64");
+
+    // No --manifest: the pack's decided records alone must resume the
+    // campaign, and resolution must count as resumed, not cached.
+    let resumed = run(exp().args(args(&["--expect-resumed"])));
+    assert!(resumed.status.success(), "{}", stderr(&resumed));
+    assert_eq!(field(&resumed, "simulated"), "0");
+    assert_eq!(field(&resumed, "resumed"), simulated.to_string());
+    assert_eq!(field(&resumed, "figure_fnv64"), digest);
+
+    // One record per cell: when the pack already holds the manifest
+    // role it must not ALSO be written through the trial-store role,
+    // so compaction finds no superseded duplicates to drop.
+    let compact = run(exp().args(["store", "compact", dir.to_str().unwrap()]));
+    assert!(compact.status.success(), "{}", stderr(&compact));
+    assert_eq!(
+        field(&compact, "records_before"),
+        simulated.to_string(),
+        "each decided cell must append exactly one record"
+    );
+    assert_eq!(field(&compact, "records_after"), simulated.to_string());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_stat_and_compact_report_the_directory() {
+    let dir = scratch_dir("stat");
+    let sweep = run(exp().args([
+        "sweep",
+        "--util",
+        "0.4",
+        "--trials",
+        "1",
+        "--threads",
+        "2",
+        "--store",
+        dir.to_str().unwrap(),
+    ]));
+    assert!(sweep.status.success(), "{}", stderr(&sweep));
+
+    let stat = run(exp().args(["store", "stat", dir.to_str().unwrap()]));
+    assert!(stat.status.success(), "{}", stderr(&stat));
+    let records: u64 = field(&stat, "records").parse().unwrap();
+    assert!(records > 0);
+    assert_eq!(field(&stat, "done"), records.to_string());
+    assert_eq!(field(&stat, "quarantined"), "0");
+    let bytes_before: u64 = field(&stat, "bytes").parse().unwrap();
+
+    let compact = run(exp().args(["store", "compact", dir.to_str().unwrap()]));
+    assert!(compact.status.success(), "{}", stderr(&compact));
+    assert_eq!(field(&compact, "records_after"), records.to_string());
+    assert_eq!(field(&compact, "bytes_before"), bytes_before.to_string());
+
+    let after = run(exp().args(["store", "stat", dir.to_str().unwrap()]));
+    assert!(after.status.success(), "{}", stderr(&after));
+    assert_eq!(field(&after, "packs"), "1", "compaction merges to one pack");
+    assert_eq!(field(&after, "records"), records.to_string());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_and_cache_flags_are_mutually_exclusive() {
+    for sub in ["sweep", "fault-sweep"] {
+        let out = run(exp().args([sub, "--store", "/tmp/a", "--cache", "/tmp/b"]));
+        assert_eq!(out.status.code(), Some(2), "usage error must exit 2");
+        assert!(
+            stderr(&out).contains("mutually exclusive"),
+            "{}",
+            stderr(&out)
+        );
+    }
+}

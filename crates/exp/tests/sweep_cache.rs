@@ -10,6 +10,7 @@ use harvest_exp::figures::{
     min_zero_miss_capacity_cached, miss_rate_figure_cached, remaining_energy_figure_cached,
 };
 use harvest_exp::scenario::PolicyKind;
+use harvest_exp::store::PackStore;
 use harvest_exp::test_support::with_env;
 
 fn scratch_dir(tag: &str) -> PathBuf {
@@ -64,6 +65,44 @@ fn warm_miss_rate_rerun_is_bit_identical_and_simulates_nothing() {
         1,
         "the healed entry is re-stored"
     );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The pack store behind the same figure drivers: cold run populates
+/// packs, a reopened store answers the whole grid from memory with
+/// bit-identical figures — including the f64 sample curves of the
+/// remaining-energy driver — and simulates nothing.
+#[test]
+fn warm_pack_store_reruns_are_bit_identical_across_figures() {
+    let dir = scratch_dir("packstore");
+    let policies = [PolicyKind::Lsa, PolicyKind::EaDvfs];
+
+    let store = PackStore::open(&dir).unwrap();
+    let (cold_miss, cold_stats) = miss_rate_figure_cached(Some(&store), 0.4, &policies, 1, 2);
+    assert!(cold_stats.simulated > 0);
+    let (cold_energy, _) =
+        remaining_energy_figure_cached(Some(&store), 0.4, &[PolicyKind::EaDvfs], 1, 2, 1000);
+    let (cold_cmin, _) =
+        min_zero_miss_capacity_cached(Some(&store), PolicyKind::Lsa, 0.4, 1, 2, 1e7, 0.01);
+    drop(store);
+
+    let warm_store = PackStore::open(&dir).unwrap();
+    let (warm_miss, warm_stats) = miss_rate_figure_cached(Some(&warm_store), 0.4, &policies, 1, 2);
+    assert_eq!(warm_miss, cold_miss, "warm figure must be bit-identical");
+    assert_eq!(warm_stats.simulated, 0, "warm re-run must simulate nothing");
+    let (warm_energy, energy_stats) =
+        remaining_energy_figure_cached(Some(&warm_store), 0.4, &[PolicyKind::EaDvfs], 1, 2, 1000);
+    assert_eq!(warm_energy, cold_energy, "sample curves round-trip bits");
+    assert_eq!(energy_stats.simulated, 0);
+    let (warm_cmin, cmin_stats) =
+        min_zero_miss_capacity_cached(Some(&warm_store), PolicyKind::Lsa, 0.4, 1, 2, 1e7, 0.01);
+    assert_eq!(warm_cmin, cold_cmin, "search replays the probe sequence");
+    assert_eq!(cmin_stats.simulated, 0);
+
+    // Ground truth: the uncached figure matches what the store served.
+    let (uncached, _) = miss_rate_figure_cached(None, 0.4, &policies, 1, 2);
+    assert_eq!(uncached, cold_miss, "the store must not change the figure");
 
     let _ = std::fs::remove_dir_all(&dir);
 }
