@@ -37,8 +37,22 @@
 //! the report asserts both that spread and the warm-store ≥ 5× rate
 //! over the per-file cache.
 //!
+//! Two further modes time the campaign-telemetry layer as
+//! `sweep/figure_warm_{off,traced}`: one fully warm miss-rate figure
+//! through the instrumented driver, first with the disabled
+//! [`CampaignTelemetry`] bundle (the exact code path the pinned figure
+//! tests run), then with a live span collector and a progress stream
+//! writing to a sink. The report carries both rates and their ratio, so
+//! the cost of switching telemetry on — and any creep in the off
+//! path — is a number, not a feeling.
+//!
 //! Pass `--smoke` for a 1-sample sanity run (CI): every benchmark
-//! executes once and no report is written.
+//! executes once and no report is written. Pass
+//! `--check-regression PATH` to compare the fresh `trials_per_sec`
+//! medians against a committed baseline report (e.g. `BENCH_PR7.json`)
+//! instead of writing one: any mode that drops more than 20% prints a
+//! `REGRESSION` line and the process exits 1 (CI runs this step
+//! warn-only).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -48,9 +62,13 @@ use std::time::Duration;
 
 use criterion::Criterion;
 use harvest_exp::cache::{SweepCache, TrialSummary};
+use harvest_exp::figures::miss_rate_figure_instrumented;
 use harvest_exp::parallel::parallel_map_with;
 use harvest_exp::scenario::{PaperScenario, PolicyKind, SimPool, TrialPrefab};
-use harvest_exp::store::PackStore;
+use harvest_exp::store::{PackStore, TrialStore};
+use harvest_exp::telemetry::CampaignTelemetry;
+use harvest_obs::span::SpanCollector;
+use harvest_obs::ProgressReporter;
 use serde::Value;
 
 /// Counts every heap allocation, globally and per thread, then defers
@@ -145,6 +163,73 @@ fn trial_modes(
     let mut pool = SimPool::new();
     g.bench_function("trials_store_warm", |b| {
         b.iter(|| black_box(s.run_summary(&mut pool, Some(store), POLICY, prefab)))
+    });
+    g.finish();
+}
+
+/// The miss-rate-figure utilization the telemetry benches sweep.
+const FIGURE_UTIL: f64 = 0.8;
+/// The policies the telemetry benches sweep (same pair as `exp sweep`).
+const FIGURE_POLICIES: [PolicyKind; 2] = [PolicyKind::Lsa, PolicyKind::EaDvfs];
+
+/// A throwaway pack store pre-warmed with every cell of the telemetry
+/// benches' miss-rate figure (one cold instrumented run fills it).
+fn warm_figure_store() -> (PackStore, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("harvest-bench-figure-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = PackStore::open(&dir).expect("temp figure store dir");
+    miss_rate_figure_instrumented(
+        Some(&store),
+        FIGURE_UTIL,
+        &FIGURE_POLICIES,
+        1,
+        1,
+        1,
+        &CampaignTelemetry::off(),
+    );
+    (store, dir)
+}
+
+/// `sweep/figure_warm_{off,traced}`: one fully warm miss-rate figure
+/// per iteration through the instrumented driver — first with the
+/// disabled telemetry bundle, then with a live span collector plus a
+/// progress stream into an IO sink (fresh observers per iteration, so
+/// the collector cannot grow without bound across samples).
+fn figure_telemetry_modes(c: &mut Criterion, store: &PackStore) {
+    let mut g = c.benchmark_group("sweep");
+    g.bench_function("figure_warm_off", |b| {
+        b.iter(|| {
+            black_box(miss_rate_figure_instrumented(
+                Some(store as &dyn TrialStore),
+                FIGURE_UTIL,
+                &FIGURE_POLICIES,
+                1,
+                1,
+                1,
+                &CampaignTelemetry::off(),
+            ))
+        })
+    });
+    g.bench_function("figure_warm_traced", |b| {
+        b.iter(|| {
+            let telemetry = CampaignTelemetry {
+                spans: Some(SpanCollector::shared()),
+                progress: Some(std::sync::Arc::new(ProgressReporter::new(
+                    Some(Box::new(std::io::sink())),
+                    false,
+                ))),
+                flight: None,
+            };
+            black_box(miss_rate_figure_instrumented(
+                Some(store as &dyn TrialStore),
+                FIGURE_UTIL,
+                &FIGURE_POLICIES,
+                1,
+                1,
+                1,
+                &telemetry,
+            ))
+        })
     });
     g.finish();
 }
@@ -316,6 +401,24 @@ fn write_report(
         _ => Vec::new(),
     };
 
+    // Campaign-telemetry accounting: the warm figure with the bundle
+    // off is the exact path the pinned-figure tests take, the traced
+    // mode bounds what switching spans + progress on costs per figure.
+    let telemetry = match (
+        find("sweep/figure_warm_off"),
+        find("sweep/figure_warm_traced"),
+    ) {
+        (Some(off), Some(traced)) => Value::Map(vec![
+            ("figure_warm_off_ns".to_string(), Value::F64(off)),
+            ("figure_warm_traced_ns".to_string(), Value::F64(traced)),
+            (
+                "traced_overhead_ratio".to_string(),
+                Value::F64(traced / off),
+            ),
+        ]),
+        _ => Value::Null,
+    };
+
     // Allocation accounting runs untimed, after the measurements.
     let cold_allocs = allocs_per_trial(|| {
         black_box(s.run_prefab(POLICY, prefab));
@@ -356,6 +459,7 @@ fn write_report(
         ),
         ("results".to_string(), Value::Seq(entries)),
         ("trials_per_sec".to_string(), Value::Seq(trials_per_sec)),
+        ("telemetry".to_string(), telemetry),
         (
             "allocations".to_string(),
             Value::Map(vec![
@@ -374,8 +478,73 @@ fn write_report(
     println!("wrote {}", path.display());
 }
 
+/// Compares the fresh medians against a committed baseline report's
+/// `trials_per_sec` modes. Ratio entries (`*_vs_*`) are derived, not
+/// measured, so only the raw per-mode rates are compared. Returns
+/// `true` when any mode dropped more than 20%.
+fn check_regression(baseline: &std::path::Path) -> bool {
+    // Cargo runs benches with the package dir as cwd; a relative
+    // baseline path is meant against the workspace root.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let baseline_path = &root.join(baseline);
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", baseline_path.display()));
+    let doc: Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("baseline {} does not parse: {e}", baseline_path.display()));
+    let baseline_modes = doc
+        .get("trials_per_sec")
+        .and_then(Value::as_array)
+        .and_then(|seq| seq.first())
+        .and_then(Value::as_object)
+        .cloned()
+        .unwrap_or_default();
+    let results = criterion::all_results();
+    let fresh_rate = |mode: &str| -> Option<f64> {
+        let ns = results
+            .iter()
+            .find(|r| r.id == format!("sweep/trials_{mode}"))
+            .map(|r| r.ns_per_iter)?;
+        // One batched iteration simulates `width` trials.
+        let per_iter = mode
+            .strip_prefix("batched_b")
+            .and_then(|w| w.parse::<f64>().ok())
+            .unwrap_or(1.0);
+        Some(per_iter * 1e9 / ns)
+    };
+    let mut regressed = false;
+    for (mode, value) in &baseline_modes {
+        if mode.contains("_vs_") {
+            continue;
+        }
+        let (Some(base), Some(now)) = (value.as_f64(), fresh_rate(mode)) else {
+            continue;
+        };
+        let ratio = now / base;
+        let flag = ratio < 0.8;
+        println!(
+            "regression-check {mode}: baseline {base:.0}/s now {now:.0}/s ({:+.1}%){}",
+            (ratio - 1.0) * 100.0,
+            if flag { "  << REGRESSION" } else { "" }
+        );
+        if flag {
+            regressed = true;
+        }
+    }
+    regressed
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args
+        .iter()
+        .position(|a| a == "--check-regression")
+        .map(|i| {
+            std::path::PathBuf::from(
+                args.get(i + 1)
+                    .expect("--check-regression expects a baseline report path"),
+            )
+        });
     let mut c = Criterion::default();
     if smoke {
         c.sample_size(1);
@@ -387,17 +556,30 @@ fn main() {
     let refs: Vec<&TrialPrefab> = siblings.iter().collect();
     let (cache, cache_dir) = warm_cache(&s, &prefab);
     let (store, store_dir) = warm_store(&s, &prefab);
+    let (figure_store, figure_dir) = warm_figure_store();
     trial_modes(&mut c, &s, &prefab, &cache, &store);
     batched_modes(&mut c, &s, &refs);
-
-    if smoke {
+    figure_telemetry_modes(&mut c, &figure_store);
+    let cleanup = || {
         let _ = std::fs::remove_dir_all(&cache_dir);
         let _ = std::fs::remove_dir_all(&store_dir);
+        let _ = std::fs::remove_dir_all(&figure_dir);
+    };
+
+    if smoke {
+        cleanup();
         println!("smoke mode: all benches executed; no report written");
+        return;
+    }
+    if let Some(baseline) = check {
+        let regressed = check_regression(&baseline);
+        cleanup();
+        if regressed {
+            std::process::exit(1);
+        }
         return;
     }
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     write_report(&root.join("BENCH_PR7.json"), &s, &prefab, &refs);
-    let _ = std::fs::remove_dir_all(&cache_dir);
-    let _ = std::fs::remove_dir_all(&store_dir);
+    cleanup();
 }

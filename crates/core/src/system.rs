@@ -20,8 +20,11 @@
 use harvest_energy::fault::{apply_harvest_faults, harvest_factor_at};
 use harvest_energy::predictor::{EnergyPredictor, FaultyPredictor};
 use harvest_energy::storage::Storage;
+use harvest_obs::flight::FlightDump;
 use harvest_obs::profile::PhaseProfiler;
-use harvest_obs::{Log2Histogram, MetricsRegistry, MetricsSink};
+use harvest_obs::{
+    FlightRecorder, Log2Histogram, MetricsRegistry, MetricsSink, SharedFlightRecorder,
+};
 use harvest_sim::engine::{Engine, Model, RunOutcome, Scheduler as EngineCtx, WatchdogKind};
 use harvest_sim::event::{EventQueue, QueueStats};
 use harvest_sim::piecewise::{Cursor, CursorStats, PiecewiseConstant};
@@ -192,6 +195,11 @@ struct SystemModel<P: Scheduler> {
     /// unless the config enables profiling, so a plain run pays one
     /// branch per phase boundary and zero clock reads.
     profiler: Option<Box<PhaseProfiler>>,
+    /// Crash flight recorder lent by the [`RunContext`]; `None` (one
+    /// branch per trace event) unless a campaign asked for post-mortems.
+    /// When set, every domain trace event is also rendered into the
+    /// shared ring so a watchdog abort can dump the recent tail.
+    flight: Option<SharedFlightRecorder>,
 }
 
 impl<P: Scheduler> SystemModel<P> {
@@ -281,8 +289,22 @@ impl<P: Scheduler> SystemModel<P> {
 
     /// Accounts one domain trace event. `event` builds the record — a
     /// small `Copy` value — which counting mode tallies per variant and
-    /// immediately discards; only figure runs retain it.
+    /// immediately discards; only figure runs retain it. With a flight
+    /// recorder installed the record is additionally rendered into the
+    /// shared ring; without one the extra cost is a single `None` branch.
     fn trace_event(&mut self, now: SimTime, event: impl FnOnce() -> TraceEvent) {
+        if let Some(flight) = &self.flight {
+            let ev = event();
+            flight
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .record(now.as_units(), ev.kind_name(), format!("{ev:?}"));
+            match &mut self.trace {
+                TraceLog::Count(sink) => sink.bump_kind(ev.kind_index()),
+                TraceLog::Keep(log) => log.push((now, ev)),
+            }
+            return;
+        }
         match &mut self.trace {
             TraceLog::Count(sink) => sink.bump_kind(event().kind_index()),
             TraceLog::Keep(log) => log.push((now, event())),
@@ -775,6 +797,7 @@ pub fn try_simulate_shared(
         EventQueue::new(),
         EdfQueue::new(),
         &mut reg,
+        None,
     );
     result
 }
@@ -812,12 +835,44 @@ pub struct RunContext {
     ready: Option<EdfQueue>,
     metrics: MetricsRegistry,
     stats: PoolStats,
+    /// Crash flight recorder shared with every simulation this context
+    /// runs; `None` (the default) costs one branch per trace event.
+    flight: Option<SharedFlightRecorder>,
 }
 
 impl RunContext {
     /// Creates an empty context; the first run populates its pools.
     pub fn new() -> Self {
         RunContext::default()
+    }
+
+    /// Installs a crash flight recorder: a ring of the last `capacity`
+    /// trace events, shared (behind `Arc<Mutex<..>>`, so it survives a
+    /// worker panic) with every subsequent run through this context.
+    /// A watchdog abort freezes the ring into a pending
+    /// [`FlightDump`]; the driver drains dumps with
+    /// [`Self::take_flight_dumps`].
+    pub fn enable_flight(&mut self, capacity: usize) {
+        self.flight = Some(FlightRecorder::shared(capacity));
+    }
+
+    /// The installed flight recorder, if any — for driver-side markers
+    /// ([`FlightRecorder::mark`]) and panic-path captures.
+    pub fn flight(&self) -> Option<&SharedFlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Drains the flight dumps captured since the last call (watchdog
+    /// aborts, plus any the driver captured itself). Empty when flight
+    /// recording is off.
+    pub fn take_flight_dumps(&mut self) -> Vec<FlightDump> {
+        match &self.flight {
+            Some(flight) => flight
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take_dumps(),
+            None => Vec::new(),
+        }
     }
 
     /// Retention statistics accumulated over this context's lifetime.
@@ -880,6 +935,7 @@ pub fn try_simulate_in(
     policy.reset();
     let events = ctx.events.take().unwrap_or_default();
     let ready = ctx.ready.take().unwrap_or_default();
+    let flight = ctx.flight.clone();
     let (result, mut events, mut ready) = run_closed_loop(
         config,
         tasks,
@@ -889,6 +945,7 @@ pub fn try_simulate_in(
         events,
         ready,
         &mut ctx.metrics,
+        flight,
     );
     events.reset();
     ready.clear();
@@ -917,6 +974,7 @@ fn run_closed_loop<P: Scheduler>(
     equeue: EventQueue<SysEvent>,
     ready: EdfQueue,
     reg: &mut MetricsRegistry,
+    flight: Option<SharedFlightRecorder>,
 ) -> (Result<SimResult, SimError>, EventQueue<SysEvent>, EdfQueue) {
     debug_assert!(ready.is_empty(), "pooled ready queue must be cleared");
     assert!(
@@ -1002,6 +1060,7 @@ fn run_closed_loop<P: Scheduler>(
             harvest_factor: 1.0,
         }),
         profiler: None,
+        flight,
     };
     let mut engine = Engine::with_queue(model, equeue);
     if engine.model().config.profile {
@@ -1040,10 +1099,24 @@ fn run_closed_loop<P: Scheduler>(
     let engine_profiler = engine.profiler().cloned();
     let (mut model, equeue) = engine.into_parts();
     if let RunOutcome::WatchdogFired { at, events, kind } = outcome {
-        let err = match kind {
-            WatchdogKind::EventBudget => SimError::WatchdogEventBudget { at, events },
-            WatchdogKind::NoProgress => SimError::WatchdogNoProgress { at, events },
+        let (err, reason) = match kind {
+            WatchdogKind::EventBudget => (
+                SimError::WatchdogEventBudget { at, events },
+                "watchdog-event-budget",
+            ),
+            WatchdogKind::NoProgress => (
+                SimError::WatchdogNoProgress { at, events },
+                "watchdog-no-progress",
+            ),
         };
+        // Freeze the post-mortem before the aborted model state is
+        // discarded; the driver drains it via `take_flight_dumps`.
+        if let Some(flight) = &model.flight {
+            flight
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .capture(reason, events);
+        }
         return (Err(err), equeue, model.queue);
     }
     model.finalize(horizon_end);
@@ -1804,5 +1877,76 @@ mod tests {
         );
         assert_eq!(pooled, fresh);
         assert_eq!(ctx.stats().runs, 2, "aborted runs still count");
+    }
+
+    #[test]
+    fn watchdog_abort_freezes_a_flight_dump() {
+        let tasks = Arc::new(TaskSet::new(vec![Task::periodic_implicit(d(10), 2.0)]));
+        let profile = Arc::new(PiecewiseConstant::constant(2.0));
+        let config = SystemConfig::new(presets::xscale(), StorageSpec::ideal(200.0), d(300))
+            .with_watchdog(harvest_sim::engine::Watchdog::with_max_events(40));
+        let mut ctx = RunContext::new();
+        ctx.enable_flight(16);
+        if let Some(flight) = ctx.flight() {
+            flight.lock().unwrap().mark("cell key text");
+        }
+        let mut policy = EdfScheduler::new();
+        let err = try_simulate_in(
+            &mut ctx,
+            config,
+            Arc::clone(&tasks),
+            Arc::clone(&profile),
+            &mut policy,
+            Box::new(OraclePredictor::new((*profile).clone())),
+        );
+        assert!(err.is_err());
+        let dumps = ctx.take_flight_dumps();
+        assert_eq!(dumps.len(), 1);
+        let dump = &dumps[0];
+        assert_eq!(dump.reason, "watchdog-event-budget");
+        assert!(dump.events_handled > 0);
+        assert!(!dump.events.is_empty(), "ring holds the event tail");
+        // The driver's marker survives unless the ring wrapped past it.
+        if dump.dropped == 0 {
+            assert_eq!(dump.events[0].detail, "cell key text");
+        }
+        // Simulation events were rendered with their kind names.
+        assert!(dump
+            .events
+            .iter()
+            .any(|e| e.kind == "released" || e.kind == "started"));
+        assert!(ctx.take_flight_dumps().is_empty(), "drain is one-shot");
+    }
+
+    #[test]
+    fn flight_recording_does_not_change_results() {
+        let tasks = Arc::new(TaskSet::new(vec![Task::periodic_implicit(d(10), 2.0)]));
+        let profile = Arc::new(PiecewiseConstant::constant(2.0));
+        let config = SystemConfig::new(presets::xscale(), StorageSpec::ideal(200.0), d(300));
+        let mut plain_ctx = RunContext::new();
+        let mut policy = EdfScheduler::new();
+        let plain = simulate_in(
+            &mut plain_ctx,
+            config.clone(),
+            Arc::clone(&tasks),
+            Arc::clone(&profile),
+            &mut policy,
+            Box::new(OraclePredictor::new((*profile).clone())),
+        );
+        let mut recorded_ctx = RunContext::new();
+        recorded_ctx.enable_flight(64);
+        let recorded = simulate_in(
+            &mut recorded_ctx,
+            config,
+            tasks,
+            Arc::clone(&profile),
+            &mut policy,
+            Box::new(OraclePredictor::new((*profile).clone())),
+        );
+        assert_eq!(plain, recorded, "flight recording is observation-only");
+        assert!(
+            recorded_ctx.take_flight_dumps().is_empty(),
+            "clean runs capture nothing"
+        );
     }
 }

@@ -6,13 +6,16 @@
 //! exp inspect     PATH
 //! exp diff        PATH BASELINE
 //! exp sweep       [--util U] [--trials N] [--threads N] [--store DIR]
-//!                 [--cache PATH] [--expect-warm]
+//!                 [--cache PATH] [--trace PATH] [--progress PATH] [--expect-warm]
 //! exp fault-sweep [--util U] [--capacity C] [--trials N] [--threads N]
 //!                 [--horizon UNITS] [--intensities A,B,..] [--manifest PATH]
-//!                 [--store DIR] [--cache PATH]
+//!                 [--store DIR] [--cache PATH] [--trace PATH] [--progress PATH]
+//!                 [--flight DIR]
 //!                 [--inject-panic POLICY:SEED:INTENSITY]
 //!                 [--inject-starve POLICY:SEED:INTENSITY] [--expect-resumed]
-//! exp store stat    DIR
+//! exp report      [--store DIR] [--manifest PATH] [--progress PATH] [--trace PATH]
+//!                 [--json] [--out PATH]
+//! exp store stat    DIR [--json]
 //! exp store compact DIR
 //! ```
 //!
@@ -42,26 +45,44 @@
 //! decide. Under `--store`, `fault-sweep` also checkpoints decided
 //! cells into the pack as decided records, so resume and cache are one
 //! read path and `--manifest` is unnecessary. `store stat` summarizes a
-//! store directory; `store compact` merges its packs, dropping
-//! superseded records.
+//! store directory (`--json` for machine consumption); `store compact`
+//! merges its packs, dropping superseded records.
+//!
+//! Campaign telemetry (all off by default, zero-cost when off):
+//! `--trace PATH` records phase and per-cell spans and exports them as
+//! Chrome-trace JSON (loadable in `chrome://tracing` or Perfetto);
+//! `--progress PATH` streams one versioned JSONL event per decided cell
+//! plus rate/ETA heartbeats (and mirrors heartbeats as human lines on
+//! stderr); `--flight DIR` (fault-sweep only) arms a crash flight
+//! recorder on every worker and writes one `*.flight.jsonl` post-mortem
+//! per failed cell, linked from the quarantine report. `report` folds a
+//! store/manifest, a progress stream, and a trace back into one
+//! markdown (or `--json`) campaign report.
 //!
 //! Exit codes: 0 on success (including sweeps with quarantined cells),
 //! 1 on a runtime failure, 2 on a usage error.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use harvest_exp::artifact::RunArtifact;
 use harvest_exp::cache::{fnv1a64, SweepCache};
 use harvest_exp::figures::{
-    miss_rate_figure_cached_batched, robustness_campaign, RobustnessConfig, Sabotage,
+    miss_rate_figure_instrumented, robustness_campaign_instrumented, RobustnessConfig, Sabotage,
     SweepExecStats,
 };
-use harvest_exp::manifest::SweepManifest;
+use harvest_exp::manifest::{CellOutcome, SweepManifest};
+use harvest_exp::report::Table;
 use harvest_exp::scenario::{PaperScenario, PolicyKind, PredictorKind};
 use harvest_exp::store::{
     store_from_env, DecidedStore, PackStore, TrialStore, DEFAULT_LEGACY_CACHE_DIR,
 };
+use harvest_exp::telemetry::{CampaignTelemetry, FlightOptions};
+use harvest_obs::progress::{progress_from_jsonl, ProgressLine};
+use harvest_obs::span::SpanCollector;
+use harvest_obs::ProgressReporter;
 use harvest_obs::{MetricsRegistry, MetricsSink};
+use serde::Value;
 
 const USAGE: &str = "usage:
   exp record      [--policy edf|lsa|ea-dvfs|greedy-stretch] [--util U] [--capacity C]
@@ -69,13 +90,16 @@ const USAGE: &str = "usage:
   exp inspect     PATH
   exp diff        PATH BASELINE
   exp sweep       [--util U] [--trials N] [--threads N] [--batch B] [--store DIR]
-                  [--cache PATH] [--expect-warm]
+                  [--cache PATH] [--trace PATH] [--progress PATH] [--expect-warm]
   exp fault-sweep [--util U] [--capacity C] [--trials N] [--threads N] [--batch B]
                   [--horizon UNITS] [--intensities A,B,..] [--manifest PATH]
-                  [--store DIR] [--cache PATH]
+                  [--store DIR] [--cache PATH] [--trace PATH] [--progress PATH]
+                  [--flight DIR]
                   [--inject-panic POLICY:SEED:INTENSITY]
                   [--inject-starve POLICY:SEED:INTENSITY] [--expect-resumed]
-  exp store stat    DIR
+  exp report      [--store DIR] [--manifest PATH] [--progress PATH] [--trace PATH]
+                  [--json] [--out PATH]
+  exp store stat    DIR [--json]
   exp store compact DIR";
 
 /// A failed invocation, split by whose fault it is: `Usage` exits 2 and
@@ -131,6 +155,8 @@ struct SweepArgs {
     batch: usize,
     store: Option<PathBuf>,
     cache: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    progress: Option<PathBuf>,
     expect_warm: bool,
 }
 
@@ -143,6 +169,8 @@ impl Default for SweepArgs {
             batch: 1,
             store: None,
             cache: None,
+            trace: None,
+            progress: None,
             expect_warm: false,
         }
     }
@@ -164,6 +192,9 @@ struct FaultSweepArgs {
     manifest: Option<PathBuf>,
     store: Option<PathBuf>,
     cache: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    progress: Option<PathBuf>,
+    flight: Option<PathBuf>,
     inject_panic: Vec<InjectSpec>,
     inject_starve: Vec<InjectSpec>,
     expect_resumed: bool,
@@ -182,11 +213,25 @@ impl Default for FaultSweepArgs {
             manifest: None,
             store: None,
             cache: None,
+            trace: None,
+            progress: None,
+            flight: None,
             inject_panic: Vec::new(),
             inject_starve: Vec::new(),
             expect_resumed: false,
         }
     }
+}
+
+/// Parameters of one campaign report.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct ReportArgs {
+    store: Option<PathBuf>,
+    manifest: Option<PathBuf>,
+    progress: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    json: bool,
+    out: Option<PathBuf>,
 }
 
 /// A parsed invocation.
@@ -197,7 +242,8 @@ enum Command {
     Diff { run: PathBuf, baseline: PathBuf },
     Sweep(SweepArgs),
     FaultSweep(FaultSweepArgs),
-    StoreStat(PathBuf),
+    Report(ReportArgs),
+    StoreStat { dir: PathBuf, json: bool },
     StoreCompact(PathBuf),
 }
 
@@ -306,20 +352,25 @@ where
         }
         "sweep" => Ok(Command::Sweep(parse_sweep(it)?)),
         "fault-sweep" => Ok(Command::FaultSweep(parse_fault_sweep(it)?)),
+        "report" => Ok(Command::Report(parse_report(it)?)),
         "store" => {
             let verb = it
                 .next()
                 .map(|s| s.as_ref().to_owned())
                 .ok_or_else(|| "store expects `stat` or `compact`".to_owned())?;
-            let dir = it
-                .next()
-                .map(|s| PathBuf::from(s.as_ref()))
-                .ok_or_else(|| format!("store {verb} expects a store directory"))?;
-            if let Some(extra) = it.next() {
-                return Err(format!("unexpected argument {}", extra.as_ref()));
+            let mut dir: Option<PathBuf> = None;
+            let mut json = false;
+            for arg in it {
+                match arg.as_ref() {
+                    "--json" => json = true,
+                    a if dir.is_none() && !a.starts_with("--") => dir = Some(PathBuf::from(a)),
+                    other => return Err(format!("unexpected argument {other}")),
+                }
             }
+            let dir = dir.ok_or_else(|| format!("store {verb} expects a store directory"))?;
             match verb.as_str() {
-                "stat" => Ok(Command::StoreStat(dir)),
+                "stat" => Ok(Command::StoreStat { dir, json }),
+                "compact" if json => Err("store compact does not take --json".into()),
                 "compact" => Ok(Command::StoreCompact(dir)),
                 other => Err(format!("unknown store verb `{other}` (try stat, compact)")),
             }
@@ -430,6 +481,9 @@ where
             "--manifest" => out.manifest = Some(PathBuf::from(value()?)),
             "--store" => out.store = Some(PathBuf::from(value()?)),
             "--cache" => out.cache = Some(PathBuf::from(value()?)),
+            "--trace" => out.trace = Some(PathBuf::from(value()?)),
+            "--progress" => out.progress = Some(PathBuf::from(value()?)),
+            "--flight" => out.flight = Some(PathBuf::from(value()?)),
             "--inject-panic" => out.inject_panic.push(parse_inject(&value()?)?),
             "--inject-starve" => out.inject_starve.push(parse_inject(&value()?)?),
             "--expect-resumed" => out.expect_resumed = true,
@@ -513,16 +567,78 @@ fn print_store_line(store: &dyn TrialStore) {
     );
 }
 
-fn store_stat(dir: &std::path::Path) -> Result<(), String> {
+/// Builds the campaign observer bundle the sweep flags ask for:
+/// `--trace` installs a span collector, `--progress` opens the JSONL
+/// stream (heartbeats mirror to stderr), `--flight` arms per-worker
+/// crash recorders dumping into the given directory.
+fn build_telemetry(
+    trace: &Option<PathBuf>,
+    progress: &Option<PathBuf>,
+    flight: &Option<PathBuf>,
+) -> Result<CampaignTelemetry, String> {
+    let mut t = CampaignTelemetry::off();
+    if trace.is_some() {
+        t.spans = Some(SpanCollector::shared());
+    }
+    if let Some(path) = progress {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+        let writer: Box<dyn std::io::Write + Send> = Box::new(std::io::BufWriter::new(file));
+        t.progress = Some(Arc::new(ProgressReporter::new(Some(writer), true)));
+    }
+    if let Some(dir) = flight {
+        t.flight = Some(FlightOptions::new(dir));
+    }
+    Ok(t)
+}
+
+/// Closes the campaign's observers: the progress stream's final
+/// heartbeat + finish line, then the Chrome-trace export (the drivers
+/// drop every worker sink before returning, so the collector is
+/// complete by the time this runs).
+fn finish_telemetry(t: &CampaignTelemetry, trace: &Option<PathBuf>) -> Result<(), String> {
+    if let Some(p) = &t.progress {
+        p.finish()
+            .map_err(|e| format!("cannot finish progress stream: {e}"))?;
+    }
+    if let (Some(spans), Some(path)) = (&t.spans, trace) {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+        let mut out = std::io::BufWriter::new(file);
+        spans
+            .write_chrome_trace(&mut out)
+            .map_err(|e| format!("cannot write trace {}: {e}", path.display()))?;
+        eprintln!("trace: {} spans -> {}", spans.len(), path.display());
+    }
+    Ok(())
+}
+
+fn store_stat(dir: &std::path::Path, json: bool) -> Result<(), String> {
     let s = PackStore::stat(dir).map_err(|e| format!("cannot stat {}: {e}", dir.display()))?;
+    if json {
+        let value = Value::Map(vec![
+            ("dir".into(), Value::Str(dir.display().to_string())),
+            ("packs".into(), Value::U64(s.packs as u64)),
+            ("records".into(), Value::U64(s.records as u64)),
+            ("done".into(), Value::U64(s.done as u64)),
+            ("quarantined".into(), Value::U64(s.quarantined as u64)),
+            ("superseded".into(), Value::U64(s.superseded as u64)),
+            ("bytes".into(), Value::U64(s.bytes)),
+        ]);
+        let text =
+            serde_json::to_string_pretty(&value).map_err(|e| format!("serialize stat: {e}"))?;
+        println!("{text}");
+        return Ok(());
+    }
     println!(
-        "store dir={} packs={} records={} done={} quarantined={} bytes={}",
+        "store dir={} packs={} records={} done={} quarantined={} bytes={} superseded={}",
         dir.display(),
         s.packs,
         s.records,
         s.done,
         s.quarantined,
-        s.bytes
+        s.bytes,
+        s.superseded
     );
     Ok(())
 }
@@ -540,6 +656,305 @@ fn store_compact(dir: &std::path::Path) -> Result<(), String> {
         c.bytes_before,
         c.bytes_after
     );
+    Ok(())
+}
+
+/// The policy segment of a canonical trial key
+/// (`v1|{scenario}|{policy}|{seed}` — the second-to-last `|` field).
+fn key_policy(key: &str) -> &str {
+    let mut it = key.rsplit('|');
+    it.next();
+    it.next().unwrap_or("?")
+}
+
+/// Folds decided cells (store or manifest) into the report: totals,
+/// per-policy counts, and quarantine details.
+fn report_cells(
+    entries: &[(String, CellOutcome)],
+    md: &mut String,
+    json: &mut Vec<(String, Value)>,
+) {
+    let done = entries
+        .iter()
+        .filter(|(_, o)| matches!(o, CellOutcome::Done(_)))
+        .count();
+    let quarantined = entries.len() - done;
+    md.push_str(&format!(
+        "\n## Decided cells\n\n{} cells decided: {done} done, {quarantined} quarantined.\n\n",
+        entries.len()
+    ));
+    let mut per: std::collections::BTreeMap<&str, (u64, u64)> = std::collections::BTreeMap::new();
+    for (key, outcome) in entries {
+        let slot = per.entry(key_policy(key)).or_default();
+        match outcome {
+            CellOutcome::Done(_) => slot.0 += 1,
+            CellOutcome::Quarantined(_) => slot.1 += 1,
+        }
+    }
+    let mut table = Table::new(vec!["policy", "done", "quarantined"]);
+    for (policy, (d, q)) in &per {
+        table.row(vec![(*policy).to_owned(), d.to_string(), q.to_string()]);
+    }
+    md.push_str(&table.render());
+    let failures: Vec<_> = entries
+        .iter()
+        .filter_map(|(k, o)| match o {
+            CellOutcome::Quarantined(f) => Some((k.as_str(), f)),
+            CellOutcome::Done(_) => None,
+        })
+        .collect();
+    if !failures.is_empty() {
+        md.push_str("\n### Quarantined cells\n\n");
+        let mut t = Table::new(vec!["worker", "panicked", "flight", "key"]);
+        for (key, f) in &failures {
+            t.row(vec![
+                f.worker.to_string(),
+                f.panicked.to_string(),
+                f.flight.clone().unwrap_or_else(|| "-".into()),
+                (*key).to_owned(),
+            ]);
+        }
+        md.push_str(&t.render());
+    }
+    json.push((
+        "cells".into(),
+        Value::Map(vec![
+            ("total".into(), Value::U64(entries.len() as u64)),
+            ("done".into(), Value::U64(done as u64)),
+            ("quarantined".into(), Value::U64(quarantined as u64)),
+            (
+                "policies".into(),
+                Value::Seq(
+                    per.iter()
+                        .map(|(policy, (d, q))| {
+                            Value::Map(vec![
+                                ("policy".into(), Value::Str((*policy).to_owned())),
+                                ("done".into(), Value::U64(*d)),
+                                ("quarantined".into(), Value::U64(*q)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "quarantines".into(),
+                Value::Seq(
+                    failures
+                        .iter()
+                        .map(|(key, f)| {
+                            Value::Map(vec![
+                                ("key".into(), Value::Str((*key).to_owned())),
+                                ("worker".into(), Value::U64(f.worker as u64)),
+                                ("panicked".into(), Value::Bool(f.panicked)),
+                                (
+                                    "flight".into(),
+                                    match &f.flight {
+                                        Some(p) => Value::Str(p.clone()),
+                                        None => Value::Null,
+                                    },
+                                ),
+                                ("message".into(), Value::Str(f.message.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    ));
+}
+
+/// Folds a progress stream into the report: campaign identity, the
+/// final heartbeat's decided totals, and the finish wall-clock.
+fn report_progress(
+    path: &std::path::Path,
+    md: &mut String,
+    json: &mut Vec<(String, Value)>,
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let lines = progress_from_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let Some(ProgressLine::Started(start)) = lines.first() else {
+        unreachable!("progress_from_jsonl guarantees a Started head");
+    };
+    let heartbeat = lines.iter().rev().find_map(|l| match l {
+        ProgressLine::Heartbeat(h) => Some(h),
+        _ => None,
+    });
+    let finished = lines.iter().rev().find_map(|l| match l {
+        ProgressLine::Finished(f) => Some(f),
+        _ => None,
+    });
+    md.push_str(&format!(
+        "\n## Progress stream\n\ncampaign `{}`: {} cells, {} resumed at open, {} threads.\n",
+        start.campaign, start.cells, start.resumed, start.threads
+    ));
+    let mut entries = vec![
+        ("campaign".into(), Value::Str(start.campaign.clone())),
+        ("cells".into(), Value::U64(start.cells)),
+        ("resumed_at_open".into(), Value::U64(start.resumed)),
+        ("threads".into(), Value::U64(start.threads)),
+    ];
+    if let Some(hb) = heartbeat {
+        md.push_str(&format!(
+            "decided {}/{} ({} hit, {} simulated, {} resumed, {} quarantined) at {:.1} cells/s, \
+             lane high water {}.\n",
+            hb.done,
+            hb.total,
+            hb.hits,
+            hb.simulated,
+            hb.resumed,
+            hb.quarantined,
+            hb.cells_per_sec,
+            hb.lane_high_water
+        ));
+        entries.extend([
+            ("done".into(), Value::U64(hb.done)),
+            ("hits".into(), Value::U64(hb.hits)),
+            ("simulated".into(), Value::U64(hb.simulated)),
+            ("resumed".into(), Value::U64(hb.resumed)),
+            ("quarantined".into(), Value::U64(hb.quarantined)),
+            ("lane_high_water".into(), Value::U64(hb.lane_high_water)),
+        ]);
+    }
+    if let Some(f) = finished {
+        md.push_str(&format!("finished in {:.2} s.\n", f.wall_s));
+        entries.push(("wall_s".into(), Value::F64(f.wall_s)));
+    } else {
+        md.push_str("stream has no Finished line (campaign killed or still running).\n");
+    }
+    json.push(("progress".into(), Value::Map(entries)));
+    Ok(())
+}
+
+/// Folds a Chrome-trace export into the report: wall-clock per span
+/// category and the slowest simulated cells.
+fn report_trace(
+    path: &std::path::Path,
+    md: &mut String,
+    json: &mut Vec<(String, Value)>,
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let value: Value =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+    let events = value
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{} is not a Chrome trace (no traceEvents)", path.display()))?;
+    let mut cats: std::collections::BTreeMap<String, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    let mut cells: Vec<(String, u64)> = Vec::new();
+    for ev in events {
+        let cat = ev.get("cat").and_then(Value::as_str).unwrap_or("?");
+        let dur = ev.get("dur").and_then(Value::as_u64).unwrap_or(0);
+        let slot = cats.entry(cat.to_owned()).or_default();
+        slot.0 += 1;
+        slot.1 += dur;
+        if ev.get("name").and_then(Value::as_str) == Some("cell") {
+            let label = ev
+                .get("args")
+                .and_then(|a| a.get("key"))
+                .and_then(Value::as_str)
+                .unwrap_or("cell");
+            cells.push((label.to_owned(), dur));
+        }
+    }
+    cells.sort_by_key(|cell| std::cmp::Reverse(cell.1));
+    cells.truncate(5);
+    md.push_str(&format!("\n## Trace\n\n{} spans.\n\n", events.len()));
+    let mut table = Table::new(vec!["category", "spans", "total ms"]);
+    for (cat, (n, us)) in &cats {
+        table.row(vec![
+            cat.clone(),
+            n.to_string(),
+            format!("{:.3}", *us as f64 / 1000.0),
+        ]);
+    }
+    md.push_str(&table.render());
+    if !cells.is_empty() {
+        md.push_str("\nSlowest cells:\n\n");
+        let mut t = Table::new(vec!["ms", "key"]);
+        for (key, us) in &cells {
+            t.row(vec![format!("{:.3}", *us as f64 / 1000.0), key.clone()]);
+        }
+        md.push_str(&t.render());
+    }
+    json.push((
+        "trace".into(),
+        Value::Map(vec![
+            ("spans".into(), Value::U64(events.len() as u64)),
+            (
+                "categories".into(),
+                Value::Seq(
+                    cats.iter()
+                        .map(|(cat, (n, us))| {
+                            Value::Map(vec![
+                                ("category".into(), Value::Str(cat.clone())),
+                                ("spans".into(), Value::U64(*n)),
+                                ("total_us".into(), Value::U64(*us)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "slowest_cells".into(),
+                Value::Seq(
+                    cells
+                        .iter()
+                        .map(|(key, us)| {
+                            Value::Map(vec![
+                                ("key".into(), Value::Str(key.clone())),
+                                ("dur_us".into(), Value::U64(*us)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    ));
+    Ok(())
+}
+
+/// `exp report`: folds a result store or manifest, a progress stream,
+/// and a span trace into one campaign report (markdown, or `--json`).
+fn campaign_report(args: &ReportArgs) -> Result<(), String> {
+    let mut md = String::from("# Campaign report\n");
+    let mut json: Vec<(String, Value)> = Vec::new();
+    let decided = match (&args.store, &args.manifest) {
+        (Some(dir), _) => Some(open_pack_store(dir)?.decided_entries()),
+        (None, Some(path)) => Some(
+            SweepManifest::open(path)
+                .map_err(|e| format!("cannot open manifest {}: {e}", path.display()))?
+                .decided_entries(),
+        ),
+        (None, None) => None,
+    };
+    if let Some(entries) = &decided {
+        report_cells(entries, &mut md, &mut json);
+    }
+    if let Some(path) = &args.progress {
+        report_progress(path, &mut md, &mut json)?;
+    }
+    if let Some(path) = &args.trace {
+        report_trace(path, &mut md, &mut json)?;
+    }
+    let text = if args.json {
+        let mut s = serde_json::to_string_pretty(&Value::Map(json))
+            .map_err(|e| format!("serialize report: {e}"))?;
+        s.push('\n');
+        s
+    } else {
+        md
+    };
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &text)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("wrote {}", path.display());
+        }
+        None => print!("{text}"),
+    }
     Ok(())
 }
 
@@ -601,15 +1016,22 @@ fn fault_sweep(args: &FaultSweepArgs) -> Result<(), String> {
         list.iter()
             .any(|&(p, s, i)| p == cell.policy && s == cell.seed && i == cell.intensity)
     };
-    let report = robustness_campaign(&config, store_ref, manifest_ref, |cell| {
-        if matches(&args.inject_panic, cell) {
-            Sabotage::Panic
-        } else if matches(&args.inject_starve, cell) {
-            Sabotage::Starve
-        } else {
-            Sabotage::None
-        }
-    });
+    let telemetry = build_telemetry(&args.trace, &args.progress, &args.flight)?;
+    let report = robustness_campaign_instrumented(
+        &config,
+        store_ref,
+        manifest_ref,
+        |cell| {
+            if matches(&args.inject_panic, cell) {
+                Sabotage::Panic
+            } else if matches(&args.inject_starve, cell) {
+                Sabotage::Starve
+            } else {
+                Sabotage::None
+            }
+        },
+        &telemetry,
+    );
     let cells = config.intensities.len() * config.policies.len() * config.trials;
     println!(
         "fault-sweep util={} capacity={} trials={} batch={} cells={cells} simulated={} cached={} \
@@ -641,6 +1063,15 @@ fn fault_sweep(args: &FaultSweepArgs) -> Result<(), String> {
             q.failure.worker,
             q.failure.message,
         );
+        // The post-mortem pointer goes to stderr: CI tees stdout and
+        // greps exact quarantine lines, and the dump path is transient
+        // diagnostics, not part of the campaign's stable accounting.
+        if let Some(flight) = &q.failure.flight {
+            eprintln!(
+                "flight key={} worker={} panicked={} dump={flight}",
+                q.key, q.failure.worker, q.failure.panicked
+            );
+        }
     }
     // Pooled queues reset their run counters between trials (bit-exact
     // replay requires it); what survives per worker is the retained
@@ -652,6 +1083,7 @@ fn fault_sweep(args: &FaultSweepArgs) -> Result<(), String> {
         print_store_line(s);
     }
     print_metrics(&report.exec, stats_ref);
+    finish_telemetry(&telemetry, &args.trace)?;
     if args.expect_resumed && report.exec.simulated != 0 {
         return Err(format!(
             "expected a resumed campaign but {} of {cells} cells were simulated",
@@ -710,6 +1142,8 @@ where
             }
             "--store" => out.store = Some(PathBuf::from(value()?)),
             "--cache" => out.cache = Some(PathBuf::from(value()?)),
+            "--trace" => out.trace = Some(PathBuf::from(value()?)),
+            "--progress" => out.progress = Some(PathBuf::from(value()?)),
             "--expect-warm" => out.expect_warm = true,
             other => return Err(format!("unknown flag {other}")),
         }
@@ -720,16 +1154,57 @@ where
     Ok(out)
 }
 
+fn parse_report<I, S>(args: I) -> Result<ReportArgs, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut out = ReportArgs::default();
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let flag = flag.as_ref().to_owned();
+        let mut value = || {
+            it.next()
+                .map(|v| v.as_ref().to_owned())
+                .ok_or_else(|| format!("{flag} expects a value"))
+        };
+        match flag.as_str() {
+            "--store" => out.store = Some(PathBuf::from(value()?)),
+            "--manifest" => out.manifest = Some(PathBuf::from(value()?)),
+            "--progress" => out.progress = Some(PathBuf::from(value()?)),
+            "--trace" => out.trace = Some(PathBuf::from(value()?)),
+            "--json" => out.json = true,
+            "--out" => out.out = Some(PathBuf::from(value()?)),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if out.store.is_some() && out.manifest.is_some() {
+        return Err("--store and --manifest are mutually exclusive".into());
+    }
+    if out.store.is_none()
+        && out.manifest.is_none()
+        && out.progress.is_none()
+        && out.trace.is_none()
+    {
+        return Err(
+            "report needs at least one input (--store, --manifest, --progress, or --trace)".into(),
+        );
+    }
+    Ok(out)
+}
+
 fn sweep(args: &SweepArgs) -> Result<(), String> {
     let store = open_trial_store(&args.store, &args.cache)?;
     let store_ref = store.as_deref();
-    let (figure, stats) = miss_rate_figure_cached_batched(
+    let telemetry = build_telemetry(&args.trace, &args.progress, &None)?;
+    let (figure, stats) = miss_rate_figure_instrumented(
         store_ref,
         args.utilization,
         &[PolicyKind::Lsa, PolicyKind::EaDvfs],
         args.trials,
         args.threads,
         args.batch,
+        &telemetry,
     );
     let json = serde_json::to_string(&figure).map_err(|e| format!("serialize figure: {e}"))?;
     println!(
@@ -753,6 +1228,7 @@ fn sweep(args: &SweepArgs) -> Result<(), String> {
         print_store_line(s);
     }
     print_metrics(&stats, store_ref);
+    finish_telemetry(&telemetry, &args.trace)?;
     if args.expect_warm && stats.simulated != 0 {
         return Err(format!(
             "expected a warm cache but {} of {} cells were simulated",
@@ -804,7 +1280,8 @@ fn run(cmd: Command) -> Result<(), ExpError> {
         }),
         Command::Sweep(args) => sweep(&args),
         Command::FaultSweep(args) => fault_sweep(&args),
-        Command::StoreStat(dir) => store_stat(&dir),
+        Command::Report(args) => campaign_report(&args),
+        Command::StoreStat { dir, json } => store_stat(&dir, json),
         Command::StoreCompact(dir) => store_compact(&dir),
     };
     // Everything past parsing is the machine's fault, not the user's.
@@ -884,6 +1361,12 @@ mod tests {
         assert_eq!(args.batch, 8);
         assert_eq!(args.cache, Some(PathBuf::from("/tmp/sweep-cache")));
         assert!(args.expect_warm);
+        assert_eq!(args.trace, None);
+        assert_eq!(args.progress, None);
+
+        let traced = parse_sweep(["--trace", "/tmp/t.json", "--progress", "/tmp/p.jsonl"]).unwrap();
+        assert_eq!(traced.trace, Some(PathBuf::from("/tmp/t.json")));
+        assert_eq!(traced.progress, Some(PathBuf::from("/tmp/p.jsonl")));
         assert_eq!(parse_sweep(Vec::<String>::new()).unwrap().batch, 1);
         assert!(parse_sweep(["--trials", "0"]).is_err());
         assert!(parse_sweep(["--batch", "0"]).is_err());
@@ -947,12 +1430,79 @@ mod tests {
                 .unwrap_err()
                 .contains("mutually exclusive")
         );
+
+        let observed = parse_fault_sweep([
+            "--trace",
+            "/tmp/t.json",
+            "--progress",
+            "/tmp/p.jsonl",
+            "--flight",
+            "/tmp/flight",
+        ])
+        .unwrap();
+        assert_eq!(observed.trace, Some(PathBuf::from("/tmp/t.json")));
+        assert_eq!(observed.progress, Some(PathBuf::from("/tmp/p.jsonl")));
+        assert_eq!(observed.flight, Some(PathBuf::from("/tmp/flight")));
+    }
+
+    #[test]
+    fn report_flags_parse() {
+        let args = parse_report([
+            "--store",
+            "/tmp/s",
+            "--progress",
+            "/tmp/p.jsonl",
+            "--trace",
+            "/tmp/t.json",
+            "--json",
+            "--out",
+            "/tmp/report.json",
+        ])
+        .unwrap();
+        assert_eq!(args.store, Some(PathBuf::from("/tmp/s")));
+        assert_eq!(args.progress, Some(PathBuf::from("/tmp/p.jsonl")));
+        assert_eq!(args.trace, Some(PathBuf::from("/tmp/t.json")));
+        assert!(args.json);
+        assert_eq!(args.out, Some(PathBuf::from("/tmp/report.json")));
+
+        let from_manifest = parse_report(["--manifest", "/tmp/m.jsonl"]).unwrap();
+        assert_eq!(from_manifest.manifest, Some(PathBuf::from("/tmp/m.jsonl")));
+        assert!(!from_manifest.json);
+
+        // No input at all is a usage error; so are both cell sources.
+        assert!(parse_report(Vec::<String>::new())
+            .unwrap_err()
+            .contains("at least one input"));
+        assert!(parse_report(["--json"])
+            .unwrap_err()
+            .contains("at least one input"));
+        assert!(parse_report(["--store", "/tmp/a", "--manifest", "/tmp/b"])
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert!(parse_report(["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn key_policy_extracts_second_to_last_segment() {
+        assert_eq!(key_policy("v1|{\"u\":0.4}|lsa|7"), "lsa");
+        assert_eq!(key_policy("v1|{\"u\":0.4}|ea-dvfs|0"), "ea-dvfs");
+        assert_eq!(key_policy("no-pipes"), "?");
     }
 
     #[test]
     fn store_subcommand_parses() {
         match parse_command(["store", "stat", "/tmp/s"]).unwrap() {
-            Command::StoreStat(dir) => assert_eq!(dir, PathBuf::from("/tmp/s")),
+            Command::StoreStat { dir, json } => {
+                assert_eq!(dir, PathBuf::from("/tmp/s"));
+                assert!(!json);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse_command(["store", "stat", "/tmp/s", "--json"]).unwrap() {
+            Command::StoreStat { dir, json } => {
+                assert_eq!(dir, PathBuf::from("/tmp/s"));
+                assert!(json);
+            }
             other => panic!("wrong command: {other:?}"),
         }
         match parse_command(["store", "compact", "/tmp/s"]).unwrap() {
@@ -963,6 +1513,7 @@ mod tests {
         assert!(parse_command(["store", "stat"]).is_err());
         assert!(parse_command(["store", "prune", "/tmp/s"]).is_err());
         assert!(parse_command(["store", "stat", "/tmp/s", "extra"]).is_err());
+        assert!(parse_command(["store", "compact", "/tmp/s", "--json"]).is_err());
     }
 
     #[test]

@@ -2,11 +2,15 @@
 
 use serde::{Deserialize, Serialize};
 
+use harvest_obs::progress::CellDecision;
+use harvest_obs::span::{CAT_BUILD, CAT_FIGURE, CAT_PROBE, CAT_SIMULATE, CAT_STORE, TID_DRIVER};
+
 use super::SweepExecStats;
 use crate::cache::{TrialKey, TrialSummary};
 use crate::parallel::{parallel_map, parallel_map_with};
 use crate::scenario::{PaperScenario, PolicyKind, SimPool, TrialPrefab};
 use crate::store::{store_from_env, TrialStore};
+use crate::telemetry::CampaignTelemetry;
 
 /// One capacity point of a miss-rate sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -115,8 +119,46 @@ pub fn miss_rate_figure_cached_batched(
     threads: usize,
     batch: usize,
 ) -> (MissRateFigure, SweepExecStats) {
+    miss_rate_figure_instrumented(
+        store,
+        utilization,
+        policies,
+        trials,
+        threads,
+        batch,
+        &CampaignTelemetry::off(),
+    )
+}
+
+/// [`miss_rate_figure_cached_batched`] under campaign telemetry: span
+/// tracing of the probe/build/run phases and each simulated cell, and
+/// live progress events per decided cell. With the default (disabled)
+/// [`CampaignTelemetry`] every observer site is one `None` branch, so
+/// results — and the warm-path cost the sweep bench pins — are those of
+/// the plain driver. The caller owns the telemetry lifecycle: this
+/// driver opens the progress stream ([`ProgressReporter::start`]) but
+/// never closes it ([`ProgressReporter::finish`] stays with the CLI).
+///
+/// [`ProgressReporter::start`]: harvest_obs::ProgressReporter::start
+/// [`ProgressReporter::finish`]: harvest_obs::ProgressReporter::finish
+///
+/// # Panics
+///
+/// Panics if `trials`, `threads`, or `batch` is zero.
+#[allow(clippy::too_many_lines)]
+pub fn miss_rate_figure_instrumented(
+    store: Option<&dyn TrialStore>,
+    utilization: f64,
+    policies: &[PolicyKind],
+    trials: usize,
+    threads: usize,
+    batch: usize,
+    telemetry: &CampaignTelemetry,
+) -> (MissRateFigure, SweepExecStats) {
     assert!(trials > 0, "need at least one trial");
     assert!(batch > 0, "batch width must be at least 1");
+    let mut driver_sink = telemetry.sink(TID_DRIVER);
+    let figure_start = driver_sink.as_ref().map(|s| s.start());
     let capacities = sweep_capacities();
     let max_capacity = capacities.last().copied().expect("non-empty sweep");
     let jobs: Vec<(usize, f64, PolicyKind, u64)> = capacities
@@ -132,18 +174,26 @@ pub fn miss_rate_figure_cached_batched(
     // Probe: resolve every cell the store already holds, in one batch
     // (a pack store answers the whole grid under a single map lock with
     // zero per-cell syscalls).
-    let mut summaries: Vec<Option<TrialSummary>> = match store {
-        Some(c) => {
-            let keys: Vec<TrialKey> = jobs
-                .iter()
-                .map(|&(_, capacity, policy, seed)| {
-                    PaperScenario::new(utilization, capacity).trial_key(policy, seed)
-                })
-                .collect();
-            c.probe_many(&keys)
-        }
-        None => vec![None; jobs.len()],
+    let probe_start = driver_sink.as_ref().map(|s| s.start());
+    let keys: Option<Vec<TrialKey>> = store.map(|_| {
+        jobs.iter()
+            .map(|&(_, capacity, policy, seed)| {
+                PaperScenario::new(utilization, capacity).trial_key(policy, seed)
+            })
+            .collect()
+    });
+    let mut summaries: Vec<Option<TrialSummary>> = match (store, &keys) {
+        (Some(c), Some(keys)) => c.probe_many(keys),
+        _ => vec![None; jobs.len()],
     };
+    if let (Some(sink), Some(t)) = (driver_sink.as_mut(), probe_start) {
+        sink.record_with(
+            t,
+            "probe",
+            CAT_PROBE,
+            vec![("cells".into(), jobs.len().to_string())],
+        );
+    }
     let pending: Vec<usize> = (0..jobs.len())
         .filter(|&i| summaries[i].is_none())
         .collect();
@@ -152,6 +202,21 @@ pub fn miss_rate_figure_cached_batched(
         cached: (jobs.len() - pending.len()) as u64,
         ..SweepExecStats::default()
     };
+    if let Some(progress) = &telemetry.progress {
+        progress.start(
+            &format!("sweep-u{utilization}"),
+            jobs.len() as u64,
+            0,
+            threads,
+        );
+        if let Some(keys) = &keys {
+            for (i, key) in keys.iter().enumerate() {
+                if summaries[i].is_some() {
+                    progress.cell(CellDecision::Hit, key.text(), 0);
+                }
+            }
+        }
+    }
 
     // Build: a trial's solar realization and task set depend on the
     // seed but not the capacity or policy, so each needed prefab is
@@ -160,9 +225,18 @@ pub fn miss_rate_figure_cached_batched(
     let mut needed: Vec<u64> = pending.iter().map(|&i| jobs[i].3).collect();
     needed.sort_unstable();
     needed.dedup();
+    let build_start = driver_sink.as_ref().map(|s| s.start());
     let built: Vec<TrialPrefab> = parallel_map(needed.clone(), threads, |seed| {
         PaperScenario::new(utilization, max_capacity).prefab(seed)
     });
+    if let (Some(sink), Some(t)) = (driver_sink.as_mut(), build_start) {
+        sink.record_with(
+            t,
+            "build",
+            CAT_BUILD,
+            vec![("prefabs".into(), needed.len().to_string())],
+        );
+    }
     let mut prefabs: Vec<Option<TrialPrefab>> = vec![None; trials];
     for (seed, prefab) in needed.into_iter().zip(built) {
         prefabs[seed as usize] = Some(prefab);
@@ -188,9 +262,10 @@ pub fn miss_rate_figure_cached_batched(
     let (computed, pools) = parallel_map_with(
         groups,
         threads,
-        |_| SimPool::new(),
-        |pool, (capacity, policy, lanes)| {
+        |w| (w, SimPool::new(), telemetry.sink(w as u32 + 1)),
+        |(worker, pool, sink), (capacity, policy, lanes)| {
             let scenario = PaperScenario::new(utilization, capacity);
+            let cell_start = sink.as_ref().map(|s| s.start());
             let lane_prefabs: Vec<&TrialPrefab> = lanes
                 .iter()
                 .map(|&(_, seed)| {
@@ -204,21 +279,44 @@ pub fn miss_rate_figure_cached_batched(
             } else {
                 scenario.run_prefabs_batched_in(pool, policy, &lane_prefabs)
             };
+            if let (Some(sink), Some(t)) = (sink.as_mut(), cell_start) {
+                sink.record_with(
+                    t,
+                    "cell",
+                    CAT_SIMULATE,
+                    vec![
+                        (
+                            "key".into(),
+                            scenario.trial_key(policy, lanes[0].1).text().to_owned(),
+                        ),
+                        ("lanes".into(), lanes.len().to_string()),
+                    ],
+                );
+            }
             lanes
                 .iter()
                 .zip(&results)
                 .map(|(&(i, seed), result)| {
                     let summary = TrialSummary::of(result);
+                    let key = scenario.trial_key(policy, seed);
                     if let Some(c) = store {
-                        c.store(&scenario.trial_key(policy, seed), &summary);
+                        let store_start = sink.as_ref().map(|s| s.start());
+                        c.store(&key, &summary);
+                        if let (Some(sink), Some(t)) = (sink.as_mut(), store_start) {
+                            sink.record(t, "store", CAT_STORE);
+                        }
                     }
+                    telemetry.cell(CellDecision::Simulated, key.text(), *worker);
                     (i, summary)
                 })
                 .collect::<Vec<_>>()
         },
     );
-    for pool in &pools {
+    for (_, pool, _) in &pools {
         stats.merge_pool(pool.stats());
+    }
+    if let Some(progress) = &telemetry.progress {
+        progress.note_lane_high_water(stats.pool.batch_lane_high_water);
     }
     for (i, summary) in computed.into_iter().flatten() {
         summaries[i] = Some(summary);
@@ -246,6 +344,14 @@ pub fn miss_rate_figure_cached_batched(
         rows,
         trials,
     };
+    if let (Some(sink), Some(t)) = (driver_sink.as_mut(), figure_start) {
+        sink.record_with(
+            t,
+            "miss-rate-figure",
+            CAT_FIGURE,
+            vec![("utilization".into(), utilization.to_string())],
+        );
+    }
     (figure, stats)
 }
 

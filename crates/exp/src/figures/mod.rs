@@ -21,15 +21,15 @@ pub use min_capacity::{
     MinCapacityTable,
 };
 pub use miss_rate::{
-    miss_rate_figure, miss_rate_figure_cached, miss_rate_figure_cached_batched, MissRateFigure,
-    MissRateRow,
+    miss_rate_figure, miss_rate_figure_cached, miss_rate_figure_cached_batched,
+    miss_rate_figure_instrumented, MissRateFigure, MissRateRow,
 };
 pub use remaining_energy::{
     remaining_energy_figure, remaining_energy_figure_cached, RemainingEnergyFigure,
 };
 pub use robustness::{
-    robustness_campaign, robustness_figure, CampaignReport, Cell, QuarantineRecord,
-    RobustnessConfig, RobustnessFigure, RobustnessRow, Sabotage,
+    robustness_campaign, robustness_campaign_instrumented, robustness_figure, CampaignReport, Cell,
+    QuarantineRecord, RobustnessConfig, RobustnessFigure, RobustnessRow, Sabotage,
 };
 pub use source::{source_figure, SourceFigure};
 

@@ -18,8 +18,13 @@
 //! resume and cache one read path — so a killed campaign resumes
 //! without re-simulating finished cells.
 
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 
+use harvest_obs::flight::FlightDump;
+use harvest_obs::progress::CellDecision;
+use harvest_obs::span::{SpanSink, CAT_BUILD, CAT_FIGURE, CAT_PROBE, CAT_SIMULATE, TID_DRIVER};
 use harvest_sim::engine::Watchdog;
 use harvest_sim::event::QueueStats;
 
@@ -29,6 +34,7 @@ use crate::manifest::CellOutcome;
 use crate::parallel::{default_threads, parallel_map, parallel_map_quarantined, CellFailure};
 use crate::scenario::{PaperScenario, PolicyKind, PredictorKind, SimPool, TrialPrefab};
 use crate::store::{store_from_env, DecidedStore, TrialStore};
+use crate::telemetry::{write_flight_dump, CampaignTelemetry};
 
 /// One intensity point of a robustness sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -230,6 +236,59 @@ pub fn robustness_campaign<S>(
 where
     S: Fn(&Cell) -> Sabotage + Sync,
 {
+    robustness_campaign_instrumented(config, store, manifest, sabotage, &CampaignTelemetry::off())
+}
+
+/// Per-worker state of an instrumented campaign: the worker's pooled
+/// context, its span sink, and any panic flight dumps stashed while
+/// later batches ran on the same worker (a panicked batch's dump is
+/// only matched back to its grid cells after the map completes).
+struct CampaignWorker {
+    index: usize,
+    pool: SimPool,
+    sink: Option<SpanSink>,
+    panic_dumps: Vec<FlightDump>,
+}
+
+/// [`robustness_campaign`] under campaign telemetry: span tracing of
+/// the resolve/build/run phases and each dispatched batch, one live
+/// progress event per decided cell (resumed / hit / simulated /
+/// quarantined), and — when [`FlightOptions`] is set — a crash flight
+/// recorder on every worker pool whose dump is written out per failed
+/// cell and linked from [`CellFailure::flight`].
+///
+/// Dump pairing relies on two ordering invariants. Watchdog dumps are
+/// frozen by the engine *during* [`SimPool::run_batch`], whose
+/// watchdogged lanes scalar-drain sequentially in lane order, so the
+/// dumps drained right after a batch line up with that batch's `Err`
+/// lanes in order. Panic dumps are frozen by a drop guard while the
+/// worker unwinds; each batch marks the flight ring with its first
+/// lane's key text on entry, so a panic dump's last `mark` event names
+/// the batch it belongs to and is matched after the map ends.
+///
+/// With the default (disabled) [`CampaignTelemetry`] every observer
+/// site is one `None` branch and results are those of the plain
+/// driver. The caller owns the telemetry lifecycle: this driver opens
+/// the progress stream but never closes it
+/// ([`ProgressReporter::finish`] stays with the CLI).
+///
+/// [`FlightOptions`]: crate::telemetry::FlightOptions
+/// [`ProgressReporter::finish`]: harvest_obs::ProgressReporter::finish
+///
+/// # Panics
+///
+/// As [`robustness_campaign`].
+#[allow(clippy::too_many_lines)]
+pub fn robustness_campaign_instrumented<S>(
+    config: &RobustnessConfig,
+    store: Option<&dyn TrialStore>,
+    manifest: Option<&dyn DecidedStore>,
+    sabotage: S,
+    telemetry: &CampaignTelemetry,
+) -> CampaignReport
+where
+    S: Fn(&Cell) -> Sabotage + Sync,
+{
     assert!(config.trials > 0, "need at least one trial");
     assert!(
         !config.intensities.is_empty(),
@@ -237,6 +296,8 @@ where
     );
     assert!(!config.policies.is_empty(), "need at least one policy");
     assert!(!config.predictors.is_empty(), "need at least one predictor");
+    let mut driver_sink = telemetry.sink(TID_DRIVER);
+    let figure_start = driver_sink.as_ref().map(|s| s.start());
 
     let scenario_of = |intensity: f64, predictor: PredictorKind| {
         let mut s = PaperScenario::new(config.utilization, config.capacity)
@@ -265,6 +326,9 @@ where
 
     // Resolve: manifest (previous campaign run) first, then the store —
     // the latter as one batch probe over every manifest-unresolved cell.
+    let probe_start = driver_sink.as_ref().map(|s| s.start());
+    let track_progress = telemetry.progress.is_some();
+    let mut resolved: Vec<(usize, CellDecision)> = Vec::new();
     let mut outcomes: Vec<Option<CellOutcome>> = vec![None; jobs.len()];
     let mut resumed = 0u64;
     let mut cached = 0u64;
@@ -273,6 +337,9 @@ where
             if let Some(outcome) = m.decided(key) {
                 outcomes[i] = Some(outcome);
                 resumed += 1;
+                if track_progress {
+                    resolved.push((i, CellDecision::Resumed));
+                }
             }
         }
     }
@@ -287,10 +354,30 @@ where
                 }
                 outcomes[i] = Some(CellOutcome::Done(summary));
                 cached += 1;
+                if track_progress {
+                    resolved.push((i, CellDecision::Hit));
+                }
             }
         }
     }
     let pending: Vec<usize> = (0..jobs.len()).filter(|&i| outcomes[i].is_none()).collect();
+    if let (Some(sink), Some(t)) = (driver_sink.as_mut(), probe_start) {
+        sink.record_with(
+            t,
+            "resolve",
+            CAT_PROBE,
+            vec![
+                ("cells".into(), jobs.len().to_string()),
+                ("resumed".into(), resumed.to_string()),
+            ],
+        );
+    }
+    if let Some(progress) = &telemetry.progress {
+        progress.start("fault-sweep", jobs.len() as u64, resumed, config.threads);
+        for (i, decision) in resolved {
+            progress.cell(decision, keys[i].text(), 0);
+        }
+    }
 
     // Build: one prefab per seed still needing simulation (the solar
     // realization and task set depend on the seed, never on the fault
@@ -299,8 +386,17 @@ where
     let mut needed: Vec<u64> = pending.iter().map(|&i| jobs[i].3).collect();
     needed.sort_unstable();
     needed.dedup();
+    let build_start = driver_sink.as_ref().map(|s| s.start());
     let built: Vec<TrialPrefab> =
         parallel_map(needed.clone(), config.threads, |seed| base.prefab(seed));
+    if let (Some(sink), Some(t)) = (driver_sink.as_mut(), build_start) {
+        sink.record_with(
+            t,
+            "build",
+            CAT_BUILD,
+            vec![("prefabs".into(), needed.len().to_string())],
+        );
+    }
     let mut prefabs: Vec<Option<TrialPrefab>> = vec![None; config.trials];
     for (seed, prefab) in needed.into_iter().zip(built) {
         prefabs[seed as usize] = Some(prefab);
@@ -326,15 +422,48 @@ where
             _ => groups.push((row, pi, pj, vec![(i, seed)])),
         }
     }
-    let (computed, pools) = parallel_map_quarantined(
+    // Freezes the flight ring while the worker unwinds, so the events
+    // leading up to a panic survive into a post-map dump.
+    struct PanicCapture(Option<harvest_obs::SharedFlightRecorder>);
+    impl Drop for PanicCapture {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                if let Some(f) = &self.0 {
+                    f.lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .capture("panic", 0);
+                }
+            }
+        }
+    }
+    let flight_opts = telemetry.flight.as_ref();
+    let (computed, mut pools) = parallel_map_quarantined(
         groups.clone(),
         config.threads,
-        |w| (w, SimPool::new()),
-        |(worker, pool), (row, pi, pj, lanes)| {
+        |w| {
+            let mut pool = SimPool::new();
+            if let Some(opts) = flight_opts {
+                pool.enable_flight(opts.capacity);
+            }
+            CampaignWorker {
+                index: w,
+                pool,
+                sink: telemetry.sink(w as u32 + 1),
+                panic_dumps: Vec::new(),
+            }
+        },
+        |w, (row, pi, pj, lanes)| {
             let intensity = config.intensities[row];
             let predictor = config.predictors[pi];
             let policy = config.policies[pj];
             let scenario = scenario_of(intensity, predictor);
+            let cell_start = w.sink.as_ref().map(|s| s.start());
+            let _panic_capture = PanicCapture(w.pool.flight().cloned());
+            if let Some(f) = w.pool.flight() {
+                f.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .mark(scenario.trial_key(policy, lanes[0].1).text());
+            }
             let mut watchdogs = Vec::with_capacity(lanes.len());
             for &(_, seed) in &lanes {
                 let cell = Cell {
@@ -360,7 +489,39 @@ where
                         .expect("prefab built for every pending seed")
                 })
                 .collect();
-            let results = pool.run_batch(&scenario, policy, &lane_prefabs, &watchdogs);
+            let results = w
+                .pool
+                .run_batch(&scenario, policy, &lane_prefabs, &watchdogs);
+            if let (Some(sink), Some(t)) = (w.sink.as_mut(), cell_start) {
+                sink.record_with(
+                    t,
+                    "cell",
+                    CAT_SIMULATE,
+                    vec![
+                        (
+                            "key".into(),
+                            scenario.trial_key(policy, lanes[0].1).text().to_owned(),
+                        ),
+                        ("lanes".into(), lanes.len().to_string()),
+                    ],
+                );
+            }
+            // Watchdog dumps were frozen during the batch's sequential
+            // scalar drain, so they pair with this batch's `Err` lanes
+            // in order. A stale panic dump from an earlier batch on
+            // this worker is stashed for post-map matching instead.
+            let mut watchdog_dumps = Vec::new();
+            if flight_opts.is_some() {
+                for dump in w.pool.take_flight_dumps() {
+                    if dump.reason == "panic" {
+                        w.panic_dumps.push(dump);
+                    } else {
+                        watchdog_dumps.push(dump);
+                    }
+                }
+            }
+            let mut watchdog_dumps = watchdog_dumps.into_iter();
+            let worker = w.index;
             let lane_outcomes: Vec<(usize, Result<TrialSummary, CellFailure>)> = lanes
                 .iter()
                 .zip(results)
@@ -375,13 +536,25 @@ where
                             if let Some(m) = manifest {
                                 let _ = m.record_done(&key, &summary);
                             }
+                            telemetry.cell(CellDecision::Simulated, key.text(), worker);
                             Ok(summary)
                         }
-                        Err(e) => Err(CellFailure {
-                            message: e.to_string(),
-                            panicked: false,
-                            worker: *worker,
-                        }),
+                        Err(e) => {
+                            let key = scenario.trial_key(policy, seed);
+                            let flight = watchdog_dumps.next().and_then(|dump| {
+                                flight_opts.and_then(|opts| {
+                                    write_flight_dump(&opts.dir, key.text(), dump)
+                                        .ok()
+                                        .map(|p| p.display().to_string())
+                                })
+                            });
+                            Err(CellFailure {
+                                message: e.to_string(),
+                                panicked: false,
+                                worker,
+                                flight,
+                            })
+                        }
                     };
                     (i, outcome)
                 })
@@ -396,10 +569,35 @@ where
         ..SweepExecStats::default()
     };
     let mut queues = Vec::new();
-    for (_, pool) in &pools {
-        exec.merge_pool(pool.stats());
-        if let Some(qs) = pool.queue_stats() {
+    for w in &pools {
+        exec.merge_pool(w.pool.stats());
+        if let Some(qs) = w.pool.queue_stats() {
             queues.push(qs);
+        }
+    }
+    if let Some(progress) = &telemetry.progress {
+        progress.note_lane_high_water(exec.pool.batch_lane_high_water);
+    }
+    // Panic dumps: stashed by later batches on the same worker, or
+    // still pending on the recorder when the panicked batch was the
+    // worker's last. Each batch marked the ring with its first lane's
+    // key text on entry, so a dump's last mark names its batch.
+    let mut panic_dump_by_key: HashMap<String, FlightDump> = HashMap::new();
+    if flight_opts.is_some() {
+        for w in &mut pools {
+            let mut dumps = std::mem::take(&mut w.panic_dumps);
+            dumps.extend(w.pool.take_flight_dumps());
+            for dump in dumps {
+                let mark = dump
+                    .events
+                    .iter()
+                    .rev()
+                    .find(|e| e.kind == "mark")
+                    .map(|m| m.detail.clone());
+                if let Some(mark) = mark {
+                    panic_dump_by_key.insert(mark, dump);
+                }
+            }
         }
     }
 
@@ -407,6 +605,7 @@ where
     let quarantine = |i: usize, failure: CellFailure, quarantined: &mut Vec<QuarantineRecord>| {
         let job = jobs[i];
         let key = &keys[i];
+        telemetry.cell(CellDecision::Quarantined, key.text(), failure.worker);
         if let Some(m) = manifest {
             let _ = m.record_quarantined(key, &failure);
         }
@@ -430,10 +629,18 @@ where
                 }
             }
             // The whole batch failed before any lane resolved (a panic
-            // mid-dispatch): every lane of the batch is quarantined.
+            // mid-dispatch): every lane of the batch is quarantined,
+            // each with its own copy of the batch's flight dump.
             Err(failure) => {
+                let dump = panic_dump_by_key.remove(keys[lanes[0].0].text());
                 for (i, _) in lanes {
-                    outcomes[i] = Some(quarantine(i, failure.clone(), &mut quarantined));
+                    let mut failure = failure.clone();
+                    if let (Some(dump), Some(opts)) = (&dump, flight_opts) {
+                        failure.flight = write_flight_dump(&opts.dir, keys[i].text(), dump.clone())
+                            .ok()
+                            .map(|p| p.display().to_string());
+                    }
+                    outcomes[i] = Some(quarantine(i, failure, &mut quarantined));
                 }
             }
         }
@@ -465,6 +672,14 @@ where
         })
         .collect();
 
+    if let (Some(sink), Some(t)) = (driver_sink.as_mut(), figure_start) {
+        sink.record_with(
+            t,
+            "robustness-campaign",
+            CAT_FIGURE,
+            vec![("quarantined".into(), quarantined.len().to_string())],
+        );
+    }
     CampaignReport {
         figure: RobustnessFigure {
             utilization: config.utilization,

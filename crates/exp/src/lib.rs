@@ -12,6 +12,10 @@
 //!   kill-and-resume campaigns.
 //! * [`store`] — the pack-file result store: segment-packed trial
 //!   summaries, batch probes, unified cache + resume records.
+//! * [`telemetry`] — the campaign observer bundle: span tracing with
+//!   Chrome-trace export, live progress streaming, and crash
+//!   flight-recorder dumps (`exp sweep --trace/--progress`,
+//!   `exp fault-sweep --flight`).
 //! * [`report`] — aligned tables, ASCII plots, CSV.
 //! * [`cli`] — the uniform flags of the `fig5`…`table1` binaries.
 //! * [`artifact`] — the JSONL run-artifact schema behind `exp record`
@@ -44,6 +48,7 @@ pub mod record;
 pub mod report;
 pub mod scenario;
 pub mod store;
+pub mod telemetry;
 
 /// Shared helpers for tests that mutate process-global state (currently
 /// environment variables). Exposed (doc-hidden) rather than

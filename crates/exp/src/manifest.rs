@@ -165,6 +165,22 @@ impl SweepManifest {
             .cloned()
     }
 
+    /// Every decided cell, sorted by key text — the same shape
+    /// `PackStore::decided_entries` reports, so `exp report` can fold
+    /// either source.
+    pub fn decided_entries(&self) -> Vec<(String, CellOutcome)> {
+        let mut out: Vec<(String, CellOutcome)> = self
+            .state
+            .lock()
+            .expect("manifest lock")
+            .entries
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     fn record(&self, key_text: &str, outcome: CellOutcome) -> std::io::Result<()> {
         let line = match &outcome {
             CellOutcome::Done(summary) => ManifestLine {
@@ -237,6 +253,7 @@ mod tests {
             message: "injected panic".to_owned(),
             panicked: true,
             worker: 2,
+            flight: Some("target/flight/deadbeef.flight.jsonl".to_owned()),
         }
     }
 

@@ -128,6 +128,25 @@ impl SimPool {
         self.ctx.queue_stats()
     }
 
+    /// Installs a crash flight recorder on the pooled run context (see
+    /// [`RunContext::enable_flight`]): every subsequent scalar run feeds
+    /// the shared ring, and watchdog aborts freeze pending dumps.
+    pub fn enable_flight(&mut self, capacity: usize) {
+        self.ctx.enable_flight(capacity);
+    }
+
+    /// The pooled context's flight recorder, when installed — for
+    /// driver-side cell markers and panic-path captures.
+    pub fn flight(&self) -> Option<&harvest_obs::SharedFlightRecorder> {
+        self.ctx.flight()
+    }
+
+    /// Drains pending flight dumps (see
+    /// [`RunContext::take_flight_dumps`]).
+    pub fn take_flight_dumps(&mut self) -> Vec<harvest_obs::flight::FlightDump> {
+        self.ctx.take_flight_dumps()
+    }
+
     fn try_run(
         &mut self,
         scenario: &PaperScenario,

@@ -222,6 +222,13 @@ fn encode_failure(failure: &CellFailure) -> Vec<u8> {
     out.extend_from_slice(msg);
     out.push(failure.panicked as u8);
     out.extend_from_slice(&(failure.worker as u32).to_le_bytes());
+    // Flight-dump path, appended only when present: records without it
+    // stay byte-identical to the pre-telemetry encoding, so old packs
+    // and new packs of flight-less failures read the same both ways.
+    if let Some(flight) = &failure.flight {
+        out.extend_from_slice(&(flight.len() as u32).to_le_bytes());
+        out.extend_from_slice(flight.as_bytes());
+    }
     out
 }
 
@@ -230,7 +237,7 @@ fn decode_failure(payload: &[u8]) -> Option<CellFailure> {
         return None;
     }
     let msg_len = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
-    if payload.len() != 9 + msg_len {
+    if payload.len() < 9 + msg_len {
         return None;
     }
     let message = String::from_utf8(payload[4..4 + msg_len].to_vec()).ok()?;
@@ -239,11 +246,25 @@ fn decode_failure(payload: &[u8]) -> Option<CellFailure> {
         1 => true,
         _ => return None,
     };
-    let worker = u32::from_le_bytes(payload[5 + msg_len..].try_into().unwrap()) as usize;
+    let worker = u32::from_le_bytes(payload[5 + msg_len..9 + msg_len].try_into().ok()?) as usize;
+    let rest = &payload[9 + msg_len..];
+    let flight = if rest.is_empty() {
+        None
+    } else {
+        if rest.len() < 4 {
+            return None;
+        }
+        let flight_len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        if rest.len() != 4 + flight_len {
+            return None;
+        }
+        Some(String::from_utf8(rest[4..].to_vec()).ok()?)
+    };
     Some(CellFailure {
         message,
         panicked,
         worker,
+        flight,
     })
 }
 
@@ -446,6 +467,9 @@ pub struct StoreStat {
     pub done: usize,
     /// Live records that are `quarantined` cells.
     pub quarantined: usize,
+    /// Records on disk superseded by a later write to the same key
+    /// (what a [`PackStore::compact`] run would drop).
+    pub superseded: usize,
     /// Total pack bytes on disk (after any torn-tail truncation).
     pub bytes: u64,
 }
@@ -829,13 +853,44 @@ impl PackStore {
             .values()
             .filter(|loc| loc.kind == KIND_DONE)
             .count();
+        let mut on_disk = 0usize;
+        for pack in &inner.packs {
+            let mut at = PACK_MAGIC.len();
+            while let Some(rec) = decode_record(&pack.data, at) {
+                on_disk += 1;
+                at = rec.next;
+            }
+        }
         Ok(StoreStat {
             packs: inner.packs.len(),
             records: inner.index.len(),
             done,
             quarantined: inner.index.len() - done,
+            superseded: on_disk - inner.index.len(),
             bytes: inner.packs.iter().map(|p| p.data.len() as u64).sum(),
         })
+    }
+
+    /// Every live decided record — `(key text, outcome)` — sorted by
+    /// key text so reports are deterministic regardless of pack layout.
+    /// Undecodable records (which `probe`/`decided` would reject on
+    /// integrity grounds) are skipped.
+    pub fn decided_entries(&self) -> Vec<(String, CellOutcome)> {
+        let inner = self.inner.read().expect("store lock");
+        let mut out: Vec<(String, CellOutcome)> = inner
+            .index
+            .values()
+            .filter_map(|loc| {
+                let rec = decode_record(&inner.packs[loc.pack].data, loc.offset)?;
+                let outcome = match rec.kind {
+                    KIND_DONE => CellOutcome::Done(decode_summary(rec.payload)?),
+                    _ => CellOutcome::Quarantined(decode_failure(rec.payload)?),
+                };
+                Some((rec.key_text.to_owned(), outcome))
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Offline compaction: merges every pack into one, keeping only the
@@ -1087,6 +1142,7 @@ mod tests {
             message: "injected panic".to_owned(),
             panicked: true,
             worker: 3,
+            flight: None,
         }
     }
 
@@ -1103,6 +1159,23 @@ mod tests {
         assert_eq!(decode_failure(&encode_failure(&f)), Some(f));
         assert_eq!(decode_summary(b"short"), None);
         assert_eq!(decode_failure(b"short"), None);
+
+        // A flight-dump path rides along and round-trips...
+        let with_flight = CellFailure {
+            flight: Some("target/flight/00ab.flight.jsonl".to_owned()),
+            ..failure()
+        };
+        assert_eq!(
+            decode_failure(&encode_failure(&with_flight)),
+            Some(with_flight.clone())
+        );
+        // ...while flight-less failures keep the pre-telemetry byte
+        // layout, so packs written before the field existed (or without
+        // flight recording) decode unchanged.
+        let flightless = encode_failure(&failure());
+        assert_eq!(flightless.len(), 9 + failure().message.len());
+        let truncated = &encode_failure(&with_flight)[..flightless.len()];
+        assert_eq!(truncated, &flightless[..]);
     }
 
     #[test]
@@ -1158,6 +1231,13 @@ mod tests {
         assert_eq!(store.decided(&key(3)), None);
         // The cache surface must not serve a quarantined cell as data.
         assert_eq!(store.probe(&key(2)), None);
+        // Reporting sees every live record, sorted by key text.
+        let entries = store.decided_entries();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(entries
+            .iter()
+            .any(|(k, o)| k == key(2).text() && matches!(o, CellOutcome::Quarantined(_))));
         drop(store);
 
         let store = PackStore::open(&dir).unwrap();
@@ -1329,6 +1409,9 @@ mod tests {
         store.record_quarantined(&key(1), &failure()).unwrap();
         drop(store);
 
+        let pre = PackStore::stat(&dir).unwrap();
+        assert_eq!((pre.records, pre.superseded), (6, 2));
+
         let stats = PackStore::compact(&dir).unwrap();
         assert_eq!(stats.records_before, 8);
         assert_eq!(stats.records_after, 6);
@@ -1339,6 +1422,7 @@ mod tests {
         assert_eq!(stat.records, 6);
         assert_eq!(stat.done, 5);
         assert_eq!(stat.quarantined, 1);
+        assert_eq!(stat.superseded, 0, "compaction dropped the duplicates");
 
         let store = PackStore::open(&dir).unwrap();
         assert_eq!(store.probe(&key(0)), Some(summary(5)), "latest survives");

@@ -23,12 +23,25 @@ impl<W: Write> JsonlWriter<W> {
     }
 
     /// Serialize `value` and append it as one line.
+    ///
+    /// A serialized value that itself contains `\n` would silently split
+    /// into two stream lines and corrupt every reader downstream, so it is
+    /// rejected with [`io::ErrorKind::InvalidData`] in **all** build
+    /// profiles (not just a debug assertion) and nothing is written.
     pub fn write<T: Serialize>(&mut self, value: &T) -> io::Result<()> {
         let json = serde_json::to_string(value).map_err(io::Error::other)?;
-        debug_assert!(
-            !json.contains('\n'),
-            "serializer must emit single-line JSON"
-        );
+        self.write_json_line(&json)
+    }
+
+    /// Append one pre-serialized JSON value as a line, enforcing the
+    /// single-line invariant.
+    fn write_json_line(&mut self, json: &str) -> io::Result<()> {
+        if json.contains('\n') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "serialized value contains a newline; it would corrupt the JSONL stream",
+            ));
+        }
         self.inner.write_all(json.as_bytes())?;
         self.inner.write_all(b"\n")?;
         self.lines += 1;
@@ -119,6 +132,21 @@ mod tests {
         let text = to_jsonl_string(&items).unwrap();
         let back: Vec<Row> = jsonl_to_vec(&text).unwrap();
         assert_eq!(back, items);
+    }
+
+    #[test]
+    fn multiline_values_error_in_every_profile() {
+        // The vendored serializer escapes `\n` inside strings, so this can
+        // only happen if the serializer changes (e.g. pretty printing) —
+        // but then it must be a hard `io::Error`, not a debug assertion.
+        let mut w = JsonlWriter::new(Vec::new());
+        let err = w.write_json_line("{\"a\":\n1}").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(w.lines(), 0);
+        // Nothing was written: the stream stays intact for the next value.
+        w.write_json_line("{\"a\":1}").unwrap();
+        let buf = w.finish().unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "{\"a\":1}\n");
     }
 
     #[test]

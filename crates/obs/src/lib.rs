@@ -16,19 +16,47 @@
 //! - [`timeline`] — piecewise step series (storage level and active DVFS
 //!   level vs. time) with uniform-grid resampling for ASCII plotting.
 //!
+//! Campaign-scale telemetry (all opt-in, all zero-cost when absent):
+//!
+//! - [`span`] — a two-tier span tracer ([`SpanCollector`] /
+//!   per-worker [`SpanSink`]) with a Chrome-trace / Perfetto exporter,
+//!   so a whole sweep renders as a flame chart of workers × cells.
+//! - [`progress`] — a shared [`ProgressReporter`] streaming versioned
+//!   JSONL progress events (start / per-cell decision / heartbeat with
+//!   rate, hit rate, and ETA / finish), schema-guarded like run
+//!   artifacts.
+//! - [`flight`] — a fixed-capacity [`FlightRecorder`] ring of recent
+//!   events, frozen into JSONL [`FlightDump`]s when a watchdog fires or
+//!   a worker panics.
+//!
 //! Everything here is **off by default** in the simulator: the hot loops keep
 //! plain integer counters (no dynamic dispatch) and only publish into a
 //! registry once, at end of run, when explicitly asked to.
 
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod profile;
+pub mod progress;
+pub mod span;
 pub mod timeline;
 
 pub use export::{jsonl_to_vec, to_jsonl_string, JsonlWriter};
+pub use flight::{
+    FlightDump, FlightEvent, FlightLine, FlightMeta, FlightRecorder, SharedFlightRecorder,
+    DEFAULT_FLIGHT_CAPACITY,
+};
 pub use metrics::{
     Log2Histogram, MetricDelta, MetricEntry, MetricValue, MetricsRegistry, MetricsSink,
     MetricsSnapshot, NullMetrics,
 };
 pub use profile::{PhaseProfile, PhaseProfiler, PhaseStat};
+pub use progress::{
+    progress_from_jsonl, CampaignFinish, CampaignStart, CellDecision, CellEvent, Heartbeat,
+    ProgressLine, ProgressReporter, PROGRESS_SCHEMA_VERSION,
+};
+pub use span::{
+    SpanCollector, SpanRecord, SpanSink, SpanStart, CAT_BUILD, CAT_FIGURE, CAT_PROBE, CAT_SIMULATE,
+    CAT_STORE, TID_DRIVER,
+};
 pub use timeline::{LevelPoint, TimePoint, Timeline};

@@ -550,4 +550,64 @@ mod tests {
         assert_eq!(rows[2].name, "only_base");
         assert_eq!(rows[2].after, None);
     }
+
+    #[test]
+    fn diff_scalarizes_log2_histograms_by_count() {
+        // Baseline: 3 observations across two buckets.
+        let mut a = MetricsRegistry::new();
+        for v in [1.0, 2.0, 3.0] {
+            a.observe("wait", v);
+        }
+        let base = a.snapshot();
+
+        // After: 5 observations, different value range — only the
+        // observation count is scalar-diffed, not sum/extrema.
+        let mut b = MetricsRegistry::new();
+        for v in [100.0, 200.0, 400.0, 800.0, 1600.0] {
+            b.observe("wait", v);
+        }
+        let new = b.snapshot();
+
+        let rows = new.diff(&base);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].before, Some(3.0));
+        assert_eq!(rows[0].after, Some(5.0));
+        assert_eq!(rows[0].delta(), 2.0);
+
+        // A histogram missing from the baseline diffs as new.
+        let empty = MetricsRegistry::new().snapshot();
+        let rows = new.diff(&empty);
+        assert_eq!(rows[0].before, None);
+        assert_eq!(rows[0].delta(), 5.0);
+
+        // The full bucket shape is still in the snapshot for readers
+        // that want more than the scalar view.
+        match new.get("wait") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 5);
+                assert_eq!(h.buckets.iter().sum::<u64>(), 5);
+                assert_eq!(h.min, 100.0);
+                assert_eq!(h.max, 1600.0);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn histogram_diff_is_stable_across_jsonl_round_trip() {
+        let mut reg = MetricsRegistry::new();
+        for v in [0.5, 4.0, 4.5, 1024.0] {
+            reg.observe("slab", v);
+        }
+        reg.counter("pops", 7);
+        let snap = reg.snapshot();
+
+        let text = crate::export::to_jsonl_string(std::slice::from_ref(&snap)).unwrap();
+        let back: Vec<MetricsSnapshot> = crate::export::jsonl_to_vec(&text).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0], snap);
+        // Diffing the round-tripped snapshot against the original is a
+        // no-op: every delta is exactly zero.
+        assert!(back[0].diff(&snap).iter().all(|d| d.delta() == 0.0));
+    }
 }
