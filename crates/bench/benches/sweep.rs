@@ -11,21 +11,29 @@
 //! cells grow; the microcell isolates what is being measured instead of
 //! burying it under simulation work.
 //!
-//! Five modes are timed as `sweep/trials_*`:
+//! Seven modes are timed as `sweep/trials_*`:
 //!
 //! * `cold` — the pre-PR4 fast path: shared prefab, but fresh queues,
 //!   registry, and boxed policy every run.
-//! * `pooled` — `run_prefab_in` through one reused [`SimPool`].
+//! * `pooled` — `run_prefab_in` through one reused [`SimPool`], with
+//!   the release tape stripped: this is the PR 4 reference path the
+//!   tape and batch speedups are measured against.
+//! * `tape` — the same pooled run with the prefab's release tape:
+//!   every `Arrival` is a cursor bump instead of a heap pop, nothing
+//!   else changes.
 //! * `cached` — a warm [`SweepCache`] hit: open, read, and parse one
 //!   JSON file per probe.
 //! * `store_warm` — a warm [`PackStore`] hit: one fingerprint map
 //!   lookup plus an in-memory record decode, zero syscalls.
 //! * `batched_b{4,8,16}` — B sibling trials (seeds 0..B) per iteration
 //!   through the structure-of-arrays engine
-//!   (`run_prefabs_batched_in`); per-trial time is the iteration time
-//!   divided by B.
+//!   (`run_prefabs_batched_in`), tapes on; per-trial time is the
+//!   iteration time divided by B.
+//! * `policy_lockstep` — all four policy arms of one seed per
+//!   iteration through the lockstep batch (`run_arms_batched_in`);
+//!   per-trial time is the iteration time divided by the arm count.
 //!
-//! Running this bench writes `BENCH_PR7.json` at the workspace root:
+//! Running this bench writes `BENCH_PR9.json` at the workspace root:
 //! raw medians, trials/sec per mode with the pooled-vs-cold,
 //! cached-vs-cold, store-warm-vs-cached, and batched-vs-pooled (at
 //! B = 8) speedups, heap-allocation counts per trial (cold vs pooled vs
@@ -51,8 +59,8 @@
 //! `--check-regression PATH` to compare the fresh `trials_per_sec`
 //! medians against a committed baseline report (e.g. `BENCH_PR7.json`)
 //! instead of writing one: any mode that drops more than 20% prints a
-//! `REGRESSION` line and the process exits 1 (CI runs this step
-//! warn-only).
+//! `REGRESSION` line and the process exits 1 (a failing CI step; modes
+//! the baseline predates are skipped).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -139,21 +147,28 @@ fn warm_store(s: &PaperScenario, prefab: &TrialPrefab) -> (PackStore, std::path:
     (store, dir)
 }
 
-/// `sweep/trials_{cold,pooled,cached,store_warm}`: one microcell trial
-/// per iteration under each execution mode.
+/// `sweep/trials_{cold,pooled,tape,cached,store_warm}`: one microcell
+/// trial per iteration under each execution mode. `heap_prefab` is the
+/// tape-stripped twin of `prefab` — cold and pooled run it so they stay
+/// the PR 4 reference paths.
 fn trial_modes(
     c: &mut Criterion,
     s: &PaperScenario,
     prefab: &TrialPrefab,
+    heap_prefab: &TrialPrefab,
     cache: &SweepCache,
     store: &PackStore,
 ) {
     let mut g = c.benchmark_group("sweep");
     g.bench_function("trials_cold", |b| {
-        b.iter(|| black_box(s.run_prefab(POLICY, prefab)))
+        b.iter(|| black_box(s.run_prefab(POLICY, heap_prefab)))
     });
     let mut pool = SimPool::new();
     g.bench_function("trials_pooled", |b| {
+        b.iter(|| black_box(s.run_prefab_in(&mut pool, POLICY, heap_prefab)))
+    });
+    let mut pool = SimPool::new();
+    g.bench_function("trials_tape", |b| {
         b.iter(|| black_box(s.run_prefab_in(&mut pool, POLICY, prefab)))
     });
     let mut pool = SimPool::new();
@@ -248,6 +263,21 @@ fn batched_modes(c: &mut Criterion, s: &PaperScenario, refs: &[&TrialPrefab]) {
             b.iter(|| black_box(s.run_prefabs_batched_in(&mut pool, POLICY, &refs[..width])))
         });
     }
+    g.finish();
+}
+
+/// `sweep/trials_policy_lockstep`: every policy arm of one seed per
+/// iteration through the lockstep batch — the arms replay one release
+/// tape, so cross-lane instants stay synchronous far longer than
+/// sibling seeds manage.
+fn policy_lockstep_mode(c: &mut Criterion, s: &PaperScenario, prefab: &TrialPrefab) {
+    let mut g = c.benchmark_group("sweep");
+    let arms: Vec<(PolicyKind, &TrialPrefab)> =
+        PolicyKind::ALL.iter().map(|&p| (p, prefab)).collect();
+    let mut pool = SimPool::new();
+    g.bench_function("trials_policy_lockstep", |b| {
+        b.iter(|| black_box(s.run_arms_batched_in(&mut pool, &arms)))
+    });
     g.finish();
 }
 
@@ -366,6 +396,9 @@ fn write_report(
                 ("cached".to_string(), Value::F64(1e9 / cached)),
                 ("store_warm".to_string(), Value::F64(1e9 / store_warm)),
             ];
+            if let Some(tape) = find("sweep/trials_tape") {
+                modes.push(("tape".to_string(), Value::F64(1e9 / tape)));
+            }
             // One batched iteration simulates `width` trials, so the
             // per-trial rate is width / iteration time.
             for width in BATCH_WIDTHS {
@@ -376,16 +409,32 @@ fn write_report(
                     ));
                 }
             }
+            let arm_count = PolicyKind::ALL.len() as f64;
+            if let Some(ns) = find("sweep/trials_policy_lockstep") {
+                modes.push((
+                    "policy_lockstep".to_string(),
+                    Value::F64(arm_count * 1e9 / ns),
+                ));
+            }
             modes.push(("pooled_vs_cold".to_string(), Value::F64(cold / pooled)));
             modes.push(("cached_vs_cold".to_string(), Value::F64(cold / cached)));
             modes.push((
                 "store_warm_vs_cached".to_string(),
                 Value::F64(cached / store_warm),
             ));
+            if let Some(tape) = find("sweep/trials_tape") {
+                modes.push(("tape_vs_pooled".to_string(), Value::F64(pooled / tape)));
+            }
             if let Some(b8) = find("sweep/trials_batched_b8") {
                 modes.push((
                     "batched_vs_pooled".to_string(),
                     Value::F64(pooled / (b8 / 8.0)),
+                ));
+            }
+            if let Some(ns) = find("sweep/trials_policy_lockstep") {
+                modes.push((
+                    "policy_lockstep_vs_pooled".to_string(),
+                    Value::F64(pooled / (ns / arm_count)),
                 ));
             }
             // The pack store's whole point: a warm probe is a map lookup
@@ -504,11 +553,15 @@ fn check_regression(baseline: &std::path::Path) -> bool {
             .iter()
             .find(|r| r.id == format!("sweep/trials_{mode}"))
             .map(|r| r.ns_per_iter)?;
-        // One batched iteration simulates `width` trials.
-        let per_iter = mode
-            .strip_prefix("batched_b")
-            .and_then(|w| w.parse::<f64>().ok())
-            .unwrap_or(1.0);
+        // One batched iteration simulates `width` trials; one lockstep
+        // iteration simulates every policy arm.
+        let per_iter = match mode {
+            "policy_lockstep" => PolicyKind::ALL.len() as f64,
+            _ => mode
+                .strip_prefix("batched_b")
+                .and_then(|w| w.parse::<f64>().ok())
+                .unwrap_or(1.0),
+        };
         Some(per_iter * 1e9 / ns)
     };
     let mut regressed = false;
@@ -552,13 +605,15 @@ fn main() {
     }
     let s = scenario();
     let prefab = s.prefab(SEED);
+    let heap_prefab = prefab.clone().without_tape();
     let siblings: Vec<TrialPrefab> = (0..16).map(|seed| s.prefab(seed)).collect();
     let refs: Vec<&TrialPrefab> = siblings.iter().collect();
     let (cache, cache_dir) = warm_cache(&s, &prefab);
     let (store, store_dir) = warm_store(&s, &prefab);
     let (figure_store, figure_dir) = warm_figure_store();
-    trial_modes(&mut c, &s, &prefab, &cache, &store);
+    trial_modes(&mut c, &s, &prefab, &heap_prefab, &cache, &store);
     batched_modes(&mut c, &s, &refs);
+    policy_lockstep_mode(&mut c, &s, &prefab);
     figure_telemetry_modes(&mut c, &figure_store);
     let cleanup = || {
         let _ = std::fs::remove_dir_all(&cache_dir);
@@ -580,6 +635,6 @@ fn main() {
         return;
     }
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    write_report(&root.join("BENCH_PR7.json"), &s, &prefab, &refs);
+    write_report(&root.join("BENCH_PR9.json"), &s, &prefab, &refs);
     cleanup();
 }

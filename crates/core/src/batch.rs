@@ -30,6 +30,7 @@ use std::sync::Arc;
 use harvest_cpu::{CpuModel, LevelIndex};
 use harvest_energy::predictor::EnergyPredictor;
 use harvest_energy::storage::{AdvanceReport, Storage, StorageLanes, StorageSpec};
+use harvest_sim::event::ReleaseTape;
 use harvest_sim::piecewise::{PiecewiseConstant, UniformGridView};
 use harvest_sim::time::{SimDuration, SimTime};
 use harvest_task::job::{Job, JobId};
@@ -41,7 +42,7 @@ use crate::config::{MissPolicy, SystemConfig};
 use crate::policies::EaDvfsScheduler;
 use crate::result::{EnergyAccounting, JobOutcome, JobRecord, SimError, SimResult};
 use crate::scheduler::{Decision, SchedContext, Scheduler};
-use crate::system::{try_simulate_in, RunContext, ENERGY_EPS};
+use crate::system::{try_simulate_in_taped, RunContext, ENERGY_EPS};
 use crate::trace::TraceEvent;
 
 /// One lane's inputs: the per-seed realization a scalar
@@ -55,6 +56,10 @@ pub struct BatchLane {
     pub profile: Arc<PiecewiseConstant>,
     /// The lane's `ÊS` estimator.
     pub predictor: Box<dyn EnergyPredictor>,
+    /// Precomputed release timeline for this lane's task set (built by
+    /// [`TaskSet::release_tape`]); `None` runs releases through the
+    /// shared heap. Policy-lockstep lanes share one tape `Arc`.
+    pub tape: Option<Arc<ReleaseTape>>,
 }
 
 impl std::fmt::Debug for BatchLane {
@@ -113,6 +118,18 @@ impl BatchHeap {
     fn reset(&mut self) {
         self.entries.clear();
         self.next_seq = 0;
+    }
+
+    /// Claims the next sequence number without filing an event — the
+    /// taped lanes' virtual allocation. The claim happens at exactly
+    /// the program point where the heap-driven run would have pushed
+    /// the `Arrival`, so `(ticks, seq)` keys — and therefore the merged
+    /// dispatch order — are identical with and without tapes.
+    #[inline]
+    fn alloc_seq(&mut self) -> u32 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
     }
 
     #[inline]
@@ -197,8 +214,9 @@ pub struct BatchContext {
     /// exactly the scalar tie-break — while events of different lanes
     /// interleave arbitrarily (harmless: lanes share no state).
     heap: BatchHeap,
-    /// One tick's events, in pop (seq) order.
-    scratch: Vec<(u32, LaneEvent)>,
+    /// One tick's events as `(seq, lane, event)`, in schedule (seq)
+    /// order — heap pops plus the taped lanes' release heads.
+    scratch: Vec<(u32, u32, LaneEvent)>,
     /// Per-lane EDF ready queues (allocation reused across batches).
     queues: Vec<EdfQueue>,
     /// SoA storage state for the vectorized per-tick advance.
@@ -288,6 +306,51 @@ struct LaneState {
     /// the lane's first event of the tick (the scalar `handle` computes
     /// the same flag per event, provably false after the first).
     completed_in_sync: bool,
+    /// Precomputed release timeline; `None` runs releases through the
+    /// shared heap.
+    tape: Option<Arc<ReleaseTape>>,
+    /// Index of the lane's next unconsumed tape entry.
+    tape_next: usize,
+    /// Virtual sequence number of each task's next pending release
+    /// (meaningful only on taped lanes).
+    pending_vseq: Vec<u32>,
+    /// Whether deadline checks ride the side stream too (taped lanes
+    /// with constrained deadlines only — see the scalar `TapeCursor`).
+    elide_deadlines: bool,
+    /// Per-task pending deadline check `(ticks, seq, job)`.
+    deadline_slots: Vec<Option<(i64, u32, u64)>>,
+    /// Cached minimum `(ticks, seq, task)` over the occupied slots.
+    deadline_min: Option<(i64, u32, u32)>,
+}
+
+impl LaneState {
+    #[inline]
+    fn push_deadline(&mut self, task: usize, ticks: i64, seq: u32, job: u64) {
+        debug_assert!(
+            self.deadline_slots[task].is_none(),
+            "constrained deadlines leave at most one outstanding check per task"
+        );
+        self.deadline_slots[task] = Some((ticks, seq, job));
+        match self.deadline_min {
+            Some((t, s, _)) if (t, s) < (ticks, seq) => {}
+            _ => self.deadline_min = Some((ticks, seq, task as u32)),
+        }
+    }
+
+    #[inline]
+    fn pop_min_deadline(&mut self) -> u64 {
+        let (_, _, task) = self.deadline_min.expect("popping an empty deadline stream");
+        let (_, _, job) = self.deadline_slots[task as usize]
+            .take()
+            .expect("cached minimum points at an occupied slot");
+        self.deadline_min = self
+            .deadline_slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|(t, q, _)| (t, q, i as u32)))
+            .min();
+        job
+    }
 }
 
 /// The shared event queue behind a horizon filter: events at or past
@@ -306,6 +369,19 @@ impl Sink<'_> {
             return;
         }
         self.heap.push(ticks, lane, event);
+    }
+
+    /// The taped mirror of a [`Self::sched`] for an elided event class
+    /// (releases, deadline checks): claims the sequence number the push
+    /// would have consumed, or `None` when the horizon filter would
+    /// have dropped the event (and with it the allocation).
+    #[inline]
+    fn alloc_elided(&mut self, t: SimTime) -> Option<u32> {
+        if t.as_ticks() >= self.horizon_ticks {
+            None
+        } else {
+            Some(self.heap.alloc_seq())
+        }
     }
 }
 
@@ -327,6 +403,22 @@ fn lane_screen(lane: &BatchLane, oracle: bool) -> bool {
         && c.storage.is_ideal()
         && c.storage.capacity().is_finite()
         && lane.profile.uniform_grid().is_some()
+}
+
+/// How the lanes of one batch relate to each other. The engine itself
+/// is agnostic — lanes share no mutable state either way — but the
+/// retention statistics keep the two shapes apart: a sibling-seed batch
+/// and a policy-lockstep batch of the same width have very different
+/// synchrony (lockstep lanes share their release timeline exactly), so
+/// folding both into one high-water mark would hide which shape a sweep
+/// actually ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchGrouping {
+    /// Lanes are sibling seeds of one (scenario, policy) cell.
+    #[default]
+    SiblingSeed,
+    /// Lanes are policy arms of one (scenario, seed) cell.
+    PolicyLockstep,
 }
 
 /// Whether a screened lane shares the batch-uniform parameters of the
@@ -371,6 +463,28 @@ pub fn simulate_batch_in(
     policies: &mut [Box<dyn Scheduler>],
     oracle: bool,
 ) -> Vec<Result<SimResult, SimError>> {
+    simulate_batch_grouped_in(
+        batch,
+        ctx,
+        lanes,
+        policies,
+        oracle,
+        BatchGrouping::SiblingSeed,
+    )
+}
+
+/// [`simulate_batch_in`] with an explicit [`BatchGrouping`]: identical
+/// execution, but policy-lockstep batches account their occupancy into
+/// the lockstep-specific [`PoolStats`](crate::system::PoolStats) fields
+/// instead of the sibling-seed high-water mark.
+pub fn simulate_batch_grouped_in(
+    batch: &mut BatchContext,
+    ctx: &mut RunContext,
+    lanes: Vec<BatchLane>,
+    policies: &mut [Box<dyn Scheduler>],
+    oracle: bool,
+    grouping: BatchGrouping,
+) -> Vec<Result<SimResult, SimError>> {
     assert_eq!(
         lanes.len(),
         policies.len(),
@@ -396,24 +510,57 @@ pub fn simulate_batch_in(
                 "initial level {initial} outside [0, {cap}]"
             );
             let level_count = lane.config.cpu.level_count();
+            if let Some(t) = &lane.tape {
+                assert_eq!(
+                    t.horizon_ticks(),
+                    lane.config.horizon.as_ticks(),
+                    "release tape was built for a different horizon"
+                );
+                assert_eq!(
+                    t.task_count(),
+                    lane.tasks.len(),
+                    "release tape was built for a different task set"
+                );
+            }
             // Arrivals are periodic from each task's phase, so the job
             // count is known up front: one exact-size slab instead of a
-            // realloc chain while the log grows.
-            let horizon_ticks = lane.config.horizon.as_ticks();
-            let mut jobs_hint = 0usize;
-            for task in lane.tasks.iter() {
-                let phase = task.phase().as_ticks();
-                if phase < 0 || phase >= horizon_ticks {
-                    continue;
-                }
-                jobs_hint += match task.period() {
-                    Some(p) if p.as_ticks() > 0 => {
-                        ((horizon_ticks - 1 - phase) / p.as_ticks() + 1) as usize
+            // realloc chain while the log grows. A tape carries the
+            // exact count.
+            let jobs_hint = match &lane.tape {
+                Some(t) => t.len(),
+                None => {
+                    let horizon_ticks = lane.config.horizon.as_ticks();
+                    let mut hint = 0usize;
+                    for task in lane.tasks.iter() {
+                        let phase = task.phase().as_ticks();
+                        if phase < 0 || phase >= horizon_ticks {
+                            continue;
+                        }
+                        hint += match task.period() {
+                            Some(p) if p.as_ticks() > 0 => {
+                                ((horizon_ticks - 1 - phase) / p.as_ticks() + 1) as usize
+                            }
+                            _ => 1,
+                        };
                     }
-                    _ => 1,
-                };
-            }
+                    hint
+                }
+            };
             policies[i].reset();
+            let pending_vseq = match &lane.tape {
+                Some(_) => vec![0; lane.tasks.len()],
+                None => Vec::new(),
+            };
+            let elide_deadlines = lane.tape.is_some()
+                && lane
+                    .tasks
+                    .iter()
+                    .all(|t| t.period().map_or(true, |p| t.relative_deadline() <= p));
+            let deadline_slots = if elide_deadlines {
+                vec![None; lane.tasks.len()]
+            } else {
+                Vec::new()
+            };
             lean.push(LaneState {
                 orig: i,
                 tasks: lane.tasks,
@@ -439,15 +586,24 @@ pub fn simulate_batch_in(
                 kinds: [0; TraceEvent::KIND_COUNT],
                 handled: 0,
                 completed_in_sync: false,
+                tape: lane.tape,
+                tape_next: 0,
+                pending_vseq,
+                elide_deadlines,
+                deadline_slots,
+                deadline_min: None,
             });
         } else {
-            results[i] = Some(try_simulate_in(
+            // The scalar fallback honors the tape too (and self-gates
+            // on metric runs).
+            results[i] = Some(try_simulate_in_taped(
                 ctx,
                 lane.config,
                 lane.tasks,
                 lane.profile,
                 policies[i].as_mut(),
                 lane.predictor,
+                lane.tape,
             ));
         }
     }
@@ -464,16 +620,37 @@ pub fn simulate_batch_in(
             cpu: shared_cfg.cpu,
         };
         let count = lean.len() as u64;
-        run_lean_batch(batch, &shared, &mut lean, policies, &mut results);
+        let tally = run_lean_batch(batch, &shared, &mut lean, policies, &mut results);
         let stats = ctx.stats_mut();
         stats.runs += count;
         stats.batched_runs += count;
-        stats.batch_lane_high_water = stats.batch_lane_high_water.max(count);
+        stats.batch_ticks += tally.ticks;
+        stats.multi_lane_ticks += tally.multi_lane_ticks;
+        match grouping {
+            BatchGrouping::SiblingSeed => {
+                stats.batch_lane_high_water = stats.batch_lane_high_water.max(count);
+            }
+            BatchGrouping::PolicyLockstep => {
+                stats.policy_batched_runs += count;
+                stats.batch_policy_lane_high_water = stats.batch_policy_lane_high_water.max(count);
+            }
+        }
     }
     results
         .into_iter()
         .map(|r| r.expect("every lane produced a result"))
         .collect()
+}
+
+/// Per-batch synchrony tallies of one lean run, folded into
+/// [`PoolStats`](crate::system::PoolStats) by the caller.
+#[derive(Debug, Default, Clone, Copy)]
+struct LeanTally {
+    /// Distinct instants the lean loop processed.
+    ticks: u64,
+    /// Instants on which more than one lane had an event (the batch's
+    /// cross-lane stages actually amortized work).
+    multi_lane_ticks: u64,
 }
 
 /// The lean fused loop over the eligible lanes. Fills `results` at each
@@ -484,7 +661,7 @@ fn run_lean_batch(
     lanes: &mut [LaneState],
     policies: &mut [Box<dyn Scheduler>],
     results: &mut [Option<Result<SimResult, SimError>>],
-) {
+) -> LeanTally {
     let BatchContext {
         heap,
         scratch,
@@ -529,13 +706,21 @@ fn run_lean_batch(
         .collect();
 
     // Seed first arrivals and the sampling grid, lane-sequentially: the
-    // global seq preserves each lane's scalar seeding order.
-    for (li, lane) in lanes.iter().enumerate() {
+    // global seq preserves each lane's scalar seeding order. Taped
+    // lanes claim each first release's sequence number instead of
+    // pushing it.
+    for li in 0..lanes.len() {
         debug_assert!(queues[li].is_empty(), "pooled ready queue must be cleared");
-        for (i, task) in lane.tasks.iter().enumerate() {
+        let taped = lanes[li].tape.is_some();
+        let tasks = Arc::clone(&lanes[li].tasks);
+        for (i, task) in tasks.iter().enumerate() {
             let phase = task.phase();
             if phase >= SimTime::ZERO && phase < sh.horizon_end {
-                sink.sched(li as u32, phase, LaneEvent::Arrival { task: i as u32 });
+                if taped {
+                    lanes[li].pending_vseq[i] = sink.heap.alloc_seq();
+                } else {
+                    sink.sched(li as u32, phase, LaneEvent::Arrival { task: i as u32 });
+                }
             }
         }
         if sh.sample_interval.is_some() {
@@ -543,17 +728,87 @@ fn run_lean_batch(
         }
     }
 
-    while let Some(now_ticks) = sink.heap.peek_ticks() {
+    let has_tape = lanes.iter().any(|l| l.tape.is_some());
+    let mut tally = LeanTally::default();
+    loop {
+        // The next instant is the earliest of the heap top and every
+        // taped lane's release head (an O(B) scan, paid only by taped
+        // batches).
+        let mut next = sink.heap.peek_ticks();
+        if has_tape {
+            for lane in lanes.iter() {
+                if let Some(e) = lane
+                    .tape
+                    .as_deref()
+                    .and_then(|t| t.entries().get(lane.tape_next))
+                {
+                    next = Some(match next {
+                        Some(t) => t.min(e.ticks),
+                        None => e.ticks,
+                    });
+                }
+                if let Some((t, _, _)) = lane.deadline_min {
+                    next = Some(match next {
+                        Some(n) => n.min(t),
+                        None => t,
+                    });
+                }
+            }
+        }
+        let Some(now_ticks) = next else { break };
         let now = SimTime::from_ticks(now_ticks);
-        let first = sink.heap.pop().expect("peeked event pops");
+        tally.ticks += 1;
+        // Collect the tick: every tape head at this instant (each
+        // carrying its pre-claimed virtual seq — always allocated at or
+        // before `now - period`, so valid here), then every heap event.
+        scratch.clear();
+        let mut side_events = 0usize;
+        if has_tape {
+            for (li, lane) in lanes.iter_mut().enumerate() {
+                while let Some((t, seq, _)) = lane.deadline_min {
+                    if t != now_ticks {
+                        break;
+                    }
+                    let job = lane.pop_min_deadline();
+                    scratch.push((seq, li as u32, LaneEvent::DeadlineCheck { job: JobId(job) }));
+                    side_events += 1;
+                }
+                while let Some(e) = lane
+                    .tape
+                    .as_deref()
+                    .and_then(|t| t.entries().get(lane.tape_next))
+                    .copied()
+                    .filter(|e| e.ticks == now_ticks)
+                {
+                    scratch.push((
+                        lane.pending_vseq[e.task as usize],
+                        li as u32,
+                        LaneEvent::Arrival { task: e.task },
+                    ));
+                    lane.tape_next += 1;
+                    side_events += 1;
+                }
+            }
+        }
+        while sink.heap.peek_ticks() == Some(now_ticks) {
+            let e = sink.heap.pop().expect("peeked event pops");
+            scratch.push((e.seq, e.lane, e.event));
+        }
+        // Heap pops arrive seq-sorted, but side events (deadline slots,
+        // tape heads) from several per-lane streams may interleave with
+        // them and each other; restore the merge order exactly when the
+        // gather broke it.
+        if side_events > 0 && scratch.len() > 1 && !scratch.windows(2).all(|w| w[0].0 <= w[1].0) {
+            scratch.sort_unstable_by_key(|&(seq, _, _)| seq);
+        }
         // Single-event fast path: most ticks carry exactly one event
         // (sibling seeds rarely share a tick), and every cross-lane
         // stage below would gather exactly one lane. Run the scalar
         // per-event sequence directly — the same op stream, minus the
         // batch bookkeeping (gather arrays, SoA round-trip, group
         // stage).
-        if sink.heap.peek_ticks() != Some(now_ticks) {
-            let le = first.lane;
+        if scratch.len() == 1 {
+            let (_, le, event) = scratch[0];
             let li = le as usize;
             sync_walk(sh, &mut lanes[li], &mut queues[li], &grids[li], now);
             let need_decide = handle_event(
@@ -563,7 +818,7 @@ fn run_lean_batch(
                 &mut sink,
                 le,
                 now,
-                first.event,
+                event,
             );
             if need_decide {
                 let orig = lanes[li].orig;
@@ -580,18 +835,12 @@ fn run_lean_batch(
             }
             continue;
         }
-        scratch.clear();
-        scratch.push((first.lane, first.event));
-        while sink.heap.peek_ticks() == Some(now_ticks) {
-            let e = sink.heap.pop().expect("peeked event pops");
-            scratch.push((e.lane, e.event));
-        }
         // Single-lane tick: same inline sequence as above, per event.
-        if scratch.iter().all(|&(le, _)| le == scratch[0].0) {
-            let le = scratch[0].0;
+        if scratch.iter().all(|&(_, le, _)| le == scratch[0].1) {
+            let le = scratch[0].1;
             let li = le as usize;
             sync_walk(sh, &mut lanes[li], &mut queues[li], &grids[li], now);
-            for &(_, event) in scratch.iter() {
+            for &(_, _, event) in scratch.iter() {
                 let need_decide = handle_event(
                     sh,
                     &mut lanes[li],
@@ -618,7 +867,8 @@ fn run_lean_batch(
             continue;
         }
 
-        for (i, &(le, _)) in scratch.iter().enumerate() {
+        tally.multi_lane_ticks += 1;
+        for (i, &(_, le, _)) in scratch.iter().enumerate() {
             last_of[le as usize] = i as u32;
         }
 
@@ -632,7 +882,7 @@ fn run_lean_batch(
         sync_harvest.clear();
         sync_dt.clear();
         sync_load.clear();
-        for &(le, _) in scratch.iter() {
+        for &(_, le, _) in scratch.iter() {
             let li = le as usize;
             if in_sync[li] {
                 continue;
@@ -687,7 +937,7 @@ fn run_lean_batch(
                 );
             }
         }
-        for &(le, _) in scratch.iter() {
+        for &(_, le, _) in scratch.iter() {
             in_sync[le as usize] = false;
         }
 
@@ -699,7 +949,7 @@ fn run_lean_batch(
         // share nothing. Earlier decisions run inline, exactly where the
         // scalar loop runs them.
         deferred.clear();
-        for (i, &(le, event)) in scratch.iter().enumerate() {
+        for (i, &(_, le, event)) in scratch.iter().enumerate() {
             let li = le as usize;
             let need_decide = handle_event(
                 sh,
@@ -819,6 +1069,7 @@ fn run_lean_batch(
             profile: None,
         }));
     }
+    tally
 }
 
 /// Tallies one trace emission (the counting-sink arm of the scalar
@@ -996,15 +1247,32 @@ fn release_job(
         },
     );
     queue.push(job);
-    sink.sched(le, deadline, LaneEvent::DeadlineCheck { job: id });
+    if lane.elide_deadlines {
+        // The check parks in the task's slot instead of the shared
+        // heap; the claim mirrors the push's horizon filter.
+        if let Some(seq) = sink.alloc_elided(deadline) {
+            lane.push_deadline(task_index, deadline.as_ticks(), seq, id.0);
+        }
+    } else {
+        sink.sched(le, deadline, LaneEvent::DeadlineCheck { job: id });
+    }
     if let Some(period) = task.period() {
-        sink.sched(
-            le,
-            now + period,
-            LaneEvent::Arrival {
-                task: task_index as u32,
-            },
-        );
+        if lane.tape.is_some() {
+            // The successor release lives on the tape; claim the seq
+            // the push would have taken (unless the horizon filter
+            // would have dropped both).
+            if let Some(vseq) = sink.alloc_elided(now + period) {
+                lane.pending_vseq[task_index] = vseq;
+            }
+        } else {
+            sink.sched(
+                le,
+                now + period,
+                LaneEvent::Arrival {
+                    task: task_index as u32,
+                },
+            );
+        }
     }
 }
 

@@ -73,7 +73,9 @@ pub mod scheduler;
 pub mod system;
 pub mod trace;
 
-pub use batch::{simulate_batch_in, BatchContext, BatchLane};
+pub use batch::{
+    simulate_batch_grouped_in, simulate_batch_in, BatchContext, BatchGrouping, BatchLane,
+};
 pub use config::{MissPolicy, SystemConfig};
 pub use fault::{FaultPlan, LevelLockoutWindow};
 pub use policies::{
@@ -82,7 +84,7 @@ pub use policies::{
 pub use result::{EnergyAccounting, JobOutcome, JobRecord, SimError, SimResult};
 pub use scheduler::{Decision, SchedContext, Scheduler};
 pub use system::{
-    simulate, simulate_in, simulate_shared, try_simulate_in, try_simulate_shared, PoolStats,
-    RunContext,
+    simulate, simulate_in, simulate_shared, try_simulate_in, try_simulate_in_taped,
+    try_simulate_shared, PoolStats, RunContext,
 };
 pub use trace::TraceEvent;

@@ -26,7 +26,7 @@ use harvest_obs::{
     FlightRecorder, Log2Histogram, MetricsRegistry, MetricsSink, SharedFlightRecorder,
 };
 use harvest_sim::engine::{Engine, Model, RunOutcome, Scheduler as EngineCtx, WatchdogKind};
-use harvest_sim::event::{EventQueue, QueueStats};
+use harvest_sim::event::{EventQueue, QueueStats, ReleaseTape};
 use harvest_sim::piecewise::{Cursor, CursorStats, PiecewiseConstant};
 use harvest_sim::time::{SimDuration, SimTime};
 use harvest_sim::trace::CountingSink;
@@ -152,6 +152,70 @@ struct FaultRuntime {
     harvest_factor: f64,
 }
 
+/// Monotone cursor over a shared [`ReleaseTape`]: releases are served
+/// from the precomputed timeline instead of round-tripping through the
+/// radix event queue, one `Arrival` push/pop per job.
+///
+/// Bit-identity with the heap-driven run hinges on `pending_seq`: each
+/// task's next release carries a *virtual* sequence number allocated
+/// from the event queue's shared counter ([`EventQueue::alloc_seq`]) at
+/// exactly the program point where the heap path would have scheduled
+/// the `Arrival` — at seeding for the first release, inside
+/// [`SystemModel::release_job`] for every successor. The merged
+/// `(time, seq)` dispatch order is therefore identical, tie-for-tie.
+#[derive(Debug)]
+struct TapeCursor {
+    tape: Arc<ReleaseTape>,
+    /// Index of the next unconsumed tape entry.
+    next: usize,
+    /// Virtual sequence number of each task's next pending release.
+    pending_seq: Vec<u32>,
+    /// Whether deadline checks ride the side stream too. Requires
+    /// constrained deadlines (`D_i <= T_i` for every periodic task):
+    /// then a job's check fires no later than the task's next release,
+    /// so one slot per task can never hold two outstanding checks.
+    elide_deadlines: bool,
+    /// Per-task pending deadline check `(ticks, seq, job)`, claimed at
+    /// release exactly where the heap path would have scheduled it.
+    deadline_slots: Vec<Option<(i64, u32, u64)>>,
+    /// Cached minimum `(ticks, seq, task)` over the occupied slots, so
+    /// the per-event side peek is a compare, not a slot scan.
+    deadline_min: Option<(i64, u32, u32)>,
+}
+
+impl TapeCursor {
+    #[inline]
+    fn push_deadline(&mut self, task: usize, ticks: i64, seq: u32, job: u64) {
+        debug_assert!(
+            self.deadline_slots[task].is_none(),
+            "constrained deadlines leave at most one outstanding check per task"
+        );
+        self.deadline_slots[task] = Some((ticks, seq, job));
+        match self.deadline_min {
+            Some((t, s, _)) if (t, s) < (ticks, seq) => {}
+            _ => self.deadline_min = Some((ticks, seq, task as u32)),
+        }
+    }
+
+    /// Clears the slot behind `deadline_min` and returns its job;
+    /// rescans the slots (one short pass per fired check) to restore
+    /// the cached minimum.
+    #[inline]
+    fn pop_min_deadline(&mut self) -> u64 {
+        let (_, _, task) = self.deadline_min.expect("popping an empty deadline stream");
+        let (_, _, job) = self.deadline_slots[task as usize]
+            .take()
+            .expect("cached minimum points at an occupied slot");
+        self.deadline_min = self
+            .deadline_slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|(t, q, _)| (t, q, i as u32)))
+            .min();
+        job
+    }
+}
+
 struct SystemModel<P: Scheduler> {
     config: SystemConfig,
     tasks: Arc<TaskSet>,
@@ -180,11 +244,10 @@ struct SystemModel<P: Scheduler> {
     /// where it left off (amortized `O(1)` per query). They are pure
     /// accelerators: results are identical with fresh cursors. Kept
     /// separate because the streams sit at different positions — the
-    /// advance/accounting pair walks `[last_sync, now)` while the
-    /// decision-time lookups probe `now` and crossing windows ahead of
-    /// it; sharing one hint would thrash it.
+    /// fused advance-plus-accounting walk covers `[last_sync, now)`
+    /// while the decision-time lookups probe `now` and crossing windows
+    /// ahead of it; sharing one hint would thrash it.
     adv_cursor: Cursor,
-    acct_cursor: Cursor,
     point_cursor: Cursor,
     cross_cursor: Cursor,
     obs: ObsCounters,
@@ -200,6 +263,9 @@ struct SystemModel<P: Scheduler> {
     /// When set, every domain trace event is also rendered into the
     /// shared ring so a watchdog abort can dump the recent tail.
     flight: Option<SharedFlightRecorder>,
+    /// Precomputed release timeline; `None` runs releases through the
+    /// event queue (the reference path).
+    tape: Option<TapeCursor>,
 }
 
 impl<P: Scheduler> SystemModel<P> {
@@ -217,9 +283,27 @@ impl<P: Scheduler> SystemModel<P> {
             RunState::Running { level, .. } => self.config.cpu.power(level),
             RunState::Idle | RunState::Stalled => self.config.cpu.idle_power(),
         };
-        let report =
-            self.storage
-                .advance_with(&mut self.adv_cursor, &self.profile, from, now, load);
+        // One fused profile walk: the storage advance and the harvest
+        // accounting (plus predictor observations) consume the same
+        // clipped segments, so re-walking the window with a second
+        // cursor — the old shape — paid the clipping twice per event.
+        // Per-accumulator op order is unchanged; bit-identity is pinned
+        // by the tape-parity and figure-digest suites.
+        let report = {
+            let energy = &mut self.energy;
+            let predictor = &mut self.predictor;
+            self.storage.advance_with_each(
+                &mut self.adv_cursor,
+                &self.profile,
+                from,
+                now,
+                load,
+                |seg| {
+                    energy.harvested += seg.integral();
+                    predictor.observe(seg);
+                },
+            )
+        };
         if report.clamped_empty {
             self.obs.clamp_empty_windows += 1;
         }
@@ -229,14 +313,6 @@ impl<P: Scheduler> SystemModel<P> {
         self.energy.consumed += report.delivered;
         self.energy.overflow += report.overflow;
         self.energy.deficit += report.deficit;
-        let mut segs = self
-            .profile
-            .segments_between_with(self.acct_cursor, from, now);
-        for seg in segs.by_ref() {
-            self.energy.harvested += seg.integral();
-            self.predictor.observe(seg);
-        }
-        self.acct_cursor = segs.state();
         match self.state {
             RunState::Running { job, level } => {
                 self.level_time[level] += span;
@@ -312,18 +388,27 @@ impl<P: Scheduler> SystemModel<P> {
     }
 
     fn release_job(&mut self, now: SimTime, task_index: usize, ctx: &mut EngineCtx<'_, SysEvent>) {
-        let task: Task = self.tasks.tasks()[task_index].clone();
+        // Extract the `Copy` parameters up front instead of cloning the
+        // task: releases are the hottest event class even with the tape.
+        let (relative_deadline, wcet, actual_work, period) = {
+            let task: &Task = &self.tasks.tasks()[task_index];
+            (
+                task.relative_deadline(),
+                task.wcet(),
+                task.actual_work(),
+                task.period(),
+            )
+        };
         let id = JobId(self.next_job_id);
         self.next_job_id += 1;
-        let deadline = now + task.relative_deadline();
-        let job = Job::new(id, task_index, now, deadline, task.wcet())
-            .with_actual_work(task.actual_work());
+        let deadline = now + relative_deadline;
+        let job = Job::new(id, task_index, now, deadline, wcet).with_actual_work(actual_work);
         self.records.push(JobRecord {
             id,
             task_index,
             arrival: now,
             deadline,
-            wcet: task.wcet(),
+            wcet,
             outcome: JobOutcome::Pending,
             energy: 0.0,
         });
@@ -333,9 +418,32 @@ impl<P: Scheduler> SystemModel<P> {
             deadline,
         });
         self.queue.push(job);
-        ctx.schedule(deadline, SysEvent::DeadlineCheck { job: id });
-        if let Some(period) = task.period() {
-            ctx.schedule(now + period, SysEvent::Arrival { task: task_index });
+        match &mut self.tape {
+            // Side-stream bookkeeping replaces the heap pushes: the
+            // deadline check parks in the task's slot and the successor
+            // release lives on the tape. Both claim the sequence number
+            // the heap path would have consumed — in the same order —
+            // so later same-tick events keep their relative order. The
+            // heap path schedules both unconditionally (even past the
+            // horizon), so the claims are too.
+            Some(tc) if tc.elide_deadlines => {
+                tc.push_deadline(task_index, deadline.as_ticks(), ctx.alloc_seq(), id.0);
+                if period.is_some() {
+                    tc.pending_seq[task_index] = ctx.alloc_seq();
+                }
+            }
+            Some(tc) => {
+                ctx.schedule(deadline, SysEvent::DeadlineCheck { job: id });
+                if period.is_some() {
+                    tc.pending_seq[task_index] = ctx.alloc_seq();
+                }
+            }
+            None => {
+                ctx.schedule(deadline, SysEvent::DeadlineCheck { job: id });
+                if let Some(period) = period {
+                    ctx.schedule(now + period, SysEvent::Arrival { task: task_index });
+                }
+            }
         }
     }
 
@@ -608,12 +716,7 @@ impl<P: Scheduler> SystemModel<P> {
         reg.counter("queue.drains.scattered", queue.scattered_drains);
 
         let mut cursor = CursorStats::default();
-        for c in [
-            &self.adv_cursor,
-            &self.acct_cursor,
-            &self.point_cursor,
-            &self.cross_cursor,
-        ] {
+        for c in [&self.adv_cursor, &self.point_cursor, &self.cross_cursor] {
             cursor.merge(&c.stats());
         }
         reg.counter("cursor.locates", cursor.locates as u64);
@@ -657,6 +760,48 @@ impl<P: Scheduler> SystemModel<P> {
 
 impl<P: Scheduler> Model for SystemModel<P> {
     type Event = SysEvent;
+
+    #[inline]
+    fn side_peek(&self) -> Option<(SimTime, u32)> {
+        let tc = self.tape.as_ref()?;
+        let release = tc
+            .tape
+            .entries()
+            .get(tc.next)
+            .map(|e| (e.ticks, tc.pending_seq[e.task as usize]));
+        let deadline = tc.deadline_min.map(|(t, s, _)| (t, s));
+        let (ticks, seq) = match (release, deadline) {
+            (None, None) => return None,
+            (Some(k), None) | (None, Some(k)) => k,
+            (Some(r), Some(d)) => r.min(d),
+        };
+        Some((SimTime::from_ticks(ticks), seq))
+    }
+
+    #[inline]
+    fn side_pop(&mut self) -> SysEvent {
+        let tc = self.tape.as_mut().expect("side_pop without a tape");
+        let release = tc
+            .tape
+            .entries()
+            .get(tc.next)
+            .map(|e| (e.ticks, tc.pending_seq[e.task as usize]));
+        let take_deadline = match (release, tc.deadline_min) {
+            (Some(r), Some((t, s, _))) => (t, s) < r,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        if take_deadline {
+            let job = tc.pop_min_deadline();
+            SysEvent::DeadlineCheck { job: JobId(job) }
+        } else {
+            let e = tc.tape.entries()[tc.next];
+            tc.next += 1;
+            SysEvent::Arrival {
+                task: e.task as usize,
+            }
+        }
+    }
 
     fn handle(&mut self, now: SimTime, event: SysEvent, ctx: &mut EngineCtx<'_, SysEvent>) {
         let was_running = matches!(self.state, RunState::Running { .. });
@@ -798,6 +943,7 @@ pub fn try_simulate_shared(
         EdfQueue::new(),
         &mut reg,
         None,
+        None,
     );
     result
 }
@@ -817,8 +963,39 @@ pub struct PoolStats {
     /// [`simulate_batch_in`](crate::batch::simulate_batch_in) (also
     /// counted in [`runs`](Self::runs)).
     pub batched_runs: u64,
-    /// High-water lean-lane occupancy of a single batch.
+    /// High-water lean-lane occupancy of a single sibling-seed batch.
     pub batch_lane_high_water: u64,
+    /// Trials executed through policy-lockstep lean batches (also
+    /// counted in [`batched_runs`](Self::batched_runs)).
+    #[serde(default)]
+    pub policy_batched_runs: u64,
+    /// High-water lean-lane occupancy of a single policy-lockstep
+    /// batch, kept apart from the sibling-seed mark: the two batch
+    /// shapes have different synchrony, so one folded maximum would
+    /// hide which shape a sweep ran.
+    #[serde(default)]
+    pub batch_policy_lane_high_water: u64,
+    /// Distinct instants processed by the lean batched loop.
+    #[serde(default)]
+    pub batch_ticks: u64,
+    /// Lean instants on which more than one lane had an event — the
+    /// ticks where the batch's cross-lane stages amortized work. The
+    /// ratio to [`batch_ticks`](Self::batch_ticks) is the observable
+    /// synchrony of a sweep's batch shape.
+    #[serde(default)]
+    pub multi_lane_ticks: u64,
+}
+
+impl PoolStats {
+    /// `multi_lane_ticks / batch_ticks` (0 when no batches ran): the
+    /// fraction of batched instants where more than one lane had work.
+    pub fn multi_lane_fraction(&self) -> f64 {
+        if self.batch_ticks > 0 {
+            self.multi_lane_ticks as f64 / self.batch_ticks as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 /// A reusable simulation context: the allocations that dominate per-run
@@ -932,6 +1109,28 @@ pub fn try_simulate_in(
     policy: &mut dyn Scheduler,
     predictor: Box<dyn EnergyPredictor>,
 ) -> Result<SimResult, SimError> {
+    try_simulate_in_taped(ctx, config, tasks, profile, policy, predictor, None)
+}
+
+/// [`try_simulate_in`] with an optional precomputed [`ReleaseTape`]:
+/// when `tape` is `Some`, task releases are served by a monotone cursor
+/// over the shared timeline instead of per-release event-queue traffic.
+/// The taped run is bit-identical to the heap-driven run (pinned by the
+/// tape-parity suites); the tape must have been built by
+/// [`TaskSet::release_tape`] for this exact task set and horizon.
+///
+/// Runs with `collect_metrics` set ignore the tape and take the
+/// reference path (queue statistics would otherwise skew).
+#[allow(clippy::too_many_arguments)]
+pub fn try_simulate_in_taped(
+    ctx: &mut RunContext,
+    config: SystemConfig,
+    tasks: Arc<TaskSet>,
+    profile: Arc<PiecewiseConstant>,
+    policy: &mut dyn Scheduler,
+    predictor: Box<dyn EnergyPredictor>,
+    tape: Option<Arc<ReleaseTape>>,
+) -> Result<SimResult, SimError> {
     policy.reset();
     let events = ctx.events.take().unwrap_or_default();
     let ready = ctx.ready.take().unwrap_or_default();
@@ -946,6 +1145,7 @@ pub fn try_simulate_in(
         ready,
         &mut ctx.metrics,
         flight,
+        tape,
     );
     events.reset();
     ready.clear();
@@ -975,6 +1175,7 @@ fn run_closed_loop<P: Scheduler>(
     ready: EdfQueue,
     reg: &mut MetricsRegistry,
     flight: Option<SharedFlightRecorder>,
+    tape: Option<Arc<ReleaseTape>>,
 ) -> (Result<SimResult, SimError>, EventQueue<SysEvent>, EdfQueue) {
     debug_assert!(ready.is_empty(), "pooled ready queue must be cleared");
     assert!(
@@ -982,6 +1183,23 @@ fn run_closed_loop<P: Scheduler>(
         "the closed-loop simulator models DVFS switch *energy* only; \
          time overhead must be zero (the paper's §5.1 assumption)"
     );
+    // Metric runs derive `QueueStats::popped` from the scheduled count,
+    // which virtual sequence allocation would skew; those runs (figure
+    // traces, `exp inspect`) are rare and cold, so fall back to the
+    // heap-driven reference path rather than special-case the stats.
+    let tape = tape.filter(|_| !config.collect_metrics);
+    if let Some(t) = &tape {
+        assert_eq!(
+            t.horizon_ticks(),
+            (SimTime::ZERO + config.horizon).as_ticks(),
+            "release tape was built for a different horizon"
+        );
+        assert_eq!(
+            t.task_count(),
+            tasks.len(),
+            "release tape was built for a different task set"
+        );
+    }
     // Fault injection. Each arm is a no-op on the fault-free path, so a
     // run with `fault_plan: None` is bit-identical to the pre-fault
     // simulator (pinned by the Fig. 5–9 suites).
@@ -1042,7 +1260,11 @@ fn run_closed_loop<P: Scheduler>(
         last_sync: SimTime::ZERO,
         epoch: 0,
         next_job_id: 0,
-        records: Vec::new(),
+        // One record per release: the tape length is the exact job count.
+        records: match &tape {
+            Some(t) => Vec::with_capacity(t.len()),
+            None => Vec::new(),
+        },
         last_level: None,
         switches: 0,
         level_time: vec![0.0; level_count],
@@ -1051,7 +1273,6 @@ fn run_closed_loop<P: Scheduler>(
         samples: Vec::new(),
         trace,
         adv_cursor: Cursor::default(),
-        acct_cursor: Cursor::default(),
         point_cursor: Cursor::default(),
         cross_cursor: Cursor::default(),
         obs: ObsCounters::new(level_count),
@@ -1061,6 +1282,20 @@ fn run_closed_loop<P: Scheduler>(
         }),
         profiler: None,
         flight,
+        tape: tape.map(|tape| {
+            let task_count = tape.task_count();
+            TapeCursor {
+                tape,
+                next: 0,
+                pending_seq: vec![0; task_count],
+                elide_deadlines: tasks
+                    .tasks()
+                    .iter()
+                    .all(|t| t.period().map_or(true, |p| t.relative_deadline() <= p)),
+                deadline_slots: vec![None; task_count],
+                deadline_min: None,
+            }
+        }),
     };
     let mut engine = Engine::with_queue(model, equeue);
     if engine.model().config.profile {
@@ -1083,11 +1318,25 @@ fn run_closed_loop<P: Scheduler>(
         }
         engine.model_mut().apply_fault_state(SimTime::ZERO);
     }
-    // Seed first arrivals and the sampling grid.
+    // Seed first arrivals and the sampling grid. On the taped path the
+    // first releases are tape entries; claim their sequence numbers in
+    // the same task-index order the heap path schedules them, so the
+    // same-tick tie-break is preserved.
+    let taped = engine.model().tape.is_some();
     for (i, task) in tasks.iter().enumerate() {
         let phase = task.phase();
         if phase >= SimTime::ZERO && phase < SimTime::ZERO + horizon {
-            engine.schedule(phase, SysEvent::Arrival { task: i });
+            if taped {
+                let seq = engine.alloc_seq();
+                let model = engine.model_mut();
+                model
+                    .tape
+                    .as_mut()
+                    .expect("taped checked above")
+                    .pending_seq[i] = seq;
+            } else {
+                engine.schedule(phase, SysEvent::Arrival { task: i });
+            }
         }
     }
     if engine.model().config.sample_interval.is_some() {
@@ -1948,5 +2197,92 @@ mod tests {
             recorded_ctx.take_flight_dumps().is_empty(),
             "clean runs capture nothing"
         );
+    }
+
+    /// Tie-heavy periodic set: at t = 5 the heap pops τ1's seeded
+    /// release before τ0's successor (lower sequence number), the case
+    /// a naive sorted-by-task-index tape would invert.
+    fn tape_tasks() -> Arc<TaskSet> {
+        Arc::new(TaskSet::new(vec![
+            Task::periodic(u(0), d(5), d(5), 1.0),
+            Task::periodic(u(5), d(10), d(10), 1.5),
+            Task::periodic_implicit(d(20), 4.0),
+        ]))
+    }
+
+    #[test]
+    fn taped_runs_are_bit_identical_to_heap_runs() {
+        let tasks = tape_tasks();
+        let profile = Arc::new(PiecewiseConstant::constant(0.8));
+        let config = SystemConfig::new(presets::xscale(), StorageSpec::ideal(30.0), d(200))
+            .with_sample_interval(d(25));
+        let tape = Arc::new(tasks.release_tape(config.horizon));
+        let policies: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(EdfScheduler::new()),
+            Box::new(LazyScheduler::new()),
+            Box::new(GreedyStretchScheduler::new()),
+            Box::new(EaDvfsScheduler::new()),
+        ];
+        for mut policy in policies {
+            let mut ctx = RunContext::new();
+            let heap = try_simulate_in(
+                &mut ctx,
+                config.clone(),
+                Arc::clone(&tasks),
+                Arc::clone(&profile),
+                policy.as_mut(),
+                Box::new(OraclePredictor::new((*profile).clone())),
+            )
+            .unwrap();
+            let taped = try_simulate_in_taped(
+                &mut ctx,
+                config.clone(),
+                Arc::clone(&tasks),
+                Arc::clone(&profile),
+                policy.as_mut(),
+                Box::new(OraclePredictor::new((*profile).clone())),
+                Some(Arc::clone(&tape)),
+            )
+            .unwrap();
+            assert_eq!(heap, taped, "tape diverged under {}", heap.scheduler);
+            assert!(taped.released() > 0, "scenario exercises releases");
+        }
+    }
+
+    #[test]
+    fn taped_metric_runs_fall_back_to_the_heap_path() {
+        let tasks = tape_tasks();
+        let profile = Arc::new(PiecewiseConstant::constant(0.8));
+        let config =
+            SystemConfig::new(presets::xscale(), StorageSpec::ideal(30.0), d(100)).with_metrics();
+        let tape = Arc::new(tasks.release_tape(config.horizon));
+        let mut ctx = RunContext::new();
+        let mut policy = EdfScheduler::new();
+        let taped = try_simulate_in_taped(
+            &mut ctx,
+            config.clone(),
+            Arc::clone(&tasks),
+            Arc::clone(&profile),
+            &mut policy,
+            Box::new(OraclePredictor::new((*profile).clone())),
+            Some(tape),
+        )
+        .unwrap();
+        let heap = try_simulate_in(
+            &mut ctx,
+            config,
+            tasks,
+            profile.clone(),
+            &mut policy,
+            Box::new(OraclePredictor::new((*profile).clone())),
+        )
+        .unwrap();
+        let m = taped.metrics.as_ref().expect("metrics collected");
+        assert_eq!(
+            m.counter("queue.scheduled"),
+            heap.metrics.as_ref().unwrap().counter("queue.scheduled"),
+            "metric runs ignore the tape, so queue stats stay reference-exact"
+        );
+        assert_eq!(heap, taped);
     }
 }

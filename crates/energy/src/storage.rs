@@ -11,7 +11,7 @@
 //! so every full/empty crossing is solved in closed form by
 //! [`StorageSpec::advance`] and [`StorageSpec::first_crossing`].
 
-use harvest_sim::piecewise::{Cursor, PiecewiseConstant};
+use harvest_sim::piecewise::{Cursor, PiecewiseConstant, Segment};
 use harvest_sim::time::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -619,6 +619,39 @@ impl Storage {
         let report = self
             .spec
             .advance_with(cur, self.level, profile, from, to, load);
+        self.level = report.level;
+        report
+    }
+
+    /// [`Self::advance_with`] that also hands every clipped segment of
+    /// the walk to `each`, so a caller that needs the same segments for
+    /// its own accounting (harvest integral, predictor observations)
+    /// shares the single profile walk instead of re-clipping the window
+    /// with a second cursor. Each accumulator still sees exactly the op
+    /// sequence the separate walks would have produced — the advance
+    /// arithmetic and the callback touch disjoint state — so results
+    /// are bit-identical to `advance_with` plus a manual
+    /// [`PiecewiseConstant::segments_between_with`] loop.
+    pub fn advance_with_each(
+        &mut self,
+        cur: &mut Cursor,
+        profile: &PiecewiseConstant,
+        from: SimTime,
+        to: SimTime,
+        load: f64,
+        mut each: impl FnMut(Segment),
+    ) -> AdvanceReport {
+        let mut report = AdvanceReport {
+            level: self.level,
+            ..AdvanceReport::default()
+        };
+        let mut segs = profile.segments_between_with(*cur, from, to);
+        for seg in segs.by_ref() {
+            self.spec
+                .advance_constant(&mut report, seg.value, seg.duration().as_units(), load);
+            each(seg);
+        }
+        *cur = segs.state();
         self.level = report.level;
         report
     }

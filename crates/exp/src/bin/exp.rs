@@ -68,8 +68,8 @@ use std::sync::Arc;
 use harvest_exp::artifact::RunArtifact;
 use harvest_exp::cache::{fnv1a64, SweepCache};
 use harvest_exp::figures::{
-    miss_rate_figure_instrumented, robustness_campaign_instrumented, RobustnessConfig, Sabotage,
-    SweepExecStats,
+    miss_rate_figure_grouped, robustness_campaign_instrumented, GroupingMode, RobustnessConfig,
+    Sabotage, SweepExecStats,
 };
 use harvest_exp::manifest::{CellOutcome, SweepManifest};
 use harvest_exp::report::Table;
@@ -89,7 +89,8 @@ const USAGE: &str = "usage:
                   [--seed N] [--horizon UNITS] [--sample UNITS] [--out PATH]
   exp inspect     PATH
   exp diff        PATH BASELINE
-  exp sweep       [--util U] [--trials N] [--threads N] [--batch B] [--store DIR]
+  exp sweep       [--util U] [--trials N] [--threads N] [--batch B]
+                  [--batch-group seed|policy|auto] [--store DIR]
                   [--cache PATH] [--trace PATH] [--progress PATH] [--expect-warm]
   exp fault-sweep [--util U] [--capacity C] [--trials N] [--threads N] [--batch B]
                   [--horizon UNITS] [--intensities A,B,..] [--manifest PATH]
@@ -153,6 +154,7 @@ struct SweepArgs {
     trials: usize,
     threads: usize,
     batch: usize,
+    batch_group: GroupingMode,
     store: Option<PathBuf>,
     cache: Option<PathBuf>,
     trace: Option<PathBuf>,
@@ -167,6 +169,7 @@ impl Default for SweepArgs {
             trials: 2,
             threads: 2,
             batch: 1,
+            batch_group: GroupingMode::Seed,
             store: None,
             cache: None,
             trace: None,
@@ -536,6 +539,9 @@ fn print_metrics(stats: &SweepExecStats, store: Option<&dyn TrialStore>) {
     reg.counter("sweep.cached", stats.cached);
     reg.counter("pool.runs", stats.pool.runs);
     reg.counter("pool.batched_runs", stats.pool.batched_runs);
+    reg.counter("pool.policy_batched_runs", stats.pool.policy_batched_runs);
+    reg.counter("pool.batch_ticks", stats.pool.batch_ticks);
+    reg.counter("pool.multi_lane_ticks", stats.pool.multi_lane_ticks);
     reg.gauge(
         "pool.event_slab_high_water",
         stats.pool.event_slab_high_water as f64,
@@ -545,6 +551,11 @@ fn print_metrics(stats: &SweepExecStats, store: Option<&dyn TrialStore>) {
         "pool.batch_lane_high_water",
         stats.pool.batch_lane_high_water as f64,
     );
+    reg.gauge(
+        "pool.batch_policy_lane_high_water",
+        stats.pool.batch_policy_lane_high_water as f64,
+    );
+    reg.gauge("pool.multi_lane_fraction", stats.pool.multi_lane_fraction());
     if let Some(s) = store {
         s.stats().publish("store", &mut reg);
     }
@@ -815,6 +826,28 @@ fn report_progress(
             ("quarantined".into(), Value::U64(hb.quarantined)),
             ("lane_high_water".into(), Value::U64(hb.lane_high_water)),
         ]);
+        if hb.batch_ticks > 0 {
+            md.push_str(&format!(
+                "batch grouping `{}`: {} of {} instants multi-lane \
+                 ({:.1}% lane synchrony).\n",
+                hb.batch_grouping,
+                hb.multi_lane_ticks,
+                hb.batch_ticks,
+                hb.multi_lane_fraction() * 100.0
+            ));
+            entries.extend([
+                (
+                    "batch_grouping".into(),
+                    Value::Str(hb.batch_grouping.clone()),
+                ),
+                ("batch_ticks".into(), Value::U64(hb.batch_ticks)),
+                ("multi_lane_ticks".into(), Value::U64(hb.multi_lane_ticks)),
+                (
+                    "multi_lane_fraction".into(),
+                    Value::F64(hb.multi_lane_fraction()),
+                ),
+            ]);
+        }
     }
     if let Some(f) = finished {
         md.push_str(&format!("finished in {:.2} s.\n", f.wall_s));
@@ -1140,6 +1173,7 @@ where
                     return Err("--batch must be positive".into());
                 }
             }
+            "--batch-group" => out.batch_group = value()?.parse()?,
             "--store" => out.store = Some(PathBuf::from(value()?)),
             "--cache" => out.cache = Some(PathBuf::from(value()?)),
             "--trace" => out.trace = Some(PathBuf::from(value()?)),
@@ -1197,31 +1231,37 @@ fn sweep(args: &SweepArgs) -> Result<(), String> {
     let store = open_trial_store(&args.store, &args.cache)?;
     let store_ref = store.as_deref();
     let telemetry = build_telemetry(&args.trace, &args.progress, &None)?;
-    let (figure, stats) = miss_rate_figure_instrumented(
+    let (figure, stats) = miss_rate_figure_grouped(
         store_ref,
         args.utilization,
         &[PolicyKind::Lsa, PolicyKind::EaDvfs],
         args.trials,
         args.threads,
         args.batch,
+        args.batch_group,
         &telemetry,
     );
     let json = serde_json::to_string(&figure).map_err(|e| format!("serialize figure: {e}"))?;
     println!(
-        "sweep util={} trials={} batch={} cells={} simulated={} cached={} \
-         pool_runs={} batched_runs={} event_slab_high_water={} ready_high_water={} \
-         batch_lane_high_water={} figure_fnv64={:016x}",
+        "sweep util={} trials={} batch={} batch_group={} cells={} simulated={} cached={} \
+         pool_runs={} batched_runs={} policy_batched_runs={} event_slab_high_water={} \
+         ready_high_water={} batch_lane_high_water={} batch_policy_lane_high_water={} \
+         multi_lane_fraction={:.3} figure_fnv64={:016x}",
         args.utilization,
         args.trials,
         args.batch,
+        args.batch_group.label(),
         stats.simulated + stats.cached,
         stats.simulated,
         stats.cached,
         stats.pool.runs,
         stats.pool.batched_runs,
+        stats.pool.policy_batched_runs,
         stats.pool.event_slab_high_water,
         stats.pool.ready_high_water,
         stats.pool.batch_lane_high_water,
+        stats.pool.batch_policy_lane_high_water,
+        stats.pool.multi_lane_fraction(),
         fnv1a64(json.as_bytes()),
     );
     if let Some(s) = store_ref {
@@ -1350,6 +1390,8 @@ mod tests {
             "2",
             "--batch",
             "8",
+            "--batch-group",
+            "policy",
             "--cache",
             "/tmp/sweep-cache",
             "--expect-warm",
@@ -1359,6 +1401,7 @@ mod tests {
         assert_eq!(args.trials, 3);
         assert_eq!(args.threads, 2);
         assert_eq!(args.batch, 8);
+        assert_eq!(args.batch_group, GroupingMode::Policy);
         assert_eq!(args.cache, Some(PathBuf::from("/tmp/sweep-cache")));
         assert!(args.expect_warm);
         assert_eq!(args.trace, None);
@@ -1367,9 +1410,16 @@ mod tests {
         let traced = parse_sweep(["--trace", "/tmp/t.json", "--progress", "/tmp/p.jsonl"]).unwrap();
         assert_eq!(traced.trace, Some(PathBuf::from("/tmp/t.json")));
         assert_eq!(traced.progress, Some(PathBuf::from("/tmp/p.jsonl")));
-        assert_eq!(parse_sweep(Vec::<String>::new()).unwrap().batch, 1);
+        let defaults = parse_sweep(Vec::<String>::new()).unwrap();
+        assert_eq!(defaults.batch, 1);
+        assert_eq!(defaults.batch_group, GroupingMode::Seed);
+        assert_eq!(
+            parse_sweep(["--batch-group", "auto"]).unwrap().batch_group,
+            GroupingMode::Auto
+        );
         assert!(parse_sweep(["--trials", "0"]).is_err());
         assert!(parse_sweep(["--batch", "0"]).is_err());
+        assert!(parse_sweep(["--batch-group", "bogus"]).is_err());
         assert!(parse_sweep(["--bogus"]).is_err());
 
         let stored = parse_sweep(["--store", "/tmp/sweep-store"]).unwrap();

@@ -6,7 +6,9 @@
 
 use std::sync::Arc;
 
-use harvest_core::batch::{simulate_batch_in, BatchContext, BatchLane};
+use harvest_core::batch::{
+    simulate_batch_grouped_in, simulate_batch_in, BatchContext, BatchGrouping, BatchLane,
+};
 use harvest_core::config::SystemConfig;
 use harvest_core::fault::FaultPlan;
 use harvest_core::policies::{
@@ -14,7 +16,7 @@ use harvest_core::policies::{
 };
 use harvest_core::result::{SimError, SimResult};
 use harvest_core::scheduler::Scheduler;
-use harvest_core::system::{simulate_in, simulate_shared, try_simulate_in, PoolStats, RunContext};
+use harvest_core::system::{simulate_shared, try_simulate_in_taped, PoolStats, RunContext};
 use harvest_cpu::{presets, CpuModel};
 use harvest_energy::predictor::{
     EnergyPredictor, EwmaSlotPredictor, MovingAveragePredictor, OraclePredictor,
@@ -24,7 +26,7 @@ use harvest_energy::source::sample_profile;
 use harvest_energy::sources::SolarModel;
 use harvest_energy::storage::StorageSpec;
 use harvest_sim::engine::Watchdog;
-use harvest_sim::event::QueueStats;
+use harvest_sim::event::{QueueStats, ReleaseTape};
 use harvest_sim::piecewise::PiecewiseConstant;
 use harvest_sim::time::{SimDuration, SimTime};
 use harvest_task::generator::WorkloadSpec;
@@ -102,6 +104,11 @@ pub struct SimPool {
     /// Per-lane scheduler instances for batched runs, one vector per
     /// policy kind, grown to the largest batch width seen.
     lane_policies: [Vec<Box<dyn Scheduler>>; 4],
+    /// Per-lane scheduler instances for policy-lockstep batches,
+    /// aligned with `arm_kinds`; instances are reused across batches
+    /// whose arm sequence matches.
+    arm_policies: Vec<Box<dyn Scheduler>>,
+    arm_kinds: Vec<PolicyKind>,
 }
 
 impl SimPool {
@@ -158,13 +165,14 @@ impl SimPool {
         let sched = self.policies[policy.index()]
             .get_or_insert_with(|| policy.build())
             .as_mut();
-        try_simulate_in(
+        try_simulate_in_taped(
             &mut self.ctx,
             config,
             Arc::clone(&prefab.tasks),
             Arc::clone(&prefab.profile),
             sched,
             predictor,
+            prefab.tape.clone(),
         )
     }
 
@@ -175,18 +183,8 @@ impl SimPool {
         policy: PolicyKind,
         prefab: &TrialPrefab,
     ) -> SimResult {
-        let predictor = scenario.predictor.build_shared(&prefab.profile);
-        let sched = self.policies[policy.index()]
-            .get_or_insert_with(|| policy.build())
-            .as_mut();
-        simulate_in(
-            &mut self.ctx,
-            config,
-            Arc::clone(&prefab.tasks),
-            Arc::clone(&prefab.profile),
-            sched,
-            predictor,
-        )
+        self.try_run(scenario, config, policy, prefab)
+            .unwrap_or_else(|e| panic!("simulation aborted: {e} (use the try_ path)"))
     }
 
     /// Runs a batch of sibling trials — same scenario and policy,
@@ -223,6 +221,7 @@ impl SimPool {
                     tasks: Arc::clone(&prefab.tasks),
                     profile: Arc::clone(&prefab.profile),
                     predictor: scenario.predictor.build_shared(&prefab.profile),
+                    tape: prefab.tape.clone(),
                 }
             })
             .collect();
@@ -238,6 +237,68 @@ impl SimPool {
             lanes,
             &mut slot[..width],
             oracle,
+        )
+    }
+
+    /// Runs a policy-lockstep batch: each lane is one `(policy, prefab)`
+    /// arm, so a batch may span the policy arms of one seed — whose
+    /// release timelines are identical by construction — or pack the
+    /// arms of several sibling seeds. Accounted under the lockstep
+    /// [`PoolStats`] fields. Every lane is bit-identical to the
+    /// corresponding scalar [`PaperScenario::try_run_prefab_in`] call
+    /// (pinned by the `batched_parity` suite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watchdogs` and `arms` lengths differ.
+    pub fn run_batch_arms(
+        &mut self,
+        scenario: &PaperScenario,
+        arms: &[(PolicyKind, &TrialPrefab)],
+        watchdogs: &[Option<Watchdog>],
+    ) -> Vec<Result<SimResult, SimError>> {
+        assert_eq!(arms.len(), watchdogs.len(), "one watchdog slot per lane");
+        let lanes: Vec<BatchLane> = arms
+            .iter()
+            .zip(watchdogs)
+            .map(|(&(_, prefab), watchdog)| {
+                let mut config = scenario.config_for(prefab.seed);
+                if let Some(w) = *watchdog {
+                    config = config.with_watchdog(w);
+                }
+                BatchLane {
+                    config,
+                    tasks: Arc::clone(&prefab.tasks),
+                    profile: Arc::clone(&prefab.profile),
+                    predictor: scenario.predictor.build_shared(&prefab.profile),
+                    tape: prefab.tape.clone(),
+                }
+            })
+            .collect();
+        // Align the cached per-lane scheduler instances with this
+        // batch's arm sequence; a stable arm pattern (the common case —
+        // the same policy set over consecutive seeds) reuses every
+        // instance.
+        for (i, &(kind, _)) in arms.iter().enumerate() {
+            if i < self.arm_kinds.len() {
+                if self.arm_kinds[i] != kind {
+                    self.arm_policies[i] = kind.build();
+                    self.arm_kinds[i] = kind;
+                }
+            } else {
+                self.arm_policies.push(kind.build());
+                self.arm_kinds.push(kind);
+            }
+        }
+        let oracle = scenario.predictor == PredictorKind::Oracle;
+        let width = lanes.len();
+        simulate_batch_grouped_in(
+            &mut self.batch,
+            &mut self.ctx,
+            lanes,
+            &mut self.arm_policies[..width],
+            oracle,
+            BatchGrouping::PolicyLockstep,
         )
     }
 }
@@ -354,6 +415,22 @@ pub struct TrialPrefab {
     /// The generated periodic task set, scaled to the target
     /// utilization against this profile's mean power.
     pub tasks: Arc<harvest_task::TaskSet>,
+    /// The precomputed release timeline over the scenario horizon,
+    /// shared by every run that replays the trial (releases are seed-
+    /// and policy-independent). `None` routes releases through the
+    /// event queue — the reference path, kept for benchmarks and
+    /// parity baselines via [`Self::without_tape`].
+    pub tape: Option<Arc<ReleaseTape>>,
+}
+
+impl TrialPrefab {
+    /// Drops the precomputed release tape, forcing every run of this
+    /// prefab onto the heap-driven reference path. Results are
+    /// bit-identical either way (pinned by the tape-parity suites).
+    pub fn without_tape(mut self) -> Self {
+        self.tape = None;
+        self
+    }
 }
 
 /// Deterministic fault injection for robustness sweeps: one intensity
@@ -513,10 +590,12 @@ impl PaperScenario {
     pub fn prefab(&self, seed: u64) -> TrialPrefab {
         let profile = Arc::new(self.profile(seed));
         let tasks = Arc::new(self.taskset(seed, &profile));
+        let tape = Arc::new(tasks.release_tape(SimDuration::from_whole_units(self.horizon_units)));
         TrialPrefab {
             seed,
             profile,
             tasks,
+            tape: Some(tape),
         }
     }
 
@@ -706,6 +785,65 @@ impl PaperScenario {
                 let summary = crate::cache::TrialSummary::of(result);
                 if let Some(c) = store {
                     c.store(&self.trial_key(policy, prefabs[i].seed), &summary);
+                }
+                summaries[i] = Some(summary);
+            }
+        }
+        summaries
+            .into_iter()
+            .map(|s| s.expect("every cell resolved"))
+            .collect()
+    }
+
+    /// Runs a policy-lockstep batch of `(policy, prefab)` arms through
+    /// the batched SoA engine, one [`SimResult`] per arm in order.
+    /// Bit-identical to calling [`run_prefab_in`](Self::run_prefab_in)
+    /// per arm; with no watchdog armed the engine cannot fail, so the
+    /// results are unwrapped.
+    pub fn run_arms_batched_in(
+        &self,
+        pool: &mut SimPool,
+        arms: &[(PolicyKind, &TrialPrefab)],
+    ) -> Vec<SimResult> {
+        let watchdogs = vec![None; arms.len()];
+        pool.run_batch_arms(self, arms, &watchdogs)
+            .into_iter()
+            .map(|r| r.expect("no watchdog armed, the engine cannot abort"))
+            .collect()
+    }
+
+    /// [`run_summaries_batched`](Self::run_summaries_batched) for a
+    /// policy-lockstep group: store hits resolve through one batch
+    /// probe, the remaining `(policy, prefab)` arms run as one lockstep
+    /// batch, and fresh summaries are written back. Returns one summary
+    /// per arm in order.
+    pub fn run_arm_summaries_batched(
+        &self,
+        pool: &mut SimPool,
+        store: Option<&dyn crate::store::TrialStore>,
+        arms: &[(PolicyKind, &TrialPrefab)],
+    ) -> Vec<crate::cache::TrialSummary> {
+        let mut summaries: Vec<Option<crate::cache::TrialSummary>> = match store {
+            Some(c) => {
+                let keys: Vec<crate::cache::TrialKey> = arms
+                    .iter()
+                    .map(|&(policy, p)| self.trial_key(policy, p.seed))
+                    .collect();
+                c.probe_many(&keys)
+            }
+            None => vec![None; arms.len()],
+        };
+        let pending: Vec<usize> = (0..arms.len())
+            .filter(|&i| summaries[i].is_none())
+            .collect();
+        if !pending.is_empty() {
+            let lanes: Vec<(PolicyKind, &TrialPrefab)> = pending.iter().map(|&i| arms[i]).collect();
+            let results = self.run_arms_batched_in(pool, &lanes);
+            for (&i, result) in pending.iter().zip(&results) {
+                let summary = crate::cache::TrialSummary::of(result);
+                if let Some(c) = store {
+                    let (policy, prefab) = arms[i];
+                    c.store(&self.trial_key(policy, prefab.seed), &summary);
                 }
                 summaries[i] = Some(summary);
             }

@@ -169,6 +169,134 @@ fn batched_runs_reuse_slabs_and_count_occupancy() {
     assert_eq!(stats.batch_lane_high_water, 8);
 }
 
+/// Runs one `(scenario, seed)` trial's policy arms both ways and
+/// asserts per-arm equality of the full results and summary bytes.
+fn assert_arm_parity(scenario: &PaperScenario, policies: &[PolicyKind], seed: u64) {
+    let prefab = scenario.prefab(seed);
+    let arms: Vec<(PolicyKind, &TrialPrefab)> = policies.iter().map(|&p| (p, &prefab)).collect();
+
+    let mut scalar_pool = SimPool::new();
+    let scalar: Vec<_> = policies
+        .iter()
+        .map(|&p| scenario.run_prefab_in(&mut scalar_pool, p, &prefab))
+        .collect();
+
+    let mut batch_pool = SimPool::new();
+    let batched = scenario.run_arms_batched_in(&mut batch_pool, &arms);
+
+    assert_eq!(batched.len(), scalar.len());
+    for ((policy, b), s) in policies.iter().zip(&batched).zip(&scalar) {
+        assert_eq!(
+            b, s,
+            "arm {policy:?} of seed {seed} diverged ({})",
+            scenario.capacity
+        );
+        let bs = harvest_exp::cache::TrialSummary::of(b);
+        let ss = harvest_exp::cache::TrialSummary::of(s);
+        assert_eq!(
+            serde_json::to_string(&bs).unwrap(),
+            serde_json::to_string(&ss).unwrap(),
+            "summary bytes for arm {policy:?} of seed {seed} diverged"
+        );
+    }
+}
+
+#[test]
+fn policy_lockstep_arms_match_scalar() {
+    let mut scenario = PaperScenario::new(0.8, 200.0);
+    scenario.num_tasks = 6;
+    scenario.horizon_units = 400;
+    for seed in 0..4 {
+        assert_arm_parity(&scenario, &PolicyKind::ALL, seed);
+    }
+    // Sampling adds periodic cross-lane events; the arms must still
+    // match their scalar runs exactly.
+    let sampled = scenario.with_sampling(50);
+    for seed in 0..2 {
+        assert_arm_parity(&sampled, &PolicyKind::ALL, seed);
+    }
+}
+
+#[test]
+fn faulted_policy_arms_scalar_drain_and_match() {
+    // A fault plan makes every arm ineligible for the fused loop; the
+    // lockstep batch must fall back per arm and still match.
+    let mut scenario = PaperScenario::new(0.5, 250.0).with_fault_intensity(0.6);
+    scenario.num_tasks = 5;
+    scenario.horizon_units = 400;
+    for seed in 0..3 {
+        assert_arm_parity(&scenario, &[PolicyKind::Lsa, PolicyKind::EaDvfs], seed);
+    }
+}
+
+/// Satellite contract of the grouping split in `PoolStats`: sibling-seed
+/// batches bump only the seed-lane high water, policy-lockstep batches
+/// bump only the policy-lane counters, and both feed the shared tick
+/// occupancy tallies.
+#[test]
+fn grouping_stats_stay_separate() {
+    let mut scenario = PaperScenario::new(0.8, 200.0);
+    scenario.num_tasks = 5;
+    scenario.horizon_units = 200;
+    let prefabs: Vec<TrialPrefab> = (0..6).map(|s| scenario.prefab(s)).collect();
+    let refs: Vec<&TrialPrefab> = prefabs.iter().collect();
+
+    let mut seed_pool = SimPool::new();
+    let _ = scenario.run_prefabs_batched_in(&mut seed_pool, PolicyKind::EaDvfs, &refs);
+    let seed_stats = seed_pool.stats();
+    assert_eq!(seed_stats.batched_runs, 6);
+    assert_eq!(seed_stats.batch_lane_high_water, 6);
+    assert_eq!(seed_stats.policy_batched_runs, 0);
+    assert_eq!(seed_stats.batch_policy_lane_high_water, 0);
+    assert!(seed_stats.batch_ticks > 0);
+    assert!(seed_stats.multi_lane_ticks <= seed_stats.batch_ticks);
+
+    let arms: Vec<(PolicyKind, &TrialPrefab)> =
+        PolicyKind::ALL.iter().map(|&p| (p, &prefabs[0])).collect();
+    let mut arm_pool = SimPool::new();
+    let _ = scenario.run_arms_batched_in(&mut arm_pool, &arms);
+    let arm_stats = arm_pool.stats();
+    assert_eq!(arm_stats.batched_runs, PolicyKind::ALL.len() as u64);
+    assert_eq!(arm_stats.policy_batched_runs, PolicyKind::ALL.len() as u64);
+    assert_eq!(
+        arm_stats.batch_policy_lane_high_water,
+        PolicyKind::ALL.len() as u64
+    );
+    assert_eq!(
+        arm_stats.batch_lane_high_water, 0,
+        "a lockstep batch must not touch the sibling-seed mark"
+    );
+    assert!(arm_stats.batch_ticks > 0);
+    assert!(
+        arm_stats.multi_lane_ticks > 0,
+        "lockstep arms share release instants"
+    );
+    assert!(arm_stats.multi_lane_fraction() > 0.0);
+}
+
+#[test]
+fn cached_arm_summaries_round_trip() {
+    let dir = std::env::temp_dir().join(format!("harvest-arm-parity-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = harvest_exp::cache::SweepCache::new(&dir).unwrap();
+    let mut scenario = PaperScenario::new(0.6, 300.0);
+    scenario.num_tasks = 5;
+    scenario.horizon_units = 300;
+    let prefab = scenario.prefab(7);
+    let arms: Vec<(PolicyKind, &TrialPrefab)> =
+        PolicyKind::ALL.iter().map(|&p| (p, &prefab)).collect();
+    let mut pool = SimPool::new();
+    let cold = scenario.run_arm_summaries_batched(&mut pool, Some(&cache), &arms);
+    assert_eq!(cache.stats().stores, PolicyKind::ALL.len() as u64);
+    let warm = scenario.run_arm_summaries_batched(&mut pool, Some(&cache), &arms);
+    assert_eq!(cold, warm);
+    assert_eq!(cache.stats().hits, PolicyKind::ALL.len() as u64);
+    // Per-(policy, seed) keys interoperate with the scalar store path.
+    let scalar = scenario.run_summary(&mut pool, Some(&cache), PolicyKind::ALL[1], &prefab);
+    assert_eq!(scalar, cold[1]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn cached_batched_summaries_round_trip() {
     let dir = std::env::temp_dir().join(format!(

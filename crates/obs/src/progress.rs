@@ -92,6 +92,29 @@ pub struct Heartbeat {
     pub lane_high_water: u64,
     /// Estimated seconds to completion at the current rate.
     pub eta_s: f64,
+    /// Which axis supplied the batch lanes (`"seed"`, `"policy"`, or
+    /// empty when the campaign has not reported a grouping).
+    #[serde(default)]
+    pub batch_grouping: String,
+    /// Event instants the batched engine processed.
+    #[serde(default)]
+    pub batch_ticks: u64,
+    /// Of those, instants where more than one lane had work — the
+    /// observable lane synchrony of the campaign's batches.
+    #[serde(default)]
+    pub multi_lane_ticks: u64,
+}
+
+impl Heartbeat {
+    /// `multi_lane_ticks / batch_ticks` (0 when no batches ran): the
+    /// fraction of processed instants where batching paid off.
+    pub fn multi_lane_fraction(&self) -> f64 {
+        if self.batch_ticks > 0 {
+            self.multi_lane_ticks as f64 / self.batch_ticks as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Terminal line: final totals and wall-clock.
@@ -159,6 +182,9 @@ struct ReporterInner {
     resumed: u64,
     quarantined: u64,
     lane_high_water: u64,
+    batch_grouping: String,
+    batch_ticks: u64,
+    multi_lane_ticks: u64,
 }
 
 impl ReporterInner {
@@ -204,6 +230,9 @@ impl ReporterInner {
             hit_rate,
             lane_high_water: self.lane_high_water,
             eta_s,
+            batch_grouping: self.batch_grouping.clone(),
+            batch_ticks: self.batch_ticks,
+            multi_lane_ticks: self.multi_lane_ticks,
         }
     }
 
@@ -268,6 +297,9 @@ impl ProgressReporter {
                 resumed: 0,
                 quarantined: 0,
                 lane_high_water: 0,
+                batch_grouping: String::new(),
+                batch_ticks: 0,
+                multi_lane_ticks: 0,
             }),
         }
     }
@@ -329,6 +361,16 @@ impl ProgressReporter {
     pub fn note_lane_high_water(&self, lanes: u64) {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.lane_high_water = inner.lane_high_water.max(lanes);
+    }
+
+    /// Record the batch grouping axis and fold in batched-engine tick
+    /// occupancy counters (counts accumulate; the label is
+    /// last-writer-wins, which is fine — a campaign runs one grouping).
+    pub fn note_batch_occupancy(&self, grouping: &str, batch_ticks: u64, multi_lane_ticks: u64) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.batch_grouping = grouping.to_string();
+        inner.batch_ticks += batch_ticks;
+        inner.multi_lane_ticks += multi_lane_ticks;
     }
 
     /// Decided-cell totals so far:
@@ -414,6 +456,8 @@ mod tests {
         reporter.cell(CellDecision::Simulated, "k2", 1);
         reporter.cell(CellDecision::Quarantined, "k3", 1);
         reporter.note_lane_high_water(8);
+        reporter.note_batch_occupancy("policy", 100, 60);
+        reporter.note_batch_occupancy("policy", 50, 30);
         reporter.finish().unwrap();
 
         let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
@@ -432,6 +476,9 @@ mod tests {
             (4, 1, 1, 1, 1)
         );
         assert_eq!(hb.lane_high_water, 8);
+        assert_eq!(hb.batch_grouping, "policy");
+        assert_eq!((hb.batch_ticks, hb.multi_lane_ticks), (150, 90));
+        assert!((hb.multi_lane_fraction() - 0.6).abs() < 1e-12);
         assert!(matches!(lines.last(), Some(ProgressLine::Finished(f)) if f.done == 4));
     }
 

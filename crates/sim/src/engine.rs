@@ -51,6 +51,14 @@ impl<E: Copy> Scheduler<'_, E> {
         self.queue.cancel(id)
     }
 
+    /// Claims the next queue sequence number without scheduling — for
+    /// models that keep a side stream of pre-ordered events (see
+    /// [`Model::side_peek`]) and need those events keyed exactly as if
+    /// they had been scheduled here.
+    pub fn alloc_seq(&mut self) -> u32 {
+        self.queue.alloc_seq()
+    }
+
     /// Requests the engine to stop after the current event is handled.
     pub fn request_stop(&mut self) {
         *self.stop = true;
@@ -65,6 +73,29 @@ pub trait Model {
 
     /// Handles one event at time `now`, scheduling follow-ups via `ctx`.
     fn handle(&mut self, now: SimTime, event: Self::Event, ctx: &mut Scheduler<'_, Self::Event>);
+
+    /// `(time, seq)` key of the model's next *side-stream* event, if any.
+    ///
+    /// A model may keep part of its event traffic outside the queue — a
+    /// precomputed tape consumed by a cursor, say. The engine merges the
+    /// side stream with the queue by `(time, seq)` each iteration and
+    /// dispatches whichever is earlier, so elided events still fire in
+    /// exactly the order they would have fired from the queue, provided
+    /// their sequence numbers were claimed via [`Scheduler::alloc_seq`]
+    /// (or [`Engine::alloc_seq`]) at the points the heap-driven model
+    /// would have scheduled them. The default (no side stream) keeps the
+    /// run loop as cheap as before: one always-`None` branch.
+    #[inline]
+    fn side_peek(&self) -> Option<(SimTime, u32)> {
+        None
+    }
+
+    /// Pops the side-stream head whose key [`Model::side_peek`] just
+    /// returned. Only called when `side_peek` returned `Some` and its
+    /// key was the merged minimum.
+    fn side_pop(&mut self) -> Self::Event {
+        unreachable!("model reported no side-stream event")
+    }
 }
 
 /// Outcome of [`Engine::run_until`].
@@ -169,6 +200,10 @@ pub struct Engine<M: Model> {
     queue: EventQueue<M::Event>,
     now: SimTime,
     handled: u64,
+    /// Time of the most recently dispatched event, queue or side stream.
+    /// (`queue.current_time()` alone cannot answer this once a model
+    /// elides events into a side stream.)
+    last_handled: Option<SimTime>,
     /// Scoped phase timers; `None` (the default) keeps the run loop at
     /// one branch per event and zero clock reads.
     profiler: Option<Box<PhaseProfiler>>,
@@ -200,6 +235,7 @@ impl<M: Model> Engine<M> {
             queue,
             now: SimTime::ZERO,
             handled: 0,
+            last_handled: None,
             profiler: None,
             watchdog: None,
         }
@@ -231,6 +267,14 @@ impl<M: Model> Engine<M> {
     /// Schedules an initial event (usable before and between runs).
     pub fn schedule(&mut self, at: SimTime, payload: M::Event) -> EventId {
         self.queue.schedule(at, payload)
+    }
+
+    /// Claims the next queue sequence number without scheduling — the
+    /// seeding-time counterpart of [`Scheduler::alloc_seq`], for keying
+    /// side-stream events (see [`Model::side_peek`]) before the run
+    /// starts.
+    pub fn alloc_seq(&mut self) -> u32 {
+        self.queue.alloc_seq()
     }
 
     /// The current simulation time.
@@ -274,20 +318,39 @@ impl<M: Model> Engine<M> {
         let mut at_instant: u64 = 0;
         let mut last_t: Option<SimTime> = None;
         loop {
-            match self.queue.peek_time() {
-                None => {
-                    let last = self.queue.current_time();
-                    return RunOutcome::Drained { last_event: last };
+            // Merge the queue head against the model's side stream (if
+            // any) by (time, seq): both kinds of key come from the same
+            // sequence counter, so the comparison reproduces the order a
+            // queue-only run would dispatch. Keys are unique — the
+            // counter never hands out a number twice.
+            let (t, from_side) = match (self.queue.peek_key(), self.model.side_peek()) {
+                (None, None) => {
+                    return RunOutcome::Drained {
+                        last_event: self.last_handled,
+                    }
                 }
-                Some(t) if t >= horizon => {
-                    self.now = horizon;
-                    return RunOutcome::HorizonReached;
+                (Some((qt, _)), None) => (qt, false),
+                (None, Some((st, _))) => (st, true),
+                (Some(q), Some(s)) => {
+                    if s < q {
+                        (s.0, true)
+                    } else {
+                        (q.0, false)
+                    }
                 }
-                Some(_) => {}
+            };
+            if t >= horizon {
+                self.now = horizon;
+                return RunOutcome::HorizonReached;
             }
-            let (t, ev) = self.queue.pop().expect("peeked event present");
+            let ev = if from_side {
+                self.model.side_pop()
+            } else {
+                self.queue.pop().expect("peeked event present").1
+            };
             self.now = t;
             self.handled += 1;
+            self.last_handled = Some(t);
             if let Some(wd) = self.watchdog {
                 if wd.max_events.is_some_and(|max| self.handled > max) {
                     return RunOutcome::WatchdogFired {

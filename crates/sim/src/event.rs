@@ -550,6 +550,46 @@ impl<E: Copy> EventQueue<E> {
         }
     }
 
+    /// `(time, seq)` of the earliest pending event without removing it.
+    ///
+    /// Sequence numbers order same-instant events in scheduling order,
+    /// so this key totally orders the queue's head against events held
+    /// outside the queue whose sequence numbers came from
+    /// [`alloc_seq`](Self::alloc_seq).
+    #[inline]
+    pub fn peek_key(&self) -> Option<(SimTime, u32)> {
+        if self.top.is_empty() {
+            None
+        } else {
+            Some((unflip(self.top.tk), self.top.seq))
+        }
+    }
+
+    /// Claims the next sequence number without scheduling anything.
+    ///
+    /// A caller that keeps some events *outside* the queue (e.g. a
+    /// precomputed [`ReleaseTape`] consumed by a cursor) allocates their
+    /// sequence numbers here, at the exact points the heap-driven run
+    /// would have scheduled them. Merging by `(time, seq)` against
+    /// [`peek_key`](Self::peek_key) then reproduces the heap-driven
+    /// dispatch order bit for bit, because every event — queued or
+    /// elided — carries the same key it would have carried in the queue.
+    ///
+    /// Note that [`QueueStats::scheduled`] counts claimed sequence
+    /// numbers, so elided events still show up there (and in the derived
+    /// `popped`) even though they never occupy a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence space is exhausted.
+    #[inline]
+    pub fn alloc_seq(&mut self) -> u32 {
+        let seq = self.next_seq;
+        assert!(seq != SEQ_DEAD, "event queue sequence space exhausted");
+        self.next_seq += 1;
+        seq
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.len
@@ -1019,6 +1059,87 @@ impl<E: Copy> EventQueue<E> {
         }
         self.top = min;
         self.remove_bucketed(b, pos);
+    }
+}
+
+/// One elided release: task `task`'s `job_seq`-th arrival, at `ticks`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReleaseEntry {
+    /// Arrival instant in ticks.
+    pub ticks: i64,
+    /// Index of the releasing task in its task set.
+    pub task: u32,
+    /// Zero-based arrival count of this task (0 for the phase release).
+    pub job_seq: u32,
+}
+
+/// A precomputed, shareable release timeline: every periodic arrival
+/// inside a horizon, in the exact order a heap-driven simulation would
+/// pop them.
+///
+/// Task releases are closed-form — seed-, policy-, and state-independent
+/// — so a simulator can elide them from its [`EventQueue`] entirely: the
+/// tape is built once per scenario, shared read-only (`Arc`) across
+/// every trial, lane, and worker shard, and consumed by a monotone
+/// cursor. The queue then only carries the state-dependent traffic
+/// (deadline checks, policy re-evaluations, samples, fault edges).
+///
+/// **Ordering.** Entries are *not* sorted by `(ticks, task)`: they are
+/// emitted in the order the heap-driven run pops arrivals, which is
+/// `(ticks, seq)` order under the queue's scheduling discipline (seed
+/// all phase arrivals in task order, then each handled arrival schedules
+/// its successor). A consumer that allocates one [`EventQueue::alloc_seq`]
+/// sequence number per entry at those same points reproduces the
+/// heap-driven keys — and therefore the dispatch order — exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReleaseTape {
+    /// Arrivals in heap pop order; see the type docs for why this is not
+    /// plain `(ticks, task)` order.
+    entries: Vec<ReleaseEntry>,
+    /// Horizon (exclusive, in ticks) the tape was built for. Arrivals at
+    /// or past the horizon are clipped.
+    horizon_ticks: i64,
+    /// Number of tasks in the task set the tape was built from.
+    task_count: u32,
+}
+
+impl ReleaseTape {
+    /// Builds a tape from pre-ordered entries. `entries` must be in heap
+    /// pop order and clipped to `horizon_ticks` (see
+    /// `TaskSet::release_tape`, which is how tapes are normally made).
+    pub fn from_entries(entries: Vec<ReleaseEntry>, horizon_ticks: i64, task_count: u32) -> Self {
+        debug_assert!(entries.iter().all(|e| e.ticks < horizon_ticks));
+        debug_assert!(entries.windows(2).all(|w| w[0].ticks <= w[1].ticks));
+        ReleaseTape {
+            entries,
+            horizon_ticks,
+            task_count,
+        }
+    }
+
+    /// The arrivals, in heap pop order.
+    pub fn entries(&self) -> &[ReleaseEntry] {
+        &self.entries
+    }
+
+    /// Number of arrivals on the tape.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the horizon holds no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Horizon (exclusive, in ticks) the tape was built for.
+    pub fn horizon_ticks(&self) -> i64 {
+        self.horizon_ticks
+    }
+
+    /// Number of tasks in the originating task set.
+    pub fn task_count(&self) -> usize {
+        self.task_count as usize
     }
 }
 

@@ -44,7 +44,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Engine, Model, RunOutcome, Scheduler, Watchdog, WatchdogKind};
-pub use event::{EventId, EventQueue, QueueStats};
+pub use event::{EventId, EventQueue, QueueStats, ReleaseEntry, ReleaseTape};
 pub use piecewise::{CursorStats, Extension, PiecewiseConstant, PiecewiseError, Segment};
 pub use stats::{Histogram, RunningStats, SampledSeries};
 pub use time::{SimDuration, SimTime, TICKS_PER_UNIT};

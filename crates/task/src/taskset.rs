@@ -1,5 +1,9 @@
 //! Collections of tasks.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use harvest_sim::event::{ReleaseEntry, ReleaseTape};
 use harvest_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -119,6 +123,59 @@ impl TaskSet {
         out.sort_by_key(|&(i, a)| (a, i));
         out
     }
+
+    /// Precomputes the release timeline of `[0, horizon)` as a
+    /// [`ReleaseTape`]: every arrival, in the exact order a heap-driven
+    /// simulation pops them.
+    ///
+    /// That order is **not** `(time, task_index)` — it is `(time, seq)`
+    /// under the simulator's scheduling discipline, where each handled
+    /// arrival immediately schedules the task's next one. (Example: with
+    /// task 0 = period 5 and task 1 = period 10 phase 5, task 0's t = 5
+    /// arrival is scheduled while handling its t = 0 arrival, *after*
+    /// task 1's seeded t = 5 arrival — so task 1 pops first at t = 5
+    /// despite its higher index.) The builder therefore replays that
+    /// discipline as a mini-simulation of release events only: seed the
+    /// in-horizon phase arrivals in task-index order, then pop in
+    /// `(ticks, seq)` order, each pop scheduling its successor.
+    pub fn release_tape(&self, horizon: SimDuration) -> ReleaseTape {
+        let horizon_ticks = (SimTime::ZERO + horizon).as_ticks();
+        let mut seq: u32 = 0;
+        let mut alloc = move || {
+            let s = seq;
+            seq += 1;
+            s
+        };
+        // Min-heap of (ticks, seq, task): seq breaks same-instant ties in
+        // scheduling order, exactly like the event queue.
+        let mut heap: BinaryHeap<Reverse<(i64, u32, u32)>> = BinaryHeap::with_capacity(self.len());
+        for (i, task) in self.tasks.iter().enumerate() {
+            let phase = task.phase();
+            if phase >= SimTime::ZERO && phase.as_ticks() < horizon_ticks {
+                heap.push(Reverse((phase.as_ticks(), alloc(), i as u32)));
+            }
+        }
+        let mut entries = Vec::new();
+        let mut job_seq = vec![0u32; self.len()];
+        while let Some(Reverse((ticks, _, task))) = heap.pop() {
+            entries.push(ReleaseEntry {
+                ticks,
+                task,
+                job_seq: job_seq[task as usize],
+            });
+            job_seq[task as usize] += 1;
+            if let Some(period) = self.tasks[task as usize].period() {
+                let next = ticks + period.as_ticks();
+                // A beyond-horizon successor is scheduled by the real
+                // run but never popped; eliding it from the mini-heap
+                // renumbers later seqs uniformly without reordering.
+                if next < horizon_ticks {
+                    heap.push(Reverse((next, alloc(), task)));
+                }
+            }
+        }
+        ReleaseTape::from_entries(entries, horizon_ticks, self.len() as u32)
+    }
 }
 
 impl FromIterator<Task> for TaskSet {
@@ -232,6 +289,63 @@ mod tests {
         // Simultaneous arrivals ordered by task index.
         assert_eq!(arrivals[0].0, 0);
         assert_eq!(arrivals[1].0, 1);
+    }
+
+    #[test]
+    fn release_tape_matches_arrival_multiset_and_counts_jobs() {
+        let s = set();
+        let horizon = d(60);
+        let tape = s.release_tape(horizon);
+        // Same multiset of (task, time) as arrivals_between, whatever
+        // the order.
+        let mut tape_pairs: Vec<(usize, i64)> = tape
+            .entries()
+            .iter()
+            .map(|e| (e.task as usize, e.ticks))
+            .collect();
+        let mut ref_pairs: Vec<(usize, i64)> = s
+            .arrivals_between(SimTime::ZERO, SimTime::ZERO + horizon)
+            .into_iter()
+            .map(|(i, t)| (i, t.as_ticks()))
+            .collect();
+        tape_pairs.sort_unstable();
+        ref_pairs.sort_unstable();
+        assert_eq!(tape_pairs, ref_pairs);
+        // job_seq counts each task's arrivals from zero, in time order.
+        for (i, _) in s.iter().enumerate() {
+            let seqs: Vec<u32> = tape
+                .entries()
+                .iter()
+                .filter(|e| e.task as usize == i)
+                .map(|e| e.job_seq)
+                .collect();
+            assert_eq!(seqs, (0..seqs.len() as u32).collect::<Vec<_>>());
+        }
+        assert_eq!(tape.task_count(), 3);
+        assert_eq!(tape.horizon_ticks(), (SimTime::ZERO + horizon).as_ticks());
+    }
+
+    #[test]
+    fn release_tape_orders_ties_by_scheduling_discipline_not_index() {
+        // Task 0: period 5, phase 0. Task 1: period 10, phase 5. At
+        // t = 5 both release — but task 1's arrival was seeded before
+        // task 0's t = 5 arrival was scheduled (while handling t = 0),
+        // so the heap-driven run pops task 1 first. A (time, index) sort
+        // would wrongly put task 0 first.
+        let s = TaskSet::new(vec![
+            Task::periodic(SimTime::ZERO, d(5), d(5), 1.0),
+            Task::periodic(SimTime::ZERO + d(5), d(10), d(10), 1.0),
+        ]);
+        let tape = s.release_tape(d(20));
+        let order: Vec<(i64, u32)> = tape
+            .entries()
+            .iter()
+            .map(|e| (e.ticks / 1_000_000, e.task))
+            .collect();
+        assert_eq!(
+            order,
+            vec![(0, 0), (5, 1), (5, 0), (10, 0), (15, 1), (15, 0)]
+        );
     }
 
     #[test]
