@@ -33,7 +33,17 @@
 //!   iteration through the lockstep batch (`run_arms_batched_in`);
 //!   per-trial time is the iteration time divided by the arm count.
 //!
-//! Running this bench writes `BENCH_PR9.json` at the workspace root:
+//! Three write-path modes time the store's durability levels as
+//! `sweep/store_append_{none,batch,record}`: one decided-record append
+//! per iteration with no barriers, with a barrier every 64 appends (the
+//! default `--durability batch` checkpoint grain), and with a sync
+//! inside every append (`--durability record`). The report carries the
+//! batch-vs-none and record-vs-none overhead ratios, so the cost of the
+//! default durability is a number, not a feeling. The warm store itself
+//! is opened at `Durability::None` — the exact `--durability none` warm
+//! path the PR 7 `store_warm` regression gate pins.
+//!
+//! Running this bench writes `BENCH_PR10.json` at the workspace root:
 //! raw medians, trials/sec per mode with the pooled-vs-cold,
 //! cached-vs-cold, store-warm-vs-cached, and batched-vs-pooled (at
 //! B = 8) speedups, heap-allocation counts per trial (cold vs pooled vs
@@ -75,6 +85,7 @@ use harvest_exp::parallel::parallel_map_with;
 use harvest_exp::scenario::{PaperScenario, PolicyKind, SimPool, TrialPrefab};
 use harvest_exp::store::{PackStore, TrialStore};
 use harvest_exp::telemetry::CampaignTelemetry;
+use harvest_obs::io::{Durability, RealIo, RetryPolicy};
 use harvest_obs::span::SpanCollector;
 use harvest_obs::ProgressReporter;
 use serde::Value;
@@ -137,11 +148,20 @@ fn warm_cache(s: &PaperScenario, prefab: &TrialPrefab) -> (SweepCache, std::path
     (cache, dir)
 }
 
-/// A throwaway pack store, pre-warmed with the microcell's result.
+/// A throwaway pack store, pre-warmed with the microcell's result. The
+/// store is opened at [`Durability::None`] — warm probes never touch a
+/// barrier, so this is the exact `--durability none` read path the
+/// `store_warm` regression gate pins.
 fn warm_store(s: &PaperScenario, prefab: &TrialPrefab) -> (PackStore, std::path::PathBuf) {
     let dir = std::env::temp_dir().join(format!("harvest-bench-store-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let store = PackStore::open(&dir).expect("temp store dir");
+    let store = PackStore::open_with(
+        &dir,
+        RealIo::shared(),
+        RetryPolicy::default(),
+        Durability::None,
+    )
+    .expect("temp store dir");
     let summary = TrialSummary::of(&s.run_prefab(POLICY, prefab));
     harvest_exp::store::TrialStore::store(&store, &s.trial_key(POLICY, SEED), &summary);
     (store, dir)
@@ -247,6 +267,54 @@ fn figure_telemetry_modes(c: &mut Criterion, store: &PackStore) {
         })
     });
     g.finish();
+}
+
+/// `sweep/store_append_{none,batch,record}`: one decided-record append
+/// per iteration at each durability level, each into its own throwaway
+/// store. `batch` adds a barrier every 64 appends — the campaign
+/// driver's checkpoint grain — and `record` syncs inside every append,
+/// so the three medians bracket what `--durability` costs on the write
+/// path. Returns the store directories for cleanup.
+fn durability_append_modes(
+    c: &mut Criterion,
+    s: &PaperScenario,
+    prefab: &TrialPrefab,
+) -> Vec<std::path::PathBuf> {
+    let key = s.trial_key(POLICY, SEED);
+    let summary = TrialSummary::of(&s.run_prefab(POLICY, prefab));
+    let mut dirs = Vec::new();
+    let mut g = c.benchmark_group("sweep");
+    for (mode, durability) in [
+        ("none", Durability::None),
+        ("batch", Durability::Batch),
+        ("record", Durability::Record),
+    ] {
+        let dir = std::env::temp_dir().join(format!(
+            "harvest-bench-durability-{mode}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store =
+            PackStore::open_with(&dir, RealIo::shared(), RetryPolicy::default(), durability)
+                .expect("temp durability store dir");
+        let mut appended = 0u64;
+        g.bench_function(format!("store_append_{mode}"), |b| {
+            b.iter(|| {
+                TrialStore::store(&store, &key, &summary);
+                appended += 1;
+                if durability == Durability::Batch && appended.is_multiple_of(64) {
+                    TrialStore::barrier(&store);
+                }
+            })
+        });
+        assert!(
+            store.io_health().is_clean(),
+            "durability bench degraded the {mode} store"
+        );
+        dirs.push(dir);
+    }
+    g.finish();
+    dirs
 }
 
 /// The batch widths timed and reported.
@@ -468,6 +536,26 @@ fn write_report(
         _ => Value::Null,
     };
 
+    // Write-path durability accounting: what the default batch barriers
+    // and per-record syncs cost over a barrier-free append.
+    let durability = match (
+        find("sweep/store_append_none"),
+        find("sweep/store_append_batch"),
+        find("sweep/store_append_record"),
+    ) {
+        (Some(none), Some(batch), Some(record)) => Value::Map(vec![
+            ("append_none_ns".to_string(), Value::F64(none)),
+            ("append_batch_ns".to_string(), Value::F64(batch)),
+            ("append_record_ns".to_string(), Value::F64(record)),
+            ("batch_overhead_ratio".to_string(), Value::F64(batch / none)),
+            (
+                "record_overhead_ratio".to_string(),
+                Value::F64(record / none),
+            ),
+        ]),
+        _ => Value::Null,
+    };
+
     // Allocation accounting runs untimed, after the measurements.
     let cold_allocs = allocs_per_trial(|| {
         black_box(s.run_prefab(POLICY, prefab));
@@ -509,6 +597,7 @@ fn write_report(
         ("results".to_string(), Value::Seq(entries)),
         ("trials_per_sec".to_string(), Value::Seq(trials_per_sec)),
         ("telemetry".to_string(), telemetry),
+        ("durability".to_string(), durability),
         (
             "allocations".to_string(),
             Value::Map(vec![
@@ -615,10 +704,14 @@ fn main() {
     batched_modes(&mut c, &s, &refs);
     policy_lockstep_mode(&mut c, &s, &prefab);
     figure_telemetry_modes(&mut c, &figure_store);
+    let durability_dirs = durability_append_modes(&mut c, &s, &prefab);
     let cleanup = || {
         let _ = std::fs::remove_dir_all(&cache_dir);
         let _ = std::fs::remove_dir_all(&store_dir);
         let _ = std::fs::remove_dir_all(&figure_dir);
+        for dir in &durability_dirs {
+            let _ = std::fs::remove_dir_all(dir);
+        }
     };
 
     if smoke {
@@ -635,6 +728,6 @@ fn main() {
         return;
     }
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    write_report(&root.join("BENCH_PR9.json"), &s, &prefab, &refs);
+    write_report(&root.join("BENCH_PR10.json"), &s, &prefab, &refs);
     cleanup();
 }

@@ -394,7 +394,7 @@ impl Sink<'_> {
 fn lane_screen(lane: &BatchLane, oracle: bool) -> bool {
     let c = &lane.config;
     oracle
-        && c.fault_plan.as_ref().map_or(true, |p| p.is_empty())
+        && c.fault_plan.as_ref().is_none_or(|p| p.is_empty())
         && c.watchdog.is_none()
         && !c.collect_trace
         && !c.collect_metrics
@@ -555,7 +555,7 @@ pub fn simulate_batch_grouped_in(
                 && lane
                     .tasks
                     .iter()
-                    .all(|t| t.period().map_or(true, |p| t.relative_deadline() <= p));
+                    .all(|t| t.period().is_none_or(|p| t.relative_deadline() <= p));
             let deadline_slots = if elide_deadlines {
                 vec![None; lane.tasks.len()]
             } else {

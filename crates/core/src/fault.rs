@@ -58,9 +58,9 @@ impl FaultPlan {
     /// the exact fault-free code path.
     pub fn is_empty(&self) -> bool {
         self.harvest.is_empty()
-            && self.storage.map_or(true, |s| s.is_empty())
+            && self.storage.is_none_or(|s| s.is_empty())
             && self.lockouts.is_empty()
-            && self.predictor.map_or(true, |p| p.is_empty())
+            && self.predictor.is_none_or(|p| p.is_empty())
     }
 
     /// Bitmask of levels locked out at instant `t`.

@@ -1291,7 +1291,7 @@ fn run_closed_loop<P: Scheduler>(
                 elide_deadlines: tasks
                     .tasks()
                     .iter()
-                    .all(|t| t.period().map_or(true, |p| t.relative_deadline() <= p)),
+                    .all(|t| t.period().is_none_or(|p| t.relative_deadline() <= p)),
                 deadline_slots: vec![None; task_count],
                 deadline_min: None,
             }

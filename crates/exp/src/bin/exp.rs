@@ -78,6 +78,7 @@ use harvest_exp::store::{
     store_from_env, DecidedStore, PackStore, TrialStore, DEFAULT_LEGACY_CACHE_DIR,
 };
 use harvest_exp::telemetry::{CampaignTelemetry, FlightOptions};
+use harvest_obs::io::{Durability, IoHealth, RealIo, RetryPolicy};
 use harvest_obs::progress::{progress_from_jsonl, ProgressLine};
 use harvest_obs::span::SpanCollector;
 use harvest_obs::ProgressReporter;
@@ -91,17 +92,20 @@ const USAGE: &str = "usage:
   exp diff        PATH BASELINE
   exp sweep       [--util U] [--trials N] [--threads N] [--batch B]
                   [--batch-group seed|policy|auto] [--store DIR]
+                  [--durability none|batch|record]
                   [--cache PATH] [--trace PATH] [--progress PATH] [--expect-warm]
   exp fault-sweep [--util U] [--capacity C] [--trials N] [--threads N] [--batch B]
                   [--horizon UNITS] [--intensities A,B,..] [--manifest PATH]
-                  [--store DIR] [--cache PATH] [--trace PATH] [--progress PATH]
+                  [--store DIR] [--durability none|batch|record]
+                  [--cache PATH] [--trace PATH] [--progress PATH]
                   [--flight DIR]
                   [--inject-panic POLICY:SEED:INTENSITY]
                   [--inject-starve POLICY:SEED:INTENSITY] [--expect-resumed]
   exp report      [--store DIR] [--manifest PATH] [--progress PATH] [--trace PATH]
                   [--json] [--out PATH]
   exp store stat    DIR [--json]
-  exp store compact DIR";
+  exp store compact DIR
+  exp store scrub   DIR [--json]";
 
 /// A failed invocation, split by whose fault it is: `Usage` exits 2 and
 /// reprints the usage text, `Runtime` exits 1 with a one-line message.
@@ -156,6 +160,7 @@ struct SweepArgs {
     batch: usize,
     batch_group: GroupingMode,
     store: Option<PathBuf>,
+    durability: Durability,
     cache: Option<PathBuf>,
     trace: Option<PathBuf>,
     progress: Option<PathBuf>,
@@ -171,6 +176,7 @@ impl Default for SweepArgs {
             batch: 1,
             batch_group: GroupingMode::Seed,
             store: None,
+            durability: Durability::default(),
             cache: None,
             trace: None,
             progress: None,
@@ -194,6 +200,7 @@ struct FaultSweepArgs {
     intensities: Vec<f64>,
     manifest: Option<PathBuf>,
     store: Option<PathBuf>,
+    durability: Durability,
     cache: Option<PathBuf>,
     trace: Option<PathBuf>,
     progress: Option<PathBuf>,
@@ -215,6 +222,7 @@ impl Default for FaultSweepArgs {
             intensities: vec![0.0, 0.5, 1.0],
             manifest: None,
             store: None,
+            durability: Durability::default(),
             cache: None,
             trace: None,
             progress: None,
@@ -248,6 +256,7 @@ enum Command {
     Report(ReportArgs),
     StoreStat { dir: PathBuf, json: bool },
     StoreCompact(PathBuf),
+    StoreScrub { dir: PathBuf, json: bool },
 }
 
 fn parse_policy(name: &str) -> Result<PolicyKind, String> {
@@ -360,7 +369,7 @@ where
             let verb = it
                 .next()
                 .map(|s| s.as_ref().to_owned())
-                .ok_or_else(|| "store expects `stat` or `compact`".to_owned())?;
+                .ok_or_else(|| "store expects `stat`, `compact`, or `scrub`".to_owned())?;
             let mut dir: Option<PathBuf> = None;
             let mut json = false;
             for arg in it {
@@ -375,7 +384,10 @@ where
                 "stat" => Ok(Command::StoreStat { dir, json }),
                 "compact" if json => Err("store compact does not take --json".into()),
                 "compact" => Ok(Command::StoreCompact(dir)),
-                other => Err(format!("unknown store verb `{other}` (try stat, compact)")),
+                "scrub" => Ok(Command::StoreScrub { dir, json }),
+                other => Err(format!(
+                    "unknown store verb `{other}` (try stat, compact, scrub)"
+                )),
             }
         }
         other => Err(format!("unknown subcommand `{other}`")),
@@ -483,6 +495,10 @@ where
             }
             "--manifest" => out.manifest = Some(PathBuf::from(value()?)),
             "--store" => out.store = Some(PathBuf::from(value()?)),
+            "--durability" => {
+                out.durability = Durability::parse(&value()?)
+                    .ok_or_else(|| "--durability expects none, batch, or record".to_owned())?;
+            }
             "--cache" => out.cache = Some(PathBuf::from(value()?)),
             "--trace" => out.trace = Some(PathBuf::from(value()?)),
             "--progress" => out.progress = Some(PathBuf::from(value()?)),
@@ -501,9 +517,9 @@ where
 
 /// Opens the pack store at `dir`, one-time migrating any legacy
 /// per-file cache entries sitting in the default cache directory.
-fn open_pack_store(dir: &std::path::Path) -> Result<PackStore, String> {
-    let store =
-        PackStore::open(dir).map_err(|e| format!("cannot open store {}: {e}", dir.display()))?;
+fn open_pack_store(dir: &std::path::Path, durability: Durability) -> Result<PackStore, String> {
+    let store = PackStore::open_with(dir, RealIo::shared(), RetryPolicy::default(), durability)
+        .map_err(|e| format!("cannot open store {}: {e}", dir.display()))?;
     match store.migrate_legacy(DEFAULT_LEGACY_CACHE_DIR) {
         Ok(0) => {}
         Ok(n) => eprintln!("migrated {n} legacy cache entries from {DEFAULT_LEGACY_CACHE_DIR}"),
@@ -517,9 +533,10 @@ fn open_pack_store(dir: &std::path::Path) -> Result<PackStore, String> {
 fn open_trial_store(
     store: &Option<PathBuf>,
     cache: &Option<PathBuf>,
+    durability: Durability,
 ) -> Result<Option<Box<dyn TrialStore>>, String> {
     match (store, cache) {
-        (Some(dir), _) => Ok(Some(Box::new(open_pack_store(dir)?))),
+        (Some(dir), _) => Ok(Some(Box::new(open_pack_store(dir, durability)?))),
         (None, Some(dir)) => {
             Ok(Some(Box::new(SweepCache::new(dir).map_err(|e| {
                 format!("cannot open cache {}: {e}", dir.display())
@@ -533,7 +550,7 @@ fn open_trial_store(
 /// counters into one [`MetricsRegistry`] and renders its snapshot as
 /// `metric name=value` lines — the same registry pipeline run artifacts
 /// use, so store hit rates sit alongside the pool gauges.
-fn print_metrics(stats: &SweepExecStats, store: Option<&dyn TrialStore>) {
+fn print_metrics(stats: &SweepExecStats, store: Option<&dyn TrialStore>, health: &IoHealth) {
     let mut reg = MetricsRegistry::new();
     reg.counter("sweep.simulated", stats.simulated);
     reg.counter("sweep.cached", stats.cached);
@@ -559,6 +576,7 @@ fn print_metrics(stats: &SweepExecStats, store: Option<&dyn TrialStore>) {
     if let Some(s) = store {
         s.stats().publish("store", &mut reg);
     }
+    health.publish("store", &mut reg);
     for e in reg.snapshot().entries {
         println!("metric {}={}", e.name, e.value.scalar());
     }
@@ -634,6 +652,7 @@ fn store_stat(dir: &std::path::Path, json: bool) -> Result<(), String> {
             ("done".into(), Value::U64(s.done as u64)),
             ("quarantined".into(), Value::U64(s.quarantined as u64)),
             ("superseded".into(), Value::U64(s.superseded as u64)),
+            ("reclaimed".into(), Value::U64(s.reclaimed as u64)),
             ("bytes".into(), Value::U64(s.bytes)),
         ]);
         let text =
@@ -642,14 +661,16 @@ fn store_stat(dir: &std::path::Path, json: bool) -> Result<(), String> {
         return Ok(());
     }
     println!(
-        "store dir={} packs={} records={} done={} quarantined={} bytes={} superseded={}",
+        "store dir={} packs={} records={} done={} quarantined={} bytes={} superseded={} \
+         reclaimed={}",
         dir.display(),
         s.packs,
         s.records,
         s.done,
         s.quarantined,
         s.bytes,
-        s.superseded
+        s.superseded,
+        s.reclaimed
     );
     Ok(())
 }
@@ -667,6 +688,51 @@ fn store_compact(dir: &std::path::Path) -> Result<(), String> {
         c.bytes_before,
         c.bytes_after
     );
+    Ok(())
+}
+
+fn store_scrub(dir: &std::path::Path, json: bool) -> Result<(), String> {
+    let s = PackStore::scrub(dir).map_err(|e| format!("cannot scrub {}: {e}", dir.display()))?;
+    if json {
+        let value = Value::Map(vec![
+            ("dir".into(), Value::Str(dir.display().to_string())),
+            ("packs".into(), Value::U64(s.packs as u64)),
+            ("sidecars_bad".into(), Value::U64(s.sidecars_bad as u64)),
+            (
+                "records_scanned".into(),
+                Value::U64(s.records_scanned as u64),
+            ),
+            ("records_kept".into(), Value::U64(s.records_kept as u64)),
+            ("corrupt_spans".into(), Value::U64(s.corrupt_spans as u64)),
+            ("corrupt_bytes".into(), Value::U64(s.corrupt_bytes)),
+            ("bytes_before".into(), Value::U64(s.bytes_before)),
+            ("bytes_after".into(), Value::U64(s.bytes_after)),
+        ]);
+        let text =
+            serde_json::to_string_pretty(&value).map_err(|e| format!("serialize scrub: {e}"))?;
+        println!("{text}");
+        return Ok(());
+    }
+    println!(
+        "scrub dir={} packs={} sidecars_bad={} records_scanned={} records_kept={} \
+         corrupt_spans={} corrupt_bytes={} bytes_before={} bytes_after={}",
+        dir.display(),
+        s.packs,
+        s.sidecars_bad,
+        s.records_scanned,
+        s.records_kept,
+        s.corrupt_spans,
+        s.corrupt_bytes,
+        s.bytes_before,
+        s.bytes_after
+    );
+    if s.corrupt_spans > 0 {
+        eprintln!(
+            "scrub quarantined {} corrupt byte span(s); raw bytes kept under {}",
+            s.corrupt_spans,
+            dir.join("scrub-quarantine").display()
+        );
+    }
     Ok(())
 }
 
@@ -826,6 +892,20 @@ fn report_progress(
             ("quarantined".into(), Value::U64(hb.quarantined)),
             ("lane_high_water".into(), Value::U64(hb.lane_high_water)),
         ]);
+        if hb.store_retries > 0 || hb.store_degraded > 0 || hb.store_sync_failures > 0 {
+            md.push_str(&format!(
+                "store health: {} retried write(s), {} degradation(s), {} sync failure(s).\n",
+                hb.store_retries, hb.store_degraded, hb.store_sync_failures
+            ));
+            entries.extend([
+                ("store_retries".into(), Value::U64(hb.store_retries)),
+                ("store_degraded".into(), Value::U64(hb.store_degraded)),
+                (
+                    "store_sync_failures".into(),
+                    Value::U64(hb.store_sync_failures),
+                ),
+            ]);
+        }
         if hb.batch_ticks > 0 {
             md.push_str(&format!(
                 "batch grouping `{}`: {} of {} instants multi-lane \
@@ -955,7 +1035,7 @@ fn campaign_report(args: &ReportArgs) -> Result<(), String> {
     let mut md = String::from("# Campaign report\n");
     let mut json: Vec<(String, Value)> = Vec::new();
     let decided = match (&args.store, &args.manifest) {
-        (Some(dir), _) => Some(open_pack_store(dir)?.decided_entries()),
+        (Some(dir), _) => Some(open_pack_store(dir, Durability::default())?.decided_entries()),
         (None, Some(path)) => Some(
             SweepManifest::open(path)
                 .map_err(|e| format!("cannot open manifest {}: {e}", path.display()))?
@@ -998,17 +1078,22 @@ fn fault_sweep(args: &FaultSweepArgs) -> Result<(), String> {
     let pack = args
         .store
         .as_ref()
-        .map(|d| open_pack_store(d))
+        .map(|d| open_pack_store(d, args.durability))
         .transpose()?;
     let cache: Option<Box<dyn TrialStore>> = if pack.is_some() {
         None
     } else {
-        open_trial_store(&None, &args.cache)?
+        open_trial_store(&None, &args.cache, args.durability)?
     };
     let manifest = match &args.manifest {
         Some(path) => Some(
-            SweepManifest::open(path)
-                .map_err(|e| format!("cannot open manifest {}: {e}", path.display()))?,
+            SweepManifest::open_with(
+                path,
+                RealIo::shared(),
+                RetryPolicy::default(),
+                args.durability,
+            )
+            .map_err(|e| format!("cannot open manifest {}: {e}", path.display()))?,
         ),
         None => None,
     };
@@ -1115,7 +1200,17 @@ fn fault_sweep(args: &FaultSweepArgs) -> Result<(), String> {
     if let Some(s) = stats_ref {
         print_store_line(s);
     }
-    print_metrics(&report.exec, stats_ref);
+    // Merge recovery accounting across both store roles: the pack (or
+    // cache) on the trial path and the JSONL manifest on the decided
+    // path share one `store.*` metric namespace.
+    let mut health = IoHealth::default();
+    if let Some(s) = stats_ref {
+        health = health.merge(s.io_health());
+    }
+    if let Some(m) = &manifest {
+        health = health.merge(m.io_health());
+    }
+    print_metrics(&report.exec, stats_ref, &health);
     finish_telemetry(&telemetry, &args.trace)?;
     if args.expect_resumed && report.exec.simulated != 0 {
         return Err(format!(
@@ -1175,6 +1270,10 @@ where
             }
             "--batch-group" => out.batch_group = value()?.parse()?,
             "--store" => out.store = Some(PathBuf::from(value()?)),
+            "--durability" => {
+                out.durability = Durability::parse(&value()?)
+                    .ok_or_else(|| "--durability expects none, batch, or record".to_owned())?;
+            }
             "--cache" => out.cache = Some(PathBuf::from(value()?)),
             "--trace" => out.trace = Some(PathBuf::from(value()?)),
             "--progress" => out.progress = Some(PathBuf::from(value()?)),
@@ -1228,7 +1327,7 @@ where
 }
 
 fn sweep(args: &SweepArgs) -> Result<(), String> {
-    let store = open_trial_store(&args.store, &args.cache)?;
+    let store = open_trial_store(&args.store, &args.cache, args.durability)?;
     let store_ref = store.as_deref();
     let telemetry = build_telemetry(&args.trace, &args.progress, &None)?;
     let (figure, stats) = miss_rate_figure_grouped(
@@ -1267,7 +1366,8 @@ fn sweep(args: &SweepArgs) -> Result<(), String> {
     if let Some(s) = store_ref {
         print_store_line(s);
     }
-    print_metrics(&stats, store_ref);
+    let health = store_ref.map(|s| s.io_health()).unwrap_or_default();
+    print_metrics(&stats, store_ref, &health);
     finish_telemetry(&telemetry, &args.trace)?;
     if args.expect_warm && stats.simulated != 0 {
         return Err(format!(
@@ -1323,6 +1423,7 @@ fn run(cmd: Command) -> Result<(), ExpError> {
         Command::Report(args) => campaign_report(&args),
         Command::StoreStat { dir, json } => store_stat(&dir, json),
         Command::StoreCompact(dir) => store_compact(&dir),
+        Command::StoreScrub { dir, json } => store_scrub(&dir, json),
     };
     // Everything past parsing is the machine's fault, not the user's.
     result.map_err(ExpError::Runtime)
@@ -1425,9 +1526,22 @@ mod tests {
         let stored = parse_sweep(["--store", "/tmp/sweep-store"]).unwrap();
         assert_eq!(stored.store, Some(PathBuf::from("/tmp/sweep-store")));
         assert_eq!(stored.cache, None);
+        assert_eq!(stored.durability, Durability::Batch);
         assert!(parse_sweep(["--store", "/tmp/a", "--cache", "/tmp/b"])
             .unwrap_err()
             .contains("mutually exclusive"));
+
+        for (name, level) in [
+            ("none", Durability::None),
+            ("batch", Durability::Batch),
+            ("record", Durability::Record),
+        ] {
+            let parsed = parse_sweep(["--durability", name]).unwrap();
+            assert_eq!(parsed.durability, level);
+        }
+        assert!(parse_sweep(["--durability", "paranoid"])
+            .unwrap_err()
+            .contains("none, batch, or record"));
     }
 
     #[test]
@@ -1475,6 +1589,11 @@ mod tests {
 
         let stored = parse_fault_sweep(["--store", "/tmp/campaign"]).unwrap();
         assert_eq!(stored.store, Some(PathBuf::from("/tmp/campaign")));
+        assert_eq!(stored.durability, Durability::Batch);
+        let durable =
+            parse_fault_sweep(["--store", "/tmp/campaign", "--durability", "record"]).unwrap();
+        assert_eq!(durable.durability, Durability::Record);
+        assert!(parse_fault_sweep(["--durability", "fsync-everything"]).is_err());
         assert!(
             parse_fault_sweep(["--store", "/tmp/a", "--cache", "/tmp/b"])
                 .unwrap_err()
@@ -1559,7 +1678,22 @@ mod tests {
             Command::StoreCompact(dir) => assert_eq!(dir, PathBuf::from("/tmp/s")),
             other => panic!("wrong command: {other:?}"),
         }
+        match parse_command(["store", "scrub", "/tmp/s", "--json"]).unwrap() {
+            Command::StoreScrub { dir, json } => {
+                assert_eq!(dir, PathBuf::from("/tmp/s"));
+                assert!(json);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse_command(["store", "scrub", "/tmp/s"]).unwrap() {
+            Command::StoreScrub { dir, json } => {
+                assert_eq!(dir, PathBuf::from("/tmp/s"));
+                assert!(!json);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
         assert!(parse_command(["store"]).is_err());
+        assert!(parse_command(["store", "scrub"]).is_err());
         assert!(parse_command(["store", "stat"]).is_err());
         assert!(parse_command(["store", "prune", "/tmp/s"]).is_err());
         assert!(parse_command(["store", "stat", "/tmp/s", "extra"]).is_err());

@@ -23,13 +23,16 @@
 //! * Sampled storage levels round-trip as `f64::to_bits` integers, so a
 //!   warm-cache figure is bit-identical to a cold one.
 
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::scenario::{PaperScenario, PolicyKind};
 use harvest_core::result::SimResult;
+use harvest_obs::io::{IoCounters, IoHealth, RealIo, RetryPolicy, StoreIo};
 
 /// Version of the cached-trial contract. Participates in every key, so
 /// bumping it invalidates all prior entries. Bump whenever simulation
@@ -230,6 +233,9 @@ impl CacheStats {
 #[derive(Debug)]
 pub struct SweepCache {
     dir: PathBuf,
+    io: Arc<dyn StoreIo>,
+    retry: RetryPolicy,
+    counters: Arc<IoCounters>,
     hits: AtomicU64,
     misses: AtomicU64,
     rejects: AtomicU64,
@@ -240,10 +246,27 @@ pub struct SweepCache {
 impl SweepCache {
     /// Opens (and creates) a cache rooted at `dir`.
     pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Self::new_with(dir, RealIo::shared(), RetryPolicy::default())
+    }
+
+    /// [`new`](Self::new) with an explicit I/O backend and retry policy
+    /// (fault injection in tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns the IO error when the directory cannot be created.
+    pub fn new_with(
+        dir: impl Into<PathBuf>,
+        io: Arc<dyn StoreIo>,
+        retry: RetryPolicy,
+    ) -> std::io::Result<Self> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
+        io.create_dir_all(&dir)?;
         Ok(SweepCache {
             dir,
+            io,
+            retry,
+            counters: Arc::new(IoCounters::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             rejects: AtomicU64::new(0),
@@ -254,9 +277,12 @@ impl SweepCache {
 
     /// Builds the cache the environment asks for (see
     /// [`SWEEP_CACHE_ENV`]): `None` when disabled or unset. A directory
-    /// that cannot be created degrades gracefully — one warning on
-    /// stderr (per process), then the sweep runs uncached; a sweep must
-    /// not fail because its cache is unavailable.
+    /// that cannot be created degrades gracefully — a warning on
+    /// stderr, then the sweep runs uncached; a sweep must not fail
+    /// because its cache is unavailable. The warning fires on each
+    /// healthy→failing *transition* (not once per process), so a later
+    /// campaign re-probes a fixed directory and a later regression
+    /// warns again.
     pub fn from_env() -> Option<Self> {
         let raw = std::env::var(SWEEP_CACHE_ENV).ok()?;
         let raw = raw.trim();
@@ -268,16 +294,26 @@ impl SweepCache {
         } else {
             PathBuf::from(raw)
         };
+        // Tracks whether the last open attempt failed, so the warning
+        // fires on transitions instead of once-ever.
+        static FAILING: AtomicBool = AtomicBool::new(false);
         match SweepCache::new(&dir) {
-            Ok(cache) => Some(cache),
+            Ok(cache) => {
+                if FAILING.swap(false, Ordering::Relaxed) {
+                    eprintln!(
+                        "note: sweep cache at {} is reachable again; caching resumed",
+                        dir.display()
+                    );
+                }
+                Some(cache)
+            }
             Err(e) => {
-                static WARNED: std::sync::Once = std::sync::Once::new();
-                WARNED.call_once(|| {
+                if !FAILING.swap(true, Ordering::Relaxed) {
                     eprintln!(
                         "warning: cannot open sweep cache at {} ({e}); running uncached",
                         dir.display()
                     );
-                });
+                }
                 None
             }
         }
@@ -296,7 +332,7 @@ impl SweepCache {
     /// entry counts as a miss (and a reject) — never as data.
     pub fn get(&self, key: &TrialKey) -> Option<TrialSummary> {
         let path = self.entry_path(key);
-        let text = match std::fs::read_to_string(&path) {
+        let text = match self.io.read_to_string(&path) {
             Ok(t) => t,
             Err(_) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -342,12 +378,20 @@ impl SweepCache {
             key.fingerprint(),
             std::thread::current().id()
         ));
-        match std::fs::write(&tmp, &json).and_then(|()| std::fs::rename(&tmp, &path)) {
+        let result = self.retry.run(&self.counters, || {
+            let mut f = self.io.create(&tmp)?;
+            f.write_all(json.as_bytes())?;
+            f.flush()?;
+            drop(f);
+            self.io.rename(&tmp, &path)
+        });
+        match result {
             Ok(()) => {
                 self.stores.fetch_add(1, Ordering::Relaxed);
             }
             Err(e) => {
-                let _ = std::fs::remove_file(&tmp);
+                let _ = self.io.remove_file(&tmp);
+                self.counters.note_degraded();
                 if !self.write_degraded.swap(true, Ordering::Relaxed) {
                     eprintln!(
                         "warning: sweep cache at {} rejected a write ({e}); \
@@ -367,6 +411,18 @@ impl SweepCache {
             rejects: self.rejects.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
         }
+    }
+
+    /// Snapshot of this cache's recovery accounting (retries taken,
+    /// degradations).
+    pub fn io_health(&self) -> IoHealth {
+        self.counters.snapshot()
+    }
+
+    /// Clears a sticky write degradation so the next campaign re-probes
+    /// the directory instead of staying read-only for process lifetime.
+    pub fn reprobe(&self) {
+        self.write_degraded.store(false, Ordering::Relaxed);
     }
 }
 

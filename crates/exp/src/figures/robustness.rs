@@ -299,6 +299,13 @@ where
     let mut driver_sink = telemetry.sink(TID_DRIVER);
     let figure_start = driver_sink.as_ref().map(|s| s.start());
 
+    // A store that degraded in an earlier campaign re-probes its
+    // directory now: the failure may have been transient (disk full,
+    // unmounted share) and a new campaign deserves a fresh attempt.
+    if let Some(c) = store {
+        c.reprobe();
+    }
+
     let scenario_of = |intensity: f64, predictor: PredictorKind| {
         let mut s = PaperScenario::new(config.utilization, config.capacity)
             .with_predictor(predictor)
@@ -578,6 +585,14 @@ where
     if let Some(progress) = &telemetry.progress {
         progress.note_lane_high_water(exec.pool.batch_lane_high_water);
     }
+    // Batch-boundary durability barrier: every record the workers
+    // appended is synced before the campaign reports its figures.
+    if let Some(c) = store {
+        c.barrier();
+    }
+    if let Some(m) = manifest {
+        m.barrier();
+    }
     // Panic dumps: stashed by later batches on the same worker, or
     // still pending on the recorder when the panicked batch was the
     // worker's last. Each batch marked the ring with its first lane's
@@ -671,6 +686,23 @@ where
             decided,
         })
         .collect();
+
+    // Quarantine checkpoints appended after the mid-campaign barrier
+    // sync here; the recovery accounting they generated rides into the
+    // final heartbeat.
+    if let Some(m) = manifest {
+        m.barrier();
+    }
+    if let Some(progress) = &telemetry.progress {
+        let mut health = harvest_obs::IoHealth::default();
+        if let Some(c) = store {
+            health = health.merge(c.io_health());
+        }
+        if let Some(m) = manifest {
+            health = health.merge(m.io_health());
+        }
+        progress.note_store_health(health);
+    }
 
     if let (Some(sink), Some(t)) = (driver_sink.as_mut(), figure_start) {
         sink.record_with(

@@ -25,12 +25,13 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
 use crate::cache::TrialSummary;
 use crate::parallel::CellFailure;
+use harvest_obs::io::{Durability, IoCounters, IoHealth, RealIo, RetryPolicy, StoreFile, StoreIo};
 
 /// How a manifest remembers one decided cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,8 +66,10 @@ impl ManifestLine {
 
 #[derive(Debug)]
 struct ManifestState {
-    file: std::fs::File,
+    file: Box<dyn StoreFile>,
     entries: HashMap<String, CellOutcome>,
+    /// Lines appended since the last successful durability barrier.
+    dirty: u64,
 }
 
 /// A checkpoint file for one sweep campaign (see the module docs).
@@ -78,6 +81,9 @@ struct ManifestState {
 pub struct SweepManifest {
     path: PathBuf,
     resumed: usize,
+    retry: RetryPolicy,
+    durability: Durability,
+    counters: Arc<IoCounters>,
     state: Mutex<ManifestState>,
 }
 
@@ -91,8 +97,29 @@ impl SweepManifest {
     /// Returns the underlying IO error when the file cannot be read,
     /// truncated, or opened for append.
     pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Self::open_with(
+            path,
+            RealIo::shared(),
+            RetryPolicy::default(),
+            Durability::default(),
+        )
+    }
+
+    /// [`open`](Self::open) with an explicit I/O backend, retry policy,
+    /// and durability level (fault injection in tests; the
+    /// `--durability` flag).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`open`](Self::open).
+    pub fn open_with(
+        path: impl Into<PathBuf>,
+        io: Arc<dyn StoreIo>,
+        retry: RetryPolicy,
+        durability: Durability,
+    ) -> std::io::Result<Self> {
         let path = path.into();
-        let text = match std::fs::read_to_string(&path) {
+        let text = match io.read_to_string(&path) {
             Ok(t) => t,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
             Err(e) => return Err(e),
@@ -120,17 +147,20 @@ impl SweepManifest {
             }
         }
         if good < text.len() {
-            let f = std::fs::OpenOptions::new().write(true).open(&path)?;
-            f.set_len(good as u64)?;
+            io.truncate(&path, good as u64)?;
         }
-        let file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)?;
+        let file = io.open_append(&path)?;
         Ok(SweepManifest {
             path,
             resumed: entries.len(),
-            state: Mutex::new(ManifestState { file, entries }),
+            retry,
+            durability,
+            counters: Arc::new(IoCounters::default()),
+            state: Mutex::new(ManifestState {
+                file,
+                entries,
+                dirty: 0,
+            }),
         })
     }
 
@@ -198,10 +228,50 @@ impl SweepManifest {
         };
         let json = serde_json::to_string(&line).map_err(std::io::Error::other)?;
         let mut state = self.state.lock().expect("manifest lock");
-        writeln!(state.file, "{json}")?;
-        state.file.flush()?;
+        // Appends retry transients on the deterministic schedule. A
+        // retry after a partial write can tear this line; the reopen
+        // discipline (drop from the first undecodable chunk) then
+        // recomputes exactly the cells at or after the tear.
+        let state_ref = &mut *state;
+        self.retry.run(&self.counters, || {
+            writeln!(state_ref.file, "{json}")?;
+            state_ref.file.flush()
+        })?;
+        match self.durability {
+            Durability::Record => {
+                if state.file.sync_all().is_err() {
+                    self.counters.note_sync_failure();
+                }
+            }
+            Durability::Batch => state.dirty += 1,
+            Durability::None => {}
+        }
         state.entries.insert(key_text.to_owned(), outcome);
         Ok(())
+    }
+
+    /// Durability barrier: when running at [`Durability::Batch`], syncs
+    /// any lines appended since the last barrier. A sync failure is
+    /// counted (`store.sync_failures`) but does not fail the campaign —
+    /// the lines are still queued with the kernel.
+    pub fn barrier(&self) {
+        if self.durability != Durability::Batch {
+            return;
+        }
+        let mut state = self.state.lock().expect("manifest lock");
+        if state.dirty == 0 {
+            return;
+        }
+        state.dirty = 0;
+        if state.file.sync_all().is_err() {
+            self.counters.note_sync_failure();
+        }
+    }
+
+    /// Snapshot of this manifest's recovery accounting (retries taken,
+    /// sync failures).
+    pub fn io_health(&self) -> IoHealth {
+        self.counters.snapshot()
     }
 
     /// Checkpoints a cleanly decided cell.

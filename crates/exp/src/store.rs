@@ -35,14 +35,42 @@
 //! Writes append to one of a fixed set of writer slots (pack files named
 //! `pack-<pid>-<slot>-<n>.hpk`), created lazily with `O_EXCL`, so
 //! concurrent processes and threads never interleave bytes in one file.
-//! An IO failure never fails the run: the store warns once, flips into
-//! write-degraded mode, and keeps answering probes.
+//! An IO failure never fails the run: transient errors retry on the
+//! store's deterministic [`RetryPolicy`] schedule; persistent errors
+//! flip the store into write-degraded mode (one warning) and it keeps
+//! answering probes.
+//!
+//! Durability and recovery (PR 10):
+//!
+//! * Every filesystem touch goes through a [`StoreIo`] backend, so the
+//!   whole recovery discipline is testable under the deterministic
+//!   [`FaultyIo`](harvest_obs::FaultyIo) injector.
+//! * Writer slots are claimed through **advisory-locked lease files**
+//!   (`flock` on `lease-<slot>` with a `pid epoch` stamp). A crashed
+//!   process's flock dies with it, so the next writer takes the slot
+//!   over (bumping the epoch); [`PackStore::open`] reclaims dead-pid
+//!   packs by refreshing their sidecars, and [`PackStore::compact`] /
+//!   [`PackStore::scrub`] refuse to run while any lease is held by a
+//!   live writer.
+//! * A [`Durability`] knob decides when `sync_all` barriers run:
+//!   per-record, at batch boundaries ([`PackStore::barrier`], the
+//!   default), or never. Compaction and sidecar writes are
+//!   crash-consistent (write → sync → rename → unlink).
+//! * [`PackStore::scrub`] walks every pack byte-for-byte, resyncs past
+//!   mid-pack corruption, quarantines the corrupt spans into
+//!   `scrub-quarantine/`, and rewrites a clean store — the warm path
+//!   then re-simulates exactly the lost cells.
 
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
+
+use harvest_obs::io::{
+    pid_alive, read_lease_stamp, Durability, IoCounters, IoHealth, RealIo, RetryPolicy, StoreFile,
+    StoreIo,
+};
 
 use crate::cache::{fnv1a64, CacheStats, SweepCache, TrialKey, TrialSummary};
 use crate::manifest::{CellOutcome, SweepManifest};
@@ -105,6 +133,23 @@ pub trait TrialStore: Sync {
 
     /// Where the store lives (for reporting).
     fn location(&self) -> &Path;
+
+    /// Durability barrier: flush and sync everything appended since the
+    /// last barrier. Campaign drivers call this at batch checkpoints;
+    /// the default is a no-op for backends with nothing buffered.
+    fn barrier(&self) {}
+
+    /// Retry/degradation/sync accounting for this backend. Defaults to
+    /// a clean snapshot for backends without an I/O seam.
+    fn io_health(&self) -> IoHealth {
+        IoHealth::default()
+    }
+
+    /// Re-probe a degraded backend: a store that degraded to read-only
+    /// in an earlier campaign re-arms its write path so the next
+    /// campaign retries the directory (the disk may have recovered).
+    /// No-op by default and on healthy stores.
+    fn reprobe(&self) {}
 }
 
 impl TrialStore for SweepCache {
@@ -122,6 +167,14 @@ impl TrialStore for SweepCache {
 
     fn location(&self) -> &Path {
         self.dir()
+    }
+
+    fn io_health(&self) -> IoHealth {
+        SweepCache::io_health(self)
+    }
+
+    fn reprobe(&self) {
+        SweepCache::reprobe(self);
     }
 }
 
@@ -151,6 +204,15 @@ pub trait DecidedStore: Sync {
     /// How many decided cells were loaded at open — the cells a resumed
     /// campaign will not re-simulate.
     fn resumed(&self) -> usize;
+
+    /// Durability barrier: sync every record checkpointed since the
+    /// last barrier (see [`TrialStore::barrier`]).
+    fn barrier(&self) {}
+
+    /// Retry/degradation/sync accounting (see [`TrialStore::io_health`]).
+    fn io_health(&self) -> IoHealth {
+        IoHealth::default()
+    }
 }
 
 impl DecidedStore for SweepManifest {
@@ -168,6 +230,14 @@ impl DecidedStore for SweepManifest {
 
     fn resumed(&self) -> usize {
         SweepManifest::resumed(self)
+    }
+
+    fn barrier(&self) {
+        SweepManifest::barrier(self);
+    }
+
+    fn io_health(&self) -> IoHealth {
+        SweepManifest::io_health(self)
     }
 }
 
@@ -422,8 +492,122 @@ struct Inner {
     index: HashMap<u64, Loc>,
 }
 
+/// An advisory-locked claim on one global writer slot: the open,
+/// `flock`ed lease file plus the epoch this writer stamped into it.
+/// Dropping the lease (process exit included, even by SIGKILL) releases
+/// the flock, so the slot is always recoverable.
+struct WriterLease {
+    /// Held open for the lifetime of the writer; the flock lives here.
+    _file: std::fs::File,
+    /// The global slot number this lease claims.
+    slot: usize,
+    /// The epoch stamped by this writer (predecessor's epoch + 1).
+    epoch: u64,
+    /// Whether this acquisition took the slot over from a dead process
+    /// (a stale lease left by a crash).
+    took_over: bool,
+}
+
+/// Lease file name for a global writer slot.
+fn lease_path(dir: &Path, slot: usize) -> PathBuf {
+    dir.join(format!("lease-{slot}"))
+}
+
+/// Claims the first free global writer slot at or after `preferred`,
+/// scanning upward without bound (two concurrent processes simply
+/// occupy disjoint slot ranges; nothing ever blocks). The lease file is
+/// `flock`ed exclusively and stamped `pid epoch`.
+fn acquire_lease(dir: &Path, preferred: usize) -> std::io::Result<WriterLease> {
+    let mut slot = preferred;
+    loop {
+        let path = lease_path(dir, slot);
+        // No truncate here: a prior holder's stamp must survive the
+        // open so takeover detection can read it before restamping.
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        match file.try_lock() {
+            Ok(()) => {
+                let prior = read_lease_stamp(&mut file);
+                let epoch = prior.map_or(0, |(_, e)| e.wrapping_add(1));
+                let took_over =
+                    prior.is_some_and(|(pid, _)| pid != std::process::id() && !pid_alive(pid));
+                file.set_len(0)?;
+                {
+                    use std::io::Seek as _;
+                    file.seek(std::io::SeekFrom::Start(0))?;
+                }
+                file.write_all(format!("{} {epoch}\n", std::process::id()).as_bytes())?;
+                let _ = file.sync_all();
+                return Ok(WriterLease {
+                    _file: file,
+                    slot,
+                    epoch,
+                    took_over,
+                });
+            }
+            Err(std::fs::TryLockError::WouldBlock) => slot += 1,
+            Err(std::fs::TryLockError::Error(e)) => return Err(e),
+        }
+    }
+}
+
+/// Every lease file currently present in `dir`, as `(slot, path)`.
+fn lease_files(dir: &Path) -> Vec<(usize, PathBuf)> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut out: Vec<(usize, PathBuf)> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter_map(|p| {
+            let slot = p
+                .file_name()?
+                .to_str()?
+                .strip_prefix("lease-")?
+                .parse()
+                .ok()?;
+            Some((slot, p))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Returns the pids of live writers holding leases in `dir` (their
+/// lease flocks are currently held by running processes).
+fn live_lease_holders(dir: &Path) -> Vec<u32> {
+    let mut holders = Vec::new();
+    for (_, path) in lease_files(dir) {
+        let Ok(mut file) = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+        else {
+            continue;
+        };
+        match file.try_lock() {
+            Ok(()) => {
+                // Free lease: released before drop closes the file.
+                let _ = file.unlock();
+            }
+            Err(_) => {
+                let pid = read_lease_stamp(&mut file).map_or(0, |(pid, _)| pid);
+                holders.push(pid);
+            }
+        }
+    }
+    holders
+}
+
 struct Writer {
-    file: std::fs::File,
+    file: Box<dyn StoreFile>,
+    /// The flock-backed claim on this writer's global slot; released
+    /// when the writer is dropped.
+    _lease: WriterLease,
     pack: usize,
     /// Current file length — the offset the next record lands at. The
     /// slot mutex makes this exact: only this writer appends here.
@@ -437,14 +621,21 @@ struct Writer {
 /// counters are atomic.
 pub struct PackStore {
     dir: PathBuf,
+    io: Arc<dyn StoreIo>,
+    retry: RetryPolicy,
+    durability: Durability,
+    counters: Arc<IoCounters>,
     inner: RwLock<Inner>,
     writers: [Mutex<Option<Writer>>; WRITER_SLOTS],
     loaded: usize,
+    reclaimed: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     rejects: AtomicU64,
     stores: AtomicU64,
     write_degraded: AtomicBool,
+    /// Records appended since the last successful durability barrier.
+    dirty: AtomicU64,
 }
 
 impl std::fmt::Debug for PackStore {
@@ -452,6 +643,7 @@ impl std::fmt::Debug for PackStore {
         f.debug_struct("PackStore")
             .field("dir", &self.dir)
             .field("loaded", &self.loaded)
+            .field("durability", &self.durability)
             .finish_non_exhaustive()
     }
 }
@@ -472,6 +664,9 @@ pub struct StoreStat {
     pub superseded: usize,
     /// Total pack bytes on disk (after any torn-tail truncation).
     pub bytes: u64,
+    /// Packs left behind by dead writer processes (stale leases) that
+    /// this open folded back into the readable set.
+    pub reclaimed: usize,
 }
 
 /// What [`PackStore::compact`] did.
@@ -489,6 +684,29 @@ pub struct CompactStats {
     pub bytes_after: u64,
 }
 
+/// What [`PackStore::scrub`] found and repaired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScrubStats {
+    /// Pack files scanned.
+    pub packs: usize,
+    /// Sidecar indexes that failed verification (rewritten fresh).
+    pub sidecars_bad: usize,
+    /// Checksum-valid records found across all packs (superseded
+    /// duplicates included).
+    pub records_scanned: usize,
+    /// Live records written to the clean store.
+    pub records_kept: usize,
+    /// Corrupt byte spans quarantined (each span is one torn, bit-
+    /// flipped, or truncated region between two valid records).
+    pub corrupt_spans: usize,
+    /// Bytes moved into `scrub-quarantine/`.
+    pub corrupt_bytes: u64,
+    /// Pack bytes before the rewrite.
+    pub bytes_before: u64,
+    /// Pack bytes after the rewrite.
+    pub bytes_after: u64,
+}
+
 impl PackStore {
     /// Opens (and creates) a store rooted at `dir`, loading every pack
     /// into memory. Torn or corrupt pack tails are truncated away (their
@@ -501,11 +719,55 @@ impl PackStore {
     /// Returns the underlying IO error when the directory cannot be
     /// created or listed. Per-pack read errors skip that pack only.
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Self::open_with(
+            dir,
+            RealIo::shared(),
+            RetryPolicy::default(),
+            Durability::default(),
+        )
+    }
+
+    /// [`open`](Self::open) with an explicit I/O backend, retry policy,
+    /// and durability level — the constructor every recovery test and
+    /// the `--durability` flag go through.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`open`](Self::open).
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        io: Arc<dyn StoreIo>,
+        retry: RetryPolicy,
+        durability: Durability,
+    ) -> std::io::Result<Self> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
-        let mut pack_paths: Vec<PathBuf> = std::fs::read_dir(&dir)?
-            .filter_map(|e| e.ok())
-            .map(|e| e.path())
+        io.create_dir_all(&dir)?;
+        // Stale writer-slot reclamation: slots whose lease is free but
+        // stamped with a dead pid were abandoned by a crash. Their
+        // packs load like any other below; noting the dead pids here
+        // lets open refresh the sidecars those writers never wrote.
+        let mut dead_pids: Vec<u32> = Vec::new();
+        for (_, lease) in lease_files(&dir) {
+            let Ok(mut file) = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&lease)
+            else {
+                continue;
+            };
+            if file.try_lock().is_err() {
+                continue; // held by a live writer
+            }
+            if let Some((pid, _)) = read_lease_stamp(&mut file) {
+                if pid != std::process::id() && !pid_alive(pid) {
+                    dead_pids.push(pid);
+                }
+            }
+            let _ = file.unlock();
+        }
+        let mut pack_paths: Vec<PathBuf> = io
+            .read_dir(&dir)?
+            .into_iter()
             .filter(|p| p.extension().is_some_and(|x| x == "hpk"))
             .collect();
         // Deterministic load order makes cross-pack last-wins stable.
@@ -513,8 +775,10 @@ impl PackStore {
 
         let mut packs = Vec::with_capacity(pack_paths.len());
         let mut index: HashMap<u64, Loc> = HashMap::new();
+        let mut reclaimed = 0usize;
+        let mut reclaimed_packs: Vec<usize> = Vec::new();
         for path in pack_paths {
-            let Ok(mut data) = std::fs::read(&path) else {
+            let Ok(mut data) = io.read(&path) else {
                 continue;
             };
             if data.len() < PACK_MAGIC.len() || data[..PACK_MAGIC.len()] != PACK_MAGIC {
@@ -522,7 +786,8 @@ impl PackStore {
             }
             let pack_idx = packs.len();
             let mut scan_from = PACK_MAGIC.len();
-            if let Some((covered, entries)) = std::fs::read(idx_path_for(&path))
+            let sidecar_applied = if let Some((covered, entries)) = io
+                .read(&idx_path_for(&path))
                 .ok()
                 .and_then(|idx| decode_index(&idx, data.len()))
             {
@@ -537,7 +802,10 @@ impl PackStore {
                     );
                 }
                 scan_from = covered;
-            }
+                covered == data.len()
+            } else {
+                false
+            };
             // Scan the tail (the whole pack when no sidecar applied),
             // truncating at the first torn or corrupt record.
             let mut at = scan_from;
@@ -558,25 +826,47 @@ impl PackStore {
             if at < data.len() {
                 // Torn tail: drop it on disk too (best effort — a
                 // read-only store still serves the good prefix).
-                if let Ok(f) = std::fs::OpenOptions::new().write(true).open(&path) {
-                    let _ = f.set_len(at as u64);
-                }
+                let _ = io.truncate(&path, at as u64);
                 data.truncate(at);
+            }
+            let from_dead_writer = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_prefix("pack-"))
+                .and_then(|n| n.split('-').next())
+                .and_then(|pid| pid.parse::<u32>().ok())
+                .is_some_and(|pid| dead_pids.contains(&pid));
+            if from_dead_writer && !sidecar_applied {
+                // A crashed writer's pack without a current sidecar:
+                // folded into the readable set like any pack, plus a
+                // fresh sidecar below so future opens skip the scan.
+                reclaimed += 1;
+                reclaimed_packs.push(pack_idx);
             }
             packs.push(PackBuf { path, data });
         }
         let loaded = index.len();
-        Ok(PackStore {
+        let store = PackStore {
             dir,
+            io,
+            retry,
+            durability,
+            counters: Arc::new(IoCounters::default()),
             inner: RwLock::new(Inner { packs, index }),
             writers: std::array::from_fn(|_| Mutex::new(None)),
             loaded,
+            reclaimed,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             rejects: AtomicU64::new(0),
             stores: AtomicU64::new(0),
             write_degraded: AtomicBool::new(false),
-        })
+            dirty: AtomicU64::new(0),
+        };
+        if !reclaimed_packs.is_empty() {
+            store.write_indexes_for(&reclaimed_packs);
+        }
+        Ok(store)
     }
 
     /// The store's root directory.
@@ -683,10 +973,59 @@ impl PackStore {
                 *guard = Some(self.open_writer(slot)?);
             }
             let writer = guard.as_mut().expect("writer just ensured");
-            writer.file.write_all(&record)?;
-            writer.file.flush()?;
+            // Raw write loop: absorb short writes; retry transient
+            // errors with bounded deterministic backoff. Any persistent
+            // failure rolls the pack back to the record boundary below,
+            // so a half-written record never precedes a good one.
+            let mut written = 0usize;
+            let mut retries_left = self.retry.attempts.saturating_sub(1);
+            let mut retry_no = 0u32;
+            let write_ok = loop {
+                if written == record.len() {
+                    break true;
+                }
+                match writer.file.write(&record[written..]) {
+                    Ok(0) => break false,
+                    Ok(n) => written += n,
+                    Err(e) if RetryPolicy::is_transient(&e) && retries_left > 0 => {
+                        retries_left -= 1;
+                        self.counters.note_retry();
+                        std::thread::sleep(self.retry.backoff(retry_no));
+                        retry_no += 1;
+                    }
+                    Err(_) => break false,
+                }
+            };
+            let flush_ok = write_ok && writer.file.flush().is_ok();
+            let sync_ok = if flush_ok && self.durability == Durability::Record {
+                let ok = writer.file.sync_all().is_ok();
+                if !ok {
+                    self.counters.note_sync_failure();
+                }
+                ok
+            } else {
+                flush_ok
+            };
+            if !sync_ok {
+                // Roll the pack file back to the last good record so
+                // the on-disk prefix stays clean. If even the truncate
+                // fails, abandon this writer: the next append opens a
+                // fresh pack and the torn tail is dropped at next open.
+                let len = writer.len as u64;
+                let path = {
+                    let inner = self.inner.read().expect("store lock");
+                    inner.packs[writer.pack].path.clone()
+                };
+                if self.io.truncate(&path, len).is_err() {
+                    *guard = None;
+                }
+                return Err(std::io::Error::other("store append failed"));
+            }
             let offset = writer.len;
             writer.len += record.len();
+            if self.durability == Durability::Batch {
+                self.dirty.fetch_add(1, Ordering::Relaxed);
+            }
             let mut inner = self.inner.write().expect("store lock");
             let pack = writer.pack;
             inner.packs[pack].data.extend_from_slice(&record);
@@ -698,6 +1037,7 @@ impl PackStore {
                 self.stores.fetch_add(1, Ordering::Relaxed);
             }
             Err(e) => {
+                self.counters.note_degraded();
                 if !self.write_degraded.swap(true, Ordering::Relaxed) {
                     eprintln!(
                         "warning: sweep store at {} rejected a write ({e}); \
@@ -710,25 +1050,44 @@ impl PackStore {
         result
     }
 
-    /// Creates this slot's pack file (`O_EXCL`, bumping a counter until
-    /// the name is free) and registers its in-memory mirror.
+    /// Acquires an advisory writer lease, then creates that lease
+    /// slot's pack file (`O_EXCL`, bumping a counter until the name is
+    /// free) and registers its in-memory mirror. The lease's `flock`
+    /// makes two processes sharing the directory claim disjoint slots;
+    /// it drops with the file handle on any process exit, so a crashed
+    /// writer's slot is immediately reclaimable.
     fn open_writer(&self, slot: usize) -> std::io::Result<Writer> {
+        let lease = acquire_lease(&self.dir, slot)?;
+        if lease.took_over {
+            eprintln!(
+                "note: sweep store at {} took over stale writer lease {} (epoch {})",
+                self.dir.display(),
+                lease.slot,
+                lease.epoch
+            );
+        }
         let pid = std::process::id();
         let mut n = 0usize;
         let (path, file) = loop {
-            let path = self.dir.join(format!("pack-{pid}-{slot}-{n}.hpk"));
-            match std::fs::OpenOptions::new()
-                .write(true)
-                .create_new(true)
-                .open(&path)
-            {
+            let path = self.dir.join(format!("pack-{pid}-{}-{n}.hpk", lease.slot));
+            match self.io.create_new(&path) {
                 Ok(f) => break (path, f),
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => n += 1,
                 Err(e) => return Err(e),
             }
         };
         let mut file = file;
-        file.write_all(&PACK_MAGIC)?;
+        if let Err(e) = self
+            .retry
+            .run(&self.counters, || file.write_all(&PACK_MAGIC))
+        {
+            // A pack that never got its full header is useless and
+            // would read as corruption; unlink it rather than leave
+            // a headerless stub for scrub to quarantine.
+            drop(file);
+            let _ = self.io.remove_file(&path);
+            return Err(e);
+        }
         let mut inner = self.inner.write().expect("store lock");
         let pack = inner.packs.len();
         inner.packs.push(PackBuf {
@@ -737,6 +1096,7 @@ impl PackStore {
         });
         Ok(Writer {
             file,
+            _lease: lease,
             pack,
             len: PACK_MAGIC.len(),
         })
@@ -746,8 +1106,23 @@ impl PackStore {
     /// open skips the full scan. Best-effort: sidecars are pure
     /// acceleration, so failures are ignored.
     pub fn write_indexes(&self) {
+        let all: Vec<usize> = {
+            let inner = self.inner.read().expect("store lock");
+            (0..inner.packs.len()).collect()
+        };
+        self.write_indexes_for(&all);
+    }
+
+    /// [`write_indexes`](Self::write_indexes) restricted to the given
+    /// pack indices (used by open to refresh only reclaimed packs).
+    /// Sidecars are written crash-consistently: tmp file, sync (unless
+    /// durability is `None`), then rename over the live name.
+    fn write_indexes_for(&self, packs: &[usize]) {
         let inner = self.inner.read().expect("store lock");
-        for (pi, pack) in inner.packs.iter().enumerate() {
+        for &pi in packs {
+            let Some(pack) = inner.packs.get(pi) else {
+                continue;
+            };
             let entries: Vec<IdxEntry> = inner
                 .index
                 .iter()
@@ -760,11 +1135,20 @@ impl PackStore {
                 .collect();
             let bytes = encode_index(pack.data.len(), &entries);
             let tmp = pack.path.with_extension("idx.tmp");
-            if std::fs::write(&tmp, &bytes)
-                .and_then(|()| std::fs::rename(&tmp, idx_path_for(&pack.path)))
+            let write_synced = (|| -> std::io::Result<()> {
+                let mut f = self.io.create(&tmp)?;
+                f.write_all(&bytes)?;
+                f.flush()?;
+                if self.durability != Durability::None {
+                    f.sync_all()?;
+                }
+                Ok(())
+            })();
+            if write_synced
+                .and_then(|()| self.io.rename(&tmp, &idx_path_for(&pack.path)))
                 .is_err()
             {
-                let _ = std::fs::remove_file(&tmp);
+                let _ = self.io.remove_file(&tmp);
             }
         }
     }
@@ -868,6 +1252,7 @@ impl PackStore {
             quarantined: inner.index.len() - done,
             superseded: on_disk - inner.index.len(),
             bytes: inner.packs.iter().map(|p| p.data.len() as u64).sum(),
+            reclaimed: store.reclaimed,
         })
     }
 
@@ -895,8 +1280,12 @@ impl PackStore {
 
     /// Offline compaction: merges every pack into one, keeping only the
     /// latest record per key, writes a fresh sidecar, and removes the
-    /// superseded packs. Run it between campaigns — concurrent writers
-    /// to the same directory would race the removal.
+    /// superseded packs. Refuses to run while any process holds a
+    /// writer lease on the directory — concurrent writers would race
+    /// the removal. The merge is crash-consistent: pack and sidecar
+    /// are written to tmp names, synced, renamed into place, and only
+    /// then are the superseded packs unlinked, so a crash at any point
+    /// leaves either the old store or the new one, never neither.
     ///
     /// # Errors
     ///
@@ -904,6 +1293,12 @@ impl PackStore {
     /// original packs are only removed after the merge landed.
     pub fn compact(dir: impl Into<PathBuf>) -> std::io::Result<CompactStats> {
         let dir = dir.into();
+        let holders = live_lease_holders(&dir);
+        if !holders.is_empty() {
+            return Err(std::io::Error::other(format!(
+                "store has live writers (pids {holders:?}); compact between campaigns"
+            )));
+        }
         let store = PackStore::open(&dir)?;
         let inner = store.inner.read().expect("store lock");
         let bytes_before: u64 = inner.packs.iter().map(|p| p.data.len() as u64).sum();
@@ -934,15 +1329,13 @@ impl PackStore {
             });
         }
         let merged_path = dir.join(format!("pack-{}-merged-0.hpk", std::process::id()));
-        let tmp = merged_path.with_extension("hpk.tmp");
-        std::fs::write(&tmp, &merged)?;
-        std::fs::rename(&tmp, &merged_path)?;
         let idx = encode_index(merged.len(), &entries);
-        std::fs::write(idx_path_for(&merged_path), idx)?;
+        write_synced_then_rename(store.io.as_ref(), &merged_path, &merged)?;
+        write_synced_then_rename(store.io.as_ref(), &idx_path_for(&merged_path), &idx)?;
         for pack in &inner.packs {
             if pack.path != merged_path {
-                let _ = std::fs::remove_file(&pack.path);
-                let _ = std::fs::remove_file(idx_path_for(&pack.path));
+                let _ = store.io.remove_file(&pack.path);
+                let _ = store.io.remove_file(&idx_path_for(&pack.path));
             }
         }
         Ok(CompactStats {
@@ -953,6 +1346,207 @@ impl PackStore {
             bytes_after: merged.len() as u64,
         })
     }
+
+    /// Scrub-and-repair: verifies every record checksum across every
+    /// pack by raw byte scan (ignoring sidecars, which are themselves
+    /// verified against the scan), quarantines corrupt byte spans into
+    /// a `scrub-quarantine/` pack, and rewrites a clean store
+    /// crash-consistently. Refuses to run while any process holds a
+    /// writer lease.
+    ///
+    /// Because decided keys live in record bodies, the cells lost to a
+    /// corrupt span simply disappear from the decided set — the next
+    /// warm campaign re-simulates exactly those cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns the IO error when the store cannot be opened or the
+    /// clean rewrite cannot land (the original packs are untouched in
+    /// that case).
+    pub fn scrub(dir: impl Into<PathBuf>) -> std::io::Result<ScrubStats> {
+        Self::scrub_with(dir, RealIo::shared())
+    }
+
+    /// [`scrub`](Self::scrub) with an explicit I/O backend (fault
+    /// injection in tests).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`scrub`](Self::scrub).
+    pub fn scrub_with(
+        dir: impl Into<PathBuf>,
+        io: Arc<dyn StoreIo>,
+    ) -> std::io::Result<ScrubStats> {
+        let dir = dir.into();
+        let holders = live_lease_holders(&dir);
+        if !holders.is_empty() {
+            return Err(std::io::Error::other(format!(
+                "store has live writers (pids {holders:?}); scrub between campaigns"
+            )));
+        }
+        let mut pack_paths: Vec<PathBuf> = io
+            .read_dir(&dir)?
+            .into_iter()
+            .filter(|p| p.extension().is_some_and(|x| x == "hpk"))
+            .collect();
+        pack_paths.sort();
+
+        let mut stats = ScrubStats::default();
+        // Last-wins per fingerprint in (pack, offset) scan order, same
+        // discipline as open. A surviving record is (key fingerprint →
+        // raw bytes); corrupt spans accumulate for quarantine.
+        let mut live: HashMap<u64, (usize, Vec<u8>)> = HashMap::new();
+        let mut order = 0usize;
+        let mut quarantine: Vec<u8> = Vec::new();
+        for path in &pack_paths {
+            let Ok(data) = io.read(path) else { continue };
+            stats.packs += 1;
+            stats.bytes_before += data.len() as u64;
+            if data.len() < PACK_MAGIC.len() || data[..PACK_MAGIC.len()] != PACK_MAGIC {
+                stats.sidecars_bad += usize::from(io.exists(&idx_path_for(path)));
+                stats.corrupt_spans += 1;
+                stats.corrupt_bytes += data.len() as u64;
+                quarantine.extend_from_slice(&data);
+                continue;
+            }
+            // Sidecar health: a sidecar that does not decode against
+            // this pack (or points past its end) is counted bad; all
+            // sidecars are rewritten from scratch below either way.
+            let idx_path = idx_path_for(path);
+            if io.exists(&idx_path) {
+                let ok = io
+                    .read(&idx_path)
+                    .ok()
+                    .and_then(|idx| decode_index(&idx, data.len()))
+                    .is_some();
+                if !ok {
+                    stats.sidecars_bad += 1;
+                }
+            }
+            let mut at = PACK_MAGIC.len();
+            let mut bad_from: Option<usize> = None;
+            while at < data.len() {
+                if let Some(rec) = decode_record(&data, at) {
+                    if let Some(start) = bad_from.take() {
+                        stats.corrupt_spans += 1;
+                        stats.corrupt_bytes += (at - start) as u64;
+                        quarantine.extend_from_slice(&data[start..at]);
+                    }
+                    stats.records_scanned += 1;
+                    let fp = fnv1a64(rec.key_text.as_bytes());
+                    live.insert(fp, (order, data[at..rec.next].to_vec()));
+                    order += 1;
+                    at = rec.next;
+                } else {
+                    // Corrupt or torn: resync byte-by-byte until a
+                    // record decodes again (or the pack ends).
+                    if bad_from.is_none() {
+                        bad_from = Some(at);
+                    }
+                    at += 1;
+                }
+            }
+            if let Some(start) = bad_from.take() {
+                stats.corrupt_spans += 1;
+                stats.corrupt_bytes += (data.len() - start) as u64;
+                quarantine.extend_from_slice(&data[start..]);
+            }
+        }
+        stats.records_kept = live.len();
+
+        // Quarantined bytes land first — losing data silently is the
+        // one thing a scrub must never do.
+        if !quarantine.is_empty() {
+            let qdir = dir.join("scrub-quarantine");
+            io.create_dir_all(&qdir)?;
+            let mut n = 0usize;
+            let qpath = loop {
+                let p = qdir.join(format!("quarantine-{n}.bin"));
+                if !io.exists(&p) {
+                    break p;
+                }
+                n += 1;
+            };
+            let mut f = io.create_new(&qpath)?;
+            f.write_all(&quarantine)?;
+            f.flush()?;
+            f.sync_all()?;
+        }
+
+        // Clean rewrite: one merged pack + sidecar, tmp → sync →
+        // rename, then unlink the old packs.
+        let mut survivors: Vec<&(usize, Vec<u8>)> = live.values().collect();
+        survivors.sort_by_key(|(ord, _)| *ord);
+        let mut merged = PACK_MAGIC.to_vec();
+        let mut entries = Vec::with_capacity(survivors.len());
+        for (_, bytes) in survivors {
+            let offset = merged.len();
+            merged.extend_from_slice(bytes);
+            let rec = decode_record(&merged, offset).expect("survivor record decodes");
+            entries.push(IdxEntry {
+                fingerprint: fnv1a64(rec.key_text.as_bytes()),
+                offset,
+                kind: rec.kind,
+            });
+        }
+        let merged_path = dir.join(format!("pack-{}-scrubbed-0.hpk", std::process::id()));
+        let idx = encode_index(merged.len(), &entries);
+        write_synced_then_rename(io.as_ref(), &merged_path, &merged)?;
+        write_synced_then_rename(io.as_ref(), &idx_path_for(&merged_path), &idx)?;
+        for path in &pack_paths {
+            if *path != merged_path {
+                let _ = io.remove_file(path);
+                let _ = io.remove_file(&idx_path_for(path));
+            }
+        }
+        stats.bytes_after = merged.len() as u64;
+        Ok(stats)
+    }
+
+    /// Durability barrier: when running at [`Durability::Batch`],
+    /// syncs every writer that appended since the last barrier. A
+    /// sync failure is counted (`store.sync_failures`) but does not
+    /// degrade the store — the bytes are still queued with the kernel.
+    pub fn barrier(&self) {
+        if self.durability != Durability::Batch {
+            return;
+        }
+        if self.dirty.swap(0, Ordering::Relaxed) == 0 {
+            return;
+        }
+        for slot in &self.writers {
+            let mut guard = slot.lock().expect("writer lock");
+            if let Some(writer) = guard.as_mut() {
+                if writer.file.sync_all().is_err() {
+                    self.counters.note_sync_failure();
+                }
+            }
+        }
+    }
+
+    /// Snapshot of this store's recovery accounting (retries taken,
+    /// degradations, sync failures).
+    pub fn io_health(&self) -> IoHealth {
+        self.counters.snapshot()
+    }
+
+    /// Clears a sticky write degradation so the next campaign re-probes
+    /// the directory instead of staying read-only for process lifetime.
+    pub fn reprobe(&self) {
+        self.write_degraded.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Crash-consistent publish of `bytes` at `path`: write `path.tmp`,
+/// flush + `sync_all`, then rename over the live name.
+fn write_synced_then_rename(io: &dyn StoreIo, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut f = io.create(&tmp)?;
+    f.write_all(bytes)?;
+    f.flush()?;
+    f.sync_all()?;
+    drop(f);
+    io.rename(&tmp, path)
 }
 
 impl TrialStore for PackStore {
@@ -1027,6 +1621,18 @@ impl TrialStore for PackStore {
     fn location(&self) -> &Path {
         &self.dir
     }
+
+    fn barrier(&self) {
+        PackStore::barrier(self);
+    }
+
+    fn io_health(&self) -> IoHealth {
+        PackStore::io_health(self)
+    }
+
+    fn reprobe(&self) {
+        PackStore::reprobe(self);
+    }
 }
 
 impl DecidedStore for PackStore {
@@ -1059,12 +1665,22 @@ impl DecidedStore for PackStore {
     fn resumed(&self) -> usize {
         self.loaded
     }
+
+    fn barrier(&self) {
+        PackStore::barrier(self);
+    }
+
+    fn io_health(&self) -> IoHealth {
+        PackStore::io_health(self)
+    }
 }
 
 impl Drop for PackStore {
     fn drop(&mut self) {
-        // A clean close leaves fresh sidecars so the next open skips
-        // the full scan. Best-effort by design.
+        // A clean close syncs any batched appends and leaves fresh
+        // sidecars so the next open skips the full scan. Best-effort
+        // by design.
+        self.barrier();
         if self.stores.load(Ordering::Relaxed) > 0 && !self.write_degraded.load(Ordering::Relaxed) {
             self.write_indexes();
         }
@@ -1077,7 +1693,10 @@ impl Drop for PackStore {
 /// [`SWEEP_CACHE_ENV`](crate::cache::SWEEP_CACHE_ENV) (per-file cache).
 /// `None` when both are unset or
 /// disabled. An unopenable store directory degrades exactly like the
-/// cache: one warning on stderr, then the sweep runs unstored.
+/// cache: a warning on stderr, then the sweep runs unstored. The
+/// warning fires on each healthy→failing *transition* (not once per
+/// process), so a campaign after the directory is fixed re-probes and
+/// a later regression warns again.
 pub fn store_from_env() -> Option<Box<dyn TrialStore>> {
     if let Ok(raw) = std::env::var(SWEEP_STORE_ENV) {
         let raw = raw.trim();
@@ -1087,19 +1706,27 @@ pub fn store_from_env() -> Option<Box<dyn TrialStore>> {
             } else {
                 PathBuf::from(raw)
             };
+            // Tracks whether the last open attempt failed, so the
+            // warning fires on transitions instead of once-ever.
+            static FAILING: AtomicBool = AtomicBool::new(false);
             return match PackStore::open(&dir) {
                 Ok(store) => {
+                    if FAILING.swap(false, Ordering::Relaxed) {
+                        eprintln!(
+                            "note: sweep store at {} is reachable again; storing resumed",
+                            dir.display()
+                        );
+                    }
                     let _ = store.migrate_legacy(DEFAULT_LEGACY_CACHE_DIR);
                     Some(Box::new(store))
                 }
                 Err(e) => {
-                    static WARNED: std::sync::Once = std::sync::Once::new();
-                    WARNED.call_once(|| {
+                    if !FAILING.swap(true, Ordering::Relaxed) {
                         eprintln!(
                             "warning: cannot open sweep store at {} ({e}); running uncached",
                             dir.display()
                         );
-                    });
+                    }
                     None
                 }
             };

@@ -230,3 +230,200 @@ fn store_and_cache_flags_are_mutually_exclusive() {
         );
     }
 }
+
+/// A flipped byte mid-record: `store scrub` quarantines exactly that
+/// record, keeps the rest, and the next warm run re-simulates exactly
+/// the one lost cell back to the original figure digest.
+#[test]
+fn scrub_quarantines_a_corrupted_record_and_the_cell_recomputes() {
+    let dir = scratch_dir("scrub");
+    let args = |extra: &[&str]| {
+        let mut v = vec![
+            "sweep".to_owned(),
+            "--util".to_owned(),
+            "0.4".to_owned(),
+            "--trials".to_owned(),
+            "1".to_owned(),
+            "--threads".to_owned(),
+            "2".to_owned(),
+            "--store".to_owned(),
+            dir.to_str().unwrap().to_owned(),
+        ];
+        v.extend(extra.iter().map(|s| (*s).to_owned()));
+        v
+    };
+    let cold = run(exp().args(args(&[])));
+    assert!(cold.status.success(), "{}", stderr(&cold));
+    let simulated: u64 = field(&cold, "simulated").parse().unwrap();
+    assert!(simulated >= 2, "the cold grid simulates every cell");
+    let digest = field(&cold, "figure_fnv64");
+
+    // Flip one byte inside the first record body of one pack.
+    let pack = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "hpk"))
+        .expect("a pack file");
+    let mut bytes = std::fs::read(&pack).unwrap();
+    bytes[8 + 6] ^= 0xA5;
+    std::fs::write(&pack, bytes).unwrap();
+
+    let scrub = run(exp().args(["store", "scrub", dir.to_str().unwrap()]));
+    assert!(scrub.status.success(), "{}", stderr(&scrub));
+    assert_eq!(field(&scrub, "corrupt_spans"), "1");
+    let kept: u64 = field(&scrub, "records_kept").parse().unwrap();
+    assert_eq!(kept, simulated - 1, "scrub loses exactly the bad record");
+    assert!(
+        dir.join("scrub-quarantine").is_dir(),
+        "the corrupt bytes are preserved for post-mortem"
+    );
+
+    // A second scrub of the clean store finds nothing to quarantine.
+    let again = run(exp().args(["store", "scrub", dir.to_str().unwrap(), "--json"]));
+    assert!(again.status.success(), "{}", stderr(&again));
+    assert!(stdout(&again).contains("\"corrupt_spans\": 0"));
+
+    // The warm run recomputes exactly the quarantined cell.
+    let warm = run(exp().args(args(&[])));
+    assert!(warm.status.success(), "{}", stderr(&warm));
+    assert_eq!(field(&warm, "simulated"), "1");
+    assert_eq!(field(&warm, "figure_fnv64"), digest);
+    let rewarm = run(exp().args(args(&["--expect-warm"])));
+    assert!(rewarm.status.success(), "{}", stderr(&rewarm));
+    assert_eq!(field(&rewarm, "figure_fnv64"), digest);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two concurrent `exp fault-sweep --store` processes writing disjoint
+/// halves of a grid into one directory: writer leases keep their packs
+/// disjoint, both campaigns complete, and the combined store decides
+/// every cell exactly once.
+#[test]
+fn two_concurrent_writers_fill_one_store_without_collisions() {
+    let dir = scratch_dir("two-writers");
+    let args = |intensities: &str, extra: &[&str]| {
+        let mut v = vec![
+            "fault-sweep".to_owned(),
+            "--util".to_owned(),
+            "0.4".to_owned(),
+            "--capacity".to_owned(),
+            "300".to_owned(),
+            "--trials".to_owned(),
+            "1".to_owned(),
+            "--threads".to_owned(),
+            "2".to_owned(),
+            "--horizon".to_owned(),
+            "1000".to_owned(),
+            "--intensities".to_owned(),
+            intensities.to_owned(),
+            "--store".to_owned(),
+            dir.to_str().unwrap().to_owned(),
+        ];
+        v.extend(extra.iter().map(|s| (*s).to_owned()));
+        v
+    };
+    let mut a = exp().args(args("0.0,0.5", &[])).spawn().expect("spawn a");
+    let mut b = exp().args(args("0.25,0.75", &[])).spawn().expect("spawn b");
+    let status_a = a.wait().expect("wait a");
+    let status_b = b.wait().expect("wait b");
+    assert!(status_a.success() && status_b.success());
+
+    // 3 policies x 1 trial x 2 intensities per process, disjoint
+    // halves: 12 decided cells, each recorded exactly once.
+    let compact = run(exp().args(["store", "compact", dir.to_str().unwrap()]));
+    assert!(compact.status.success(), "{}", stderr(&compact));
+    assert_eq!(field(&compact, "records_before"), "12");
+    assert_eq!(field(&compact, "records_after"), "12");
+
+    // The union resumes the full grid with zero re-simulation.
+    let union = run(exp().args(args("0.0,0.25,0.5,0.75", &["--expect-resumed"])));
+    assert!(union.status.success(), "{}", stderr(&union));
+    assert_eq!(field(&union, "simulated"), "0");
+    assert_eq!(field(&union, "resumed"), "12");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--durability` is accepted end-to-end: a `record`-durability cold
+/// run and a `none`-durability warm run reproduce the same digest, and
+/// a bogus level is a usage error.
+#[test]
+fn durability_levels_round_trip_the_same_figure() {
+    let dir = scratch_dir("durability");
+    let args = |extra: &[&str]| {
+        let mut v = vec![
+            "sweep".to_owned(),
+            "--util".to_owned(),
+            "0.4".to_owned(),
+            "--trials".to_owned(),
+            "1".to_owned(),
+            "--threads".to_owned(),
+            "2".to_owned(),
+            "--store".to_owned(),
+            dir.to_str().unwrap().to_owned(),
+        ];
+        v.extend(extra.iter().map(|s| (*s).to_owned()));
+        v
+    };
+    let cold = run(exp().args(args(&["--durability", "record"])));
+    assert!(cold.status.success(), "{}", stderr(&cold));
+    let digest = field(&cold, "figure_fnv64");
+
+    let warm = run(exp().args(args(&["--durability", "none", "--expect-warm"])));
+    assert!(warm.status.success(), "{}", stderr(&warm));
+    assert_eq!(field(&warm, "figure_fnv64"), digest);
+
+    let bogus = run(exp().args(args(&["--durability", "paranoid"])));
+    assert_eq!(bogus.status.code(), Some(2), "usage error must exit 2");
+    assert!(
+        stderr(&bogus).contains("none, batch, or record"),
+        "{}",
+        stderr(&bogus)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Lease files stamped with a dead process's pid are stale: the next
+/// writer takes the slot over (with a note) instead of skipping it,
+/// and the campaign completes normally.
+#[test]
+fn stale_leases_from_a_dead_process_are_taken_over() {
+    let dir = scratch_dir("stale-lease");
+    std::fs::create_dir_all(&dir).unwrap();
+    // A pid that is certainly dead: a just-reaped child of ours.
+    let dead = {
+        let child = exp().arg("bogus-subcommand").output().expect("spawn");
+        assert_eq!(child.status.code(), Some(2));
+        exp()
+            .arg("bogus-subcommand")
+            .spawn()
+            .expect("spawn short-lived child")
+    };
+    let dead_pid = dead.id();
+    let mut dead = dead;
+    let _ = dead.wait();
+    // Stamp every slot so the sweep's writers hit a stale lease no
+    // matter which slots its threads hash to.
+    for slot in 0..16 {
+        std::fs::write(dir.join(format!("lease-{slot}")), format!("{dead_pid} 1\n")).unwrap();
+    }
+    let out = run(exp().args([
+        "sweep",
+        "--util",
+        "0.4",
+        "--trials",
+        "1",
+        "--threads",
+        "2",
+        "--store",
+        dir.to_str().unwrap(),
+    ]));
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("took over stale writer lease"),
+        "expected a takeover note, got:\n{}",
+        stderr(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

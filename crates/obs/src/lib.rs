@@ -15,6 +15,11 @@
 //!   lossless round-trip through the vendored `serde_json`.
 //! - [`timeline`] — piecewise step series (storage level and active DVFS
 //!   level vs. time) with uniform-grid resampling for ASCII plotting.
+//! - [`io`] — the fault-injectable storage I/O seam ([`StoreIo`] with a
+//!   real backend and a deterministic SplitMix64-scheduled [`FaultyIo`]),
+//!   plus the shared recovery vocabulary: [`RetryPolicy`], [`Durability`],
+//!   and the [`IoCounters`] / [`IoHealth`] accounting that heartbeats and
+//!   reports surface.
 //!
 //! Campaign-scale telemetry (all opt-in, all zero-cost when absent):
 //!
@@ -35,6 +40,7 @@
 
 pub mod export;
 pub mod flight;
+pub mod io;
 pub mod metrics;
 pub mod profile;
 pub mod progress;
@@ -45,6 +51,10 @@ pub use export::{jsonl_to_vec, to_jsonl_string, JsonlWriter};
 pub use flight::{
     FlightDump, FlightEvent, FlightLine, FlightMeta, FlightRecorder, SharedFlightRecorder,
     DEFAULT_FLIGHT_CAPACITY,
+};
+pub use io::{
+    Durability, FaultScheduleBuilder, FaultyIo, IoCounters, IoHealth, RealIo, RetryPolicy,
+    StoreFile, StoreIo, WriteFault,
 };
 pub use metrics::{
     Log2Histogram, MetricDelta, MetricEntry, MetricValue, MetricsRegistry, MetricsSink,

@@ -103,6 +103,16 @@ pub struct Heartbeat {
     /// observable lane synchrony of the campaign's batches.
     #[serde(default)]
     pub multi_lane_ticks: u64,
+    /// Transient store I/O errors that were retried
+    /// ([`IoHealth::retries`](crate::io::IoHealth)).
+    #[serde(default)]
+    pub store_retries: u64,
+    /// Store operations that exhausted retries and degraded.
+    #[serde(default)]
+    pub store_degraded: u64,
+    /// Failed store `sync_all` barriers.
+    #[serde(default)]
+    pub store_sync_failures: u64,
 }
 
 impl Heartbeat {
@@ -185,6 +195,7 @@ struct ReporterInner {
     batch_grouping: String,
     batch_ticks: u64,
     multi_lane_ticks: u64,
+    store_health: crate::io::IoHealth,
 }
 
 impl ReporterInner {
@@ -233,6 +244,9 @@ impl ReporterInner {
             batch_grouping: self.batch_grouping.clone(),
             batch_ticks: self.batch_ticks,
             multi_lane_ticks: self.multi_lane_ticks,
+            store_retries: self.store_health.retries,
+            store_degraded: self.store_health.degraded,
+            store_sync_failures: self.store_health.sync_failures,
         }
     }
 
@@ -300,6 +314,7 @@ impl ProgressReporter {
                 batch_grouping: String::new(),
                 batch_ticks: 0,
                 multi_lane_ticks: 0,
+                store_health: crate::io::IoHealth::default(),
             }),
         }
     }
@@ -371,6 +386,15 @@ impl ProgressReporter {
         inner.batch_grouping = grouping.to_string();
         inner.batch_ticks += batch_ticks;
         inner.multi_lane_ticks += multi_lane_ticks;
+    }
+
+    /// Replace the reported store-health snapshot (absolute counts —
+    /// callers pass a fresh [`IoHealth`](crate::io::IoHealth) snapshot,
+    /// typically merged across the trial store and manifest, at each
+    /// checkpoint). Surfaced in every subsequent heartbeat.
+    pub fn note_store_health(&self, health: crate::io::IoHealth) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.store_health = health;
     }
 
     /// Decided-cell totals so far:
@@ -458,6 +482,11 @@ mod tests {
         reporter.note_lane_high_water(8);
         reporter.note_batch_occupancy("policy", 100, 60);
         reporter.note_batch_occupancy("policy", 50, 30);
+        reporter.note_store_health(crate::io::IoHealth {
+            retries: 3,
+            degraded: 1,
+            sync_failures: 2,
+        });
         reporter.finish().unwrap();
 
         let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
@@ -479,6 +508,10 @@ mod tests {
         assert_eq!(hb.batch_grouping, "policy");
         assert_eq!((hb.batch_ticks, hb.multi_lane_ticks), (150, 90));
         assert!((hb.multi_lane_fraction() - 0.6).abs() < 1e-12);
+        assert_eq!(
+            (hb.store_retries, hb.store_degraded, hb.store_sync_failures),
+            (3, 1, 2)
+        );
         assert!(matches!(lines.last(), Some(ProgressLine::Finished(f)) if f.done == 4));
     }
 
